@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the ECC substrate: the kernels the ECiM /
+//! TRiM Checkers run on every logic-level check.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvpim_ecc::bch::BchCode;
+use nvpim_ecc::gf2::BitVec;
+use nvpim_ecc::hamming::HammingCode;
+use nvpim_ecc::redundancy::majority_vote_words;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn random_bits(len: usize, seed: u64) -> BitVec {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_bool(0.5)).collect()
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamming");
+    for r in [3usize, 5, 8] {
+        let code = HammingCode::new_standard(r);
+        let data = random_bits(code.k(), 1);
+        let clean = code.encode(&data);
+        group.bench_with_input(BenchmarkId::new("encode", code.n()), &code, |b, code| {
+            b.iter(|| code.encode(black_box(&data)))
+        });
+        group.bench_with_input(BenchmarkId::new("syndrome", code.n()), &code, |b, code| {
+            b.iter(|| code.syndrome(black_box(&clean)))
+        });
+        let mut corrupted = clean.clone();
+        corrupted.flip(code.n() / 2);
+        group.bench_with_input(
+            BenchmarkId::new("decode_single_error", code.n()),
+            &code,
+            |b, code| {
+                b.iter(|| {
+                    let mut cw = corrupted.clone();
+                    code.decode(&mut cw)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bch_255");
+    group.sample_size(20);
+    for t in [1usize, 2, 4] {
+        let code = BchCode::new(8, t).expect("valid BCH code");
+        let data = random_bits(code.k(), 2);
+        let clean = code.encode(&data);
+        group.bench_with_input(BenchmarkId::new("encode", t), &code, |b, code| {
+            b.iter(|| code.encode(black_box(&data)))
+        });
+        let mut corrupted = clean.clone();
+        for i in 0..t {
+            corrupted.flip(i * 37 + 5);
+        }
+        group.bench_with_input(BenchmarkId::new("decode_t_errors", t), &code, |b, code| {
+            b.iter(|| {
+                let mut cw = corrupted.clone();
+                code.decode(&mut cw).expect("correctable pattern")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_majority(c: &mut Criterion) {
+    let mut group = c.benchmark_group("majority_vote");
+    for bits in [64usize, 256] {
+        let good = random_bits(bits, 3);
+        let mut bad = good.clone();
+        bad.flip(bits / 3);
+        let copies = vec![good.clone(), bad, good.clone()];
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &copies, |b, copies| {
+            b.iter(|| majority_vote_words(black_box(copies)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(800)).sample_size(20);
+    targets = bench_hamming, bench_bch, bench_majority);
+criterion_main!(benches);

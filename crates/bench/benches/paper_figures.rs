@@ -1,0 +1,68 @@
+//! Criterion benchmarks that time the regeneration of the paper's headline
+//! artifacts themselves (the Fig. 7 / Table IV / Table V sweeps on the smoke
+//! suite), so regressions in the evaluation pipeline are caught.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvpim_compiler::schedule::map_netlist;
+use nvpim_core::config::DesignConfig;
+use nvpim_core::system::{evaluate_schedule, WorkloadShape};
+use nvpim_ecc::bch::BchCode;
+use nvpim_sim::electrical::ElectricalModel;
+use nvpim_sim::technology::Technology;
+use nvpim_workloads::Benchmark;
+
+fn bench_smoke_suite_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_sweep");
+    group.sample_size(10);
+    for bench in Benchmark::smoke_suite() {
+        // Compile once per design outside the timed loop; the timed part is
+        // the system model evaluation (what every table/figure row costs).
+        let netlist = bench.row_netlist();
+        let shape: WorkloadShape = bench.shape();
+        let configs = [
+            DesignConfig::unprotected(Technology::SttMram),
+            DesignConfig::ecim(Technology::SttMram),
+            DesignConfig::trim(Technology::SttMram),
+        ];
+        let schedules: Vec<_> = configs
+            .iter()
+            .map(|c| map_netlist(&netlist, c.row_layout()).expect("schedule fits"))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("estimate_three_designs", bench.name()),
+            &schedules,
+            |b, schedules| {
+                b.iter(|| {
+                    configs
+                        .iter()
+                        .zip(schedules)
+                        .map(|(cfg, s)| evaluate_schedule(black_box(s), &shape, cfg).time_ns)
+                        .sum::<f64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig8_and_fig9_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic_models");
+    group.bench_function("fig8_bch255_parity_sweep", |b| {
+        b.iter(|| {
+            (1..=10usize)
+                .map(|t| BchCode::parity_bits_for(8, black_box(t)).unwrap())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("fig9_noise_margin_sweep", |b| {
+        let model = ElectricalModel::new(Technology::SttMram);
+        b.iter(|| model.figure9_sweep(black_box(10)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(800)).sample_size(20);
+    targets = bench_smoke_suite_sweep, bench_fig8_and_fig9_models);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benchmarks of the protection schemes themselves: functional
+//! protected execution (ECiM / TRiM / unprotected) on a simulated array, and
+//! the ablation between multi-output and single-output metadata generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvpim_compiler::builder::CircuitBuilder;
+use nvpim_compiler::netlist::Netlist;
+use nvpim_compiler::schedule::map_netlist;
+use nvpim_core::config::DesignConfig;
+use nvpim_core::executor::ProtectedExecutor;
+use nvpim_sim::array::PimArray;
+use nvpim_sim::technology::Technology;
+
+fn mac_netlist() -> Netlist {
+    let mut b = CircuitBuilder::new();
+    let acc = b.input_word(8);
+    let x = b.input_word(4);
+    let y = b.input_word(4);
+    let out = b.mac(&acc, &x, &y);
+    b.mark_output_word(&out);
+    b.finish()
+}
+
+fn bench_protected_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protected_execution_mac8x4");
+    group.sample_size(20);
+    let netlist = mac_netlist();
+    let inputs: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
+    let tech = Technology::SttMram;
+    for (label, config) in [
+        ("unprotected", DesignConfig::unprotected(tech)),
+        ("ecim_multi_output", DesignConfig::ecim(tech)),
+        (
+            "ecim_single_output",
+            DesignConfig::ecim(tech).with_single_output_gates(),
+        ),
+        ("trim_multi_output", DesignConfig::trim(tech)),
+        (
+            "trim_single_output",
+            DesignConfig::trim(tech).with_single_output_gates(),
+        ),
+    ] {
+        let executor = ProtectedExecutor::new(config.clone());
+        let schedule = map_netlist(&netlist, config.row_layout()).expect("schedule fits");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &schedule, |b, schedule| {
+            b.iter(|| {
+                let mut array = PimArray::standard(tech);
+                executor
+                    .run(&netlist, black_box(schedule), &mut array, 0, &inputs)
+                    .expect("protected run succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_checker_granularity_ablation(c: &mut Criterion) {
+    // Ablation: how the analytic overhead estimate responds to the number of
+    // parity pipeline blocks (the design knob of §IV-C).
+    use nvpim_core::system::{evaluate, WorkloadShape};
+    let mut group = c.benchmark_group("ecim_parity_block_ablation");
+    group.sample_size(20);
+    let netlist = {
+        let mut b = CircuitBuilder::new();
+        let mut acc = b.constant_word(0, 20);
+        for _ in 0..4 {
+            let x = b.input_word(8);
+            let y = b.input_word(8);
+            acc = b.mac(&acc, &x, &y);
+        }
+        b.mark_output_word(&acc);
+        b.finish()
+    };
+    let shape = WorkloadShape::new("ablation", 256, 1);
+    for blocks in [1usize, 2, 4, 8] {
+        let mut config = DesignConfig::ecim(Technology::SttMram);
+        config.parity_blocks_per_side = blocks;
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &config, |b, config| {
+            b.iter(|| evaluate(black_box(&netlist), &shape, config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(800)).sample_size(20);
+    targets =
+    bench_protected_execution,
+    bench_checker_granularity_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates Fig. 8: parity bits required by BCH-255 as a function of the
+//! number of correctable errors, against the Hamming(255, 247) baseline.
+
+use nvpim_bench::{print_json, print_table, HarnessOptions};
+use nvpim_ecc::bch::BchCode;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ParityRow {
+    correctable_errors: usize,
+    bch_255_parity_bits: usize,
+    hamming_255_247_parity_bits: usize,
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    println!("Fig. 8 — parity bits vs correctable errors (BCH-255)\n");
+    let max_t = if opts.quick { 4 } else { 10 };
+    let rows: Vec<ParityRow> = (1..=max_t)
+        .map(|t| ParityRow {
+            correctable_errors: t,
+            bch_255_parity_bits: BchCode::parity_bits_for(8, t)
+                .expect("BCH-255 supports t in 1..=10"),
+            hamming_255_247_parity_bits: 8,
+        })
+        .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.correctable_errors.to_string(),
+                r.bch_255_parity_bits.to_string(),
+                r.hamming_255_247_parity_bits.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["correctable errors", "BCH-255 parity bits", "Hamming(255,247)"],
+        &table,
+    );
+    if opts.json {
+        print_json(&rows);
+    }
+}

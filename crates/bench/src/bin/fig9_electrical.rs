@@ -1,0 +1,50 @@
+//! Regenerates Fig. 9: noise margins (a) and bias-voltage windows (b) of
+//! multi-output NOR gates versus the number of output cells, for series and
+//! parallel output placement.
+
+use nvpim_bench::{print_json, print_table, HarnessOptions};
+use nvpim_sim::electrical::{ElectricalModel, MIN_NOISE_MARGIN};
+use nvpim_sim::technology::Technology;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    println!(
+        "Fig. 9 — multi-output gate noise margins and bias windows (STT-MRAM, minimum margin {:.0}%)\n",
+        MIN_NOISE_MARGIN * 100.0
+    );
+    let model = ElectricalModel::new(Technology::SttMram);
+    let max_outputs = if opts.quick { 4 } else { 10 };
+    let sweep = model.figure9_sweep(max_outputs);
+    let table: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|p| {
+            vec![
+                p.n_outputs.to_string(),
+                format!("{:.1}", p.parallel_margin * 100.0),
+                format!("{:.1}", p.series_margin * 100.0),
+                format!("{:.2}–{:.2}", p.parallel_window.low_v, p.parallel_window.high_v),
+                format!("{:.2}–{:.2}", p.series_window.low_v, p.series_window.high_v),
+                if p.series_margin >= MIN_NOISE_MARGIN { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "output cells",
+            "parallel margin (%)",
+            "series margin (%)",
+            "parallel V_BSL (V)",
+            "series V_BSL (V)",
+            "series feasible",
+        ],
+        &table,
+    );
+    println!(
+        "\nmax feasible outputs: parallel = {}, series = {}",
+        model.max_feasible_outputs(nvpim_sim::electrical::OutputPlacement::Parallel, max_outputs),
+        model.max_feasible_outputs(nvpim_sim::electrical::OutputPlacement::Series, max_outputs)
+    );
+    if opts.json {
+        print_json(&sweep);
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates Table II: the asymptotic SEP design space (time, energy and
+//! Checker metadata of TRiM and ECiM per update/check granularity).
+
+use nvpim_bench::{print_json, print_table, HarnessOptions};
+use nvpim_ecc::design_space::table2_rows;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let n: u64 = if opts.quick { 1 << 10 } else { 1 << 16 };
+    println!("Table II — SEP design space for N = {n} protected gate outputs\n");
+    let rows = table2_rows(n);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(point, cost)| {
+            vec![
+                point.scheme.to_string(),
+                point.update.to_string(),
+                point.check.to_string(),
+                if cost.sep_guarantee { "yes" } else { "no" }.to_string(),
+                format!("{:.0}", cost.time),
+                if cost.time_maskable { "maskable" } else { "exposed" }.to_string(),
+                format!("{:.0}", cost.energy),
+                format!("{:.0}", cost.checker_metadata_bits),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "scheme", "update", "check", "SEP", "time", "time masking", "energy",
+            "checker metadata (bits)",
+        ],
+        &table,
+    );
+    if opts.json {
+        print_json(&rows);
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates Table III: the device/energy parameters of the three
+//! nonvolatile PiM technologies.
+
+use nvpim_bench::{print_json, print_table, HarnessOptions};
+use nvpim_sim::technology::Technology;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    println!("Table III — technology parameters\n");
+    let params: Vec<_> = Technology::ALL.iter().map(|t| t.parameters()).collect();
+    let fmt_opt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x}"));
+    let rows: Vec<Vec<String>> = params
+        .iter()
+        .map(|p| {
+            vec![
+                p.technology.to_string(),
+                format!("{}", p.r_low_kohm),
+                format!("{}", p.r_high_kohm),
+                fmt_opt(p.r_she_kohm),
+                fmt_opt(p.critical_current_ua),
+                fmt_opt(p.v_off),
+                fmt_opt(p.v_on),
+                format!("{}", p.t_switch_ns),
+                format!("{}", p.nor_energy_fj),
+                format!("{}", p.thr_energy_fj),
+                format!("{}", p.write_energy_fj),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "technology",
+            "R_low (kΩ)",
+            "R_high (kΩ)",
+            "R_SHE (kΩ)",
+            "I_C (µA)",
+            "V_OFF (V)",
+            "V_ON (V)",
+            "t_switch (ns)",
+            "NOR (fJ)",
+            "THR (fJ)",
+            "write (fJ)",
+        ],
+        &rows,
+    );
+    if opts.json {
+        print_json(&params);
+    }
+}

@@ -1,0 +1,53 @@
+//! Regenerates Table IV: the number of area reclaims each benchmark incurs
+//! under ECiM and TRiM with the iso-area 256-column row budget.
+
+use nvpim_bench::{print_json, print_table, HarnessOptions};
+use nvpim_compiler::schedule::map_netlist;
+use nvpim_core::config::DesignConfig;
+use nvpim_sim::technology::Technology;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ReclaimRow {
+    benchmark: String,
+    unprotected: usize,
+    ecim: usize,
+    trim: usize,
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    println!("Table IV — number of area reclaims (iso-area, Hamming(255,247))\n");
+    // Reclaim counts depend only on the layout, not the technology.
+    let tech = Technology::SttMram;
+    let mut rows = Vec::new();
+    for bench in opts.suite() {
+        let netlist = bench.row_netlist();
+        let reclaims = |config: &DesignConfig| {
+            map_netlist(&netlist, config.row_layout())
+                .expect("paper workloads fit the 256-column row")
+                .reclaim_count()
+        };
+        rows.push(ReclaimRow {
+            benchmark: bench.name(),
+            unprotected: reclaims(&DesignConfig::unprotected(tech)),
+            ecim: reclaims(&DesignConfig::ecim(tech)),
+            trim: reclaims(&DesignConfig::trim(tech)),
+        });
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                r.unprotected.to_string(),
+                r.ecim.to_string(),
+                r.trim.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["benchmark", "unprotected", "ECiM", "TRiM"], &table);
+    if opts.json {
+        print_json(&rows);
+    }
+}

@@ -1,0 +1,173 @@
+//! # nvpim-bench
+//!
+//! Shared harness for regenerating every table and figure of the paper's
+//! evaluation. Each `src/bin/*.rs` binary reproduces one artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table2_design_space`  | Table II — asymptotic SEP design space |
+//! | `table3_technology`    | Table III — technology parameters |
+//! | `table4_area_reclaims` | Table IV — number of area reclaims |
+//! | `table5_energy_overhead` | Table V — energy overhead vs unprotected baseline |
+//! | `fig6_sep_cases`       | Fig. 6 — SEP guarantee case analysis |
+//! | `fig7_time_overhead`   | Fig. 7 — time overhead vs unprotected baseline |
+//! | `fig8_parity_bits`     | Fig. 8 — parity bits vs correctable errors |
+//! | `fig9_electrical`      | Fig. 9 — noise margins and bias voltages |
+//!
+//! Every binary accepts `--quick` to run the reduced smoke suite instead of
+//! the full twelve-benchmark sweep, and `--json` to emit machine-readable
+//! output alongside the human-readable table.
+
+#![warn(missing_docs)]
+
+use nvpim_core::config::DesignConfig;
+use nvpim_core::system::{compare, evaluate, ExecutionEstimate, OverheadReport};
+use nvpim_sim::technology::Technology;
+use nvpim_workloads::Benchmark;
+use serde::Serialize;
+
+/// Command-line options shared by the harness binaries.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessOptions {
+    /// Run the reduced smoke suite instead of the full paper suite.
+    pub quick: bool,
+    /// Also emit JSON to stdout after the table.
+    pub json: bool,
+}
+
+impl HarnessOptions {
+    /// Parses options from `std::env::args`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self {
+            quick: args.iter().any(|a| a == "--quick"),
+            json: args.iter().any(|a| a == "--json"),
+        }
+    }
+
+    /// The benchmark suite selected by these options.
+    pub fn suite(&self) -> Vec<Benchmark> {
+        if self.quick {
+            Benchmark::smoke_suite()
+        } else {
+            Benchmark::paper_suite()
+        }
+    }
+}
+
+/// One row of a benchmark sweep: the protected designs' overheads relative
+/// to the iso-area unprotected baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Technology.
+    pub technology: String,
+    /// ECiM (multi-output) overheads.
+    pub ecim: OverheadReport,
+    /// TRiM (multi-output) overheads.
+    pub trim: OverheadReport,
+    /// ECiM single-output energy overhead.
+    pub ecim_single_output_energy: f64,
+    /// TRiM single-output energy overhead.
+    pub trim_single_output_energy: f64,
+}
+
+/// Evaluates one benchmark on one technology across the unprotected
+/// baseline, ECiM and TRiM (both gate styles), reusing the per-design
+/// compiled schedules.
+pub fn sweep_benchmark(bench: Benchmark, technology: Technology) -> SweepRow {
+    let netlist = bench.row_netlist();
+    let shape = bench.shape();
+    let run = |config: &DesignConfig| -> ExecutionEstimate {
+        evaluate(&netlist, &shape, config).expect("paper workloads fit the 256-column row")
+    };
+    let baseline = run(&DesignConfig::unprotected(technology));
+    let ecim = run(&DesignConfig::ecim(technology));
+    let trim = run(&DesignConfig::trim(technology));
+    let ecim_so = run(&DesignConfig::ecim(technology).with_single_output_gates());
+    let trim_so = run(&DesignConfig::trim(technology).with_single_output_gates());
+    SweepRow {
+        benchmark: bench.name(),
+        technology: technology.to_string(),
+        ecim: compare(&ecim, &baseline),
+        trim: compare(&trim, &baseline),
+        ecim_single_output_energy: compare(&ecim_so, &baseline).energy_overhead,
+        trim_single_output_energy: compare(&trim_so, &baseline).energy_overhead,
+    }
+}
+
+/// Runs the sweep for every benchmark in the suite on one technology.
+pub fn sweep_suite(suite: &[Benchmark], technology: Technology) -> Vec<SweepRow> {
+    suite
+        .iter()
+        .map(|&b| sweep_benchmark(b, technology))
+        .collect()
+}
+
+/// Prints a simple fixed-width table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        println!("| {} |", joined.join(" | "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Serializes a value as pretty JSON for the `--json` flag.
+pub fn print_json<T: Serialize>(value: &T) {
+    println!(
+        "{}",
+        serde_json::to_string_pretty(value).expect("harness results serialize to JSON")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_smoke_benchmark_produces_positive_overheads() {
+        let row = sweep_benchmark(Benchmark::MatMul { dim: 8 }, Technology::SttMram);
+        assert_eq!(row.benchmark, "mm8");
+        assert!(row.ecim.time_overhead_pct > 0.0);
+        assert!(row.trim.time_overhead_pct > 0.0);
+        assert!(row.ecim.energy_overhead > 0.0);
+        assert!(row.ecim_single_output_energy > row.ecim.energy_overhead);
+        assert!(row.trim_single_output_energy > row.trim.energy_overhead);
+    }
+
+    #[test]
+    fn options_default_to_full_suite() {
+        let opts = HarnessOptions::default();
+        assert_eq!(opts.suite().len(), 12);
+        let quick = HarnessOptions {
+            quick: true,
+            json: false,
+        };
+        assert_eq!(quick.suite().len(), 3);
+    }
+}

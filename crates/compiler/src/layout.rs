@@ -1,0 +1,97 @@
+//! Row layout: how the 256 columns of a PiM row are split between operand
+//! staging, scratch space for computation, and error-correction metadata
+//! (§III-B's row-wise check-symbol layout and §IV-C's parity blocks).
+
+use serde::{Deserialize, Serialize};
+
+/// The column budget of a single PiM row, under the paper's iso-area
+/// constraint: protected designs must fit computation *and* their metadata
+/// in the same row width as the unprotected baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowLayout {
+    /// Total columns in the row (256 in the paper's arrays).
+    pub total_columns: usize,
+    /// Columns reserved for ECC metadata: the running parity bits plus the
+    /// left/right parity pipeline blocks for ECiM, or zero for TRiM (whose
+    /// redundant copies live with each value) and for the unprotected
+    /// baseline.
+    pub metadata_columns: usize,
+    /// Number of cells every computed value occupies: 1 for the baseline and
+    /// ECiM, 3 for TRiM (the value plus its two redundant copies, §IV-D).
+    pub cells_per_value: usize,
+}
+
+impl RowLayout {
+    /// Layout of the unprotected iso-area baseline.
+    pub fn unprotected(total_columns: usize) -> Self {
+        Self {
+            total_columns,
+            metadata_columns: 0,
+            cells_per_value: 1,
+        }
+    }
+
+    /// Columns available as scratch space for computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metadata does not fit in the row.
+    pub fn scratch_columns(&self) -> usize {
+        assert!(
+            self.metadata_columns < self.total_columns,
+            "metadata ({}) must leave scratch space in a {}-column row",
+            self.metadata_columns,
+            self.total_columns
+        );
+        self.total_columns - self.metadata_columns
+    }
+
+    /// Number of distinct *values* the scratch region can hold at once.
+    pub fn value_capacity(&self) -> usize {
+        self.scratch_columns() / self.cells_per_value.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprotected_uses_every_column() {
+        let l = RowLayout::unprotected(256);
+        assert_eq!(l.scratch_columns(), 256);
+        assert_eq!(l.value_capacity(), 256);
+    }
+
+    #[test]
+    fn metadata_reduces_scratch() {
+        let l = RowLayout {
+            total_columns: 256,
+            metadata_columns: 40,
+            cells_per_value: 1,
+        };
+        assert_eq!(l.scratch_columns(), 216);
+        assert_eq!(l.value_capacity(), 216);
+    }
+
+    #[test]
+    fn redundant_copies_divide_capacity() {
+        let l = RowLayout {
+            total_columns: 256,
+            metadata_columns: 0,
+            cells_per_value: 3,
+        };
+        assert_eq!(l.value_capacity(), 85);
+    }
+
+    #[test]
+    #[should_panic(expected = "must leave scratch space")]
+    fn metadata_cannot_consume_whole_row() {
+        RowLayout {
+            total_columns: 64,
+            metadata_columns: 64,
+            cells_per_value: 1,
+        }
+        .scratch_columns();
+    }
+}

@@ -1,0 +1,292 @@
+//! Gate-level netlists produced by the PiM synthesis flow (§II-B step 2).
+//!
+//! A [`Netlist`] is a DAG of NOR / THR gate operations over *nets* (single
+//! bits). Workload generators build netlists with
+//! [`crate::builder::CircuitBuilder`]; the scheduler
+//! ([`crate::schedule`]) maps them to per-row PiM gate schedules. The
+//! netlist also doubles as the behavioral reference simulator used for
+//! functional validation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a single-bit net within a netlist.
+pub type NetId = usize;
+
+/// The logic operation of one netlist gate. All operations are directly
+/// executable by the PiM substrate (NOR-family or THR).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicOp {
+    /// Multi-input NOR (1–4 inputs in practice).
+    Nor,
+    /// The 4-input thresholding gate: output is 1 when at least 3 inputs are 0.
+    Thr,
+    /// Copy of a single net (Table I's `CP`).
+    Copy,
+    /// Constant 0 (a preset).
+    Zero,
+    /// Constant 1 (a preset).
+    One,
+}
+
+/// One gate of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// The operation.
+    pub op: LogicOp,
+    /// Input nets (empty for constants).
+    pub inputs: Vec<NetId>,
+    /// The single output net this gate drives.
+    pub output: NetId,
+}
+
+impl Gate {
+    /// Evaluates the gate given resolved input values.
+    pub fn evaluate(&self, values: &[bool]) -> bool {
+        match self.op {
+            LogicOp::Nor => !values.iter().any(|&v| v),
+            LogicOp::Thr => values.iter().filter(|&&v| !v).count() >= 3,
+            LogicOp::Copy => values[0],
+            LogicOp::Zero => false,
+            LogicOp::One => true,
+        }
+    }
+}
+
+/// A combinational netlist over NOR/THR gates.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    /// Primary input nets, in declaration order.
+    pub inputs: Vec<NetId>,
+    /// Primary output nets, in declaration order.
+    pub outputs: Vec<NetId>,
+    /// Gates in topological order (guaranteed by the builder).
+    pub gates: Vec<Gate>,
+    /// Total number of nets (inputs + gate outputs).
+    pub net_count: usize,
+}
+
+/// Summary statistics of a netlist, including its logic-level structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Number of gates (excluding constants).
+    pub gate_count: usize,
+    /// Number of THR gates.
+    pub thr_count: usize,
+    /// Number of primary inputs.
+    pub input_count: usize,
+    /// Number of primary outputs.
+    pub output_count: usize,
+    /// Circuit depth in logic levels.
+    pub depth: usize,
+    /// Number of gates in each logic level.
+    pub gates_per_level: Vec<usize>,
+}
+
+impl Netlist {
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Assigns each gate an ASAP logic level: level 0 gates depend only on
+    /// primary inputs / constants; a gate's level is one more than the
+    /// maximum level of its producing gates. Gates in the same level are
+    /// never data-dependent, which is the property the paper's logic-level
+    /// granularity error checks rely on (§IV-E).
+    pub fn logic_levels(&self) -> Vec<usize> {
+        let mut net_level: HashMap<NetId, usize> = HashMap::new();
+        for &input in &self.inputs {
+            net_level.insert(input, 0);
+        }
+        let mut levels = Vec::with_capacity(self.gates.len());
+        for gate in &self.gates {
+            let level = gate
+                .inputs
+                .iter()
+                .map(|n| net_level.get(n).copied().unwrap_or(0) )
+                .max()
+                .unwrap_or(0);
+            let gate_level = match gate.op {
+                LogicOp::Zero | LogicOp::One => 0,
+                _ => level + usize::from(!gate.inputs.is_empty()),
+            };
+            levels.push(gate_level);
+            net_level.insert(gate.output, gate_level);
+        }
+        levels
+    }
+
+    /// Computes summary statistics (gate counts, depth, level widths).
+    pub fn stats(&self) -> NetlistStats {
+        let levels = self.logic_levels();
+        let depth = levels.iter().copied().max().unwrap_or(0);
+        let mut gates_per_level = vec![0usize; depth + 1];
+        let mut thr_count = 0;
+        for (gate, &level) in self.gates.iter().zip(&levels) {
+            if matches!(gate.op, LogicOp::Zero | LogicOp::One) {
+                continue;
+            }
+            gates_per_level[level] += 1;
+            if gate.op == LogicOp::Thr {
+                thr_count += 1;
+            }
+        }
+        NetlistStats {
+            gate_count: self
+                .gates
+                .iter()
+                .filter(|g| !matches!(g.op, LogicOp::Zero | LogicOp::One))
+                .count(),
+            thr_count,
+            input_count: self.inputs.len(),
+            output_count: self.outputs.len(),
+            depth,
+            gates_per_level,
+        }
+    }
+
+    /// Behavioral simulation: evaluates the netlist on the given primary
+    /// input values, returning the primary output values. This is the
+    /// functional-validation reference the paper's behavioral simulator
+    /// provides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len()` differs from the number of primary
+    /// inputs.
+    pub fn evaluate(&self, input_values: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            input_values.len(),
+            self.inputs.len(),
+            "expected {} input values",
+            self.inputs.len()
+        );
+        let mut values: Vec<bool> = vec![false; self.net_count];
+        for (&net, &v) in self.inputs.iter().zip(input_values) {
+            values[net] = v;
+        }
+        let mut scratch = Vec::new();
+        for gate in &self.gates {
+            scratch.clear();
+            scratch.extend(gate.inputs.iter().map(|&n| values[n]));
+            values[gate.output] = gate.evaluate(&scratch);
+        }
+        self.outputs.iter().map(|&n| values[n]).collect()
+    }
+
+    /// For each net, the index of the last gate (in topological order) that
+    /// reads it, or `None` if it is never read (primary outputs are treated
+    /// as read at a virtual position after the last gate). Used by the
+    /// scratch allocator to decide when a cell's value is dead.
+    pub fn last_uses(&self) -> HashMap<NetId, usize> {
+        let mut last: HashMap<NetId, usize> = HashMap::new();
+        for (idx, gate) in self.gates.iter().enumerate() {
+            for &input in &gate.inputs {
+                last.insert(input, idx);
+            }
+        }
+        for &output in &self.outputs {
+            last.insert(output, self.gates.len());
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn gate_evaluate_semantics() {
+        let nor = Gate {
+            op: LogicOp::Nor,
+            inputs: vec![0, 1],
+            output: 2,
+        };
+        assert!(nor.evaluate(&[false, false]));
+        assert!(!nor.evaluate(&[true, false]));
+        let thr = Gate {
+            op: LogicOp::Thr,
+            inputs: vec![0, 1, 2, 3],
+            output: 4,
+        };
+        assert!(thr.evaluate(&[false, false, false, true]));
+        assert!(!thr.evaluate(&[false, false, true, true]));
+    }
+
+    #[test]
+    fn levels_respect_dependencies() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input();
+        let c = b.input();
+        let n1 = b.nor(&[a, c]);
+        let n2 = b.nor(&[n1, a]);
+        let n3 = b.nor(&[n2, n1]);
+        b.mark_output(n3);
+        let netlist = b.finish();
+        let levels = netlist.logic_levels();
+        // gates are in topological order; each level strictly increases here
+        assert_eq!(levels, vec![1, 2, 3]);
+        let stats = netlist.stats();
+        assert_eq!(stats.depth, 3);
+        assert_eq!(stats.gate_count, 3);
+        assert_eq!(stats.gates_per_level[1], 1);
+    }
+
+    #[test]
+    fn same_level_gates_are_independent() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let z = b.input();
+        let g1 = b.nor(&[x, y]);
+        let g2 = b.nor(&[y, z]);
+        b.mark_output(g1);
+        b.mark_output(g2);
+        let netlist = b.finish();
+        let levels = netlist.logic_levels();
+        assert_eq!(levels[0], levels[1]);
+    }
+
+    #[test]
+    fn evaluate_nor_network() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let nor = b.nor(&[x, y]);
+        let or = b.not(nor);
+        b.mark_output(or);
+        let netlist = b.finish();
+        assert_eq!(netlist.evaluate(&[false, false]), vec![false]);
+        assert_eq!(netlist.evaluate(&[true, false]), vec![true]);
+        assert_eq!(netlist.evaluate(&[false, true]), vec![true]);
+        assert_eq!(netlist.evaluate(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn last_uses_mark_outputs_as_live_to_the_end() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let n1 = b.nor(&[x, y]);
+        let n2 = b.nor(&[n1, x]);
+        b.mark_output(n2);
+        let netlist = b.finish();
+        let last = netlist.last_uses();
+        assert_eq!(last[&n1], 1); // consumed by the second gate (index 1)
+        assert_eq!(last[&n2], netlist.gate_count()); // primary output
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 input values")]
+    fn evaluate_with_wrong_arity_panics() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let n = b.nor(&[x, y]);
+        b.mark_output(n);
+        b.finish().evaluate(&[true]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Executing a mapped [`RowSchedule`] on a simulated PiM array row —
+//! the "binary instruction translation" step of §II-B plus the behavioral
+//! validation loop of §V.
+//!
+//! This closes the loop between the compiler and the array substrate: the
+//! same column assignments the scheduler produced are driven as real in-array
+//! gate operations, so functional results can be cross-checked against the
+//! netlist's reference evaluation (and, with fault injection enabled, used
+//! to measure error propagation).
+
+use nvpim_sim::array::{ArrayError, GateOp, PimArray};
+use nvpim_sim::gates::GateKind;
+
+use crate::netlist::{LogicOp, Netlist};
+use crate::schedule::RowSchedule;
+
+/// Errors raised while executing a schedule on an array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The schedule contains spills and cannot be executed on a single row.
+    NotDirectlyExecutable,
+    /// The array row is narrower than the schedule's layout.
+    ArrayTooNarrow {
+        /// Columns required.
+        required: usize,
+        /// Columns available.
+        available: usize,
+    },
+    /// The input value count does not match the netlist.
+    InputArityMismatch {
+        /// Inputs expected.
+        expected: usize,
+        /// Inputs given.
+        got: usize,
+    },
+    /// An array-level error occurred.
+    Array(ArrayError),
+    /// A primary output was not resident at the end of execution.
+    MissingOutput {
+        /// Index of the missing primary output.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::NotDirectlyExecutable => {
+                write!(f, "schedule spilled values and cannot run on a single row")
+            }
+            ExecError::ArrayTooNarrow {
+                required,
+                available,
+            } => write!(f, "schedule needs {required} columns, array row has {available}"),
+            ExecError::InputArityMismatch { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            ExecError::Array(e) => write!(f, "array error: {e}"),
+            ExecError::MissingOutput { index } => {
+                write!(f, "primary output {index} is not resident in the row")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ArrayError> for ExecError {
+    fn from(e: ArrayError) -> Self {
+        ExecError::Array(e)
+    }
+}
+
+fn gate_kind_for(op: &LogicOp, outputs: usize) -> GateKind {
+    match op {
+        LogicOp::Nor => GateKind::Nor {
+            outputs: outputs as u8,
+        },
+        LogicOp::Thr => GateKind::THR,
+        LogicOp::Copy => GateKind::Copy,
+        LogicOp::Zero => GateKind::Preset { value: false },
+        LogicOp::One => GateKind::Preset { value: true },
+    }
+}
+
+/// Executes `schedule` (produced from `netlist`) in row `row` of `array`,
+/// writing the primary `inputs` into their scheduled cells as they are first
+/// needed, and returns the primary output values read back from the array.
+///
+/// # Errors
+///
+/// See [`ExecError`]. Note that with fault injection enabled on the array the
+/// returned outputs may legitimately differ from the netlist reference — that
+/// is the point of the experiment.
+pub fn execute_schedule(
+    schedule: &RowSchedule,
+    netlist: &Netlist,
+    array: &mut PimArray,
+    row: usize,
+    inputs: &[bool],
+) -> Result<Vec<bool>, ExecError> {
+    if !schedule.is_directly_executable() {
+        return Err(ExecError::NotDirectlyExecutable);
+    }
+    if array.cols() < schedule.layout.total_columns {
+        return Err(ExecError::ArrayTooNarrow {
+            required: schedule.layout.total_columns,
+            available: array.cols(),
+        });
+    }
+    if inputs.len() != netlist.inputs.len() {
+        return Err(ExecError::InputArityMismatch {
+            expected: netlist.inputs.len(),
+            got: inputs.len(),
+        });
+    }
+    let input_value = |net: usize| -> Option<bool> {
+        netlist
+            .inputs
+            .iter()
+            .position(|&n| n == net)
+            .map(|idx| inputs[idx])
+    };
+
+    // Track which cells have been initialized with primary-input data.
+    let mut materialized: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+
+    for sg in &schedule.gates {
+        let gate = &netlist.gates[sg.index];
+        // Write primary-input operands that are not yet resident.
+        for (&net, &col) in gate.inputs.iter().zip(&sg.input_cols) {
+            if let Some(value) = input_value(net) {
+                if materialized.get(&net) != Some(&col) {
+                    for copy in 0..schedule.layout.cells_per_value.max(1) {
+                        // All copies of an input hold the same value; copies
+                        // are adjacent in the scheduled column list only for
+                        // outputs, so just write the referenced cell (copy 0).
+                        if copy == 0 {
+                            array.write_cell(row, col, value)?;
+                        }
+                    }
+                    materialized.insert(net, col);
+                }
+            }
+        }
+        let kind = gate_kind_for(&sg.op, sg.output_cols.len());
+        match kind {
+            GateKind::Preset { value } => {
+                for &col in &sg.output_cols {
+                    array.write_cell(row, col, value)?;
+                }
+            }
+            _ => {
+                let op = GateOp::new(kind, row, sg.input_cols.clone(), sg.output_cols.clone());
+                array.execute_gate(&op)?;
+            }
+        }
+    }
+
+    let mut outputs = Vec::with_capacity(schedule.output_cols.len());
+    for (i, col) in schedule.output_cols.iter().enumerate() {
+        match col {
+            Some(c) => outputs.push(array.read_cell(row, *c)?),
+            None => {
+                // Outputs that are primary inputs passed through untouched.
+                let net = netlist.outputs[i];
+                match input_value(net) {
+                    Some(v) => outputs.push(v),
+                    None => return Err(ExecError::MissingOutput { index: i }),
+                }
+            }
+        }
+    }
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::layout::RowLayout;
+    use crate::schedule::map_netlist;
+    use nvpim_sim::fault::{ErrorRates, FaultInjector};
+    use nvpim_sim::technology::Technology;
+
+    fn to_bits(value: u64, width: usize) -> Vec<bool> {
+        (0..width).map(|i| (value >> i) & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    fn adder_netlist(width: usize) -> Netlist {
+        let mut b = CircuitBuilder::new();
+        let a = b.input_word(width);
+        let c = b.input_word(width);
+        let (sum, carry) = b.ripple_add(&a, &c, None);
+        b.mark_output_word(&sum);
+        b.mark_output(carry);
+        b.finish()
+    }
+
+    #[test]
+    fn in_array_adder_matches_reference_for_all_technologies() {
+        let netlist = adder_netlist(6);
+        let schedule = map_netlist(&netlist, RowLayout::unprotected(256)).unwrap();
+        for tech in Technology::ALL {
+            let mut array = PimArray::new(tech, 2, 256);
+            for (a, b) in [(0u64, 0u64), (63, 1), (17, 45), (32, 31)] {
+                let mut inputs = to_bits(a, 6);
+                inputs.extend(to_bits(b, 6));
+                let reference = netlist.evaluate(&inputs);
+                let measured =
+                    execute_schedule(&schedule, &netlist, &mut array, 0, &inputs).unwrap();
+                assert_eq!(measured, reference, "{tech}: {a}+{b}");
+                assert_eq!(from_bits(&measured), a + b);
+            }
+        }
+    }
+
+    #[test]
+    fn in_array_multiplier_matches_reference_even_with_reclaims() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input_word(4);
+        let y = b.input_word(4);
+        let p = b.mul_unsigned(&x, &y);
+        b.mark_output_word(&p);
+        let netlist = b.finish();
+        // Narrow scratch to force reclaims, but wide enough to avoid spills.
+        let layout = RowLayout {
+            total_columns: 64,
+            metadata_columns: 0,
+            cells_per_value: 1,
+        };
+        let schedule = map_netlist(&netlist, layout).unwrap();
+        assert!(schedule.reclaim_count() > 0, "test should exercise reclaims");
+        assert!(schedule.is_directly_executable());
+        let mut array = PimArray::new(Technology::SttMram, 1, 64);
+        for (a, c) in [(3u64, 5u64), (15, 15), (9, 11), (0, 7)] {
+            let mut inputs = to_bits(a, 4);
+            inputs.extend(to_bits(c, 4));
+            let out = execute_schedule(&schedule, &netlist, &mut array, 0, &inputs).unwrap();
+            assert_eq!(from_bits(&out), a * c, "{a}*{c}");
+        }
+    }
+
+    #[test]
+    fn spilled_schedule_is_rejected() {
+        let netlist = adder_netlist(8);
+        let layout = RowLayout {
+            total_columns: 12,
+            metadata_columns: 0,
+            cells_per_value: 1,
+        };
+        let schedule = map_netlist(&netlist, layout).unwrap();
+        let mut array = PimArray::new(Technology::SttMram, 1, 12);
+        let err = execute_schedule(&schedule, &netlist, &mut array, 0, &vec![false; 16]);
+        assert_eq!(err, Err(ExecError::NotDirectlyExecutable));
+    }
+
+    #[test]
+    fn wrong_input_arity_rejected() {
+        let netlist = adder_netlist(4);
+        let schedule = map_netlist(&netlist, RowLayout::unprotected(128)).unwrap();
+        let mut array = PimArray::new(Technology::ReRam, 1, 128);
+        let err = execute_schedule(&schedule, &netlist, &mut array, 0, &[true; 3]);
+        assert_eq!(
+            err,
+            Err(ExecError::InputArityMismatch {
+                expected: 8,
+                got: 3
+            })
+        );
+    }
+
+    #[test]
+    fn narrow_array_rejected() {
+        let netlist = adder_netlist(4);
+        let schedule = map_netlist(&netlist, RowLayout::unprotected(128)).unwrap();
+        let mut array = PimArray::new(Technology::ReRam, 1, 64);
+        let err = execute_schedule(&schedule, &netlist, &mut array, 0, &[false; 8]);
+        assert_eq!(
+            err,
+            Err(ExecError::ArrayTooNarrow {
+                required: 128,
+                available: 64
+            })
+        );
+    }
+
+    #[test]
+    fn gate_faults_corrupt_in_array_results() {
+        // With a high gate error rate, the in-array result must diverge from
+        // the reference for at least some input combinations — demonstrating
+        // why unprotected PiM computation needs ECiM / TRiM.
+        let netlist = adder_netlist(8);
+        let schedule = map_netlist(&netlist, RowLayout::unprotected(256)).unwrap();
+        let mut array = PimArray::new(Technology::SttMram, 1, 256).with_fault_injector(
+            FaultInjector::new(
+                ErrorRates {
+                    gate: 0.05,
+                    ..ErrorRates::NONE
+                },
+                13,
+            ),
+        );
+        let mut mismatches = 0;
+        for a in 0..16u64 {
+            let mut inputs = to_bits(a * 7, 8);
+            inputs.extend(to_bits(a * 11, 8));
+            let reference = netlist.evaluate(&inputs);
+            let measured =
+                execute_schedule(&schedule, &netlist, &mut array, 0, &inputs).unwrap();
+            if measured != reference {
+                mismatches += 1;
+            }
+        }
+        assert!(mismatches > 0, "5% gate error rate must corrupt some results");
+    }
+}

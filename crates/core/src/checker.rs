@@ -1,0 +1,368 @@
+//! The external Checker block (§IV-B, Fig. 3).
+//!
+//! Checkers are small, hardened logic blocks sitting outside (but near) each
+//! PiM array. They receive, at logic-level granularity, the level's
+//! computation results plus metadata — parity bits for ECiM, two redundant
+//! copies for TRiM — through conventional memory reads, detect errors
+//! (syndrome computation / majority vote), and send corrected data back to
+//! the array through a write.
+//!
+//! The paper sizes the Checker with the NanGate 45 nm library and OpenROAD;
+//! offline, [`CheckerCostModel`] substitutes a gate-count based area, energy
+//! and latency model with per-operation costs in the same regime.
+
+use nvpim_ecc::gf2::BitVec;
+use nvpim_ecc::hamming::{DecodeOutcome, HammingCode};
+use nvpim_ecc::redundancy::{majority_vote_words, VoteOutcome};
+use serde::{Deserialize, Serialize};
+
+/// Result of one Checker invocation on a logic level's data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckResult {
+    /// The (possibly corrected) data bits for this level.
+    pub corrected_data: BitVec,
+    /// Whether an error was detected.
+    pub error_detected: bool,
+    /// Positions (within this level's data bits) that were corrected and
+    /// must be written back to the array.
+    pub corrected_positions: Vec<usize>,
+    /// Whether the error pattern exceeded the scheme's correction capability
+    /// (detected but not correctable).
+    pub uncorrectable: bool,
+}
+
+/// The ECiM Checker: a hardwired Hamming syndrome decoder plus a correction
+/// XOR stage.
+#[derive(Debug, Clone)]
+pub struct EcimChecker {
+    code: HammingCode,
+    cost: CheckerCostModel,
+    checks: u64,
+    corrections: u64,
+}
+
+impl EcimChecker {
+    /// Builds a checker for the given Hamming code.
+    pub fn new(code: HammingCode) -> Self {
+        let cost = CheckerCostModel::for_hamming(&code);
+        Self {
+            code,
+            cost,
+            checks: 0,
+            corrections: 0,
+        }
+    }
+
+    /// The Hamming code this checker decodes.
+    pub fn code(&self) -> &HammingCode {
+        &self.code
+    }
+
+    /// The cost model of this checker instance.
+    pub fn cost(&self) -> &CheckerCostModel {
+        &self.cost
+    }
+
+    /// Number of checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Number of corrections performed.
+    pub fn corrections(&self) -> u64 {
+        self.corrections
+    }
+
+    /// Checks one logic level: `data` holds the level's gate outputs (at most
+    /// `k` bits; shorter vectors are implicitly zero-padded, matching unused
+    /// codeword positions), `parity` the in-memory running parity bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds `k` bits or `parity` is not `n − k` bits.
+    pub fn check_level(&mut self, data: &BitVec, parity: &BitVec) -> CheckResult {
+        assert!(
+            data.len() <= self.code.k(),
+            "level data ({}) exceeds code dimension k = {}",
+            data.len(),
+            self.code.k()
+        );
+        assert_eq!(
+            parity.len(),
+            self.code.parity_bits(),
+            "parity width must match the code"
+        );
+        self.checks += 1;
+        // Zero-pad the data to k bits to form the codeword.
+        let mut padded = data.clone();
+        while padded.len() < self.code.k() {
+            padded = padded.concat(&BitVec::zeros(self.code.k() - padded.len()));
+        }
+        let mut codeword = padded.concat(parity);
+        let outcome = self.code.decode(&mut codeword);
+        let corrected_full = self.code.extract_data(&codeword);
+        let corrected_data = corrected_full.slice(0..data.len());
+        match outcome {
+            DecodeOutcome::Clean => CheckResult {
+                corrected_data,
+                error_detected: false,
+                corrected_positions: vec![],
+                uncorrectable: false,
+            },
+            DecodeOutcome::Corrected { position } => {
+                self.corrections += 1;
+                let corrected_positions = if position < data.len() {
+                    vec![position]
+                } else {
+                    // Error in an unused data position or a parity bit: no
+                    // data write-back needed.
+                    vec![]
+                };
+                CheckResult {
+                    corrected_data,
+                    error_detected: true,
+                    corrected_positions,
+                    uncorrectable: false,
+                }
+            }
+            DecodeOutcome::Uncorrectable => CheckResult {
+                corrected_data,
+                error_detected: true,
+                corrected_positions: vec![],
+                uncorrectable: true,
+            },
+        }
+    }
+}
+
+/// The TRiM Checker: per-bit majority voting over three copies.
+#[derive(Debug, Clone, Default)]
+pub struct TrimChecker {
+    cost: CheckerCostModel,
+    checks: u64,
+    corrections: u64,
+}
+
+impl TrimChecker {
+    /// Builds a TRiM checker sized for `level_bits` outputs per check.
+    pub fn new(level_bits: usize) -> Self {
+        Self {
+            cost: CheckerCostModel::for_majority(level_bits),
+            checks: 0,
+            corrections: 0,
+        }
+    }
+
+    /// The cost model of this checker instance.
+    pub fn cost(&self) -> &CheckerCostModel {
+        &self.cost
+    }
+
+    /// Number of checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Number of corrections performed.
+    pub fn corrections(&self) -> u64 {
+        self.corrections
+    }
+
+    /// Majority-votes the three copies of a logic level's outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the copies differ in length.
+    pub fn check_level(&mut self, primary: &BitVec, copy1: &BitVec, copy2: &BitVec) -> CheckResult {
+        self.checks += 1;
+        let outcome = majority_vote_words(&[primary.clone(), copy1.clone(), copy2.clone()])
+            .expect("three equal-length copies always produce a majority");
+        let voted = outcome.value().clone();
+        let corrected_positions: Vec<usize> = (0..primary.len())
+            .filter(|&i| primary.get(i) != voted.get(i))
+            .collect();
+        let error_detected = matches!(outcome, VoteOutcome::Majority { .. });
+        if !corrected_positions.is_empty() {
+            self.corrections += 1;
+        }
+        CheckResult {
+            corrected_data: voted,
+            error_detected,
+            corrected_positions,
+            uncorrectable: false,
+        }
+    }
+}
+
+/// Gate-count based area / energy / latency model of a Checker block
+/// (NanGate 45 nm + OpenROAD substitute).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckerCostModel {
+    /// Equivalent NAND2 gate count of the block.
+    pub gate_equivalents: u64,
+    /// Energy per check invocation (fJ).
+    pub energy_per_check_fj: f64,
+    /// Latency per check invocation (ns).
+    pub latency_per_check_ns: f64,
+    /// Estimated silicon area (µm²), ~0.8 µm² per NAND2 at 45 nm.
+    pub area_um2: f64,
+}
+
+impl Default for CheckerCostModel {
+    fn default() -> Self {
+        Self::for_majority(256)
+    }
+}
+
+/// Energy of one NAND2-equivalent toggling at 45 nm (fJ).
+const ENERGY_PER_GATE_FJ: f64 = 0.003;
+/// Area of one NAND2-equivalent at 45 nm (µm²).
+const AREA_PER_GATE_UM2: f64 = 0.8;
+
+impl CheckerCostModel {
+    /// Cost of a hardwired Hamming syndrome decoder + corrector for `code`.
+    ///
+    /// Syndrome generation is `(n−k)` XOR trees over (on average) half the
+    /// codeword, the corrector is an `n`-way decoder plus an XOR per data
+    /// bit.
+    pub fn for_hamming(code: &HammingCode) -> Self {
+        let n = code.n() as u64;
+        let r = code.parity_bits() as u64;
+        let syndrome_gates = r * n / 2 * 3; // XOR2 ≈ 3 NAND2 equivalents
+        let corrector_gates = n * 4;
+        let gate_equivalents = syndrome_gates + corrector_gates;
+        Self::from_gates(gate_equivalents, 2.0)
+    }
+
+    /// Cost of a per-bit 3-way majority voter + comparator over `bits` bits.
+    pub fn for_majority(bits: usize) -> Self {
+        // MAJ3 + XOR-compare per bit ≈ 7 NAND2 equivalents.
+        Self::from_gates(bits as u64 * 7, 1.0)
+    }
+
+    fn from_gates(gate_equivalents: u64, latency_ns: f64) -> Self {
+        Self {
+            gate_equivalents,
+            energy_per_check_fj: gate_equivalents as f64 * ENERGY_PER_GATE_FJ,
+            latency_per_check_ns: latency_ns,
+            area_um2: gate_equivalents as f64 * AREA_PER_GATE_UM2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(bits: &[u8]) -> BitVec {
+        bits.iter().map(|&b| b == 1).collect()
+    }
+
+    #[test]
+    fn clean_level_passes_through() {
+        let mut checker = EcimChecker::new(HammingCode::new_standard(3));
+        let code = checker.code().clone();
+        let data = bv(&[1, 0, 1, 1]);
+        let parity = code.parity_of(&data);
+        let result = checker.check_level(&data, &parity);
+        assert!(!result.error_detected);
+        assert_eq!(result.corrected_data, data);
+        assert_eq!(checker.checks(), 1);
+        assert_eq!(checker.corrections(), 0);
+    }
+
+    #[test]
+    fn single_data_error_is_corrected_and_flagged_for_writeback() {
+        let mut checker = EcimChecker::new(HammingCode::new_standard(3));
+        let code = checker.code().clone();
+        let clean = bv(&[0, 1, 1, 0]);
+        let parity = code.parity_of(&clean);
+        let mut corrupted = clean.clone();
+        corrupted.flip(2);
+        let result = checker.check_level(&corrupted, &parity);
+        assert!(result.error_detected);
+        assert!(!result.uncorrectable);
+        assert_eq!(result.corrected_data, clean);
+        assert_eq!(result.corrected_positions, vec![2]);
+        assert_eq!(checker.corrections(), 1);
+    }
+
+    #[test]
+    fn parity_bit_error_needs_no_data_writeback() {
+        let mut checker = EcimChecker::new(HammingCode::new_standard(3));
+        let code = checker.code().clone();
+        let data = bv(&[1, 1, 0, 0]);
+        let mut parity = code.parity_of(&data);
+        parity.flip(1);
+        let result = checker.check_level(&data, &parity);
+        assert!(result.error_detected);
+        assert!(result.corrected_positions.is_empty());
+        assert_eq!(result.corrected_data, data);
+    }
+
+    #[test]
+    fn short_levels_are_zero_padded() {
+        // A level with fewer outputs than k still decodes correctly.
+        let mut checker = EcimChecker::new(HammingCode::new_standard(8));
+        let code = checker.code().clone();
+        let mut data = BitVec::zeros(10);
+        data.set(3, true);
+        data.set(7, true);
+        let mut full = data.clone();
+        full = full.concat(&BitVec::zeros(code.k() - 10));
+        let parity = code.parity_of(&full);
+        let mut corrupted = data.clone();
+        corrupted.flip(5);
+        let result = checker.check_level(&corrupted, &parity);
+        assert!(result.error_detected);
+        assert_eq!(result.corrected_data, data);
+        assert_eq!(result.corrected_positions, vec![5]);
+    }
+
+    #[test]
+    fn trim_checker_votes_out_single_copy_errors() {
+        let mut checker = TrimChecker::new(8);
+        let good = bv(&[1, 0, 1, 1, 0, 0, 1, 0]);
+        let mut bad = good.clone();
+        bad.flip(4);
+        let result = checker.check_level(&bad, &good, &good);
+        assert!(result.error_detected);
+        assert_eq!(result.corrected_data, good);
+        assert_eq!(result.corrected_positions, vec![4]);
+        assert_eq!(checker.corrections(), 1);
+
+        let clean = checker.check_level(&good, &good, &good);
+        assert!(!clean.error_detected);
+        assert!(clean.corrected_positions.is_empty());
+        assert_eq!(checker.checks(), 2);
+    }
+
+    #[test]
+    fn trim_checker_corrects_errors_in_redundant_copies_without_writeback() {
+        let mut checker = TrimChecker::new(4);
+        let good = bv(&[0, 1, 1, 0]);
+        let mut bad_copy = good.clone();
+        bad_copy.flip(0);
+        let result = checker.check_level(&good, &bad_copy, &good);
+        assert!(result.error_detected);
+        // The primary copy was already correct: nothing to write back.
+        assert!(result.corrected_positions.is_empty());
+        assert_eq!(result.corrected_data, good);
+    }
+
+    #[test]
+    fn cost_models_scale_with_problem_size() {
+        let small = CheckerCostModel::for_hamming(&HammingCode::new_standard(3));
+        let large = CheckerCostModel::for_hamming(&HammingCode::new_standard(8));
+        assert!(large.gate_equivalents > small.gate_equivalents);
+        assert!(large.energy_per_check_fj > small.energy_per_check_fj);
+        assert!(large.area_um2 > small.area_um2);
+
+        let maj_small = CheckerCostModel::for_majority(16);
+        let maj_large = CheckerCostModel::for_majority(256);
+        assert!(maj_large.gate_equivalents > maj_small.gate_equivalents);
+        // The ECiM checker for Hamming(255,247) is heavier than a 256-bit
+        // majority voter but both stay small (well under a million gates).
+        assert!(large.gate_equivalents < 1_000_000);
+    }
+}

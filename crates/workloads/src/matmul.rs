@@ -1,0 +1,130 @@
+//! Dense fixed-point matrix multiplication (the paper's `mm8` … `mm64`
+//! benchmarks).
+//!
+//! Following the paper's PiM execution model, every active row of the fleet
+//! computes one element of the result matrix: a dot product of `dim`
+//! 8-bit operand pairs accumulated into a wide fixed-point register. The
+//! per-row netlist is therefore a chain of `dim` multiply–accumulate
+//! operations, and `dim²` rows run it in parallel on different data.
+
+use nvpim_compiler::builder::CircuitBuilder;
+use nvpim_compiler::netlist::Netlist;
+
+/// Operand precision of the matrix elements (bits).
+pub const ELEMENT_BITS: usize = 8;
+
+/// Accumulator width for a `dim`-term dot product of 8-bit operands.
+pub fn accumulator_bits(dim: usize) -> usize {
+    2 * ELEMENT_BITS + (usize::BITS - dim.next_power_of_two().leading_zeros()) as usize
+}
+
+/// Builds the per-row netlist of the `mm<dim>` benchmark: one output element
+/// of the `dim × dim` product, i.e. a `dim`-term dot product.
+pub fn row_netlist(dim: usize) -> Netlist {
+    assert!(dim >= 1, "matrix dimension must be positive");
+    let acc_bits = accumulator_bits(dim);
+    let mut b = CircuitBuilder::new();
+    let mut acc = b.constant_word(0, acc_bits);
+    for _ in 0..dim {
+        let a = b.input_word(ELEMENT_BITS);
+        let x = b.input_word(ELEMENT_BITS);
+        acc = b.mac(&acc, &a, &x);
+    }
+    b.mark_output_word(&acc);
+    b.finish()
+}
+
+/// Reference dense matrix multiplication over `u64` (row-major `dim × dim`
+/// matrices of 8-bit values).
+pub fn reference_matmul(a: &[u64], b: &[u64], dim: usize) -> Vec<u64> {
+    assert_eq!(a.len(), dim * dim);
+    assert_eq!(b.len(), dim * dim);
+    let mut out = vec![0u64; dim * dim];
+    for i in 0..dim {
+        for j in 0..dim {
+            out[i * dim + j] = (0..dim).map(|k| a[i * dim + k] * b[k * dim + j]).sum();
+        }
+    }
+    out
+}
+
+/// Packs one row of `A` and one column of `B` into the bit-level inputs the
+/// per-row netlist expects (interleaved `a_k`, `b_k` little-endian words).
+pub fn pack_dot_product_inputs(a_row: &[u64], b_col: &[u64]) -> Vec<bool> {
+    assert_eq!(a_row.len(), b_col.len());
+    let mut bits = Vec::with_capacity(a_row.len() * 2 * ELEMENT_BITS);
+    for (&a, &b) in a_row.iter().zip(b_col) {
+        for i in 0..ELEMENT_BITS {
+            bits.push((a >> i) & 1 == 1);
+        }
+        for i in 0..ELEMENT_BITS {
+            bits.push((b >> i) & 1 == 1);
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    #[test]
+    fn accumulator_width_covers_worst_case() {
+        // dim terms of 255*255 must fit.
+        for dim in [1usize, 4, 8, 64] {
+            let max = dim as u64 * 255 * 255;
+            assert!(max < (1u64 << accumulator_bits(dim)), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn row_netlist_computes_a_dot_product() {
+        let netlist = row_netlist(3);
+        let a = [12u64, 7, 200];
+        let b = [3u64, 150, 9];
+        let inputs = pack_dot_product_inputs(&a, &b);
+        let out = netlist.evaluate(&inputs);
+        let expected: u64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        assert_eq!(from_bits(&out), expected);
+    }
+
+    #[test]
+    fn netlist_size_scales_linearly_with_dim() {
+        let g4 = row_netlist(4).gate_count();
+        let g8 = row_netlist(8).gate_count();
+        assert!(g8 > g4 && g8 < 3 * g4);
+    }
+
+    #[test]
+    fn reference_matmul_identity() {
+        let dim = 4;
+        let mut eye = vec![0u64; dim * dim];
+        for i in 0..dim {
+            eye[i * dim + i] = 1;
+        }
+        let m: Vec<u64> = (0..dim * dim).map(|i| (i * 7 % 256) as u64).collect();
+        assert_eq!(reference_matmul(&m, &eye, dim), m);
+        assert_eq!(reference_matmul(&eye, &m, dim), m);
+    }
+
+    #[test]
+    fn netlist_matches_reference_matmul_element() {
+        let dim = 4;
+        let a: Vec<u64> = (0..dim * dim).map(|i| (i * 31 % 251) as u64).collect();
+        let b: Vec<u64> = (0..dim * dim).map(|i| (i * 17 % 249) as u64).collect();
+        let reference = reference_matmul(&a, &b, dim);
+        let netlist = row_netlist(dim);
+        // Check element (2, 1).
+        let (i, j) = (2usize, 1usize);
+        let a_row: Vec<u64> = (0..dim).map(|k| a[i * dim + k]).collect();
+        let b_col: Vec<u64> = (0..dim).map(|k| b[k * dim + j]).collect();
+        let out = netlist.evaluate(&pack_dot_product_inputs(&a_row, &b_col));
+        assert_eq!(from_bits(&out), reference[i * dim + j]);
+    }
+}

@@ -1,0 +1,274 @@
+//! The MLP/MNIST benchmark family (`mnist1` … `mnist4`): a two-layer
+//! perceptron with 64 hidden neurons classifying 28×28 images, with 1–4 bit
+//! weight precision (§V).
+//!
+//! The MNIST dataset itself is not available offline; since the paper's
+//! evaluation depends only on the *gate schedule* of the inference (shapes
+//! and weight precision, never accuracy), a deterministic synthetic dataset
+//! with the same tensor shapes substitutes for it (see DESIGN.md).
+//!
+//! Per the PiM mapping, the 784-term dot product of each hidden neuron is
+//! split across [`ROW_SPLIT`] rows (so the whole hidden layer fills one
+//! 256-row array); each row's program is a chunk of multiply–accumulates.
+
+use nvpim_compiler::builder::CircuitBuilder;
+use nvpim_compiler::netlist::Netlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Image side length (MNIST is 28×28).
+pub const IMAGE_SIDE: usize = 28;
+/// Pixels per image.
+pub const IMAGE_PIXELS: usize = IMAGE_SIDE * IMAGE_SIDE;
+/// Pixel precision in bits.
+pub const PIXEL_BITS: usize = 8;
+/// Hidden-layer width of the paper's MLP.
+pub const HIDDEN_NEURONS: usize = 64;
+/// Output classes.
+pub const CLASSES: usize = 10;
+/// Number of rows each hidden neuron's dot product is split across so that
+/// the hidden layer occupies a full 256-row array (64 neurons × 4 rows).
+pub const ROW_SPLIT: usize = 4;
+
+/// A deterministic synthetic stand-in for MNIST: images are smooth pseudo
+/// random 8-bit patterns, labels are derived from the generator state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticMnist {
+    /// Flattened images, `IMAGE_PIXELS` bytes each.
+    pub images: Vec<Vec<u8>>,
+    /// Labels in `0..CLASSES`.
+    pub labels: Vec<u8>,
+}
+
+impl SyntheticMnist {
+    /// Generates `count` images deterministically from `seed`.
+    pub fn generate(count: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut images = Vec::with_capacity(count);
+        let mut labels = Vec::with_capacity(count);
+        for _ in 0..count {
+            // A blurred random blob: centre position + radius drive pixel
+            // intensity, giving MNIST-like sparse images.
+            let cx: f64 = rng.gen_range(8.0..20.0);
+            let cy: f64 = rng.gen_range(8.0..20.0);
+            let radius: f64 = rng.gen_range(3.0..9.0);
+            let mut img = vec![0u8; IMAGE_PIXELS];
+            for y in 0..IMAGE_SIDE {
+                for x in 0..IMAGE_SIDE {
+                    let d = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
+                    let v = (255.0 * (-((d / radius).powi(2))).exp()).round();
+                    img[y * IMAGE_SIDE + x] = v as u8;
+                }
+            }
+            images.push(img);
+            labels.push(rng.gen_range(0..CLASSES as u8));
+        }
+        Self { images, labels }
+    }
+}
+
+/// The two-layer quantized MLP of the paper: 784 → 64 → 10 with `weight_bits`
+/// bit unsigned weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedMlp {
+    /// Weight precision in bits (1–4 in the paper).
+    pub weight_bits: usize,
+    /// Hidden-layer weights, `HIDDEN_NEURONS × IMAGE_PIXELS`.
+    pub hidden_weights: Vec<Vec<u8>>,
+    /// Output-layer weights, `CLASSES × HIDDEN_NEURONS`.
+    pub output_weights: Vec<Vec<u8>>,
+}
+
+impl QuantizedMlp {
+    /// Generates deterministic weights for the given precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_bits` is not in `1..=8`.
+    pub fn generate(weight_bits: usize, seed: u64) -> Self {
+        assert!((1..=8).contains(&weight_bits), "weight bits must be 1..=8");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max = (1u32 << weight_bits) as u8;
+        let hidden_weights = (0..HIDDEN_NEURONS)
+            .map(|_| (0..IMAGE_PIXELS).map(|_| rng.gen_range(0..max)).collect())
+            .collect();
+        let output_weights = (0..CLASSES)
+            .map(|_| (0..HIDDEN_NEURONS).map(|_| rng.gen_range(0..max)).collect())
+            .collect();
+        Self {
+            weight_bits,
+            hidden_weights,
+            output_weights,
+        }
+    }
+
+    /// Reference (software) inference: returns the predicted class for an
+    /// image, using a hard-threshold activation after the hidden layer
+    /// (values above the layer mean activate), matching the netlist's
+    /// fixed-point semantics.
+    pub fn infer(&self, image: &[u8]) -> u8 {
+        assert_eq!(image.len(), IMAGE_PIXELS);
+        let hidden: Vec<u64> = self
+            .hidden_weights
+            .iter()
+            .map(|w| {
+                w.iter()
+                    .zip(image)
+                    .map(|(&wi, &xi)| wi as u64 * xi as u64)
+                    .sum()
+            })
+            .collect();
+        let mean: u64 = hidden.iter().sum::<u64>() / hidden.len() as u64;
+        let activated: Vec<u64> = hidden.iter().map(|&h| u64::from(h > mean)).collect();
+        let scores: Vec<u64> = self
+            .output_weights
+            .iter()
+            .map(|w| {
+                w.iter()
+                    .zip(&activated)
+                    .map(|(&wi, &ai)| wi as u64 * ai)
+                    .sum()
+            })
+            .collect();
+        scores
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .map(|(i, _)| i as u8)
+            .unwrap_or(0)
+    }
+}
+
+/// Accumulator width for a `terms`-term dot product of 8-bit pixels and
+/// `weight_bits`-bit weights.
+pub fn accumulator_bits(weight_bits: usize, terms: usize) -> usize {
+    PIXEL_BITS
+        + weight_bits
+        + (usize::BITS - terms.next_power_of_two().leading_zeros()) as usize
+}
+
+/// Builds the per-row netlist of the `mnist<weight_bits>` benchmark: a chunk
+/// of `IMAGE_PIXELS / ROW_SPLIT` multiply–accumulate operations of one hidden
+/// neuron's dot product (pixels are 8-bit inputs, weights are
+/// `weight_bits`-bit inputs).
+pub fn row_netlist(weight_bits: usize) -> Netlist {
+    row_netlist_with_terms(weight_bits, IMAGE_PIXELS / ROW_SPLIT)
+}
+
+/// Builds a per-row MLP netlist with an explicit number of MAC terms (used
+/// by tests and reduced-size experiments).
+pub fn row_netlist_with_terms(weight_bits: usize, terms: usize) -> Netlist {
+    assert!((1..=8).contains(&weight_bits), "weight bits must be 1..=8");
+    assert!(terms >= 1, "at least one MAC term");
+    let acc_bits = accumulator_bits(weight_bits, terms);
+    let mut b = CircuitBuilder::new();
+    let mut acc = b.constant_word(0, acc_bits);
+    for _ in 0..terms {
+        let pixel = b.input_word(PIXEL_BITS);
+        let weight = b.input_word(weight_bits);
+        acc = b.mac(&acc, &pixel, &weight);
+    }
+    b.mark_output_word(&acc);
+    b.finish()
+}
+
+/// Packs pixels and weights into the bit-level inputs of
+/// [`row_netlist_with_terms`].
+pub fn pack_row_inputs(pixels: &[u8], weights: &[u8], weight_bits: usize) -> Vec<bool> {
+    assert_eq!(pixels.len(), weights.len());
+    let mut bits = Vec::new();
+    for (&p, &w) in pixels.iter().zip(weights) {
+        for i in 0..PIXEL_BITS {
+            bits.push((p >> i) & 1 == 1);
+        }
+        for i in 0..weight_bits {
+            bits.push((w >> i) & 1 == 1);
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    #[test]
+    fn synthetic_dataset_is_deterministic_and_well_formed() {
+        let a = SyntheticMnist::generate(5, 42);
+        let b = SyntheticMnist::generate(5, 42);
+        assert_eq!(a.images, b.images);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.images.len(), 5);
+        assert!(a.images.iter().all(|img| img.len() == IMAGE_PIXELS));
+        assert!(a.labels.iter().all(|&l| l < CLASSES as u8));
+        // Images are not all-zero and not all-saturated.
+        assert!(a.images[0].iter().any(|&p| p > 0));
+        assert!(a.images[0].iter().any(|&p| p == 0));
+        let c = SyntheticMnist::generate(5, 43);
+        assert_ne!(a.images, c.images);
+    }
+
+    #[test]
+    fn weights_respect_precision() {
+        for bits in 1..=4usize {
+            let mlp = QuantizedMlp::generate(bits, 7);
+            let max = 1u8 << bits;
+            assert!(mlp
+                .hidden_weights
+                .iter()
+                .flatten()
+                .chain(mlp.output_weights.iter().flatten())
+                .all(|&w| w < max));
+            assert_eq!(mlp.hidden_weights.len(), HIDDEN_NEURONS);
+            assert_eq!(mlp.output_weights.len(), CLASSES);
+        }
+    }
+
+    #[test]
+    fn reference_inference_returns_a_class() {
+        let mlp = QuantizedMlp::generate(2, 11);
+        let data = SyntheticMnist::generate(3, 5);
+        for img in &data.images {
+            assert!((mlp.infer(img) as usize) < CLASSES);
+        }
+    }
+
+    #[test]
+    fn row_netlist_computes_the_dot_product_chunk() {
+        let weight_bits = 3;
+        let terms = 5;
+        let netlist = row_netlist_with_terms(weight_bits, terms);
+        let pixels = [200u8, 3, 77, 130, 255];
+        let weights = [1u8, 7, 0, 5, 3];
+        let inputs = pack_row_inputs(&pixels, &weights, weight_bits);
+        let out = netlist.evaluate(&inputs);
+        let expected: u64 = pixels
+            .iter()
+            .zip(&weights)
+            .map(|(&p, &w)| p as u64 * w as u64)
+            .sum();
+        assert_eq!(from_bits(&out), expected);
+    }
+
+    #[test]
+    fn higher_weight_precision_means_more_gates() {
+        let g1 = row_netlist_with_terms(1, 8).gate_count();
+        let g4 = row_netlist_with_terms(4, 8).gate_count();
+        assert!(g4 > g1, "{g4} should exceed {g1}");
+    }
+
+    #[test]
+    fn full_row_netlist_has_the_paper_scale() {
+        // 196 MACs per row: a substantial program (tens of thousands of gates).
+        let netlist = row_netlist(1);
+        assert_eq!(netlist.inputs.len(), (PIXEL_BITS + 1) * IMAGE_PIXELS / ROW_SPLIT);
+        assert!(netlist.gate_count() > 10_000);
+    }
+}

@@ -1,0 +1,81 @@
+//! Fault-injection sweep: measures how often the final result of an in-array
+//! computation is corrupted as the gate error rate grows, for the
+//! unprotected baseline, ECiM and TRiM — the motivating experiment behind
+//! the paper's single-error-protection designs.
+//!
+//! Run with: `cargo run --release --example fault_injection_sweep`
+
+use nvpim::compiler::builder::CircuitBuilder;
+use nvpim::compiler::netlist::Netlist;
+use nvpim::compiler::schedule::map_netlist;
+use nvpim::core::config::DesignConfig;
+use nvpim::core::executor::ProtectedExecutor;
+use nvpim::sim::array::PimArray;
+use nvpim::sim::fault::{ErrorRates, FaultInjector};
+use nvpim::sim::technology::Technology;
+
+fn to_bits(value: u64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+fn from_bits(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+fn workload() -> (Netlist, Vec<bool>, u64) {
+    let mut b = CircuitBuilder::new();
+    let acc = b.input_word(10);
+    let x = b.input_word(5);
+    let y = b.input_word(5);
+    let out = b.mac(&acc, &x, &y);
+    b.mark_output_word(&out);
+    let netlist = b.finish();
+    let mut inputs = to_bits(512, 10);
+    inputs.extend(to_bits(21, 5));
+    inputs.extend(to_bits(19, 5));
+    (netlist, inputs, 512 + 21 * 19)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (netlist, inputs, expected) = workload();
+    let tech = Technology::SttMram;
+    let trials = 40u64;
+    println!("gate error rate | unprotected failures | ECiM failures | TRiM failures  (out of {trials} runs)");
+    for &rate in &[1e-4, 3e-4, 1e-3, 3e-3] {
+        let rates = ErrorRates {
+            gate: rate,
+            ..ErrorRates::NONE
+        };
+        let mut failures = Vec::new();
+        for config in [
+            DesignConfig::unprotected(tech),
+            DesignConfig::ecim(tech),
+            DesignConfig::trim(tech),
+        ] {
+            let executor = ProtectedExecutor::new(config.clone());
+            let schedule = map_netlist(&netlist, config.row_layout())?;
+            let mut failed = 0usize;
+            for seed in 0..trials {
+                let mut array = PimArray::standard(tech)
+                    .with_fault_injector(FaultInjector::new(rates, seed * 7 + 1));
+                let report = executor.run(&netlist, &schedule, &mut array, 0, &inputs)?;
+                if from_bits(&report.outputs) != expected {
+                    failed += 1;
+                }
+            }
+            failures.push(failed);
+        }
+        println!(
+            "{:>15.0e} | {:>20} | {:>13} | {:>13}",
+            rate, failures[0], failures[1], failures[2]
+        );
+    }
+    println!(
+        "\nECiM and TRiM guarantee correction of single errors per logic level; residual\n\
+         failures at the highest rates correspond to multiple errors landing in one level,\n\
+         which the paper's SEP coverage (and Hamming distance 3) deliberately excludes."
+    );
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! MLP inference on protected PiM: runs the paper's two-layer, 64-hidden
+//! neuron perceptron (with 2-bit quantized weights) over synthetic MNIST
+//! images using the PiM gate-level netlists, validates the hidden-layer dot
+//! products against the software reference, and prints the `mnist2`
+//! benchmark's estimated protection overheads.
+//!
+//! Run with: `cargo run --release --example mnist_inference`
+
+use nvpim::core::config::DesignConfig;
+use nvpim::core::system::{compare, evaluate};
+use nvpim::sim::technology::Technology;
+use nvpim::workloads::mnist::{
+    pack_row_inputs, row_netlist_with_terms, QuantizedMlp, SyntheticMnist, HIDDEN_NEURONS,
+};
+use nvpim::workloads::Benchmark;
+
+fn from_bits(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let weight_bits = 2usize;
+    let dataset = SyntheticMnist::generate(4, 2024);
+    let mlp = QuantizedMlp::generate(weight_bits, 99);
+
+    // Behavioral (netlist-level) validation of the hidden layer on a reduced
+    // chunk size: each PiM row computes a chunk of a neuron's dot product.
+    let terms = 32usize;
+    let netlist = row_netlist_with_terms(weight_bits, terms);
+    println!(
+        "per-row MLP chunk: {} MAC terms, {} NOR/THR gates, {} logic levels",
+        terms,
+        netlist.gate_count(),
+        netlist.stats().depth
+    );
+    let image = &dataset.images[0];
+    let mut validated = 0usize;
+    for neuron in 0..4usize {
+        let pixels = &image[..terms];
+        let weights = &mlp.hidden_weights[neuron][..terms];
+        let inputs = pack_row_inputs(pixels, weights, weight_bits);
+        let out = from_bits(&netlist.evaluate(&inputs));
+        let expected: u64 = pixels
+            .iter()
+            .zip(weights)
+            .map(|(&p, &w)| p as u64 * w as u64)
+            .sum();
+        assert_eq!(out, expected, "neuron {neuron} chunk mismatch");
+        validated += 1;
+    }
+    println!("validated {validated} hidden-neuron chunks against the software reference");
+
+    // End-to-end reference inference over the synthetic dataset.
+    for (idx, image) in dataset.images.iter().enumerate() {
+        let class = mlp.infer(image);
+        println!("image {idx}: predicted class {class}");
+    }
+    println!("(hidden layer: {HIDDEN_NEURONS} neurons, weights quantized to {weight_bits} bits)");
+
+    // Paper-style overheads for the full mnist2 benchmark.
+    let bench = Benchmark::Mnist { weight_bits };
+    let full_netlist = bench.row_netlist();
+    let shape = bench.shape();
+    let tech = Technology::SttMram;
+    let baseline = evaluate(&full_netlist, &shape, &DesignConfig::unprotected(tech))?;
+    for cfg in [DesignConfig::ecim(tech), DesignConfig::trim(tech)] {
+        let est = evaluate(&full_netlist, &shape, &cfg)?;
+        let o = compare(&est, &baseline);
+        println!(
+            "{:<22} time overhead {:>5.1}%  energy overhead {:>6.2}x  reclaims {}",
+            cfg.label(),
+            o.time_overhead_pct,
+            o.energy_overhead,
+            o.reclaims
+        );
+    }
+    Ok(())
+}

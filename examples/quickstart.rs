@@ -1,0 +1,88 @@
+//! Quickstart: build a small fixed-point circuit, run it inside a simulated
+//! nonvolatile PiM array with and without protection, inject computation
+//! errors, and estimate the paper's headline overheads.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nvpim::compiler::builder::CircuitBuilder;
+use nvpim::compiler::schedule::map_netlist;
+use nvpim::core::config::DesignConfig;
+use nvpim::core::executor::ProtectedExecutor;
+use nvpim::core::system::{compare, evaluate, WorkloadShape};
+use nvpim::sim::array::PimArray;
+use nvpim::sim::fault::{ErrorRates, FaultInjector};
+use nvpim::sim::technology::Technology;
+
+fn to_bits(value: u64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+fn from_bits(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthesize a multiply-accumulate (acc + x*y) to the PiM-native
+    //    NOR/THR gate library.
+    let mut b = CircuitBuilder::new();
+    let acc = b.input_word(8);
+    let x = b.input_word(4);
+    let y = b.input_word(4);
+    let out = b.mac(&acc, &x, &y);
+    b.mark_output_word(&out);
+    let netlist = b.finish();
+    println!(
+        "synthesized MAC: {} NOR/THR gates, {} logic levels",
+        netlist.gate_count(),
+        netlist.stats().depth
+    );
+
+    let mut inputs = to_bits(100, 8);
+    inputs.extend(to_bits(9, 4));
+    inputs.extend(to_bits(13, 4));
+    let expected = 100 + 9 * 13;
+
+    // 2. Run it unprotected and under ECiM, with computation-induced errors.
+    let tech = Technology::SttMram;
+    let rates = ErrorRates {
+        gate: 0.001,
+        ..ErrorRates::NONE
+    };
+    for config in [DesignConfig::unprotected(tech), DesignConfig::ecim(tech)] {
+        let executor = ProtectedExecutor::new(config.clone());
+        let schedule = map_netlist(&netlist, config.row_layout())?;
+        let mut correct = 0;
+        let mut detected = 0;
+        for seed in 0..50u64 {
+            let mut array =
+                PimArray::standard(tech).with_fault_injector(FaultInjector::new(rates, seed));
+            let report = executor.run(&netlist, &schedule, &mut array, 0, &inputs)?;
+            if from_bits(&report.outputs) == expected {
+                correct += 1;
+            }
+            detected += report.errors_detected;
+        }
+        println!(
+            "{:<24} correct results: {correct}/50, errors detected by the Checker: {detected}",
+            config.label()
+        );
+    }
+
+    // 3. Estimate the iso-area overheads the paper reports (Fig. 7 / Table V).
+    let shape = WorkloadShape::new("quickstart-mac", 256, 1);
+    let baseline = evaluate(&netlist, &shape, &DesignConfig::unprotected(tech))?;
+    for config in [DesignConfig::ecim(tech), DesignConfig::trim(tech)] {
+        let est = evaluate(&netlist, &shape, &config)?;
+        let overhead = compare(&est, &baseline);
+        println!(
+            "{:<24} time overhead: {:>5.1}%   energy overhead: {:>5.2}x   area reclaims: {}",
+            config.label(),
+            overhead.time_overhead_pct,
+            overhead.energy_overhead,
+            overhead.reclaims
+        );
+    }
+    Ok(())
+}

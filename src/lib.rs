@@ -1,0 +1,50 @@
+//! # nvpim
+//!
+//! Umbrella crate of the `nvpim` workspace — a from-scratch Rust
+//! reproduction of *"On Error Correction for Nonvolatile
+//! Processing-In-Memory"* (Cılasun et al., ISCA 2024).
+//!
+//! The workspace implements the paper's two single-error-protection designs
+//! for processing-in-memory architectures that compute inside nonvolatile
+//! memory arrays, together with every substrate they need:
+//!
+//! | Layer | Crate | Re-export |
+//! |---|---|---|
+//! | ECC substrate (GF(2), Hamming, BCH, voting) | `nvpim-ecc` | [`ecc`] |
+//! | PiM array substrate (cells, gates, faults, electrical model) | `nvpim-sim` | [`sim`] |
+//! | Application mapping (NOR synthesis, scheduling, reclaims) | `nvpim-compiler` | [`compiler`] |
+//! | ECiM / TRiM, Checker, SEP analysis, system model | `nvpim-core` | [`core`] |
+//! | Benchmarks (mm, mnist, fft) | `nvpim-workloads` | [`workloads`] |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment index.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvpim::core::config::DesignConfig;
+//! use nvpim::core::system::{compare, evaluate};
+//! use nvpim::sim::technology::Technology;
+//! use nvpim::workloads::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = Benchmark::MatMul { dim: 8 };
+//! let netlist = bench.row_netlist();
+//! let shape = bench.shape();
+//! let tech = Technology::SttMram;
+//!
+//! let baseline = evaluate(&netlist, &shape, &DesignConfig::unprotected(tech))?;
+//! let ecim = evaluate(&netlist, &shape, &DesignConfig::ecim(tech))?;
+//! let overhead = compare(&ecim, &baseline);
+//! println!("ECiM time overhead on mm8: {:.1}%", overhead.time_overhead_pct);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use nvpim_compiler as compiler;
+pub use nvpim_core as core;
+pub use nvpim_ecc as ecc;
+pub use nvpim_sim as sim;
+pub use nvpim_workloads as workloads;

@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: workload netlists compiled by
+//! `nvpim-compiler`, executed on the `nvpim-sim` array under every
+//! `nvpim-core` protection scheme, validated against the software references
+//! in `nvpim-workloads`.
+
+use nvpim::compiler::schedule::map_netlist;
+use nvpim::core::config::{DesignConfig, GateStyle};
+use nvpim::core::executor::ProtectedExecutor;
+use nvpim::sim::array::PimArray;
+use nvpim::sim::fault::{ErrorRates, FaultInjector};
+use nvpim::sim::technology::Technology;
+use nvpim::workloads::matmul;
+use nvpim::workloads::mnist;
+
+fn from_bits(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+#[test]
+fn matmul_element_is_correct_under_every_scheme_and_technology() {
+    let dim = 3usize;
+    let netlist = matmul::row_netlist(dim);
+    let a = [12u64, 250, 3];
+    let b = [77u64, 1, 199];
+    let expected: u64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+    let inputs = matmul::pack_dot_product_inputs(&a, &b);
+
+    for tech in Technology::ALL {
+        for config in [
+            DesignConfig::unprotected(tech),
+            DesignConfig::ecim(tech),
+            DesignConfig::ecim(tech).with_single_output_gates(),
+            DesignConfig::trim(tech),
+            DesignConfig::trim(tech).with_single_output_gates(),
+        ] {
+            let executor = ProtectedExecutor::new(config.clone());
+            let schedule = map_netlist(&netlist, config.row_layout()).unwrap();
+            let mut array = PimArray::standard(tech);
+            let report = executor
+                .run(&netlist, &schedule, &mut array, 0, &inputs)
+                .unwrap();
+            assert_eq!(
+                from_bits(&report.outputs),
+                expected,
+                "{} on {tech}",
+                config.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn mnist_chunk_is_correct_on_the_array_and_protected_schemes_detect_faults() {
+    let weight_bits = 2usize;
+    let terms = 8usize;
+    let netlist = mnist::row_netlist_with_terms(weight_bits, terms);
+    let pixels = [13u8, 255, 0, 80, 91, 7, 200, 66];
+    let weights = [3u8, 1, 2, 0, 3, 3, 1, 2];
+    let expected: u64 = pixels
+        .iter()
+        .zip(&weights)
+        .map(|(&p, &w)| p as u64 * w as u64)
+        .sum();
+    let inputs = mnist::pack_row_inputs(&pixels, &weights, weight_bits);
+
+    // Clean run on every scheme.
+    for config in [
+        DesignConfig::unprotected(Technology::SttMram),
+        DesignConfig::ecim(Technology::SttMram),
+        DesignConfig::trim(Technology::SttMram),
+    ] {
+        let executor = ProtectedExecutor::new(config.clone());
+        let schedule = map_netlist(&netlist, config.row_layout()).unwrap();
+        let mut array = PimArray::standard(Technology::SttMram);
+        let report = executor
+            .run(&netlist, &schedule, &mut array, 0, &inputs)
+            .unwrap();
+        assert_eq!(from_bits(&report.outputs), expected, "{}", config.label());
+    }
+
+    // Faulty run: protected schemes must correct, and must have detected
+    // something across the seeds.
+    let rates = ErrorRates {
+        gate: 0.0005,
+        ..ErrorRates::NONE
+    };
+    for config in [
+        DesignConfig::ecim(Technology::SttMram),
+        DesignConfig::trim(Technology::SttMram),
+    ] {
+        let executor = ProtectedExecutor::new(config.clone());
+        let schedule = map_netlist(&netlist, config.row_layout()).unwrap();
+        let mut detections = 0;
+        for seed in 0..10u64 {
+            let mut array = PimArray::standard(Technology::SttMram)
+                .with_fault_injector(FaultInjector::new(rates, seed + 3));
+            let report = executor
+                .run(&netlist, &schedule, &mut array, 0, &inputs)
+                .unwrap();
+            assert_eq!(
+                from_bits(&report.outputs),
+                expected,
+                "{} seed {seed}",
+                config.label()
+            );
+            detections += report.errors_detected;
+        }
+        assert!(detections > 0, "{} never detected a fault", config.label());
+    }
+}
+
+#[test]
+fn single_output_designs_spend_more_metadata_operations() {
+    let netlist = matmul::row_netlist(2);
+    let a = [9u64, 14];
+    let b = [3u64, 110];
+    let inputs = matmul::pack_dot_product_inputs(&a, &b);
+    let tech = Technology::ReRam;
+
+    let run = |style: GateStyle| {
+        let mut config = DesignConfig::ecim(tech);
+        config.gate_style = style;
+        let executor = ProtectedExecutor::new(config.clone());
+        let schedule = map_netlist(&netlist, config.row_layout()).unwrap();
+        let mut array = PimArray::standard(tech);
+        executor
+            .run(&netlist, &schedule, &mut array, 0, &inputs)
+            .unwrap()
+    };
+    let multi = run(GateStyle::MultiOutput);
+    let single = run(GateStyle::SingleOutput);
+    assert_eq!(multi.outputs, single.outputs);
+    assert!(single.metadata_gate_ops >= multi.metadata_gate_ops);
+}
+
+#[test]
+fn checker_corrections_repair_the_array_contents_not_just_the_report() {
+    // After a protected run with injected faults, re-reading the output cells
+    // directly from the array must give the corrected values (the Checker
+    // writes corrections back into the array, §IV-B).
+    let netlist = matmul::row_netlist(2);
+    let a = [200u64, 45];
+    let b = [7u64, 90];
+    let expected: u64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+    let inputs = matmul::pack_dot_product_inputs(&a, &b);
+    let config = DesignConfig::ecim(Technology::SttMram);
+    let executor = ProtectedExecutor::new(config.clone());
+    let schedule = map_netlist(&netlist, config.row_layout()).unwrap();
+    let rates = ErrorRates {
+        gate: 0.001,
+        ..ErrorRates::NONE
+    };
+    for seed in 0..5u64 {
+        let mut array = PimArray::standard(Technology::SttMram)
+            .with_fault_injector(FaultInjector::new(rates, seed + 11));
+        executor
+            .run(&netlist, &schedule, &mut array, 0, &inputs)
+            .unwrap();
+        let mut value = 0u64;
+        for (i, col) in schedule.output_cols.iter().enumerate() {
+            let col = col.expect("outputs are resident");
+            if array.peek(0, col).unwrap() {
+                value |= 1 << i;
+            }
+        }
+        assert_eq!(value, expected, "seed {seed}");
+    }
+}

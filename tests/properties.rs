@@ -1,0 +1,144 @@
+//! Property-based tests (proptest) on the core invariants: ECC round trips,
+//! NOR-synthesized arithmetic vs integer semantics, allocator behaviour, and
+//! the majority voter.
+
+use nvpim::compiler::builder::CircuitBuilder;
+use nvpim::compiler::layout::RowLayout;
+use nvpim::compiler::schedule::map_netlist;
+use nvpim::ecc::bch::BchCode;
+use nvpim::ecc::gf2::BitVec;
+use nvpim::ecc::hamming::{DecodeOutcome, HammingCode};
+use nvpim::ecc::redundancy::majority_vote_words;
+use proptest::prelude::*;
+
+fn bits_strategy(len: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single-bit corruption of any Hamming codeword is corrected back to
+    /// the original data.
+    #[test]
+    fn hamming_corrects_any_single_error(
+        data_bits in bits_strategy(26),
+        error_pos in 0usize..31,
+    ) {
+        let code = HammingCode::new_standard(5); // Hamming(31, 26)
+        let data = BitVec::from_bools(&data_bits);
+        let clean = code.encode(&data);
+        let mut corrupted = clean.clone();
+        corrupted.flip(error_pos % code.n());
+        let outcome = code.decode(&mut corrupted);
+        let corrected = matches!(outcome, DecodeOutcome::Corrected { .. });
+        prop_assert!(corrected, "outcome was {:?}", outcome);
+        prop_assert_eq!(corrupted, clean);
+    }
+
+    /// Hamming encoding is linear: encode(a) XOR encode(b) == encode(a XOR b).
+    #[test]
+    fn hamming_encoding_is_linear(
+        a_bits in bits_strategy(11),
+        b_bits in bits_strategy(11),
+    ) {
+        let code = HammingCode::new_standard(4);
+        let a = BitVec::from_bools(&a_bits);
+        let b = BitVec::from_bools(&b_bits);
+        let lhs = code.encode(&a).xor(&code.encode(&b));
+        let rhs = code.encode(&a.xor(&b));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// BCH(31, k, 2) corrects any double-bit error pattern.
+    #[test]
+    fn bch_corrects_double_errors(
+        data_bits in bits_strategy(21),
+        p1 in 0usize..31,
+        p2 in 0usize..31,
+    ) {
+        let code = BchCode::new(5, 2).unwrap();
+        prop_assume!(p1 != p2);
+        let data = BitVec::from_bools(&data_bits);
+        let clean = code.encode(&data);
+        let mut corrupted = clean.clone();
+        corrupted.flip(p1);
+        corrupted.flip(p2);
+        let fixed = code.decode(&mut corrupted).unwrap();
+        prop_assert_eq!(fixed, 2);
+        prop_assert_eq!(corrupted, clean);
+    }
+
+    /// Majority voting over three copies recovers the original word whenever
+    /// at most one copy is corrupted (in arbitrarily many bit positions).
+    #[test]
+    fn tmr_recovers_from_one_corrupted_copy(
+        word in bits_strategy(64),
+        corrupt_mask in bits_strategy(64),
+        which in 0usize..3,
+    ) {
+        let good = BitVec::from_bools(&word);
+        let mut copies = vec![good.clone(), good.clone(), good.clone()];
+        let mask = BitVec::from_bools(&corrupt_mask);
+        copies[which] = copies[which].xor(&mask);
+        let outcome = majority_vote_words(&copies).unwrap();
+        prop_assert_eq!(outcome.value(), &good);
+    }
+
+    /// The NOR/THR-synthesized adder agrees with integer addition for all
+    /// inputs, and the schedule mapped onto a 256-column row reproduces the
+    /// same gate count regardless of metadata pressure.
+    #[test]
+    fn synthesized_adder_matches_integer_addition(a in 0u64..256, b in 0u64..256) {
+        let mut builder = CircuitBuilder::new();
+        let wa = builder.input_word(8);
+        let wb = builder.input_word(8);
+        let (sum, carry) = builder.ripple_add(&wa, &wb, None);
+        builder.mark_output_word(&sum);
+        builder.mark_output(carry);
+        let netlist = builder.finish();
+        let mut inputs: Vec<bool> = (0..8).map(|i| (a >> i) & 1 == 1).collect();
+        inputs.extend((0..8).map(|i| (b >> i) & 1 == 1));
+        let out = netlist.evaluate(&inputs);
+        let value = out.iter().enumerate().fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i));
+        prop_assert_eq!(value, a + b);
+    }
+
+    /// The synthesized multiplier agrees with integer multiplication.
+    #[test]
+    fn synthesized_multiplier_matches_integer_multiplication(a in 0u64..64, b in 0u64..64) {
+        let mut builder = CircuitBuilder::new();
+        let wa = builder.input_word(6);
+        let wb = builder.input_word(6);
+        let p = builder.mul_unsigned(&wa, &wb);
+        builder.mark_output_word(&p);
+        let netlist = builder.finish();
+        let mut inputs: Vec<bool> = (0..6).map(|i| (a >> i) & 1 == 1).collect();
+        inputs.extend((0..6).map(|i| (b >> i) & 1 == 1));
+        let out = netlist.evaluate(&inputs);
+        let value = out.iter().enumerate().fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i));
+        prop_assert_eq!(value, a * b);
+    }
+
+    /// Shrinking the scratch region never decreases the number of area
+    /// reclaims, and never changes the gate-operation count (the iso-area
+    /// invariant behind Table IV).
+    #[test]
+    fn reclaims_monotone_in_scratch_pressure(metadata in 0usize..180) {
+        let mut builder = CircuitBuilder::new();
+        let wa = builder.input_word(8);
+        let wb = builder.input_word(8);
+        let p = builder.mul_unsigned(&wa, &wb);
+        builder.mark_output_word(&p);
+        let netlist = builder.finish();
+
+        let tight = map_netlist(&netlist, RowLayout {
+            total_columns: 256,
+            metadata_columns: metadata,
+            cells_per_value: 1,
+        }).unwrap();
+        let loose = map_netlist(&netlist, RowLayout::unprotected(256)).unwrap();
+        prop_assert!(tight.reclaim_count() >= loose.reclaim_count());
+        prop_assert_eq!(tight.gate_op_count(), loose.gate_op_count());
+    }
+}
