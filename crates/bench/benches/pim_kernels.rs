@@ -44,11 +44,9 @@ fn bench_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthesis");
     group.sample_size(30);
     for bits in [4usize, 8, 16] {
-        group.bench_with_input(
-            BenchmarkId::new("multiplier", bits),
-            &bits,
-            |b, &bits| b.iter(|| multiplier_netlist(black_box(bits))),
-        );
+        group.bench_with_input(BenchmarkId::new("multiplier", bits), &bits, |b, &bits| {
+            b.iter(|| multiplier_netlist(black_box(bits)))
+        });
     }
     group.finish();
 }

@@ -42,14 +42,18 @@ fn bench_protected_execution(c: &mut Criterion) {
     ] {
         let executor = ProtectedExecutor::new(config.clone());
         let schedule = map_netlist(&netlist, config.row_layout()).expect("schedule fits");
-        group.bench_with_input(BenchmarkId::from_parameter(label), &schedule, |b, schedule| {
-            b.iter(|| {
-                let mut array = PimArray::standard(tech);
-                executor
-                    .run(&netlist, black_box(schedule), &mut array, 0, &inputs)
-                    .expect("protected run succeeds")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &schedule,
+            |b, schedule| {
+                b.iter(|| {
+                    let mut array = PimArray::standard(tech);
+                    executor
+                        .run(&netlist, black_box(schedule), &mut array, 0, &inputs)
+                        .expect("protected run succeeds")
+                })
+            },
+        );
     }
     group.finish();
 }

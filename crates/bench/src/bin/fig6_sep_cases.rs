@@ -20,7 +20,12 @@ fn main() {
                 site,
                 c.errors_in_level.to_string(),
                 c.errors_at_end_without_checks.to_string(),
-                if c.corrected_by_level_checks { "yes" } else { "no" }.to_string(),
+                if c.corrected_by_level_checks {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
                 c.outcome.clone(),
             ]
         })

@@ -1,7 +1,10 @@
 //! Regenerates Fig. 7: the time overhead (%) of ECiM and TRiM relative to
 //! the unprotected iso-area baseline, with multi-output gates.
+//!
+//! Pass `--sweep` to additionally run the Monte Carlo fault-injection
+//! campaign (protection efficacy alongside the analytic cost table).
 
-use nvpim_bench::{print_json, print_table, sweep_suite, HarnessOptions};
+use nvpim_bench::{print_json, print_table, run_monte_carlo_sweep, sweep_suite, HarnessOptions};
 use nvpim_sim::technology::Technology;
 
 fn main() {
@@ -32,5 +35,8 @@ fn main() {
     );
     if opts.json {
         print_json(&rows);
+    }
+    if opts.sweep {
+        run_monte_carlo_sweep(&opts);
     }
 }

@@ -35,7 +35,11 @@ fn main() {
         })
         .collect();
     print_table(
-        &["correctable errors", "BCH-255 parity bits", "Hamming(255,247)"],
+        &[
+            "correctable errors",
+            "BCH-255 parity bits",
+            "Hamming(255,247)",
+        ],
         &table,
     );
     if opts.json {

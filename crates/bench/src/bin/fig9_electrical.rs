@@ -22,9 +22,17 @@ fn main() {
                 p.n_outputs.to_string(),
                 format!("{:.1}", p.parallel_margin * 100.0),
                 format!("{:.1}", p.series_margin * 100.0),
-                format!("{:.2}–{:.2}", p.parallel_window.low_v, p.parallel_window.high_v),
+                format!(
+                    "{:.2}–{:.2}",
+                    p.parallel_window.low_v, p.parallel_window.high_v
+                ),
                 format!("{:.2}–{:.2}", p.series_window.low_v, p.series_window.high_v),
-                if p.series_margin >= MIN_NOISE_MARGIN { "yes" } else { "no" }.to_string(),
+                if p.series_margin >= MIN_NOISE_MARGIN {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
             ]
         })
         .collect();
@@ -41,7 +49,10 @@ fn main() {
     );
     println!(
         "\nmax feasible outputs: parallel = {}, series = {}",
-        model.max_feasible_outputs(nvpim_sim::electrical::OutputPlacement::Parallel, max_outputs),
+        model.max_feasible_outputs(
+            nvpim_sim::electrical::OutputPlacement::Parallel,
+            max_outputs
+        ),
         model.max_feasible_outputs(nvpim_sim::electrical::OutputPlacement::Series, max_outputs)
     );
     if opts.json {

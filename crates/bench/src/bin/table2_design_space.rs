@@ -18,7 +18,12 @@ fn main() {
                 point.check.to_string(),
                 if cost.sep_guarantee { "yes" } else { "no" }.to_string(),
                 format!("{:.0}", cost.time),
-                if cost.time_maskable { "maskable" } else { "exposed" }.to_string(),
+                if cost.time_maskable {
+                    "maskable"
+                } else {
+                    "exposed"
+                }
+                .to_string(),
                 format!("{:.0}", cost.energy),
                 format!("{:.0}", cost.checker_metadata_bits),
             ]
@@ -26,7 +31,13 @@ fn main() {
         .collect();
     print_table(
         &[
-            "scheme", "update", "check", "SEP", "time", "time masking", "energy",
+            "scheme",
+            "update",
+            "check",
+            "SEP",
+            "time",
+            "time masking",
+            "energy",
             "checker metadata (bits)",
         ],
         &table,

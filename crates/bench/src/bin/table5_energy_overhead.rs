@@ -1,8 +1,13 @@
 //! Regenerates Table V: energy overhead of ECiM and TRiM (multi-output and
 //! single-output gate designs) relative to the unprotected iso-area
 //! baseline, for all three technologies.
+//!
+//! Pass `--sweep` to additionally run the Monte Carlo fault-injection
+//! campaign (protection efficacy alongside the analytic cost table).
 
-use nvpim_bench::{print_json, print_table, sweep_benchmark, HarnessOptions};
+use nvpim_bench::{
+    print_json, print_table, run_monte_carlo_sweep, sweep_benchmark, HarnessOptions,
+};
 use nvpim_sim::technology::Technology;
 use serde::Serialize;
 
@@ -59,5 +64,8 @@ fn main() {
     );
     if opts.json {
         print_json(&rows);
+    }
+    if opts.sweep {
+        run_monte_carlo_sweep(&opts);
     }
 }

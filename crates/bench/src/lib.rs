@@ -33,6 +33,9 @@ pub struct HarnessOptions {
     pub quick: bool,
     /// Also emit JSON to stdout after the table.
     pub json: bool,
+    /// Additionally run a Monte Carlo fault-injection campaign
+    /// (`nvpim-sweep`) alongside the analytic table.
+    pub sweep: bool,
 }
 
 impl HarnessOptions {
@@ -42,6 +45,7 @@ impl HarnessOptions {
         Self {
             quick: args.iter().any(|a| a == "--quick"),
             json: args.iter().any(|a| a == "--json"),
+            sweep: args.iter().any(|a| a == "--sweep"),
         }
     }
 
@@ -145,6 +149,78 @@ pub fn print_json<T: Serialize>(value: &T) {
     );
 }
 
+/// Runs the Monte Carlo fault-injection campaign behind the `--sweep` flag
+/// and prints its per-point table (plus JSON when `json` is set).
+///
+/// The analytic tables above estimate *cost*; this campaign measures
+/// *efficacy*: how often injected faults corrupt the final output under
+/// each protection scheme, with detection / correction / silent-error
+/// counters per campaign point.
+pub fn run_monte_carlo_sweep(opts: &HarnessOptions) {
+    let plan = if opts.quick {
+        nvpim_sweep::SweepPlan::quick()
+    } else {
+        nvpim_sweep::SweepPlan::paper_scale()
+    };
+    println!(
+        "\nMonte Carlo fault sweep — {} points x {} seeds = {} trials",
+        plan.point_count(),
+        plan.seeds_per_point,
+        plan.trial_count()
+    );
+    let report = nvpim_sweep::run_campaign(&plan).expect("sweep campaign plans are executable");
+    let rows: Vec<Vec<String>> = report
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.workload.clone(),
+                p.technology.clone(),
+                p.protection.clone(),
+                format!("{:.0e}", p.gate_error_rate),
+                p.faults_injected.to_string(),
+                p.errors_detected.to_string(),
+                p.corrections_written_back.to_string(),
+                p.failed_trials.to_string(),
+                p.silent_failures.to_string(),
+                p.exec_errors.to_string(),
+                format!("{:.3}", p.output_error_rate),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "workload",
+            "technology",
+            "protection",
+            "rate",
+            "faults",
+            "detected",
+            "corrected",
+            "failed",
+            "silent",
+            "exec errs",
+            "out err rate",
+        ],
+        &rows,
+    );
+    println!(
+        "({} schedules compiled for {} points; schedule cache shared the rest)",
+        report.schedules_compiled,
+        report.points.len()
+    );
+    if report.total_exec_errors > 0 {
+        println!(
+            "WARNING: {} trials failed to execute at all — the error rates above \
+             rest on fewer trials than planned",
+            report.total_exec_errors
+        );
+    }
+    if opts.json {
+        println!("{}", report.to_json());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,7 +242,7 @@ mod tests {
         assert_eq!(opts.suite().len(), 12);
         let quick = HarnessOptions {
             quick: true,
-            json: false,
+            ..Default::default()
         };
         assert_eq!(quick.suite().len(), 3);
     }

@@ -100,7 +100,9 @@ impl ScratchAllocator {
             at_gate: gate_index,
             cells_freed: freed,
         });
-        let col = self.take_available().expect("reclaim freed at least one cell");
+        let col = self
+            .take_available()
+            .expect("reclaim freed at least one cell");
         self.live += 1;
         Some(col)
     }
@@ -157,7 +159,13 @@ mod tests {
         let c2 = a.allocate(2).unwrap();
         assert_eq!(c2, c0);
         assert_eq!(a.reclaim_count(), 1);
-        assert_eq!(a.reclaims()[0], ReclaimEvent { at_gate: 2, cells_freed: 1 });
+        assert_eq!(
+            a.reclaims()[0],
+            ReclaimEvent {
+                at_gate: 2,
+                cells_freed: 1
+            }
+        );
     }
 
     #[test]
@@ -178,7 +186,10 @@ mod tests {
         };
         let small = simulate(8);
         let large = simulate(64);
-        assert!(small > large, "smaller scratch must reclaim more ({small} vs {large})");
+        assert!(
+            small > large,
+            "smaller scratch must reclaim more ({small} vs {large})"
+        );
         assert!(small >= 1000 / 8 - 2);
     }
 

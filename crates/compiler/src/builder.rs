@@ -275,7 +275,10 @@ impl CircuitBuilder {
     ///
     /// Panics if either word is empty.
     pub fn mul_unsigned(&mut self, a: &Word, b: &Word) -> Word {
-        assert!(!a.is_empty() && !b.is_empty(), "multiplication of empty words");
+        assert!(
+            !a.is_empty() && !b.is_empty(),
+            "multiplication of empty words"
+        );
         let out_width = a.len() + b.len();
         // Accumulate shifted partial products with ripple adders.
         let mut acc: Word = (0..out_width).map(|_| self.zero()).collect();

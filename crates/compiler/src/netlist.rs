@@ -104,7 +104,7 @@ impl Netlist {
             let level = gate
                 .inputs
                 .iter()
-                .map(|n| net_level.get(n).copied().unwrap_or(0) )
+                .map(|n| net_level.get(n).copied().unwrap_or(0))
                 .max()
                 .unwrap_or(0);
             let gate_level = match gate.op {

@@ -51,7 +51,10 @@ impl std::fmt::Display for ExecError {
             ExecError::ArrayTooNarrow {
                 required,
                 available,
-            } => write!(f, "schedule needs {required} columns, array row has {available}"),
+            } => write!(
+                f,
+                "schedule needs {required} columns, array row has {available}"
+            ),
             ExecError::InputArityMismatch { expected, got } => {
                 write!(f, "expected {expected} input values, got {got}")
             }
@@ -123,7 +126,8 @@ pub fn execute_schedule(
     };
 
     // Track which cells have been initialized with primary-input data.
-    let mut materialized: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut materialized: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
 
     for sg in &schedule.gates {
         let gate = &netlist.gates[sg.index];
@@ -236,7 +240,10 @@ mod tests {
             cells_per_value: 1,
         };
         let schedule = map_netlist(&netlist, layout).unwrap();
-        assert!(schedule.reclaim_count() > 0, "test should exercise reclaims");
+        assert!(
+            schedule.reclaim_count() > 0,
+            "test should exercise reclaims"
+        );
         assert!(schedule.is_directly_executable());
         let mut array = PimArray::new(Technology::SttMram, 1, 64);
         for (a, c) in [(3u64, 5u64), (15, 15), (9, 11), (0, 7)] {
@@ -257,7 +264,7 @@ mod tests {
         };
         let schedule = map_netlist(&netlist, layout).unwrap();
         let mut array = PimArray::new(Technology::SttMram, 1, 12);
-        let err = execute_schedule(&schedule, &netlist, &mut array, 0, &vec![false; 16]);
+        let err = execute_schedule(&schedule, &netlist, &mut array, 0, &[false; 16]);
         assert_eq!(err, Err(ExecError::NotDirectlyExecutable));
     }
 
@@ -298,26 +305,27 @@ mod tests {
         // why unprotected PiM computation needs ECiM / TRiM.
         let netlist = adder_netlist(8);
         let schedule = map_netlist(&netlist, RowLayout::unprotected(256)).unwrap();
-        let mut array = PimArray::new(Technology::SttMram, 1, 256).with_fault_injector(
-            FaultInjector::new(
+        let mut array =
+            PimArray::new(Technology::SttMram, 1, 256).with_fault_injector(FaultInjector::new(
                 ErrorRates {
                     gate: 0.05,
                     ..ErrorRates::NONE
                 },
                 13,
-            ),
-        );
+            ));
         let mut mismatches = 0;
         for a in 0..16u64 {
             let mut inputs = to_bits(a * 7, 8);
             inputs.extend(to_bits(a * 11, 8));
             let reference = netlist.evaluate(&inputs);
-            let measured =
-                execute_schedule(&schedule, &netlist, &mut array, 0, &inputs).unwrap();
+            let measured = execute_schedule(&schedule, &netlist, &mut array, 0, &inputs).unwrap();
             if measured != reference {
                 mismatches += 1;
             }
         }
-        assert!(mismatches > 0, "5% gate error rate must corrupt some results");
+        assert!(
+            mismatches > 0,
+            "5% gate error rate must corrupt some results"
+        );
     }
 }

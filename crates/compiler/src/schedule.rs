@@ -205,8 +205,7 @@ pub fn map_netlist(netlist: &Netlist, layout: RowLayout) -> Result<RowSchedule, 
     let cells_per_value = layout.cells_per_value.max(1);
     let value_capacity = layout.value_capacity();
 
-    let primary_inputs: HashMap<NetId, ()> =
-        netlist.inputs.iter().map(|&n| (n, ())).collect();
+    let primary_inputs: HashMap<NetId, ()> = netlist.inputs.iter().map(|&n| (n, ())).collect();
 
     let mut resident: HashMap<NetId, ResidentValue> = HashMap::new();
     let mut scheduled = Vec::with_capacity(netlist.gates.len());
@@ -305,11 +304,7 @@ pub fn map_netlist(netlist: &Netlist, layout: RowLayout) -> Result<RowSchedule, 
             value_capacity,
             &mut spill_stores,
         )?;
-        let input_cols: Vec<usize> = gate
-            .inputs
-            .iter()
-            .map(|n| resident[n].cols[0])
-            .collect();
+        let input_cols: Vec<usize> = gate.inputs.iter().map(|n| resident[n].cols[0]).collect();
         let input_cols_per_copy: Vec<Vec<usize>> = (0..cells_per_value)
             .map(|c| {
                 gate.inputs
@@ -340,7 +335,11 @@ pub fn map_netlist(netlist: &Netlist, layout: RowLayout) -> Result<RowSchedule, 
                 LogicOp::Thr => profile.thr_ops += 1,
                 LogicOp::Copy => {
                     profile.copy_ops += 1;
-                    if gate.inputs.first().is_some_and(|n| nor_outputs.contains_key(n)) {
+                    if gate
+                        .inputs
+                        .first()
+                        .is_some_and(|n| nor_outputs.contains_key(n))
+                    {
                         profile.fusable_copies += 1;
                     }
                 }
@@ -512,7 +511,11 @@ mod tests {
         let netlist = b.finish();
         let schedule = map_netlist(&netlist, RowLayout::unprotected(64)).unwrap();
         let total_copies: usize = schedule.level_profile.iter().map(|l| l.copy_ops).sum();
-        let fusable: usize = schedule.level_profile.iter().map(|l| l.fusable_copies).sum();
+        let fusable: usize = schedule
+            .level_profile
+            .iter()
+            .map(|l| l.fusable_copies)
+            .sum();
         assert_eq!(total_copies, 1);
         assert_eq!(fusable, 1);
     }

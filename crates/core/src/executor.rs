@@ -57,9 +57,9 @@ pub enum ProtectedExecError {
 impl std::fmt::Display for ProtectedExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ProtectedExecError::LayoutMismatch =>
-
-                write!(f, "schedule layout does not match the design configuration"),
+            ProtectedExecError::LayoutMismatch => {
+                write!(f, "schedule layout does not match the design configuration")
+            }
             ProtectedExecError::NotDirectlyExecutable => {
                 write!(f, "schedule spilled values and cannot run on a single row")
             }
@@ -103,6 +103,28 @@ pub struct ProtectedRunReport {
 pub struct ProtectedExecutor {
     config: DesignConfig,
     code: HammingCode,
+}
+
+/// Tracks primary-input materialization during one run: a precomputed
+/// net → input-position map (so the per-gate lookup is O(1) even on the
+/// Monte Carlo sweep's hot path) plus the set of inputs already written.
+struct InputTracker {
+    positions: std::collections::HashMap<usize, usize>,
+    materialized: std::collections::HashSet<usize>,
+}
+
+impl InputTracker {
+    fn new(netlist: &Netlist) -> Self {
+        Self {
+            positions: netlist
+                .inputs
+                .iter()
+                .enumerate()
+                .map(|(pos, &net)| (net, pos))
+                .collect(),
+            materialized: std::collections::HashSet::new(),
+        }
+    }
 }
 
 impl ProtectedExecutor {
@@ -152,7 +174,9 @@ impl ProtectedExecutor {
             return Err(ProtectedExecError::ArrayTooSmall);
         }
         match self.config.scheme {
-            ProtectionScheme::Unprotected => self.run_unprotected(netlist, schedule, array, row, inputs),
+            ProtectionScheme::Unprotected => {
+                self.run_unprotected(netlist, schedule, array, row, inputs)
+            }
             ProtectionScheme::Ecim => self.run_ecim(netlist, schedule, array, row, inputs),
             ProtectionScheme::Trim => self.run_trim(netlist, schedule, array, row, inputs),
         }
@@ -196,18 +220,19 @@ impl ProtectedExecutor {
         &self,
         netlist: &Netlist,
         sg: &ScheduledGate,
-        gate_inputs: &[usize],
         array: &mut PimArray,
         row: usize,
         inputs: &[bool],
-        materialized: &mut std::collections::HashSet<usize>,
+        tracker: &mut InputTracker,
     ) -> Result<(), ProtectedExecError> {
+        let gate_inputs = &netlist.gates[sg.index].inputs;
         for (i, &net) in gate_inputs.iter().enumerate() {
-            if let Some(pos) = netlist.inputs.iter().position(|&n| n == net) {
-                if materialized.insert(net) {
+            if let Some(&pos) = tracker.positions.get(&net) {
+                if tracker.materialized.insert(net) {
                     // Write the value into every copy this design keeps.
                     for copy in 0..self.config.cells_per_value() {
-                        let col = sg.input_cols_per_copy[copy.min(sg.input_cols_per_copy.len() - 1)][i];
+                        let col =
+                            sg.input_cols_per_copy[copy.min(sg.input_cols_per_copy.len() - 1)][i];
                         array.write_cell(row, col, inputs[pos])?;
                     }
                 }
@@ -298,10 +323,9 @@ impl ProtectedExecutor {
         row: usize,
         inputs: &[bool],
     ) -> Result<ProtectedRunReport, ProtectedExecError> {
-        let mut materialized = std::collections::HashSet::new();
+        let mut tracker = InputTracker::new(netlist);
         for sg in &schedule.gates {
-            let gate = &netlist.gates[sg.index];
-            self.materialize_inputs(netlist, sg, &gate.inputs, array, row, inputs, &mut materialized)?;
+            self.materialize_inputs(netlist, sg, array, row, inputs, &mut tracker)?;
             self.execute_plain_gate(sg, array, row, &[])?;
         }
         Ok(ProtectedRunReport {
@@ -350,18 +374,20 @@ impl ProtectedExecutor {
 
         let used = Self::used_nets(netlist);
         let mut checker = EcimChecker::new(self.code.clone());
-        let mut materialized = std::collections::HashSet::new();
+        let mut tracker = InputTracker::new(netlist);
         let mut metadata_gate_ops = 0u64;
         let mut corrections_written_back = 0u64;
         let mut errors_detected = 0u64;
         let mut uncorrectable = 0u64;
 
         // Reset all parity cells at the start of a level chunk.
-        let reset_parity = |array: &mut PimArray, parity_in_pong: &mut Vec<bool>| -> Result<(), ProtectedExecError> {
-            for i in 0..parity_bits {
+        let reset_parity = |array: &mut PimArray,
+                            parity_in_pong: &mut Vec<bool>|
+         -> Result<(), ProtectedExecError> {
+            for (i, in_pong) in parity_in_pong.iter_mut().enumerate() {
                 array.write_cell(row, ping_base + i, false)?;
                 array.write_cell(row, pong_base + i, false)?;
-                parity_in_pong[i] = false;
+                *in_pong = false;
             }
             Ok(())
         };
@@ -372,12 +398,12 @@ impl ProtectedExecutor {
         let mut current_level = schedule.gates.first().map(|g| g.level).unwrap_or(0);
 
         let flush_chunk = |array: &mut PimArray,
-                               chunk: &mut Vec<(usize, usize)>,
-                               parity_in_pong: &mut Vec<bool>,
-                               checker: &mut EcimChecker,
-                               errors_detected: &mut u64,
-                               corrections_written_back: &mut u64,
-                               uncorrectable: &mut u64|
+                           chunk: &mut Vec<(usize, usize)>,
+                           parity_in_pong: &mut Vec<bool>,
+                           checker: &mut EcimChecker,
+                           errors_detected: &mut u64,
+                           corrections_written_back: &mut u64,
+                           uncorrectable: &mut u64|
          -> Result<(), ProtectedExecError> {
             if chunk.is_empty() {
                 return Ok(());
@@ -386,7 +412,13 @@ impl ProtectedExecutor {
             let data_cols: Vec<usize> = chunk.iter().map(|&(_, col)| col).collect();
             let data = array.read_bits(row, &data_cols)?;
             let parity_cols: Vec<usize> = (0..parity_bits)
-                .map(|i| if parity_in_pong[i] { pong_base + i } else { ping_base + i })
+                .map(|i| {
+                    if parity_in_pong[i] {
+                        pong_base + i
+                    } else {
+                        ping_base + i
+                    }
+                })
                 .collect();
             let parity = array.read_bits(row, &parity_cols)?;
             let result = checker.check_level(&data, &parity);
@@ -420,7 +452,7 @@ impl ProtectedExecutor {
                 reset_parity(array, &mut parity_in_pong)?;
                 current_level = sg.level;
             }
-            self.materialize_inputs(netlist, sg, &gate.inputs, array, row, inputs, &mut materialized)?;
+            self.materialize_inputs(netlist, sg, array, row, inputs, &mut tracker)?;
 
             let is_constant = matches!(sg.op, LogicOp::Zero | LogicOp::One);
             if is_constant || !used.contains(&gate.output) {
@@ -475,8 +507,16 @@ impl ProtectedExecutor {
             // XOR (NOR22 then THR).
             for &bit in &touched {
                 let r_cell = r_base + bit;
-                let src = if parity_in_pong[bit] { pong_base + bit } else { ping_base + bit };
-                let dst = if parity_in_pong[bit] { ping_base + bit } else { pong_base + bit };
+                let src = if parity_in_pong[bit] {
+                    pong_base + bit
+                } else {
+                    ping_base + bit
+                };
+                let dst = if parity_in_pong[bit] {
+                    ping_base + bit
+                } else {
+                    pong_base + bit
+                };
                 // s1 = s2 = NOR(p, r)
                 array.execute_gate(&GateOp::new(
                     GateKind::NOR22,
@@ -543,7 +583,7 @@ impl ProtectedExecutor {
     ) -> Result<ProtectedRunReport, ProtectedExecError> {
         let used = Self::used_nets(netlist);
         let mut checker = TrimChecker::new(self.config.data_bits());
-        let mut materialized = std::collections::HashSet::new();
+        let mut tracker = InputTracker::new(netlist);
         let mut metadata_gate_ops = 0u64;
         let mut corrections_written_back = 0u64;
         let mut errors_detected = 0u64;
@@ -553,10 +593,10 @@ impl ProtectedExecutor {
         let mut current_level = schedule.gates.first().map(|g| g.level).unwrap_or(0);
 
         let flush_level = |array: &mut PimArray,
-                               level_outputs: &mut Vec<[usize; 3]>,
-                               checker: &mut TrimChecker,
-                               errors_detected: &mut u64,
-                               corrections_written_back: &mut u64|
+                           level_outputs: &mut Vec<[usize; 3]>,
+                           checker: &mut TrimChecker,
+                           errors_detected: &mut u64,
+                           corrections_written_back: &mut u64|
          -> Result<(), ProtectedExecError> {
             if level_outputs.is_empty() {
                 return Ok(());
@@ -603,7 +643,7 @@ impl ProtectedExecutor {
                 )?;
                 current_level = sg.level;
             }
-            self.materialize_inputs(netlist, sg, &gate.inputs, array, row, inputs, &mut materialized)?;
+            self.materialize_inputs(netlist, sg, array, row, inputs, &mut tracker)?;
 
             let is_constant = matches!(sg.op, LogicOp::Zero | LogicOp::One);
             if is_constant || !used.contains(&gate.output) {
@@ -647,11 +687,7 @@ impl ProtectedExecutor {
                     }
                 }
             }
-            level_outputs.push([
-                sg.output_cols[0],
-                sg.output_cols[1],
-                sg.output_cols[2],
-            ]);
+            level_outputs.push([sg.output_cols[0], sg.output_cols[1], sg.output_cols[2]]);
         }
         flush_level(
             array,
@@ -787,7 +823,10 @@ mod tests {
             }
         }
         assert!(detections > 0, "fault injection should trigger detections");
-        assert_eq!(ecim_failures, 0, "ECiM must correct single errors per level");
+        assert_eq!(
+            ecim_failures, 0,
+            "ECiM must correct single errors per level"
+        );
     }
 
     #[test]
@@ -864,7 +903,7 @@ mod tests {
         )
         .unwrap();
         let mut array = PimArray::standard(Technology::SttMram);
-        let err = executor.run(&netlist, &schedule, &mut array, 0, &vec![false; 16]);
+        let err = executor.run(&netlist, &schedule, &mut array, 0, &[false; 16]);
         assert_eq!(err, Err(ProtectedExecError::LayoutMismatch));
     }
 
@@ -878,7 +917,10 @@ mod tests {
         let err = executor.run(&netlist, &schedule, &mut array, 0, &[true; 2]);
         assert!(matches!(
             err,
-            Err(ProtectedExecError::InputArityMismatch { expected: 16, got: 2 })
+            Err(ProtectedExecError::InputArityMismatch {
+                expected: 16,
+                got: 2
+            })
         ));
     }
 }

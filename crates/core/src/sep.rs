@@ -147,24 +147,28 @@ pub struct GranularityAnalysis {
 /// first check boundary.
 pub fn granularity_analysis(netlist: &Netlist) -> Vec<GranularityAnalysis> {
     let levels = netlist.logic_levels();
-    [Granularity::Gate, Granularity::LogicLevel, Granularity::Circuit]
-        .into_iter()
-        .map(|granularity| {
-            let mut worst = 0usize;
-            for (error_gate, _) in netlist.gates.iter().enumerate() {
-                if matches!(netlist.gates[error_gate].op, LogicOp::Zero | LogicOp::One) {
-                    continue;
-                }
-                let corrupted = propagate_until_check(netlist, &levels, error_gate, granularity);
-                worst = worst.max(corrupted);
+    [
+        Granularity::Gate,
+        Granularity::LogicLevel,
+        Granularity::Circuit,
+    ]
+    .into_iter()
+    .map(|granularity| {
+        let mut worst = 0usize;
+        for (error_gate, _) in netlist.gates.iter().enumerate() {
+            if matches!(netlist.gates[error_gate].op, LogicOp::Zero | LogicOp::One) {
+                continue;
             }
-            GranularityAnalysis {
-                granularity,
-                worst_errors_at_check: worst,
-                sep_guaranteed: worst <= 1,
-            }
-        })
-        .collect()
+            let corrupted = propagate_until_check(netlist, &levels, error_gate, granularity);
+            worst = worst.max(corrupted);
+        }
+        GranularityAnalysis {
+            granularity,
+            worst_errors_at_check: worst,
+            sep_guaranteed: worst <= 1,
+        }
+    })
+    .collect()
 }
 
 /// Number of corrupted gate outputs at the moment of the first check after a

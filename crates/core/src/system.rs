@@ -239,7 +239,11 @@ pub fn evaluate_schedule(
     };
 
     for level in &schedule.level_profile {
-        let free_copies = if multi_output { level.fusable_copies } else { 0 };
+        let free_copies = if multi_output {
+            level.fusable_copies
+        } else {
+            0
+        };
         let compute_ops = (level.nor_ops + level.thr_ops + level.copy_ops - free_copies) as f64;
         let outputs = (level.nor_ops + level.thr_ops + level.copy_ops) as f64;
         if outputs == 0.0 {
@@ -307,8 +311,8 @@ pub fn evaluate_schedule(
                     // other partitions (concurrent in time), each with its own
                     // operand staging write.
                     b.compute_energy_fj += base_nor_energy + base_thr_energy;
-                    b.metadata_energy_fj += 2.0
-                        * (base_nor_energy + base_thr_energy + outputs * (nor_e + write_e));
+                    b.metadata_energy_fj +=
+                        2.0 * (base_nor_energy + base_thr_energy + outputs * (nor_e + write_e));
                 }
                 // --- Checker communication: three copies of the outputs ---
                 let bits = 3 * outputs as usize;
@@ -461,12 +465,8 @@ mod tests {
             DesignConfig::trim(Technology::SttMram),
         ] {
             let mo = evaluate(&netlist, &s, &scheme_cfg).unwrap();
-            let so = evaluate(
-                &netlist,
-                &s,
-                &scheme_cfg.clone().with_single_output_gates(),
-            )
-            .unwrap();
+            let so =
+                evaluate(&netlist, &s, &scheme_cfg.clone().with_single_output_gates()).unwrap();
             assert!(
                 so.energy_fj > mo.energy_fj,
                 "{}: s-o {} <= m-o {}",
@@ -484,7 +484,12 @@ mod tests {
         let s = shape("mm-like");
         let ecim = evaluate(&netlist, &s, &DesignConfig::ecim(Technology::SttMram)).unwrap();
         let trim = evaluate(&netlist, &s, &DesignConfig::trim(Technology::SttMram)).unwrap();
-        let base = evaluate(&netlist, &s, &DesignConfig::unprotected(Technology::SttMram)).unwrap();
+        let base = evaluate(
+            &netlist,
+            &s,
+            &DesignConfig::unprotected(Technology::SttMram),
+        )
+        .unwrap();
         assert!(trim.schedule.reclaims > ecim.schedule.reclaims);
         assert!(ecim.schedule.reclaims >= base.schedule.reclaims);
     }
@@ -520,8 +525,14 @@ mod tests {
         let netlist = dot_product_netlist(16, 8);
         let s = shape("mm64-row");
         let (ecim, trim) = evaluate_benchmark(&netlist, &s, Technology::SttMram).unwrap();
-        assert!(ecim.time_overhead_pct > 1.0 && ecim.time_overhead_pct < 100.0, "{ecim:?}");
-        assert!(trim.time_overhead_pct > 1.0 && trim.time_overhead_pct < 150.0, "{trim:?}");
+        assert!(
+            ecim.time_overhead_pct > 1.0 && ecim.time_overhead_pct < 100.0,
+            "{ecim:?}"
+        );
+        assert!(
+            trim.time_overhead_pct > 1.0 && trim.time_overhead_pct < 150.0,
+            "{trim:?}"
+        );
     }
 
     #[test]

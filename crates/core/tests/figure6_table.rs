@@ -1,0 +1,137 @@
+//! Full-table coverage for `sep::figure6_cases`: every injection site of
+//! the paper's Fig. 6 example, in order, with its exact error counts and
+//! correction outcome — plus a semantic cross-check of the A-matrix
+//! assignment the redundant-output rows encode.
+
+use nvpim_core::sep::{figure6_cases, Figure6Site};
+
+/// The expected table: (site, errors in level, errors at end w/o checks,
+/// corrected by logic-level checks).
+fn expected_table() -> Vec<(Figure6Site, usize, usize, bool)> {
+    vec![
+        // Main-computation outputs o1..o3. A level-1 error propagates into
+        // the final output and leaves two parity bits stale if unchecked
+        // (3 visible errors); an error in o3 is already the final output.
+        (Figure6Site::MainOutput(1), 1, 3, true),
+        (Figure6Site::MainOutput(2), 1, 3, true),
+        (Figure6Site::MainOutput(3), 1, 1, true),
+        // Redundant outputs r_{parity,gate}: each feeds exactly one parity
+        // bit, so a single error corrupts that parity bit and nothing else.
+        (
+            Figure6Site::RedundantOutput { parity: 1, gate: 1 },
+            1,
+            1,
+            true,
+        ),
+        (
+            Figure6Site::RedundantOutput { parity: 1, gate: 2 },
+            1,
+            1,
+            true,
+        ),
+        (
+            Figure6Site::RedundantOutput { parity: 2, gate: 1 },
+            1,
+            1,
+            true,
+        ),
+        (
+            Figure6Site::RedundantOutput { parity: 2, gate: 3 },
+            1,
+            1,
+            true,
+        ),
+        (
+            Figure6Site::RedundantOutput { parity: 3, gate: 2 },
+            1,
+            1,
+            true,
+        ),
+        (
+            Figure6Site::RedundantOutput { parity: 3, gate: 3 },
+            1,
+            1,
+            true,
+        ),
+    ]
+}
+
+#[test]
+fn figure6_case_table_matches_the_paper_exactly() {
+    let cases = figure6_cases();
+    let expected = expected_table();
+    assert_eq!(cases.len(), expected.len(), "one row per injection site");
+    for (case, (site, in_level, at_end, corrected)) in cases.iter().zip(expected) {
+        assert_eq!(case.site, site, "site order must match the paper's table");
+        assert_eq!(
+            case.errors_in_level, in_level,
+            "{site:?}: errors visible at the error's own level"
+        );
+        assert_eq!(
+            case.errors_at_end_without_checks, at_end,
+            "{site:?}: errors at circuit end without checks"
+        );
+        assert_eq!(
+            case.corrected_by_level_checks, corrected,
+            "{site:?}: logic-level checking verdict"
+        );
+    }
+}
+
+#[test]
+fn figure6_outcome_strings_describe_each_site() {
+    let cases = figure6_cases();
+    for case in &cases {
+        match case.site {
+            Figure6Site::MainOutput(3) => assert_eq!(case.outcome, "error in out"),
+            Figure6Site::MainOutput(gate) => {
+                assert!(
+                    case.outcome.contains(&format!("(o{gate})")),
+                    "o{gate} outcome names its gate: {}",
+                    case.outcome
+                );
+                assert!(
+                    case.outcome.contains("two parity bits"),
+                    "level-1 outcomes mention the stale parity bits: {}",
+                    case.outcome
+                );
+            }
+            Figure6Site::RedundantOutput { parity, .. } => {
+                assert_eq!(case.outcome, format!("error in p{parity}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn figure6_redundant_sites_encode_the_a_matrix_assignment() {
+    // Fig. 6's Hamming(7, 4)-style assignment: p1 protects {o1, o2},
+    // p2 protects {o1, o3}, p3 protects {o2, o3}. The redundant-output
+    // sites r_{ij} must enumerate exactly those (parity, gate) pairs —
+    // i.e. each parity bit receives redundant copies from exactly the two
+    // gates it protects, and each gate feeds exactly two parity bits (the
+    // reason a single gate error can never corrupt more than one copy of
+    // any protected value).
+    let assignment: &[(usize, [usize; 2])] = &[(1, [1, 2]), (2, [1, 3]), (3, [2, 3])];
+    let sites: Vec<(usize, usize)> = figure6_cases()
+        .iter()
+        .filter_map(|c| match c.site {
+            Figure6Site::RedundantOutput { parity, gate } => Some((parity, gate)),
+            Figure6Site::MainOutput(_) => None,
+        })
+        .collect();
+    assert_eq!(sites.len(), 6, "three parity bits x two protected gates");
+    for &(parity, gates) in assignment {
+        for gate in gates {
+            assert!(
+                sites.contains(&(parity, gate)),
+                "missing redundant site r_{{{parity},{gate}}}"
+            );
+        }
+    }
+    // Every gate feeds exactly two parity bits.
+    for gate in 1..=3usize {
+        let fan_out = sites.iter().filter(|&&(_, g)| g == gate).count();
+        assert_eq!(fan_out, 2, "gate o{gate} must feed exactly two parity bits");
+    }
+}

@@ -262,7 +262,12 @@ impl BchCode {
     ///
     /// Panics if `codeword.len() != n`.
     pub fn syndromes(&self, codeword: &BitVec) -> Vec<u32> {
-        assert_eq!(codeword.len(), self.n, "codeword length must equal n = {}", self.n);
+        assert_eq!(
+            codeword.len(),
+            self.n,
+            "codeword length must equal n = {}",
+            self.n
+        );
         // Received polynomial r(x): coefficient of x^i is bit i of the
         // codeword in *polynomial* layout. Our systematic layout is
         // [data | parity] where data bit j corresponds to x^{parity + j} and
@@ -273,9 +278,15 @@ impl BchCode {
                 let alpha_i = self.field.alpha_pow(i as i64);
                 let mut acc = 0u32;
                 for pos in 0..self.n {
-                    let poly_deg = if pos < self.k { parity + pos } else { pos - self.k };
+                    let poly_deg = if pos < self.k {
+                        parity + pos
+                    } else {
+                        pos - self.k
+                    };
                     if codeword.get(pos) {
-                        acc = self.field.add(acc, self.field.pow(alpha_i, poly_deg as u64));
+                        acc = self
+                            .field
+                            .add(acc, self.field.pow(alpha_i, poly_deg as u64));
                     }
                 }
                 acc
@@ -348,7 +359,12 @@ impl BchCode {
     ///
     /// Panics if `codeword.len() != n`.
     pub fn extract_data(&self, codeword: &BitVec) -> BitVec {
-        assert_eq!(codeword.len(), self.n, "codeword length must equal n = {}", self.n);
+        assert_eq!(
+            codeword.len(),
+            self.n,
+            "codeword length must equal n = {}",
+            self.n
+        );
         codeword.slice(0..self.k)
     }
 
@@ -441,11 +457,7 @@ mod tests {
             (10, 76),
         ];
         for (t, parity) in expected {
-            assert_eq!(
-                BchCode::parity_bits_for(8, t).unwrap(),
-                parity,
-                "t = {t}"
-            );
+            assert_eq!(BchCode::parity_bits_for(8, t).unwrap(), parity, "t = {t}");
         }
     }
 
@@ -557,7 +569,11 @@ mod tests {
         let parity = code.parity_bits();
         let mut poly = vec![0u8; code.n()];
         for pos in 0..code.n() {
-            let deg = if pos < code.k() { parity + pos } else { pos - code.k() };
+            let deg = if pos < code.k() {
+                parity + pos
+            } else {
+                pos - code.k()
+            };
             poly[deg] = u8::from(cw.get(pos));
         }
         let rem = poly_mod_gf2(&poly, code.generator());

@@ -103,7 +103,11 @@ impl DesignPoint {
     /// Evaluates the asymptotic costs of this design point (Table II).
     pub fn cost(&self) -> DesignCost {
         let n = self.n as f64;
-        let log_n = if self.n <= 1 { 1.0 } else { (self.n as f64).log2() };
+        let log_n = if self.n <= 1 {
+            1.0
+        } else {
+            (self.n as f64).log2()
+        };
         let sep = self.is_valid() && self.check != Granularity::Circuit;
         match (self.scheme, self.update, self.check) {
             (Scheme::Trim, Granularity::Gate, Granularity::Gate) => DesignCost {
@@ -124,7 +128,9 @@ impl DesignPoint {
             },
             (Scheme::Ecim, Granularity::Gate, Granularity::Gate) => {
                 // Hamming(3,1) degenerates to TRiM at the same granularity.
-                let mut c = DesignPoint::new(Scheme::Trim, Granularity::Gate, Granularity::Gate, self.n).cost();
+                let mut c =
+                    DesignPoint::new(Scheme::Trim, Granularity::Gate, Granularity::Gate, self.n)
+                        .cost();
                 c.notes = "Hamming(3,1): reduces to TRiM at gate/gate granularity".into();
                 c
             }
@@ -177,10 +183,13 @@ pub fn table2_rows(n: u64) -> Vec<(DesignPoint, DesignCost)> {
         DesignPoint::new(Scheme::Ecim, Granularity::Gate, Granularity::Gate, n),
         DesignPoint::new(Scheme::Ecim, Granularity::Gate, Granularity::LogicLevel, n),
     ];
-    points.into_iter().map(|p| {
-        let c = p.cost();
-        (p, c)
-    }).collect()
+    points
+        .into_iter()
+        .map(|p| {
+            let c = p.cost();
+            (p, c)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -203,12 +212,7 @@ mod tests {
 
     #[test]
     fn check_cannot_be_finer_than_update() {
-        let p = DesignPoint::new(
-            Scheme::Trim,
-            Granularity::LogicLevel,
-            Granularity::Gate,
-            64,
-        );
+        let p = DesignPoint::new(Scheme::Trim, Granularity::LogicLevel, Granularity::Gate, 64);
         assert!(!p.is_valid());
     }
 
@@ -238,11 +242,15 @@ mod tests {
 
     #[test]
     fn ecim_logic_level_scales_logarithmically() {
-        let small = DesignPoint::new(Scheme::Ecim, Granularity::Gate, Granularity::LogicLevel, 16)
-            .cost();
-        let large =
-            DesignPoint::new(Scheme::Ecim, Granularity::Gate, Granularity::LogicLevel, 1 << 20)
-                .cost();
+        let small =
+            DesignPoint::new(Scheme::Ecim, Granularity::Gate, Granularity::LogicLevel, 16).cost();
+        let large = DesignPoint::new(
+            Scheme::Ecim,
+            Granularity::Gate,
+            Granularity::LogicLevel,
+            1 << 20,
+        )
+        .cost();
         // Per-gate time overhead factor (time / N) grows only logarithmically.
         let small_factor = small.time / 16.0;
         let large_factor = large.time / (1u64 << 20) as f64;

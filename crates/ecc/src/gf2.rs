@@ -82,7 +82,11 @@ impl BitVec {
     ///
     /// Panics if `index >= len()`.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
 
@@ -92,7 +96,11 @@ impl BitVec {
     ///
     /// Panics if `index >= len()`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let word = &mut self.words[index / 64];
         let mask = 1u64 << (index % 64);
         if value {
@@ -108,7 +116,11 @@ impl BitVec {
     ///
     /// Panics if `index >= len()`.
     pub fn flip(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / 64] ^= 1u64 << (index % 64);
     }
 
@@ -536,10 +548,7 @@ mod tests {
 
     #[test]
     fn matrix_transpose_involution() {
-        let m = BitMatrix::from_rows(&[
-            vec![true, false, true],
-            vec![false, true, true],
-        ]);
+        let m = BitMatrix::from_rows(&[vec![true, false, true], vec![false, true, true]]);
         assert_eq!(m.transpose().transpose(), m);
         assert_eq!(m.transpose().nrows(), 3);
         assert_eq!(m.column(2).to_bools(), vec![true, true]);

@@ -22,22 +22,23 @@ use crate::error::EccError;
 /// Default primitive polynomials (including the `x^m` term) indexed by `m`.
 /// Entry `m` is a known primitive polynomial of degree `m` over GF(2).
 const PRIMITIVE_POLYS: [u32; 17] = [
-    0, 0,
-    0b111,                 // m=2:  x^2 + x + 1
-    0b1011,                // m=3:  x^3 + x + 1
-    0b10011,               // m=4:  x^4 + x + 1
-    0b100101,              // m=5:  x^5 + x^2 + 1
-    0b1000011,             // m=6:  x^6 + x + 1
-    0b10001001,            // m=7:  x^7 + x^3 + 1
-    0b100011101,           // m=8:  x^8 + x^4 + x^3 + x^2 + 1
-    0b1000010001,          // m=9:  x^9 + x^4 + 1
-    0b10000001001,         // m=10: x^10 + x^3 + 1
-    0b100000000101,        // m=11: x^11 + x^2 + 1
-    0b1000001010011,       // m=12
-    0b10000000011011,      // m=13
-    0b100010001000011,     // m=14
-    0b1000000000000011,    // m=15: x^15 + x + 1
-    0b10001000000001011,   // m=16
+    0,
+    0,
+    0b111,               // m=2:  x^2 + x + 1
+    0b1011,              // m=3:  x^3 + x + 1
+    0b10011,             // m=4:  x^4 + x + 1
+    0b100101,            // m=5:  x^5 + x^2 + 1
+    0b1000011,           // m=6:  x^6 + x + 1
+    0b10001001,          // m=7:  x^7 + x^3 + 1
+    0b100011101,         // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0b1000010001,        // m=9:  x^9 + x^4 + 1
+    0b10000001001,       // m=10: x^10 + x^3 + 1
+    0b100000000101,      // m=11: x^11 + x^2 + 1
+    0b1000001010011,     // m=12
+    0b10000000011011,    // m=13
+    0b100010001000011,   // m=14
+    0b1000000000000011,  // m=15: x^15 + x + 1
+    0b10001000000001011, // m=16
 ];
 
 /// The finite field GF(2^m) with log/antilog multiplication tables.

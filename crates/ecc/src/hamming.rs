@@ -248,7 +248,12 @@ impl HammingCode {
     ///
     /// Panics if `codeword.len() != n`.
     pub fn syndrome(&self, codeword: &BitVec) -> BitVec {
-        assert_eq!(codeword.len(), self.n, "codeword length must equal n = {}", self.n);
+        assert_eq!(
+            codeword.len(),
+            self.n,
+            "codeword length must equal n = {}",
+            self.n
+        );
         let data = codeword.slice(0..self.k);
         let parity = codeword.slice(self.k..self.n);
         self.a.mul_vec(&data).xor(&parity)
@@ -279,7 +284,12 @@ impl HammingCode {
     ///
     /// Panics if `codeword.len() != n`.
     pub fn extract_data(&self, codeword: &BitVec) -> BitVec {
-        assert_eq!(codeword.len(), self.n, "codeword length must equal n = {}", self.n);
+        assert_eq!(
+            codeword.len(),
+            self.n,
+            "codeword length must equal n = {}",
+            self.n
+        );
         codeword.slice(0..self.k)
     }
 
@@ -339,7 +349,7 @@ mod tests {
     #[test]
     fn encode_zero_syndrome() {
         let code = HammingCode::new_standard(4);
-        for value in [0u64, 1, 0b1010_1010_101, 0x7FF] {
+        for value in [0u64, 1, 0b101_0101_0101, 0x7FF] {
             let data = BitVec::from_u64(value, code.k());
             let cw = code.encode(&data);
             assert!(code.syndrome(&cw).is_zero());

@@ -177,9 +177,6 @@ mod tests {
 
     #[test]
     fn single_copy_rejected() {
-        assert_eq!(
-            majority_vote_words(&[bv(&[1])]),
-            Err(EccError::NoMajority)
-        );
+        assert_eq!(majority_vote_words(&[bv(&[1])]), Err(EccError::NoMajority));
     }
 }

@@ -1,0 +1,140 @@
+//! Exhaustive ECC roundtrip coverage.
+//!
+//! * Hamming(7, 4): every dataword × every single-bit error position.
+//! * Hamming(71, 64) (`with_data_bits(64)` — the single-error-correcting
+//!   inner code of the standard (72, 64) SECDED used on 64-bit words; the
+//!   72nd bit only adds double-error *detection*): every error position over
+//!   deterministic random datawords.
+//! * BCH(15, 7, 2) and BCH(31, 21, 2): every one- and two-error pattern.
+
+use nvpim_ecc::bch::BchCode;
+use nvpim_ecc::gf2::BitVec;
+use nvpim_ecc::hamming::{DecodeOutcome, HammingCode};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_data(k: usize, rng: &mut ChaCha8Rng) -> BitVec {
+    (0..k).map(|_| rng.gen_bool(0.5)).collect()
+}
+
+#[test]
+fn hamming_7_4_corrects_every_single_bit_error_exhaustively() {
+    let code = HammingCode::new_standard(3);
+    assert_eq!((code.n(), code.k()), (7, 4));
+    for word in 0..16u32 {
+        let data: BitVec = (0..4).map(|i| (word >> i) & 1 == 1).collect();
+        let clean = code.encode(&data);
+
+        // Clean codewords decode untouched.
+        let mut codeword = clean.clone();
+        assert_eq!(code.decode(&mut codeword), DecodeOutcome::Clean);
+        assert_eq!(code.extract_data(&codeword), data);
+
+        // Every single-bit corruption is corrected back to the data.
+        for pos in 0..code.n() {
+            let mut corrupted = clean.clone();
+            corrupted.flip(pos);
+            let outcome = code.decode(&mut corrupted);
+            assert_eq!(
+                outcome,
+                DecodeOutcome::Corrected { position: pos },
+                "word {word:#06b}, error at {pos}"
+            );
+            assert_eq!(corrupted, clean, "word {word:#06b}, error at {pos}");
+            assert_eq!(code.extract_data(&corrupted), data);
+        }
+    }
+}
+
+#[test]
+fn hamming_72_64_inner_code_corrects_every_position() {
+    let code = HammingCode::with_data_bits(64).unwrap();
+    assert_eq!(code.k(), 64);
+    assert_eq!(code.parity_bits(), 7);
+    assert_eq!(code.n(), 71);
+    let mut rng = ChaCha8Rng::seed_from_u64(64);
+    for trial in 0..20 {
+        let data = random_data(64, &mut rng);
+        let clean = code.encode(&data);
+        for pos in 0..code.n() {
+            let mut corrupted = clean.clone();
+            corrupted.flip(pos);
+            let outcome = code.decode(&mut corrupted);
+            assert_eq!(
+                outcome,
+                DecodeOutcome::Corrected { position: pos },
+                "trial {trial}, error at {pos}"
+            );
+            assert_eq!(corrupted, clean);
+            assert_eq!(code.extract_data(&corrupted), data);
+        }
+    }
+}
+
+#[test]
+fn hamming_double_errors_are_never_silently_accepted() {
+    // Hamming distance 3: two errors decode to *some* single-error
+    // correction (possibly wrong data), but never to `Clean` — the checker
+    // always notices something happened.
+    let code = HammingCode::new_standard(3);
+    for word in 0..16u32 {
+        let data: BitVec = (0..4).map(|i| (word >> i) & 1 == 1).collect();
+        let clean = code.encode(&data);
+        for p1 in 0..code.n() {
+            for p2 in (p1 + 1)..code.n() {
+                let mut corrupted = clean.clone();
+                corrupted.flip(p1);
+                corrupted.flip(p2);
+                let outcome = code.decode(&mut corrupted);
+                assert_ne!(
+                    outcome,
+                    DecodeOutcome::Clean,
+                    "word {word:#06b}, errors at {p1},{p2}"
+                );
+            }
+        }
+    }
+}
+
+fn exhaustive_bch_roundtrip(m: usize, t: usize) {
+    let code = BchCode::new(m, t).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64((m * 100 + t) as u64);
+    let data = random_data(code.k(), &mut rng);
+    let clean = code.encode(&data);
+    assert_eq!(code.extract_data(&clean), data);
+
+    // All single-error patterns.
+    for p in 0..code.n() {
+        let mut corrupted = clean.clone();
+        corrupted.flip(p);
+        let fixed = code
+            .decode(&mut corrupted)
+            .unwrap_or_else(|e| panic!("BCH({m},{t}): 1 error at {p}: {e:?}"));
+        assert_eq!(fixed, 1, "error at {p}");
+        assert_eq!(corrupted, clean, "error at {p}");
+    }
+
+    // All double-error patterns.
+    for p1 in 0..code.n() {
+        for p2 in (p1 + 1)..code.n() {
+            let mut corrupted = clean.clone();
+            corrupted.flip(p1);
+            corrupted.flip(p2);
+            let fixed = code
+                .decode(&mut corrupted)
+                .unwrap_or_else(|e| panic!("BCH({m},{t}): errors at {p1},{p2}: {e:?}"));
+            assert_eq!(fixed, 2, "errors at {p1},{p2}");
+            assert_eq!(corrupted, clean, "errors at {p1},{p2}");
+        }
+    }
+}
+
+#[test]
+fn bch_15_corrects_all_one_and_two_error_patterns() {
+    exhaustive_bch_roundtrip(4, 2); // BCH(15, 7, 2): 15 + 105 patterns
+}
+
+#[test]
+fn bch_31_corrects_all_one_and_two_error_patterns() {
+    exhaustive_bch_roundtrip(5, 2); // BCH(31, 21, 2): 31 + 465 patterns
+}

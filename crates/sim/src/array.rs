@@ -77,7 +77,10 @@ impl std::fmt::Display for ArrayError {
                 write!(f, "gate drives {expected} outputs but {got} were supplied")
             }
             ArrayError::PartitionConflict { partition } => {
-                write!(f, "concurrent gate operations overlap in partition {partition}")
+                write!(
+                    f,
+                    "concurrent gate operations overlap in partition {partition}"
+                )
             }
         }
     }
@@ -485,15 +488,14 @@ mod tests {
 
     #[test]
     fn write_faults_corrupt_stored_value() {
-        let mut a = PimArray::new(Technology::SttMram, 1, 4).with_fault_injector(
-            FaultInjector::new(
+        let mut a =
+            PimArray::new(Technology::SttMram, 1, 4).with_fault_injector(FaultInjector::new(
                 ErrorRates {
                     write: 1.0,
                     ..ErrorRates::NONE
                 },
                 9,
-            ),
-        );
+            ));
         a.write_cell(0, 0, true).unwrap();
         assert!(!a.peek(0, 0).unwrap());
         assert_eq!(a.fault_injector().fault_count(), 1);
@@ -501,21 +503,23 @@ mod tests {
 
     #[test]
     fn gate_faults_flip_output() {
-        let mut a = PimArray::new(Technology::SttMram, 1, 4).with_fault_injector(
-            FaultInjector::new(
+        let mut a =
+            PimArray::new(Technology::SttMram, 1, 4).with_fault_injector(FaultInjector::new(
                 ErrorRates {
                     gate: 1.0,
                     ..ErrorRates::NONE
                 },
                 11,
-            ),
-        );
+            ));
         a.poke(0, 0, false).unwrap();
         a.poke(0, 1, false).unwrap();
         let out = a
             .execute_gate(&GateOp::new(GateKind::NOR2, 0, vec![0, 1], vec![2]))
             .unwrap();
-        assert!(!out, "NOR(0,0)=1 must be flipped to 0 by the injected fault");
+        assert!(
+            !out,
+            "NOR(0,0)=1 must be flipped to 0 by the injected fault"
+        );
     }
 
     #[test]

@@ -192,7 +192,8 @@ impl ElectricalModel {
 
     /// Noise margin (fraction) of an `n_outputs`-output 2-input NOR gate.
     pub fn noise_margin(&self, n_outputs: usize, placement: OutputPlacement) -> f64 {
-        self.nor_bias_window(2, n_outputs, placement, 0).noise_margin()
+        self.nor_bias_window(2, n_outputs, placement, 0)
+            .noise_margin()
     }
 
     /// Whether an `n_outputs`-output NOR is feasible (noise margin at least
@@ -319,7 +320,10 @@ mod tests {
             // window with the THR window (Appendix: D = 2..5 depending on
             // technology; we only require existence within D <= 8).
             let d = m.min_dummy_inputs(2, OutputPlacement::Parallel, 8);
-            assert!(d.is_some(), "{tech}: no dummy-input count aligns NOR with THR");
+            assert!(
+                d.is_some(),
+                "{tech}: no dummy-input count aligns NOR with THR"
+            );
         }
     }
 
@@ -341,19 +345,31 @@ mod tests {
 
     #[test]
     fn window_intersection() {
-        let a = BiasWindow { low_v: 1.0, high_v: 2.0 };
-        let b = BiasWindow { low_v: 1.5, high_v: 3.0 };
+        let a = BiasWindow {
+            low_v: 1.0,
+            high_v: 2.0,
+        };
+        let b = BiasWindow {
+            low_v: 1.5,
+            high_v: 3.0,
+        };
         let i = a.intersect(&b);
         assert_eq!(i.low_v, 1.5);
         assert_eq!(i.high_v, 2.0);
         assert!(i.is_feasible());
-        let c = BiasWindow { low_v: 2.5, high_v: 3.0 };
+        let c = BiasWindow {
+            low_v: 2.5,
+            high_v: 3.0,
+        };
         assert!(!a.intersect(&c).is_feasible());
     }
 
     #[test]
     fn zero_window_noise_margin_is_zero() {
-        let w = BiasWindow { low_v: 0.0, high_v: 0.0 };
+        let w = BiasWindow {
+            low_v: 0.0,
+            high_v: 0.0,
+        };
         assert_eq!(w.noise_margin(), 0.0);
     }
 }

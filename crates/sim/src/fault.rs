@@ -270,6 +270,33 @@ mod tests {
     }
 
     #[test]
+    fn same_seed_yields_the_identical_fault_sequence() {
+        // Not just the same flip decisions: the logged fault sequence
+        // (site, row, col, step) must be identical event for event, across
+        // a mixed-site operation stream.
+        let run = |seed| {
+            let mut inj = FaultInjector::new(ErrorRates::uniform(0.02), seed);
+            for i in 0..2_000usize {
+                let site = match i % 4 {
+                    0 => FaultSite::GateOutput,
+                    1 => FaultSite::Write,
+                    2 => FaultSite::Read,
+                    _ => FaultSite::Retention,
+                };
+                inj.apply(site, i % 7, i % 253, i % 2 == 0);
+                if i % 5 == 0 {
+                    inj.advance_step();
+                }
+            }
+            inj.log().to_vec()
+        };
+        let first = run(99);
+        assert!(!first.is_empty(), "this regime must inject faults");
+        assert_eq!(first, run(99), "same seed => identical fault log");
+        assert_ne!(first, run(100), "different seed => different log");
+    }
+
+    #[test]
     fn temporal_correlation_boosts_following_operations() {
         let correlated = CorrelationModel {
             spatial_burst: 0,

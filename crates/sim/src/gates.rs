@@ -213,8 +213,8 @@ mod tests {
         assert!(GateKind::Not.evaluate(&[false]));
         assert!(!GateKind::Not.evaluate(&[true]));
         assert!(GateKind::Preset { value: true }.evaluate(&[]));
-        assert_eq!(GateKind::Preset { value: true }.preset_value(), true);
-        assert_eq!(GateKind::THR.preset_value(), false);
+        assert!(GateKind::Preset { value: true }.preset_value());
+        assert!(!GateKind::THR.preset_value());
     }
 
     #[test]

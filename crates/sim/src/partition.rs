@@ -54,7 +54,10 @@ impl PartitionConfig {
     /// Panics if any width is zero.
     pub fn from_widths(widths: &[usize]) -> Self {
         assert!(!widths.is_empty(), "at least one partition is required");
-        assert!(widths.iter().all(|&w| w > 0), "partition widths must be positive");
+        assert!(
+            widths.iter().all(|&w| w > 0),
+            "partition widths must be positive"
+        );
         let mut boundaries = Vec::with_capacity(widths.len());
         let mut acc = 0;
         for &w in widths {
@@ -216,7 +219,9 @@ mod tests {
         let right = GateOp::new(GateKind::NOR2, 0, vec![24, 25], vec![26]);
         // `compute` writes its second output into the left parity block, so it
         // conflicts with `left`; check both the conflicting and clean cases.
-        assert!(p.validate_concurrent(&[left.clone(), right.clone()]).is_ok());
+        assert!(p
+            .validate_concurrent(&[left.clone(), right.clone()])
+            .is_ok());
         assert!(p.validate_concurrent(&[left, compute]).is_err());
     }
 }

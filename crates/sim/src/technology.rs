@@ -277,7 +277,10 @@ mod tests {
 
     #[test]
     fn toggled_is_involution() {
-        assert_eq!(ResistanceState::Low.toggled().toggled(), ResistanceState::Low);
+        assert_eq!(
+            ResistanceState::Low.toggled().toggled(),
+            ResistanceState::Low
+        );
         assert_eq!(ResistanceState::High.toggled(), ResistanceState::Low);
     }
 }

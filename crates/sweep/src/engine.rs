@@ -1,0 +1,407 @@
+//! Campaign execution: schedule caching, deterministic per-trial seeding,
+//! and the parallel Monte Carlo trial loop.
+//!
+//! Design invariants:
+//!
+//! * **Compile once, run many** — schedules are compiled per
+//!   `(workload, row layout)` and shared (via [`Arc`]) by every trial of
+//!   every point that uses that layout, instead of recompiling per trial.
+//! * **Deterministic seeding** — each trial's input RNG and fault-injector
+//!   RNG seeds are pure functions of `(campaign_seed, point index, trial
+//!   index)`, so results do not depend on which thread ran the trial.
+//! * **Order-independent aggregation** — trial outcomes are collected in
+//!   plan order before aggregation, so the report is byte-identical for any
+//!   thread count (`RAYON_NUM_THREADS=1` vs default).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use nvpim_compiler::netlist::Netlist;
+use nvpim_compiler::schedule::{map_netlist, RowSchedule};
+use nvpim_core::config::DesignConfig;
+use nvpim_core::executor::ProtectedExecutor;
+use nvpim_core::system::{evaluate_schedule, WorkloadShape};
+use nvpim_sim::array::PimArray;
+use nvpim_sim::fault::{ErrorRates, FaultInjector};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use crate::plan::{ProtectionConfig, SweepPlan, SweepWorkload};
+use crate::report::{PointSummary, SweepReport, TrialOutcome};
+use crate::SweepError;
+
+/// A compiled `(netlist, schedule)` pair shared by all trials of the
+/// points that map onto the same row layout.
+#[derive(Debug)]
+pub struct CompiledKernel {
+    /// The workload's row netlist.
+    pub netlist: Netlist,
+    /// The schedule compiled for one specific row layout.
+    pub schedule: RowSchedule,
+}
+
+/// Schedule-cache key: workload name plus the row layout's
+/// `(total, metadata, cells_per_value)` columns.
+type LayoutKey = (String, (usize, usize, usize));
+
+/// Cache of compiled schedules keyed by `(workload, row layout)`.
+///
+/// Technologies never affect the layout, and distinct protection schemes
+/// frequently share one (e.g. every technology's ECiM design), so a
+/// campaign compiles far fewer schedules than it has points.
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    entries: HashMap<LayoutKey, Arc<CompiledKernel>>,
+    netlists: HashMap<String, Netlist>,
+}
+
+impl ScheduleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct compiled schedules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the compiled kernel for `(workload, config.row_layout())`,
+    /// compiling (and validating) it on first use.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Map`] when mapping fails outright and
+    /// [`SweepError::NotDirectlyExecutable`] when the schedule spills (a
+    /// spilled schedule cannot run on a single simulated row).
+    pub fn get_or_compile(
+        &mut self,
+        workload: SweepWorkload,
+        config: &DesignConfig,
+    ) -> Result<Arc<CompiledKernel>, SweepError> {
+        let layout = config.row_layout();
+        let key = (
+            workload.name(),
+            (
+                layout.total_columns,
+                layout.metadata_columns,
+                layout.cells_per_value,
+            ),
+        );
+        if let Some(kernel) = self.entries.get(&key) {
+            return Ok(Arc::clone(kernel));
+        }
+        // Netlist synthesis is itself cached: every layout of a workload
+        // shares one netlist build.
+        let netlist = self
+            .netlists
+            .entry(key.0.clone())
+            .or_insert_with(|| workload.netlist())
+            .clone();
+        let schedule = map_netlist(&netlist, layout).map_err(|err| SweepError::Map {
+            workload: workload.name(),
+            detail: err.to_string(),
+        })?;
+        if !schedule.is_directly_executable() {
+            return Err(SweepError::NotDirectlyExecutable {
+                workload: workload.name(),
+                layout_label: format!(
+                    "{} cols, {} metadata, {} cells/value",
+                    layout.total_columns, layout.metadata_columns, layout.cells_per_value
+                ),
+            });
+        }
+        let kernel = Arc::new(CompiledKernel { netlist, schedule });
+        self.entries.insert(key, Arc::clone(&kernel));
+        Ok(kernel)
+    }
+}
+
+/// One fully-resolved campaign point, ready to run trials.
+#[derive(Debug, Clone)]
+pub(crate) struct PointContext {
+    pub workload: SweepWorkload,
+    pub protection: ProtectionConfig,
+    pub config: DesignConfig,
+    pub gate_error_rate: f64,
+    pub kernel: Arc<CompiledKernel>,
+    pub executor: Arc<ProtectedExecutor>,
+    /// Analytic single-row time estimate (ns) from the system model.
+    pub est_time_ns: f64,
+    /// Analytic single-row energy estimate (fJ) from the system model.
+    pub est_energy_fj: f64,
+}
+
+/// SplitMix64-style mix used for per-trial seed derivation.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a trial's base seed from the campaign seed and its coordinates.
+///
+/// Pure function of its arguments — never of scheduling order.
+pub fn derive_trial_seed(campaign_seed: u64, point_index: u64, trial_index: u64) -> u64 {
+    mix(mix(campaign_seed ^ mix(point_index)) ^ trial_index)
+}
+
+/// Executes one Monte Carlo trial.
+fn run_trial(ctx: &PointContext, base_seed: u64) -> TrialOutcome {
+    // Independent streams for input generation and fault injection.
+    let mut input_rng = ChaCha8Rng::seed_from_u64(mix(base_seed ^ 0x1));
+    let fault_seed = mix(base_seed ^ 0x2);
+
+    let netlist = &ctx.kernel.netlist;
+    let inputs: Vec<bool> = (0..netlist.inputs.len())
+        .map(|_| input_rng.gen_bool(0.5))
+        .collect();
+    let expected = netlist.evaluate(&inputs);
+
+    let rates = ErrorRates {
+        gate: ctx.gate_error_rate,
+        ..ErrorRates::NONE
+    };
+    let mut array = PimArray::standard(ctx.config.technology)
+        .with_fault_injector(FaultInjector::new(rates, fault_seed));
+
+    match ctx
+        .executor
+        .run(netlist, &ctx.kernel.schedule, &mut array, 0, &inputs)
+    {
+        Ok(report) => {
+            let wrong_bits = report
+                .outputs
+                .iter()
+                .zip(&expected)
+                .filter(|(got, want)| got != want)
+                .count() as u64;
+            TrialOutcome {
+                faults_injected: array.fault_injector().fault_count() as u64,
+                checks: report.checks,
+                errors_detected: report.errors_detected,
+                corrections_written_back: report.corrections_written_back,
+                uncorrectable: report.uncorrectable,
+                wrong_output_bits: wrong_bits,
+                exec_error: None,
+            }
+        }
+        Err(err) => TrialOutcome {
+            faults_injected: array.fault_injector().fault_count() as u64,
+            checks: 0,
+            errors_detected: 0,
+            corrections_written_back: 0,
+            uncorrectable: 0,
+            wrong_output_bits: 0,
+            exec_error: Some(err.to_string()),
+        },
+    }
+}
+
+/// Runs a full campaign: compiles each point's schedule once (shared via
+/// the [`ScheduleCache`]), fans the trials out with rayon, and aggregates
+/// outcomes into a deterministic [`SweepReport`].
+///
+/// # Errors
+///
+/// Plan-validation and schedule-compilation failures; individual trial
+/// execution errors are *recorded* in the report rather than failing the
+/// campaign.
+pub fn run_campaign(plan: &SweepPlan) -> Result<SweepReport, SweepError> {
+    plan.validate()?;
+
+    // Phase 1 — resolve points and compile schedules (sequential, cached).
+    let mut cache = ScheduleCache::new();
+    let mut points: Vec<PointContext> = Vec::with_capacity(plan.point_count());
+    for &workload in &plan.workloads {
+        for &technology in &plan.technologies {
+            for &protection in &plan.protections {
+                let config = protection.design_config(technology);
+                let kernel = cache.get_or_compile(workload, &config)?;
+                let shape = WorkloadShape::new(workload.name(), 1, 1);
+                let estimate = evaluate_schedule(&kernel.schedule, &shape, &config);
+                let executor = Arc::new(ProtectedExecutor::new(config.clone()));
+                for &gate_error_rate in &plan.gate_error_rates {
+                    points.push(PointContext {
+                        workload,
+                        protection,
+                        config: config.clone(),
+                        gate_error_rate,
+                        kernel: Arc::clone(&kernel),
+                        executor: Arc::clone(&executor),
+                        est_time_ns: estimate.time_ns,
+                        est_energy_fj: estimate.energy_fj,
+                    });
+                }
+            }
+        }
+    }
+
+    // Phase 2 — expand and run every trial in parallel. The trial list is
+    // in plan order and the rayon stub preserves order on collect, so the
+    // outcome vector is identical for any thread count.
+    let trials: Vec<(usize, u64)> = (0..points.len())
+        .flat_map(|pi| (0..plan.seeds_per_point).map(move |ti| (pi, ti)))
+        .collect();
+    let campaign_seed = plan.campaign_seed;
+    let points_ref = &points;
+    let outcomes: Vec<TrialOutcome> = trials
+        .into_par_iter()
+        .map(move |(pi, ti)| {
+            let seed = derive_trial_seed(campaign_seed, pi as u64, ti);
+            run_trial(&points_ref[pi], seed)
+        })
+        .collect();
+
+    // Phase 3 — aggregate per point, in plan order.
+    let per_point = plan.seeds_per_point as usize;
+    let summaries: Vec<PointSummary> = points
+        .iter()
+        .enumerate()
+        .map(|(pi, ctx)| {
+            let chunk = &outcomes[pi * per_point..(pi + 1) * per_point];
+            PointSummary::aggregate(ctx, chunk)
+        })
+        .collect();
+
+    Ok(SweepReport::new(plan, summaries, cache.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvpim_sim::technology::Technology;
+
+    #[test]
+    fn trial_seeds_are_stable_and_coordinate_sensitive() {
+        assert_eq!(derive_trial_seed(1, 2, 3), derive_trial_seed(1, 2, 3));
+        assert_ne!(derive_trial_seed(1, 2, 3), derive_trial_seed(1, 2, 4));
+        assert_ne!(derive_trial_seed(1, 2, 3), derive_trial_seed(1, 3, 3));
+        assert_ne!(derive_trial_seed(1, 2, 3), derive_trial_seed(2, 2, 3));
+    }
+
+    #[test]
+    fn schedule_cache_shares_compilations_across_technologies() {
+        let workload = SweepWorkload::Mac {
+            acc_bits: 8,
+            mul_bits: 4,
+        };
+        let mut cache = ScheduleCache::new();
+        let a = cache
+            .get_or_compile(
+                workload,
+                &ProtectionConfig::ECIM.design_config(Technology::SttMram),
+            )
+            .unwrap();
+        let b = cache
+            .get_or_compile(
+                workload,
+                &ProtectionConfig::ECIM.design_config(Technology::ReRam),
+            )
+            .unwrap();
+        // Same layout → the exact same Arc, not a recompilation.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        // A different layout compiles a second schedule.
+        let c = cache
+            .get_or_compile(
+                workload,
+                &ProtectionConfig::TRIM.design_config(Technology::SttMram),
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn exec_error_trials_cannot_masquerade_as_success() {
+        // A point whose trials all fail to execute must not report a
+        // perfect output_error_rate — the rate's denominator counts only
+        // executed trials, and exec_errors stays visible.
+        let workload = SweepWorkload::Mac {
+            acc_bits: 8,
+            mul_bits: 4,
+        };
+        let protection = ProtectionConfig::ECIM;
+        let config = protection.design_config(Technology::SttMram);
+        let mut cache = ScheduleCache::new();
+        let kernel = cache.get_or_compile(workload, &config).unwrap();
+        let ctx = PointContext {
+            workload,
+            protection,
+            config: config.clone(),
+            gate_error_rate: 1e-3,
+            kernel,
+            executor: Arc::new(ProtectedExecutor::new(config)),
+            est_time_ns: 0.0,
+            est_energy_fj: 0.0,
+        };
+        let broken = TrialOutcome {
+            faults_injected: 0,
+            checks: 0,
+            errors_detected: 0,
+            corrections_written_back: 0,
+            uncorrectable: 0,
+            wrong_output_bits: 0,
+            exec_error: Some("array too small".into()),
+        };
+        let failed = TrialOutcome {
+            wrong_output_bits: 2,
+            exec_error: None,
+            ..broken.clone()
+        };
+
+        // All trials broken: rate 0.0 but exec_errors == trials.
+        let all_broken = PointSummary::aggregate(&ctx, &[broken.clone(), broken.clone()]);
+        assert_eq!(all_broken.exec_errors, 2);
+        assert_eq!(all_broken.failed_trials, 0);
+        assert_eq!(all_broken.output_error_rate, 0.0);
+
+        // Mixed: one executed-and-failed trial out of one executed trial
+        // gives rate 1.0, not 1/3.
+        let mixed = PointSummary::aggregate(&ctx, &[broken.clone(), broken, failed]);
+        assert_eq!(mixed.exec_errors, 2);
+        assert_eq!(mixed.failed_trials, 1);
+        assert!((mixed.output_error_rate - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn campaign_reports_protection_efficacy() {
+        // At a demanding error rate the unprotected baseline must fail
+        // trials while ECiM/TRiM keep the output intact far more often.
+        let mut plan = SweepPlan::quick();
+        plan.gate_error_rates = vec![1e-3];
+        plan.seeds_per_point = 16;
+        let report = run_campaign(&plan).unwrap();
+        assert_eq!(report.points.len(), 3);
+        let by_label = |label: &str| {
+            report
+                .points
+                .iter()
+                .find(|p| p.protection == label)
+                .unwrap_or_else(|| panic!("missing point {label}"))
+                .clone()
+        };
+        let unprotected = by_label("unprotected/m-o");
+        let ecim = by_label("ECiM/m-o");
+        let trim = by_label("TRiM/m-o");
+        assert!(
+            unprotected.failed_trials > 0,
+            "unprotected baseline should corrupt some trials"
+        );
+        assert!(ecim.errors_detected > 0, "ECiM should detect faults");
+        assert!(trim.errors_detected > 0, "TRiM should detect faults");
+        assert!(ecim.failed_trials < unprotected.failed_trials);
+        assert!(trim.failed_trials < unprotected.failed_trials);
+        assert_eq!(report.total_trials, 48);
+        // Three distinct layouts (unprotected, ECiM metadata, TRiM copies).
+        assert_eq!(report.schedules_compiled, 3);
+    }
+}

@@ -1,0 +1,307 @@
+//! Campaign plans: the cartesian product of workload × technology ×
+//! protection × error rate, expanded into deterministic Monte Carlo trials.
+
+use nvpim_compiler::builder::CircuitBuilder;
+use nvpim_compiler::netlist::Netlist;
+use nvpim_core::config::{DesignConfig, GateStyle, ProtectionScheme};
+use nvpim_sim::technology::Technology;
+use nvpim_workloads::Benchmark;
+use serde::Serialize;
+
+/// A protection design point: scheme plus gate style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct ProtectionConfig {
+    /// Protection scheme (unprotected baseline, ECiM or TRiM).
+    pub scheme: ProtectionScheme,
+    /// Multi- or single-output metadata generation.
+    pub gate_style: GateStyle,
+}
+
+impl ProtectionConfig {
+    /// The unprotected iso-area baseline.
+    pub const UNPROTECTED: ProtectionConfig = ProtectionConfig {
+        scheme: ProtectionScheme::Unprotected,
+        gate_style: GateStyle::MultiOutput,
+    };
+    /// ECiM with multi-output gates (the paper's primary design point).
+    pub const ECIM: ProtectionConfig = ProtectionConfig {
+        scheme: ProtectionScheme::Ecim,
+        gate_style: GateStyle::MultiOutput,
+    };
+    /// ECiM with single-output gates.
+    pub const ECIM_SINGLE_OUTPUT: ProtectionConfig = ProtectionConfig {
+        scheme: ProtectionScheme::Ecim,
+        gate_style: GateStyle::SingleOutput,
+    };
+    /// TRiM with multi-output gates.
+    pub const TRIM: ProtectionConfig = ProtectionConfig {
+        scheme: ProtectionScheme::Trim,
+        gate_style: GateStyle::MultiOutput,
+    };
+    /// TRiM with single-output gates.
+    pub const TRIM_SINGLE_OUTPUT: ProtectionConfig = ProtectionConfig {
+        scheme: ProtectionScheme::Trim,
+        gate_style: GateStyle::SingleOutput,
+    };
+
+    /// The three multi-output design points of the paper's evaluation.
+    pub fn paper_trio() -> Vec<ProtectionConfig> {
+        vec![Self::UNPROTECTED, Self::ECIM, Self::TRIM]
+    }
+
+    /// The full design configuration for a technology.
+    pub fn design_config(&self, technology: Technology) -> DesignConfig {
+        let base = match self.scheme {
+            ProtectionScheme::Unprotected => DesignConfig::unprotected(technology),
+            ProtectionScheme::Ecim => DesignConfig::ecim(technology),
+            ProtectionScheme::Trim => DesignConfig::trim(technology),
+        };
+        match self.gate_style {
+            GateStyle::MultiOutput => base,
+            GateStyle::SingleOutput => base.with_single_output_gates(),
+        }
+    }
+
+    /// Short label, e.g. `"ECiM/m-o"`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.scheme, self.gate_style)
+    }
+}
+
+/// The per-row program a trial executes functionally on the simulated array.
+///
+/// Kernels are synthesized on the fly with [`CircuitBuilder`]; `Benchmark`
+/// workloads reuse the paper suite's row netlists (they must fit a single
+/// row without spilling — the engine validates this when the campaign
+/// compiles its schedules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum SweepWorkload {
+    /// Multiply-accumulate: `acc + x * y` with an `acc_bits`-bit accumulator
+    /// and `mul_bits`-bit operands (the executor test workload family).
+    Mac {
+        /// Accumulator width in bits.
+        acc_bits: usize,
+        /// Multiplier operand width in bits.
+        mul_bits: usize,
+    },
+    /// Ripple-carry addition of two `bits`-bit words.
+    RippleAdd {
+        /// Operand width in bits.
+        bits: usize,
+    },
+    /// Unsigned multiplication of two `bits`-bit words.
+    Multiplier {
+        /// Operand width in bits.
+        bits: usize,
+    },
+    /// A paper-suite benchmark's per-row netlist.
+    Benchmark(Benchmark),
+}
+
+impl SweepWorkload {
+    /// Stable workload name (doubles as the schedule-cache key component).
+    pub fn name(&self) -> String {
+        match self {
+            SweepWorkload::Mac { acc_bits, mul_bits } => format!("mac{acc_bits}x{mul_bits}"),
+            SweepWorkload::RippleAdd { bits } => format!("add{bits}"),
+            SweepWorkload::Multiplier { bits } => format!("mul{bits}"),
+            SweepWorkload::Benchmark(b) => b.name(),
+        }
+    }
+
+    /// Synthesizes the workload's row netlist.
+    pub fn netlist(&self) -> Netlist {
+        match self {
+            SweepWorkload::Mac { acc_bits, mul_bits } => {
+                let mut b = CircuitBuilder::new();
+                let acc = b.input_word(*acc_bits);
+                let x = b.input_word(*mul_bits);
+                let y = b.input_word(*mul_bits);
+                let out = b.mac(&acc, &x, &y);
+                b.mark_output_word(&out);
+                b.finish()
+            }
+            SweepWorkload::RippleAdd { bits } => {
+                let mut b = CircuitBuilder::new();
+                let x = b.input_word(*bits);
+                let y = b.input_word(*bits);
+                let (sum, carry) = b.ripple_add(&x, &y, None);
+                b.mark_output_word(&sum);
+                b.mark_output(carry);
+                b.finish()
+            }
+            SweepWorkload::Multiplier { bits } => {
+                let mut b = CircuitBuilder::new();
+                let x = b.input_word(*bits);
+                let y = b.input_word(*bits);
+                let p = b.mul_unsigned(&x, &y);
+                b.mark_output_word(&p);
+                b.finish()
+            }
+            SweepWorkload::Benchmark(bench) => bench.row_netlist(),
+        }
+    }
+}
+
+/// A full Monte Carlo campaign description.
+///
+/// The campaign expands into `workloads × technologies × protections ×
+/// gate_error_rates` *points*, each executed for [`seeds_per_point`] trials
+/// whose RNG seeds derive deterministically from [`campaign_seed`] — so a
+/// campaign is reproducible byte-for-byte no matter how it is scheduled
+/// across threads.
+///
+/// [`seeds_per_point`]: SweepPlan::seeds_per_point
+/// [`campaign_seed`]: SweepPlan::campaign_seed
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPlan {
+    /// Workloads to execute.
+    pub workloads: Vec<SweepWorkload>,
+    /// Technologies to simulate.
+    pub technologies: Vec<Technology>,
+    /// Protection design points.
+    pub protections: Vec<ProtectionConfig>,
+    /// Gate-output bit-flip probabilities to sweep.
+    pub gate_error_rates: Vec<f64>,
+    /// Monte Carlo trials per point.
+    pub seeds_per_point: u64,
+    /// Root seed every per-trial seed derives from.
+    pub campaign_seed: u64,
+}
+
+impl SweepPlan {
+    /// A small smoke campaign (single workload/technology, the paper trio,
+    /// three error rates, a handful of seeds) for quick runs and tests.
+    pub fn quick() -> Self {
+        Self {
+            workloads: vec![SweepWorkload::Mac {
+                acc_bits: 8,
+                mul_bits: 4,
+            }],
+            technologies: vec![Technology::SttMram],
+            protections: ProtectionConfig::paper_trio(),
+            gate_error_rates: vec![1e-4, 3e-4, 1e-3],
+            seeds_per_point: 8,
+            campaign_seed: 0x5eed_cafe,
+        }
+    }
+
+    /// The paper-scale campaign behind the harness binaries' `--sweep`
+    /// mode: two kernels, all three technologies, all five protection
+    /// design points, a four-decade error-rate grid.
+    pub fn paper_scale() -> Self {
+        Self {
+            workloads: vec![
+                SweepWorkload::Mac {
+                    acc_bits: 8,
+                    mul_bits: 4,
+                },
+                SweepWorkload::RippleAdd { bits: 8 },
+            ],
+            technologies: Technology::ALL.to_vec(),
+            protections: vec![
+                ProtectionConfig::UNPROTECTED,
+                ProtectionConfig::ECIM,
+                ProtectionConfig::ECIM_SINGLE_OUTPUT,
+                ProtectionConfig::TRIM,
+                ProtectionConfig::TRIM_SINGLE_OUTPUT,
+            ],
+            gate_error_rates: vec![1e-5, 1e-4, 3e-4, 1e-3],
+            seeds_per_point: 25,
+            campaign_seed: 0x15ca_2024,
+        }
+    }
+
+    /// Number of campaign points (workload × technology × protection × rate).
+    pub fn point_count(&self) -> usize {
+        self.workloads.len()
+            * self.technologies.len()
+            * self.protections.len()
+            * self.gate_error_rates.len()
+    }
+
+    /// Total number of Monte Carlo trials the campaign will run.
+    pub fn trial_count(&self) -> u64 {
+        self.point_count() as u64 * self.seeds_per_point
+    }
+
+    /// Checks the plan is non-degenerate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SweepError::EmptyPlan`] naming the empty axis.
+    pub fn validate(&self) -> Result<(), crate::SweepError> {
+        if self.workloads.is_empty() {
+            return Err(crate::SweepError::EmptyPlan("workloads"));
+        }
+        if self.technologies.is_empty() {
+            return Err(crate::SweepError::EmptyPlan("technologies"));
+        }
+        if self.protections.is_empty() {
+            return Err(crate::SweepError::EmptyPlan("protections"));
+        }
+        if self.gate_error_rates.is_empty() {
+            return Err(crate::SweepError::EmptyPlan("gate_error_rates"));
+        }
+        if self.seeds_per_point == 0 {
+            return Err(crate::SweepError::EmptyPlan("seeds_per_point"));
+        }
+        for &rate in &self.gate_error_rates {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(crate::SweepError::InvalidErrorRate(rate));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_the_cartesian_product() {
+        let plan = SweepPlan::quick();
+        assert_eq!(plan.point_count(), 3 * 3);
+        assert_eq!(plan.trial_count(), 9 * 8);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_plans_are_rejected() {
+        let mut plan = SweepPlan::quick();
+        plan.gate_error_rates.clear();
+        assert!(plan.validate().is_err());
+        let mut plan = SweepPlan::quick();
+        plan.gate_error_rates = vec![1.5];
+        assert!(plan.validate().is_err());
+        let mut plan = SweepPlan::quick();
+        plan.seeds_per_point = 0;
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn workload_netlists_have_inputs_and_outputs() {
+        for w in [
+            SweepWorkload::Mac {
+                acc_bits: 8,
+                mul_bits: 4,
+            },
+            SweepWorkload::RippleAdd { bits: 8 },
+            SweepWorkload::Multiplier { bits: 4 },
+        ] {
+            let n = w.netlist();
+            assert!(!n.inputs.is_empty(), "{}", w.name());
+            assert!(!n.outputs.is_empty(), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn protection_labels_and_configs_line_up() {
+        let p = ProtectionConfig::ECIM_SINGLE_OUTPUT;
+        assert_eq!(p.label(), "ECiM/s-o");
+        let cfg = p.design_config(Technology::ReRam);
+        assert_eq!(cfg.scheme, ProtectionScheme::Ecim);
+        assert_eq!(cfg.gate_style, GateStyle::SingleOutput);
+    }
+}

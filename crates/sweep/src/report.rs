@@ -1,0 +1,217 @@
+//! Campaign results: per-trial outcomes, per-point aggregates and the
+//! serializable [`SweepReport`].
+
+use serde::Serialize;
+
+use crate::engine::PointContext;
+use crate::plan::SweepPlan;
+
+/// Raw counters from one Monte Carlo trial.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TrialOutcome {
+    /// Faults the injector actually fired during the trial.
+    pub faults_injected: u64,
+    /// Checker invocations.
+    pub checks: u64,
+    /// Checks that detected an error.
+    pub errors_detected: u64,
+    /// Data bits corrected and written back.
+    pub corrections_written_back: u64,
+    /// Checks whose error pattern exceeded the correction capability.
+    pub uncorrectable: u64,
+    /// Final output bits differing from the fault-free reference.
+    pub wrong_output_bits: u64,
+    /// Execution error, if the trial failed to run at all.
+    pub exec_error: Option<String>,
+}
+
+impl TrialOutcome {
+    /// Whether the final output was wrong (a failed trial).
+    pub fn failed(&self) -> bool {
+        self.wrong_output_bits > 0
+    }
+
+    /// A *silent* failure: wrong output with no uncorrectable flag — the
+    /// scheme believed the computation was fine (or corrected), yet the
+    /// result is corrupt. This is the error class SEP exists to eliminate.
+    pub fn silent_failure(&self) -> bool {
+        self.failed() && self.uncorrectable == 0
+    }
+}
+
+/// Aggregated results of one campaign point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PointSummary {
+    /// Workload name.
+    pub workload: String,
+    /// Technology label.
+    pub technology: String,
+    /// Protection label (e.g. `"ECiM/m-o"`).
+    pub protection: String,
+    /// Gate-output bit-flip probability of this point.
+    pub gate_error_rate: f64,
+    /// Trials run.
+    pub trials: u64,
+    /// Total faults injected across the trials.
+    pub faults_injected: u64,
+    /// Total Checker invocations.
+    pub checks: u64,
+    /// Checks that detected an error.
+    pub errors_detected: u64,
+    /// Corrections written back to the array.
+    pub corrections_written_back: u64,
+    /// Checks flagged uncorrectable.
+    pub uncorrectable_checks: u64,
+    /// Trials whose final output was wrong.
+    pub failed_trials: u64,
+    /// Failed trials that raised no uncorrectable flag (silent errors).
+    pub silent_failures: u64,
+    /// Total wrong output bits across all trials.
+    pub wrong_output_bits: u64,
+    /// `failed_trials / (trials − exec_errors)` — the denominator counts
+    /// only trials that actually executed, so a broken point (all trials
+    /// erroring) cannot masquerade as a perfect 0.0 error rate. `NaN`-free:
+    /// reported as 0.0 when nothing executed (check [`Self::exec_errors`]).
+    pub output_error_rate: f64,
+    /// Trials that could not execute at all. Always inspect alongside
+    /// [`Self::output_error_rate`]: a nonzero value means the point's
+    /// statistics rest on fewer trials than planned.
+    pub exec_errors: u64,
+    /// Analytic per-row execution time estimate (ns) from the system model.
+    pub est_time_ns: f64,
+    /// Analytic per-row energy estimate (fJ) from the system model.
+    pub est_energy_fj: f64,
+}
+
+impl PointSummary {
+    /// Folds a point's trial outcomes (in trial order) into a summary.
+    pub(crate) fn aggregate(ctx: &PointContext, outcomes: &[TrialOutcome]) -> Self {
+        let trials = outcomes.len() as u64;
+        let mut s = PointSummary {
+            workload: ctx.workload.name(),
+            technology: ctx.config.technology.to_string(),
+            protection: ctx.protection.label(),
+            gate_error_rate: ctx.gate_error_rate,
+            trials,
+            faults_injected: 0,
+            checks: 0,
+            errors_detected: 0,
+            corrections_written_back: 0,
+            uncorrectable_checks: 0,
+            failed_trials: 0,
+            silent_failures: 0,
+            wrong_output_bits: 0,
+            output_error_rate: 0.0,
+            exec_errors: 0,
+            est_time_ns: ctx.est_time_ns,
+            est_energy_fj: ctx.est_energy_fj,
+        };
+        for o in outcomes {
+            s.faults_injected += o.faults_injected;
+            s.checks += o.checks;
+            s.errors_detected += o.errors_detected;
+            s.corrections_written_back += o.corrections_written_back;
+            s.uncorrectable_checks += o.uncorrectable;
+            s.wrong_output_bits += o.wrong_output_bits;
+            if o.failed() {
+                s.failed_trials += 1;
+            }
+            if o.silent_failure() {
+                s.silent_failures += 1;
+            }
+            if o.exec_error.is_some() {
+                s.exec_errors += 1;
+            }
+        }
+        let executed = trials - s.exec_errors;
+        if executed > 0 {
+            s.output_error_rate = s.failed_trials as f64 / executed as f64;
+        }
+        s
+    }
+}
+
+/// The serializable result of a whole campaign.
+///
+/// Field order is declaration order and every value derives solely from the
+/// plan and the trial outcomes (never from wall-clock time or thread
+/// scheduling), so `to_json()` is byte-identical across runs and across
+/// `RAYON_NUM_THREADS` settings.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepReport {
+    /// Report schema version.
+    pub schema_version: u32,
+    /// The campaign's root seed.
+    pub campaign_seed: u64,
+    /// Trials per point.
+    pub seeds_per_point: u64,
+    /// Total trials run.
+    pub total_trials: u64,
+    /// Total failed trials across all points.
+    pub total_failed_trials: u64,
+    /// Total trials that could not execute, across all points (nonzero
+    /// means some points' statistics rest on fewer trials than planned).
+    pub total_exec_errors: u64,
+    /// Distinct schedules the cache compiled (vs `points.len()` had every
+    /// trial recompiled its own mapping).
+    pub schedules_compiled: usize,
+    /// Per-point aggregates, in plan (cartesian) order.
+    pub points: Vec<PointSummary>,
+}
+
+impl SweepReport {
+    pub(crate) fn new(
+        plan: &SweepPlan,
+        points: Vec<PointSummary>,
+        schedules_compiled: usize,
+    ) -> Self {
+        let total_trials = points.iter().map(|p| p.trials).sum();
+        let total_failed_trials = points.iter().map(|p| p.failed_trials).sum();
+        let total_exec_errors = points.iter().map(|p| p.exec_errors).sum();
+        SweepReport {
+            schema_version: 1,
+            campaign_seed: plan.campaign_seed,
+            seeds_per_point: plan.seeds_per_point,
+            total_trials,
+            total_failed_trials,
+            total_exec_errors,
+            schedules_compiled,
+            points,
+        }
+    }
+
+    /// Pretty-printed deterministic JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sweep reports serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_failure_classification() {
+        let base = TrialOutcome {
+            faults_injected: 2,
+            checks: 10,
+            errors_detected: 1,
+            corrections_written_back: 1,
+            uncorrectable: 0,
+            wrong_output_bits: 0,
+            exec_error: None,
+        };
+        assert!(!base.failed());
+        let silent = TrialOutcome {
+            wrong_output_bits: 3,
+            ..base.clone()
+        };
+        assert!(silent.failed() && silent.silent_failure());
+        let loud = TrialOutcome {
+            wrong_output_bits: 3,
+            uncorrectable: 1,
+            ..base
+        };
+        assert!(loud.failed() && !loud.silent_failure());
+    }
+}

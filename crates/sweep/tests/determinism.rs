@@ -1,0 +1,47 @@
+//! Campaign-level determinism: the serialized report must be a pure
+//! function of the plan — independent of thread count and repeatable
+//! across runs — and distinct campaign seeds must actually change results.
+//!
+//! NOTE: this file must contain exactly one `#[test]`, because it mutates
+//! the process-global `RAYON_NUM_THREADS` variable — sibling tests in the
+//! same binary would run concurrently and race the env reads (the reason
+//! `set_var` is unsafe in edition 2024). Campaign tests that don't touch
+//! the environment belong in other test files (separate binaries, which
+//! cargo runs sequentially).
+
+use nvpim_sweep::{run_campaign, SweepPlan};
+
+#[test]
+fn report_json_is_byte_identical_across_thread_counts_and_runs() {
+    let plan = SweepPlan::quick();
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let single_threaded = run_campaign(&plan).unwrap().to_json();
+    let single_threaded_again = run_campaign(&plan).unwrap().to_json();
+
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let four_threads = run_campaign(&plan).unwrap().to_json();
+
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let default_threads = run_campaign(&plan).unwrap().to_json();
+
+    assert_eq!(
+        single_threaded, single_threaded_again,
+        "same plan, same thread count → identical JSON"
+    );
+    assert_eq!(
+        single_threaded, four_threads,
+        "RAYON_NUM_THREADS=1 vs 4 must not change the report"
+    );
+    assert_eq!(
+        single_threaded, default_threads,
+        "default thread count must not change the report"
+    );
+
+    // A different campaign seed must actually change trial outcomes
+    // (otherwise the determinism above would be vacuous).
+    let mut reseeded = plan.clone();
+    reseeded.campaign_seed ^= 0xDEAD_BEEF;
+    let other = run_campaign(&reseeded).unwrap().to_json();
+    assert_ne!(single_threaded, other, "campaign seed must matter");
+}

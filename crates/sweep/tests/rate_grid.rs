@@ -1,0 +1,40 @@
+//! The campaign really sweeps its error-rate grid.
+//!
+//! Lives in its own test binary (not `determinism.rs`) because that
+//! binary's test mutates the process-global `RAYON_NUM_THREADS` variable —
+//! tests inside one binary run concurrently, and cargo runs test binaries
+//! sequentially, so the separation removes the env-read race entirely.
+
+use nvpim_sweep::{run_campaign, SweepPlan};
+
+#[test]
+fn faults_scale_with_the_error_rate_grid() {
+    // Within one protection scheme, more demanding error rates must inject
+    // more faults — the campaign actually sweeps the grid rather than
+    // reusing one regime.
+    let report = run_campaign(&SweepPlan::quick()).unwrap();
+    for scheme in ["unprotected/m-o", "ECiM/m-o", "TRiM/m-o"] {
+        let rates: Vec<_> = report
+            .points
+            .iter()
+            .filter(|p| p.protection == scheme)
+            .collect();
+        assert_eq!(rates.len(), 3, "{scheme}");
+        for pair in rates.windows(2) {
+            assert!(
+                pair[0].gate_error_rate < pair[1].gate_error_rate,
+                "points stay in plan order"
+            );
+            assert!(
+                pair[0].faults_injected <= pair[1].faults_injected,
+                "{scheme}: faults at {} should not exceed faults at {}",
+                pair[0].gate_error_rate,
+                pair[1].gate_error_rate,
+            );
+        }
+        assert!(
+            rates[2].faults_injected > rates[0].faults_injected,
+            "{scheme}: the decade spread must be visible in fault counts"
+        );
+    }
+}

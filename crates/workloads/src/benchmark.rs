@@ -94,7 +94,9 @@ impl Benchmark {
 
     /// Number of arrays used (at most 16, per the paper).
     pub fn arrays(&self) -> usize {
-        self.parallel_rows().div_ceil(ROWS_PER_ARRAY).clamp(1, MAX_ARRAYS)
+        self.parallel_rows()
+            .div_ceil(ROWS_PER_ARRAY)
+            .clamp(1, MAX_ARRAYS)
     }
 
     /// The workload shape consumed by the system model.
@@ -131,7 +133,7 @@ mod tests {
     fn array_counts_respect_the_sixteen_array_fleet() {
         for b in Benchmark::paper_suite() {
             let arrays = b.arrays();
-            assert!(arrays >= 1 && arrays <= 16, "{b}: {arrays}");
+            assert!((1..=16).contains(&arrays), "{b}: {arrays}");
         }
         // mm64 needs the full fleet (4096 rows).
         assert_eq!(Benchmark::MatMul { dim: 64 }.arrays(), 16);
@@ -144,9 +146,7 @@ mod tests {
     fn netlist_sizes_grow_within_each_family() {
         let g = |b: Benchmark| b.row_netlist().gate_count();
         assert!(g(Benchmark::MatMul { dim: 16 }) > g(Benchmark::MatMul { dim: 8 }));
-        assert!(
-            g(Benchmark::Mnist { weight_bits: 2 }) > g(Benchmark::Mnist { weight_bits: 1 })
-        );
+        assert!(g(Benchmark::Mnist { weight_bits: 2 }) > g(Benchmark::Mnist { weight_bits: 1 }));
         assert!(g(Benchmark::Fft { points: 16 }) > g(Benchmark::Fft { points: 8 }));
     }
 

@@ -35,7 +35,10 @@ impl Complex {
 
 /// Number of FFT stages for an `n`-point transform.
 pub fn stages(n: usize) -> usize {
-    assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "FFT size must be a power of two"
+    );
     n.trailing_zeros() as usize
 }
 
@@ -216,7 +219,7 @@ mod tests {
             }
         }
         // twiddle = 0 + 0j
-        inputs.extend(std::iter::repeat(false).take(2 * COMPONENT_BITS));
+        inputs.extend(std::iter::repeat_n(false, 2 * COMPONENT_BITS));
         let out = netlist.evaluate(&inputs);
         let word = |idx: usize| -> u64 {
             out[idx * width..(idx + 1) * width]

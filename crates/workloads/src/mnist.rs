@@ -143,9 +143,7 @@ impl QuantizedMlp {
 /// Accumulator width for a `terms`-term dot product of 8-bit pixels and
 /// `weight_bits`-bit weights.
 pub fn accumulator_bits(weight_bits: usize, terms: usize) -> usize {
-    PIXEL_BITS
-        + weight_bits
-        + (usize::BITS - terms.next_power_of_two().leading_zeros()) as usize
+    PIXEL_BITS + weight_bits + (usize::BITS - terms.next_power_of_two().leading_zeros()) as usize
 }
 
 /// Builds the per-row netlist of the `mnist<weight_bits>` benchmark: a chunk
@@ -210,7 +208,7 @@ mod tests {
         assert!(a.labels.iter().all(|&l| l < CLASSES as u8));
         // Images are not all-zero and not all-saturated.
         assert!(a.images[0].iter().any(|&p| p > 0));
-        assert!(a.images[0].iter().any(|&p| p == 0));
+        assert!(a.images[0].contains(&0));
         let c = SyntheticMnist::generate(5, 43);
         assert_ne!(a.images, c.images);
     }
@@ -268,7 +266,10 @@ mod tests {
     fn full_row_netlist_has_the_paper_scale() {
         // 196 MACs per row: a substantial program (tens of thousands of gates).
         let netlist = row_netlist(1);
-        assert_eq!(netlist.inputs.len(), (PIXEL_BITS + 1) * IMAGE_PIXELS / ROW_SPLIT);
+        assert_eq!(
+            netlist.inputs.len(),
+            (PIXEL_BITS + 1) * IMAGE_PIXELS / ROW_SPLIT
+        );
         assert!(netlist.gate_count() > 10_000);
     }
 }

@@ -15,6 +15,7 @@
 //! | Application mapping (NOR synthesis, scheduling, reclaims) | `nvpim-compiler` | [`compiler`] |
 //! | ECiM / TRiM, Checker, SEP analysis, system model | `nvpim-core` | [`core`] |
 //! | Benchmarks (mm, mnist, fft) | `nvpim-workloads` | [`workloads`] |
+//! | Monte Carlo fault-sweep campaigns | `nvpim-sweep` | [`sweep`] |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
@@ -47,4 +48,5 @@ pub use nvpim_compiler as compiler;
 pub use nvpim_core as core;
 pub use nvpim_ecc as ecc;
 pub use nvpim_sim as sim;
+pub use nvpim_sweep as sweep;
 pub use nvpim_workloads as workloads;

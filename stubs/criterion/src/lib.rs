@@ -1,0 +1,213 @@
+//! Offline stand-in for the real `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use (`Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros). Instead of statistical
+//! sampling it runs each benchmark closure a fixed number of iterations and
+//! prints mean wall-clock time per iteration — enough to compare kernels
+//! and to keep `cargo bench` working offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations per benchmark (after one warm-up call).
+const ITERATIONS: u32 = 10;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepted for compatibility; the stub has no warm-up phase to tune.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stub's measurement is fixed.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stub's sample count is fixed.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark identified by name or [`BenchmarkId`].
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = ITERATIONS;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let per_iter = if bencher.iterations > 0 {
+        bencher.elapsed / bencher.iterations
+    } else {
+        Duration::ZERO
+    };
+    println!("bench {name:<60} {per_iter:>12.2?}/iter");
+}
+
+/// Declares a group of benchmark functions (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*);
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_groups_and_functions() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1))
+            .sample_size(5);
+        sample_bench(&mut c);
+        c.bench_function("top_level", |b| b.iter(|| black_box(2 + 2)));
+    }
+}

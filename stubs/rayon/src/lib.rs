@@ -1,0 +1,204 @@
+//! Offline stand-in for the real `rayon` crate.
+//!
+//! Implements the small parallel-iterator surface the workspace uses —
+//! `into_par_iter()` / `par_iter()` → `map` → `collect` / `for_each` — on
+//! top of `std::thread::scope`. Items are split into contiguous chunks, one
+//! per worker thread, and results are reassembled **in input order**, so a
+//! `collect::<Vec<_>>()` is byte-identical to the sequential result
+//! regardless of thread count. The thread count honours the
+//! `RAYON_NUM_THREADS` environment variable (like the real crate) and
+//! otherwise uses the machine's available parallelism.
+
+use std::ops::Range;
+
+/// Number of worker threads used by parallel operations.
+///
+/// Reads `RAYON_NUM_THREADS` (values `< 1` are clamped to 1), falling back
+/// to `std::thread::available_parallelism`.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A materialized parallel iterator over owned items.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item, in parallel.
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        self.map(f).collect::<Vec<()>>();
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator; consumed by [`ParMap::collect`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Executes the map in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        let threads = current_num_threads().max(1);
+        let len = self.items.len();
+        if threads == 1 || len <= 1 {
+            return self.items.into_iter().map(self.f).collect();
+        }
+        let chunk_size = len.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk_size));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let f = &self.f;
+        let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            for handle in handles {
+                // Propagate worker panics, like real rayon.
+                results.push(handle.join().expect("rayon stub: worker thread panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// The produced item type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter {
+                    items: self.collect(),
+                }
+            }
+        }
+    )*};
+}
+impl_range_into_par_iter!(usize, u32, u64, i32, i64);
+
+/// Conversion into a parallel iterator over borrowed items.
+pub trait IntoParallelRefIterator<'data> {
+    /// The produced (borrowed) item type.
+    type Item: Send;
+    /// Produces a parallel iterator borrowing from `self`.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = input.clone().into_par_iter().map(|x| x * 2).collect();
+        let expected: Vec<usize> = input.iter().map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn range_and_ref_iterators_work() {
+        let squares: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[99], 99 * 99);
+        let v = vec![1u64, 2, 3];
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<()> = (0usize..64)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 63 {
+                        panic!("boom");
+                    }
+                })
+                .collect();
+        });
+        assert!(result.is_err());
+    }
+}

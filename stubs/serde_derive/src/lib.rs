@@ -1,0 +1,447 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate re-implements `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! against the stub `serde` crate in this workspace, using only the
+//! built-in `proc_macro` API (no `syn` / `quote`).
+//!
+//! Supported shapes — everything the workspace derives on:
+//! * structs with named fields, tuple structs, unit structs,
+//! * enums with unit, named-field and tuple variants,
+//! * simple generics (type parameters gain a `serde` bound).
+//!
+//! `Serialize` expands to an implementation of the stub trait's
+//! `to_json(&self) -> serde::Value`; `Deserialize` expands to a marker
+//! implementation (nothing in the workspace deserializes at run time).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    /// Raw generic parameter segments, e.g. `["T: Clone", "const N: usize"]`.
+    generic_segments: Vec<String>,
+    /// Just the parameter names for the type position, e.g. `["T", "N"]`.
+    generic_names: Vec<String>,
+    shape: Shape,
+}
+
+enum Shape {
+    UnitStruct,
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub: generated Serialize impl must parse")
+}
+
+/// Derives the stub `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = expect_ident(&tokens, &mut i);
+    assert!(
+        kind == "struct" || kind == "enum",
+        "serde_derive stub: expected struct or enum, found `{kind}`"
+    );
+    let name = expect_ident(&tokens, &mut i);
+
+    // Generics.
+    let mut generic_segments = Vec::new();
+    let mut generic_names = Vec::new();
+    if matches_punct(tokens.get(i), '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut seg: Vec<TokenTree> = Vec::new();
+        let mut segs: Vec<Vec<TokenTree>> = Vec::new();
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    seg.push(tokens[i].clone());
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                    seg.push(tokens[i].clone());
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    if !seg.is_empty() {
+                        segs.push(std::mem::take(&mut seg));
+                    }
+                }
+                t => seg.push(t.clone()),
+            }
+            i += 1;
+        }
+        if !seg.is_empty() {
+            segs.push(seg);
+        }
+        for seg in segs {
+            // Drop any default (`= ...`) from the declaration segment.
+            let mut decl: Vec<TokenTree> = Vec::new();
+            for t in &seg {
+                if matches_punct(Some(t), '=') {
+                    break;
+                }
+                decl.push(t.clone());
+            }
+            generic_segments.push(tokens_to_string(&decl));
+            generic_names.push(param_name(&seg));
+        }
+    }
+
+    // Skip a `where` clause if present (scan forward to the body).
+    let shape = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                if kind == "struct" {
+                    break Shape::NamedStruct(parse_named_fields(&body));
+                }
+                break Shape::Enum(parse_variants(&body));
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+            {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                break Shape::TupleStruct(count_top_level_fields(&body));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Shape::UnitStruct,
+            Some(_) => i += 1, // inside a where clause
+            None => break Shape::UnitStruct,
+        }
+    };
+
+    Item {
+        name,
+        generic_segments,
+        generic_names,
+        shape,
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stub: expected identifier, found {other:?}"),
+    }
+}
+
+fn matches_punct(token: Option<&TokenTree>, ch: char) -> bool {
+    matches!(token, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The name of a generic parameter from its declaration segment.
+fn param_name(seg: &[TokenTree]) -> String {
+    let mut iter = seg.iter().peekable();
+    while let Some(t) = iter.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                if let Some(TokenTree::Ident(id)) = iter.next() {
+                    return format!("'{id}");
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "const" => {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    return name.to_string();
+                }
+            }
+            TokenTree::Ident(id) => return id.to_string(),
+            _ => {}
+        }
+    }
+    panic!("serde_derive stub: could not find generic parameter name in `{seg:?}`")
+}
+
+/// Parses `name: Type, ...` sequences, tracking `<...>` depth so commas
+/// inside generic arguments do not split fields.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = expect_ident(body, &mut i);
+        assert!(
+            matches_punct(body.get(i), ':'),
+            "serde_derive stub: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: consume until a comma at angle-depth 0.
+        let mut depth = 0isize;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct / tuple-variant body.
+fn count_top_level_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut depth = 0isize;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in body.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx + 1 == body.len() {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = expect_ident(body, &mut i);
+        let shape = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantShape::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantShape::Tuple(count_top_level_fields(&inner))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        while i < body.len() && !matches_punct(body.get(i), ',') {
+            i += 1;
+        }
+        i += 1; // the comma
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_path: &str, bound: &str) -> String {
+    if item.generic_segments.is_empty() {
+        format!("impl {trait_path} for {} ", item.name)
+    } else {
+        let params: Vec<String> = item
+            .generic_segments
+            .iter()
+            .map(|seg| {
+                let is_type_param = !seg.starts_with('\'') && !seg.starts_with("const ");
+                if !is_type_param {
+                    seg.clone()
+                } else if seg.contains(':') {
+                    format!("{seg} + {bound}")
+                } else {
+                    format!("{seg}: {bound}")
+                }
+            })
+            .collect();
+        format!(
+            "impl<{}> {trait_path} for {}<{}> ",
+            params.join(", "),
+            item.name,
+            item.generic_names.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_json(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__fields)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let mut s = String::from(
+                "let mut __items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+            );
+            for idx in 0..*n {
+                s.push_str(&format!(
+                    "__items.push(::serde::Serialize::to_json(&self.{idx}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Array(__items)");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                let ty = &item.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        s.push_str(&format!(
+                            "{ty}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),\n"
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let mut arm = format!("{ty}::{vname} {{ {binders} }} => {{\n");
+                        arm.push_str(
+                            "let mut __inner: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "__inner.push((::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_json({f})));\n"
+                            ));
+                        }
+                        arm.push_str(&format!(
+                            "::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(__inner))])\n}}\n"
+                        ));
+                        s.push_str(&arm);
+                        s.push(',');
+                        s.push('\n');
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let pattern = binders.join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_json(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        s.push_str(&format!(
+                            "{ty}::{vname}({pattern}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), {inner})]),\n"
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "{}{{\n fn to_json(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        impl_header(item, "::serde::Serialize", "::serde::Serialize")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    format!(
+        "{}{{}}",
+        impl_header(item, "::serde::Deserialize", "::serde::Deserialize")
+    )
+}
