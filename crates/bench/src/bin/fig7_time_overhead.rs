@@ -2,9 +2,11 @@
 //! the unprotected iso-area baseline, with multi-output gates.
 //!
 //! Pass `--sweep` to additionally run the Monte Carlo fault-injection
-//! campaign (protection efficacy alongside the analytic cost table).
+//! campaign (protection efficacy alongside the analytic cost table),
+//! `--connect HOST:PORT` to run it on a remote `nvpim-serviced`, or
+//! `--serve HOST:PORT` to stay up as a campaign daemon afterwards.
 
-use nvpim_bench::{print_json, print_table, run_monte_carlo_sweep, sweep_suite, HarnessOptions};
+use nvpim_bench::{finish_harness, print_table, sweep_suite, HarnessOptions};
 use nvpim_sim::technology::Technology;
 
 fn main() {
@@ -33,10 +35,5 @@ fn main() {
         ],
         &table,
     );
-    if opts.json {
-        print_json(&rows);
-    }
-    if opts.sweep {
-        run_monte_carlo_sweep(&opts);
-    }
+    finish_harness(&opts, &rows);
 }

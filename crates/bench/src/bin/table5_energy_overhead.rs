@@ -3,11 +3,11 @@
 //! baseline, for all three technologies.
 //!
 //! Pass `--sweep` to additionally run the Monte Carlo fault-injection
-//! campaign (protection efficacy alongside the analytic cost table).
+//! campaign (protection efficacy alongside the analytic cost table),
+//! `--connect HOST:PORT` to run it on a remote `nvpim-serviced`, or
+//! `--serve HOST:PORT` to stay up as a campaign daemon afterwards.
 
-use nvpim_bench::{
-    print_json, print_table, run_monte_carlo_sweep, sweep_benchmark, HarnessOptions,
-};
+use nvpim_bench::{finish_harness, print_table, sweep_benchmark, HarnessOptions};
 use nvpim_sim::technology::Technology;
 use serde::Serialize;
 
@@ -62,10 +62,5 @@ fn main() {
         ],
         &table,
     );
-    if opts.json {
-        print_json(&rows);
-    }
-    if opts.sweep {
-        run_monte_carlo_sweep(&opts);
-    }
+    finish_harness(&opts, &rows);
 }

@@ -1,0 +1,222 @@
+//! `nvpim-cli` — client for the `nvpim-serviced` campaign daemon.
+//!
+//! ```text
+//! nvpim-cli submit  [--addr A] (--plan plan.json | --quick | --paper-scale)
+//!                   [--priority N] [--wait]
+//! nvpim-cli status  [--addr A] --job ID
+//! nvpim-cli result  [--addr A] --job ID [--wait]
+//! nvpim-cli cancel  [--addr A] --job ID
+//! nvpim-cli stats   [--addr A]
+//! nvpim-cli shutdown [--addr A]
+//! nvpim-cli run     (--plan plan.json | --quick | --paper-scale)   # no daemon
+//! ```
+//!
+//! `submit --wait` streams progress to stderr and prints the final report
+//! JSON (pretty, byte-identical to a direct `run_campaign` of the same
+//! plan) on stdout. `run` executes the plan locally without a daemon —
+//! used by CI to diff daemon output against direct execution.
+
+use nvpim_service::client::{request, Client};
+use nvpim_service::flags::{has_flag, value_of};
+use nvpim_sweep::{run_campaign, SweepPlan};
+use serde::Value;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("nvpim-cli: {msg}");
+    std::process::exit(1)
+}
+
+/// Resolves the plan selection flags into a request `plan` value.
+fn plan_value(args: &[String]) -> Value {
+    if has_flag(args, "--quick") {
+        return Value::Str("quick".into());
+    }
+    if has_flag(args, "--paper-scale") {
+        return Value::Str("paper_scale".into());
+    }
+    let path = value_of(args, "--plan")
+        .unwrap_or_else(|| die("expected --plan FILE, --quick or --paper-scale"));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| die(format!("reading {path}: {e}")));
+    serde_json::from_str(&text).unwrap_or_else(|e| die(format!("parsing {path}: {e}")))
+}
+
+/// Decodes the same plan selection locally (for `run`).
+fn plan_local(args: &[String]) -> SweepPlan {
+    if has_flag(args, "--quick") {
+        return SweepPlan::quick();
+    }
+    if has_flag(args, "--paper-scale") {
+        return SweepPlan::paper_scale();
+    }
+    let value = plan_value(args);
+    SweepPlan::from_json_value(&value).unwrap_or_else(|e| die(e))
+}
+
+fn connect(args: &[String]) -> Client {
+    let addr = value_of(args, "--addr").unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    Client::connect(&addr).unwrap_or_else(|e| die(format!("connecting to {addr}: {e}")))
+}
+
+fn job_arg(args: &[String]) -> u64 {
+    value_of(args, "--job")
+        .unwrap_or_else(|| die("expected --job ID"))
+        .parse()
+        .unwrap_or_else(|_| die("--job expects a number"))
+}
+
+/// Exits with status 1 when a response carries `"ok": false`.
+fn check_ok(response: &Value) -> &Value {
+    if response.get("ok").and_then(Value::as_bool) != Some(true) {
+        let code = response
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str)
+            .unwrap_or("unknown");
+        let message = response
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Value::as_str)
+            .unwrap_or("malformed error response");
+        die(format!("server error [{code}]: {message}"));
+    }
+    response
+}
+
+fn print_pretty(value: &Value) {
+    println!(
+        "{}",
+        serde_json::to_string_pretty(value).expect("serialize")
+    );
+}
+
+/// Prints the embedded report of a `result`-shaped response.
+fn print_report(response: &Value) {
+    let report = response
+        .get("report")
+        .unwrap_or_else(|| die("result response carries no report"));
+    print_pretty(report);
+}
+
+fn cmd_submit(args: &[String]) {
+    let mut client = connect(args);
+    let wait = has_flag(args, "--wait");
+    let mut fields = vec![("plan".to_string(), plan_value(args))];
+    if let Some(p) = value_of(args, "--priority") {
+        let p: u64 = p
+            .parse()
+            .unwrap_or_else(|_| die("--priority expects a number"));
+        fields.push(("priority".to_string(), Value::UInt(p)));
+    }
+    if wait {
+        fields.push(("wait".to_string(), Value::Bool(true)));
+    }
+    client
+        .send(&request("submit", fields))
+        .unwrap_or_else(|e| die(e));
+    // First line: acceptance (or error).
+    let accepted = client
+        .recv()
+        .unwrap_or_else(|e| die(e))
+        .unwrap_or_else(|| die("server closed the connection"));
+    check_ok(&accepted);
+    if !wait {
+        print_pretty(&accepted);
+        return;
+    }
+    let job = accepted.get("job").and_then(Value::as_u64).unwrap_or(0);
+    eprintln!(
+        "job {job} accepted (digest {}, cached: {})",
+        accepted
+            .get("digest")
+            .and_then(Value::as_str)
+            .unwrap_or("?"),
+        accepted
+            .get("cached")
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
+    );
+    // Then: progress events until the result line.
+    loop {
+        let line = client
+            .recv()
+            .unwrap_or_else(|e| die(e))
+            .unwrap_or_else(|| die("server closed the connection mid-job"));
+        check_ok(&line);
+        match line.get("event").and_then(Value::as_str) {
+            Some("progress") => {
+                let percent = line.get("percent").and_then(Value::as_f64).unwrap_or(0.0);
+                let done = line.get("trials_done").and_then(Value::as_u64).unwrap_or(0);
+                let total = line
+                    .get("trials_total")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                eprintln!("job {job}: {done}/{total} trials ({percent:.1}%)");
+            }
+            Some("result") => {
+                print_report(&line);
+                return;
+            }
+            other => die(format!("unexpected event {other:?}")),
+        }
+    }
+}
+
+fn cmd_result(args: &[String]) {
+    let mut client = connect(args);
+    let mut fields = vec![("job".to_string(), Value::UInt(job_arg(args)))];
+    if has_flag(args, "--wait") {
+        fields.push(("wait".to_string(), Value::Bool(true)));
+    }
+    let response = client
+        .request(&request("result", fields))
+        .unwrap_or_else(|e| die(e));
+    check_ok(&response);
+    print_report(&response);
+}
+
+fn simple_command(args: &[String], cmd: &str, fields: Vec<(String, Value)>) {
+    let mut client = connect(args);
+    let response = client
+        .request(&request(cmd, fields))
+        .unwrap_or_else(|e| die(e));
+    check_ok(&response);
+    print_pretty(&response);
+}
+
+fn cmd_run(args: &[String]) {
+    let plan = plan_local(args);
+    plan.validate().unwrap_or_else(|e| die(e));
+    let report = run_campaign(&plan).unwrap_or_else(|e| die(e));
+    println!("{}", report.to_json());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("submit") => cmd_submit(&args),
+        Some("status") => simple_command(
+            &args,
+            "status",
+            vec![("job".to_string(), Value::UInt(job_arg(&args)))],
+        ),
+        Some("result") => cmd_result(&args),
+        Some("cancel") => simple_command(
+            &args,
+            "cancel",
+            vec![("job".to_string(), Value::UInt(job_arg(&args)))],
+        ),
+        Some("stats") => simple_command(&args, "stats", vec![]),
+        Some("shutdown") => simple_command(&args, "shutdown", vec![]),
+        Some("run") => cmd_run(&args),
+        _ => {
+            eprintln!(
+                "usage: nvpim-cli <submit|status|result|cancel|stats|shutdown|run> [flags]\n\
+                 see `docs/protocol.md` for the full protocol"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -28,6 +28,23 @@ impl std::fmt::Display for ProtectionScheme {
     }
 }
 
+/// Accepts the serialized variant name (`"Ecim"`, the JSON wire format)
+/// and the display label (`"ECiM"`).
+impl std::str::FromStr for ProtectionScheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "Unprotected" | "unprotected" => Ok(ProtectionScheme::Unprotected),
+            "Ecim" | "ECiM" => Ok(ProtectionScheme::Ecim),
+            "Trim" | "TRiM" => Ok(ProtectionScheme::Trim),
+            other => Err(format!(
+                "unknown protection scheme `{other}` (expected Unprotected, Ecim or Trim)"
+            )),
+        }
+    }
+}
+
 /// Whether redundant outputs (parity copies, redundant computation results)
 /// are produced by multi-output gates in one shot or by separate
 /// single-output gate operations (Table V's `m-o` vs `s-o` columns).
@@ -44,6 +61,22 @@ impl std::fmt::Display for GateStyle {
         match self {
             GateStyle::MultiOutput => write!(f, "m-o"),
             GateStyle::SingleOutput => write!(f, "s-o"),
+        }
+    }
+}
+
+/// Accepts the serialized variant name (`"MultiOutput"`, the JSON wire
+/// format) and the display label (`"m-o"`).
+impl std::str::FromStr for GateStyle {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "MultiOutput" | "m-o" => Ok(GateStyle::MultiOutput),
+            "SingleOutput" | "s-o" => Ok(GateStyle::SingleOutput),
+            other => Err(format!(
+                "unknown gate style `{other}` (expected MultiOutput or SingleOutput)"
+            )),
         }
     }
 }

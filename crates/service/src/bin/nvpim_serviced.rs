@@ -1,0 +1,46 @@
+//! `nvpim-serviced` — the campaign daemon.
+//!
+//! ```text
+//! nvpim-serviced [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--chunk-trials N]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7171`; use port `0` for an
+//! OS-assigned port), prints `nvpim-serviced listening on <addr>`, and
+//! serves the NDJSON protocol until a client sends `{"cmd":"shutdown"}`.
+
+use nvpim_service::flags::value_of;
+use nvpim_service::service::{ServiceConfig, ServiceHandle};
+
+fn numeric_arg(args: &[String], flag: &str, default: usize) -> usize {
+    match value_of(args, flag) {
+        None => default,
+        Some(text) => text.parse().unwrap_or_else(|_| {
+            eprintln!("nvpim-serviced: {flag} expects a number, got `{text}`");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "nvpim-serviced [--addr HOST:PORT] [--workers N] [--queue-capacity N] \
+             [--chunk-trials N]"
+        );
+        return;
+    }
+    let addr = value_of(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let defaults = ServiceConfig::default();
+    let cfg = ServiceConfig {
+        workers: numeric_arg(&args, "--workers", defaults.workers),
+        queue_capacity: numeric_arg(&args, "--queue-capacity", defaults.queue_capacity),
+        chunk_trials: numeric_arg(&args, "--chunk-trials", defaults.chunk_trials),
+        ..defaults
+    };
+    let service = ServiceHandle::start(cfg);
+    if let Err(e) = nvpim_service::run_server(&addr, &service) {
+        eprintln!("nvpim-serviced: {e}");
+        std::process::exit(1);
+    }
+}

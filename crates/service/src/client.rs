@@ -1,0 +1,96 @@
+//! A minimal blocking client for the NDJSON protocol, shared by
+//! `nvpim-cli`, the harness binaries' `--connect` mode and the protocol
+//! tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use serde::Value;
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running `nvpim-serviced`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn send(&mut self, request: &Value) -> std::io::Result<()> {
+        let mut text = serde_json::to_string(request).expect("requests serialize");
+        text.push('\n');
+        self.writer.write_all(text.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Sends a raw, possibly malformed line (testing hook).
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Receives one response line; `None` on clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// Socket read failures, or a response that is not valid JSON.
+    pub fn recv(&mut self) -> std::io::Result<Option<Value>> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        serde_json::from_str(line.trim_end())
+            .map(Some)
+            .map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("invalid response JSON: {e}"),
+                )
+            })
+    }
+
+    /// Sends a request and returns the first response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or an unexpectedly closed connection.
+    pub fn request(&mut self, request: &Value) -> std::io::Result<Value> {
+        self.send(request)?;
+        self.recv()?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+}
+
+/// Convenience constructor for request objects.
+pub fn request(cmd: &str, fields: Vec<(String, Value)>) -> Value {
+    let mut pairs = vec![("cmd".to_string(), Value::Str(cmd.to_string()))];
+    pairs.extend(fields);
+    Value::Object(pairs)
+}

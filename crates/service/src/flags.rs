@@ -1,0 +1,36 @@
+//! Minimal `--flag value` argument scanning shared by the workspace's
+//! binaries (`nvpim-serviced`, `nvpim-cli`, the harness binaries) so the
+//! same positional logic isn't copy-pasted per binary.
+
+/// The value following `flag`, if both are present.
+pub fn value_of(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Whether `flag` appears at all.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn scans_values_and_presence() {
+        let args = argv(&["bin", "--addr", "127.0.0.1:0", "--wait"]);
+        assert_eq!(value_of(&args, "--addr").as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(value_of(&args, "--missing"), None);
+        // A trailing value-less flag yields None, not a panic.
+        assert_eq!(value_of(&args, "--wait"), None);
+        assert!(has_flag(&args, "--wait"));
+        assert!(!has_flag(&args, "--quick"));
+    }
+}

@@ -1,0 +1,311 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every request is one JSON object per line carrying a `cmd` field
+//! (`submit`, `status`, `result`, `cancel`, `stats`, `shutdown`); every
+//! response is one JSON object per line with an `ok` boolean. Failures are
+//! *structured*: `{"ok":false,"error":{"code":...,"message":...}}` — a bad
+//! request never tears down the worker pool, only (at worst) its own
+//! connection. See `docs/protocol.md` for the full schema and a worked
+//! session.
+//!
+//! [`dispatch`] is shared by the TCP server and any in-process harness: it
+//! decodes one request line, calls the [`ServiceHandle`] (the same API
+//! in-process users call directly), and emits one or more response lines
+//! through a sink — more than one when a waiting `submit` streams progress
+//! events before the final result.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nvpim_sweep::SweepPlan;
+use serde::{Serialize, Value};
+
+use crate::service::ServiceHandle;
+use crate::ServiceError;
+
+/// Maximum accepted request-line length in bytes; longer lines get a
+/// `line_too_long` error and the connection is closed.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// What the connection loop should do after a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Keep serving this connection.
+    Continue,
+    /// The client asked for daemon shutdown.
+    Shutdown,
+}
+
+/// Builds `{"ok":true, ...fields}`.
+pub fn ok_response(fields: Vec<(String, Value)>) -> Value {
+    let mut pairs = vec![("ok".to_string(), Value::Bool(true))];
+    pairs.extend(fields);
+    Value::Object(pairs)
+}
+
+/// Builds the structured error response `{"ok":false,"error":{...}}`.
+pub fn error_response(code: &str, message: impl Into<String>) -> Value {
+    Value::Object(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        (
+            "error".to_string(),
+            Value::Object(vec![
+                ("code".to_string(), Value::Str(code.to_string())),
+                ("message".to_string(), Value::Str(message.into())),
+            ]),
+        ),
+    ])
+}
+
+/// The wire code for a [`ServiceError`].
+fn error_code(err: &ServiceError) -> &'static str {
+    match err {
+        ServiceError::QueueFull => "queue_full",
+        ServiceError::ShuttingDown => "shutting_down",
+        ServiceError::UnknownJob(_) => "unknown_job",
+        ServiceError::InvalidPlan(_) => "invalid_plan",
+        ServiceError::JobFailed(_) => "job_failed",
+        ServiceError::JobCancelled => "job_cancelled",
+        ServiceError::NotDone => "not_done",
+    }
+}
+
+fn service_error(err: &ServiceError) -> Value {
+    error_response(error_code(err), err.to_string())
+}
+
+fn to_value<T: Serialize>(v: &T) -> Value {
+    v.to_json()
+}
+
+/// Decodes the `plan` field: an inline plan object, or the named shorthands
+/// `"quick"` / `"paper_scale"`.
+fn decode_plan(value: &Value) -> Result<SweepPlan, String> {
+    if let Some(name) = value.as_str() {
+        return match name {
+            "quick" => Ok(SweepPlan::quick()),
+            "paper_scale" => Ok(SweepPlan::paper_scale()),
+            other => Err(format!(
+                "unknown named plan `{other}` (expected quick or paper_scale)"
+            )),
+        };
+    }
+    SweepPlan::from_json_value(value).map_err(|e| e.to_string())
+}
+
+fn u64_arg(request: &Value, key: &str) -> Result<u64, Value> {
+    request
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| error_response("bad_request", format!("missing or invalid `{key}` field")))
+}
+
+/// Handles one request line, emitting every response line through `emit`.
+///
+/// `emit` returning an error (a dead connection) aborts the request; the
+/// error is propagated so the connection loop can drop the socket. Progress
+/// streaming for `{"cmd":"submit","wait":true}` emits one
+/// `{"ok":true,"event":"progress",...}` line whenever the completed-trial
+/// count advances, then the final `result`-shaped line.
+pub fn dispatch(
+    service: &ServiceHandle,
+    line: &str,
+    emit: &mut dyn FnMut(&Value) -> std::io::Result<()>,
+) -> std::io::Result<Outcome> {
+    let request = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => {
+            emit(&error_response("malformed_json", e.to_string()))?;
+            return Ok(Outcome::Continue);
+        }
+    };
+    let cmd = match request.get("cmd").and_then(Value::as_str) {
+        Some(c) => c,
+        None => {
+            emit(&error_response(
+                "bad_request",
+                "request must be an object with a string `cmd` field",
+            ))?;
+            return Ok(Outcome::Continue);
+        }
+    };
+
+    match cmd {
+        "submit" => {
+            let plan_field = match request.get("plan") {
+                Some(p) => p,
+                None => {
+                    emit(&error_response("bad_request", "missing `plan` field"))?;
+                    return Ok(Outcome::Continue);
+                }
+            };
+            let plan = match decode_plan(plan_field) {
+                Ok(p) => p,
+                Err(msg) => {
+                    emit(&error_response("invalid_plan", msg))?;
+                    return Ok(Outcome::Continue);
+                }
+            };
+            let priority = request
+                .get("priority")
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+                .min(9) as u8;
+            let wait = request
+                .get("wait")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            let outcome = match service.submit(plan, priority) {
+                Ok(o) => o,
+                Err(e) => {
+                    emit(&service_error(&e))?;
+                    return Ok(Outcome::Continue);
+                }
+            };
+            emit(&ok_response(vec![
+                ("event".into(), Value::Str("accepted".into())),
+                ("job".into(), Value::UInt(outcome.job)),
+                ("digest".into(), Value::Str(outcome.digest.clone())),
+                ("cached".into(), Value::Bool(outcome.cached)),
+                ("coalesced".into(), Value::Bool(outcome.coalesced)),
+                ("trials_total".into(), Value::UInt(outcome.trials_total)),
+            ]))?;
+            if wait {
+                stream_until_done(service, outcome.job, emit)?;
+            }
+            Ok(Outcome::Continue)
+        }
+        "status" => {
+            let job = match u64_arg(&request, "job") {
+                Ok(j) => j,
+                Err(resp) => {
+                    emit(&resp)?;
+                    return Ok(Outcome::Continue);
+                }
+            };
+            match service.status(job) {
+                Ok(status) => emit(&ok_response(vec![("status".into(), to_value(&status))]))?,
+                Err(e) => emit(&service_error(&e))?,
+            }
+            Ok(Outcome::Continue)
+        }
+        "result" => {
+            let job = match u64_arg(&request, "job") {
+                Ok(j) => j,
+                Err(resp) => {
+                    emit(&resp)?;
+                    return Ok(Outcome::Continue);
+                }
+            };
+            let wait = request
+                .get("wait")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            let timeout = request
+                .get("timeout_ms")
+                .and_then(Value::as_u64)
+                .map(Duration::from_millis);
+            let result = if wait {
+                service.wait(job, timeout)
+            } else {
+                service.result(job)
+            };
+            emit(&result_payload(service, job, result))?;
+            Ok(Outcome::Continue)
+        }
+        "cancel" => {
+            let job = match u64_arg(&request, "job") {
+                Ok(j) => j,
+                Err(resp) => {
+                    emit(&resp)?;
+                    return Ok(Outcome::Continue);
+                }
+            };
+            match service.cancel(job) {
+                Ok(accepted) => emit(&ok_response(vec![
+                    ("job".into(), Value::UInt(job)),
+                    ("cancelled".into(), Value::Bool(accepted)),
+                ]))?,
+                Err(e) => emit(&service_error(&e))?,
+            }
+            Ok(Outcome::Continue)
+        }
+        "stats" => {
+            emit(&ok_response(vec![(
+                "stats".into(),
+                to_value(&service.stats()),
+            )]))?;
+            Ok(Outcome::Continue)
+        }
+        "shutdown" => {
+            emit(&ok_response(vec![(
+                "shutting_down".into(),
+                Value::Bool(true),
+            )]))?;
+            Ok(Outcome::Shutdown)
+        }
+        other => {
+            emit(&error_response(
+                "unknown_command",
+                format!("unknown command `{other}`"),
+            ))?;
+            Ok(Outcome::Continue)
+        }
+    }
+}
+
+/// Builds the `result` response: the report is embedded as a JSON value
+/// (parsed from the stored byte-identical document).
+fn result_payload(
+    service: &ServiceHandle,
+    job: u64,
+    result: Result<Arc<String>, ServiceError>,
+) -> Value {
+    match result {
+        Ok(report_json) => {
+            let report = serde_json::from_str(&report_json).expect("stored reports are valid JSON");
+            let cached = service
+                .job(job)
+                .map(|core| core.from_cache)
+                .unwrap_or(false);
+            ok_response(vec![
+                ("event".into(), Value::Str("result".into())),
+                ("job".into(), Value::UInt(job)),
+                ("cached".into(), Value::Bool(cached)),
+                ("report".into(), report),
+            ])
+        }
+        Err(e) => service_error(&e),
+    }
+}
+
+/// Streams progress events for `job` until it reaches a terminal state,
+/// then emits the final result line.
+fn stream_until_done(
+    service: &ServiceHandle,
+    job: u64,
+    emit: &mut dyn FnMut(&Value) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    if let Some(core) = service.job(job) {
+        let mut last_done = u64::MAX;
+        loop {
+            let state = core.wait_terminal(Some(Duration::from_millis(25)));
+            let done = core.trials_done();
+            if state.is_terminal() {
+                break;
+            }
+            if done != last_done {
+                last_done = done;
+                emit(&ok_response(vec![
+                    ("event".into(), Value::Str("progress".into())),
+                    ("job".into(), Value::UInt(job)),
+                    ("state".into(), Value::Str(state.label().into())),
+                    ("trials_done".into(), Value::UInt(done)),
+                    ("trials_total".into(), Value::UInt(core.trials_total)),
+                    ("percent".into(), Value::Float(core.percent())),
+                ]))?;
+            }
+        }
+    }
+    emit(&result_payload(service, job, service.result(job)))
+}

@@ -1,0 +1,145 @@
+//! The TCP front end: one thread per connection, newline-delimited JSON.
+//!
+//! `nvpim-serviced` binds a [`TcpListener`], prints
+//! `nvpim-serviced listening on <addr>` (so scripts can scrape an
+//! OS-assigned port), and serves until a client issues `shutdown`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use crate::protocol::{dispatch, error_response, Outcome, MAX_LINE_BYTES};
+use crate::service::ServiceHandle;
+
+/// One request line read from a connection.
+enum Line {
+    /// End of stream.
+    Eof,
+    /// The line exceeded [`MAX_LINE_BYTES`].
+    TooLong,
+    /// A complete line (without the trailing newline).
+    Text(String),
+}
+
+/// Reads one `\n`-terminated line, refusing lines whose *content*
+/// (excluding the line terminator) exceeds `max` bytes.
+fn read_bounded_line<R: Read>(reader: &mut BufReader<R>, max: usize) -> std::io::Result<Line> {
+    let mut buf = Vec::new();
+    // `take` caps how much one oversized line can pull before we give up:
+    // content + "\r\n" at the limit needs max + 2 bytes.
+    let mut limited = reader.by_ref().take(max as u64 + 2);
+    limited.read_until(b'\n', &mut buf)?;
+    if buf.is_empty() {
+        return Ok(Line::Eof);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    }
+    if buf.len() > max {
+        return Ok(Line::TooLong);
+    }
+    match String::from_utf8(buf) {
+        Ok(text) => Ok(Line::Text(text)),
+        Err(_) => Ok(Line::Text(String::from("\u{fffd}"))), // let dispatch reject it
+    }
+}
+
+fn write_line(stream: &mut TcpStream, value: &serde::Value) -> std::io::Result<()> {
+    let mut text = serde_json::to_string(value).expect("responses serialize");
+    text.push('\n');
+    stream.write_all(text.as_bytes())?;
+    stream.flush()
+}
+
+fn handle_connection(service: ServiceHandle, stream: TcpStream, self_addr: std::net::SocketAddr) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_bounded_line(&mut reader, MAX_LINE_BYTES) {
+            Err(_) | Ok(Line::Eof) => break,
+            Ok(Line::TooLong) => {
+                let _ = write_line(
+                    &mut writer,
+                    &error_response(
+                        "line_too_long",
+                        format!("request lines are capped at {MAX_LINE_BYTES} bytes"),
+                    ),
+                );
+                break; // the rest of the oversized line is unrecoverable
+            }
+            Ok(Line::Text(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let outcome =
+                    dispatch(&service, &line, &mut |value| write_line(&mut writer, value));
+                match outcome {
+                    Ok(Outcome::Continue) => {}
+                    Ok(Outcome::Shutdown) => {
+                        service.begin_shutdown();
+                        // Wake the accept loop so it can observe the flag.
+                        // A wildcard bind address (0.0.0.0 / ::) is not
+                        // connectable everywhere — dial loopback instead.
+                        let mut wake = self_addr;
+                        if wake.ip().is_unspecified() {
+                            wake.set_ip(match wake.ip() {
+                                std::net::IpAddr::V4(_) => {
+                                    std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
+                                }
+                                std::net::IpAddr::V6(_) => {
+                                    std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
+                                }
+                            });
+                        }
+                        let _ = TcpStream::connect(wake);
+                        break;
+                    }
+                    Err(_) => break, // client went away mid-response
+                }
+            }
+        }
+    }
+}
+
+/// Serves connections on `listener` until a `shutdown` request arrives,
+/// then drains and joins the service's worker pool.
+///
+/// # Errors
+///
+/// Propagates listener I/O failures (binding problems surface in the
+/// caller; per-connection errors only drop that connection).
+pub fn serve(service: &ServiceHandle, listener: TcpListener) -> std::io::Result<()> {
+    let self_addr = listener.local_addr()?;
+    for stream in listener.incoming() {
+        if service.is_shutting_down() {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let service = service.clone();
+                std::thread::spawn(move || handle_connection(service, stream, self_addr));
+            }
+            Err(_) => continue,
+        }
+    }
+    service.shutdown();
+    Ok(())
+}
+
+/// Binds `addr`, announces the bound address on stdout, and serves forever
+/// (until a `shutdown` request). This is the whole `nvpim-serviced` main
+/// loop, also reachable from the harness binaries' `--serve` flag.
+///
+/// # Errors
+///
+/// Bind/accept failures.
+pub fn run_server(addr: &str, service: &ServiceHandle) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    println!("nvpim-serviced listening on {}", listener.local_addr()?);
+    serve(service, listener)
+}

@@ -1,0 +1,742 @@
+//! The campaign service: worker pool, shared caches, job bookkeeping.
+//!
+//! [`ServiceHandle`] is the in-process API; the TCP layer
+//! ([`crate::server`]) is a thin codec over exactly these methods, so
+//! tests exercising the handle cover the same code path as network
+//! clients.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use nvpim_sweep::{prepare_campaign, CampaignControl, ScheduleCache, SweepError, SweepPlan};
+use serde::Serialize;
+
+use crate::job::{JobCore, JobId, JobState};
+use crate::queue::BoundedPriorityQueue;
+use crate::store::ReportStore;
+use crate::ServiceError;
+
+/// Tunables for a service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing campaigns.
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before submissions are
+    /// rejected with `queue_full` (backpressure).
+    pub queue_capacity: usize,
+    /// Trials per execution chunk — the granularity of progress events and
+    /// cancellation checks. Chunking never affects report bytes.
+    pub chunk_trials: usize,
+    /// Soft cap on tracked job records. When exceeded, the oldest
+    /// *terminal* jobs are evicted (their ids then answer `unknown_job`);
+    /// queued/running jobs are never evicted. Bounds daemon memory under
+    /// sustained traffic.
+    pub max_tracked_jobs: usize,
+    /// Cap on cached reports in the content-addressed store (reports are
+    /// the dominant allocation); beyond it the oldest-inserted report is
+    /// evicted and its plan recomputes — byte-identically — on
+    /// resubmission.
+    pub max_cached_reports: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            chunk_trials: 64,
+            max_tracked_jobs: 4096,
+            max_cached_reports: crate::store::DEFAULT_REPORT_CAPACITY,
+        }
+    }
+}
+
+/// What `submit` tells the client about its new job.
+#[derive(Debug, Clone, Serialize)]
+pub struct SubmitOutcome {
+    /// The job id to poll.
+    pub job: JobId,
+    /// Content digest of the submitted plan.
+    pub digest: String,
+    /// Served instantly from the content-addressed report store.
+    pub cached: bool,
+    /// Attached to an identical in-flight job instead of queueing a new
+    /// campaign.
+    pub coalesced: bool,
+    /// Total trials the campaign runs.
+    pub trials_total: u64,
+}
+
+/// A job-status snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobStatus {
+    /// The queried job id.
+    pub job: JobId,
+    /// Lifecycle state label (`queued`/`running`/`done`/`failed`/`cancelled`).
+    pub state: String,
+    /// Completion percentage in `[0, 100]`.
+    pub percent: f64,
+    /// Trials completed so far.
+    pub trials_done: u64,
+    /// Total trials.
+    pub trials_total: u64,
+    /// Plan content digest.
+    pub digest: String,
+    /// Whether the job was served from the report cache at submit time.
+    pub cached: bool,
+    /// Failure description when `state == "failed"`.
+    pub error: Option<String>,
+}
+
+/// Aggregate service counters (the `stats` command payload).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceStats {
+    /// Worker threads.
+    pub workers: usize,
+    /// Queue capacity.
+    pub queue_capacity: usize,
+    /// Jobs currently queued.
+    pub queue_depth: usize,
+    /// Total submissions accepted (including cached and coalesced).
+    pub jobs_submitted: u64,
+    /// Campaigns run to completion.
+    pub jobs_completed: u64,
+    /// Campaigns that failed to run.
+    pub jobs_failed: u64,
+    /// Jobs cancelled (queued or mid-run).
+    pub jobs_cancelled: u64,
+    /// Submissions attached to an identical in-flight job.
+    pub jobs_coalesced: u64,
+    /// Submissions rejected by queue backpressure.
+    pub jobs_rejected: u64,
+    /// Distinct reports in the content-addressed store.
+    pub report_cache_entries: usize,
+    /// Submissions served byte-identically from the store.
+    pub report_cache_hits: u64,
+    /// Store lookups that missed.
+    pub report_cache_misses: u64,
+    /// Distinct compiled schedules in the shared cache.
+    pub schedule_cache_entries: usize,
+    /// Schedule lookups served without compiling.
+    pub schedule_cache_hits: u64,
+    /// Schedule lookups that compiled.
+    pub schedule_cache_compiles: u64,
+}
+
+struct WorkItem {
+    core: Arc<JobCore>,
+    plan: SweepPlan,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    coalesced: AtomicU64,
+    rejected: AtomicU64,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    queue: BoundedPriorityQueue<WorkItem>,
+    jobs: Mutex<HashMap<JobId, Arc<JobCore>>>,
+    /// digest → in-flight (queued or running) core, for coalescing.
+    active: Mutex<HashMap<String, Arc<JobCore>>>,
+    /// One process-wide schedule cache shared by every job.
+    schedule_cache: Mutex<ScheduleCache>,
+    store: Mutex<ReportStore>,
+    next_id: AtomicU64,
+    counters: Counters,
+    shutting_down: AtomicBool,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Cloneable handle to a running service (see module docs).
+#[derive(Clone)]
+pub struct ServiceHandle {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHandle")
+            .field("workers", &self.inner.cfg.workers)
+            .field("queue_depth", &self.inner.queue.len())
+            .finish()
+    }
+}
+
+impl ServiceHandle {
+    /// Starts a service: spawns the worker pool and returns the handle.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            queue: BoundedPriorityQueue::new(cfg.queue_capacity),
+            cfg: ServiceConfig { workers, ..cfg },
+            jobs: Mutex::new(HashMap::new()),
+            active: Mutex::new(HashMap::new()),
+            schedule_cache: Mutex::new(ScheduleCache::new()),
+            store: Mutex::new(ReportStore::with_capacity(cfg.max_cached_reports)),
+            next_id: AtomicU64::new(1),
+            counters: Counters::default(),
+            shutting_down: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let inner2 = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("nvpim-worker-{i}"))
+                    .spawn(move || worker_loop(&inner2))
+                    .expect("spawn worker thread"),
+            );
+        }
+        *inner.workers.lock().expect("workers lock") = handles;
+        Self { inner }
+    }
+
+    /// Submits a campaign plan at `priority` (0–9, higher runs first).
+    ///
+    /// Fast paths, in order: a content-addressed report-store hit returns a
+    /// job that is already `Done` (zero recompute); an identical in-flight
+    /// plan coalesces onto the running job. Otherwise the plan is queued.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShuttingDown`], [`ServiceError::InvalidPlan`] and —
+    /// the backpressure signal — [`ServiceError::QueueFull`].
+    pub fn submit(&self, plan: SweepPlan, priority: u8) -> Result<SubmitOutcome, ServiceError> {
+        let inner = &self.inner;
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        plan.validate().map_err(ServiceError::InvalidPlan)?;
+        let digest = plan.content_digest();
+        let trials_total = plan.trial_count();
+        let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
+
+        // 1. Content-addressed report cache.
+        if let Some(report) = inner.store.lock().expect("store lock").get(&digest) {
+            let core = JobCore::done_from_cache(id, digest.clone(), trials_total, report);
+            let mut jobs = inner.jobs.lock().expect("jobs lock");
+            jobs.insert(id, core);
+            evict_terminal_jobs(&mut jobs, inner.cfg.max_tracked_jobs, id);
+            drop(jobs);
+            inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            return Ok(SubmitOutcome {
+                job: id,
+                digest,
+                cached: true,
+                coalesced: false,
+                trials_total,
+            });
+        }
+
+        // 2. Coalesce with an identical in-flight job, or queue a new one.
+        // The coalesce check, in-flight registration AND the queue push all
+        // happen under the `active` lock: a racing identical submitter can
+        // therefore never attach to a job whose push is about to fail (it
+        // would observe either no entry, or an entry that is durably
+        // queued), and two racing submitters cannot both queue one digest.
+        let core = {
+            let mut active = inner.active.lock().expect("active lock");
+            // A terminal core can linger here (cancelled-while-queued jobs
+            // stay registered until a worker pops their stale queue item);
+            // coalescing onto it — or onto a running job whose cancellation
+            // is already requested — would hand this client a cancellation
+            // it never asked for, so only live, uncancelled cores coalesce.
+            match active.get(&digest) {
+                Some(existing)
+                    if !existing.state().is_terminal() && !existing.cancel_requested() =>
+                {
+                    let existing = Arc::clone(existing);
+                    inner.jobs.lock().expect("jobs lock").insert(id, existing);
+                    inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                    inner.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return Ok(SubmitOutcome {
+                        job: id,
+                        digest,
+                        cached: false,
+                        coalesced: true,
+                        trials_total,
+                    });
+                }
+                _ => {}
+            }
+            let core = JobCore::new(id, digest.clone(), trials_total);
+            let item = WorkItem {
+                core: Arc::clone(&core),
+                plan,
+            };
+            // Backpressure on overflow. (Lock order is `active` → queue
+            // mutex; workers only take `active` after `pop` has released
+            // the queue mutex, so this cannot deadlock.)
+            if inner.queue.try_push(item, priority.min(9)).is_err() {
+                drop(active);
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return Err(ServiceError::ShuttingDown);
+                }
+                // Only genuine backpressure counts as a rejection; a push
+                // refused by a closing queue is a shutdown, not load-shed.
+                inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::QueueFull);
+            }
+            // May replace a stale terminal entry (see above).
+            active.insert(digest.clone(), Arc::clone(&core));
+            core
+        };
+
+        let mut jobs = inner.jobs.lock().expect("jobs lock");
+        jobs.insert(id, core);
+        evict_terminal_jobs(&mut jobs, inner.cfg.max_tracked_jobs, id);
+        drop(jobs);
+        inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(SubmitOutcome {
+            job: id,
+            digest,
+            cached: false,
+            coalesced: false,
+            trials_total,
+        })
+    }
+
+    /// The shared core behind a job id.
+    pub fn job(&self, job: JobId) -> Option<Arc<JobCore>> {
+        self.inner
+            .jobs
+            .lock()
+            .expect("jobs lock")
+            .get(&job)
+            .cloned()
+    }
+
+    /// A status snapshot for a job.
+    pub fn status(&self, job: JobId) -> Result<JobStatus, ServiceError> {
+        let core = self.job(job).ok_or(ServiceError::UnknownJob(job))?;
+        let state = core.state();
+        Ok(JobStatus {
+            job,
+            state: state.label().to_string(),
+            percent: core.percent(),
+            trials_done: core.trials_done(),
+            trials_total: core.trials_total,
+            digest: core.digest.clone(),
+            cached: core.from_cache,
+            error: match state {
+                JobState::Failed(e) => Some(e),
+                _ => None,
+            },
+        })
+    }
+
+    /// The finished report JSON for a job, without waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownJob`], [`ServiceError::NotDone`] while the
+    /// job is queued/running, [`ServiceError::JobFailed`] /
+    /// [`ServiceError::JobCancelled`] for terminal failures.
+    pub fn result(&self, job: JobId) -> Result<Arc<String>, ServiceError> {
+        let core = self.job(job).ok_or(ServiceError::UnknownJob(job))?;
+        match core.state() {
+            JobState::Done => Ok(core.report().expect("done jobs carry a report")),
+            JobState::Failed(e) => Err(ServiceError::JobFailed(e)),
+            JobState::Cancelled => Err(ServiceError::JobCancelled),
+            JobState::Queued | JobState::Running => Err(ServiceError::NotDone),
+        }
+    }
+
+    /// Blocks until a job finishes (or `timeout` elapses) and returns its
+    /// report JSON.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::result`]; [`ServiceError::NotDone`] means the timeout
+    /// elapsed first.
+    pub fn wait(&self, job: JobId, timeout: Option<Duration>) -> Result<Arc<String>, ServiceError> {
+        let core = self.job(job).ok_or(ServiceError::UnknownJob(job))?;
+        core.wait_terminal(timeout);
+        self.result(job)
+    }
+
+    /// Requests cancellation of a job. Returns whether the request took
+    /// effect (the job was not already terminal). Note that coalesced job
+    /// ids share one campaign — cancelling any of them cancels it for all.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownJob`].
+    pub fn cancel(&self, job: JobId) -> Result<bool, ServiceError> {
+        use crate::job::CancelOutcome;
+        let core = self.job(job).ok_or(ServiceError::UnknownJob(job))?;
+        match core.request_cancel() {
+            CancelOutcome::AlreadyTerminal => Ok(false),
+            // Running jobs are counted by the worker that observes the
+            // cancelled run; counting here too would double-count.
+            CancelOutcome::RunningFlagged => Ok(true),
+            CancelOutcome::CancelledWhileQueued => {
+                self.inner
+                    .counters
+                    .cancelled
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ServiceStats {
+        let inner = &self.inner;
+        let (sched_entries, sched_hits, sched_compiles) = {
+            let cache = inner.schedule_cache.lock().expect("cache lock");
+            (cache.len(), cache.hits(), cache.compiles())
+        };
+        let (store_entries, store_hits, store_misses) = {
+            let store = inner.store.lock().expect("store lock");
+            (store.len(), store.hits(), store.misses())
+        };
+        ServiceStats {
+            workers: inner.cfg.workers,
+            queue_capacity: inner.queue.capacity(),
+            queue_depth: inner.queue.len(),
+            jobs_submitted: inner.counters.submitted.load(Ordering::Relaxed),
+            jobs_completed: inner.counters.completed.load(Ordering::Relaxed),
+            jobs_failed: inner.counters.failed.load(Ordering::Relaxed),
+            jobs_cancelled: inner.counters.cancelled.load(Ordering::Relaxed),
+            jobs_coalesced: inner.counters.coalesced.load(Ordering::Relaxed),
+            jobs_rejected: inner.counters.rejected.load(Ordering::Relaxed),
+            report_cache_entries: store_entries,
+            report_cache_hits: store_hits,
+            report_cache_misses: store_misses,
+            schedule_cache_entries: sched_entries,
+            schedule_cache_hits: sched_hits,
+            schedule_cache_compiles: sched_compiles,
+        }
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Begins shutdown: rejects new submissions and closes the queue so
+    /// workers exit after draining. Non-blocking.
+    pub fn begin_shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        self.inner.queue.close();
+    }
+
+    /// Shuts down and joins the worker pool. Queued jobs drain first.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
+        let handles = std::mem::take(&mut *self.inner.workers.lock().expect("workers lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Evicts the oldest terminal job records once the map exceeds `max`,
+/// never touching `keep` (the id the current submission just handed to its
+/// client — evicting it would turn an accepted submission into an
+/// immediate `unknown_job`). Job ids are monotonically increasing, so
+/// "oldest" is "smallest id".
+fn evict_terminal_jobs(jobs: &mut HashMap<JobId, Arc<JobCore>>, max: usize, keep: JobId) {
+    if jobs.len() <= max {
+        return;
+    }
+    let mut terminal: Vec<JobId> = jobs
+        .iter()
+        .filter(|(&id, core)| id != keep && core.state().is_terminal())
+        .map(|(&id, _)| id)
+        .collect();
+    terminal.sort_unstable();
+    for id in terminal {
+        if jobs.len() <= max {
+            break;
+        }
+        jobs.remove(&id);
+    }
+}
+
+/// Deregisters `core` from the in-flight map — but only if it is still the
+/// registered core for its digest. A cancelled-while-queued job's stale
+/// entry may have been replaced by a newer resubmission of the same plan;
+/// blindly removing by digest would orphan that newer job's registration.
+fn remove_from_active(inner: &Inner, core: &Arc<JobCore>) {
+    let mut active = inner.active.lock().expect("active lock");
+    if let Some(current) = active.get(&core.digest) {
+        if Arc::ptr_eq(current, core) {
+            active.remove(&core.digest);
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(WorkItem { core, plan }) = inner.queue.pop() {
+        if !core.set_running() {
+            // Cancelled while queued (already counted by `cancel`).
+            remove_from_active(inner, &core);
+            continue;
+        }
+
+        // Compile through the process-wide shared cache; the lock is held
+        // only for preparation, never while trials run.
+        let prepared = {
+            let mut cache = inner.schedule_cache.lock().expect("cache lock");
+            prepare_campaign(&plan, &mut cache)
+        };
+
+        match prepared {
+            Err(err) => {
+                // Counters precede the (waiter-waking) state transition so
+                // a client that observed completion also observes them.
+                inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                core.fail(err.to_string());
+            }
+            Ok(prepared) => {
+                let outcome = prepared.run_chunked(inner.cfg.chunk_trials, |progress| {
+                    core.note_progress(progress.trials_done);
+                    if core.cancel_requested() {
+                        CampaignControl::Cancel
+                    } else {
+                        CampaignControl::Continue
+                    }
+                });
+                match outcome {
+                    Ok(report) => {
+                        let json = Arc::new(report.to_json());
+                        inner
+                            .store
+                            .lock()
+                            .expect("store lock")
+                            .insert(core.digest.clone(), Arc::clone(&json));
+                        inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                        core.complete(json);
+                    }
+                    Err(SweepError::Cancelled) => {
+                        inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        core.mark_cancelled();
+                    }
+                    Err(err) => {
+                        inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        core.fail(err.to_string());
+                    }
+                }
+            }
+        }
+        remove_from_active(inner, &core);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan(seed: u64) -> SweepPlan {
+        let mut plan = SweepPlan::quick();
+        plan.seeds_per_point = 2;
+        plan.campaign_seed = seed;
+        plan
+    }
+
+    #[test]
+    fn resubmission_hits_the_report_cache_with_identical_bytes() {
+        let service = ServiceHandle::start(ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let plan = tiny_plan(1);
+        let first = service.submit(plan.clone(), 0).unwrap();
+        assert!(!first.cached);
+        let report_a = service.wait(first.job, None).unwrap();
+
+        let compiles_before = service.stats().schedule_cache_compiles;
+        let second = service.submit(plan, 0).unwrap();
+        assert!(second.cached, "warm resubmission must be a cache hit");
+        let report_b = service.wait(second.job, None).unwrap();
+        assert!(Arc::ptr_eq(&report_a, &report_b), "same stored bytes");
+
+        let stats = service.stats();
+        assert_eq!(stats.report_cache_hits, 1);
+        assert_eq!(
+            stats.schedule_cache_compiles, compiles_before,
+            "cache hit must not recompile schedules"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_coalesce_and_agree() {
+        let service = ServiceHandle::start(ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let plan = tiny_plan(2);
+        let outcomes: Vec<SubmitOutcome> = (0..4)
+            .map(|_| service.submit(plan.clone(), 0).unwrap())
+            .collect();
+        let reports: Vec<Arc<String>> = outcomes
+            .iter()
+            .map(|o| service.wait(o.job, None).unwrap())
+            .collect();
+        for pair in reports.windows(2) {
+            assert_eq!(pair[0].as_str(), pair[1].as_str());
+        }
+        let stats = service.stats();
+        // First submission queued; with one campaign in flight the others
+        // either coalesced onto it or (having completed) hit the store.
+        assert_eq!(stats.jobs_submitted, 4);
+        assert_eq!(
+            stats.jobs_coalesced + stats.report_cache_hits,
+            3,
+            "identical concurrent plans must not run extra campaigns: {stats:?}"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn queue_backpressure_rejects_structurally() {
+        let service = ServiceHandle::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            chunk_trials: 4,
+            ..Default::default()
+        });
+        // Distinct digests so nothing coalesces: vary the seed.
+        let mut errors = 0;
+        for seed in 0..16u64 {
+            match service.submit(tiny_plan(1000 + seed), 0) {
+                Ok(_) => {}
+                Err(ServiceError::QueueFull) => errors += 1,
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(errors > 0, "a 1-deep queue must shed load");
+        assert_eq!(service.stats().jobs_rejected, errors);
+        service.shutdown();
+    }
+
+    #[test]
+    fn priorities_order_queued_work() {
+        // One worker, and the queue drains strictly by priority once the
+        // worker picks jobs up.
+        let service = ServiceHandle::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            chunk_trials: 64,
+            ..Default::default()
+        });
+        let low = service.submit(tiny_plan(10), 1).unwrap();
+        let high = service.submit(tiny_plan(11), 9).unwrap();
+        service.wait(low.job, None).unwrap();
+        service.wait(high.job, None).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.jobs_completed, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn mid_job_cancel_stops_at_a_chunk_boundary() {
+        let service = ServiceHandle::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            chunk_trials: 1, // fine-grained cancellation points
+            ..Default::default()
+        });
+        let mut plan = tiny_plan(20);
+        plan.seeds_per_point = 64; // long enough to catch mid-run
+        let out = service.submit(plan, 0).unwrap();
+        // Wait for it to start, then cancel.
+        while service.status(out.job).unwrap().state == "queued" {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(service.cancel(out.job).unwrap());
+        let err = service
+            .wait(out.job, Some(Duration::from_secs(30)))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::JobCancelled));
+        // The pool survives: a fresh job still runs to completion.
+        let ok = service.submit(tiny_plan(21), 0).unwrap();
+        service.wait(ok.job, None).unwrap();
+        assert_eq!(service.stats().jobs_cancelled, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn resubmitting_a_cancelled_queued_plan_runs_a_fresh_campaign() {
+        // One worker, kept busy by a long job so the next job sits queued.
+        let service = ServiceHandle::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            chunk_trials: 4,
+            ..Default::default()
+        });
+        let mut long = tiny_plan(50);
+        long.seeds_per_point = 64;
+        let blocker = service.submit(long, 9).unwrap();
+
+        let victim = service.submit(tiny_plan(51), 0).unwrap();
+        assert!(service.cancel(victim.job).unwrap());
+        assert!(matches!(
+            service.wait(victim.job, Some(Duration::from_secs(30))),
+            Err(ServiceError::JobCancelled)
+        ));
+
+        // The identical plan resubmitted must NOT coalesce onto the
+        // cancelled core — it gets a fresh campaign and completes.
+        let retry = service.submit(tiny_plan(51), 0).unwrap();
+        assert!(!retry.cached && !retry.coalesced);
+        assert!(service.wait(retry.job, None).is_ok());
+        service.wait(blocker.job, None).unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn terminal_job_records_are_evicted_beyond_the_cap() {
+        let service = ServiceHandle::start(ServiceConfig {
+            workers: 1,
+            max_tracked_jobs: 3,
+            ..Default::default()
+        });
+        // One real campaign, then repeated cached submissions of it: every
+        // submission adds a (terminal-at-birth) job record.
+        let plan = tiny_plan(40);
+        let first = service.submit(plan.clone(), 0).unwrap();
+        service.wait(first.job, None).unwrap();
+        let mut last = 0;
+        for _ in 0..8 {
+            last = service.submit(plan.clone(), 0).unwrap().job;
+        }
+        // The oldest records are gone, the newest survives, and the report
+        // itself is still served from the content-addressed store.
+        assert!(matches!(
+            service.result(first.job),
+            Err(ServiceError::UnknownJob(_))
+        ));
+        assert!(service.result(last).is_ok());
+        assert!(service.submit(plan, 0).unwrap().cached);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_and_rejects_new_work() {
+        let service = ServiceHandle::start(ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let out = service.submit(tiny_plan(30), 0).unwrap();
+        service.shutdown();
+        // The queued job completed before workers exited.
+        assert!(service.result(out.job).is_ok());
+        assert!(matches!(
+            service.submit(tiny_plan(31), 0),
+            Err(ServiceError::ShuttingDown)
+        ));
+    }
+}

@@ -1,0 +1,146 @@
+//! Content-addressed report store.
+//!
+//! Reports are keyed by the submitted plan's [content digest] — the SHA-256
+//! of its canonical JSON. Because a campaign report is a pure function of
+//! its plan (the engine's determinism guarantee), a digest hit can be
+//! served *byte-identically* with zero recompute: no schedule compilation,
+//! no trials, not even re-serialization (the stored JSON string itself is
+//! shared out behind an `Arc`).
+//!
+//! [content digest]: nvpim_sweep::SweepPlan::content_digest
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Default report-count cap used by [`ReportStore::new`].
+pub const DEFAULT_REPORT_CAPACITY: usize = 1024;
+
+/// In-memory content-addressed store of finished report JSON documents,
+/// bounded to `capacity` reports: beyond the cap the oldest-inserted
+/// report is evicted (reports dominate daemon memory — job records are
+/// bounded separately by `ServiceConfig::max_tracked_jobs`). An evicted
+/// plan simply recomputes on resubmission; determinism guarantees the
+/// recomputed bytes are identical.
+#[derive(Debug)]
+pub struct ReportStore {
+    entries: HashMap<String, Arc<String>>,
+    /// Digests in insertion order, for FIFO eviction.
+    order: VecDeque<String>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for ReportStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReportStore {
+    /// An empty store with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_REPORT_CAPACITY)
+    }
+
+    /// An empty store evicting beyond `capacity` reports.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the report for a plan digest, counting a hit or miss.
+    pub fn get(&mut self, digest: &str) -> Option<Arc<String>> {
+        match self.entries.get(digest) {
+            Some(report) => {
+                self.hits += 1;
+                Some(Arc::clone(report))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a finished report under its plan digest, evicting the
+    /// oldest-inserted report when the store is at capacity.
+    ///
+    /// Determinism makes double-insertion benign (both writers hold the
+    /// same bytes), so last-write-wins needs no further coordination.
+    pub fn insert(&mut self, digest: String, report: Arc<String>) {
+        if self.entries.insert(digest.clone(), report).is_none() {
+            self.order.push_back(digest);
+            while self.entries.len() > self.capacity {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.entries.remove(&oldest);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Number of distinct reports stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no reports.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime lookup hits (submissions served without recompute).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let mut store = ReportStore::with_capacity(2);
+        for (d, r) in [
+            ("d1", "{\"a\":1}"),
+            ("d2", "{\"a\":2}"),
+            ("d3", "{\"a\":3}"),
+        ] {
+            store.insert(d.into(), Arc::new(r.into()));
+        }
+        assert_eq!(store.len(), 2);
+        assert!(store.get("d1").is_none(), "oldest evicted");
+        assert!(store.get("d2").is_some());
+        assert!(store.get("d3").is_some());
+        // Re-inserting an existing digest neither duplicates nor evicts.
+        store.insert("d3".into(), Arc::new("{\"a\":3}".into()));
+        assert_eq!(store.len(), 2);
+        assert!(store.get("d2").is_some());
+    }
+
+    #[test]
+    fn hit_returns_the_exact_stored_bytes() {
+        let mut store = ReportStore::new();
+        assert!(store.get("d1").is_none());
+        let report = Arc::new(String::from("{\"x\":1}"));
+        store.insert("d1".into(), Arc::clone(&report));
+        let back = store.get("d1").unwrap();
+        assert!(Arc::ptr_eq(&back, &report));
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,0 +1,401 @@
+//! Wire-protocol integration tests: a real `TcpListener` + the real
+//! connection loop, driven through the blocking [`Client`].
+//!
+//! The satellite requirements: malformed JSON, unknown commands, oversized
+//! lines and mid-job cancellation all produce *structured* errors and never
+//! poison the worker pool (a subsequent well-formed submission still runs
+//! to completion).
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nvpim_service::client::{request, Client};
+use nvpim_service::service::{ServiceConfig, ServiceHandle};
+use nvpim_sweep::SweepPlan;
+use serde::Value;
+
+/// Starts a daemon on an OS-assigned loopback port; returns its address
+/// and the serving thread (joined via `shutdown`).
+fn spawn_daemon(cfg: ServiceConfig) -> (String, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let service = ServiceHandle::start(cfg);
+    let handle = std::thread::spawn(move || {
+        nvpim_service::serve(&service, listener).expect("serve");
+    });
+    (addr, handle)
+}
+
+fn shutdown(addr: &str, daemon: std::thread::JoinHandle<()>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    let resp = client
+        .request(&request("shutdown", vec![]))
+        .expect("shutdown");
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    daemon.join().expect("daemon thread exits");
+}
+
+fn error_code(resp: &Value) -> &str {
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(false),
+        "expected an error response, got: {resp:?}"
+    );
+    resp.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Value::as_str)
+        .expect("structured errors carry a code")
+}
+
+fn tiny_plan_value(seed: u64) -> Value {
+    let mut plan = SweepPlan::quick();
+    plan.seeds_per_point = 2;
+    plan.campaign_seed = seed;
+    serde_json::from_str(&plan.canonical_json()).expect("plan JSON parses")
+}
+
+fn submit_and_wait(client: &mut Client, seed: u64) -> Value {
+    let accepted = client
+        .request(&request(
+            "submit",
+            vec![("plan".to_string(), tiny_plan_value(seed))],
+        ))
+        .expect("submit");
+    assert_eq!(accepted.get("ok").and_then(Value::as_bool), Some(true));
+    let job = accepted.get("job").and_then(Value::as_u64).expect("job id");
+    let result = client
+        .request(&request(
+            "result",
+            vec![
+                ("job".to_string(), Value::UInt(job)),
+                ("wait".to_string(), Value::Bool(true)),
+            ],
+        ))
+        .expect("result");
+    assert_eq!(result.get("ok").and_then(Value::as_bool), Some(true));
+    result
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_structured_errors() {
+    let (addr, daemon) = spawn_daemon(ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+
+    client.send_raw("this is not json{{{").expect("send");
+    let resp = client.recv().expect("recv").expect("response");
+    assert_eq!(error_code(&resp), "malformed_json");
+
+    let resp = client
+        .request(&request("frobnicate", vec![]))
+        .expect("request");
+    assert_eq!(error_code(&resp), "unknown_command");
+
+    // No `cmd` field at all.
+    client.send_raw("{\"plan\":\"quick\"}").expect("send");
+    let resp = client.recv().expect("recv").expect("response");
+    assert_eq!(error_code(&resp), "bad_request");
+
+    // Bad plan shape is invalid_plan, not a connection teardown.
+    let resp = client
+        .request(&request(
+            "submit",
+            vec![("plan".to_string(), Value::Str("warp_speed".into()))],
+        ))
+        .expect("request");
+    assert_eq!(error_code(&resp), "invalid_plan");
+
+    // Unknown job ids.
+    let resp = client
+        .request(&request(
+            "status",
+            vec![("job".to_string(), Value::UInt(999))],
+        ))
+        .expect("request");
+    assert_eq!(error_code(&resp), "unknown_job");
+
+    // The same connection still serves real work afterwards.
+    let result = submit_and_wait(&mut client, 101);
+    assert!(result.get("report").is_some());
+
+    shutdown(&addr, daemon);
+}
+
+#[test]
+fn oversized_lines_error_and_do_not_poison_the_pool() {
+    let (addr, daemon) = spawn_daemon(ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    });
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let huge = "x".repeat(nvpim_service::MAX_LINE_BYTES + 10);
+    client.send_raw(&huge).expect("send oversized");
+    let resp = client.recv().expect("recv").expect("response");
+    assert_eq!(error_code(&resp), "line_too_long");
+    // The server closes this connection afterwards.
+    assert!(client.recv().expect("eof read").is_none());
+
+    // The pool is intact: a fresh connection runs a job fine.
+    let mut client2 = Client::connect(&addr).expect("reconnect");
+    let result = submit_and_wait(&mut client2, 102);
+    assert!(result.get("report").is_some());
+
+    shutdown(&addr, daemon);
+}
+
+#[test]
+fn mid_job_cancel_returns_structured_errors_and_pool_survives() {
+    let (addr, daemon) = spawn_daemon(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        chunk_trials: 1,
+        ..Default::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // A long job (3 points × 200 seeds = 600 trials at chunk size 1).
+    let mut plan = SweepPlan::quick();
+    plan.seeds_per_point = 200;
+    plan.campaign_seed = 103;
+    let plan_value: Value = serde_json::from_str(&plan.canonical_json()).expect("parses");
+    let accepted = client
+        .request(&request("submit", vec![("plan".to_string(), plan_value)]))
+        .expect("submit");
+    let job = accepted.get("job").and_then(Value::as_u64).expect("job id");
+
+    // Wait until it is actually running.
+    loop {
+        let status = client
+            .request(&request(
+                "status",
+                vec![("job".to_string(), Value::UInt(job))],
+            ))
+            .expect("status");
+        let state = status
+            .get("status")
+            .and_then(|s| s.get("state"))
+            .and_then(Value::as_str)
+            .expect("state");
+        if state == "running" {
+            break;
+        }
+        assert_eq!(state, "queued", "job must not finish before cancellation");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let cancel = client
+        .request(&request(
+            "cancel",
+            vec![("job".to_string(), Value::UInt(job))],
+        ))
+        .expect("cancel");
+    assert_eq!(cancel.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(cancel.get("cancelled").and_then(Value::as_bool), Some(true));
+
+    // Result is now a structured job_cancelled error.
+    let resp = client
+        .request(&request(
+            "result",
+            vec![
+                ("job".to_string(), Value::UInt(job)),
+                ("wait".to_string(), Value::Bool(true)),
+            ],
+        ))
+        .expect("result");
+    assert_eq!(error_code(&resp), "job_cancelled");
+
+    // The worker survived the cancellation and still runs new jobs.
+    let result = submit_and_wait(&mut client, 104);
+    assert!(result.get("report").is_some());
+
+    shutdown(&addr, daemon);
+}
+
+#[test]
+fn submit_wait_streams_progress_then_byte_identical_result() {
+    let (addr, daemon) = spawn_daemon(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        chunk_trials: 4,
+        ..Default::default()
+    });
+    let mut plan = SweepPlan::quick();
+    plan.seeds_per_point = 4;
+    plan.campaign_seed = 105;
+    let direct = nvpim_sweep::run_campaign(&plan).expect("direct run");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let plan_value: Value = serde_json::from_str(&plan.canonical_json()).expect("parses");
+    client
+        .send(&request(
+            "submit",
+            vec![
+                ("plan".to_string(), plan_value),
+                ("wait".to_string(), Value::Bool(true)),
+            ],
+        ))
+        .expect("send");
+    let accepted = client.recv().expect("recv").expect("accepted line");
+    assert_eq!(
+        accepted.get("event").and_then(Value::as_str),
+        Some("accepted")
+    );
+    let mut progress_events = 0;
+    let report = loop {
+        let line = client.recv().expect("recv").expect("line");
+        assert_eq!(line.get("ok").and_then(Value::as_bool), Some(true));
+        match line.get("event").and_then(Value::as_str) {
+            Some("progress") => {
+                progress_events += 1;
+                let done = line
+                    .get("trials_done")
+                    .and_then(Value::as_u64)
+                    .expect("trials_done");
+                assert!(done <= plan.trial_count());
+            }
+            Some("result") => break line.get("report").expect("report").clone(),
+            other => panic!("unexpected event {other:?}"),
+        }
+    };
+    // The embedded report re-renders to exactly the bytes a direct
+    // `run_campaign` produces (parse → pretty-print is lossless).
+    assert_eq!(
+        serde_json::to_string_pretty(&report).expect("serialize"),
+        direct.to_json()
+    );
+    // At chunk size 4 a 48-trial campaign has many observable chunks; the
+    // waiter may miss some while the job is fast, but not all.
+    assert!(progress_events >= 1, "expected streamed progress events");
+
+    shutdown(&addr, daemon);
+}
+
+#[test]
+fn four_concurrent_clients_get_identical_cached_reports() {
+    // The acceptance criterion: 4 concurrent clients submitting the same
+    // plan each receive the identical report, served without extra
+    // campaigns (coalesced in flight or content-address hits after).
+    let (addr, daemon) = spawn_daemon(ServiceConfig {
+        workers: 2,
+        queue_capacity: 16,
+        chunk_trials: 8,
+        ..Default::default()
+    });
+    let mut plan = SweepPlan::quick();
+    plan.seeds_per_point = 4;
+    plan.campaign_seed = 106;
+    let canonical = plan.canonical_json();
+
+    let addr = Arc::new(addr);
+    let reports: Vec<String> = (0..4)
+        .map(|_| {
+            let addr = Arc::clone(&addr);
+            let canonical = canonical.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let plan_value: Value = serde_json::from_str(&canonical).expect("parses");
+                let accepted = client
+                    .request(&request("submit", vec![("plan".to_string(), plan_value)]))
+                    .expect("submit");
+                assert_eq!(accepted.get("ok").and_then(Value::as_bool), Some(true));
+                let job = accepted.get("job").and_then(Value::as_u64).expect("job");
+                let result = client
+                    .request(&request(
+                        "result",
+                        vec![
+                            ("job".to_string(), Value::UInt(job)),
+                            ("wait".to_string(), Value::Bool(true)),
+                        ],
+                    ))
+                    .expect("result");
+                assert_eq!(result.get("ok").and_then(Value::as_bool), Some(true));
+                serde_json::to_string_pretty(result.get("report").expect("report"))
+                    .expect("serialize")
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+
+    for pair in reports.windows(2) {
+        assert_eq!(pair[0], pair[1], "all clients see identical bytes");
+    }
+    // And they match direct execution.
+    assert_eq!(
+        reports[0],
+        nvpim_sweep::run_campaign(&plan).unwrap().to_json()
+    );
+
+    // Exactly one campaign ran: submissions minus one were coalesced or
+    // cache hits.
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    let stats = client.request(&request("stats", vec![])).expect("stats");
+    let stats = stats.get("stats").expect("stats payload");
+    let completed = stats
+        .get("jobs_completed")
+        .and_then(Value::as_u64)
+        .expect("jobs_completed");
+    let coalesced = stats
+        .get("jobs_coalesced")
+        .and_then(Value::as_u64)
+        .expect("jobs_coalesced");
+    let hits = stats
+        .get("report_cache_hits")
+        .and_then(Value::as_u64)
+        .expect("report_cache_hits");
+    assert_eq!(completed, 1, "one campaign serves all four clients");
+    assert_eq!(coalesced + hits, 3);
+
+    shutdown(&addr, daemon);
+}
+
+#[test]
+fn warm_resubmission_recompiles_nothing() {
+    let (addr, daemon) = spawn_daemon(ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let first = submit_and_wait(&mut client, 107);
+    let first_report =
+        serde_json::to_string_pretty(first.get("report").expect("report")).expect("serialize");
+
+    let stats_before = client.request(&request("stats", vec![])).expect("stats");
+    let compiles_before = stats_before
+        .get("stats")
+        .and_then(|s| s.get("schedule_cache_compiles"))
+        .and_then(Value::as_u64)
+        .expect("compiles");
+
+    // Resubmit the identical plan: byte-identical report, zero compiles.
+    let second = submit_and_wait(&mut client, 107);
+    let second_report =
+        serde_json::to_string_pretty(second.get("report").expect("report")).expect("serialize");
+    assert_eq!(first_report, second_report);
+    assert_eq!(second.get("cached").and_then(Value::as_bool), Some(true));
+
+    let stats_after = client.request(&request("stats", vec![])).expect("stats");
+    let stats_after = stats_after.get("stats").expect("payload");
+    assert_eq!(
+        stats_after
+            .get("schedule_cache_compiles")
+            .and_then(Value::as_u64),
+        Some(compiles_before),
+        "cache-hit submissions must not compile schedules"
+    );
+    assert!(
+        stats_after
+            .get("report_cache_hits")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 1
+    );
+
+    shutdown(&addr, daemon);
+}

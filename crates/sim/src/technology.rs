@@ -96,6 +96,24 @@ impl fmt::Display for Technology {
     }
 }
 
+/// Accepts both the serialized variant name (`"SttMram"`, what the JSON
+/// wire format carries) and the display label (`"STT-MRAM"`), so campaign
+/// plans written by hand or round-tripped through JSON both parse.
+impl std::str::FromStr for Technology {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ReRam" | "ReRAM" => Ok(Technology::ReRam),
+            "SttMram" | "STT-MRAM" => Ok(Technology::SttMram),
+            "SotSheMram" | "SOT-MRAM" => Ok(Technology::SotSheMram),
+            other => Err(format!(
+                "unknown technology `{other}` (expected ReRam, SttMram or SotSheMram)"
+            )),
+        }
+    }
+}
+
 /// Device and energy parameters of a PiM technology (Table III).
 ///
 /// Resistances are in kΩ, currents in µA, voltages in V, times in ns and

@@ -54,6 +54,8 @@ type LayoutKey = (String, (usize, usize, usize));
 pub struct ScheduleCache {
     entries: HashMap<LayoutKey, Arc<CompiledKernel>>,
     netlists: HashMap<String, Netlist>,
+    hits: u64,
+    compiles: u64,
 }
 
 impl ScheduleCache {
@@ -70,6 +72,20 @@ impl ScheduleCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Lifetime count of lookups served from the cache without compiling.
+    ///
+    /// A long-running service shares one cache across every job, so this
+    /// counter (exposed through the service's `stats` command) is the
+    /// observable proof that resubmitted plans recompile nothing.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime count of lookups that had to compile a schedule.
+    pub fn compiles(&self) -> u64 {
+        self.compiles
     }
 
     /// Returns the compiled kernel for `(workload, config.row_layout())`,
@@ -95,6 +111,7 @@ impl ScheduleCache {
             ),
         );
         if let Some(kernel) = self.entries.get(&key) {
+            self.hits += 1;
             return Ok(Arc::clone(kernel));
         }
         // Netlist synthesis is itself cached: every layout of a workload
@@ -117,6 +134,7 @@ impl ScheduleCache {
                 ),
             });
         }
+        self.compiles += 1;
         let kernel = Arc::new(CompiledKernel { netlist, schedule });
         self.entries.insert(key, Arc::clone(&kernel));
         Ok(kernel)
@@ -205,26 +223,73 @@ fn run_trial(ctx: &PointContext, base_seed: u64) -> TrialOutcome {
     }
 }
 
-/// Runs a full campaign: compiles each point's schedule once (shared via
-/// the [`ScheduleCache`]), fans the trials out with rayon, and aggregates
-/// outcomes into a deterministic [`SweepReport`].
+/// Whether a chunked campaign should keep running after a progress event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignControl {
+    /// Keep executing the remaining chunks.
+    Continue,
+    /// Abort the campaign; `run_chunked` returns [`SweepError::Cancelled`].
+    Cancel,
+}
+
+/// A progress snapshot delivered to the observer after every chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignProgress {
+    /// Trials completed so far.
+    pub trials_done: u64,
+    /// Total trials the campaign will run.
+    pub trials_total: u64,
+}
+
+impl CampaignProgress {
+    /// Completion percentage in `[0, 100]`.
+    pub fn percent(&self) -> f64 {
+        if self.trials_total == 0 {
+            100.0
+        } else {
+            100.0 * self.trials_done as f64 / self.trials_total as f64
+        }
+    }
+}
+
+/// A validated plan with every point resolved and every schedule compiled,
+/// ready to run trials — possibly in observable, cancellable chunks.
+///
+/// Produced by [`prepare_campaign`]. Preparation is the only phase that
+/// needs the (shared, mutable) [`ScheduleCache`]; execution borrows nothing
+/// but the prepared points, so a service can hold its process-wide cache
+/// lock only while preparing and run many campaigns concurrently.
+#[derive(Debug)]
+pub struct PreparedCampaign {
+    plan: SweepPlan,
+    points: Vec<PointContext>,
+    /// Distinct schedules this campaign uses (a pure function of the plan,
+    /// *not* of cache warmth — so reports stay byte-identical whether the
+    /// schedules were compiled fresh or served from a warm cache).
+    schedules_used: usize,
+}
+
+/// Resolves a plan's points and compiles their schedules through `cache`.
 ///
 /// # Errors
 ///
-/// Plan-validation and schedule-compilation failures; individual trial
-/// execution errors are *recorded* in the report rather than failing the
-/// campaign.
-pub fn run_campaign(plan: &SweepPlan) -> Result<SweepReport, SweepError> {
+/// Plan-validation and schedule-compilation failures.
+pub fn prepare_campaign(
+    plan: &SweepPlan,
+    cache: &mut ScheduleCache,
+) -> Result<PreparedCampaign, SweepError> {
     plan.validate()?;
-
-    // Phase 1 — resolve points and compile schedules (sequential, cached).
-    let mut cache = ScheduleCache::new();
     let mut points: Vec<PointContext> = Vec::with_capacity(plan.point_count());
+    let mut layouts_used: Vec<*const CompiledKernel> = Vec::new();
     for &workload in &plan.workloads {
         for &technology in &plan.technologies {
             for &protection in &plan.protections {
                 let config = protection.design_config(technology);
                 let kernel = cache.get_or_compile(workload, &config)?;
+                let ptr = Arc::as_ptr(&kernel);
+                if !layouts_used.contains(&ptr) {
+                    layouts_used.push(ptr);
+                }
                 let shape = WorkloadShape::new(workload.name(), 1, 1);
                 let estimate = evaluate_schedule(&kernel.schedule, &shape, &config);
                 let executor = Arc::new(ProtectedExecutor::new(config.clone()));
@@ -243,35 +308,115 @@ pub fn run_campaign(plan: &SweepPlan) -> Result<SweepReport, SweepError> {
             }
         }
     }
+    Ok(PreparedCampaign {
+        plan: plan.clone(),
+        points,
+        schedules_used: layouts_used.len(),
+    })
+}
 
-    // Phase 2 — expand and run every trial in parallel. The trial list is
-    // in plan order and the rayon stub preserves order on collect, so the
-    // outcome vector is identical for any thread count.
-    let trials: Vec<(usize, u64)> = (0..points.len())
-        .flat_map(|pi| (0..plan.seeds_per_point).map(move |ti| (pi, ti)))
-        .collect();
-    let campaign_seed = plan.campaign_seed;
-    let points_ref = &points;
-    let outcomes: Vec<TrialOutcome> = trials
-        .into_par_iter()
-        .map(move |(pi, ti)| {
-            let seed = derive_trial_seed(campaign_seed, pi as u64, ti);
-            run_trial(&points_ref[pi], seed)
-        })
-        .collect();
+impl PreparedCampaign {
+    /// Number of campaign points.
+    pub fn point_count(&self) -> usize {
+        self.points.len()
+    }
 
-    // Phase 3 — aggregate per point, in plan order.
-    let per_point = plan.seeds_per_point as usize;
-    let summaries: Vec<PointSummary> = points
-        .iter()
-        .enumerate()
-        .map(|(pi, ctx)| {
-            let chunk = &outcomes[pi * per_point..(pi + 1) * per_point];
-            PointSummary::aggregate(ctx, chunk)
-        })
-        .collect();
+    /// Total trials the campaign will run.
+    pub fn trial_count(&self) -> u64 {
+        self.plan.trial_count()
+    }
 
-    Ok(SweepReport::new(plan, summaries, cache.len()))
+    /// Runs every trial in one shot (no progress events, not cancellable).
+    ///
+    /// # Errors
+    ///
+    /// Never fails after successful preparation; the `Result` mirrors
+    /// [`Self::run_chunked`].
+    pub fn run(&self) -> Result<SweepReport, SweepError> {
+        self.run_chunked(usize::MAX, |_| CampaignControl::Continue)
+    }
+
+    /// Runs the campaign in chunks of at most `chunk_trials` trials,
+    /// invoking `observer` after each chunk with cumulative progress.
+    ///
+    /// Chunking never changes results: trials are cut from one plan-ordered
+    /// list and every trial's seed derives from its plan coordinates alone,
+    /// so the report is byte-identical for **any** chunk size and thread
+    /// count. The observer return value makes jobs cancellable between
+    /// chunks without poisoning anything — a cancelled campaign simply
+    /// stops scheduling further chunks.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Cancelled`] when the observer returns
+    /// [`CampaignControl::Cancel`]; trial execution errors are recorded in
+    /// the report, never raised.
+    pub fn run_chunked(
+        &self,
+        chunk_trials: usize,
+        mut observer: impl FnMut(CampaignProgress) -> CampaignControl,
+    ) -> Result<SweepReport, SweepError> {
+        let chunk_trials = chunk_trials.max(1);
+        let trials: Vec<(usize, u64)> = (0..self.points.len())
+            .flat_map(|pi| (0..self.plan.seeds_per_point).map(move |ti| (pi, ti)))
+            .collect();
+        let trials_total = trials.len() as u64;
+        let campaign_seed = self.plan.campaign_seed;
+        let points_ref = &self.points;
+
+        let mut outcomes: Vec<TrialOutcome> = Vec::with_capacity(trials.len());
+        for chunk in trials.chunks(chunk_trials) {
+            let chunk_outcomes: Vec<TrialOutcome> = chunk
+                .to_vec()
+                .into_par_iter()
+                .map(move |(pi, ti)| {
+                    let seed = derive_trial_seed(campaign_seed, pi as u64, ti);
+                    run_trial(&points_ref[pi], seed)
+                })
+                .collect();
+            outcomes.extend(chunk_outcomes);
+            let progress = CampaignProgress {
+                trials_done: outcomes.len() as u64,
+                trials_total,
+            };
+            if observer(progress) == CampaignControl::Cancel {
+                return Err(SweepError::Cancelled);
+            }
+        }
+
+        // Aggregate per point, in plan order.
+        let per_point = self.plan.seeds_per_point as usize;
+        let summaries: Vec<PointSummary> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(pi, ctx)| {
+                let chunk = &outcomes[pi * per_point..(pi + 1) * per_point];
+                PointSummary::aggregate(ctx, chunk)
+            })
+            .collect();
+
+        Ok(SweepReport::new(&self.plan, summaries, self.schedules_used))
+    }
+}
+
+/// Runs a full campaign: compiles each point's schedule once (shared via
+/// a fresh [`ScheduleCache`]), fans the trials out with rayon, and
+/// aggregates outcomes into a deterministic [`SweepReport`].
+///
+/// Long-running callers (the `nvpim-service` daemon) should instead call
+/// [`prepare_campaign`] with a shared cache and [`PreparedCampaign::run_chunked`]
+/// for progress reporting and cancellation; this convenience wrapper is the
+/// one-shot path and produces byte-identical reports.
+///
+/// # Errors
+///
+/// Plan-validation and schedule-compilation failures; individual trial
+/// execution errors are *recorded* in the report rather than failing the
+/// campaign.
+pub fn run_campaign(plan: &SweepPlan) -> Result<SweepReport, SweepError> {
+    let mut cache = ScheduleCache::new();
+    prepare_campaign(plan, &mut cache)?.run()
 }
 
 #[cfg(test)]
@@ -370,6 +515,64 @@ mod tests {
         assert_eq!(mixed.exec_errors, 2);
         assert_eq!(mixed.failed_trials, 1);
         assert!((mixed.output_error_rate - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn chunked_runs_are_byte_identical_for_any_chunk_size() {
+        let mut plan = SweepPlan::quick();
+        plan.seeds_per_point = 5;
+        let baseline = run_campaign(&plan).unwrap().to_json();
+        for chunk in [1usize, 3, 7, 1000] {
+            let mut cache = ScheduleCache::new();
+            let prepared = prepare_campaign(&plan, &mut cache).unwrap();
+            let mut events = 0u64;
+            let report = prepared
+                .run_chunked(chunk, |p| {
+                    events += 1;
+                    assert!(p.trials_done <= p.trials_total);
+                    CampaignControl::Continue
+                })
+                .unwrap();
+            assert_eq!(report.to_json(), baseline, "chunk size {chunk}");
+            let expected_chunks = plan.trial_count().div_ceil(chunk as u64);
+            assert_eq!(events, expected_chunks);
+        }
+    }
+
+    #[test]
+    fn observer_cancellation_aborts_between_chunks() {
+        let plan = SweepPlan::quick();
+        let mut cache = ScheduleCache::new();
+        let prepared = prepare_campaign(&plan, &mut cache).unwrap();
+        let mut seen = Vec::new();
+        let err = prepared
+            .run_chunked(8, |p| {
+                seen.push(p.trials_done);
+                if seen.len() == 2 {
+                    CampaignControl::Cancel
+                } else {
+                    CampaignControl::Continue
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, SweepError::Cancelled);
+        assert_eq!(seen, vec![8, 16]);
+    }
+
+    #[test]
+    fn warm_cache_preparation_compiles_nothing_and_reports_identically() {
+        let plan = SweepPlan::quick();
+        let mut cache = ScheduleCache::new();
+        let cold = prepare_campaign(&plan, &mut cache).unwrap();
+        let compiles_after_cold = cache.compiles();
+        assert!(compiles_after_cold > 0);
+        assert_eq!(cache.hits() + cache.compiles(), 3); // one lookup per (wl, tech, prot)
+
+        let warm = prepare_campaign(&plan, &mut cache).unwrap();
+        assert_eq!(cache.compiles(), compiles_after_cold, "no recompilation");
+        // `schedules_compiled` in the report reflects schedules *used*, so
+        // warm and cold runs emit byte-identical JSON.
+        assert_eq!(cold.run().unwrap().to_json(), warm.run().unwrap().to_json());
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Parsing [`SweepPlan`]s back from their canonical JSON encoding.
+//!
+//! The stub `serde` has no derive-based deserialization, so the wire format
+//! the service accepts is decoded by hand here. The decoder accepts exactly
+//! the shape [`SweepPlan::canonical_json`] emits (externally-tagged enum
+//! variants, declaration-order fields — field order is *not* required on
+//! input), which makes `parse(plan.canonical_json())` an identity:
+//! round-tripped plans hash to the same content digest.
+
+use std::str::FromStr;
+
+use nvpim_core::config::{GateStyle, ProtectionScheme};
+use nvpim_sim::technology::Technology;
+use nvpim_workloads::Benchmark;
+use serde::Value;
+
+use crate::plan::{ProtectionConfig, SweepPlan, SweepWorkload};
+use crate::SweepError;
+
+fn parse_err(context: &str, detail: impl std::fmt::Display) -> SweepError {
+    SweepError::Parse(format!("{context}: {detail}"))
+}
+
+fn field<'v>(obj: &'v Value, key: &str, context: &str) -> Result<&'v Value, SweepError> {
+    obj.get(key)
+        .ok_or_else(|| parse_err(context, format!("missing field `{key}`")))
+}
+
+fn usize_field(obj: &Value, key: &str, context: &str) -> Result<usize, SweepError> {
+    field(obj, key, context)?
+        .as_u64()
+        .map(|u| u as usize)
+        .ok_or_else(|| {
+            parse_err(
+                context,
+                format!("field `{key}` must be a non-negative integer"),
+            )
+        })
+}
+
+fn u64_field(obj: &Value, key: &str, context: &str) -> Result<u64, SweepError> {
+    field(obj, key, context)?.as_u64().ok_or_else(|| {
+        parse_err(
+            context,
+            format!("field `{key}` must be a non-negative integer"),
+        )
+    })
+}
+
+/// Decodes one externally-tagged enum value: either a bare string (unit
+/// variant) or a single-key object `{"Variant": payload}`.
+fn variant<'v>(
+    value: &'v Value,
+    context: &str,
+) -> Result<(&'v str, Option<&'v Value>), SweepError> {
+    if let Some(name) = value.as_str() {
+        return Ok((name, None));
+    }
+    match value.as_object() {
+        Some([(name, payload)]) => Ok((name.as_str(), Some(payload))),
+        _ => Err(parse_err(
+            context,
+            "expected a variant name string or a single-key {\"Variant\": ...} object",
+        )),
+    }
+}
+
+fn parse_benchmark(value: &Value) -> Result<Benchmark, SweepError> {
+    let ctx = "workload benchmark";
+    let (name, payload) = variant(value, ctx)?;
+    let payload = payload.ok_or_else(|| parse_err(ctx, "benchmark variants carry parameters"))?;
+    match name {
+        "MatMul" => Ok(Benchmark::MatMul {
+            dim: usize_field(payload, "dim", ctx)?,
+        }),
+        "Mnist" => Ok(Benchmark::Mnist {
+            weight_bits: usize_field(payload, "weight_bits", ctx)?,
+        }),
+        "Fft" => Ok(Benchmark::Fft {
+            points: usize_field(payload, "points", ctx)?,
+        }),
+        other => Err(parse_err(ctx, format!("unknown benchmark `{other}`"))),
+    }
+}
+
+fn parse_workload(value: &Value) -> Result<SweepWorkload, SweepError> {
+    let ctx = "workload";
+    let (name, payload) = variant(value, ctx)?;
+    fn need<'v>(payload: Option<&'v Value>, name: &str) -> Result<&'v Value, SweepError> {
+        payload.ok_or_else(|| parse_err("workload", format!("variant `{name}` carries parameters")))
+    }
+    match name {
+        "Mac" => {
+            let p = need(payload, name)?;
+            Ok(SweepWorkload::Mac {
+                acc_bits: usize_field(p, "acc_bits", ctx)?,
+                mul_bits: usize_field(p, "mul_bits", ctx)?,
+            })
+        }
+        "RippleAdd" => Ok(SweepWorkload::RippleAdd {
+            bits: usize_field(need(payload, name)?, "bits", ctx)?,
+        }),
+        "Multiplier" => Ok(SweepWorkload::Multiplier {
+            bits: usize_field(need(payload, name)?, "bits", ctx)?,
+        }),
+        "Benchmark" => Ok(SweepWorkload::Benchmark(parse_benchmark(need(
+            payload, name,
+        )?)?)),
+        other => Err(parse_err(
+            ctx,
+            format!("unknown workload variant `{other}`"),
+        )),
+    }
+}
+
+fn parse_protection(value: &Value) -> Result<ProtectionConfig, SweepError> {
+    let ctx = "protection";
+    let scheme = field(value, "scheme", ctx)?
+        .as_str()
+        .ok_or_else(|| parse_err(ctx, "field `scheme` must be a string"))?;
+    let gate_style = field(value, "gate_style", ctx)?
+        .as_str()
+        .ok_or_else(|| parse_err(ctx, "field `gate_style` must be a string"))?;
+    Ok(ProtectionConfig {
+        scheme: ProtectionScheme::from_str(scheme).map_err(|e| parse_err(ctx, e))?,
+        gate_style: GateStyle::from_str(gate_style).map_err(|e| parse_err(ctx, e))?,
+    })
+}
+
+impl SweepPlan {
+    /// Decodes a plan from a parsed JSON [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Parse`] naming the offending field. The decoded plan is
+    /// **not** validated — call [`SweepPlan::validate`] before running it.
+    pub fn from_json_value(value: &Value) -> Result<Self, SweepError> {
+        let ctx = "plan";
+        let workloads = field(value, "workloads", ctx)?
+            .as_array()
+            .ok_or_else(|| parse_err(ctx, "`workloads` must be an array"))?
+            .iter()
+            .map(parse_workload)
+            .collect::<Result<Vec<_>, _>>()?;
+        let technologies = field(value, "technologies", ctx)?
+            .as_array()
+            .ok_or_else(|| parse_err(ctx, "`technologies` must be an array"))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .ok_or_else(|| parse_err("technology", "expected a string"))
+                    .and_then(|s| Technology::from_str(s).map_err(|e| parse_err("technology", e)))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let protections = field(value, "protections", ctx)?
+            .as_array()
+            .ok_or_else(|| parse_err(ctx, "`protections` must be an array"))?
+            .iter()
+            .map(parse_protection)
+            .collect::<Result<Vec<_>, _>>()?;
+        let gate_error_rates = field(value, "gate_error_rates", ctx)?
+            .as_array()
+            .ok_or_else(|| parse_err(ctx, "`gate_error_rates` must be an array"))?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| parse_err(ctx, "`gate_error_rates` entries must be numbers"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SweepPlan {
+            workloads,
+            technologies,
+            protections,
+            gate_error_rates,
+            seeds_per_point: u64_field(value, "seeds_per_point", ctx)?,
+            campaign_seed: u64_field(value, "campaign_seed", ctx)?,
+        })
+    }
+
+    /// Decodes a plan from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Parse`] on malformed JSON or an unrecognized shape.
+    pub fn from_json_str(text: &str) -> Result<Self, SweepError> {
+        let value = serde_json::from_str(text).map_err(|e| parse_err("plan JSON", e))?;
+        Self::from_json_value(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(plan: &SweepPlan) {
+        let parsed = SweepPlan::from_json_str(&plan.canonical_json()).unwrap();
+        assert_eq!(parsed.canonical_json(), plan.canonical_json());
+        assert_eq!(parsed.content_digest(), plan.content_digest());
+    }
+
+    #[test]
+    fn canonical_json_roundtrips_through_the_parser() {
+        roundtrip(&SweepPlan::quick());
+        roundtrip(&SweepPlan::paper_scale());
+        let mut exotic = SweepPlan::quick();
+        exotic.workloads = vec![
+            SweepWorkload::Multiplier { bits: 4 },
+            SweepWorkload::Benchmark(Benchmark::MatMul { dim: 8 }),
+            SweepWorkload::Benchmark(Benchmark::Mnist { weight_bits: 2 }),
+            SweepWorkload::Benchmark(Benchmark::Fft { points: 16 }),
+        ];
+        exotic.protections = vec![ProtectionConfig::TRIM_SINGLE_OUTPUT];
+        roundtrip(&exotic);
+    }
+
+    #[test]
+    fn display_labels_parse_too() {
+        let text = r#"{
+            "workloads": [{"RippleAdd": {"bits": 8}}],
+            "technologies": ["STT-MRAM", "ReRAM"],
+            "protections": [{"scheme": "ECiM", "gate_style": "m-o"}],
+            "gate_error_rates": [0.001, 1],
+            "seeds_per_point": 4,
+            "campaign_seed": 7
+        }"#;
+        let plan = SweepPlan::from_json_str(text).unwrap();
+        assert_eq!(
+            plan.technologies,
+            vec![Technology::SttMram, Technology::ReRam]
+        );
+        assert_eq!(plan.protections, vec![ProtectionConfig::ECIM]);
+        assert_eq!(plan.gate_error_rates, vec![0.001, 1.0]);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected_with_context() {
+        let cases: &[(&str, &str)] = &[
+            ("not json at all", "plan JSON"),
+            (r#"{"workloads": 3}"#, "`workloads` must be an array"),
+            (
+                r#"{"workloads": [{"Mac": {"acc_bits": 8}}]}"#,
+                "missing field `mul_bits`",
+            ),
+            (
+                r#"{"workloads": [{"Warp": {}}]}"#,
+                "unknown workload variant",
+            ),
+            (
+                concat!(
+                    r#"{"workloads": [], "technologies": ["Optane"], "protections": [],"#,
+                    r#" "gate_error_rates": [], "seeds_per_point": 1, "campaign_seed": 1}"#
+                ),
+                "unknown technology",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = SweepPlan::from_json_str(text).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "error for {text:?} should mention {needle:?}, got: {msg}"
+            );
+        }
+    }
+}

@@ -38,11 +38,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod digest;
 pub mod engine;
+pub mod json;
 pub mod plan;
 pub mod report;
 
-pub use engine::{derive_trial_seed, run_campaign, CompiledKernel, ScheduleCache};
+pub use engine::{
+    derive_trial_seed, prepare_campaign, run_campaign, CampaignControl, CampaignProgress,
+    CompiledKernel, PreparedCampaign, ScheduleCache,
+};
 pub use plan::{ProtectionConfig, SweepPlan, SweepWorkload};
 pub use report::{PointSummary, SweepReport, TrialOutcome};
 
@@ -67,6 +72,10 @@ pub enum SweepError {
         /// Human-readable layout description.
         layout_label: String,
     },
+    /// A plan's JSON encoding could not be decoded.
+    Parse(String),
+    /// A chunked campaign was cancelled by its progress observer.
+    Cancelled,
 }
 
 impl std::fmt::Display for SweepError {
@@ -87,6 +96,8 @@ impl std::fmt::Display for SweepError {
                 "workload `{workload}` spills under layout ({layout_label}) and cannot run \
                  functional fault-injection trials"
             ),
+            SweepError::Parse(detail) => write!(f, "invalid sweep plan encoding — {detail}"),
+            SweepError::Cancelled => write!(f, "campaign cancelled by its observer"),
         }
     }
 }

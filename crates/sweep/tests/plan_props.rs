@@ -1,0 +1,116 @@
+//! Property tests over arbitrary generated [`SweepPlan`]s: trial counting
+//! is exactly the cartesian product, and `validate()` rejects every
+//! degenerate plan (an empty axis, zero seeds, an out-of-range rate).
+
+use nvpim_sweep::{ProtectionConfig, SweepPlan, SweepWorkload};
+use proptest::prelude::*;
+
+/// Builds a plan whose four axes have the given lengths (drawn from fixed
+/// pools so the contents are always individually valid) and whose
+/// rate/seed values come from the generated inputs.
+fn plan_with(
+    n_workloads: usize,
+    n_technologies: usize,
+    n_protections: usize,
+    n_rates: usize,
+    seeds: u64,
+    rate: f64,
+) -> SweepPlan {
+    use nvpim_sim::technology::Technology;
+    let workload_pool = [
+        SweepWorkload::Mac {
+            acc_bits: 8,
+            mul_bits: 4,
+        },
+        SweepWorkload::RippleAdd { bits: 8 },
+        SweepWorkload::Multiplier { bits: 4 },
+    ];
+    let protection_pool = [
+        ProtectionConfig::UNPROTECTED,
+        ProtectionConfig::ECIM,
+        ProtectionConfig::ECIM_SINGLE_OUTPUT,
+        ProtectionConfig::TRIM,
+        ProtectionConfig::TRIM_SINGLE_OUTPUT,
+    ];
+    SweepPlan {
+        workloads: workload_pool
+            .iter()
+            .cycle()
+            .take(n_workloads)
+            .copied()
+            .collect(),
+        technologies: Technology::ALL
+            .iter()
+            .cycle()
+            .take(n_technologies)
+            .copied()
+            .collect(),
+        protections: protection_pool
+            .iter()
+            .cycle()
+            .take(n_protections)
+            .copied()
+            .collect(),
+        gate_error_rates: (0..n_rates).map(|i| rate / (i + 1) as f64).collect(),
+        seeds_per_point: seeds,
+        campaign_seed: 0xfeed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn trial_count_is_points_times_seeds(
+        n_workloads in 1usize..4,
+        n_technologies in 1usize..4,
+        n_protections in 1usize..6,
+        n_rates in 1usize..5,
+        seeds in 1u64..40,
+        rate in 0.0f64..1.0,
+    ) {
+        let plan = plan_with(n_workloads, n_technologies, n_protections, n_rates, seeds, rate);
+        prop_assert_eq!(
+            plan.point_count(),
+            n_workloads * n_technologies * n_protections * n_rates
+        );
+        prop_assert_eq!(plan.trial_count(), plan.point_count() as u64 * seeds);
+        prop_assert_eq!(plan.trial_count(), plan.point_count() as u64 * plan.seeds_per_point);
+        prop_assert!(plan.validate().is_ok(), "well-formed plans validate");
+    }
+
+    #[test]
+    fn validate_rejects_empty_grids_and_zero_seeds(
+        n_workloads in 0usize..3,
+        n_technologies in 0usize..3,
+        n_protections in 0usize..3,
+        n_rates in 0usize..3,
+        seeds in 0u64..20,
+        rate in 0.0f64..1.0,
+    ) {
+        let plan = plan_with(n_workloads, n_technologies, n_protections, n_rates, seeds, rate);
+        let degenerate = n_workloads == 0
+            || n_technologies == 0
+            || n_protections == 0
+            || n_rates == 0
+            || seeds == 0;
+        prop_assert_eq!(
+            plan.validate().is_err(),
+            degenerate,
+            "axes ({}, {}, {}, {}) x seeds {} must validate iff all nonzero",
+            n_workloads, n_technologies, n_protections, n_rates, seeds
+        );
+        if degenerate {
+            prop_assert_eq!(plan.trial_count(), plan.point_count() as u64 * seeds);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_rates(offset in 0.0001f64..10.0) {
+        let mut plan = SweepPlan::quick();
+        plan.gate_error_rates = vec![1.0 + offset];
+        prop_assert!(plan.validate().is_err());
+        plan.gate_error_rates = vec![-offset];
+        prop_assert!(plan.validate().is_err());
+    }
+}
