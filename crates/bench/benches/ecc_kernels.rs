@@ -74,7 +74,8 @@ fn bench_majority(c: &mut Criterion) {
         bad.flip(bits / 3);
         let copies = vec![good.clone(), bad, good.clone()];
         group.bench_with_input(BenchmarkId::from_parameter(bits), &copies, |b, copies| {
-            b.iter(|| majority_vote_words(black_box(copies)))
+            let refs: Vec<&_> = copies.iter().collect();
+            b.iter(|| majority_vote_words(black_box(&refs)))
         });
     }
     group.finish();

@@ -1,0 +1,192 @@
+//! Monte Carlo trial throughput on the paper-regime point: gate error rate
+//! 1e-4, ECiM with a shortened Hamming(71, 64) code, 256×256 STT-MRAM
+//! array, MAC(8×4) workload.
+//!
+//! Two paths are measured:
+//!
+//! * `packed_arena_skip` — the engine's hot path: bit-packed array reset in
+//!   place, per-thread [`TrialArena`] buffers, skip-sampled fault
+//!   injection, allocation-free executor scratch.
+//! * `legacy_fresh_bernoulli` — the pre-optimization trial shape: a fresh
+//!   array allocation per trial, per-operation Bernoulli fault draws, and
+//!   a fresh executor scratch per run. (The word-packed ECC kernels are
+//!   shared code and benefit both paths, so the printed ratio *understates*
+//!   the full speedup over the pre-PR engine.)
+//!
+//! Besides the criterion-style console lines, the bench writes
+//! `BENCH_trials.json` (override the location with `NVPIM_BENCH_OUT`) with
+//! absolute trials/sec for both paths so CI can track the perf trajectory
+//! per PR. Set `NVPIM_BENCH_QUICK=1` to cut sample counts for smoke runs.
+
+use std::time::Instant;
+
+use criterion::{black_box, Criterion};
+use nvpim_sim::array::PimArray;
+use nvpim_sim::fault::{ErrorRates, FaultInjector};
+use nvpim_sim::technology::Technology;
+use nvpim_sweep::{
+    derive_trial_seed, trial_stream_seeds, ProtectionConfig, SweepWorkload, TrialArena,
+    TrialHarness,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const GATE_ERROR_RATE: f64 = 1e-4;
+const CAMPAIGN_SEED: u64 = 0x7147_0000;
+
+fn quick_mode() -> bool {
+    std::env::var("NVPIM_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// The paper-regime point: ECiM/m-o on STT-MRAM with Hamming(71, 64).
+fn paper_regime_harness() -> TrialHarness {
+    let config = ProtectionConfig::ECIM
+        .design_config(Technology::SttMram)
+        .with_hamming_data_bits(64);
+    TrialHarness::new(
+        SweepWorkload::Mac {
+            acc_bits: 8,
+            mul_bits: 4,
+        },
+        ProtectionConfig::ECIM,
+        config,
+        GATE_ERROR_RATE,
+    )
+    .expect("paper-regime point compiles")
+}
+
+/// One trial the way the pre-optimization engine ran it: fresh array
+/// allocation, per-op Bernoulli sampling, fresh per-run scratch.
+fn run_trial_legacy(harness: &TrialHarness, trial_index: u64) -> u64 {
+    let base_seed = derive_trial_seed(CAMPAIGN_SEED, 0, trial_index);
+    let (input_seed, fault_seed) = trial_stream_seeds(base_seed);
+    let mut input_rng = ChaCha8Rng::seed_from_u64(input_seed);
+    let netlist = &harness.kernel().netlist;
+    let inputs: Vec<bool> = (0..netlist.inputs.len())
+        .map(|_| input_rng.gen_bool(0.5))
+        .collect();
+    let expected = netlist.evaluate(&inputs);
+    let rates = ErrorRates {
+        gate: GATE_ERROR_RATE,
+        ..ErrorRates::NONE
+    };
+    let mut array = PimArray::standard(harness.config().technology)
+        .with_fault_injector(FaultInjector::new(rates, fault_seed).with_per_op_sampling());
+    let report = harness
+        .executor()
+        .run(netlist, &harness.kernel().schedule, &mut array, 0, &inputs)
+        .expect("trial executes");
+    report
+        .outputs
+        .iter()
+        .zip(&expected)
+        .filter(|(got, want)| got != want)
+        .count() as u64
+}
+
+/// Wall-clock trials/sec of `f` over `n` trials.
+fn measure(n: u64, mut f: impl FnMut(u64)) -> f64 {
+    let start = Instant::now();
+    for t in 0..n {
+        f(t);
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_trial_throughput(c: &mut Criterion) {
+    let harness = paper_regime_harness();
+    let mut group = c.benchmark_group("trial_throughput");
+
+    group.bench_function("packed_arena_skip", |b| {
+        let mut arena = TrialArena::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(harness.run_trial(CAMPAIGN_SEED, t, &mut arena))
+        });
+    });
+
+    group.bench_function("legacy_fresh_bernoulli", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(run_trial_legacy(&harness, t))
+        });
+    });
+
+    group.finish();
+}
+
+/// Measures both paths with enough trials for a stable ratio and writes
+/// `BENCH_trials.json`.
+fn emit_json() {
+    let harness = paper_regime_harness();
+    let (engine_trials, legacy_trials) = if quick_mode() {
+        (1_000u64, 100u64)
+    } else {
+        (8_000u64, 800u64)
+    };
+
+    // Warm-up.
+    let mut arena = TrialArena::new();
+    for t in 0..64 {
+        harness.run_trial(CAMPAIGN_SEED, t, &mut arena);
+    }
+
+    let engine_tps = measure(engine_trials, |t| {
+        black_box(harness.run_trial(CAMPAIGN_SEED, t, &mut arena));
+    });
+    let legacy_tps = measure(legacy_trials, |t| {
+        black_box(run_trial_legacy(&harness, t));
+    });
+    let speedup = engine_tps / legacy_tps;
+
+    let out_path = std::env::var("NVPIM_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_trials.json", env!("CARGO_MANIFEST_DIR")));
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"trial_throughput\",\n",
+            "  \"point\": {{\n",
+            "    \"workload\": \"mac8x4\",\n",
+            "    \"protection\": \"ECiM/m-o\",\n",
+            "    \"technology\": \"{tech}\",\n",
+            "    \"code\": \"Hamming({n},{k})\",\n",
+            "    \"gate_error_rate\": {rate},\n",
+            "    \"array\": \"256x256\"\n",
+            "  }},\n",
+            "  \"engine_trials\": {et},\n",
+            "  \"legacy_trials\": {lt},\n",
+            "  \"engine_trials_per_sec\": {etps:.1},\n",
+            "  \"legacy_trials_per_sec\": {ltps:.1},\n",
+            "  \"speedup_vs_legacy_mode\": {speedup:.2},\n",
+            "  \"note\": \"legacy mode = fresh array + per-op Bernoulli + fresh scratch, ",
+            "replaying the engine's exact per-trial input/fault streams; the ",
+            "word-packed ECC kernels are shared code that speeds this mode up ",
+            "too, so the ratio is a lower bound on the speedup vs the pre-PR ",
+            "engine (see docs/performance.md for the measured pre-PR reference)\"\n",
+            "}}\n"
+        ),
+        tech = harness.config().technology,
+        n = harness.executor().code().n(),
+        k = harness.executor().code().k(),
+        rate = GATE_ERROR_RATE,
+        et = engine_trials,
+        lt = legacy_trials,
+        etps = engine_tps,
+        ltps = legacy_tps,
+        speedup = speedup,
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}\n{json}"),
+        Err(err) => eprintln!("could not write {out_path}: {err}"),
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_trial_throughput(&mut criterion);
+    emit_json();
+}

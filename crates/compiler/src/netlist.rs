@@ -156,23 +156,56 @@ impl Netlist {
     /// Panics if `input_values.len()` differs from the number of primary
     /// inputs.
     pub fn evaluate(&self, input_values: &[bool]) -> Vec<bool> {
+        let mut values = Vec::new();
+        let mut outputs = Vec::new();
+        self.evaluate_into(input_values, &mut values, &mut outputs);
+        outputs
+    }
+
+    /// [`Self::evaluate`] into caller-owned buffers: `values` is the
+    /// net-value working array, `outputs` receives the primary output
+    /// values. Both are cleared and refilled, so reusing them across
+    /// evaluations (e.g. per Monte Carlo trial) allocates nothing in the
+    /// steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len()` differs from the number of primary
+    /// inputs.
+    pub fn evaluate_into(
+        &self,
+        input_values: &[bool],
+        values: &mut Vec<bool>,
+        outputs: &mut Vec<bool>,
+    ) {
         assert_eq!(
             input_values.len(),
             self.inputs.len(),
             "expected {} input values",
             self.inputs.len()
         );
-        let mut values: Vec<bool> = vec![false; self.net_count];
+        values.clear();
+        values.resize(self.net_count, false);
         for (&net, &v) in self.inputs.iter().zip(input_values) {
             values[net] = v;
         }
-        let mut scratch = Vec::new();
+        let mut gate_inputs = [false; 8];
+        let mut overflow = Vec::new();
         for gate in &self.gates {
-            scratch.clear();
-            scratch.extend(gate.inputs.iter().map(|&n| values[n]));
-            values[gate.output] = gate.evaluate(&scratch);
+            let resolved: &[bool] = if gate.inputs.len() <= gate_inputs.len() {
+                for (slot, &n) in gate_inputs.iter_mut().zip(&gate.inputs) {
+                    *slot = values[n];
+                }
+                &gate_inputs[..gate.inputs.len()]
+            } else {
+                overflow.clear();
+                overflow.extend(gate.inputs.iter().map(|&n| values[n]));
+                &overflow
+            };
+            values[gate.output] = gate.evaluate(resolved);
         }
-        self.outputs.iter().map(|&n| values[n]).collect()
+        outputs.clear();
+        outputs.extend(self.outputs.iter().map(|&n| values[n]));
     }
 
     /// For each net, the index of the last gate (in topological order) that

@@ -31,31 +31,97 @@ pub struct CheckResult {
     pub uncorrectable: bool,
 }
 
+/// Outcome of one lean (allocation-free) ECiM level decode; see
+/// [`EcimChecker::decode_level`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelDecode {
+    /// Zero syndrome — nothing to write back.
+    Clean,
+    /// A single-bit error in data position `position` of the level: the
+    /// caller flips that bit in the array.
+    CorrectedData {
+        /// Position within the level's data bits.
+        position: usize,
+    },
+    /// A single-bit error in an unused data position or a parity bit —
+    /// detected and corrected, but no data write-back is needed.
+    CorrectedMeta,
+    /// The syndrome matched no single-bit pattern (shortened codes only).
+    Uncorrectable,
+}
+
 /// The ECiM Checker: a hardwired Hamming syndrome decoder plus a correction
 /// XOR stage.
+///
+/// Borrows its [`HammingCode`] so per-run construction is free — the
+/// Monte Carlo sweep builds one checker per trial, and cloning the code's
+/// syndrome table there would dominate the hot path.
 #[derive(Debug, Clone)]
-pub struct EcimChecker {
-    code: HammingCode,
+pub struct EcimChecker<'a> {
+    code: &'a HammingCode,
     cost: CheckerCostModel,
     checks: u64,
     corrections: u64,
+    /// Reusable codeword assembly buffer for [`Self::decode_level`].
+    codeword: BitVec,
 }
 
-impl EcimChecker {
+impl<'a> EcimChecker<'a> {
     /// Builds a checker for the given Hamming code.
-    pub fn new(code: HammingCode) -> Self {
-        let cost = CheckerCostModel::for_hamming(&code);
+    pub fn new(code: &'a HammingCode) -> Self {
+        let cost = CheckerCostModel::for_hamming(code);
         Self {
             code,
             cost,
             checks: 0,
             corrections: 0,
+            codeword: BitVec::default(),
+        }
+    }
+
+    /// Lean logic-level decode: assembles `[data | padding | parity]` into
+    /// an internal reusable buffer, decodes, and reports just what the
+    /// executor needs to act (at most one write-back position for a
+    /// single-error code). The steady state allocates nothing — this is
+    /// the Monte Carlo hot path; [`Self::check_level`] is the
+    /// full-information variant.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::check_level`].
+    pub fn decode_level(&mut self, data: &BitVec, parity: &BitVec) -> LevelDecode {
+        assert!(
+            data.len() <= self.code.k(),
+            "level data ({}) exceeds code dimension k = {}",
+            data.len(),
+            self.code.k()
+        );
+        assert_eq!(
+            parity.len(),
+            self.code.parity_bits(),
+            "parity width must match the code"
+        );
+        self.checks += 1;
+        self.codeword.clear_resize(self.code.n());
+        self.codeword.or_range(0, data);
+        self.codeword.or_range(self.code.k(), parity);
+        match self.code.decode(&mut self.codeword) {
+            DecodeOutcome::Clean => LevelDecode::Clean,
+            DecodeOutcome::Corrected { position } => {
+                self.corrections += 1;
+                if position < data.len() {
+                    LevelDecode::CorrectedData { position }
+                } else {
+                    LevelDecode::CorrectedMeta
+                }
+            }
+            DecodeOutcome::Uncorrectable => LevelDecode::Uncorrectable,
         }
     }
 
     /// The Hamming code this checker decodes.
     pub fn code(&self) -> &HammingCode {
-        &self.code
+        self.code
     }
 
     /// The cost model of this checker instance.
@@ -93,12 +159,11 @@ impl EcimChecker {
             "parity width must match the code"
         );
         self.checks += 1;
-        // Zero-pad the data to k bits to form the codeword.
-        let mut padded = data.clone();
-        while padded.len() < self.code.k() {
-            padded = padded.concat(&BitVec::zeros(self.code.k() - padded.len()));
-        }
-        let mut codeword = padded.concat(parity);
+        // Assemble `[data | zero padding | parity]` word-parallel; unused
+        // codeword positions are implicitly zero.
+        let mut codeword = BitVec::zeros(self.code.n());
+        codeword.or_range(0, data);
+        codeword.or_range(self.code.k(), parity);
         let outcome = self.code.decode(&mut codeword);
         let corrected_full = self.code.extract_data(&codeword);
         let corrected_data = corrected_full.slice(0..data.len());
@@ -168,6 +233,25 @@ impl TrimChecker {
         self.corrections
     }
 
+    /// Lean majority vote into a caller-owned buffer: `voted` receives the
+    /// bitwise majority; returns whether any copy dissented (an error was
+    /// detected). Allocation-free — the TRiM hot path; the caller derives
+    /// write-back positions by diffing each copy against `voted`.
+    pub fn vote_level_into(
+        &mut self,
+        primary: &BitVec,
+        copy1: &BitVec,
+        copy2: &BitVec,
+        voted: &mut BitVec,
+    ) -> bool {
+        self.checks += 1;
+        let dissent = nvpim_ecc::redundancy::tmr_vote_into(primary, copy1, copy2, voted);
+        if dissent && primary != voted {
+            self.corrections += 1;
+        }
+        dissent
+    }
+
     /// Majority-votes the three copies of a logic level's outputs.
     ///
     /// # Panics
@@ -175,12 +259,10 @@ impl TrimChecker {
     /// Panics if the copies differ in length.
     pub fn check_level(&mut self, primary: &BitVec, copy1: &BitVec, copy2: &BitVec) -> CheckResult {
         self.checks += 1;
-        let outcome = majority_vote_words(&[primary.clone(), copy1.clone(), copy2.clone()])
+        let outcome = majority_vote_words(&[primary, copy1, copy2])
             .expect("three equal-length copies always produce a majority");
         let voted = outcome.value().clone();
-        let corrected_positions: Vec<usize> = (0..primary.len())
-            .filter(|&i| primary.get(i) != voted.get(i))
-            .collect();
+        let corrected_positions: Vec<usize> = primary.xor(&voted).iter_ones().collect();
         let error_detected = matches!(outcome, VoteOutcome::Majority { .. });
         if !corrected_positions.is_empty() {
             self.corrections += 1;
@@ -260,8 +342,8 @@ mod tests {
 
     #[test]
     fn clean_level_passes_through() {
-        let mut checker = EcimChecker::new(HammingCode::new_standard(3));
-        let code = checker.code().clone();
+        let code = HammingCode::new_standard(3);
+        let mut checker = EcimChecker::new(&code);
         let data = bv(&[1, 0, 1, 1]);
         let parity = code.parity_of(&data);
         let result = checker.check_level(&data, &parity);
@@ -273,8 +355,8 @@ mod tests {
 
     #[test]
     fn single_data_error_is_corrected_and_flagged_for_writeback() {
-        let mut checker = EcimChecker::new(HammingCode::new_standard(3));
-        let code = checker.code().clone();
+        let code = HammingCode::new_standard(3);
+        let mut checker = EcimChecker::new(&code);
         let clean = bv(&[0, 1, 1, 0]);
         let parity = code.parity_of(&clean);
         let mut corrupted = clean.clone();
@@ -289,8 +371,8 @@ mod tests {
 
     #[test]
     fn parity_bit_error_needs_no_data_writeback() {
-        let mut checker = EcimChecker::new(HammingCode::new_standard(3));
-        let code = checker.code().clone();
+        let code = HammingCode::new_standard(3);
+        let mut checker = EcimChecker::new(&code);
         let data = bv(&[1, 1, 0, 0]);
         let mut parity = code.parity_of(&data);
         parity.flip(1);
@@ -303,8 +385,8 @@ mod tests {
     #[test]
     fn short_levels_are_zero_padded() {
         // A level with fewer outputs than k still decodes correctly.
-        let mut checker = EcimChecker::new(HammingCode::new_standard(8));
-        let code = checker.code().clone();
+        let code = HammingCode::new_standard(8);
+        let mut checker = EcimChecker::new(&code);
         let mut data = BitVec::zeros(10);
         data.set(3, true);
         data.set(7, true);

@@ -2,6 +2,7 @@
 
 use nvpim_compiler::layout::RowLayout;
 use nvpim_ecc::design_space::Granularity;
+use nvpim_ecc::hamming::HammingCode;
 use nvpim_sim::technology::Technology;
 use serde::{Deserialize, Serialize};
 
@@ -97,6 +98,12 @@ pub struct DesignConfig {
     /// Hamming code parity bits `r` (the code is `Hamming(2^r − 1, 2^r − 1 − r)`;
     /// the paper uses `r = 8`, i.e. Hamming(255, 247)).
     pub hamming_r: usize,
+    /// When non-zero, shorten the Hamming code to exactly this many data
+    /// bits (the code becomes `Hamming(k + r, k)` with the minimum `r`
+    /// covering `k`). `0` selects the full-length code from `hamming_r`.
+    /// Example: `64` gives Hamming(71, 64), the word-oriented design point
+    /// benchmarked by `trial_throughput`.
+    pub hamming_k: usize,
     /// Columns per PiM array row (256 in the paper).
     pub array_columns: usize,
     /// Rows per PiM array (256 in the paper).
@@ -120,6 +127,7 @@ impl DesignConfig {
             technology,
             check_granularity: Granularity::LogicLevel,
             hamming_r: 8,
+            hamming_k: 0,
             array_columns: 256,
             array_rows: 256,
             max_arrays: 16,
@@ -159,6 +167,25 @@ impl DesignConfig {
     /// Returns a copy using a `Hamming(2^r − 1, ...)` code with the given `r`.
     pub fn with_hamming_r(mut self, r: usize) -> Self {
         self.hamming_r = r;
+        self.hamming_k = 0;
+        self
+    }
+
+    /// Returns a copy using a shortened Hamming code with exactly `k` data
+    /// bits and the minimum covering number of parity bits (e.g. `k = 64`
+    /// gives Hamming(71, 64)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn with_hamming_data_bits(mut self, k: usize) -> Self {
+        assert!(k > 0, "a Hamming code needs at least one data bit");
+        let mut r = 2usize;
+        while (1usize << r) - 1 - r < k {
+            r += 1;
+        }
+        self.hamming_r = r;
+        self.hamming_k = k;
         self
     }
 
@@ -169,7 +196,21 @@ impl DesignConfig {
 
     /// Number of data bits `k` of the configured Hamming code.
     pub fn data_bits(&self) -> usize {
-        (1usize << self.hamming_r) - 1 - self.hamming_r
+        if self.hamming_k != 0 {
+            self.hamming_k
+        } else {
+            (1usize << self.hamming_r) - 1 - self.hamming_r
+        }
+    }
+
+    /// Constructs the Hamming code this design point maintains in memory.
+    pub fn hamming_code(&self) -> HammingCode {
+        if self.hamming_k != 0 {
+            HammingCode::with_data_bits(self.hamming_k)
+                .expect("hamming_k validated at construction")
+        } else {
+            HammingCode::new_standard(self.hamming_r)
+        }
     }
 
     /// Columns reserved in every row for ECC metadata under this design:

@@ -22,16 +22,26 @@
 //! the parity pipeline, the redundant copies *or* idle cells — and the
 //! executor's reports show whether the final outputs survived, which is how
 //! the SEP guarantee is validated end to end.
+//!
+//! # Hot-path design
+//!
+//! The Monte Carlo sweep runs this executor millions of times, so the
+//! steady state must not allocate: gate operations go through
+//! [`PimArray::execute_gate_with`] with column slices (no per-gate `GateOp`
+//! construction), and all per-run working memory lives in a caller-owned
+//! [`ExecScratch`] that [`ProtectedExecutor::run_with_scratch`] reuses
+//! across trials. [`ProtectedExecutor::run`] is the convenience wrapper
+//! that allocates a fresh scratch per call.
 
 use nvpim_compiler::netlist::{LogicOp, Netlist};
 use nvpim_compiler::schedule::{RowSchedule, ScheduledGate};
 use nvpim_ecc::gf2::BitVec;
 use nvpim_ecc::hamming::HammingCode;
-use nvpim_sim::array::{ArrayError, GateOp, PimArray};
+use nvpim_sim::array::{ArrayError, PimArray};
 use nvpim_sim::gates::GateKind;
 use serde::{Deserialize, Serialize};
 
-use crate::checker::{EcimChecker, TrimChecker};
+use crate::checker::{EcimChecker, LevelDecode, TrimChecker};
 use crate::config::{DesignConfig, GateStyle, ProtectionScheme};
 
 /// Errors raised by protected execution.
@@ -98,6 +108,72 @@ pub struct ProtectedRunReport {
     pub metadata_gate_ops: u64,
 }
 
+/// Reusable per-run working memory for [`ProtectedExecutor::run_with_scratch`].
+///
+/// Every collection is cleared (never shrunk) at the start of a run, so a
+/// scratch held by a trial arena reaches a steady state where protected
+/// execution performs no heap allocation at all. One scratch serves runs of
+/// different netlists, schedules and protection schemes back to back.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    /// Net id → primary-input position (dense, `u32::MAX` = not an input),
+    /// rebuilt per run. Dense vectors instead of hash maps: the per-gate
+    /// lookups in the trial hot path become plain indexed loads.
+    input_positions: Vec<u32>,
+    /// Primary inputs already written into the array this run (by net id).
+    materialized: Vec<bool>,
+    /// Nets consumed by at least one gate or marked as primary outputs.
+    used_nets: Vec<bool>,
+    /// Output-column assembly buffer for one gate operation.
+    out_cols: Vec<usize>,
+    /// Extra (metadata) output columns for one gate operation.
+    extra_cols: Vec<usize>,
+    /// ECiM: data column of each codeword position in the current chunk.
+    chunk_cols: Vec<usize>,
+    /// ECiM: which of ping/pong holds each running parity bit.
+    parity_in_pong: Vec<bool>,
+    /// Column lists for Checker transfers (data/parity or copy planes).
+    cols_a: Vec<usize>,
+    cols_b: Vec<usize>,
+    cols_c: Vec<usize>,
+    /// Bit buffers for Checker transfers.
+    bits_a: BitVec,
+    bits_b: BitVec,
+    bits_c: BitVec,
+    /// TRiM: majority-vote result buffer.
+    bits_vote: BitVec,
+    /// TRiM: the three copy columns of every gate in the current level.
+    level_outputs: Vec<[usize; 3]>,
+}
+
+impl ExecScratch {
+    /// Creates an empty scratch (equivalent to `ExecScratch::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, netlist: &Netlist) {
+        let nets = netlist.net_count;
+        self.input_positions.clear();
+        self.input_positions.resize(nets, u32::MAX);
+        for (pos, &net) in netlist.inputs.iter().enumerate() {
+            self.input_positions[net] = pos as u32;
+        }
+        self.materialized.clear();
+        self.materialized.resize(nets, false);
+        self.used_nets.clear();
+        self.used_nets.resize(nets, false);
+        for gate in &netlist.gates {
+            for &input in &gate.inputs {
+                self.used_nets[input] = true;
+            }
+        }
+        for &output in &netlist.outputs {
+            self.used_nets[output] = true;
+        }
+    }
+}
+
 /// Executes schedules under a [`DesignConfig`]'s protection scheme.
 #[derive(Debug, Clone)]
 pub struct ProtectedExecutor {
@@ -105,32 +181,10 @@ pub struct ProtectedExecutor {
     code: HammingCode,
 }
 
-/// Tracks primary-input materialization during one run: a precomputed
-/// net → input-position map (so the per-gate lookup is O(1) even on the
-/// Monte Carlo sweep's hot path) plus the set of inputs already written.
-struct InputTracker {
-    positions: std::collections::HashMap<usize, usize>,
-    materialized: std::collections::HashSet<usize>,
-}
-
-impl InputTracker {
-    fn new(netlist: &Netlist) -> Self {
-        Self {
-            positions: netlist
-                .inputs
-                .iter()
-                .enumerate()
-                .map(|(pos, &net)| (net, pos))
-                .collect(),
-            materialized: std::collections::HashSet::new(),
-        }
-    }
-}
-
 impl ProtectedExecutor {
     /// Creates an executor for the given design point.
     pub fn new(config: DesignConfig) -> Self {
-        let code = HammingCode::new_standard(config.hamming_r);
+        let code = config.hamming_code();
         Self { config, code }
     }
 
@@ -145,7 +199,9 @@ impl ProtectedExecutor {
     }
 
     /// Runs `schedule` (compiled from `netlist` with `config.row_layout()`)
-    /// in row `row` of `array` on the given primary inputs.
+    /// in row `row` of `array` on the given primary inputs, with a fresh
+    /// scratch allocation. Hot loops should prefer
+    /// [`Self::run_with_scratch`].
     ///
     /// # Errors
     ///
@@ -157,6 +213,25 @@ impl ProtectedExecutor {
         array: &mut PimArray,
         row: usize,
         inputs: &[bool],
+    ) -> Result<ProtectedRunReport, ProtectedExecError> {
+        let mut scratch = ExecScratch::default();
+        self.run_with_scratch(netlist, schedule, array, row, inputs, &mut scratch)
+    }
+
+    /// [`Self::run`] with caller-owned working memory: the steady-state
+    /// Monte Carlo path, allocation-free once `scratch` has warmed up.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProtectedExecError`].
+    pub fn run_with_scratch(
+        &self,
+        netlist: &Netlist,
+        schedule: &RowSchedule,
+        array: &mut PimArray,
+        row: usize,
+        inputs: &[bool],
+        scratch: &mut ExecScratch,
     ) -> Result<ProtectedRunReport, ProtectedExecError> {
         if schedule.layout != self.config.row_layout() {
             return Err(ProtectedExecError::LayoutMismatch);
@@ -173,12 +248,13 @@ impl ProtectedExecutor {
         if array.cols() < self.config.array_columns || row >= array.rows() {
             return Err(ProtectedExecError::ArrayTooSmall);
         }
+        scratch.prepare(netlist);
         match self.config.scheme {
             ProtectionScheme::Unprotected => {
-                self.run_unprotected(netlist, schedule, array, row, inputs)
+                self.run_unprotected(netlist, schedule, array, row, inputs, scratch)
             }
-            ProtectionScheme::Ecim => self.run_ecim(netlist, schedule, array, row, inputs),
-            ProtectionScheme::Trim => self.run_trim(netlist, schedule, array, row, inputs),
+            ProtectionScheme::Ecim => self.run_ecim(netlist, schedule, array, row, inputs, scratch),
+            ProtectionScheme::Trim => self.run_trim(netlist, schedule, array, row, inputs, scratch),
         }
     }
 
@@ -203,19 +279,6 @@ impl ProtectedExecutor {
 
     // ------------------------------------------------------------------
 
-    /// Nets that are consumed by at least one gate or are primary outputs.
-    /// Gate outputs outside this set are dead on arrival: their cells can be
-    /// recycled within the same logic level, so they are excluded from
-    /// metadata maintenance and checking (they cannot influence the result).
-    fn used_nets(netlist: &Netlist) -> std::collections::HashSet<usize> {
-        let mut used: std::collections::HashSet<usize> = std::collections::HashSet::new();
-        for gate in &netlist.gates {
-            used.extend(gate.inputs.iter().copied());
-        }
-        used.extend(netlist.outputs.iter().copied());
-        used
-    }
-
     fn materialize_inputs(
         &self,
         netlist: &Netlist,
@@ -223,18 +286,17 @@ impl ProtectedExecutor {
         array: &mut PimArray,
         row: usize,
         inputs: &[bool],
-        tracker: &mut InputTracker,
+        scratch: &mut ExecScratch,
     ) -> Result<(), ProtectedExecError> {
         let gate_inputs = &netlist.gates[sg.index].inputs;
         for (i, &net) in gate_inputs.iter().enumerate() {
-            if let Some(&pos) = tracker.positions.get(&net) {
-                if tracker.materialized.insert(net) {
-                    // Write the value into every copy this design keeps.
-                    for copy in 0..self.config.cells_per_value() {
-                        let col =
-                            sg.input_cols_per_copy[copy.min(sg.input_cols_per_copy.len() - 1)][i];
-                        array.write_cell(row, col, inputs[pos])?;
-                    }
+            let pos = scratch.input_positions[net];
+            if pos != u32::MAX && !scratch.materialized[net] {
+                scratch.materialized[net] = true;
+                // Write the value into every copy this design keeps.
+                for copy in 0..self.config.cells_per_value() {
+                    let col = sg.input_cols_per_copy[copy.min(sg.input_cols_per_copy.len() - 1)][i];
+                    array.write_cell(row, col, inputs[pos as usize])?;
                 }
             }
         }
@@ -267,19 +329,30 @@ impl ProtectedExecutor {
         Ok(outputs)
     }
 
+    /// Executes one scheduled gate into its primary output columns plus
+    /// `extra` metadata columns, assembling the output list in `out_buf`
+    /// (no per-gate allocation).
     fn execute_plain_gate(
         &self,
         sg: &ScheduledGate,
         array: &mut PimArray,
         row: usize,
-        extra_outputs: &[usize],
+        extra: &[usize],
+        out_buf: &mut Vec<usize>,
     ) -> Result<(), ProtectedExecError> {
-        let mut outputs = sg.output_cols.clone();
-        outputs.extend_from_slice(extra_outputs);
+        let outputs: &[usize] = if extra.is_empty() {
+            // Common case: the schedule's own columns, no assembly needed.
+            &sg.output_cols
+        } else {
+            out_buf.clear();
+            out_buf.extend_from_slice(&sg.output_cols);
+            out_buf.extend_from_slice(extra);
+            out_buf
+        };
         match sg.op {
             LogicOp::Zero | LogicOp::One => {
                 let value = sg.op == LogicOp::One;
-                for &col in &outputs {
+                for &col in outputs {
                     array.write_cell(row, col, value)?;
                 }
             }
@@ -287,28 +360,18 @@ impl ProtectedExecutor {
                 let kind = GateKind::Nor {
                     outputs: outputs.len() as u8,
                 };
-                array.execute_gate(&GateOp::new(kind, row, sg.input_cols.clone(), outputs))?;
+                array.execute_gate_with(kind, row, &sg.input_cols, outputs)?;
             }
             LogicOp::Copy => {
                 // A copy drives each destination with a separate single-output
                 // operation (there is no multi-output copy primitive).
-                for &col in &outputs {
-                    array.execute_gate(&GateOp::new(
-                        GateKind::Copy,
-                        row,
-                        sg.input_cols.clone(),
-                        vec![col],
-                    ))?;
+                for &col in outputs {
+                    array.execute_gate_with(GateKind::Copy, row, &sg.input_cols, &[col])?;
                 }
             }
             LogicOp::Thr => {
-                for &col in &outputs {
-                    array.execute_gate(&GateOp::new(
-                        GateKind::THR,
-                        row,
-                        sg.input_cols.clone(),
-                        vec![col],
-                    ))?;
+                for &col in outputs {
+                    array.execute_gate_with(GateKind::THR, row, &sg.input_cols, &[col])?;
                 }
             }
         }
@@ -322,11 +385,11 @@ impl ProtectedExecutor {
         array: &mut PimArray,
         row: usize,
         inputs: &[bool],
+        scratch: &mut ExecScratch,
     ) -> Result<ProtectedRunReport, ProtectedExecError> {
-        let mut tracker = InputTracker::new(netlist);
         for sg in &schedule.gates {
-            self.materialize_inputs(netlist, sg, array, row, inputs, &mut tracker)?;
-            self.execute_plain_gate(sg, array, row, &[])?;
+            self.materialize_inputs(netlist, sg, array, row, inputs, scratch)?;
+            self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols)?;
         }
         Ok(ProtectedRunReport {
             outputs: self.read_outputs(netlist, schedule, array, row, inputs)?,
@@ -342,6 +405,76 @@ impl ProtectedExecutor {
     // ECiM
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
+    fn ecim_flush_chunk(
+        array: &mut PimArray,
+        row: usize,
+        checker: &mut EcimChecker<'_>,
+        scratch: &mut ExecScratch,
+        ping_base: usize,
+        pong_base: usize,
+        errors_detected: &mut u64,
+        corrections_written_back: &mut u64,
+        uncorrectable: &mut u64,
+    ) -> Result<(), ProtectedExecError> {
+        if scratch.chunk_cols.is_empty() {
+            return Ok(());
+        }
+        // Conventional memory read of the level outputs and parity bits.
+        scratch.cols_b.clear();
+        scratch.cols_b.extend(
+            scratch
+                .parity_in_pong
+                .iter()
+                .enumerate()
+                .map(|(i, &in_pong)| {
+                    if in_pong {
+                        pong_base + i
+                    } else {
+                        ping_base + i
+                    }
+                }),
+        );
+        array.read_bits_into(row, &scratch.chunk_cols, &mut scratch.bits_a)?;
+        array.read_bits_into(row, &scratch.cols_b, &mut scratch.bits_b)?;
+        match checker.decode_level(&scratch.bits_a, &scratch.bits_b) {
+            LevelDecode::Clean => {}
+            LevelDecode::CorrectedData { position } => {
+                *errors_detected += 1;
+                // A single-error code flips exactly one data bit.
+                let col = scratch.chunk_cols[position];
+                array.write_cell(row, col, !scratch.bits_a.get(position))?;
+                *corrections_written_back += 1;
+            }
+            LevelDecode::CorrectedMeta => {
+                *errors_detected += 1;
+            }
+            LevelDecode::Uncorrectable => {
+                *errors_detected += 1;
+                *uncorrectable += 1;
+            }
+        }
+        scratch.chunk_cols.clear();
+        Ok(())
+    }
+
+    /// Resets the running parity cells at the start of a level chunk: one
+    /// row-parallel preset over the contiguous ping+pong region instead of
+    /// `2 × parity_bits` individual writes.
+    fn ecim_reset_parity(
+        array: &mut PimArray,
+        row: usize,
+        scratch: &mut ExecScratch,
+        ping_base: usize,
+        pong_base: usize,
+    ) -> Result<(), ProtectedExecError> {
+        let parity_bits = scratch.parity_in_pong.len();
+        debug_assert_eq!(pong_base, ping_base + parity_bits);
+        array.preset_cells(row, ping_base..pong_base + parity_bits, false)?;
+        scratch.parity_in_pong.iter_mut().for_each(|p| *p = false);
+        Ok(())
+    }
+
     fn run_ecim(
         &self,
         netlist: &Netlist,
@@ -349,6 +482,7 @@ impl ProtectedExecutor {
         array: &mut PimArray,
         row: usize,
         inputs: &[bool],
+        scratch: &mut ExecScratch,
     ) -> Result<ProtectedRunReport, ProtectedExecError> {
         let parity_bits = self.code.parity_bits();
         let k = self.code.k();
@@ -369,103 +503,50 @@ impl ProtectedExecutor {
             self.config.metadata_columns() >= r_base + parity_bits,
             "ECiM metadata region too small for the parity pipeline"
         );
-        // Which of ping/pong currently holds each parity bit.
-        let mut parity_in_pong = vec![false; parity_bits];
+        scratch.parity_in_pong.clear();
+        scratch.parity_in_pong.resize(parity_bits, false);
+        scratch.chunk_cols.clear();
 
-        let used = Self::used_nets(netlist);
-        let mut checker = EcimChecker::new(self.code.clone());
-        let mut tracker = InputTracker::new(netlist);
+        let mut checker = EcimChecker::new(&self.code);
         let mut metadata_gate_ops = 0u64;
         let mut corrections_written_back = 0u64;
         let mut errors_detected = 0u64;
         let mut uncorrectable = 0u64;
 
-        // Reset all parity cells at the start of a level chunk.
-        let reset_parity = |array: &mut PimArray,
-                            parity_in_pong: &mut Vec<bool>|
-         -> Result<(), ProtectedExecError> {
-            for (i, in_pong) in parity_in_pong.iter_mut().enumerate() {
-                array.write_cell(row, ping_base + i, false)?;
-                array.write_cell(row, pong_base + i, false)?;
-                *in_pong = false;
-            }
-            Ok(())
-        };
-        reset_parity(array, &mut parity_in_pong)?;
+        Self::ecim_reset_parity(array, row, scratch, ping_base, pong_base)?;
 
-        // Outputs of the current level chunk: (codeword position, column).
-        let mut chunk: Vec<(usize, usize)> = Vec::new();
         let mut current_level = schedule.gates.first().map(|g| g.level).unwrap_or(0);
-
-        let flush_chunk = |array: &mut PimArray,
-                           chunk: &mut Vec<(usize, usize)>,
-                           parity_in_pong: &mut Vec<bool>,
-                           checker: &mut EcimChecker,
-                           errors_detected: &mut u64,
-                           corrections_written_back: &mut u64,
-                           uncorrectable: &mut u64|
-         -> Result<(), ProtectedExecError> {
-            if chunk.is_empty() {
-                return Ok(());
-            }
-            // Conventional memory read of the level outputs and parity bits.
-            let data_cols: Vec<usize> = chunk.iter().map(|&(_, col)| col).collect();
-            let data = array.read_bits(row, &data_cols)?;
-            let parity_cols: Vec<usize> = (0..parity_bits)
-                .map(|i| {
-                    if parity_in_pong[i] {
-                        pong_base + i
-                    } else {
-                        ping_base + i
-                    }
-                })
-                .collect();
-            let parity = array.read_bits(row, &parity_cols)?;
-            let result = checker.check_level(&data, &parity);
-            if result.error_detected {
-                *errors_detected += 1;
-            }
-            if result.uncorrectable {
-                *uncorrectable += 1;
-            }
-            for &pos in &result.corrected_positions {
-                let col = data_cols[pos];
-                array.write_cell(row, col, result.corrected_data.get(pos))?;
-                *corrections_written_back += 1;
-            }
-            chunk.clear();
-            Ok(())
-        };
 
         for sg in &schedule.gates {
             let gate = &netlist.gates[sg.index];
             if sg.level != current_level {
-                flush_chunk(
+                Self::ecim_flush_chunk(
                     array,
-                    &mut chunk,
-                    &mut parity_in_pong,
+                    row,
                     &mut checker,
+                    scratch,
+                    ping_base,
+                    pong_base,
                     &mut errors_detected,
                     &mut corrections_written_back,
                     &mut uncorrectable,
                 )?;
-                reset_parity(array, &mut parity_in_pong)?;
+                Self::ecim_reset_parity(array, row, scratch, ping_base, pong_base)?;
                 current_level = sg.level;
             }
-            self.materialize_inputs(netlist, sg, array, row, inputs, &mut tracker)?;
+            self.materialize_inputs(netlist, sg, array, row, inputs, scratch)?;
 
             let is_constant = matches!(sg.op, LogicOp::Zero | LogicOp::One);
-            if is_constant || !used.contains(&gate.output) {
-                self.execute_plain_gate(sg, array, row, &[])?;
+            if is_constant || !scratch.used_nets[gate.output] {
+                self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols)?;
                 continue;
             }
 
             // Codeword position of this gate output within the current chunk.
-            let position = chunk.len();
+            let position = scratch.chunk_cols.len();
 
             // Parity bits this codeword position participates in.
-            let mask = self.code.parity_update_mask(position.min(k - 1)).clone();
-            let touched: Vec<usize> = mask.ones();
+            let mask = self.code.parity_update_mask(position.min(k - 1));
 
             // Execute the gate, producing one *independent* redundant copy
             // r_i per touched parity bit (Fig. 6: each XOR processes its own
@@ -475,29 +556,34 @@ impl ProtectedExecutor {
             // operations.
             match self.config.gate_style {
                 GateStyle::MultiOutput => {
-                    let extra: Vec<usize> = touched.iter().map(|&bit| r_base + bit).collect();
-                    self.execute_plain_gate(sg, array, row, &extra)?;
-                    metadata_gate_ops += touched.len() as u64;
+                    scratch.extra_cols.clear();
+                    scratch
+                        .extra_cols
+                        .extend(mask.iter_ones().map(|bit| r_base + bit));
+                    let touched = scratch.extra_cols.len() as u64;
+                    self.execute_plain_gate(
+                        sg,
+                        array,
+                        row,
+                        &scratch.extra_cols,
+                        &mut scratch.out_cols,
+                    )?;
+                    metadata_gate_ops += touched;
                 }
                 GateStyle::SingleOutput => {
-                    self.execute_plain_gate(sg, array, row, &[])?;
+                    self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols)?;
                     // Each r_i is produced by re-executing the gate into its
                     // own cell (a separate single-output operation), so an
                     // error in the primary output never leaks into the parity
                     // metadata and vice versa.
-                    for &bit in &touched {
+                    for bit in mask.iter_ones() {
                         let kind = match sg.op {
                             LogicOp::Nor => GateKind::NOR2,
                             LogicOp::Thr => GateKind::THR,
                             LogicOp::Copy => GateKind::Copy,
                             LogicOp::Zero | LogicOp::One => unreachable!("constants handled above"),
                         };
-                        array.execute_gate(&GateOp::new(
-                            kind,
-                            row,
-                            sg.input_cols.clone(),
-                            vec![r_base + bit],
-                        ))?;
+                        array.execute_gate_with(kind, row, &sg.input_cols, &[r_base + bit])?;
                         metadata_gate_ops += 1;
                     }
                 }
@@ -505,55 +591,49 @@ impl ProtectedExecutor {
 
             // Fold each r_i into its parity bit with the in-memory two-step
             // XOR (NOR22 then THR).
-            for &bit in &touched {
+            for bit in mask.iter_ones() {
                 let r_cell = r_base + bit;
-                let src = if parity_in_pong[bit] {
+                let src = if scratch.parity_in_pong[bit] {
                     pong_base + bit
                 } else {
                     ping_base + bit
                 };
-                let dst = if parity_in_pong[bit] {
+                let dst = if scratch.parity_in_pong[bit] {
                     ping_base + bit
                 } else {
                     pong_base + bit
                 };
-                // s1 = s2 = NOR(p, r)
-                array.execute_gate(&GateOp::new(
-                    GateKind::NOR22,
-                    row,
-                    vec![src, r_cell],
-                    vec![work_s1, work_s2],
-                ))?;
-                // p' = THR(p, r, s1, s2) = p XOR r
-                array.execute_gate(&GateOp::new(
-                    GateKind::THR,
-                    row,
-                    vec![src, r_cell, work_s1, work_s2],
-                    vec![dst],
-                ))?;
-                parity_in_pong[bit] = !parity_in_pong[bit];
+                // s1 = s2 = NOR(p, r); p' = THR(p, r, s1, s2) = p XOR r —
+                // the fused two-step XOR primitive (identical fault sites
+                // and cost accounting to the two separate gate calls).
+                array.execute_xor2_step(row, src, r_cell, work_s1, work_s2, dst)?;
+                scratch.parity_in_pong[bit] = !scratch.parity_in_pong[bit];
                 metadata_gate_ops += 2;
             }
 
-            chunk.push((position, sg.output_cols[0]));
-            if chunk.len() == k {
-                flush_chunk(
+            scratch.chunk_cols.push(sg.output_cols[0]);
+            if scratch.chunk_cols.len() == k {
+                Self::ecim_flush_chunk(
                     array,
-                    &mut chunk,
-                    &mut parity_in_pong,
+                    row,
                     &mut checker,
+                    scratch,
+                    ping_base,
+                    pong_base,
                     &mut errors_detected,
                     &mut corrections_written_back,
                     &mut uncorrectable,
                 )?;
-                reset_parity(array, &mut parity_in_pong)?;
+                Self::ecim_reset_parity(array, row, scratch, ping_base, pong_base)?;
             }
         }
-        flush_chunk(
+        Self::ecim_flush_chunk(
             array,
-            &mut chunk,
-            &mut parity_in_pong,
+            row,
             &mut checker,
+            scratch,
+            ping_base,
+            pong_base,
             &mut errors_detected,
             &mut corrections_written_back,
             &mut uncorrectable,
@@ -573,6 +653,54 @@ impl ProtectedExecutor {
     // TRiM
     // ------------------------------------------------------------------
 
+    fn trim_flush_level(
+        array: &mut PimArray,
+        row: usize,
+        checker: &mut TrimChecker,
+        scratch: &mut ExecScratch,
+        errors_detected: &mut u64,
+        corrections_written_back: &mut u64,
+    ) -> Result<(), ProtectedExecError> {
+        if scratch.level_outputs.is_empty() {
+            return Ok(());
+        }
+        scratch.cols_a.clear();
+        scratch.cols_b.clear();
+        scratch.cols_c.clear();
+        for cols in &scratch.level_outputs {
+            scratch.cols_a.push(cols[0]);
+            scratch.cols_b.push(cols[1]);
+            scratch.cols_c.push(cols[2]);
+        }
+        array.read_bits_into(row, &scratch.cols_a, &mut scratch.bits_a)?;
+        array.read_bits_into(row, &scratch.cols_b, &mut scratch.bits_b)?;
+        array.read_bits_into(row, &scratch.cols_c, &mut scratch.bits_c)?;
+        let dissent = checker.vote_level_into(
+            &scratch.bits_a,
+            &scratch.bits_b,
+            &scratch.bits_c,
+            &mut scratch.bits_vote,
+        );
+        if dissent {
+            *errors_detected += 1;
+            // Write the voted value back into every copy that disagreed —
+            // word-parallel diff scans, touching only mismatching bits.
+            let voted = &scratch.bits_vote;
+            for (copy_idx, bits) in [&scratch.bits_a, &scratch.bits_b, &scratch.bits_c]
+                .into_iter()
+                .enumerate()
+            {
+                for i in bits.diff_ones(voted) {
+                    let col = scratch.level_outputs[i][copy_idx];
+                    array.write_cell(row, col, voted.get(i))?;
+                    *corrections_written_back += 1;
+                }
+            }
+        }
+        scratch.level_outputs.clear();
+        Ok(())
+    }
+
     fn run_trim(
         &self,
         netlist: &Netlist,
@@ -580,119 +708,76 @@ impl ProtectedExecutor {
         array: &mut PimArray,
         row: usize,
         inputs: &[bool],
+        scratch: &mut ExecScratch,
     ) -> Result<ProtectedRunReport, ProtectedExecError> {
-        let used = Self::used_nets(netlist);
         let mut checker = TrimChecker::new(self.config.data_bits());
-        let mut tracker = InputTracker::new(netlist);
         let mut metadata_gate_ops = 0u64;
         let mut corrections_written_back = 0u64;
         let mut errors_detected = 0u64;
 
-        // Outputs of the current level: the three copy columns per gate.
-        let mut level_outputs: Vec<[usize; 3]> = Vec::new();
+        scratch.level_outputs.clear();
         let mut current_level = schedule.gates.first().map(|g| g.level).unwrap_or(0);
-
-        let flush_level = |array: &mut PimArray,
-                           level_outputs: &mut Vec<[usize; 3]>,
-                           checker: &mut TrimChecker,
-                           errors_detected: &mut u64,
-                           corrections_written_back: &mut u64|
-         -> Result<(), ProtectedExecError> {
-            if level_outputs.is_empty() {
-                return Ok(());
-            }
-            let primary_cols: Vec<usize> = level_outputs.iter().map(|c| c[0]).collect();
-            let copy1_cols: Vec<usize> = level_outputs.iter().map(|c| c[1]).collect();
-            let copy2_cols: Vec<usize> = level_outputs.iter().map(|c| c[2]).collect();
-            let primary = array.read_bits(row, &primary_cols)?;
-            let copy1 = array.read_bits(row, &copy1_cols)?;
-            let copy2 = array.read_bits(row, &copy2_cols)?;
-            let result = checker.check_level(&primary, &copy1, &copy2);
-            if result.error_detected {
-                *errors_detected += 1;
-            }
-            // Write the voted value back into every copy that disagreed.
-            let voted: BitVec = result.corrected_data;
-            for (i, cols) in level_outputs.iter().enumerate() {
-                let v = voted.get(i);
-                for (copy_idx, &col) in cols.iter().enumerate() {
-                    let current = match copy_idx {
-                        0 => primary.get(i),
-                        1 => copy1.get(i),
-                        _ => copy2.get(i),
-                    };
-                    if current != v {
-                        array.write_cell(row, col, v)?;
-                        *corrections_written_back += 1;
-                    }
-                }
-            }
-            level_outputs.clear();
-            Ok(())
-        };
 
         for sg in &schedule.gates {
             let gate = &netlist.gates[sg.index];
             if sg.level != current_level {
-                flush_level(
+                Self::trim_flush_level(
                     array,
-                    &mut level_outputs,
+                    row,
                     &mut checker,
+                    scratch,
                     &mut errors_detected,
                     &mut corrections_written_back,
                 )?;
                 current_level = sg.level;
             }
-            self.materialize_inputs(netlist, sg, array, row, inputs, &mut tracker)?;
+            self.materialize_inputs(netlist, sg, array, row, inputs, scratch)?;
 
             let is_constant = matches!(sg.op, LogicOp::Zero | LogicOp::One);
-            if is_constant || !used.contains(&gate.output) {
-                self.execute_plain_gate(sg, array, row, &[])?;
+            if is_constant || !scratch.used_nets[gate.output] {
+                self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols)?;
                 continue;
             }
 
             match self.config.gate_style {
                 GateStyle::MultiOutput => {
                     // One 3-output gate produces the value and both copies.
-                    self.execute_plain_gate(sg, array, row, &[])?;
+                    self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols)?;
                     metadata_gate_ops += 2;
                 }
                 GateStyle::SingleOutput => {
                     // Three independent single-output gates, each reading its
                     // own copy of the operands (separate partitions).
                     for copy in 0..3 {
-                        let inputs_for_copy = sg.input_cols_per_copy
-                            [copy.min(sg.input_cols_per_copy.len() - 1)]
-                        .clone();
+                        let inputs_for_copy =
+                            &sg.input_cols_per_copy[copy.min(sg.input_cols_per_copy.len() - 1)];
                         let kind = match sg.op {
                             LogicOp::Nor => GateKind::NOR2,
                             LogicOp::Thr => GateKind::THR,
                             LogicOp::Copy => GateKind::Copy,
                             LogicOp::Zero | LogicOp::One => unreachable!("constants handled above"),
                         };
-                        let kind = if sg.op == LogicOp::Nor {
-                            GateKind::Nor { outputs: 1 }
-                        } else {
-                            kind
-                        };
-                        array.execute_gate(&GateOp::new(
+                        array.execute_gate_with(
                             kind,
                             row,
                             inputs_for_copy,
-                            vec![sg.output_cols[copy]],
-                        ))?;
+                            &[sg.output_cols[copy]],
+                        )?;
                         if copy > 0 {
                             metadata_gate_ops += 1;
                         }
                     }
                 }
             }
-            level_outputs.push([sg.output_cols[0], sg.output_cols[1], sg.output_cols[2]]);
+            scratch
+                .level_outputs
+                .push([sg.output_cols[0], sg.output_cols[1], sg.output_cols[2]]);
         }
-        flush_level(
+        Self::trim_flush_level(
             array,
-            &mut level_outputs,
+            row,
             &mut checker,
+            scratch,
             &mut errors_detected,
             &mut corrections_written_back,
         )?;
@@ -786,6 +871,70 @@ mod tests {
             assert_eq!(from_bits(&report.outputs), expected, "{style}");
             assert!(report.checks > 0);
             assert_eq!(report.errors_detected, 0);
+        }
+    }
+
+    #[test]
+    fn shortened_hamming_design_is_functionally_correct() {
+        // The Hamming(71, 64) design point used by the trial-throughput
+        // benchmark must execute cleanly end to end.
+        let config = DesignConfig::ecim(Technology::SttMram).with_hamming_data_bits(64);
+        let executor = ProtectedExecutor::new(config.clone());
+        assert_eq!(executor.code().n(), 71);
+        assert_eq!(executor.code().k(), 64);
+        let (report, expected) = run_clean(config);
+        assert_eq!(from_bits(&report.outputs), expected);
+        assert!(report.checks > 0);
+        assert_eq!(report.errors_detected, 0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_runs() {
+        // One warmed-up scratch running back-to-back trials must produce
+        // exactly the reports that fresh per-run scratches produce, for
+        // every scheme — the arena-reset purity contract.
+        let netlist = mac_netlist();
+        let mut inputs = to_bits(33, 8);
+        inputs.extend(to_bits(14, 4));
+        inputs.extend(to_bits(6, 4));
+        let rates = ErrorRates {
+            gate: 0.002,
+            ..ErrorRates::NONE
+        };
+        for config in [
+            DesignConfig::unprotected(Technology::SttMram),
+            DesignConfig::ecim(Technology::SttMram),
+            DesignConfig::trim(Technology::SttMram),
+        ] {
+            let executor = ProtectedExecutor::new(config.clone());
+            let schedule = map_netlist(&netlist, config.row_layout()).unwrap();
+            let mut scratch = ExecScratch::new();
+            let mut reused_array = PimArray::standard(config.technology);
+            for seed in 0..6u64 {
+                reused_array.reset_for_trial(config.technology, rates, seed);
+                let reused = executor
+                    .run_with_scratch(
+                        &netlist,
+                        &schedule,
+                        &mut reused_array,
+                        0,
+                        &inputs,
+                        &mut scratch,
+                    )
+                    .unwrap();
+                let mut fresh_array = PimArray::standard(config.technology)
+                    .with_fault_injector(FaultInjector::new(rates, seed));
+                let fresh = executor
+                    .run(&netlist, &schedule, &mut fresh_array, 0, &inputs)
+                    .unwrap();
+                assert_eq!(reused, fresh, "{} seed {seed}", config.label());
+                assert_eq!(
+                    reused_array.fault_injector().log(),
+                    fresh_array.fault_injector().log(),
+                    "{} seed {seed}: fault logs must match",
+                    config.label()
+                );
+            }
         }
     }
 

@@ -60,7 +60,7 @@ pub mod system;
 
 pub use checker::{CheckResult, CheckerCostModel, EcimChecker, TrimChecker};
 pub use config::{DesignConfig, GateStyle, ProtectionScheme};
-pub use executor::{ProtectedExecError, ProtectedExecutor, ProtectedRunReport};
+pub use executor::{ExecScratch, ProtectedExecError, ProtectedExecutor, ProtectedRunReport};
 pub use sep::{figure6_cases, granularity_analysis};
 pub use system::{
     compare, evaluate, evaluate_benchmark, evaluate_schedule, CostBreakdown, ExecutionEstimate,

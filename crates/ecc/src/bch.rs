@@ -277,17 +277,16 @@ impl BchCode {
             .map(|i| {
                 let alpha_i = self.field.alpha_pow(i as i64);
                 let mut acc = 0u32;
-                for pos in 0..self.n {
+                // Word-level scan: only set bits contribute to r(α^i).
+                for pos in codeword.iter_ones() {
                     let poly_deg = if pos < self.k {
                         parity + pos
                     } else {
                         pos - self.k
                     };
-                    if codeword.get(pos) {
-                        acc = self
-                            .field
-                            .add(acc, self.field.pow(alpha_i, poly_deg as u64));
-                    }
+                    acc = self
+                        .field
+                        .add(acc, self.field.pow(alpha_i, poly_deg as u64));
                 }
                 acc
             })

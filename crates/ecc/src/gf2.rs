@@ -60,10 +60,71 @@ impl BitVec {
     pub fn from_u64(value: u64, len: usize) -> Self {
         assert!(len <= 64, "from_u64 supports at most 64 bits");
         let mut v = Self::zeros(len);
-        for i in 0..len {
-            v.set(i, (value >> i) & 1 == 1);
+        if len > 0 {
+            v.words[0] = value & tail_mask(len);
         }
         v
+    }
+
+    /// Creates a vector of length `len` directly from packed `u64` words
+    /// (bit `i` lives in word `i / 64`, bit `i % 64`). Bits beyond `len`
+    /// in the last word are cleared, preserving the tail invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != len.div_ceil(64)`.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(64),
+            "word count must match the bit length"
+        );
+        if let Some(last) = words.last_mut() {
+            *last &= tail_mask(len);
+        }
+        Self { len, words }
+    }
+
+    /// The packed `u64` words backing this vector (bit `i` lives in word
+    /// `i / 64`, bit `i % 64`; bits beyond `len` are always zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the packed words for in-crate word-parallel
+    /// kernels. Callers must preserve the tail invariant (bits beyond
+    /// `len` stay zero).
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Number of backing words (`len().div_ceil(64)`).
+    pub fn word_len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Resets the vector to all-zero bits of length `len`, reusing the
+    /// existing word allocation when possible (hot-path friendly).
+    pub fn clear_resize(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+    }
+
+    /// Overwrites backing word `index` wholesale (bits `64·index ..
+    /// 64·index + 64`); bits beyond `len` are masked off. The word-granular
+    /// writer for callers assembling packed vectors 64 bits at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_word(&mut self, index: usize, word: u64) {
+        let masked = if index + 1 == self.words.len() {
+            word & tail_mask(self.len)
+        } else {
+            word
+        };
+        self.words[index] = masked;
     }
 
     /// Number of bits in the vector.
@@ -197,28 +258,64 @@ impl BitVec {
         ones % 2 == 1
     }
 
-    /// Concatenates two vectors.
+    /// Concatenates two vectors (word-shifted, no per-bit loop).
     pub fn concat(&self, other: &BitVec) -> BitVec {
         let mut out = BitVec::zeros(self.len + other.len);
-        for i in 0..self.len {
-            out.set(i, self.get(i));
-        }
-        for i in 0..other.len {
-            out.set(self.len + i, other.get(i));
-        }
+        out.words[..self.words.len()].copy_from_slice(&self.words);
+        out.or_range(self.len, other);
         out
     }
 
-    /// Returns the sub-vector covering `range`.
+    /// ORs `src` into `self` starting at bit `offset` (word-parallel).
+    /// Since the destination region usually holds zeros this doubles as a
+    /// "write sub-vector" primitive for assembling codewords.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + src.len() > self.len()`.
+    pub fn or_range(&mut self, offset: usize, src: &BitVec) {
+        assert!(
+            offset + src.len <= self.len,
+            "or_range: {} + {} exceeds {}",
+            offset,
+            src.len,
+            self.len
+        );
+        let base = offset / 64;
+        let shift = offset % 64;
+        for (i, &w) in src.words.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            self.words[base + i] |= w << shift;
+            if shift != 0 && base + i + 1 < self.words.len() {
+                self.words[base + i + 1] |= w >> (64 - shift);
+            }
+        }
+    }
+
+    /// Returns the sub-vector covering `range` (word-shifted extraction).
     ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds.
     pub fn slice(&self, range: std::ops::Range<usize>) -> BitVec {
         assert!(range.end <= self.len, "slice out of range");
-        let mut out = BitVec::zeros(range.len());
-        for (j, i) in range.enumerate() {
-            out.set(j, self.get(i));
+        let len = range.len();
+        let mut out = BitVec::zeros(len);
+        let base = range.start / 64;
+        let shift = range.start % 64;
+        for i in 0..out.words.len() {
+            let lo = self.words[base + i] >> shift;
+            let hi = if shift != 0 && base + i + 1 < self.words.len() {
+                self.words[base + i + 1] << (64 - shift)
+            } else {
+                0
+            };
+            out.words[i] = lo | hi;
+        }
+        if let Some(last) = out.words.last_mut() {
+            *last &= tail_mask(len);
         }
         out
     }
@@ -246,7 +343,99 @@ impl BitVec {
 
     /// Indices of the set bits.
     pub fn ones(&self) -> Vec<usize> {
-        (0..self.len).filter(|&i| self.get(i)).collect()
+        self.iter_ones().collect()
+    }
+
+    /// Iterates over the indices of the set bits using word-level
+    /// `trailing_zeros` scans (cost scales with the popcount, not the
+    /// length — the hot-path companion of [`Self::ones`]).
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Iterates over the indices where `self` and `other` differ — an
+    /// XOR-then-`trailing_zeros` scan that never materializes the XOR
+    /// vector. The word-parallel way to find correction write-back
+    /// positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn diff_ones<'a>(&'a self, other: &'a BitVec) -> DiffOnes<'a> {
+        assert_eq!(self.len, other.len, "length mismatch in diff_ones");
+        DiffOnes {
+            a: &self.words,
+            b: &other.words,
+            word_index: 0,
+            current: match (self.words.first(), other.words.first()) {
+                (Some(&x), Some(&y)) => x ^ y,
+                _ => 0,
+            },
+        }
+    }
+}
+
+/// Iterator over differing-bit indices; see [`BitVec::diff_ones`].
+#[derive(Debug, Clone)]
+pub struct DiffOnes<'a> {
+    a: &'a [u64],
+    b: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for DiffOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_index += 1;
+            if self.word_index >= self.a.len() {
+                return None;
+            }
+            self.current = self.a[self.word_index] ^ self.b[self.word_index];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_index * 64 + bit)
+    }
+}
+
+/// Iterator over set-bit indices; see [`BitVec::iter_ones`].
+#[derive(Debug, Clone)]
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_index += 1;
+            if self.word_index >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_index];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_index * 64 + bit)
+    }
+}
+
+/// Mask selecting the valid bits of the last word of a length-`len` vector.
+#[inline]
+fn tail_mask(len: usize) -> u64 {
+    match len % 64 {
+        0 => u64::MAX,
+        r => (1u64 << r) - 1,
     }
 }
 
@@ -536,6 +725,73 @@ mod tests {
     fn bitvec_get_out_of_range_panics() {
         let v = BitVec::zeros(4);
         let _ = v.get(4);
+    }
+
+    #[test]
+    fn word_level_slice_concat_match_per_bit_reference() {
+        // Exercise unaligned offsets across word boundaries.
+        let a: BitVec = (0..137).map(|i| (i * 7) % 3 == 0).collect();
+        let b: BitVec = (0..71).map(|i| (i * 5) % 4 == 1).collect();
+        let cat = a.concat(&b);
+        assert_eq!(cat.len(), 208);
+        for i in 0..a.len() {
+            assert_eq!(cat.get(i), a.get(i), "bit {i}");
+        }
+        for i in 0..b.len() {
+            assert_eq!(cat.get(a.len() + i), b.get(i), "bit {i}");
+        }
+        for range in [0..137, 3..69, 60..137, 64..128, 1..208, 130..201] {
+            let s = cat.slice(range.clone());
+            for (j, i) in range.enumerate() {
+                assert_eq!(s.get(j), cat.get(i), "range bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn or_range_writes_subvectors_in_place() {
+        let mut v = BitVec::zeros(200);
+        let part: BitVec = (0..71).map(|i| i % 2 == 0).collect();
+        v.or_range(65, &part);
+        for i in 0..200 {
+            let expected = (65..136).contains(&i) && (i - 65) % 2 == 0;
+            assert_eq!(v.get(i), expected, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn from_words_masks_the_tail_and_roundtrips() {
+        let v = BitVec::from_words(vec![u64::MAX, u64::MAX], 70);
+        assert_eq!(v.len(), 70);
+        assert_eq!(v.count_ones(), 70);
+        assert_eq!(v.words()[1], (1 << 6) - 1, "tail bits must be cleared");
+        let w = BitVec::from_words(v.words().to_vec(), 70);
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn set_word_masks_the_tail() {
+        let mut v = BitVec::zeros(70);
+        v.set_word(0, 0xDEAD_BEEF);
+        v.set_word(1, u64::MAX);
+        assert_eq!(v.words()[0], 0xDEAD_BEEF);
+        assert_eq!(v.words()[1], (1 << 6) - 1);
+    }
+
+    #[test]
+    fn iter_ones_and_diff_ones_scan_word_parallel() {
+        let a: BitVec = (0..300).map(|i| i % 67 == 3).collect();
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), a.ones());
+        assert_eq!(
+            a.ones(),
+            (0..300).filter(|i| i % 67 == 3).collect::<Vec<_>>()
+        );
+        let mut b = a.clone();
+        b.flip(0);
+        b.flip(64);
+        b.flip(299);
+        assert_eq!(a.diff_ones(&b).collect::<Vec<_>>(), vec![0, 64, 299]);
+        assert_eq!(a.diff_ones(&a).count(), 0);
     }
 
     #[test]

@@ -248,15 +248,35 @@ impl HammingCode {
     ///
     /// Panics if `codeword.len() != n`.
     pub fn syndrome(&self, codeword: &BitVec) -> BitVec {
+        BitVec::from_u64(self.syndrome_value(codeword), self.n - self.k)
+    }
+
+    /// The syndrome as an integer (bit `i` = syndrome bit `i`), computed
+    /// allocation-free: each syndrome bit is the parity of `A`-row AND
+    /// codeword words (the `A` rows are `k` bits long with zeroed tails, so
+    /// the AND masks out the parity region automatically) XOR the stored
+    /// parity bit. This is the word-parallel path the ECiM Checker runs per
+    /// logic level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codeword.len() != n`.
+    pub fn syndrome_value(&self, codeword: &BitVec) -> u64 {
         assert_eq!(
             codeword.len(),
             self.n,
             "codeword length must equal n = {}",
             self.n
         );
-        let data = codeword.slice(0..self.k);
-        let parity = codeword.slice(self.k..self.n);
-        self.a.mul_vec(&data).xor(&parity)
+        let cw = codeword.words();
+        let mut syndrome = 0u64;
+        for i in 0..self.n - self.k {
+            let row = self.a.row(i).words();
+            let ones: u32 = row.iter().zip(cw).map(|(a, c)| (a & c).count_ones()).sum();
+            let bit = (ones & 1 == 1) ^ codeword.get(self.k + i);
+            syndrome |= u64::from(bit) << i;
+        }
+        syndrome
     }
 
     /// Decodes and corrects `codeword` in place (single-error correction).
@@ -265,11 +285,11 @@ impl HammingCode {
     ///
     /// Panics if `codeword.len() != n`.
     pub fn decode(&self, codeword: &mut BitVec) -> DecodeOutcome {
-        let syndrome = self.syndrome(codeword);
-        if syndrome.is_zero() {
+        let syndrome = self.syndrome_value(codeword);
+        if syndrome == 0 {
             return DecodeOutcome::Clean;
         }
-        match self.syndrome_to_position.get(&syndrome.to_u64()) {
+        match self.syndrome_to_position.get(&syndrome) {
             Some(&position) => {
                 codeword.flip(position);
                 DecodeOutcome::Corrected { position }

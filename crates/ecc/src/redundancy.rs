@@ -53,14 +53,45 @@ pub fn dmr_check(a: &BitVec, b: &BitVec) -> bool {
 ///
 /// Panics if the copies have different lengths.
 pub fn tmr_vote(a: &BitVec, b: &BitVec, c: &BitVec) -> VoteOutcome {
-    majority_vote_words(&[a.clone(), b.clone(), c.clone()])
-        .expect("three copies always have a bitwise majority")
+    majority_vote_words(&[a, b, c]).expect("three copies always have a bitwise majority")
+}
+
+/// Word-parallel TMR vote into a reusable buffer: `voted` is resized and
+/// overwritten with the bitwise majority of the three copies; the return
+/// value is `true` when any copy dissents from the majority in at least
+/// one bit (an error was detected). The allocation-free primitive behind
+/// the TRiM Checker's hot path.
+///
+/// # Panics
+///
+/// Panics if the copies have different lengths.
+pub fn tmr_vote_into(a: &BitVec, b: &BitVec, c: &BitVec, voted: &mut BitVec) -> bool {
+    assert!(
+        a.len() == b.len() && b.len() == c.len(),
+        "all redundant copies must have equal length"
+    );
+    voted.clear_resize(a.len());
+    let (aw, bw, cw) = (a.words(), b.words(), c.words());
+    let out = voted.words_mut();
+    let mut dissent = 0u64;
+    for i in 0..aw.len() {
+        let m = (aw[i] & bw[i]) | (cw[i] & (aw[i] | bw[i]));
+        dissent |= (aw[i] ^ m) | (bw[i] ^ m) | (cw[i] ^ m);
+        out[i] = m;
+    }
+    dissent != 0
 }
 
 /// Bitwise majority vote over `N` copies (N-modular redundancy).
 ///
-/// For each bit position the value held by more than half of the copies wins;
-/// with an even number of copies a tie is reported as [`EccError::NoMajority`].
+/// For each bit position the value held by more than half of the copies
+/// wins. Voting is word-parallel: three copies reduce to two bitwise ops
+/// per `u64` lane; larger `N` uses bit-sliced ripple counters, so cost
+/// scales with `N × len / 64` rather than `N × len`. Callers pass
+/// references, so voting never copies a codeword.
+///
+/// For an even number of copies a tied bit position is reported as
+/// [`EccError::NoMajority`].
 ///
 /// # Errors
 ///
@@ -70,8 +101,9 @@ pub fn tmr_vote(a: &BitVec, b: &BitVec, c: &BitVec) -> VoteOutcome {
 /// # Panics
 ///
 /// Panics if the copies have different lengths.
-pub fn majority_vote_words(copies: &[BitVec]) -> Result<VoteOutcome, EccError> {
-    if copies.len() < 2 {
+pub fn majority_vote_words(copies: &[&BitVec]) -> Result<VoteOutcome, EccError> {
+    let n = copies.len();
+    if n < 2 {
         return Err(EccError::NoMajority);
     }
     let len = copies[0].len();
@@ -79,19 +111,48 @@ pub fn majority_vote_words(copies: &[BitVec]) -> Result<VoteOutcome, EccError> {
         copies.iter().all(|c| c.len() == len),
         "all redundant copies must have equal length"
     );
-    let mut value = BitVec::zeros(len);
-    for bit in 0..len {
-        let ones = copies.iter().filter(|c| c.get(bit)).count();
-        let zeros = copies.len() - ones;
-        if ones == zeros {
-            return Err(EccError::NoMajority);
+    let word_len = copies[0].word_len();
+    let mut value_words = vec![0u64; word_len];
+
+    if n == 3 {
+        // TMR fast path: maj(a, b, c) = (a & b) | (c & (a | b)).
+        let (a, b, c) = (copies[0].words(), copies[1].words(), copies[2].words());
+        for i in 0..word_len {
+            value_words[i] = (a[i] & b[i]) | (c[i] & (a[i] | b[i]));
         }
-        value.set(bit, ones > zeros);
+    } else {
+        // Bit-sliced lane counters: `planes[p]` holds bit `p` of the
+        // per-lane ones-count. `n` copies need ceil(log2(n+1)) planes.
+        let plane_count = (usize::BITS - n.leading_zeros()) as usize;
+        let threshold = (n / 2 + 1) as u64;
+        let half = (n / 2) as u64;
+        let mut planes = vec![0u64; plane_count];
+        for (i, value_word) in value_words.iter_mut().enumerate() {
+            planes.iter_mut().for_each(|p| *p = 0);
+            for copy in copies {
+                let mut carry = copy.words()[i];
+                for plane in planes.iter_mut() {
+                    let overflow = *plane & carry;
+                    *plane ^= carry;
+                    carry = overflow;
+                }
+                debug_assert_eq!(carry, 0, "counter planes sized for n copies");
+            }
+            *value_word = lanes_ge(&planes, threshold);
+            if n.is_multiple_of(2) && lanes_eq(&planes, half) != 0 {
+                // Some lane split the copies exactly in half. (Lanes past
+                // `len` count zero copies and `half >= 1`, so tail bits can
+                // never produce a spurious tie.)
+                return Err(EccError::NoMajority);
+            }
+        }
     }
+
+    let value = BitVec::from_words(value_words, len);
     let dissenting: Vec<usize> = copies
         .iter()
         .enumerate()
-        .filter(|(_, c)| *c != &value)
+        .filter(|(_, c)| **c != &value)
         .map(|(i, _)| i)
         .collect();
     Ok(if dissenting.is_empty() {
@@ -99,6 +160,33 @@ pub fn majority_vote_words(copies: &[BitVec]) -> Result<VoteOutcome, EccError> {
     } else {
         VoteOutcome::Majority { value, dissenting }
     })
+}
+
+/// Lane-wise `count >= threshold` over bit-sliced counter planes
+/// (`planes[p]` = bit `p` of each lane's count, little-endian).
+fn lanes_ge(planes: &[u64], threshold: u64) -> u64 {
+    let mut gt = 0u64;
+    let mut eq = u64::MAX;
+    for (p, &plane) in planes.iter().enumerate().rev() {
+        let t_mask = if (threshold >> p) & 1 == 1 {
+            u64::MAX
+        } else {
+            0
+        };
+        gt |= eq & plane & !t_mask;
+        eq &= !(plane ^ t_mask);
+    }
+    gt | eq
+}
+
+/// Lane-wise `count == target` over bit-sliced counter planes.
+fn lanes_eq(planes: &[u64], target: u64) -> u64 {
+    let mut eq = u64::MAX;
+    for (p, &plane) in planes.iter().enumerate() {
+        let t_mask = if (target >> p) & 1 == 1 { u64::MAX } else { 0 };
+        eq &= !(plane ^ t_mask);
+    }
+    eq
 }
 
 /// Majority vote over three booleans (single-bit TMR), the primitive the
@@ -158,8 +246,7 @@ mod tests {
         bad1.flip(0);
         let mut bad2 = good.clone();
         bad2.flip(5);
-        let outcome =
-            majority_vote_words(&[good.clone(), bad1, good.clone(), bad2, good.clone()]).unwrap();
+        let outcome = majority_vote_words(&[&good, &bad1, &good, &bad2, &good]).unwrap();
         assert_eq!(outcome.value(), &good);
     }
 
@@ -167,16 +254,54 @@ mod tests {
     fn even_copies_can_tie() {
         let a = bv(&[1, 0]);
         let b = bv(&[0, 0]);
+        assert_eq!(majority_vote_words(&[&a, &b]), Err(EccError::NoMajority));
+        // But two identical copies are fine.
+        assert!(majority_vote_words(&[&a, &a]).is_ok());
+    }
+
+    #[test]
+    fn four_copies_tie_detected_and_clear_majority_wins() {
+        let a = bv(&[1, 0, 1]);
+        let b = bv(&[0, 0, 1]);
+        // 2-2 split in bit 0 → tie.
         assert_eq!(
-            majority_vote_words(&[a.clone(), b.clone()]),
+            majority_vote_words(&[&a, &a, &b, &b]),
             Err(EccError::NoMajority)
         );
-        // But two identical copies are fine.
-        assert!(majority_vote_words(&[a.clone(), a]).is_ok());
+        // 3-1 splits everywhere → majority.
+        let outcome = majority_vote_words(&[&a, &a, &a, &b]).unwrap();
+        assert_eq!(outcome.value(), &a);
+        if let VoteOutcome::Majority { dissenting, .. } = outcome {
+            assert_eq!(dissenting, vec![3]);
+        } else {
+            panic!("copy 3 dissented");
+        }
+    }
+
+    #[test]
+    fn wide_vectors_vote_word_parallel_consistently() {
+        // Cross-check the packed paths (TMR fast path and bit-sliced
+        // counters) against a per-bit reference on >64-bit vectors.
+        let len = 200;
+        let mk = |salt: usize| -> BitVec {
+            (0..len)
+                .map(|i| (i * 31 + salt * 17) % 5 < 2)
+                .collect::<BitVec>()
+        };
+        for n in [3usize, 5, 7] {
+            let copies: Vec<BitVec> = (0..n).map(mk).collect();
+            let refs: Vec<&BitVec> = copies.iter().collect();
+            let outcome = majority_vote_words(&refs).unwrap();
+            for bit in 0..len {
+                let ones = copies.iter().filter(|c| c.get(bit)).count();
+                assert_eq!(outcome.value().get(bit), ones > n - ones, "n={n} bit {bit}");
+            }
+        }
     }
 
     #[test]
     fn single_copy_rejected() {
-        assert_eq!(majority_vote_words(&[bv(&[1])]), Err(EccError::NoMajority));
+        let v = bv(&[1]);
+        assert_eq!(majority_vote_words(&[&v]), Err(EccError::NoMajority));
     }
 }

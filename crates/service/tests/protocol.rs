@@ -223,8 +223,11 @@ fn submit_wait_streams_progress_then_byte_identical_result() {
         chunk_trials: 4,
         ..Default::default()
     });
+    // Enough trials at a tiny chunk size that the packed-arena engine
+    // (tens of microseconds per trial) still crosses many observable chunk
+    // boundaries while the waiter is attached.
     let mut plan = SweepPlan::quick();
-    plan.seeds_per_point = 4;
+    plan.seeds_per_point = 96;
     plan.campaign_seed = 105;
     let direct = nvpim_sweep::run_campaign(&plan).expect("direct run");
 

@@ -89,14 +89,21 @@ impl std::fmt::Display for ArrayError {
 impl std::error::Error for ArrayError {}
 
 /// A nonvolatile PiM array of `rows × cols` cells.
+///
+/// Cell logic values are bit-packed into `u64` words, row-major
+/// (`cols.div_ceil(64)` words per row): a 256×256 array is 8 KiB of words
+/// instead of 64 KiB of `bool`s, resets with a `fill(0)` memset, and exposes
+/// word-level row read/write/compare paths for the ECC layer's word-parallel
+/// kernels. Bits beyond `cols` in each row's last word are always zero.
 #[derive(Debug, Clone)]
 pub struct PimArray {
     technology: Technology,
     params: TechnologyParams,
     rows: usize,
     cols: usize,
-    /// Logic values of the cells, row-major.
-    cells: Vec<bool>,
+    words_per_row: usize,
+    /// Packed logic values of the cells, row-major.
+    words: Vec<u64>,
     partitions: PartitionConfig,
     stats: ArrayStats,
     injector: FaultInjector,
@@ -106,12 +113,14 @@ impl PimArray {
     /// Creates an array with all cells holding logic 0 and fault injection
     /// disabled.
     pub fn new(technology: Technology, rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
         Self {
             technology,
             params: technology.parameters(),
             rows,
             cols,
-            cells: vec![false; rows * cols],
+            words_per_row,
+            words: vec![0; rows * words_per_row],
             partitions: PartitionConfig::single(cols),
             stats: ArrayStats::default(),
             injector: FaultInjector::disabled(),
@@ -185,47 +194,77 @@ impl PimArray {
         &mut self.injector
     }
 
-    fn index(&self, row: usize, col: usize) -> Result<usize, ArrayError> {
+    /// Word index and bit mask of cell (`row`, `col`), bounds-checked.
+    #[inline]
+    fn locate(&self, row: usize, col: usize) -> Result<(usize, u64), ArrayError> {
         if row >= self.rows || col >= self.cols {
             Err(ArrayError::OutOfBounds { row, col })
         } else {
-            Ok(row * self.cols + col)
+            Ok((row * self.words_per_row + col / 64, 1u64 << (col % 64)))
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, word: usize, mask: u64, value: bool) {
+        if value {
+            self.words[word] |= mask;
+        } else {
+            self.words[word] &= !mask;
         }
     }
 
     /// Reads a cell's logic value *without* going through the array interface
     /// (no sensing cost) — used internally by gate execution and by tests.
     pub fn peek(&self, row: usize, col: usize) -> Result<bool, ArrayError> {
-        Ok(self.cells[self.index(row, col)?])
+        let (word, mask) = self.locate(row, col)?;
+        Ok(self.words[word] & mask != 0)
     }
 
     /// Writes a cell's logic value without cost accounting or fault
     /// injection. Used to initialize test fixtures and load input data that
     /// is assumed already resident (the paper's inputs live in the array).
     pub fn poke(&mut self, row: usize, col: usize, value: bool) -> Result<(), ArrayError> {
-        let idx = self.index(row, col)?;
-        self.cells[idx] = value;
+        let (word, mask) = self.locate(row, col)?;
+        self.store(word, mask, value);
         Ok(())
     }
 
-    /// Loads a whole row of logic values without cost accounting.
+    /// Loads a whole row of logic values without cost accounting — a
+    /// word-level copy, not a per-bit loop.
     ///
     /// # Panics
     ///
     /// Panics if `values.len() != cols`.
     pub fn load_row(&mut self, row: usize, values: &BitVec) -> Result<(), ArrayError> {
         assert_eq!(values.len(), self.cols, "row load must cover every column");
-        for col in 0..self.cols {
-            self.poke(row, col, values.get(col))?;
+        if row >= self.rows {
+            return Err(ArrayError::OutOfBounds { row, col: 0 });
         }
+        let base = row * self.words_per_row;
+        self.words[base..base + self.words_per_row].copy_from_slice(values.words());
         Ok(())
+    }
+
+    /// The packed words backing one row (bit `c` of the row is word `c / 64`,
+    /// bit `c % 64`; bits beyond `cols` are zero).
+    pub fn row_words(&self, row: usize) -> Result<&[u64], ArrayError> {
+        if row >= self.rows {
+            return Err(ArrayError::OutOfBounds { row, col: 0 });
+        }
+        let base = row * self.words_per_row;
+        Ok(&self.words[base..base + self.words_per_row])
+    }
+
+    /// Word-level row compare: whether rows `a` and `b` hold identical bits.
+    pub fn rows_equal(&self, a: usize, b: usize) -> Result<bool, ArrayError> {
+        Ok(self.row_words(a)? == self.row_words(b)?)
     }
 
     /// Reads a cell through the read path (sense amplifier): costs read
     /// energy/latency and is subject to read-disturb faults.
     pub fn read_cell(&mut self, row: usize, col: usize) -> Result<bool, ArrayError> {
-        let idx = self.index(row, col)?;
-        let value = self.cells[idx];
+        let (word, mask) = self.locate(row, col)?;
+        let value = self.words[word] & mask != 0;
         let sensed = self.injector.apply(FaultSite::Read, row, col, value);
         self.stats.record_read(1);
         Ok(sensed)
@@ -234,9 +273,9 @@ impl PimArray {
     /// Writes a cell through the write path: costs write energy/latency and
     /// is subject to write faults.
     pub fn write_cell(&mut self, row: usize, col: usize, value: bool) -> Result<(), ArrayError> {
-        let idx = self.index(row, col)?;
+        let (word, mask) = self.locate(row, col)?;
         let stored = self.injector.apply(FaultSite::Write, row, col, value);
-        self.cells[idx] = stored;
+        self.store(word, mask, stored);
         self.stats
             .record_write(1, self.params.write_energy(1), self.params.gate_delay_ns());
         Ok(())
@@ -246,15 +285,93 @@ impl PimArray {
     /// transaction (what a Checker transfer uses).
     pub fn read_bits(&mut self, row: usize, cols: &[usize]) -> Result<BitVec, ArrayError> {
         let mut out = BitVec::zeros(cols.len());
+        self.read_bits_into(row, cols, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::read_bits`] into a caller-owned buffer (resized in place), so
+    /// steady-state Checker transfers allocate nothing.
+    pub fn read_bits_into(
+        &mut self,
+        row: usize,
+        cols: &[usize],
+        out: &mut BitVec,
+    ) -> Result<(), ArrayError> {
+        out.clear_resize(cols.len());
+        // Accumulate sensed bits 64 at a time instead of per-bit set calls.
+        // With a zero read-fault rate the injector is bypassed entirely
+        // (consulting it would neither flip bits nor consume RNG state).
+        let faulty_reads = self.injector.rates().for_site(FaultSite::Read) > 0.0;
+        let mut acc = 0u64;
         for (i, &col) in cols.iter().enumerate() {
-            let idx = self.index(row, col)?;
-            let sensed = self
-                .injector
-                .apply(FaultSite::Read, row, col, self.cells[idx]);
-            out.set(i, sensed);
+            let (word, mask) = self.locate(row, col)?;
+            let stored = self.words[word] & mask != 0;
+            let sensed = if faulty_reads {
+                self.injector.apply(FaultSite::Read, row, col, stored)
+            } else {
+                stored
+            };
+            acc |= u64::from(sensed) << (i % 64);
+            if i % 64 == 63 {
+                out.set_word(i / 64, acc);
+                acc = 0;
+            }
+        }
+        if !cols.len().is_multiple_of(64) {
+            out.set_word(cols.len() / 64, acc);
         }
         self.stats.record_read(cols.len());
-        Ok(out)
+        Ok(())
+    }
+
+    /// Presets a contiguous range of columns in `row` to `value` as one
+    /// row-parallel write transaction (the partition-parallel preset the
+    /// paper's metadata pipeline and area-reclaim paths use). Energy is
+    /// identical to per-cell writes (`write_energy` is linear in bits);
+    /// latency is one write step for the whole range.
+    ///
+    /// When the write-fault rate is zero this is a pure word-mask
+    /// operation; otherwise each cell passes through the fault injector
+    /// like an ordinary write.
+    pub fn preset_cells(
+        &mut self,
+        row: usize,
+        cols: std::ops::Range<usize>,
+        value: bool,
+    ) -> Result<(), ArrayError> {
+        if cols.is_empty() {
+            return Ok(());
+        }
+        // Validate both endpoints up front.
+        let (first_word, _) = self.locate(row, cols.start)?;
+        let (last_word, _) = self.locate(row, cols.end - 1)?;
+        let count = cols.len();
+        if self.injector.rates().for_site(FaultSite::Write) > 0.0 {
+            for col in cols {
+                let (word, mask) = self.locate(row, col)?;
+                let stored = self.injector.apply(FaultSite::Write, row, col, value);
+                self.store(word, mask, stored);
+            }
+        } else {
+            let start_bit = cols.start % 64;
+            let end_bit = (cols.end - 1) % 64 + 1;
+            for word in first_word..=last_word {
+                let lo = if word == first_word { start_bit } else { 0 };
+                let hi = if word == last_word { end_bit } else { 64 };
+                let mask = (u64::MAX >> (64 - (hi - lo))) << lo;
+                if value {
+                    self.words[word] |= mask;
+                } else {
+                    self.words[word] &= !mask;
+                }
+            }
+        }
+        self.stats.record_write(
+            count,
+            self.params.write_energy(count),
+            self.params.gate_delay_ns(),
+        );
+        Ok(())
     }
 
     /// Writes `values.len()` cells of a row through the interface as one
@@ -267,11 +384,11 @@ impl PimArray {
     ) -> Result<(), ArrayError> {
         assert_eq!(cols.len(), values.len(), "column/value count mismatch");
         for (i, &col) in cols.iter().enumerate() {
-            let idx = self.index(row, col)?;
+            let (word, mask) = self.locate(row, col)?;
             let stored = self
                 .injector
                 .apply(FaultSite::Write, row, col, values.get(i));
-            self.cells[idx] = stored;
+            self.store(word, mask, stored);
         }
         self.stats.record_write(
             cols.len(),
@@ -290,45 +407,113 @@ impl PimArray {
     /// columns disagrees with the gate kind, or [`ArrayError::OutOfBounds`]
     /// for invalid cell coordinates.
     pub fn execute_gate(&mut self, op: &GateOp) -> Result<bool, ArrayError> {
-        if op.outputs.len() != op.kind.output_count() {
+        self.execute_gate_with(op.kind, op.row, &op.inputs, &op.outputs)
+    }
+
+    /// Executes one in-array gate operation given as raw parts. This is the
+    /// allocation-free hot path behind [`Self::execute_gate`]: executors can
+    /// pass column slices (or stack arrays) directly instead of assembling a
+    /// [`GateOp`] with owned `Vec`s per operation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::execute_gate`].
+    pub fn execute_gate_with(
+        &mut self,
+        kind: GateKind,
+        row: usize,
+        inputs: &[usize],
+        outputs: &[usize],
+    ) -> Result<bool, ArrayError> {
+        if outputs.len() != kind.output_count() {
             return Err(ArrayError::OutputArityMismatch {
-                expected: op.kind.output_count(),
-                got: op.outputs.len(),
+                expected: kind.output_count(),
+                got: outputs.len(),
             });
         }
-        // Gather input logic values (in-array: no sensing cost).
-        let mut inputs = Vec::with_capacity(op.inputs.len());
-        for &col in &op.inputs {
-            inputs.push(self.peek(op.row, col)?);
-        }
-        // Preset the output cells (part of the gate operation).
-        for &col in &op.outputs {
-            let idx = self.index(op.row, col)?;
-            self.cells[idx] = op.kind.preset_value();
-        }
-        let ideal = op.kind.evaluate(&inputs);
-        // Each output cell switches independently; faults are per output.
+        // Gather input logic values (in-array: no sensing cost) into a stack
+        // buffer — gates have at most 4 inputs in practice, so the heap
+        // fallback is effectively dead code kept for safety.
+        let mut input_buf = [false; 8];
+        let mut input_overflow;
+        let input_values: &[bool] = if inputs.len() <= input_buf.len() {
+            for (slot, &col) in input_buf.iter_mut().zip(inputs) {
+                *slot = self.peek(row, col)?;
+            }
+            &input_buf[..inputs.len()]
+        } else {
+            input_overflow = Vec::with_capacity(inputs.len());
+            for &col in inputs {
+                input_overflow.push(self.peek(row, col)?);
+            }
+            &input_overflow
+        };
+        let ideal = kind.evaluate(input_values);
+        let preset = kind.preset_value();
+        // Preset, then switch each output cell independently; faults are per
+        // output.
         let mut first_output_value = ideal;
-        for (i, &col) in op.outputs.iter().enumerate() {
-            let value = self
-                .injector
-                .apply(FaultSite::GateOutput, op.row, col, ideal);
-            let idx = self.index(op.row, col)?;
-            self.cells[idx] = value;
+        for (i, &col) in outputs.iter().enumerate() {
+            let (word, mask) = self.locate(row, col)?;
+            self.store(word, mask, preset);
+            let value = self.injector.apply(FaultSite::GateOutput, row, col, ideal);
+            self.store(word, mask, value);
             if i == 0 {
                 first_output_value = value;
             }
         }
-        self.record_gate_cost(op);
+        self.record_gate_cost(kind, outputs.len());
         Ok(first_output_value)
     }
 
-    fn record_gate_cost(&mut self, op: &GateOp) {
-        let (energy, is_thr) = match op.kind {
+    /// Executes the paper's two-step in-array XOR (`NOR22` then `THR`,
+    /// Table I) as one fused call: `s1 = s2 = NOR(a, b)` followed by
+    /// `dst = THR(a, b, s1, s2) = a XOR b`.
+    ///
+    /// Semantically identical to two [`Self::execute_gate_with`] calls —
+    /// same fault-injection sites in the same order (s1, s2, then dst),
+    /// same cost accounting — but without re-sensing `s1`/`s2` for the THR
+    /// step, since their post-fault values are already in hand. This is
+    /// ECiM's parity-fold primitive and dominates the Monte Carlo gate-op
+    /// count, hence the dedicated path.
+    pub fn execute_xor2_step(
+        &mut self,
+        row: usize,
+        a_col: usize,
+        b_col: usize,
+        s1_col: usize,
+        s2_col: usize,
+        dst_col: usize,
+    ) -> Result<bool, ArrayError> {
+        let a = self.peek(row, a_col)?;
+        let b = self.peek(row, b_col)?;
+        // Step 1: NOR22 into the working cells.
+        let nor = !(a | b);
+        let (s1_word, s1_mask) = self.locate(row, s1_col)?;
+        let s1 = self.injector.apply(FaultSite::GateOutput, row, s1_col, nor);
+        self.store(s1_word, s1_mask, s1);
+        let (s2_word, s2_mask) = self.locate(row, s2_col)?;
+        let s2 = self.injector.apply(FaultSite::GateOutput, row, s2_col, nor);
+        self.store(s2_word, s2_mask, s2);
+        self.record_gate_cost(GateKind::NOR22, 2);
+        // Step 2: THR over (a, b, s1, s2).
+        let zeros = u32::from(!a) + u32::from(!b) + u32::from(!s1) + u32::from(!s2);
+        let thr = zeros >= 3;
+        let (dst_word, dst_mask) = self.locate(row, dst_col)?;
+        let out = self
+            .injector
+            .apply(FaultSite::GateOutput, row, dst_col, thr);
+        self.store(dst_word, dst_mask, out);
+        self.record_gate_cost(GateKind::THR, 1);
+        Ok(out)
+    }
+
+    fn record_gate_cost(&mut self, kind: GateKind, output_count: usize) {
+        let (energy, is_thr) = match kind {
             GateKind::Nor { outputs } => (self.params.nor_energy(outputs as usize), false),
             GateKind::Not | GateKind::Copy => (self.params.nor_energy(1), false),
             GateKind::Thr { .. } => (self.params.thr_energy(), true),
-            GateKind::Preset { .. } => (self.params.write_energy(op.outputs.len()), false),
+            GateKind::Preset { .. } => (self.params.write_energy(output_count), false),
         };
         self.stats
             .record_gate(is_thr, energy, self.params.gate_delay_ns());
@@ -362,12 +547,33 @@ impl PimArray {
     }
 
     /// Returns a whole row's logic values (no cost; debugging/validation).
+    /// A word-level copy of the packed row.
     pub fn snapshot_row(&self, row: usize) -> Result<BitVec, ArrayError> {
-        let mut out = BitVec::zeros(self.cols);
-        for col in 0..self.cols {
-            out.set(col, self.peek(row, col)?);
+        Ok(BitVec::from_words(self.row_words(row)?.to_vec(), self.cols))
+    }
+
+    /// Resets the array in place for a fresh Monte Carlo trial: every cell
+    /// back to logic 0 (one memset over the packed words), statistics
+    /// cleared, and the fault injector re-seeded with `rates`/`seed`.
+    ///
+    /// Steady-state trial loops call this instead of allocating a new array;
+    /// a reset array is observationally identical to a freshly constructed
+    /// one (the arena-purity tests in `nvpim-sweep` assert this bit for
+    /// bit). The technology is switched too, so one arena serves campaign
+    /// points of different technologies.
+    pub fn reset_for_trial(
+        &mut self,
+        technology: Technology,
+        rates: crate::fault::ErrorRates,
+        seed: u64,
+    ) {
+        if self.technology != technology {
+            self.technology = technology;
+            self.params = technology.parameters();
         }
-        Ok(out)
+        self.words.fill(0);
+        self.stats = ArrayStats::default();
+        self.injector.reset(rates, seed);
     }
 }
 
@@ -540,5 +746,169 @@ mod tests {
         let row: BitVec = (0..8).map(|i| i % 2 == 0).collect();
         a.load_row(1, &row).unwrap();
         assert_eq!(a.snapshot_row(1).unwrap(), row);
+    }
+
+    #[test]
+    fn packed_rows_expose_word_level_read_write_compare() {
+        let mut a = PimArray::new(Technology::SttMram, 3, 200);
+        let pattern: BitVec = (0..200).map(|i| (i * 13) % 7 < 3).collect();
+        a.load_row(0, &pattern).unwrap();
+        a.load_row(2, &pattern).unwrap();
+        // Word-level row access matches the BitVec's packed words exactly.
+        assert_eq!(a.row_words(0).unwrap(), pattern.words());
+        assert!(a.rows_equal(0, 2).unwrap());
+        assert!(!a.rows_equal(0, 1).unwrap());
+        a.poke(2, 199, !pattern.get(199)).unwrap();
+        assert!(!a.rows_equal(0, 2).unwrap());
+        assert!(a.row_words(3).is_err());
+    }
+
+    #[test]
+    fn preset_cells_is_equivalent_to_per_cell_writes() {
+        let mut a = PimArray::new(Technology::ReRam, 1, 130);
+        for col in 0..130 {
+            a.poke(0, col, true).unwrap();
+        }
+        a.preset_cells(0, 3..97, false).unwrap();
+        let mut b = PimArray::new(Technology::ReRam, 1, 130);
+        for col in 0..130 {
+            b.poke(0, col, true).unwrap();
+        }
+        for col in 3..97 {
+            b.write_cell(0, col, false).unwrap();
+        }
+        assert_eq!(a.snapshot_row(0).unwrap(), b.snapshot_row(0).unwrap());
+        // Same bit count and energy; one transaction instead of 94.
+        assert_eq!(a.stats().bits_written, b.stats().bits_written);
+        assert!((a.stats().energy_fj - b.stats().energy_fj).abs() < 1e-9);
+        assert!(a.stats().latency_ns < b.stats().latency_ns);
+    }
+
+    #[test]
+    fn preset_cells_passes_through_the_fault_injector() {
+        let mut a =
+            PimArray::new(Technology::SttMram, 1, 64).with_fault_injector(FaultInjector::new(
+                ErrorRates {
+                    write: 1.0,
+                    ..ErrorRates::NONE
+                },
+                3,
+            ));
+        a.preset_cells(0, 0..64, false).unwrap();
+        // write rate 1.0 flips every preset: all cells end up 1.
+        assert_eq!(a.snapshot_row(0).unwrap().count_ones(), 64);
+        assert_eq!(a.fault_injector().fault_count(), 64);
+    }
+
+    #[test]
+    fn fused_xor_step_matches_two_gate_calls() {
+        for x in [false, true] {
+            for y in [false, true] {
+                let mut fused = PimArray::new(Technology::SttMram, 1, 8);
+                fused.poke(0, 0, x).unwrap();
+                fused.poke(0, 1, y).unwrap();
+                let out = fused.execute_xor2_step(0, 0, 1, 2, 3, 4).unwrap();
+                assert_eq!(out, x ^ y, "({x}, {y})");
+
+                let mut generic = PimArray::new(Technology::SttMram, 1, 8);
+                generic.poke(0, 0, x).unwrap();
+                generic.poke(0, 1, y).unwrap();
+                generic
+                    .execute_gate_with(GateKind::NOR22, 0, &[0, 1], &[2, 3])
+                    .unwrap();
+                generic
+                    .execute_gate_with(GateKind::THR, 0, &[0, 1, 2, 3], &[4])
+                    .unwrap();
+                assert_eq!(
+                    fused.snapshot_row(0).unwrap(),
+                    generic.snapshot_row(0).unwrap()
+                );
+                assert_eq!(fused.stats().gate_ops, generic.stats().gate_ops);
+                assert!(
+                    (fused.stats().energy_fj - generic.stats().energy_fj).abs() < 1e-12,
+                    "fused XOR must cost exactly what the two gates cost"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_xor_step_consumes_the_same_fault_stream_as_two_gate_calls() {
+        // With gate faults enabled, the fused path must draw the injector
+        // in the same order (s1, s2, dst) as the two-gate sequence.
+        let rates = ErrorRates {
+            gate: 0.5,
+            ..ErrorRates::NONE
+        };
+        for seed in 0..20u64 {
+            let mut fused = PimArray::new(Technology::SttMram, 1, 8)
+                .with_fault_injector(FaultInjector::new(rates, seed));
+            fused.poke(0, 0, true).unwrap();
+            fused.execute_xor2_step(0, 0, 1, 2, 3, 4).unwrap();
+
+            let mut generic = PimArray::new(Technology::SttMram, 1, 8)
+                .with_fault_injector(FaultInjector::new(rates, seed));
+            generic.poke(0, 0, true).unwrap();
+            generic
+                .execute_gate_with(GateKind::NOR22, 0, &[0, 1], &[2, 3])
+                .unwrap();
+            generic
+                .execute_gate_with(GateKind::THR, 0, &[0, 1, 2, 3], &[4])
+                .unwrap();
+
+            assert_eq!(
+                fused.snapshot_row(0).unwrap(),
+                generic.snapshot_row(0).unwrap(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                fused.fault_injector().log(),
+                generic.fault_injector().log(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_for_trial_restores_a_pristine_array() {
+        let rates = ErrorRates {
+            gate: 0.1,
+            ..ErrorRates::NONE
+        };
+        let mut reused = PimArray::new(Technology::SttMram, 4, 64)
+            .with_fault_injector(FaultInjector::new(rates, 1));
+        // Dirty it thoroughly.
+        for col in 0..64 {
+            reused.write_cell(2, col, true).unwrap();
+        }
+        reused
+            .execute_gate_with(GateKind::NOR2, 1, &[0, 1], &[2])
+            .unwrap();
+        // Reset must match a freshly built array in contents, stats and
+        // fault stream — including a switch to another technology.
+        reused.reset_for_trial(Technology::ReRam, rates, 42);
+        let mut fresh = PimArray::new(Technology::ReRam, 4, 64)
+            .with_fault_injector(FaultInjector::new(rates, 42));
+        assert_eq!(reused.technology(), Technology::ReRam);
+        for row in 0..4 {
+            assert_eq!(
+                reused.snapshot_row(row).unwrap(),
+                fresh.snapshot_row(row).unwrap()
+            );
+        }
+        assert_eq!(reused.stats().gate_ops, 0);
+        assert_eq!(reused.stats().bits_written, 0);
+        for i in 0..200 {
+            assert_eq!(
+                reused
+                    .execute_gate_with(GateKind::NOR2, 0, &[0, 1], &[2])
+                    .unwrap(),
+                fresh
+                    .execute_gate_with(GateKind::NOR2, 0, &[0, 1], &[2])
+                    .unwrap(),
+                "op {i}"
+            );
+        }
+        assert_eq!(reused.fault_injector().log(), fresh.fault_injector().log());
     }
 }

@@ -10,6 +10,7 @@
 //! correlated-error discussion of §IV-E.
 
 use rand::Rng;
+use rand::RngCore;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -103,6 +104,30 @@ pub struct InjectedFault {
     pub step: u64,
 }
 
+/// How the injector turns per-operation fault probabilities into decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultSampling {
+    /// Geometric skip-ahead sampling (the default): one RNG draw per
+    /// *injected fault* picks the index of the next faulting operation, and
+    /// the operations in between only decrement a counter. At paper-regime
+    /// rates (~1e-4) this removes ~99.99% of the RNG work while producing
+    /// exactly the same Bernoulli(p) marginal per operation.
+    #[default]
+    SkipAhead,
+    /// One Bernoulli draw per operation — the pre-optimization behavior,
+    /// kept as a reference for statistical-equivalence tests and as the
+    /// baseline mode of the `trial_throughput` benchmark.
+    PerOp,
+}
+
+/// Pending skip-ahead state for one fault site: `remaining` clean
+/// operations will pass (at probability `p` each) before the next fault.
+#[derive(Debug, Clone, Copy)]
+struct PendingSkip {
+    p: f64,
+    remaining: u64,
+}
+
 /// A deterministic, seedable fault injector.
 ///
 /// The injector is consulted by the array on every gate output, write and
@@ -116,6 +141,9 @@ pub struct FaultInjector {
     step: u64,
     temporal_boost_remaining: usize,
     log: Vec<InjectedFault>,
+    sampling: FaultSampling,
+    /// Skip-ahead state per [`FaultSite`] (indexed by `site_index`).
+    skips: [Option<PendingSkip>; 4],
 }
 
 impl FaultInjector {
@@ -128,6 +156,8 @@ impl FaultInjector {
             step: 0,
             temporal_boost_remaining: 0,
             log: Vec::new(),
+            sampling: FaultSampling::default(),
+            skips: [None; 4],
         }
     }
 
@@ -140,6 +170,30 @@ impl FaultInjector {
     pub fn with_correlation(mut self, correlation: CorrelationModel) -> Self {
         self.correlation = correlation;
         self
+    }
+
+    /// Switches to per-operation Bernoulli sampling (the reference mode).
+    pub fn with_per_op_sampling(mut self) -> Self {
+        self.sampling = FaultSampling::PerOp;
+        self
+    }
+
+    /// The sampling strategy in use.
+    pub fn sampling(&self) -> FaultSampling {
+        self.sampling
+    }
+
+    /// Re-seeds the injector in place for a fresh trial: new rates, a fresh
+    /// RNG stream, cleared log (keeping its allocation), step 0, and no
+    /// pending skip state. Equivalent to `FaultInjector::new(rates, seed)`
+    /// with the same sampling mode and correlation model.
+    pub fn reset(&mut self, rates: ErrorRates, seed: u64) {
+        self.rates = rates;
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
+        self.step = 0;
+        self.temporal_boost_remaining = 0;
+        self.log.clear();
+        self.skips = [None; 4];
     }
 
     /// The configured error rates.
@@ -165,7 +219,11 @@ impl FaultInjector {
         if self.temporal_boost_remaining > 0 {
             p = (p * self.correlation.temporal_factor).min(1.0);
         }
-        if p > 0.0 && self.rng.gen_bool(p) {
+        let faulted = match self.sampling {
+            FaultSampling::PerOp => p > 0.0 && self.rng.gen_bool(p),
+            FaultSampling::SkipAhead => self.skip_decide(Self::site_index(site), p),
+        };
+        if faulted {
             self.log.push(InjectedFault {
                 site,
                 row,
@@ -178,6 +236,64 @@ impl FaultInjector {
             !value
         } else {
             value
+        }
+    }
+
+    #[inline]
+    fn site_index(site: FaultSite) -> usize {
+        match site {
+            FaultSite::GateOutput => 0,
+            FaultSite::Write => 1,
+            FaultSite::Read => 2,
+            FaultSite::Retention => 3,
+        }
+    }
+
+    /// Skip-ahead decision for one operation at probability `p`.
+    ///
+    /// The pending counter for a site is valid only for the probability it
+    /// was sampled under; when `p` changes (e.g. a temporal-correlation
+    /// boost window opens or closes) the counter is re-sampled. Operations
+    /// at `p == 0` pass through without consuming skip state — geometric
+    /// inter-arrival times are memoryless, so pausing and resuming a
+    /// counter preserves the Bernoulli(p) marginal exactly.
+    #[inline]
+    fn skip_decide(&mut self, site_idx: usize, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            self.skips[site_idx] = None;
+            return true;
+        }
+        let needs_sample = !matches!(self.skips[site_idx], Some(s) if s.p == p);
+        if needs_sample {
+            let remaining = Self::sample_geometric(&mut self.rng, p);
+            self.skips[site_idx] = Some(PendingSkip { p, remaining });
+        }
+        let pending = self.skips[site_idx]
+            .as_mut()
+            .expect("skip state just ensured");
+        if pending.remaining == 0 {
+            pending.remaining = Self::sample_geometric(&mut self.rng, p);
+            true
+        } else {
+            pending.remaining -= 1;
+            false
+        }
+    }
+
+    /// Number of clean operations before the next fault: a geometric sample
+    /// `floor(ln(1 − u) / ln(1 − p))` with `u` uniform in `[0, 1)`, which
+    /// makes each operation fault with exactly probability `p`.
+    #[inline]
+    fn sample_geometric(rng: &mut ChaCha8Rng, p: f64) -> u64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let skip = (1.0 - u).ln() / (-p).ln_1p();
+        if skip >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            skip as u64
         }
     }
 
@@ -328,5 +444,91 @@ mod tests {
         inj.force(FaultSite::Retention, 3, 200);
         assert_eq!(inj.fault_count(), 1);
         assert_eq!(inj.log()[0].col, 200);
+    }
+
+    #[test]
+    fn skip_sampling_matches_bernoulli_rate_within_confidence_interval() {
+        // The geometric skip sampler must reproduce the Bernoulli(p)
+        // marginal: over n ops the empirical rate of both modes must sit
+        // within a 4σ binomial confidence interval of p, for rates spanning
+        // the paper regime.
+        for p in [1e-2, 1e-3] {
+            let n: usize = 2_000_000;
+            let sigma = (p * (1.0 - p) / n as f64).sqrt();
+            let tolerance = 4.0 * sigma;
+
+            let count_mode = |per_op: bool| {
+                let rates = ErrorRates {
+                    gate: p,
+                    ..ErrorRates::NONE
+                };
+                let mut inj = FaultInjector::new(rates, 0xFA57);
+                if per_op {
+                    inj = inj.with_per_op_sampling();
+                }
+                for i in 0..n {
+                    inj.apply(FaultSite::GateOutput, 0, i % 251, false);
+                }
+                inj.fault_count() as f64 / n as f64
+            };
+
+            let skip_rate = count_mode(false);
+            let bernoulli_rate = count_mode(true);
+            assert!(
+                (skip_rate - p).abs() < tolerance,
+                "skip-ahead rate {skip_rate} vs p={p} (±{tolerance})"
+            );
+            assert!(
+                (bernoulli_rate - p).abs() < tolerance,
+                "per-op rate {bernoulli_rate} vs p={p} (±{tolerance})"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_sampling_is_deterministic_and_resets_cleanly() {
+        let rates = ErrorRates {
+            gate: 0.01,
+            ..ErrorRates::NONE
+        };
+        let run = |inj: &mut FaultInjector| {
+            (0..5_000)
+                .map(|i| inj.apply(FaultSite::GateOutput, 0, i % 61, false))
+                .collect::<Vec<_>>()
+        };
+        let mut fresh = FaultInjector::new(rates, 77);
+        let baseline = run(&mut fresh);
+        // Reset-in-place must reproduce the fresh stream exactly.
+        fresh.reset(rates, 77);
+        assert_eq!(run(&mut fresh), baseline);
+        // A once-used injector reset to a different seed diverges.
+        fresh.reset(rates, 78);
+        assert_ne!(run(&mut fresh), baseline);
+    }
+
+    #[test]
+    fn skip_state_survives_interleaved_zero_rate_sites() {
+        // Ops at p == 0 (e.g. writes in a gate-only regime) must not consume
+        // or invalidate the gate site's pending skip counter.
+        let rates = ErrorRates {
+            gate: 0.02,
+            ..ErrorRates::NONE
+        };
+        let gates_only = {
+            let mut inj = FaultInjector::new(rates, 5);
+            (0..4_000)
+                .map(|i| inj.apply(FaultSite::GateOutput, 0, i % 17, false))
+                .collect::<Vec<_>>()
+        };
+        let interleaved = {
+            let mut inj = FaultInjector::new(rates, 5);
+            (0..4_000)
+                .map(|i| {
+                    inj.apply(FaultSite::Write, 0, i % 17, true);
+                    inj.apply(FaultSite::GateOutput, 0, i % 17, false)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gates_only, interleaved);
     }
 }

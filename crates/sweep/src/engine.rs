@@ -19,10 +19,10 @@ use std::sync::Arc;
 use nvpim_compiler::netlist::Netlist;
 use nvpim_compiler::schedule::{map_netlist, RowSchedule};
 use nvpim_core::config::DesignConfig;
-use nvpim_core::executor::ProtectedExecutor;
+use nvpim_core::executor::{ExecScratch, ProtectedExecutor};
 use nvpim_core::system::{evaluate_schedule, WorkloadShape};
 use nvpim_sim::array::PimArray;
-use nvpim_sim::fault::{ErrorRates, FaultInjector};
+use nvpim_sim::fault::ErrorRates;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
@@ -41,9 +41,10 @@ pub struct CompiledKernel {
     pub schedule: RowSchedule,
 }
 
-/// Schedule-cache key: workload name plus the row layout's
-/// `(total, metadata, cells_per_value)` columns.
-type LayoutKey = (String, (usize, usize, usize));
+/// Schedule-cache key: the workload (a `Copy` enum — no per-lookup string
+/// allocation) plus the row layout's `(total, metadata, cells_per_value)`
+/// columns.
+type LayoutKey = (SweepWorkload, (usize, usize, usize));
 
 /// Cache of compiled schedules keyed by `(workload, row layout)`.
 ///
@@ -53,7 +54,7 @@ type LayoutKey = (String, (usize, usize, usize));
 #[derive(Debug, Default)]
 pub struct ScheduleCache {
     entries: HashMap<LayoutKey, Arc<CompiledKernel>>,
-    netlists: HashMap<String, Netlist>,
+    netlists: HashMap<SweepWorkload, Netlist>,
     hits: u64,
     compiles: u64,
 }
@@ -103,7 +104,7 @@ impl ScheduleCache {
     ) -> Result<Arc<CompiledKernel>, SweepError> {
         let layout = config.row_layout();
         let key = (
-            workload.name(),
+            workload,
             (
                 layout.total_columns,
                 layout.metadata_columns,
@@ -118,7 +119,7 @@ impl ScheduleCache {
         // shares one netlist build.
         let netlist = self
             .netlists
-            .entry(key.0.clone())
+            .entry(workload)
             .or_insert_with(|| workload.netlist())
             .clone();
         let schedule = map_netlist(&netlist, layout).map_err(|err| SweepError::Map {
@@ -171,34 +172,77 @@ pub fn derive_trial_seed(campaign_seed: u64, point_index: u64, trial_index: u64)
     mix(mix(campaign_seed ^ mix(point_index)) ^ trial_index)
 }
 
-/// Executes one Monte Carlo trial.
-fn run_trial(ctx: &PointContext, base_seed: u64) -> TrialOutcome {
+/// The `(input_rng_seed, fault_injector_seed)` pair a trial derives from
+/// its base seed — the engine's exact stream split, exposed so external
+/// trial reconstructions (e.g. the `trial_throughput` bench's legacy mode)
+/// replay the very same inputs and fault pattern as the engine path.
+pub fn trial_stream_seeds(base_seed: u64) -> (u64, u64) {
+    (mix(base_seed ^ 0x1), mix(base_seed ^ 0x2))
+}
+
+/// Reusable per-thread working memory for the Monte Carlo trial loop.
+///
+/// One arena holds the simulated array (reset in place per trial — a
+/// memset over the packed words, not a reallocation), the input/expected
+/// buffers, and the executor's [`ExecScratch`]. The rayon trial loop
+/// creates one arena per worker via `map_init`, so steady-state trials
+/// allocate nothing.
+///
+/// **Purity contract:** a trial run through a warmed-up arena is
+/// bit-identical to one run with fresh allocations — trial outcomes are a
+/// pure function of `(point, seed)`, never of which arena (or thread) ran
+/// them. The arena-purity tests assert this.
+#[derive(Debug, Default)]
+pub struct TrialArena {
+    array: Option<PimArray>,
+    inputs: Vec<bool>,
+    expected: Vec<bool>,
+    eval_values: Vec<bool>,
+    scratch: ExecScratch,
+}
+
+impl TrialArena {
+    /// Creates an empty arena (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Executes one Monte Carlo trial in `arena`.
+fn run_trial(ctx: &PointContext, base_seed: u64, arena: &mut TrialArena) -> TrialOutcome {
     // Independent streams for input generation and fault injection.
-    let mut input_rng = ChaCha8Rng::seed_from_u64(mix(base_seed ^ 0x1));
-    let fault_seed = mix(base_seed ^ 0x2);
+    let (input_seed, fault_seed) = trial_stream_seeds(base_seed);
+    let mut input_rng = ChaCha8Rng::seed_from_u64(input_seed);
 
     let netlist = &ctx.kernel.netlist;
-    let inputs: Vec<bool> = (0..netlist.inputs.len())
-        .map(|_| input_rng.gen_bool(0.5))
-        .collect();
-    let expected = netlist.evaluate(&inputs);
+    arena.inputs.clear();
+    arena
+        .inputs
+        .extend((0..netlist.inputs.len()).map(|_| input_rng.gen_bool(0.5)));
+    netlist.evaluate_into(&arena.inputs, &mut arena.eval_values, &mut arena.expected);
 
     let rates = ErrorRates {
         gate: ctx.gate_error_rate,
         ..ErrorRates::NONE
     };
-    let mut array = PimArray::standard(ctx.config.technology)
-        .with_fault_injector(FaultInjector::new(rates, fault_seed));
+    let array = arena
+        .array
+        .get_or_insert_with(|| PimArray::standard(ctx.config.technology));
+    array.reset_for_trial(ctx.config.technology, rates, fault_seed);
 
-    match ctx
-        .executor
-        .run(netlist, &ctx.kernel.schedule, &mut array, 0, &inputs)
-    {
+    match ctx.executor.run_with_scratch(
+        netlist,
+        &ctx.kernel.schedule,
+        array,
+        0,
+        &arena.inputs,
+        &mut arena.scratch,
+    ) {
         Ok(report) => {
             let wrong_bits = report
                 .outputs
                 .iter()
-                .zip(&expected)
+                .zip(&arena.expected)
                 .filter(|(got, want)| got != want)
                 .count() as u64;
             TrialOutcome {
@@ -220,6 +264,82 @@ fn run_trial(ctx: &PointContext, base_seed: u64) -> TrialOutcome {
             wrong_output_bits: 0,
             exec_error: Some(err.to_string()),
         },
+    }
+}
+
+/// A standalone single-point trial runner: one workload compiled under one
+/// design configuration, exposing the engine's exact per-trial hot path
+/// (arena reuse, skip-sampled faults, deterministic seeding) to benches
+/// and tests without building a whole campaign plan.
+#[derive(Debug)]
+pub struct TrialHarness {
+    ctx: PointContext,
+}
+
+impl TrialHarness {
+    /// Compiles `workload` for `config` and prepares a runnable point.
+    ///
+    /// # Errors
+    ///
+    /// Schedule compilation failures (see [`ScheduleCache::get_or_compile`]).
+    pub fn new(
+        workload: SweepWorkload,
+        protection: ProtectionConfig,
+        config: DesignConfig,
+        gate_error_rate: f64,
+    ) -> Result<Self, SweepError> {
+        let mut cache = ScheduleCache::new();
+        let kernel = cache.get_or_compile(workload, &config)?;
+        let shape = WorkloadShape::new(workload.name(), 1, 1);
+        let estimate = evaluate_schedule(&kernel.schedule, &shape, &config);
+        let executor = Arc::new(ProtectedExecutor::new(config.clone()));
+        Ok(Self {
+            ctx: PointContext {
+                workload,
+                protection,
+                config,
+                gate_error_rate,
+                kernel,
+                executor,
+                est_time_ns: estimate.time_ns,
+                est_energy_fj: estimate.energy_fj,
+            },
+        })
+    }
+
+    /// The compiled `(netlist, schedule)` kernel.
+    pub fn kernel(&self) -> &CompiledKernel {
+        &self.ctx.kernel
+    }
+
+    /// The executor driving this point.
+    pub fn executor(&self) -> &ProtectedExecutor {
+        &self.ctx.executor
+    }
+
+    /// The design configuration of this point.
+    pub fn config(&self) -> &DesignConfig {
+        &self.ctx.config
+    }
+
+    /// The gate-output error rate of this point.
+    pub fn gate_error_rate(&self) -> f64 {
+        self.ctx.gate_error_rate
+    }
+
+    /// Runs trial `trial_index` (seeded exactly like a campaign point at
+    /// index 0 under `campaign_seed`) in `arena`.
+    pub fn run_trial(
+        &self,
+        campaign_seed: u64,
+        trial_index: u64,
+        arena: &mut TrialArena,
+    ) -> TrialOutcome {
+        run_trial(
+            &self.ctx,
+            derive_trial_seed(campaign_seed, 0, trial_index),
+            arena,
+        )
     }
 }
 
@@ -366,12 +486,17 @@ impl PreparedCampaign {
 
         let mut outcomes: Vec<TrialOutcome> = Vec::with_capacity(trials.len());
         for chunk in trials.chunks(chunk_trials) {
+            // `map_init` hands each worker thread a private `TrialArena`
+            // (array + buffers reset in place per trial), so steady-state
+            // trials allocate nothing. Outcomes stay a pure function of
+            // `(point, seed)`, which keeps reports byte-identical across
+            // thread counts and chunk sizes.
             let chunk_outcomes: Vec<TrialOutcome> = chunk
                 .to_vec()
                 .into_par_iter()
-                .map(move |(pi, ti)| {
+                .map_init(TrialArena::new, move |arena, (pi, ti)| {
                     let seed = derive_trial_seed(campaign_seed, pi as u64, ti);
-                    run_trial(&points_ref[pi], seed)
+                    run_trial(&points_ref[pi], seed, arena)
                 })
                 .collect();
             outcomes.extend(chunk_outcomes);

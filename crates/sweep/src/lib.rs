@@ -45,8 +45,8 @@ pub mod plan;
 pub mod report;
 
 pub use engine::{
-    derive_trial_seed, prepare_campaign, run_campaign, CampaignControl, CampaignProgress,
-    CompiledKernel, PreparedCampaign, ScheduleCache,
+    derive_trial_seed, prepare_campaign, run_campaign, trial_stream_seeds, CampaignControl,
+    CampaignProgress, CompiledKernel, PreparedCampaign, ScheduleCache, TrialArena, TrialHarness,
 };
 pub use plan::{ProtectionConfig, SweepPlan, SweepWorkload};
 pub use report::{PointSummary, SweepReport, TrialOutcome};

@@ -9,7 +9,16 @@
 //! the environment belong in other test files (separate binaries, which
 //! cargo runs sequentially).
 
-use nvpim_sweep::{run_campaign, SweepPlan};
+use nvpim_sweep::{prepare_campaign, run_campaign, CampaignControl, ScheduleCache, SweepPlan};
+
+fn run_chunked_json(plan: &SweepPlan, chunk: usize) -> String {
+    let mut cache = ScheduleCache::new();
+    prepare_campaign(plan, &mut cache)
+        .unwrap()
+        .run_chunked(chunk, |_| CampaignControl::Continue)
+        .unwrap()
+        .to_json()
+}
 
 #[test]
 fn report_json_is_byte_identical_across_thread_counts_and_runs() {
@@ -18,9 +27,11 @@ fn report_json_is_byte_identical_across_thread_counts_and_runs() {
     std::env::set_var("RAYON_NUM_THREADS", "1");
     let single_threaded = run_campaign(&plan).unwrap().to_json();
     let single_threaded_again = run_campaign(&plan).unwrap().to_json();
+    let single_threaded_chunked = run_chunked_json(&plan, 5);
 
     std::env::set_var("RAYON_NUM_THREADS", "4");
     let four_threads = run_campaign(&plan).unwrap().to_json();
+    let four_threads_chunked = run_chunked_json(&plan, 7);
 
     std::env::remove_var("RAYON_NUM_THREADS");
     let default_threads = run_campaign(&plan).unwrap().to_json();
@@ -36,6 +47,17 @@ fn report_json_is_byte_identical_across_thread_counts_and_runs() {
     assert_eq!(
         single_threaded, default_threads,
         "default thread count must not change the report"
+    );
+    // The packed-arena engine hands per-thread arenas to arbitrary trial
+    // subsets; neither chunking nor the thread count those chunks fan out
+    // to may leak into report bytes.
+    assert_eq!(
+        single_threaded, single_threaded_chunked,
+        "chunked single-thread run must match"
+    );
+    assert_eq!(
+        single_threaded, four_threads_chunked,
+        "chunked multi-thread run must match"
     );
 
     // A different campaign seed must actually change trial outcomes

@@ -11,8 +11,12 @@ use nvpim_sweep::{run_campaign, SweepPlan};
 fn faults_scale_with_the_error_rate_grid() {
     // Within one protection scheme, more demanding error rates must inject
     // more faults — the campaign actually sweeps the grid rather than
-    // reusing one regime.
-    let report = run_campaign(&SweepPlan::quick()).unwrap();
+    // reusing one regime. Enough seeds per point that expected fault counts
+    // dominate Monte Carlo noise at the lowest rate (the packed-arena
+    // engine makes this size trivial to run).
+    let mut plan = SweepPlan::quick();
+    plan.seeds_per_point = 64;
+    let report = run_campaign(&plan).unwrap();
     for scheme in ["unprotected/m-o", "ECiM/m-o", "TRiM/m-o"] {
         let rates: Vec<_> = report
             .points

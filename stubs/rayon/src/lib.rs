@@ -45,6 +45,26 @@ impl<T: Send> ParIter<T> {
         }
     }
 
+    /// Applies `f` to every item with per-worker state created by `init`
+    /// (mirrors rayon's `map_init`): each worker thread calls `init()` once
+    /// for its contiguous chunk and threads the value mutably through its
+    /// items. Like the real crate, `init` may be called any number of times,
+    /// so results must not depend on how items share state — reusable
+    /// scratch buffers and arenas are the intended use.
+    pub fn map_init<S, U, INIT, F>(self, init: INIT, f: F) -> ParMapInit<T, INIT, F>
+    where
+        S: Send,
+        U: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> U + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+
     /// Runs `f` on every item, in parallel.
     pub fn for_each<F>(self, f: F)
     where
@@ -96,6 +116,67 @@ where
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            for handle in handles {
+                // Propagate worker panics, like real rayon.
+                results.push(handle.join().expect("rayon stub: worker thread panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// A mapped parallel iterator with per-worker init state; consumed by
+/// [`ParMapInit::collect`].
+pub struct ParMapInit<T, INIT, F> {
+    items: Vec<T>,
+    init: INIT,
+    f: F,
+}
+
+impl<T, S, U, INIT, F> ParMapInit<T, INIT, F>
+where
+    T: Send,
+    S: Send,
+    U: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
+    /// Executes the map in parallel (one `init()` per worker chunk) and
+    /// collects results in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        let threads = current_num_threads().max(1);
+        let len = self.items.len();
+        if threads == 1 || len <= 1 {
+            let mut state = (self.init)();
+            return self
+                .items
+                .into_iter()
+                .map(|item| (self.f)(&mut state, item))
+                .collect();
+        }
+        let chunk_size = len.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk_size));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let init = &self.init;
+        let f = &self.f;
+        let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut state = init();
+                        chunk
+                            .into_iter()
+                            .map(|item| f(&mut state, item))
+                            .collect::<Vec<U>>()
+                    })
+                })
                 .collect();
             for handle in handles {
                 // Propagate worker panics, like real rayon.
@@ -185,6 +266,23 @@ mod tests {
         let v = vec![1u64, 2, 3];
         let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn map_init_matches_map_and_reuses_state() {
+        let input: Vec<usize> = (0..5_000).collect();
+        let expected: Vec<usize> = input.iter().map(|x| x * 3).collect();
+        let out: Vec<usize> = input
+            .clone()
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, x| {
+                // State must be reusable between items without leaking.
+                scratch.clear();
+                scratch.push(x);
+                scratch[0] * 3
+            })
+            .collect();
+        assert_eq!(out, expected);
     }
 
     #[test]

@@ -152,16 +152,20 @@ fn checker_corrections_repair_the_array_contents_not_just_the_report() {
     let config = DesignConfig::ecim(Technology::SttMram);
     let executor = ProtectedExecutor::new(config.clone());
     let schedule = map_netlist(&netlist, config.row_layout()).unwrap();
+    // Low enough that (under the skip-sampled fault stream) at most one
+    // error lands per logic level — the SEP operating regime.
     let rates = ErrorRates {
-        gate: 0.001,
+        gate: 0.0002,
         ..ErrorRates::NONE
     };
+    let mut detections = 0u64;
     for seed in 0..5u64 {
         let mut array = PimArray::standard(Technology::SttMram)
             .with_fault_injector(FaultInjector::new(rates, seed + 11));
-        executor
+        let report = executor
             .run(&netlist, &schedule, &mut array, 0, &inputs)
             .unwrap();
+        detections += report.errors_detected;
         let mut value = 0u64;
         for (i, col) in schedule.output_cols.iter().enumerate() {
             let col = col.expect("outputs are resident");
@@ -171,4 +175,8 @@ fn checker_corrections_repair_the_array_contents_not_just_the_report() {
         }
         assert_eq!(value, expected, "seed {seed}");
     }
+    assert!(
+        detections > 0,
+        "this regime must detect (and repair) injected errors"
+    );
 }

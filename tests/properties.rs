@@ -78,10 +78,11 @@ proptest! {
         which in 0usize..3,
     ) {
         let good = BitVec::from_bools(&word);
-        let mut copies = vec![good.clone(), good.clone(), good.clone()];
+        let mut copies = [good.clone(), good.clone(), good.clone()];
         let mask = BitVec::from_bools(&corrupt_mask);
         copies[which] = copies[which].xor(&mask);
-        let outcome = majority_vote_words(&copies).unwrap();
+        let refs: Vec<&BitVec> = copies.iter().collect();
+        let outcome = majority_vote_words(&refs).unwrap();
         prop_assert_eq!(outcome.value(), &good);
     }
 
