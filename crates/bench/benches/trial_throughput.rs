@@ -2,21 +2,28 @@
 //! 1e-4, ECiM with a shortened Hamming(71, 64) code, 256×256 STT-MRAM
 //! array, MAC(8×4) workload.
 //!
-//! Two paths are measured:
+//! Three series are measured:
 //!
-//! * `packed_arena_skip` — the engine's hot path: bit-packed array reset in
-//!   place, per-thread [`TrialArena`] buffers, skip-sampled fault
-//!   injection, allocation-free executor scratch.
-//! * `legacy_fresh_bernoulli` — the pre-optimization trial shape: a fresh
-//!   array allocation per trial, per-operation Bernoulli fault draws, and
-//!   a fresh executor scratch per run. (The word-packed ECC kernels are
-//!   shared code and benefit both paths, so the printed ratio *understates*
-//!   the full speedup over the pre-PR engine.)
+//! * `sliced` — the engine's default backend: 64 trials per `u64` lane on
+//!   the transposed bit-sliced array, lane-masked skip-sampled faults.
+//! * `scalar` — the engine's scalar reference backend (PR 3's hot path):
+//!   bit-packed array reset in place, per-thread [`TrialArena`] buffers,
+//!   skip-sampled fault injection, allocation-free executor scratch.
+//! * `legacy` — the pre-optimization trial shape: a fresh array allocation
+//!   per trial, per-operation Bernoulli fault draws, a fresh executor
+//!   scratch per run.
 //!
-//! Besides the criterion-style console lines, the bench writes
-//! `BENCH_trials.json` (override the location with `NVPIM_BENCH_OUT`) with
-//! absolute trials/sec for both paths so CI can track the perf trajectory
-//! per PR. Set `NVPIM_BENCH_QUICK=1` to cut sample counts for smoke runs.
+//! Besides the criterion-style console lines, the bench rewrites
+//! `BENCH_trials.json` at the repo root (override with `NVPIM_BENCH_OUT`)
+//! with absolute trials/sec for all three series, so the perf trajectory
+//! is tracked *in-repo* — the committed file is the previous baseline and
+//! CI uploads the fresh one as an artifact. Set `NVPIM_BENCH_QUICK=1` to
+//! cut sample counts for smoke runs, and `NVPIM_BENCH_GUARD=1` to turn
+//! the run into a perf gate: the process exits non-zero when the sliced
+//! backend drops below `NVPIM_BENCH_MIN_RATIO`× the scalar backend
+//! (default 2.0 — conservative against CI noise; the measured ratio is
+//! far higher) or below the absolute `NVPIM_BENCH_FLOOR_TPS` floor
+//! (default 50000 trials/s).
 
 use std::time::Instant;
 
@@ -33,11 +40,19 @@ use rand_chacha::ChaCha8Rng;
 
 const GATE_ERROR_RATE: f64 = 1e-4;
 const CAMPAIGN_SEED: u64 = 0x7147_0000;
+const LANES: u64 = 64;
 
 fn quick_mode() -> bool {
     std::env::var("NVPIM_BENCH_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The paper-regime point: ECiM/m-o on STT-MRAM with Hamming(71, 64).
@@ -86,20 +101,30 @@ fn run_trial_legacy(harness: &TrialHarness, trial_index: u64) -> u64 {
         .count() as u64
 }
 
-/// Wall-clock trials/sec of `f` over `n` trials.
-fn measure(n: u64, mut f: impl FnMut(u64)) -> f64 {
+/// Wall-clock trials/sec of `f` called `calls` times, each call covering
+/// `trials_per_call` trials.
+fn measure(calls: u64, trials_per_call: u64, mut f: impl FnMut(u64)) -> f64 {
     let start = Instant::now();
-    for t in 0..n {
-        f(t);
+    for c in 0..calls {
+        f(c);
     }
-    n as f64 / start.elapsed().as_secs_f64()
+    (calls * trials_per_call) as f64 / start.elapsed().as_secs_f64()
 }
 
 fn bench_trial_throughput(c: &mut Criterion) {
     let harness = paper_regime_harness();
     let mut group = c.benchmark_group("trial_throughput");
 
-    group.bench_function("packed_arena_skip", |b| {
+    group.bench_function("sliced_64_lane_batch", |b| {
+        let mut arena = TrialArena::new();
+        let mut batch = 0u64;
+        b.iter(|| {
+            batch += 1;
+            black_box(harness.run_trial_batch(CAMPAIGN_SEED, batch * LANES, 64, &mut arena))
+        });
+    });
+
+    group.bench_function("scalar_packed_arena_skip", |b| {
         let mut arena = TrialArena::new();
         let mut t = 0u64;
         b.iter(|| {
@@ -119,29 +144,46 @@ fn bench_trial_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-/// Measures both paths with enough trials for a stable ratio and writes
-/// `BENCH_trials.json`.
-fn emit_json() {
+struct Series {
+    trials: u64,
+    trials_per_sec: f64,
+}
+
+/// Measures the three series with enough trials for stable ratios, writes
+/// `BENCH_trials.json`, and (in guard mode) enforces the perf floor.
+fn emit_json_and_guard() {
     let harness = paper_regime_harness();
-    let (engine_trials, legacy_trials) = if quick_mode() {
-        (1_000u64, 100u64)
+    let (sliced_batches, scalar_trials, legacy_trials) = if quick_mode() {
+        (60u64, 1_000u64, 100u64)
     } else {
-        (8_000u64, 800u64)
+        (600u64, 8_000u64, 800u64)
     };
 
-    // Warm-up.
+    // Warm-up: fill every arena allocation once.
     let mut arena = TrialArena::new();
     for t in 0..64 {
         harness.run_trial(CAMPAIGN_SEED, t, &mut arena);
     }
+    harness.run_trial_batch(CAMPAIGN_SEED, 0, 64, &mut arena);
 
-    let engine_tps = measure(engine_trials, |t| {
-        black_box(harness.run_trial(CAMPAIGN_SEED, t, &mut arena));
-    });
-    let legacy_tps = measure(legacy_trials, |t| {
-        black_box(run_trial_legacy(&harness, t));
-    });
-    let speedup = engine_tps / legacy_tps;
+    let sliced = Series {
+        trials: sliced_batches * LANES,
+        trials_per_sec: measure(sliced_batches, LANES, |b| {
+            black_box(harness.run_trial_batch(CAMPAIGN_SEED, b * LANES, 64, &mut arena));
+        }),
+    };
+    let scalar = Series {
+        trials: scalar_trials,
+        trials_per_sec: measure(scalar_trials, 1, |t| {
+            black_box(harness.run_trial(CAMPAIGN_SEED, t, &mut arena));
+        }),
+    };
+    let legacy = Series {
+        trials: legacy_trials,
+        trials_per_sec: measure(legacy_trials, 1, |t| {
+            black_box(run_trial_legacy(&harness, t));
+        }),
+    };
 
     let out_path = std::env::var("NVPIM_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_trials.json", env!("CARGO_MANIFEST_DIR")));
@@ -157,36 +199,77 @@ fn emit_json() {
             "    \"gate_error_rate\": {rate},\n",
             "    \"array\": \"256x256\"\n",
             "  }},\n",
-            "  \"engine_trials\": {et},\n",
-            "  \"legacy_trials\": {lt},\n",
-            "  \"engine_trials_per_sec\": {etps:.1},\n",
-            "  \"legacy_trials_per_sec\": {ltps:.1},\n",
-            "  \"speedup_vs_legacy_mode\": {speedup:.2},\n",
-            "  \"note\": \"legacy mode = fresh array + per-op Bernoulli + fresh scratch, ",
-            "replaying the engine's exact per-trial input/fault streams; the ",
-            "word-packed ECC kernels are shared code that speeds this mode up ",
-            "too, so the ratio is a lower bound on the speedup vs the pre-PR ",
-            "engine (see docs/performance.md for the measured pre-PR reference)\"\n",
+            "  \"series\": {{\n",
+            "    \"sliced\": {{ \"trials\": {st}, \"trials_per_sec\": {stps:.1} }},\n",
+            "    \"scalar\": {{ \"trials\": {ct}, \"trials_per_sec\": {ctps:.1} }},\n",
+            "    \"legacy\": {{ \"trials\": {lt}, \"trials_per_sec\": {ltps:.1} }}\n",
+            "  }},\n",
+            "  \"sliced_trials_per_sec\": {stps:.1},\n",
+            "  \"scalar_trials_per_sec\": {ctps:.1},\n",
+            "  \"speedup_sliced_vs_scalar\": {svc:.2},\n",
+            "  \"speedup_scalar_vs_legacy\": {cvl:.2},\n",
+            "  \"note\": \"sliced = 64-trials-per-u64-lane transposed backend (the engine ",
+            "default); scalar = the per-trial packed-arena reference backend; legacy = ",
+            "fresh array + per-op Bernoulli + fresh scratch, replaying the engine's exact ",
+            "per-trial input/fault streams. All three produce identical per-trial ",
+            "outcomes; see docs/performance.md for the measured history\"\n",
             "}}\n"
         ),
         tech = harness.config().technology,
         n = harness.executor().code().n(),
         k = harness.executor().code().k(),
         rate = GATE_ERROR_RATE,
-        et = engine_trials,
-        lt = legacy_trials,
-        etps = engine_tps,
-        ltps = legacy_tps,
-        speedup = speedup,
+        st = sliced.trials,
+        ct = scalar.trials,
+        lt = legacy.trials,
+        stps = sliced.trials_per_sec,
+        ctps = scalar.trials_per_sec,
+        ltps = legacy.trials_per_sec,
+        svc = sliced.trials_per_sec / scalar.trials_per_sec,
+        cvl = scalar.trials_per_sec / legacy.trials_per_sec,
     );
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}\n{json}"),
         Err(err) => eprintln!("could not write {out_path}: {err}"),
+    }
+
+    // Perf guard (CI): the sliced backend must stay comfortably ahead of
+    // scalar and above an absolute floor. Both thresholds are deliberately
+    // conservative — the measured ratio is tens of ×, so tripping this
+    // gate means a real regression, not noise.
+    if std::env::var("NVPIM_BENCH_GUARD")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        let min_ratio = env_f64("NVPIM_BENCH_MIN_RATIO", 2.0);
+        let floor_tps = env_f64("NVPIM_BENCH_FLOOR_TPS", 50_000.0);
+        let ratio = sliced.trials_per_sec / scalar.trials_per_sec;
+        let mut failed = false;
+        if ratio < min_ratio {
+            eprintln!(
+                "PERF GUARD FAILED: sliced/scalar ratio {ratio:.2} < required {min_ratio:.2}"
+            );
+            failed = true;
+        }
+        if sliced.trials_per_sec < floor_tps {
+            eprintln!(
+                "PERF GUARD FAILED: sliced throughput {:.0} trials/s < floor {floor_tps:.0}",
+                sliced.trials_per_sec
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "perf guard OK: sliced {:.0} trials/s = {ratio:.1}x scalar (floor {floor_tps:.0}, min ratio {min_ratio:.1})",
+            sliced.trials_per_sec
+        );
     }
 }
 
 fn main() {
     let mut criterion = Criterion::default();
     bench_trial_throughput(&mut criterion);
-    emit_json();
+    emit_json_and_guard();
 }

@@ -42,6 +42,10 @@ pub struct HarnessOptions {
     /// After the table, start an `nvpim-serviced` daemon on this address
     /// and serve campaigns until a `shutdown` request (`--serve HOST:PORT`).
     pub serve: Option<String>,
+    /// Simulation backend for in-process `--sweep` campaigns
+    /// (`--backend scalar|sliced`; default sliced). Reports are
+    /// byte-identical either way — scalar is the cross-check path.
+    pub backend: nvpim_sweep::SimBackend,
 }
 
 impl HarnessOptions {
@@ -55,12 +59,20 @@ impl HarnessOptions {
     /// [`Self::from_args`]).
     pub fn parse(args: &[String]) -> Self {
         use nvpim_service::flags::{has_flag, value_of};
+        let backend = match value_of(args, "--backend") {
+            None => nvpim_sweep::SimBackend::default(),
+            Some(text) => text.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }),
+        };
         Self {
             quick: has_flag(args, "--quick"),
             json: has_flag(args, "--json"),
             sweep: has_flag(args, "--sweep"),
             connect: value_of(args, "--connect"),
             serve: value_of(args, "--serve"),
+            backend,
         }
     }
 
@@ -174,12 +186,14 @@ pub fn print_json<T: Serialize>(value: &T) {
 pub fn run_monte_carlo_sweep(opts: &HarnessOptions) {
     let plan = selected_plan(opts);
     println!(
-        "\nMonte Carlo fault sweep — {} points x {} seeds = {} trials",
+        "\nMonte Carlo fault sweep — {} points x {} seeds = {} trials ({} backend)",
         plan.point_count(),
         plan.seeds_per_point,
-        plan.trial_count()
+        plan.trial_count(),
+        opts.backend
     );
-    let report = nvpim_sweep::run_campaign(&plan).expect("sweep campaign plans are executable");
+    let report = nvpim_sweep::run_campaign_with_backend(&plan, opts.backend)
+        .expect("sweep campaign plans are executable");
     let rows: Vec<Vec<String>> = report
         .points
         .iter()

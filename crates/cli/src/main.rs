@@ -8,7 +8,8 @@
 //! nvpim-cli cancel  [--addr A] --job ID
 //! nvpim-cli stats   [--addr A]
 //! nvpim-cli shutdown [--addr A]
-//! nvpim-cli run     (--plan plan.json | --quick | --paper-scale)   # no daemon
+//! nvpim-cli run     (--plan plan.json | --quick | --paper-scale)
+//!                   [--backend scalar|sliced]                      # no daemon
 //! ```
 //!
 //! `submit --wait` streams progress to stderr and prints the final report
@@ -18,7 +19,7 @@
 
 use nvpim_service::client::{request, Client};
 use nvpim_service::flags::{has_flag, value_of};
-use nvpim_sweep::{run_campaign, SweepPlan};
+use nvpim_sweep::{run_campaign_with_backend, SimBackend, SweepPlan};
 use serde::Value;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7171";
@@ -189,7 +190,13 @@ fn simple_command(args: &[String], cmd: &str, fields: Vec<(String, Value)>) {
 fn cmd_run(args: &[String]) {
     let plan = plan_local(args);
     plan.validate().unwrap_or_else(|e| die(e));
-    let report = run_campaign(&plan).unwrap_or_else(|e| die(e));
+    // Reports are byte-identical across backends; `--backend scalar` is
+    // the reference path for cross-checking the sliced default.
+    let backend: SimBackend = match value_of(args, "--backend") {
+        None => SimBackend::default(),
+        Some(text) => text.parse().unwrap_or_else(|e| die(e)),
+    };
+    let report = run_campaign_with_backend(&plan, backend).unwrap_or_else(|e| die(e));
     println!("{}", report.to_json());
 }
 

@@ -208,6 +208,56 @@ impl Netlist {
         outputs.extend(self.outputs.iter().map(|&n| values[n]));
     }
 
+    /// Lane-parallel behavioral simulation: like [`Self::evaluate_into`],
+    /// but every net carries a `u64` of 64 *independent* lanes (bit `k` =
+    /// that net's value in trial `k`), so one pass evaluates 64 input
+    /// vectors at once. `input_values` holds one word per primary input;
+    /// `outputs` receives one word per primary output. Lane `k` of the
+    /// outputs equals `evaluate` of lane `k` of the inputs — the sliced
+    /// Monte Carlo backend's reference-output path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len()` differs from the number of primary
+    /// inputs.
+    pub fn evaluate_lanes_into(
+        &self,
+        input_values: &[u64],
+        values: &mut Vec<u64>,
+        outputs: &mut Vec<u64>,
+    ) {
+        assert_eq!(
+            input_values.len(),
+            self.inputs.len(),
+            "expected {} input values",
+            self.inputs.len()
+        );
+        values.clear();
+        values.resize(self.net_count, 0);
+        for (&net, &v) in self.inputs.iter().zip(input_values) {
+            values[net] = v;
+        }
+        for gate in &self.gates {
+            values[gate.output] = match gate.op {
+                LogicOp::Nor => {
+                    let mut any = 0u64;
+                    for &n in &gate.inputs {
+                        any |= values[n];
+                    }
+                    !any
+                }
+                LogicOp::Thr => nvpim_ecc::gf2::lanes::at_least_three_zeros(
+                    gate.inputs.iter().map(|&n| values[n]),
+                ),
+                LogicOp::Copy => values[gate.inputs[0]],
+                LogicOp::Zero => 0,
+                LogicOp::One => u64::MAX,
+            };
+        }
+        outputs.clear();
+        outputs.extend(self.outputs.iter().map(|&n| values[n]));
+    }
+
     /// For each net, the index of the last gate (in topological order) that
     /// reads it, or `None` if it is never read (primary outputs are treated
     /// as read at a virtual position after the last gate). Used by the
@@ -310,6 +360,40 @@ mod tests {
         let last = netlist.last_uses();
         assert_eq!(last[&n1], 1); // consumed by the second gate (index 1)
         assert_eq!(last[&n2], netlist.gate_count()); // primary output
+    }
+
+    #[test]
+    fn lane_evaluation_matches_scalar_evaluation_per_lane() {
+        // A MAC netlist (NOR + THR + Copy gates) evaluated on 64 distinct
+        // input vectors at once must agree with 64 scalar evaluations.
+        let mut b = CircuitBuilder::new();
+        let acc = b.input_word(8);
+        let x = b.input_word(4);
+        let y = b.input_word(4);
+        let out = b.mac(&acc, &x, &y);
+        b.mark_output_word(&out);
+        let netlist = b.finish();
+
+        let n_inputs = netlist.inputs.len();
+        // Deterministic pseudo-random per-lane input bits.
+        let lane_input = |lane: usize, i: usize| -> bool {
+            (lane.wrapping_mul(31).wrapping_add(i.wrapping_mul(17))).is_multiple_of(3)
+        };
+        let mut input_words = vec![0u64; n_inputs];
+        for (i, word) in input_words.iter_mut().enumerate() {
+            for lane in 0..64 {
+                *word |= u64::from(lane_input(lane, i)) << lane;
+            }
+        }
+        let mut values = Vec::new();
+        let mut outputs = Vec::new();
+        netlist.evaluate_lanes_into(&input_words, &mut values, &mut outputs);
+        for lane in 0..64 {
+            let scalar_inputs: Vec<bool> = (0..n_inputs).map(|i| lane_input(lane, i)).collect();
+            let expected = netlist.evaluate(&scalar_inputs);
+            let got: Vec<bool> = outputs.iter().map(|w| (w >> lane) & 1 == 1).collect();
+            assert_eq!(got, expected, "lane {lane}");
+        }
     }
 
     #[test]

@@ -119,6 +119,86 @@ impl<'a> EcimChecker<'a> {
         }
     }
 
+    /// Lane-parallel logic-level decode for the sliced backend: the level's
+    /// data and parity bits arrive *transposed* — `data_words[j]` holds
+    /// codeword position `j` across 64 trials (one per bit lane),
+    /// `parity_words[i]` holds parity bit `i` likewise. The syndrome is
+    /// evaluated for all lanes at once by folding each position's
+    /// parity-update column over its lane word; `on_lane` is invoked (in
+    /// ascending lane order) only for lanes whose syndrome is non-zero,
+    /// with exactly the [`LevelDecode`] the scalar
+    /// [`Self::decode_level`] would return for that lane's bits. Counts one
+    /// check (the Checker block decodes all lanes in one invocation per
+    /// trial, mirroring the scalar one-check-per-level accounting).
+    ///
+    /// Almost every lane is clean at paper-regime rates, so the per-lane
+    /// scalar work runs on a handful of lanes per campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_words` exceeds the code dimension or `parity_words`
+    /// is not `n − k` words.
+    pub fn decode_level_lanes(
+        &mut self,
+        data_words: &[u64],
+        parity_words: &[u64],
+        valid: u64,
+        syndrome: &mut Vec<u64>,
+        mut on_lane: impl FnMut(usize, LevelDecode),
+    ) {
+        assert!(
+            data_words.len() <= self.code.k(),
+            "level data ({}) exceeds code dimension k = {}",
+            data_words.len(),
+            self.code.k()
+        );
+        assert_eq!(
+            parity_words.len(),
+            self.code.parity_bits(),
+            "parity width must match the code"
+        );
+        self.checks += 1;
+        syndrome.clear();
+        syndrome.resize(parity_words.len(), 0);
+        for (j, &word) in data_words.iter().enumerate() {
+            if word == 0 {
+                continue;
+            }
+            let mut mask = self.code.update_mask_word(j);
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                syndrome[i] ^= word;
+                mask &= mask - 1;
+            }
+        }
+        let mut nonzero = 0u64;
+        for (s, &p) in syndrome.iter_mut().zip(parity_words) {
+            *s ^= p;
+            nonzero |= *s;
+        }
+        let mut pending = nonzero & valid;
+        while pending != 0 {
+            let lane = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            let mut value = 0u64;
+            for (i, &s) in syndrome.iter().enumerate() {
+                value |= ((s >> lane) & 1) << i;
+            }
+            let outcome = match self.code.position_for_syndrome(value) {
+                Some(position) if position < data_words.len() => {
+                    self.corrections += 1;
+                    LevelDecode::CorrectedData { position }
+                }
+                Some(_) => {
+                    self.corrections += 1;
+                    LevelDecode::CorrectedMeta
+                }
+                None => LevelDecode::Uncorrectable,
+            };
+            on_lane(lane, outcome);
+        }
+    }
+
     /// The Hamming code this checker decodes.
     pub fn code(&self) -> &HammingCode {
         self.code
@@ -249,6 +329,46 @@ impl TrimChecker {
         if dissent && primary != voted {
             self.corrections += 1;
         }
+        dissent
+    }
+
+    /// Lane-parallel majority vote for the sliced backend: `a[g]`, `b[g]`
+    /// and `c[g]` hold gate `g`'s three copies across 64 trials (one per
+    /// bit lane). Writes the per-gate lane-parallel majority into `voted`
+    /// and returns the mask of valid lanes in which *any* copy dissented —
+    /// per lane, exactly the boolean [`Self::vote_level_into`] returns for
+    /// that lane's bits. Counts one check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the copy slices differ in length.
+    pub fn vote_level_lanes(
+        &mut self,
+        a: &[u64],
+        b: &[u64],
+        c: &[u64],
+        valid: u64,
+        voted: &mut Vec<u64>,
+    ) -> u64 {
+        assert!(
+            a.len() == b.len() && b.len() == c.len(),
+            "three equal-length copy planes required"
+        );
+        self.checks += 1;
+        voted.clear();
+        voted.reserve(a.len());
+        let mut dissent = 0u64;
+        let mut primary_diff = 0u64;
+        for g in 0..a.len() {
+            let v = nvpim_ecc::gf2::lanes::majority3(a[g], b[g], c[g]);
+            dissent |= (a[g] ^ v) | (b[g] ^ v) | (c[g] ^ v);
+            primary_diff |= a[g] ^ v;
+            voted.push(v);
+        }
+        dissent &= valid;
+        // Scalar accounting: one correction per dissenting check whose
+        // primary copy changed — here, per such lane.
+        self.corrections += u64::from((primary_diff & dissent).count_ones());
         dissent
     }
 

@@ -13,6 +13,9 @@
 //! * [`executor`] — functional execution of compiled schedules on a
 //!   simulated array with in-memory metadata maintenance, logic-level checks
 //!   and correction write-back; the vehicle for fault-injection experiments.
+//! * [`sliced`] — the same semantics on the transposed bit-sliced array,
+//!   advancing 64 Monte Carlo trials per word operation with bit-identical
+//!   per-trial results.
 //! * [`sep`] — the SEP guarantee analysis of Fig. 6 and the check-granularity
 //!   design space.
 //! * [`system`] — the analytic timing/energy model that regenerates the
@@ -56,12 +59,14 @@ pub mod checker;
 pub mod config;
 pub mod executor;
 pub mod sep;
+pub mod sliced;
 pub mod system;
 
 pub use checker::{CheckResult, CheckerCostModel, EcimChecker, TrimChecker};
-pub use config::{DesignConfig, GateStyle, ProtectionScheme};
+pub use config::{DesignConfig, GateStyle, ProtectionScheme, SimBackend};
 pub use executor::{ExecScratch, ProtectedExecError, ProtectedExecutor, ProtectedRunReport};
 pub use sep::{figure6_cases, granularity_analysis};
+pub use sliced::{SlicedExecScratch, SlicedExecutor, SlicedRunReport};
 pub use system::{
     compare, evaluate, evaluate_benchmark, evaluate_schedule, CostBreakdown, ExecutionEstimate,
     OverheadReport, WorkloadShape,

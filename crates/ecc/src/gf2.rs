@@ -430,6 +430,112 @@ impl Iterator for IterOnes<'_> {
     }
 }
 
+/// Lane-parallel (bit-sliced) helpers over `u64` words.
+///
+/// In the transposed layout used by the sliced Monte Carlo backend, bit `k`
+/// of a word belongs to *independent lane `k`* (one Monte Carlo trial per
+/// lane), so one word operation advances all 64 lanes at once. These
+/// helpers are the GF(2) kernels that layout needs: lane validity masks for
+/// ragged tails, the 3-way majority vote (TRiM), and the bit-sliced
+/// "at least three inputs are 0" threshold (the THR gate / XOR fold).
+pub mod lanes {
+    /// Number of independent lanes a `u64` word carries.
+    pub const LANES: usize = 64;
+
+    /// Mask selecting the low `count` lanes (the valid lanes of a ragged
+    /// batch tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    #[inline]
+    pub fn lane_mask(count: usize) -> u64 {
+        assert!(count <= LANES, "at most {LANES} lanes per word");
+        if count == LANES {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        }
+    }
+
+    /// Lane-parallel 3-way majority: bit `k` of the result is the majority
+    /// of bit `k` of `a`, `b` and `c`.
+    #[inline]
+    pub fn majority3(a: u64, b: u64, c: u64) -> u64 {
+        (a & b) | (a & c) | (b & c)
+    }
+
+    /// Lane-parallel threshold: bit `k` of the result is 1 when at least
+    /// three of the input words have bit `k` equal to **0** — the PiM THR
+    /// gate's switching condition, evaluated for all lanes at once via a
+    /// sticky bit-sliced 2-bit counter.
+    #[inline]
+    pub fn at_least_three_zeros<I: IntoIterator<Item = u64>>(inputs: I) -> u64 {
+        let (mut c0, mut c1, mut ge3) = (0u64, 0u64, 0u64);
+        for word in inputs {
+            let zero = !word;
+            let carry = c0 & zero;
+            c0 ^= zero;
+            c1 |= carry;
+            ge3 |= c1 & c0;
+        }
+        ge3
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn lane_masks_select_low_lanes() {
+            assert_eq!(lane_mask(0), 0);
+            assert_eq!(lane_mask(1), 1);
+            assert_eq!(lane_mask(17), (1 << 17) - 1);
+            assert_eq!(lane_mask(64), u64::MAX);
+        }
+
+        #[test]
+        #[should_panic(expected = "at most 64 lanes")]
+        fn oversized_lane_mask_panics() {
+            lane_mask(65);
+        }
+
+        #[test]
+        fn majority3_matches_per_lane_reference() {
+            let a = 0b1100u64;
+            let b = 0b1010u64;
+            let c = 0b1001u64;
+            let m = majority3(a, b, c);
+            for lane in 0..4 {
+                let bits = ((a >> lane) & 1) + ((b >> lane) & 1) + ((c >> lane) & 1);
+                assert_eq!((m >> lane) & 1, u64::from(bits >= 2), "lane {lane}");
+            }
+        }
+
+        #[test]
+        fn threshold_matches_per_lane_zero_count() {
+            // Pseudo-random words, arities 3..=6, checked lane by lane.
+            let words: Vec<u64> = (1u64..=6)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+                .collect();
+            for arity in 3..=words.len() {
+                let got = at_least_three_zeros(words[..arity].iter().copied());
+                for lane in 0..LANES {
+                    let zeros = words[..arity]
+                        .iter()
+                        .filter(|w| (*w >> lane) & 1 == 0)
+                        .count();
+                    assert_eq!(
+                        (got >> lane) & 1,
+                        u64::from(zeros >= 3),
+                        "arity {arity} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Mask selecting the valid bits of the last word of a length-`len` vector.
 #[inline]
 fn tail_mask(len: usize) -> u64 {

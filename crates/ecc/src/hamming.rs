@@ -221,6 +221,28 @@ impl HammingCode {
         self.parity_update_mask(j).count_ones()
     }
 
+    /// [`Self::parity_update_mask`] packed into a single `u64` word (bit
+    /// `i` = parity bit `i`). Valid because a Hamming code never has more
+    /// than 32 parity bits; this is the form the lane-parallel (bit-sliced)
+    /// syndrome kernel consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= k`.
+    pub fn update_mask_word(&self, j: usize) -> u64 {
+        self.parity_update_mask(j).words()[0]
+    }
+
+    /// The unique codeword position whose single-bit flip produces
+    /// `syndrome`, or `None` when no single-bit error pattern matches (an
+    /// uncorrectable syndrome — possible only for shortened codes). The
+    /// zero syndrome also returns `None`: a clean word has no error
+    /// position. This is the per-lane decode step of the sliced backend;
+    /// [`Self::decode`] is the full-codeword variant.
+    pub fn position_for_syndrome(&self, syndrome: u64) -> Option<usize> {
+        self.syndrome_to_position.get(&syndrome).copied()
+    }
+
     /// Encodes `data` into a systematic codeword `[data | parity]`.
     ///
     /// # Panics
@@ -443,6 +465,41 @@ mod tests {
                 code.decode(&mut corrupted),
                 DecodeOutcome::Corrected { position: pos }
             );
+        }
+    }
+
+    #[test]
+    fn syndrome_positions_match_decode_for_every_single_bit_error() {
+        for code in [
+            HammingCode::new_standard(3),
+            HammingCode::with_data_bits(64).unwrap(),
+        ] {
+            let data: BitVec = (0..code.k()).map(|i| i % 5 == 2).collect();
+            let clean = code.encode(&data);
+            assert_eq!(code.position_for_syndrome(0), None, "zero syndrome");
+            for pos in 0..code.n() {
+                let mut corrupted = clean.clone();
+                corrupted.flip(pos);
+                let syndrome = code.syndrome_value(&corrupted);
+                assert_eq!(
+                    code.position_for_syndrome(syndrome),
+                    Some(pos),
+                    "n={} pos={pos}",
+                    code.n()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_mask_words_match_the_bitvec_masks() {
+        let code = HammingCode::new_standard(8);
+        for j in [0usize, 1, 100, code.k() - 1] {
+            let word = code.update_mask_word(j);
+            let mask = code.parity_update_mask(j);
+            for i in 0..code.parity_bits() {
+                assert_eq!((word >> i) & 1 == 1, mask.get(i), "bit {j} parity {i}");
+            }
         }
     }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! nvpim-serviced [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--chunk-trials N]
+//!                [--backend scalar|sliced]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7171`; use port `0` for an
@@ -26,16 +27,24 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "nvpim-serviced [--addr HOST:PORT] [--workers N] [--queue-capacity N] \
-             [--chunk-trials N]"
+             [--chunk-trials N] [--backend scalar|sliced]"
         );
         return;
     }
     let addr = value_of(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".to_string());
     let defaults = ServiceConfig::default();
+    let backend = match value_of(&args, "--backend") {
+        None => defaults.backend,
+        Some(text) => text.parse().unwrap_or_else(|e| {
+            eprintln!("nvpim-serviced: {e}");
+            std::process::exit(2);
+        }),
+    };
     let cfg = ServiceConfig {
         workers: numeric_arg(&args, "--workers", defaults.workers),
         queue_capacity: numeric_arg(&args, "--queue-capacity", defaults.queue_capacity),
         chunk_trials: numeric_arg(&args, "--chunk-trials", defaults.chunk_trials),
+        backend,
         ..defaults
     };
     let service = ServiceHandle::start(cfg);

@@ -70,6 +70,11 @@ pub enum CancelOutcome {
 struct Slot {
     state: JobState,
     report: Option<Arc<String>>,
+    /// When the worker started running the campaign.
+    run_started: Option<Instant>,
+    /// Total run duration, frozen at the terminal transition (so the
+    /// reported rate stops decaying once the job is done).
+    run_elapsed: Option<Duration>,
 }
 
 /// Shared state of one campaign execution (possibly serving several
@@ -112,6 +117,8 @@ impl JobCore {
             slot: Mutex::new(Slot {
                 state: JobState::Queued,
                 report: None,
+                run_started: None,
+                run_elapsed: None,
             }),
             terminal: Condvar::new(),
         })
@@ -135,6 +142,8 @@ impl JobCore {
             slot: Mutex::new(Slot {
                 state: JobState::Done,
                 report: Some(report),
+                run_started: None,
+                run_elapsed: None,
             }),
             terminal: Condvar::new(),
         })
@@ -161,6 +170,24 @@ impl JobCore {
             100.0
         } else {
             100.0 * self.trials_done() as f64 / self.trials_total as f64
+        }
+    }
+
+    /// The campaign's observed trial throughput: completed trials divided
+    /// by running wall time so far (frozen at the value reached when the
+    /// job went terminal). `0.0` for jobs that never ran — still queued,
+    /// cancelled while queued, or served instantly from the report cache.
+    pub fn trials_per_sec(&self) -> f64 {
+        let slot = self.slot.lock().expect("job lock");
+        let secs = match (slot.run_elapsed, slot.run_started) {
+            (Some(elapsed), _) => elapsed.as_secs_f64(),
+            (None, Some(started)) => started.elapsed().as_secs_f64(),
+            (None, None) => return 0.0,
+        };
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.trials_done() as f64 / secs
         }
     }
 
@@ -204,6 +231,7 @@ impl JobCore {
             return false;
         }
         slot.state = JobState::Running;
+        slot.run_started = Some(Instant::now());
         true
     }
 
@@ -214,6 +242,7 @@ impl JobCore {
         }
         slot.state = state;
         slot.report = report;
+        slot.run_elapsed = slot.run_started.map(|started| started.elapsed());
         drop(slot);
         self.terminal.notify_all();
     }

@@ -303,6 +303,7 @@ fn stream_until_done(
                     ("trials_done".into(), Value::UInt(done)),
                     ("trials_total".into(), Value::UInt(core.trials_total)),
                     ("percent".into(), Value::Float(core.percent())),
+                    ("trials_per_sec".into(), Value::Float(core.trials_per_sec())),
                 ]))?;
             }
         }

@@ -10,7 +10,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use nvpim_sweep::{prepare_campaign, CampaignControl, ScheduleCache, SweepError, SweepPlan};
+use nvpim_sweep::{
+    prepare_campaign, CampaignControl, ScheduleCache, SimBackend, SweepError, SweepPlan,
+};
 use serde::Serialize;
 
 use crate::job::{JobCore, JobId, JobState};
@@ -39,6 +41,11 @@ pub struct ServiceConfig {
     /// evicted and its plan recomputes — byte-identically — on
     /// resubmission.
     pub max_cached_reports: usize,
+    /// Simulation backend campaigns run on. Reports are byte-identical
+    /// across backends (so the content-addressed store stays valid if this
+    /// changes between restarts); `Sliced` is the 64-trials-per-word
+    /// default.
+    pub backend: SimBackend,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +56,7 @@ impl Default for ServiceConfig {
             chunk_trials: 64,
             max_tracked_jobs: 4096,
             max_cached_reports: crate::store::DEFAULT_REPORT_CAPACITY,
+            backend: SimBackend::default(),
         }
     }
 }
@@ -82,6 +90,9 @@ pub struct JobStatus {
     pub trials_done: u64,
     /// Total trials.
     pub trials_total: u64,
+    /// Observed trial throughput of this campaign (completed trials per
+    /// second of running wall time; `0.0` for jobs that never ran).
+    pub trials_per_sec: f64,
     /// Plan content digest.
     pub digest: String,
     /// Whether the job was served from the report cache at submit time.
@@ -95,6 +106,15 @@ pub struct JobStatus {
 pub struct ServiceStats {
     /// Worker threads.
     pub workers: usize,
+    /// Simulation backend campaigns run on (`"scalar"` or `"sliced"`).
+    pub backend: String,
+    /// Monte Carlo trials executed across all campaigns (cache hits and
+    /// coalesced submissions recompute nothing and add nothing here).
+    pub trials_executed: u64,
+    /// Lifetime trial throughput: executed trials divided by total
+    /// campaign wall time across the worker pool (`0.0` before the first
+    /// campaign finishes).
+    pub trials_per_sec: f64,
     /// Queue capacity.
     pub queue_capacity: usize,
     /// Jobs currently queued.
@@ -138,6 +158,11 @@ struct Counters {
     cancelled: AtomicU64,
     coalesced: AtomicU64,
     rejected: AtomicU64,
+    /// Trials actually executed (completed + the partial progress of
+    /// cancelled campaigns).
+    trials_executed: AtomicU64,
+    /// Total campaign wall time across the worker pool, in nanoseconds.
+    busy_nanos: AtomicU64,
 }
 
 struct Inner {
@@ -325,6 +350,7 @@ impl ServiceHandle {
             percent: core.percent(),
             trials_done: core.trials_done(),
             trials_total: core.trials_total,
+            trials_per_sec: core.trials_per_sec(),
             digest: core.digest.clone(),
             cached: core.from_cache,
             error: match state {
@@ -400,8 +426,17 @@ impl ServiceHandle {
             let store = inner.store.lock().expect("store lock");
             (store.len(), store.hits(), store.misses())
         };
+        let trials_executed = inner.counters.trials_executed.load(Ordering::Relaxed);
+        let busy_secs = inner.counters.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
         ServiceStats {
             workers: inner.cfg.workers,
+            backend: inner.cfg.backend.to_string(),
+            trials_executed,
+            trials_per_sec: if busy_secs > 0.0 {
+                trials_executed as f64 / busy_secs
+            } else {
+                0.0
+            },
             queue_capacity: inner.queue.capacity(),
             queue_depth: inner.queue.len(),
             jobs_submitted: inner.counters.submitted.load(Ordering::Relaxed),
@@ -500,14 +535,26 @@ fn worker_loop(inner: &Inner) {
                 core.fail(err.to_string());
             }
             Ok(prepared) => {
-                let outcome = prepared.run_chunked(inner.cfg.chunk_trials, |progress| {
-                    core.note_progress(progress.trials_done);
-                    if core.cancel_requested() {
-                        CampaignControl::Cancel
-                    } else {
-                        CampaignControl::Continue
-                    }
-                });
+                let run_started = std::time::Instant::now();
+                let outcome = prepared.with_backend(inner.cfg.backend).run_chunked(
+                    inner.cfg.chunk_trials,
+                    |progress| {
+                        core.note_progress(progress.trials_done);
+                        if core.cancel_requested() {
+                            CampaignControl::Cancel
+                        } else {
+                            CampaignControl::Continue
+                        }
+                    },
+                );
+                inner
+                    .counters
+                    .busy_nanos
+                    .fetch_add(run_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                inner
+                    .counters
+                    .trials_executed
+                    .fetch_add(core.trials_done(), Ordering::Relaxed);
                 match outcome {
                     Ok(report) => {
                         let json = Arc::new(report.to_json());
@@ -552,6 +599,7 @@ mod tests {
             ..Default::default()
         });
         let plan = tiny_plan(1);
+        let plan_trials = plan.trial_count();
         let first = service.submit(plan.clone(), 0).unwrap();
         assert!(!first.cached);
         let report_a = service.wait(first.job, None).unwrap();
@@ -567,6 +615,24 @@ mod tests {
         assert_eq!(
             stats.schedule_cache_compiles, compiles_before,
             "cache hit must not recompile schedules"
+        );
+        // Throughput accounting: exactly one campaign executed (the cache
+        // hit recomputed nothing), on the default sliced backend.
+        assert_eq!(stats.backend, "sliced");
+        assert_eq!(stats.trials_executed, plan_trials);
+        assert!(
+            stats.trials_per_sec > 0.0,
+            "a completed campaign must yield a positive trial rate"
+        );
+        let status = service.status(first.job).unwrap();
+        assert!(
+            status.trials_per_sec > 0.0,
+            "a completed job must report its trial rate"
+        );
+        assert_eq!(
+            service.status(second.job).unwrap().trials_per_sec,
+            0.0,
+            "a cache-served job never ran"
         );
         service.shutdown();
     }

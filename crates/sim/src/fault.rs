@@ -286,8 +286,12 @@ impl FaultInjector {
     /// Number of clean operations before the next fault: a geometric sample
     /// `floor(ln(1 − u) / ln(1 − p))` with `u` uniform in `[0, 1)`, which
     /// makes each operation fault with exactly probability `p`.
+    ///
+    /// `pub(crate)` so the lane-parallel injector
+    /// ([`crate::sliced::SlicedFaultInjector`]) draws the *identical*
+    /// skip distribution from each lane's RNG stream.
     #[inline]
-    fn sample_geometric(rng: &mut ChaCha8Rng, p: f64) -> u64 {
+    pub(crate) fn sample_geometric(rng: &mut ChaCha8Rng, p: f64) -> u64 {
         let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         let skip = (1.0 - u).ln() / (-p).ln_1p();
         if skip >= u64::MAX as f64 {

@@ -17,6 +17,8 @@
 //! * [`partition`] — logic-line-switch partitioning and the "one gate per
 //!   partition" concurrency rule,
 //! * [`fault`] — the direct-soft-error model of §II-C,
+//! * [`sliced`] — the transposed, bit-sliced batch backend (one trial per
+//!   `u64` lane) with lane-masked fault injection,
 //! * [`electrical`] — the Appendix's bias-window / noise-margin analysis for
 //!   multi-output gates (Fig. 9),
 //! * [`periphery`] — the NVSim-substitute peripheral cost model,
@@ -55,6 +57,7 @@ pub mod fault;
 pub mod gates;
 pub mod partition;
 pub mod periphery;
+pub mod sliced;
 pub mod stats;
 pub mod technology;
 
@@ -64,5 +67,6 @@ pub use fault::{ErrorRates, FaultInjector, FaultSite};
 pub use gates::GateKind;
 pub use partition::PartitionConfig;
 pub use periphery::PeripheryModel;
+pub use sliced::{SlicedFaultInjector, SlicedPimArray, LANES};
 pub use stats::ArrayStats;
 pub use technology::{ResistanceState, Technology, TechnologyParams};

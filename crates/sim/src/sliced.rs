@@ -1,0 +1,609 @@
+//! Transposed, bit-sliced simulation backend: 64 Monte Carlo trials per
+//! `u64` lane.
+//!
+//! The scalar [`PimArray`](crate::array::PimArray) packs the *columns* of
+//! one trial into `u64` words; this module transposes the layout so each
+//! logical cell is one `u64` whose bit *k* is that cell's value in **trial
+//! *k***. Every gate-level operation of a fault-injection trial — NOR /
+//! THR / copy semantics, the fused two-step XOR, presets, metadata writes —
+//! is a bitwise function on GF(2), so one word operation advances 64
+//! independent trials at once (the bulk-bitwise idea of Leitersdorf et
+//! al., applied across trials instead of across columns).
+//!
+//! Fault injection stays *exact*: [`SlicedFaultInjector`] keeps one ChaCha8
+//! stream and one geometric skip counter per lane, seeded with that trial's
+//! existing per-trial seed, and merges the per-lane decisions into one
+//! 64-bit flip mask per gate-output site. Lane *k*'s flip decisions, RNG
+//! consumption and fault log are bit-identical to a scalar
+//! [`FaultInjector`](crate::fault::FaultInjector) in its default skip-ahead
+//! mode running trial *k* alone — the equivalence tests in this module and
+//! the backend-equivalence suite in `nvpim-sweep` assert this end to end.
+//!
+//! The injector's per-op fast path is a single comparison: a global
+//! gate-decision counter against the minimum next-fault index across all
+//! lanes. At paper-regime rates (~1e-4) the 64-lane scan below that
+//! comparison runs on well under 1% of operations.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use nvpim_ecc::gf2::lanes::{self, at_least_three_zeros};
+
+use crate::fault::{ErrorRates, FaultInjector, FaultSite, InjectedFault};
+
+/// Number of Monte Carlo trials a sliced batch advances per word operation.
+pub const LANES: usize = lanes::LANES;
+
+/// Lane-masked fault injector: per-lane geometric skip sampling merged into
+/// per-operation 64-bit flip masks.
+///
+/// Only *gate-output* faults are modeled, because that is the regime the
+/// sweep engine runs (write/read/retention rates of zero consume neither
+/// RNG state nor skip counters in the scalar injector, so omitting them
+/// changes nothing). [`SlicedFaultInjector::supports`] gates backend
+/// selection on exactly that condition.
+#[derive(Debug, Clone, Default)]
+pub struct SlicedFaultInjector {
+    gate_rate: f64,
+    /// `gate_rate >= 1.0`: every operation faults in every lane (the scalar
+    /// skip decider's certain-fault path, which consumes no RNG).
+    always: bool,
+    lane_count: usize,
+    valid: u64,
+    /// One deterministic stream per lane (trial), seeded with the trial's
+    /// fault seed.
+    rngs: Vec<ChaCha8Rng>,
+    /// Absolute gate-decision index of each lane's next fault
+    /// (`u64::MAX` = never).
+    next_event: Vec<u64>,
+    /// Gate-output decisions made so far.
+    event_index: u64,
+    /// `min(next_event)` — the one comparison the per-op fast path makes.
+    min_next: u64,
+    /// Per-lane fault logs (allocation reused across resets).
+    logs: Vec<Vec<InjectedFault>>,
+}
+
+impl SlicedFaultInjector {
+    /// An empty injector with no active lanes; [`Self::reset`] arms it.
+    pub fn new() -> Self {
+        Self {
+            logs: (0..LANES).map(|_| Vec::new()).collect(),
+            min_next: u64::MAX,
+            ..Self::default()
+        }
+    }
+
+    /// Whether `rates` fall in the regime the sliced backend reproduces
+    /// exactly: gate-output faults only (any rate in `[0, 1]`), everything
+    /// else zero.
+    pub fn supports(rates: &ErrorRates) -> bool {
+        rates.write == 0.0
+            && rates.read == 0.0
+            && rates.retention == 0.0
+            && (0.0..=1.0).contains(&rates.gate)
+    }
+
+    /// Re-arms the injector for a fresh batch: one lane per seed, each
+    /// lane's RNG stream and skip counter exactly as a scalar skip-ahead
+    /// injector seeded with that value. Logs are cleared but keep their
+    /// capacity (no steady-state allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is outside the supported regime (see
+    /// [`Self::supports`]) or `seeds` is empty / longer than [`LANES`].
+    pub fn reset(&mut self, rates: ErrorRates, seeds: &[u64]) {
+        assert!(
+            Self::supports(&rates),
+            "sliced fault injection supports gate-only error rates, got {rates:?}"
+        );
+        assert!(
+            (1..=LANES).contains(&seeds.len()),
+            "a sliced batch carries 1..={LANES} lanes, got {}",
+            seeds.len()
+        );
+        self.gate_rate = rates.gate;
+        self.always = rates.gate >= 1.0;
+        self.lane_count = seeds.len();
+        self.valid = lanes::lane_mask(seeds.len());
+        self.event_index = 0;
+        for log in &mut self.logs {
+            log.clear();
+        }
+        self.rngs.clear();
+        self.next_event.clear();
+        let mut min_next = u64::MAX;
+        for &seed in seeds {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            // The scalar injector samples its first skip lazily at the
+            // first gate decision; with gate decisions as the only RNG
+            // consumers, sampling it here yields the identical stream.
+            let next = if self.always || self.gate_rate <= 0.0 {
+                u64::MAX
+            } else {
+                FaultInjector::sample_geometric(&mut rng, self.gate_rate)
+            };
+            min_next = min_next.min(next);
+            self.rngs.push(rng);
+            self.next_event.push(next);
+        }
+        self.min_next = min_next;
+    }
+
+    /// Number of active lanes in the current batch.
+    pub fn lane_count(&self) -> usize {
+        self.lane_count
+    }
+
+    /// Mask of the valid (active) lanes.
+    pub fn valid_mask(&self) -> u64 {
+        self.valid
+    }
+
+    /// The gate-output fault rate in force.
+    pub fn gate_rate(&self) -> f64 {
+        self.gate_rate
+    }
+
+    /// The fault log of one lane — bit-identical to the scalar injector's
+    /// log for that trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lane_count()`.
+    pub fn lane_log(&self, lane: usize) -> &[InjectedFault] {
+        assert!(lane < self.lane_count, "lane {lane} out of range");
+        &self.logs[lane]
+    }
+
+    /// Number of faults injected into one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lane_count()`.
+    pub fn lane_fault_count(&self, lane: usize) -> usize {
+        assert!(lane < self.lane_count, "lane {lane} out of range");
+        self.logs[lane].len()
+    }
+
+    /// Current capacity of a lane's log allocation (observability for the
+    /// arena-purity tests: capacity must survive [`Self::reset`]).
+    pub fn lane_log_capacity(&self, lane: usize) -> usize {
+        self.logs[lane].capacity()
+    }
+
+    /// One gate-output fault decision for all lanes at cell (`row`, `col`):
+    /// returns the mask of lanes whose produced bit flips, logging each
+    /// flip. The per-trial marginal is exactly Bernoulli(`gate_rate`), and
+    /// lane *k*'s decision sequence matches a scalar skip-ahead injector
+    /// seeded with lane *k*'s seed, decision for decision.
+    #[inline]
+    pub fn gate_flip_mask(&mut self, row: usize, col: usize) -> u64 {
+        let e = self.event_index;
+        self.event_index += 1;
+        if self.always {
+            for lane in 0..self.lane_count {
+                self.logs[lane].push(InjectedFault {
+                    site: FaultSite::GateOutput,
+                    row,
+                    col,
+                    step: 0,
+                });
+            }
+            return self.valid;
+        }
+        if e < self.min_next {
+            return 0;
+        }
+        // Slow path: at least one lane faults at this decision. Rebuild the
+        // minimum while resampling the faulting lanes.
+        let mut mask = 0u64;
+        let mut min_next = u64::MAX;
+        for lane in 0..self.lane_count {
+            let mut next = self.next_event[lane];
+            if next == e {
+                mask |= 1u64 << lane;
+                self.logs[lane].push(InjectedFault {
+                    site: FaultSite::GateOutput,
+                    row,
+                    col,
+                    step: 0,
+                });
+                // Scalar resample: after a fault at decision `e` with a
+                // fresh geometric skip `s`, the next fault lands at
+                // decision `e + s + 1`.
+                let skip = FaultInjector::sample_geometric(&mut self.rngs[lane], self.gate_rate);
+                next = e.saturating_add(1).saturating_add(skip);
+                self.next_event[lane] = next;
+            }
+            min_next = min_next.min(next);
+        }
+        self.min_next = min_next;
+        mask
+    }
+}
+
+/// A PiM array in the transposed lane layout: cell (`row`, `col`) is one
+/// `u64` whose bit *k* is the cell's logic value in trial *k*.
+///
+/// The op surface mirrors what `ProtectedExecutor` drives on the scalar
+/// array — gate execution, presets, metadata writes, cell reads — minus
+/// energy/latency accounting (trial outcomes never consume
+/// [`ArrayStats`](crate::stats::ArrayStats), so the sliced hot path skips
+/// the bookkeeping entirely). Bounds are validated by the executor before a
+/// run; out-of-range cells panic via slice indexing.
+#[derive(Debug, Clone)]
+pub struct SlicedPimArray {
+    rows: usize,
+    cols: usize,
+    cells: Vec<u64>,
+    injector: SlicedFaultInjector,
+}
+
+impl SlicedPimArray {
+    /// An array of `rows × cols` lane-cells, all zero, injector disarmed.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            cells: vec![0; rows * cols],
+            injector: SlicedFaultInjector::new(),
+        }
+    }
+
+    /// One 256-column row — the shape a single-row Monte Carlo trial uses
+    /// (the paper's standard 256×256 array computes row-parallel; each
+    /// trial exercises one row).
+    pub fn standard_row() -> Self {
+        Self::new(1, 256)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The lane-masked fault injector.
+    pub fn injector(&self) -> &SlicedFaultInjector {
+        &self.injector
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// The lane word of cell (`row`, `col`) — the sliced `peek`.
+    #[inline]
+    pub fn cell(&self, row: usize, col: usize) -> u64 {
+        self.cells[self.idx(row, col)]
+    }
+
+    /// Overwrites the lane word of cell (`row`, `col`) — the sliced `poke`.
+    #[inline]
+    pub fn set_cell(&mut self, row: usize, col: usize, word: u64) {
+        let i = self.idx(row, col);
+        self.cells[i] = word;
+    }
+
+    /// Writes per-lane values through the write path. With the supported
+    /// gate-only fault regime the write path is fault-free, so this is a
+    /// plain store — exactly what the scalar write path reduces to at a
+    /// zero write-fault rate.
+    #[inline]
+    pub fn write_lanes(&mut self, row: usize, col: usize, values: u64) {
+        self.set_cell(row, col, values);
+    }
+
+    /// Writes the same constant into every lane of a cell (the `Preset`
+    /// data write of constant gates).
+    #[inline]
+    pub fn write_const(&mut self, row: usize, col: usize, value: bool) {
+        self.set_cell(row, col, if value { u64::MAX } else { 0 });
+    }
+
+    /// Presets a contiguous column range of `row` to `value` in all lanes
+    /// (the row-parallel metadata preset).
+    pub fn preset_range(&mut self, row: usize, cols: std::ops::Range<usize>, value: bool) {
+        if cols.is_empty() {
+            return;
+        }
+        let start = self.idx(row, cols.start);
+        let end = self.idx(row, cols.end - 1) + 1;
+        self.cells[start..end].fill(if value { u64::MAX } else { 0 });
+    }
+
+    /// Multi-output NOR: every output cell receives `NOR(inputs)` XOR its
+    /// own per-lane fault mask, in output order (one fault decision per
+    /// output cell, matching the scalar gate's per-output injection).
+    pub fn gate_nor(&mut self, row: usize, inputs: &[usize], outputs: &[usize]) {
+        let mut any = 0u64;
+        for &col in inputs {
+            any |= self.cell(row, col);
+        }
+        let ideal = !any;
+        for &col in outputs {
+            let flips = self.injector.gate_flip_mask(row, col);
+            self.set_cell(row, col, ideal ^ flips);
+        }
+    }
+
+    /// Single-output copy.
+    pub fn gate_copy(&mut self, row: usize, input: usize, output: usize) {
+        let ideal = self.cell(row, input);
+        let flips = self.injector.gate_flip_mask(row, output);
+        self.set_cell(row, output, ideal ^ flips);
+    }
+
+    /// The 4-input thresholding gate (output switches when ≥ 3 inputs are
+    /// 0), evaluated lane-parallel with the bit-sliced zero counter.
+    pub fn gate_thr(&mut self, row: usize, inputs: &[usize], output: usize) {
+        let ideal = at_least_three_zeros(inputs.iter().map(|&col| self.cell(row, col)));
+        let flips = self.injector.gate_flip_mask(row, output);
+        self.set_cell(row, output, ideal ^ flips);
+    }
+
+    /// The fused two-step in-array XOR (`s1 = s2 = NOR(a, b)` then
+    /// `dst = THR(a, b, s1, s2)`), with fault decisions in the scalar
+    /// order: `s1`, `s2`, `dst`. ECiM's parity-fold primitive.
+    pub fn gate_xor2(
+        &mut self,
+        row: usize,
+        a_col: usize,
+        b_col: usize,
+        s1_col: usize,
+        s2_col: usize,
+        dst_col: usize,
+    ) {
+        let a = self.cell(row, a_col);
+        let b = self.cell(row, b_col);
+        let nor = !(a | b);
+        let s1 = nor ^ self.injector.gate_flip_mask(row, s1_col);
+        self.set_cell(row, s1_col, s1);
+        let s2 = nor ^ self.injector.gate_flip_mask(row, s2_col);
+        self.set_cell(row, s2_col, s2);
+        let thr = at_least_three_zeros([a, b, s1, s2]);
+        let out = thr ^ self.injector.gate_flip_mask(row, dst_col);
+        self.set_cell(row, dst_col, out);
+    }
+
+    /// Resets the array in place for a fresh batch of up to 64 trials:
+    /// every cell back to 0 in every lane (one memset) and the injector
+    /// re-armed with one seed per lane. A reset array is observationally
+    /// identical to a freshly constructed one.
+    ///
+    /// # Panics
+    ///
+    /// As [`SlicedFaultInjector::reset`].
+    pub fn reset_for_batch(&mut self, rates: ErrorRates, seeds: &[u64]) {
+        self.cells.fill(0);
+        self.injector.reset(rates, seeds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::PimArray;
+    use crate::gates::GateKind;
+    use crate::technology::Technology;
+
+    fn gate_rates(p: f64) -> ErrorRates {
+        ErrorRates {
+            gate: p,
+            ..ErrorRates::NONE
+        }
+    }
+
+    fn lane_seed(batch_seed: u64, lane: usize) -> u64 {
+        batch_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (lane as u64)
+    }
+
+    #[test]
+    fn flip_masks_match_scalar_skip_ahead_injectors_decision_for_decision() {
+        for p in [0.0, 1e-3, 0.05, 0.5, 1.0] {
+            let lanes = 64usize;
+            let seeds: Vec<u64> = (0..lanes).map(|l| lane_seed(7, l)).collect();
+            let mut sliced = SlicedFaultInjector::new();
+            sliced.reset(gate_rates(p), &seeds);
+            let mut scalars: Vec<FaultInjector> = seeds
+                .iter()
+                .map(|&s| FaultInjector::new(gate_rates(p), s))
+                .collect();
+            for op in 0..4_000usize {
+                let (row, col) = (op % 3, op % 251);
+                let mask = sliced.gate_flip_mask(row, col);
+                for (lane, scalar) in scalars.iter_mut().enumerate() {
+                    // `apply` on a `false` bit returns `true` iff flipped.
+                    let flipped = scalar.apply(FaultSite::GateOutput, row, col, false);
+                    assert_eq!(
+                        (mask >> lane) & 1 == 1,
+                        flipped,
+                        "p={p} op={op} lane={lane}"
+                    );
+                }
+            }
+            for (lane, scalar) in scalars.iter().enumerate() {
+                assert_eq!(
+                    sliced.lane_log(lane),
+                    scalar.log(),
+                    "p={p} lane={lane}: logs must be bit-identical"
+                );
+            }
+            if p > 0.0 && p < 1.0 {
+                assert!(
+                    (0..lanes).any(|l| sliced.lane_fault_count(l) > 0),
+                    "p={p}: this regime must inject faults"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_batches_never_touch_invalid_lanes() {
+        let seeds: Vec<u64> = (0..5).map(|l| lane_seed(3, l)).collect();
+        let mut inj = SlicedFaultInjector::new();
+        inj.reset(gate_rates(0.2), &seeds);
+        assert_eq!(inj.lane_count(), 5);
+        assert_eq!(inj.valid_mask(), 0b11111);
+        let mut any = 0u64;
+        for op in 0..2_000 {
+            any |= inj.gate_flip_mask(0, op % 17);
+        }
+        assert_ne!(any, 0, "faults must fire");
+        assert_eq!(any & !0b11111, 0, "no flips outside the valid lanes");
+    }
+
+    #[test]
+    fn reset_reuses_log_capacity_and_reproduces_streams() {
+        let seeds: Vec<u64> = (0..16).map(|l| lane_seed(11, l)).collect();
+        let mut inj = SlicedFaultInjector::new();
+        inj.reset(gate_rates(0.1), &seeds);
+        let run = |inj: &mut SlicedFaultInjector| -> Vec<u64> {
+            (0..1_500)
+                .map(|op| inj.gate_flip_mask(0, op % 13))
+                .collect()
+        };
+        let baseline = run(&mut inj);
+        let caps: Vec<usize> = (0..16).map(|l| inj.lane_log_capacity(l)).collect();
+        assert!(caps.iter().any(|&c| c > 0));
+        // Reset to the same seeds: identical masks, no capacity loss.
+        inj.reset(gate_rates(0.1), &seeds);
+        for (lane, &cap) in caps.iter().enumerate() {
+            assert!(
+                inj.lane_log_capacity(lane) >= cap,
+                "lane {lane}: log capacity must survive reset"
+            );
+        }
+        assert_eq!(run(&mut inj), baseline);
+        // A different seed vector diverges.
+        let other: Vec<u64> = (0..16).map(|l| lane_seed(12, l)).collect();
+        inj.reset(gate_rates(0.1), &other);
+        assert_ne!(run(&mut inj), baseline);
+    }
+
+    #[test]
+    fn unsupported_rate_regimes_are_rejected() {
+        assert!(SlicedFaultInjector::supports(&gate_rates(1e-4)));
+        assert!(SlicedFaultInjector::supports(&ErrorRates::NONE));
+        assert!(!SlicedFaultInjector::supports(&ErrorRates::uniform(1e-4)));
+        assert!(!SlicedFaultInjector::supports(&ErrorRates {
+            write: 0.1,
+            ..ErrorRates::NONE
+        }));
+        let mut inj = SlicedFaultInjector::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inj.reset(ErrorRates::uniform(0.5), &[1, 2]);
+        }));
+        assert!(result.is_err(), "mixed-site rates must be refused");
+    }
+
+    /// Drives the same operation program through one sliced array and 64
+    /// scalar arrays (one per lane seed), then asserts every cell and every
+    /// fault log agree lane for lane.
+    #[test]
+    fn sliced_gate_programs_match_per_lane_scalar_arrays() {
+        let p = 0.05; // high enough to exercise flips in a short program
+        let lanes = 64usize;
+        let seeds: Vec<u64> = (0..lanes).map(|l| lane_seed(21, l)).collect();
+        let mut sliced = SlicedPimArray::new(1, 32);
+        sliced.reset_for_batch(gate_rates(p), &seeds);
+        let mut scalars: Vec<PimArray> = seeds
+            .iter()
+            .map(|&s| {
+                PimArray::new(Technology::SttMram, 1, 32)
+                    .with_fault_injector(FaultInjector::new(gate_rates(p), s))
+            })
+            .collect();
+
+        // Per-lane data writes: lane l starts from a distinct bit pattern.
+        for col in 0..4 {
+            let mut word = 0u64;
+            for (lane, _) in seeds.iter().enumerate() {
+                let bit = (lane + col) % 3 == 0;
+                word |= u64::from(bit) << lane;
+                scalars[lane].write_cell(0, col, bit).unwrap();
+            }
+            sliced.write_lanes(0, col, word);
+        }
+
+        // A mixed program covering every op class, repeated for depth.
+        for round in 0..40usize {
+            sliced.gate_nor(0, &[0, 1], &[4, 5]);
+            sliced.gate_copy(0, 4, 6);
+            sliced.gate_thr(0, &[0, 1, 4, 5], 7);
+            sliced.gate_xor2(0, 2, 3, 8, 9, 10);
+            sliced.preset_range(0, 12..20, round % 2 == 0);
+            sliced.gate_nor(0, &[10, 6], &[2]);
+            for scalar in &mut scalars {
+                scalar
+                    .execute_gate_with(GateKind::NOR22, 0, &[0, 1], &[4, 5])
+                    .unwrap();
+                scalar
+                    .execute_gate_with(GateKind::Copy, 0, &[4], &[6])
+                    .unwrap();
+                scalar
+                    .execute_gate_with(GateKind::THR, 0, &[0, 1, 4, 5], &[7])
+                    .unwrap();
+                scalar.execute_xor2_step(0, 2, 3, 8, 9, 10).unwrap();
+                scalar.preset_cells(0, 12..20, round % 2 == 0).unwrap();
+                scalar
+                    .execute_gate_with(GateKind::NOR2, 0, &[10, 6], &[2])
+                    .unwrap();
+            }
+        }
+
+        for (lane, scalar) in scalars.iter().enumerate() {
+            for col in 0..32 {
+                assert_eq!(
+                    (sliced.cell(0, col) >> lane) & 1 == 1,
+                    scalar.peek(0, col).unwrap(),
+                    "lane {lane} col {col}"
+                );
+            }
+            assert_eq!(
+                sliced.injector().lane_log(lane),
+                scalar.fault_injector().log(),
+                "lane {lane} fault log"
+            );
+        }
+        assert!(
+            (0..lanes).any(|l| sliced.injector().lane_fault_count(l) > 0),
+            "program must inject faults at p = {p}"
+        );
+    }
+
+    #[test]
+    fn batch_reset_restores_a_pristine_array() {
+        let seeds: Vec<u64> = (0..8).map(|l| lane_seed(5, l)).collect();
+        let mut reused = SlicedPimArray::new(2, 16);
+        reused.reset_for_batch(gate_rates(0.1), &seeds);
+        reused.write_lanes(0, 3, u64::MAX);
+        reused.gate_nor(0, &[0, 1], &[2]);
+        reused.reset_for_batch(gate_rates(0.1), &seeds);
+
+        let mut fresh = SlicedPimArray::new(2, 16);
+        fresh.reset_for_batch(gate_rates(0.1), &seeds);
+        for col in 0..16 {
+            assert_eq!(reused.cell(0, col), fresh.cell(0, col), "col {col}");
+        }
+        for op in 0..500 {
+            reused.gate_nor(0, &[0, 1], &[2]);
+            fresh.gate_nor(0, &[0, 1], &[2]);
+            assert_eq!(reused.cell(0, 2), fresh.cell(0, 2), "op {op}");
+        }
+        for lane in 0..8 {
+            assert_eq!(
+                reused.injector().lane_log(lane),
+                fresh.injector().lane_log(lane)
+            );
+        }
+    }
+}

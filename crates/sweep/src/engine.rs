@@ -18,11 +18,13 @@ use std::sync::Arc;
 
 use nvpim_compiler::netlist::Netlist;
 use nvpim_compiler::schedule::{map_netlist, RowSchedule};
-use nvpim_core::config::DesignConfig;
+use nvpim_core::config::{DesignConfig, SimBackend};
 use nvpim_core::executor::{ExecScratch, ProtectedExecutor};
+use nvpim_core::sliced::{SlicedExecScratch, SlicedExecutor};
 use nvpim_core::system::{evaluate_schedule, WorkloadShape};
 use nvpim_sim::array::PimArray;
 use nvpim_sim::fault::ErrorRates;
+use nvpim_sim::sliced::{SlicedFaultInjector, SlicedPimArray, LANES};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
@@ -151,10 +153,33 @@ pub(crate) struct PointContext {
     pub gate_error_rate: f64,
     pub kernel: Arc<CompiledKernel>,
     pub executor: Arc<ProtectedExecutor>,
+    /// Lane-batched executor for the same design point (the sliced
+    /// backend); shares the point's compiled schedule.
+    pub sliced: Arc<SlicedExecutor>,
     /// Analytic single-row time estimate (ns) from the system model.
     pub est_time_ns: f64,
     /// Analytic single-row energy estimate (fJ) from the system model.
     pub est_energy_fj: f64,
+}
+
+impl PointContext {
+    /// The point's fault regime as [`ErrorRates`] (gate-output faults only,
+    /// the sweep engine's error model).
+    fn rates(&self) -> ErrorRates {
+        ErrorRates {
+            gate: self.gate_error_rate,
+            ..ErrorRates::NONE
+        }
+    }
+
+    /// Whether this point's trials can run on the sliced backend with
+    /// bit-identical results: the fault regime must be gate-only (always
+    /// true for plan-derived points) at a rate the lane-masked injector
+    /// reproduces exactly. Points that fail this run on the scalar backend
+    /// even when `SimBackend::Sliced` is requested.
+    fn sliceable(&self) -> bool {
+        SlicedFaultInjector::supports(&self.rates())
+    }
 }
 
 /// SplitMix64-style mix used for per-trial seed derivation.
@@ -188,10 +213,15 @@ pub fn trial_stream_seeds(base_seed: u64) -> (u64, u64) {
 /// creates one arena per worker via `map_init`, so steady-state trials
 /// allocate nothing.
 ///
+/// For the sliced backend the arena additionally holds a `TrialBatch`:
+/// the transposed 64-lane array, the lane-word input/expected buffers and
+/// the [`SlicedExecScratch`] — reset in place per batch, with per-lane
+/// fault logs reusing their capacity.
+///
 /// **Purity contract:** a trial run through a warmed-up arena is
 /// bit-identical to one run with fresh allocations — trial outcomes are a
-/// pure function of `(point, seed)`, never of which arena (or thread) ran
-/// them. The arena-purity tests assert this.
+/// pure function of `(point, seed)`, never of which arena (or thread, or
+/// lane batch) ran them. The arena-purity tests assert this.
 #[derive(Debug, Default)]
 pub struct TrialArena {
     array: Option<PimArray>,
@@ -199,6 +229,7 @@ pub struct TrialArena {
     expected: Vec<bool>,
     eval_values: Vec<bool>,
     scratch: ExecScratch,
+    batch: TrialBatch,
 }
 
 impl TrialArena {
@@ -206,6 +237,26 @@ impl TrialArena {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// The sliced-backend half of a [`TrialArena`]: everything a 64-lane batch
+/// needs, reusable across batches of different points, technologies and
+/// codes with no steady-state allocation. Crate-private — callers only
+/// ever touch it through [`TrialArena`].
+#[derive(Debug, Default)]
+pub(crate) struct TrialBatch {
+    array: Option<SlicedPimArray>,
+    /// Per-lane fault seeds of the current batch.
+    fault_seeds: Vec<u64>,
+    /// Transposed primary inputs: word `i` holds input bit `i` across lanes.
+    input_words: Vec<u64>,
+    /// Lane-parallel netlist evaluation working array.
+    eval_words: Vec<u64>,
+    /// Transposed fault-free reference outputs.
+    expected_words: Vec<u64>,
+    /// Per-lane wrong-output-bit counters.
+    wrong_bits: Vec<u64>,
+    scratch: SlicedExecScratch,
 }
 
 /// Executes one Monte Carlo trial in `arena`.
@@ -221,10 +272,7 @@ fn run_trial(ctx: &PointContext, base_seed: u64, arena: &mut TrialArena) -> Tria
         .extend((0..netlist.inputs.len()).map(|_| input_rng.gen_bool(0.5)));
     netlist.evaluate_into(&arena.inputs, &mut arena.eval_values, &mut arena.expected);
 
-    let rates = ErrorRates {
-        gate: ctx.gate_error_rate,
-        ..ErrorRates::NONE
-    };
+    let rates = ctx.rates();
     let array = arena
         .array
         .get_or_insert_with(|| PimArray::standard(ctx.config.technology));
@@ -267,6 +315,100 @@ fn run_trial(ctx: &PointContext, base_seed: u64, arena: &mut TrialArena) -> Tria
     }
 }
 
+/// Executes trials `first_trial .. first_trial + lanes` of one point as a
+/// single sliced batch (one trial per `u64` lane), appending one
+/// [`TrialOutcome`] per trial — in trial order, bit-identical to `lanes`
+/// scalar [`run_trial`] calls with the same coordinates.
+fn run_trial_batch(
+    ctx: &PointContext,
+    campaign_seed: u64,
+    point_index: u64,
+    first_trial: u64,
+    lanes: usize,
+    arena: &mut TrialArena,
+    out: &mut Vec<TrialOutcome>,
+) {
+    debug_assert!((1..=LANES).contains(&lanes));
+    let netlist = &ctx.kernel.netlist;
+    let batch = &mut arena.batch;
+
+    // Per-lane seeds and transposed inputs: lane k replays trial
+    // `first_trial + k`'s exact input and fault streams.
+    batch.fault_seeds.clear();
+    batch.input_words.clear();
+    batch.input_words.resize(netlist.inputs.len(), 0);
+    for lane in 0..lanes {
+        let base_seed = derive_trial_seed(campaign_seed, point_index, first_trial + lane as u64);
+        let (input_seed, fault_seed) = trial_stream_seeds(base_seed);
+        batch.fault_seeds.push(fault_seed);
+        let mut input_rng = ChaCha8Rng::seed_from_u64(input_seed);
+        for word in batch.input_words.iter_mut() {
+            *word |= u64::from(input_rng.gen_bool(0.5)) << lane;
+        }
+    }
+    netlist.evaluate_lanes_into(
+        &batch.input_words,
+        &mut batch.eval_words,
+        &mut batch.expected_words,
+    );
+
+    let array = batch.array.get_or_insert_with(SlicedPimArray::standard_row);
+    array.reset_for_batch(ctx.rates(), &batch.fault_seeds);
+
+    match ctx.sliced.run_batch(
+        netlist,
+        &ctx.kernel.schedule,
+        array,
+        0,
+        &batch.input_words,
+        &mut batch.scratch,
+    ) {
+        Ok(report) => {
+            // Per-lane wrong-output-bit counts: word-parallel diff against
+            // the reference, then a popcount-bounded lane scan.
+            batch.wrong_bits.clear();
+            batch.wrong_bits.resize(lanes, 0);
+            let valid = array.injector().valid_mask();
+            for (got, want) in batch.scratch.output_words.iter().zip(&batch.expected_words) {
+                let mut diff = (got ^ want) & valid;
+                while diff != 0 {
+                    let lane = diff.trailing_zeros() as usize;
+                    diff &= diff - 1;
+                    batch.wrong_bits[lane] += 1;
+                }
+            }
+            for lane in 0..lanes {
+                out.push(TrialOutcome {
+                    faults_injected: array.injector().lane_fault_count(lane) as u64,
+                    checks: report.checks,
+                    errors_detected: report.errors_detected[lane],
+                    corrections_written_back: report.corrections_written_back[lane],
+                    uncorrectable: report.uncorrectable[lane],
+                    wrong_output_bits: batch.wrong_bits[lane],
+                    exec_error: None,
+                });
+            }
+        }
+        Err(err) => {
+            // Validation failures precede every fault draw, so all lanes
+            // fail identically with zero injected faults — exactly the
+            // scalar error outcome.
+            let message = err.to_string();
+            for _ in 0..lanes {
+                out.push(TrialOutcome {
+                    faults_injected: 0,
+                    checks: 0,
+                    errors_detected: 0,
+                    corrections_written_back: 0,
+                    uncorrectable: 0,
+                    wrong_output_bits: 0,
+                    exec_error: Some(message.clone()),
+                });
+            }
+        }
+    }
+}
+
 /// A standalone single-point trial runner: one workload compiled under one
 /// design configuration, exposing the engine's exact per-trial hot path
 /// (arena reuse, skip-sampled faults, deterministic seeding) to benches
@@ -293,6 +435,7 @@ impl TrialHarness {
         let shape = WorkloadShape::new(workload.name(), 1, 1);
         let estimate = evaluate_schedule(&kernel.schedule, &shape, &config);
         let executor = Arc::new(ProtectedExecutor::new(config.clone()));
+        let sliced = Arc::new(SlicedExecutor::new(config.clone()));
         Ok(Self {
             ctx: PointContext {
                 workload,
@@ -301,6 +444,7 @@ impl TrialHarness {
                 gate_error_rate,
                 kernel,
                 executor,
+                sliced,
                 est_time_ns: estimate.time_ns,
                 est_energy_fj: estimate.energy_fj,
             },
@@ -328,7 +472,7 @@ impl TrialHarness {
     }
 
     /// Runs trial `trial_index` (seeded exactly like a campaign point at
-    /// index 0 under `campaign_seed`) in `arena`.
+    /// index 0 under `campaign_seed`) in `arena`, on the scalar backend.
     pub fn run_trial(
         &self,
         campaign_seed: u64,
@@ -340,6 +484,39 @@ impl TrialHarness {
             derive_trial_seed(campaign_seed, 0, trial_index),
             arena,
         )
+    }
+
+    /// Runs trials `first_trial .. first_trial + count` as one sliced
+    /// batch (one trial per `u64` lane), returning outcomes in trial order
+    /// — bit-identical to `count` [`Self::run_trial`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is 0 or exceeds 64, or if the point is not
+    /// sliceable (see the backend docs; every plan-derived point is).
+    pub fn run_trial_batch(
+        &self,
+        campaign_seed: u64,
+        first_trial: u64,
+        count: usize,
+        arena: &mut TrialArena,
+    ) -> Vec<TrialOutcome> {
+        assert!(
+            (1..=LANES).contains(&count),
+            "a sliced batch runs 1..={LANES} trials, got {count}"
+        );
+        assert!(self.ctx.sliceable(), "point is not sliceable");
+        let mut out = Vec::with_capacity(count);
+        run_trial_batch(
+            &self.ctx,
+            campaign_seed,
+            0,
+            first_trial,
+            count,
+            arena,
+            &mut out,
+        );
+        out
     }
 }
 
@@ -387,6 +564,11 @@ pub struct PreparedCampaign {
     /// *not* of cache warmth — so reports stay byte-identical whether the
     /// schedules were compiled fresh or served from a warm cache).
     schedules_used: usize,
+    /// Requested simulation backend. `Sliced` (the default) batches each
+    /// sliceable point's trials 64 per `u64` lane; non-sliceable points
+    /// fall back to the scalar path. Reports are byte-identical either
+    /// way — the backend is purely a throughput choice.
+    backend: SimBackend,
 }
 
 /// Resolves a plan's points and compiles their schedules through `cache`.
@@ -413,6 +595,7 @@ pub fn prepare_campaign(
                 let shape = WorkloadShape::new(workload.name(), 1, 1);
                 let estimate = evaluate_schedule(&kernel.schedule, &shape, &config);
                 let executor = Arc::new(ProtectedExecutor::new(config.clone()));
+                let sliced = Arc::new(SlicedExecutor::new(config.clone()));
                 for &gate_error_rate in &plan.gate_error_rates {
                     points.push(PointContext {
                         workload,
@@ -421,6 +604,7 @@ pub fn prepare_campaign(
                         gate_error_rate,
                         kernel: Arc::clone(&kernel),
                         executor: Arc::clone(&executor),
+                        sliced: Arc::clone(&sliced),
                         est_time_ns: estimate.time_ns,
                         est_energy_fj: estimate.energy_fj,
                     });
@@ -432,7 +616,27 @@ pub fn prepare_campaign(
         plan: plan.clone(),
         points,
         schedules_used: layouts_used.len(),
+        backend: SimBackend::default(),
     })
+}
+
+/// One parallel work item of a chunk: either a single scalar trial or a
+/// sliced batch of up to 64 consecutive trials of one point.
+#[derive(Debug, Clone, Copy)]
+enum TrialTask {
+    /// `(point index, trial index)` on the scalar backend.
+    Single(usize, u64),
+    /// `(point index, first trial, lane count)` on the sliced backend.
+    Batch(usize, u64, u32),
+}
+
+/// A task's result: scalar trials return their outcome by value (no
+/// per-trial heap allocation in the hot parallel loop), batches return one
+/// vector per ≤ 64 trials.
+#[derive(Debug)]
+enum TaskOutcomes {
+    Single(TrialOutcome),
+    Batch(Vec<TrialOutcome>),
 }
 
 impl PreparedCampaign {
@@ -444,6 +648,20 @@ impl PreparedCampaign {
     /// Total trials the campaign will run.
     pub fn trial_count(&self) -> u64 {
         self.plan.trial_count()
+    }
+
+    /// Selects the simulation backend (default: [`SimBackend::Sliced`]).
+    /// Purely a throughput knob — reports are byte-identical across
+    /// backends, which the backend-equivalence suite asserts over a grid
+    /// of technologies, schemes and error rates.
+    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The backend trials will run on.
+    pub fn backend(&self) -> SimBackend {
+        self.backend
     }
 
     /// Runs every trial in one shot (no progress events, not cancellable).
@@ -483,23 +701,68 @@ impl PreparedCampaign {
         let trials_total = trials.len() as u64;
         let campaign_seed = self.plan.campaign_seed;
         let points_ref = &self.points;
+        let use_sliced = self.backend == SimBackend::Sliced;
 
         let mut outcomes: Vec<TrialOutcome> = Vec::with_capacity(trials.len());
         for chunk in trials.chunks(chunk_trials) {
+            // Group runs of consecutive trials of one sliceable point into
+            // 64-lane batch tasks; everything else stays a scalar task.
+            // Grouping is pure scheduling: every trial's outcome remains a
+            // function of `(point, seed)` alone, so the flattened outcome
+            // list is identical for any batch shape, chunk size, thread
+            // count and backend.
+            let mut tasks: Vec<TrialTask> = Vec::new();
+            let mut i = 0usize;
+            while i < chunk.len() {
+                let (pi, ti) = chunk[i];
+                if use_sliced && points_ref[pi].sliceable() {
+                    let mut lanes = 1usize;
+                    while lanes < LANES && i + lanes < chunk.len() {
+                        let (pj, tj) = chunk[i + lanes];
+                        if pj != pi || tj != ti + lanes as u64 {
+                            break;
+                        }
+                        lanes += 1;
+                    }
+                    tasks.push(TrialTask::Batch(pi, ti, lanes as u32));
+                    i += lanes;
+                } else {
+                    tasks.push(TrialTask::Single(pi, ti));
+                    i += 1;
+                }
+            }
             // `map_init` hands each worker thread a private `TrialArena`
-            // (array + buffers reset in place per trial), so steady-state
-            // trials allocate nothing. Outcomes stay a pure function of
-            // `(point, seed)`, which keeps reports byte-identical across
-            // thread counts and chunk sizes.
-            let chunk_outcomes: Vec<TrialOutcome> = chunk
-                .to_vec()
+            // (arrays + buffers reset in place per task), so steady-state
+            // scalar trials allocate nothing and batches allocate only
+            // their per-64-trial outcome vector.
+            let chunk_outcomes: Vec<TaskOutcomes> = tasks
                 .into_par_iter()
-                .map_init(TrialArena::new, move |arena, (pi, ti)| {
-                    let seed = derive_trial_seed(campaign_seed, pi as u64, ti);
-                    run_trial(&points_ref[pi], seed, arena)
+                .map_init(TrialArena::new, move |arena, task| match task {
+                    TrialTask::Single(pi, ti) => {
+                        let seed = derive_trial_seed(campaign_seed, pi as u64, ti);
+                        TaskOutcomes::Single(run_trial(&points_ref[pi], seed, arena))
+                    }
+                    TrialTask::Batch(pi, first, lanes) => {
+                        let mut out = Vec::with_capacity(lanes as usize);
+                        run_trial_batch(
+                            &points_ref[pi],
+                            campaign_seed,
+                            pi as u64,
+                            first,
+                            lanes as usize,
+                            arena,
+                            &mut out,
+                        );
+                        TaskOutcomes::Batch(out)
+                    }
                 })
                 .collect();
-            outcomes.extend(chunk_outcomes);
+            for task_outcomes in chunk_outcomes {
+                match task_outcomes {
+                    TaskOutcomes::Single(outcome) => outcomes.push(outcome),
+                    TaskOutcomes::Batch(batch) => outcomes.extend(batch),
+                }
+            }
             let progress = CampaignProgress {
                 trials_done: outcomes.len() as u64,
                 trials_total,
@@ -540,8 +803,25 @@ impl PreparedCampaign {
 /// execution errors are *recorded* in the report rather than failing the
 /// campaign.
 pub fn run_campaign(plan: &SweepPlan) -> Result<SweepReport, SweepError> {
+    run_campaign_with_backend(plan, SimBackend::default())
+}
+
+/// [`run_campaign`] on an explicit simulation backend. Reports are
+/// byte-identical across backends; `Scalar` exists as the reference path
+/// (and the slow half of the equivalence tests), `Sliced` is the default
+/// 64-trials-per-word hot path.
+///
+/// # Errors
+///
+/// As [`run_campaign`].
+pub fn run_campaign_with_backend(
+    plan: &SweepPlan,
+    backend: SimBackend,
+) -> Result<SweepReport, SweepError> {
     let mut cache = ScheduleCache::new();
-    prepare_campaign(plan, &mut cache)?.run()
+    prepare_campaign(plan, &mut cache)?
+        .with_backend(backend)
+        .run()
 }
 
 #[cfg(test)]
@@ -609,7 +889,8 @@ mod tests {
             config: config.clone(),
             gate_error_rate: 1e-3,
             kernel,
-            executor: Arc::new(ProtectedExecutor::new(config)),
+            executor: Arc::new(ProtectedExecutor::new(config.clone())),
+            sliced: Arc::new(SlicedExecutor::new(config)),
             est_time_ns: 0.0,
             est_energy_fj: 0.0,
         };

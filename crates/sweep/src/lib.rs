@@ -45,9 +45,11 @@ pub mod plan;
 pub mod report;
 
 pub use engine::{
-    derive_trial_seed, prepare_campaign, run_campaign, trial_stream_seeds, CampaignControl,
-    CampaignProgress, CompiledKernel, PreparedCampaign, ScheduleCache, TrialArena, TrialHarness,
+    derive_trial_seed, prepare_campaign, run_campaign, run_campaign_with_backend,
+    trial_stream_seeds, CampaignControl, CampaignProgress, CompiledKernel, PreparedCampaign,
+    ScheduleCache, TrialArena, TrialHarness,
 };
+pub use nvpim_core::config::SimBackend;
 pub use plan::{ProtectionConfig, SweepPlan, SweepWorkload};
 pub use report::{PointSummary, SweepReport, TrialOutcome};
 

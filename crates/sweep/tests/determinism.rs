@@ -9,7 +9,10 @@
 //! the environment belong in other test files (separate binaries, which
 //! cargo runs sequentially).
 
-use nvpim_sweep::{prepare_campaign, run_campaign, CampaignControl, ScheduleCache, SweepPlan};
+use nvpim_sweep::{
+    prepare_campaign, run_campaign, run_campaign_with_backend, CampaignControl, ScheduleCache,
+    SimBackend, SweepPlan,
+};
 
 fn run_chunked_json(plan: &SweepPlan, chunk: usize) -> String {
     let mut cache = ScheduleCache::new();
@@ -28,10 +31,16 @@ fn report_json_is_byte_identical_across_thread_counts_and_runs() {
     let single_threaded = run_campaign(&plan).unwrap().to_json();
     let single_threaded_again = run_campaign(&plan).unwrap().to_json();
     let single_threaded_chunked = run_chunked_json(&plan, 5);
+    let single_threaded_scalar = run_campaign_with_backend(&plan, SimBackend::Scalar)
+        .unwrap()
+        .to_json();
 
     std::env::set_var("RAYON_NUM_THREADS", "4");
     let four_threads = run_campaign(&plan).unwrap().to_json();
     let four_threads_chunked = run_chunked_json(&plan, 7);
+    let four_threads_scalar = run_campaign_with_backend(&plan, SimBackend::Scalar)
+        .unwrap()
+        .to_json();
 
     std::env::remove_var("RAYON_NUM_THREADS");
     let default_threads = run_campaign(&plan).unwrap().to_json();
@@ -58,6 +67,17 @@ fn report_json_is_byte_identical_across_thread_counts_and_runs() {
     assert_eq!(
         single_threaded, four_threads_chunked,
         "chunked multi-thread run must match"
+    );
+    // The scalar backend is the reference semantics: the (default) sliced
+    // backend must emit the same bytes at every thread count — lane
+    // batching, like chunking, is pure scheduling.
+    assert_eq!(
+        single_threaded, single_threaded_scalar,
+        "sliced vs scalar backend must agree at one thread"
+    );
+    assert_eq!(
+        single_threaded, four_threads_scalar,
+        "sliced vs scalar backend must agree at four threads"
     );
 
     // A different campaign seed must actually change trial outcomes
