@@ -20,10 +20,8 @@
 
 #![warn(missing_docs)]
 
-use nvpim_core::config::DesignConfig;
-use nvpim_core::system::{compare, evaluate, ExecutionEstimate, OverheadReport};
-use nvpim_sim::technology::Technology;
-use nvpim_workloads::Benchmark;
+use nvpim::core::system::{compare, evaluate, ExecutionEstimate, OverheadReport};
+use nvpim::{Benchmark, DesignConfig, Technology};
 use serde::Serialize;
 
 /// Command-line options shared by the harness binaries.
@@ -45,22 +43,29 @@ pub struct HarnessOptions {
     /// Simulation backend for in-process `--sweep` campaigns
     /// (`--backend scalar|sliced`; default sliced). Reports are
     /// byte-identical either way — scalar is the cross-check path.
-    pub backend: nvpim_sweep::SimBackend,
+    pub backend: nvpim::SimBackend,
 }
 
 impl HarnessOptions {
-    /// Parses options from `std::env::args`.
+    /// Parses options from `std::env::args`. `--list-schemes` prints the
+    /// protection-scheme registry (with per-scheme capabilities) and exits,
+    /// so every harness binary answers "which schemes can I sweep?" without
+    /// running anything.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        if nvpim::service::flags::has_flag(&args, "--list-schemes") {
+            print_scheme_registry();
+            std::process::exit(0);
+        }
         Self::parse(&args)
     }
 
     /// Parses options from an explicit argument list (testable core of
     /// [`Self::from_args`]).
     pub fn parse(args: &[String]) -> Self {
-        use nvpim_service::flags::{has_flag, value_of};
+        use nvpim::service::flags::{has_flag, value_of};
         let backend = match value_of(args, "--backend") {
-            None => nvpim_sweep::SimBackend::default(),
+            None => nvpim::SimBackend::default(),
             Some(text) => text.parse().unwrap_or_else(|e| {
                 eprintln!("{e}");
                 std::process::exit(2);
@@ -136,6 +141,38 @@ pub fn sweep_suite(suite: &[Benchmark], technology: Technology) -> Vec<SweepRow>
         .collect()
 }
 
+/// Prints the compile-time protection-scheme registry with per-scheme
+/// capabilities (evaluated at the paper's standard STT-MRAM design point)
+/// — the `--list-schemes` output shared by every harness binary.
+pub fn print_scheme_registry() {
+    let rows: Vec<Vec<String>> = nvpim::scheme_capabilities()
+        .into_iter()
+        .map(|(scheme, caps)| {
+            vec![
+                scheme.wire_name().to_string(),
+                scheme.name().to_string(),
+                caps.sliceable.to_string(),
+                caps.detect_only.to_string(),
+                caps.parity_bits.to_string(),
+                caps.metadata_columns.to_string(),
+                caps.cells_per_value.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "scheme",
+            "display",
+            "sliceable",
+            "detect-only",
+            "parity bits",
+            "metadata cols",
+            "cells/value",
+        ],
+        &rows,
+    );
+}
+
 /// Prints a simple fixed-width table.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -192,7 +229,7 @@ pub fn run_monte_carlo_sweep(opts: &HarnessOptions) {
         plan.trial_count(),
         opts.backend
     );
-    let report = nvpim_sweep::run_campaign_with_backend(&plan, opts.backend)
+    let report = nvpim::sweep::run_campaign_with_backend(&plan, opts.backend)
         .expect("sweep campaign plans are executable");
     let rows: Vec<Vec<String>> = report
         .points
@@ -267,11 +304,11 @@ pub fn finish_harness<T: Serialize>(opts: &HarnessOptions, rows: &T) {
 }
 
 /// The campaign plan selected by the shared options.
-fn selected_plan(opts: &HarnessOptions) -> nvpim_sweep::SweepPlan {
+fn selected_plan(opts: &HarnessOptions) -> nvpim::SweepPlan {
     if opts.quick {
-        nvpim_sweep::SweepPlan::quick()
+        nvpim::SweepPlan::quick()
     } else {
-        nvpim_sweep::SweepPlan::paper_scale()
+        nvpim::SweepPlan::paper_scale()
     }
 }
 
@@ -284,10 +321,10 @@ pub fn run_remote_sweep(addr: &str, opts: &HarnessOptions) {
     let plan = selected_plan(opts);
     let plan_value: Value =
         serde_json::from_str(&plan.canonical_json()).expect("canonical plan JSON parses");
-    let mut client = nvpim_service::Client::connect(addr)
+    let mut client = nvpim::service::Client::connect(addr)
         .unwrap_or_else(|e| panic!("connecting to nvpim-serviced at {addr}: {e}"));
     let accepted = client
-        .request(&nvpim_service::client::request(
+        .request(&nvpim::service::client::request(
             "submit",
             vec![("plan".to_string(), plan_value)],
         ))
@@ -306,7 +343,7 @@ pub fn run_remote_sweep(addr: &str, opts: &HarnessOptions) {
             .unwrap_or(false)
     );
     let result = client
-        .request(&nvpim_service::client::request(
+        .request(&nvpim::service::client::request(
             "result",
             vec![
                 ("job".to_string(), Value::UInt(job)),
@@ -329,8 +366,8 @@ pub fn run_remote_sweep(addr: &str, opts: &HarnessOptions) {
 /// Starts an in-process campaign service on `addr` (`--serve`) and serves
 /// the NDJSON protocol until a client sends `shutdown`.
 pub fn serve_campaigns(addr: &str, _opts: &HarnessOptions) {
-    let service = nvpim_service::ServiceHandle::start(nvpim_service::ServiceConfig::default());
-    if let Err(e) = nvpim_service::run_server(addr, &service) {
+    let service = nvpim::service::ServiceHandle::start(nvpim::service::ServiceConfig::default());
+    if let Err(e) = nvpim::service::run_server(addr, &service) {
         panic!("serving campaigns on {addr}: {e}");
     }
 }

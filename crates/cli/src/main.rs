@@ -10,16 +10,21 @@
 //! nvpim-cli shutdown [--addr A]
 //! nvpim-cli run     (--plan plan.json | --quick | --paper-scale)
 //!                   [--backend scalar|sliced]                      # no daemon
+//! nvpim-cli schemes [--json]        # the protection-scheme registry
 //! ```
 //!
 //! `submit --wait` streams progress to stderr and prints the final report
 //! JSON (pretty, byte-identical to a direct `run_campaign` of the same
 //! plan) on stdout. `run` executes the plan locally without a daemon —
-//! used by CI to diff daemon output against direct execution.
+//! used by CI to diff daemon output against direct execution. `schemes`
+//! enumerates the compile-time scheme registry with per-scheme
+//! capabilities — any scheme listed there is accepted in plan JSON with
+//! zero CLI changes.
 
-use nvpim_service::client::{request, Client};
-use nvpim_service::flags::{has_flag, value_of};
-use nvpim_sweep::{run_campaign_with_backend, SimBackend, SweepPlan};
+use nvpim::service::client::{request, Client};
+use nvpim::service::flags::{has_flag, value_of};
+use nvpim::sweep::run_campaign_with_backend;
+use nvpim::{SimBackend, SweepPlan};
 use serde::Value;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7171";
@@ -200,6 +205,60 @@ fn cmd_run(args: &[String]) {
     println!("{}", report.to_json());
 }
 
+/// `nvpim-cli schemes`: enumerates the protection-scheme registry with
+/// per-scheme capabilities, evaluated against the paper's standard design
+/// point (STT-MRAM, Hamming r = 8). Human-readable table by default,
+/// machine-readable with `--json`.
+fn cmd_schemes(args: &[String]) {
+    let rows = nvpim::scheme_capabilities();
+    if has_flag(args, "--json") {
+        let entries: Vec<Value> = rows
+            .iter()
+            .map(|(scheme, caps)| {
+                Value::Object(vec![
+                    ("scheme".into(), Value::Str(scheme.wire_name().into())),
+                    ("display".into(), Value::Str(scheme.name().into())),
+                    ("sliceable".into(), Value::Bool(caps.sliceable)),
+                    ("detect_only".into(), Value::Bool(caps.detect_only)),
+                    ("parity_bits".into(), Value::UInt(caps.parity_bits as u64)),
+                    (
+                        "metadata_columns".into(),
+                        Value::UInt(caps.metadata_columns as u64),
+                    ),
+                    (
+                        "cells_per_value".into(),
+                        Value::UInt(caps.cells_per_value as u64),
+                    ),
+                ])
+            })
+            .collect();
+        print_pretty(&Value::Array(entries));
+        return;
+    }
+    println!(
+        "{:<14} {:<12} {:>9} {:>11} {:>11} {:>16} {:>15}",
+        "scheme",
+        "display",
+        "sliceable",
+        "detect-only",
+        "parity bits",
+        "metadata columns",
+        "cells per value"
+    );
+    for (scheme, caps) in rows {
+        println!(
+            "{:<14} {:<12} {:>9} {:>11} {:>11} {:>16} {:>15}",
+            scheme.wire_name(),
+            scheme.name(),
+            caps.sliceable,
+            caps.detect_only,
+            caps.parity_bits,
+            caps.metadata_columns,
+            caps.cells_per_value
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -218,9 +277,10 @@ fn main() {
         Some("stats") => simple_command(&args, "stats", vec![]),
         Some("shutdown") => simple_command(&args, "shutdown", vec![]),
         Some("run") => cmd_run(&args),
+        Some("schemes") => cmd_schemes(&args),
         _ => {
             eprintln!(
-                "usage: nvpim-cli <submit|status|result|cancel|stats|shutdown|run> [flags]\n\
+                "usage: nvpim-cli <submit|status|result|cancel|stats|shutdown|run|schemes> [flags]\n\
                  see `docs/protocol.md` for the full protocol"
             );
             std::process::exit(2);

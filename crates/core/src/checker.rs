@@ -442,6 +442,15 @@ impl CheckerCostModel {
         Self::from_gates(bits as u64 * 7, 1.0)
     }
 
+    /// Cost of a detection-only even-parity checker over `bits` bits: an
+    /// XOR reduction tree plus one comparator against the stored parity
+    /// bit (the ParityDetect Checker).
+    pub fn for_parity(bits: usize) -> Self {
+        // A `bits`-wide XOR reduce is (bits − 1) XOR2s at ≈ 3 NAND2
+        // equivalents each, plus the final compare.
+        Self::from_gates((bits.max(1) as u64 - 1) * 3 + 1, 1.0)
+    }
+
     fn from_gates(gate_equivalents: u64, latency_ns: f64) -> Self {
         Self {
             gate_equivalents,

@@ -4,45 +4,126 @@ use nvpim_compiler::layout::RowLayout;
 use nvpim_ecc::design_space::Granularity;
 use nvpim_ecc::hamming::HammingCode;
 use nvpim_sim::technology::Technology;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
-/// The protection scheme applied to in-memory computation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ProtectionScheme {
+use crate::scheme::{registry, SchemeRuntime};
+
+/// The protection scheme applied to in-memory computation: a copyable
+/// handle to one entry of the compile-time scheme registry
+/// (see [`crate::scheme`]).
+///
+/// The built-in handles keep their historical variant-style names
+/// ([`ProtectionScheme::Unprotected`], [`ProtectionScheme::Ecim`],
+/// [`ProtectionScheme::Trim`], plus the detection-only
+/// [`ProtectionScheme::ParityDetect`]), so existing call sites read
+/// unchanged — but every behaviour (geometry, run paths, cost model,
+/// parsing, serialization) dispatches through the scheme's
+/// [`SchemeRuntime`], never through a `match`.
+#[derive(Clone, Copy)]
+pub struct ProtectionScheme {
+    runtime: &'static dyn SchemeRuntime,
+}
+
+#[allow(non_upper_case_globals)]
+impl ProtectionScheme {
     /// No protection (the iso-area baseline).
-    Unprotected,
+    pub const Unprotected: ProtectionScheme = ProtectionScheme {
+        runtime: &crate::schemes::unprotected::UnprotectedScheme,
+    };
     /// Hamming-code parity maintained in memory, checked by an external
     /// Checker at logic-level granularity (the paper's ECiM).
-    Ecim,
+    pub const Ecim: ProtectionScheme = ProtectionScheme {
+        runtime: &crate::schemes::ecim::EcimScheme,
+    };
     /// Triple redundant computation in memory, majority-voted by an external
     /// Checker at logic-level granularity (the paper's TRiM).
-    Trim,
+    pub const Trim: ProtectionScheme = ProtectionScheme {
+        runtime: &crate::schemes::trim::TrimScheme,
+    };
+    /// Detection-only even parity with detect-and-retry accounting (the
+    /// SECDED-style regime; see [`crate::schemes::parity_detect`]).
+    pub const ParityDetect: ProtectionScheme = ProtectionScheme {
+        runtime: &crate::schemes::parity_detect::ParityDetectScheme,
+    };
+
+    /// The scheme's runtime — the single dispatch point for everything that
+    /// was once a `match scheme` arm.
+    pub fn runtime(&self) -> &'static dyn SchemeRuntime {
+        self.runtime
+    }
+
+    /// Stable serialized name (`"Ecim"`, what plan JSON carries).
+    pub fn wire_name(&self) -> &'static str {
+        self.runtime.wire_name()
+    }
+
+    /// Human-readable display label (`"ECiM"`), allocation-free.
+    pub fn name(&self) -> &'static str {
+        self.runtime.display_name()
+    }
+
+    /// Every registered scheme, in stable registry (wire) order.
+    pub fn all() -> impl Iterator<Item = ProtectionScheme> {
+        registry()
+            .iter()
+            .map(|&runtime| ProtectionScheme { runtime })
+    }
+}
+
+impl PartialEq for ProtectionScheme {
+    fn eq(&self, other: &Self) -> bool {
+        // Wire names are unique per registry entry (asserted by the
+        // registry-completeness tests), so identity is name identity.
+        self.wire_name() == other.wire_name()
+    }
+}
+
+impl Eq for ProtectionScheme {}
+
+impl std::hash::Hash for ProtectionScheme {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.wire_name().hash(state);
+    }
+}
+
+impl std::fmt::Debug for ProtectionScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.wire_name())
+    }
 }
 
 impl std::fmt::Display for ProtectionScheme {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ProtectionScheme::Unprotected => write!(f, "unprotected"),
-            ProtectionScheme::Ecim => write!(f, "ECiM"),
-            ProtectionScheme::Trim => write!(f, "TRiM"),
-        }
+        f.write_str(self.name())
     }
 }
 
-/// Accepts the serialized variant name (`"Ecim"`, the JSON wire format)
-/// and the display label (`"ECiM"`).
+/// Serializes as the bare wire name (`"Ecim"`), byte-identical to the
+/// closed enum this handle replaced.
+impl Serialize for ProtectionScheme {
+    fn to_json(&self) -> Value {
+        Value::Str(self.wire_name().to_string())
+    }
+}
+
+impl Deserialize for ProtectionScheme {}
+
+/// Accepts the wire name (`"Ecim"`), the display label (`"ECiM"`) and any
+/// registered alias — for every scheme in the registry, including ones
+/// added after this crate shipped.
 impl std::str::FromStr for ProtectionScheme {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "Unprotected" | "unprotected" => Ok(ProtectionScheme::Unprotected),
-            "Ecim" | "ECiM" => Ok(ProtectionScheme::Ecim),
-            "Trim" | "TRiM" => Ok(ProtectionScheme::Trim),
-            other => Err(format!(
-                "unknown protection scheme `{other}` (expected Unprotected, Ecim or Trim)"
-            )),
-        }
+        crate::scheme::lookup(s)
+            .map(|runtime| ProtectionScheme { runtime })
+            .ok_or_else(|| {
+                let known: Vec<&str> = registry().iter().map(|r| r.wire_name()).collect();
+                format!(
+                    "unknown protection scheme `{s}` (expected one of {})",
+                    known.join(", ")
+                )
+            })
     }
 }
 
@@ -200,6 +281,17 @@ impl DesignConfig {
         }
     }
 
+    /// The paper's standard design point under an arbitrary registered
+    /// scheme — the open-ended constructor behind the sweep planner and the
+    /// facade builder (no per-scheme constructor needed to run a new
+    /// scheme).
+    pub fn for_scheme(scheme: ProtectionScheme, technology: Technology) -> Self {
+        Self {
+            scheme,
+            ..Self::unprotected(technology)
+        }
+    }
+
     /// Returns a copy using single-output gates.
     pub fn with_single_output_gates(mut self) -> Self {
         self.gate_style = GateStyle::SingleOutput;
@@ -261,27 +353,17 @@ impl DesignConfig {
         }
     }
 
-    /// Columns reserved in every row for ECC metadata under this design:
-    /// ECiM reserves the running parity bits (ping-pong, two cells each) plus
-    /// the left/right parity pipeline blocks; TRiM and the baseline reserve
-    /// none (TRiM's copies live with each value).
+    /// Columns reserved in every row for the scheme's metadata under this
+    /// design (running parity cells, working cells, redundant copies) —
+    /// delegated to the scheme runtime.
     pub fn metadata_columns(&self) -> usize {
-        match self.scheme {
-            ProtectionScheme::Unprotected | ProtectionScheme::Trim => 0,
-            ProtectionScheme::Ecim => {
-                // Two cells per parity bit (ping/pong accumulation) plus two
-                // working cells per parity block on each side.
-                2 * self.parity_bits() + 2 * (2 * self.parity_blocks_per_side)
-            }
-        }
+        self.scheme.runtime().metadata_columns(self)
     }
 
-    /// Cells each computed value occupies in the scratch region.
+    /// Cells each computed value occupies in the scratch region — delegated
+    /// to the scheme runtime (3 for triple-redundant TRiM).
     pub fn cells_per_value(&self) -> usize {
-        match self.scheme {
-            ProtectionScheme::Trim => 3,
-            _ => 1,
-        }
+        self.scheme.runtime().cells_per_value()
     }
 
     /// The row layout induced by this design under the iso-area constraint.
@@ -293,9 +375,21 @@ impl DesignConfig {
         }
     }
 
-    /// Short human-readable label, e.g. `"ECiM/m-o/STT-MRAM"`.
+    /// The scheme's display name (`"ECiM"`) without allocating.
+    pub fn scheme_name(&self) -> &'static str {
+        self.scheme.name()
+    }
+
+    /// Short human-readable label, e.g. `"ECiM/m-o/STT-MRAM"`. Allocates;
+    /// per-point paths should build the label once and cache it (the sweep
+    /// engine's `PointContext` does).
     pub fn label(&self) -> String {
-        format!("{}/{}/{}", self.scheme, self.gate_style, self.technology)
+        format!(
+            "{}/{}/{}",
+            self.scheme_name(),
+            self.gate_style,
+            self.technology
+        )
     }
 }
 

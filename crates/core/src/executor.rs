@@ -1,27 +1,22 @@
 //! Functional execution of protected PiM computation (the behavioral
-//! simulator of §V, extended with the ECiM / TRiM protocols of §IV).
+//! simulator of §V, extended with the protection protocols of §IV).
 //!
-//! [`ProtectedExecutor`] drives a compiled [`RowSchedule`] on a simulated
-//! [`PimArray`] row while maintaining the scheme's metadata *in memory*:
+//! [`ProtectedExecutor`] validates a compiled [`RowSchedule`] against the
+//! design point and then dispatches the run to the configured scheme's
+//! [`SchemeRuntime::run_scalar`](crate::scheme::SchemeRuntime::run_scalar)
+//! — the per-scheme protocols (ECiM's in-memory parity folds, TRiM's
+//! triple redundancy, ParityDetect's running parity, the unprotected
+//! baseline) live in [`crate::schemes`], composed from this module's
+//! public building blocks ([`ProtectedExecutor::materialize_inputs`],
+//! [`ProtectedExecutor::execute_plain_gate`],
+//! [`ProtectedExecutor::read_outputs`]) and the shared [`ExecScratch`]
+//! buffers.
 //!
-//! * **ECiM** — every gate produces a redundant second output (multi-output
-//!   gates) or an explicit copy (single-output gates) in the parity region,
-//!   which is folded into the running parity bits of the current logic level
-//!   by in-array two-step XORs. At every logic-level boundary the external
-//!   [`EcimChecker`] reads the level's outputs plus the parity bits,
-//!   computes the syndrome, and writes corrections back.
-//! * **TRiM** — every gate drives three output cells (or three single-output
-//!   gates execute in different partitions); at every logic-level boundary
-//!   the [`TrimChecker`] majority-votes the copies and writes corrections
-//!   back.
-//! * **Unprotected** — gates execute as scheduled with no checks (the
-//!   baseline, and the demonstration of why protection is needed).
-//!
-//! Because the metadata operations are real in-array gate operations on the
-//! same simulated array, injected faults can strike the main computation,
-//! the parity pipeline, the redundant copies *or* idle cells — and the
-//! executor's reports show whether the final outputs survived, which is how
-//! the SEP guarantee is validated end to end.
+//! Because the schemes' metadata operations are real in-array gate
+//! operations on the same simulated array, injected faults can strike the
+//! main computation, the parity pipeline, the redundant copies *or* idle
+//! cells — and the executor's reports show whether the final outputs
+//! survived, which is how the SEP guarantee is validated end to end.
 //!
 //! # Hot-path design
 //!
@@ -41,8 +36,7 @@ use nvpim_sim::array::{ArrayError, PimArray};
 use nvpim_sim::gates::GateKind;
 use serde::{Deserialize, Serialize};
 
-use crate::checker::{EcimChecker, LevelDecode, TrimChecker};
-use crate::config::{DesignConfig, GateStyle, ProtectionScheme};
+use crate::config::DesignConfig;
 
 /// Errors raised by protected execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,36 +108,46 @@ pub struct ProtectedRunReport {
 /// scratch held by a trial arena reaches a steady state where protected
 /// execution performs no heap allocation at all. One scratch serves runs of
 /// different netlists, schedules and protection schemes back to back.
+/// The buffers are public so [`SchemeRuntime`](crate::scheme::SchemeRuntime)
+/// implementations — including out-of-tree ones — can reuse them instead of
+/// allocating their own per-run state; the parity/copy buffers are
+/// general-purpose despite their historical per-scheme naming.
 #[derive(Debug, Default)]
 pub struct ExecScratch {
     /// Net id → primary-input position (dense, `u32::MAX` = not an input),
     /// rebuilt per run. Dense vectors instead of hash maps: the per-gate
     /// lookups in the trial hot path become plain indexed loads.
-    input_positions: Vec<u32>,
+    pub input_positions: Vec<u32>,
     /// Primary inputs already written into the array this run (by net id).
-    materialized: Vec<bool>,
+    pub materialized: Vec<bool>,
     /// Nets consumed by at least one gate or marked as primary outputs.
-    used_nets: Vec<bool>,
+    pub used_nets: Vec<bool>,
     /// Output-column assembly buffer for one gate operation.
-    out_cols: Vec<usize>,
+    pub out_cols: Vec<usize>,
     /// Extra (metadata) output columns for one gate operation.
-    extra_cols: Vec<usize>,
-    /// ECiM: data column of each codeword position in the current chunk.
-    chunk_cols: Vec<usize>,
-    /// ECiM: which of ping/pong holds each running parity bit.
-    parity_in_pong: Vec<bool>,
-    /// Column lists for Checker transfers (data/parity or copy planes).
-    cols_a: Vec<usize>,
-    cols_b: Vec<usize>,
-    cols_c: Vec<usize>,
-    /// Bit buffers for Checker transfers.
-    bits_a: BitVec,
-    bits_b: BitVec,
-    bits_c: BitVec,
-    /// TRiM: majority-vote result buffer.
-    bits_vote: BitVec,
-    /// TRiM: the three copy columns of every gate in the current level.
-    level_outputs: Vec<[usize; 3]>,
+    pub extra_cols: Vec<usize>,
+    /// Data column of each codeword position in the current check chunk
+    /// (parity-style schemes).
+    pub chunk_cols: Vec<usize>,
+    /// Which of ping/pong holds each running parity bit.
+    pub parity_in_pong: Vec<bool>,
+    /// Column list for Checker transfers (data/parity or copy planes).
+    pub cols_a: Vec<usize>,
+    /// Second Checker-transfer column list.
+    pub cols_b: Vec<usize>,
+    /// Third Checker-transfer column list.
+    pub cols_c: Vec<usize>,
+    /// Bit buffer for Checker transfers.
+    pub bits_a: BitVec,
+    /// Second Checker-transfer bit buffer.
+    pub bits_b: BitVec,
+    /// Third Checker-transfer bit buffer.
+    pub bits_c: BitVec,
+    /// Majority-vote result buffer (redundancy-style schemes).
+    pub bits_vote: BitVec,
+    /// The three copy columns of every gate in the current level
+    /// (redundancy-style schemes).
+    pub level_outputs: Vec<[usize; 3]>,
 }
 
 impl ExecScratch {
@@ -249,13 +253,10 @@ impl ProtectedExecutor {
             return Err(ProtectedExecError::ArrayTooSmall);
         }
         scratch.prepare(netlist);
-        match self.config.scheme {
-            ProtectionScheme::Unprotected => {
-                self.run_unprotected(netlist, schedule, array, row, inputs, scratch)
-            }
-            ProtectionScheme::Ecim => self.run_ecim(netlist, schedule, array, row, inputs, scratch),
-            ProtectionScheme::Trim => self.run_trim(netlist, schedule, array, row, inputs, scratch),
-        }
+        self.config
+            .scheme
+            .runtime()
+            .run_scalar(self, netlist, schedule, array, row, inputs, scratch)
     }
 
     /// Convenience wrapper: compiles `netlist` for this design's layout and
@@ -278,8 +279,18 @@ impl ProtectedExecutor {
     }
 
     // ------------------------------------------------------------------
+    // Scheme-runtime building blocks: the primitives every
+    // `SchemeRuntime::run_scalar` implementation composes.
+    // ------------------------------------------------------------------
 
-    fn materialize_inputs(
+    /// Writes any not-yet-materialized primary inputs consumed by `sg` into
+    /// the array (into every copy this design keeps), tracking
+    /// materialization in `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates array-level write failures.
+    pub fn materialize_inputs(
         &self,
         netlist: &Netlist,
         sg: &ScheduledGate,
@@ -303,7 +314,13 @@ impl ProtectedExecutor {
         Ok(())
     }
 
-    fn read_outputs(
+    /// Reads the schedule's primary outputs back (outputs that are also
+    /// primary inputs are forwarded from `inputs`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates array-level read failures.
+    pub fn read_outputs(
         &self,
         netlist: &Netlist,
         schedule: &RowSchedule,
@@ -332,7 +349,11 @@ impl ProtectedExecutor {
     /// Executes one scheduled gate into its primary output columns plus
     /// `extra` metadata columns, assembling the output list in `out_buf`
     /// (no per-gate allocation).
-    fn execute_plain_gate(
+    ///
+    /// # Errors
+    ///
+    /// Propagates array-level gate failures.
+    pub fn execute_plain_gate(
         &self,
         sg: &ScheduledGate,
         array: &mut PimArray,
@@ -377,425 +398,12 @@ impl ProtectedExecutor {
         }
         Ok(())
     }
-
-    fn run_unprotected(
-        &self,
-        netlist: &Netlist,
-        schedule: &RowSchedule,
-        array: &mut PimArray,
-        row: usize,
-        inputs: &[bool],
-        scratch: &mut ExecScratch,
-    ) -> Result<ProtectedRunReport, ProtectedExecError> {
-        for sg in &schedule.gates {
-            self.materialize_inputs(netlist, sg, array, row, inputs, scratch)?;
-            self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols)?;
-        }
-        Ok(ProtectedRunReport {
-            outputs: self.read_outputs(netlist, schedule, array, row, inputs)?,
-            checks: 0,
-            errors_detected: 0,
-            corrections_written_back: 0,
-            uncorrectable: 0,
-            metadata_gate_ops: 0,
-        })
-    }
-
-    // ------------------------------------------------------------------
-    // ECiM
-    // ------------------------------------------------------------------
-
-    #[allow(clippy::too_many_arguments)]
-    fn ecim_flush_chunk(
-        array: &mut PimArray,
-        row: usize,
-        checker: &mut EcimChecker<'_>,
-        scratch: &mut ExecScratch,
-        ping_base: usize,
-        pong_base: usize,
-        errors_detected: &mut u64,
-        corrections_written_back: &mut u64,
-        uncorrectable: &mut u64,
-    ) -> Result<(), ProtectedExecError> {
-        if scratch.chunk_cols.is_empty() {
-            return Ok(());
-        }
-        // Conventional memory read of the level outputs and parity bits.
-        scratch.cols_b.clear();
-        scratch.cols_b.extend(
-            scratch
-                .parity_in_pong
-                .iter()
-                .enumerate()
-                .map(|(i, &in_pong)| {
-                    if in_pong {
-                        pong_base + i
-                    } else {
-                        ping_base + i
-                    }
-                }),
-        );
-        array.read_bits_into(row, &scratch.chunk_cols, &mut scratch.bits_a)?;
-        array.read_bits_into(row, &scratch.cols_b, &mut scratch.bits_b)?;
-        match checker.decode_level(&scratch.bits_a, &scratch.bits_b) {
-            LevelDecode::Clean => {}
-            LevelDecode::CorrectedData { position } => {
-                *errors_detected += 1;
-                // A single-error code flips exactly one data bit.
-                let col = scratch.chunk_cols[position];
-                array.write_cell(row, col, !scratch.bits_a.get(position))?;
-                *corrections_written_back += 1;
-            }
-            LevelDecode::CorrectedMeta => {
-                *errors_detected += 1;
-            }
-            LevelDecode::Uncorrectable => {
-                *errors_detected += 1;
-                *uncorrectable += 1;
-            }
-        }
-        scratch.chunk_cols.clear();
-        Ok(())
-    }
-
-    /// Resets the running parity cells at the start of a level chunk: one
-    /// row-parallel preset over the contiguous ping+pong region instead of
-    /// `2 × parity_bits` individual writes.
-    fn ecim_reset_parity(
-        array: &mut PimArray,
-        row: usize,
-        scratch: &mut ExecScratch,
-        ping_base: usize,
-        pong_base: usize,
-    ) -> Result<(), ProtectedExecError> {
-        let parity_bits = scratch.parity_in_pong.len();
-        debug_assert_eq!(pong_base, ping_base + parity_bits);
-        array.preset_cells(row, ping_base..pong_base + parity_bits, false)?;
-        scratch.parity_in_pong.iter_mut().for_each(|p| *p = false);
-        Ok(())
-    }
-
-    fn run_ecim(
-        &self,
-        netlist: &Netlist,
-        schedule: &RowSchedule,
-        array: &mut PimArray,
-        row: usize,
-        inputs: &[bool],
-        scratch: &mut ExecScratch,
-    ) -> Result<ProtectedRunReport, ProtectedExecError> {
-        let parity_bits = self.code.parity_bits();
-        let k = self.code.k();
-        // Metadata region layout (columns 0..metadata_columns):
-        //   [0, parity_bits)                ping parity cells
-        //   [parity_bits, 2*parity)         pong parity cells
-        //   [2*parity, 2*parity + 2)        XOR working cells (s1, s2)
-        //   [2*parity + 2, 3*parity + 2)    independent redundant-copy cells
-        //                                   (one r_i per parity bit, §IV-E:
-        //                                   an error in a given r may affect
-        //                                   only a single parity bit)
-        let ping_base = 0usize;
-        let pong_base = parity_bits;
-        let work_s1 = 2 * parity_bits;
-        let work_s2 = 2 * parity_bits + 1;
-        let r_base = 2 * parity_bits + 2;
-        assert!(
-            self.config.metadata_columns() >= r_base + parity_bits,
-            "ECiM metadata region too small for the parity pipeline"
-        );
-        scratch.parity_in_pong.clear();
-        scratch.parity_in_pong.resize(parity_bits, false);
-        scratch.chunk_cols.clear();
-
-        let mut checker = EcimChecker::new(&self.code);
-        let mut metadata_gate_ops = 0u64;
-        let mut corrections_written_back = 0u64;
-        let mut errors_detected = 0u64;
-        let mut uncorrectable = 0u64;
-
-        Self::ecim_reset_parity(array, row, scratch, ping_base, pong_base)?;
-
-        let mut current_level = schedule.gates.first().map(|g| g.level).unwrap_or(0);
-
-        for sg in &schedule.gates {
-            let gate = &netlist.gates[sg.index];
-            if sg.level != current_level {
-                Self::ecim_flush_chunk(
-                    array,
-                    row,
-                    &mut checker,
-                    scratch,
-                    ping_base,
-                    pong_base,
-                    &mut errors_detected,
-                    &mut corrections_written_back,
-                    &mut uncorrectable,
-                )?;
-                Self::ecim_reset_parity(array, row, scratch, ping_base, pong_base)?;
-                current_level = sg.level;
-            }
-            self.materialize_inputs(netlist, sg, array, row, inputs, scratch)?;
-
-            let is_constant = matches!(sg.op, LogicOp::Zero | LogicOp::One);
-            if is_constant || !scratch.used_nets[gate.output] {
-                self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols)?;
-                continue;
-            }
-
-            // Codeword position of this gate output within the current chunk.
-            let position = scratch.chunk_cols.len();
-
-            // Parity bits this codeword position participates in.
-            let mask = self.code.parity_update_mask(position.min(k - 1));
-
-            // Execute the gate, producing one *independent* redundant copy
-            // r_i per touched parity bit (Fig. 6: each XOR processes its own
-            // r input, so a single error in any r corrupts only one parity
-            // bit). Multi-output designs drive all copies from the same gate
-            // in one step; single-output designs use explicit copy
-            // operations.
-            match self.config.gate_style {
-                GateStyle::MultiOutput => {
-                    scratch.extra_cols.clear();
-                    scratch
-                        .extra_cols
-                        .extend(mask.iter_ones().map(|bit| r_base + bit));
-                    let touched = scratch.extra_cols.len() as u64;
-                    self.execute_plain_gate(
-                        sg,
-                        array,
-                        row,
-                        &scratch.extra_cols,
-                        &mut scratch.out_cols,
-                    )?;
-                    metadata_gate_ops += touched;
-                }
-                GateStyle::SingleOutput => {
-                    self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols)?;
-                    // Each r_i is produced by re-executing the gate into its
-                    // own cell (a separate single-output operation), so an
-                    // error in the primary output never leaks into the parity
-                    // metadata and vice versa.
-                    for bit in mask.iter_ones() {
-                        let kind = match sg.op {
-                            LogicOp::Nor => GateKind::NOR2,
-                            LogicOp::Thr => GateKind::THR,
-                            LogicOp::Copy => GateKind::Copy,
-                            LogicOp::Zero | LogicOp::One => unreachable!("constants handled above"),
-                        };
-                        array.execute_gate_with(kind, row, &sg.input_cols, &[r_base + bit])?;
-                        metadata_gate_ops += 1;
-                    }
-                }
-            }
-
-            // Fold each r_i into its parity bit with the in-memory two-step
-            // XOR (NOR22 then THR).
-            for bit in mask.iter_ones() {
-                let r_cell = r_base + bit;
-                let src = if scratch.parity_in_pong[bit] {
-                    pong_base + bit
-                } else {
-                    ping_base + bit
-                };
-                let dst = if scratch.parity_in_pong[bit] {
-                    ping_base + bit
-                } else {
-                    pong_base + bit
-                };
-                // s1 = s2 = NOR(p, r); p' = THR(p, r, s1, s2) = p XOR r —
-                // the fused two-step XOR primitive (identical fault sites
-                // and cost accounting to the two separate gate calls).
-                array.execute_xor2_step(row, src, r_cell, work_s1, work_s2, dst)?;
-                scratch.parity_in_pong[bit] = !scratch.parity_in_pong[bit];
-                metadata_gate_ops += 2;
-            }
-
-            scratch.chunk_cols.push(sg.output_cols[0]);
-            if scratch.chunk_cols.len() == k {
-                Self::ecim_flush_chunk(
-                    array,
-                    row,
-                    &mut checker,
-                    scratch,
-                    ping_base,
-                    pong_base,
-                    &mut errors_detected,
-                    &mut corrections_written_back,
-                    &mut uncorrectable,
-                )?;
-                Self::ecim_reset_parity(array, row, scratch, ping_base, pong_base)?;
-            }
-        }
-        Self::ecim_flush_chunk(
-            array,
-            row,
-            &mut checker,
-            scratch,
-            ping_base,
-            pong_base,
-            &mut errors_detected,
-            &mut corrections_written_back,
-            &mut uncorrectable,
-        )?;
-
-        Ok(ProtectedRunReport {
-            outputs: self.read_outputs(netlist, schedule, array, row, inputs)?,
-            checks: checker.checks(),
-            errors_detected,
-            corrections_written_back,
-            uncorrectable,
-            metadata_gate_ops,
-        })
-    }
-
-    // ------------------------------------------------------------------
-    // TRiM
-    // ------------------------------------------------------------------
-
-    fn trim_flush_level(
-        array: &mut PimArray,
-        row: usize,
-        checker: &mut TrimChecker,
-        scratch: &mut ExecScratch,
-        errors_detected: &mut u64,
-        corrections_written_back: &mut u64,
-    ) -> Result<(), ProtectedExecError> {
-        if scratch.level_outputs.is_empty() {
-            return Ok(());
-        }
-        scratch.cols_a.clear();
-        scratch.cols_b.clear();
-        scratch.cols_c.clear();
-        for cols in &scratch.level_outputs {
-            scratch.cols_a.push(cols[0]);
-            scratch.cols_b.push(cols[1]);
-            scratch.cols_c.push(cols[2]);
-        }
-        array.read_bits_into(row, &scratch.cols_a, &mut scratch.bits_a)?;
-        array.read_bits_into(row, &scratch.cols_b, &mut scratch.bits_b)?;
-        array.read_bits_into(row, &scratch.cols_c, &mut scratch.bits_c)?;
-        let dissent = checker.vote_level_into(
-            &scratch.bits_a,
-            &scratch.bits_b,
-            &scratch.bits_c,
-            &mut scratch.bits_vote,
-        );
-        if dissent {
-            *errors_detected += 1;
-            // Write the voted value back into every copy that disagreed —
-            // word-parallel diff scans, touching only mismatching bits.
-            let voted = &scratch.bits_vote;
-            for (copy_idx, bits) in [&scratch.bits_a, &scratch.bits_b, &scratch.bits_c]
-                .into_iter()
-                .enumerate()
-            {
-                for i in bits.diff_ones(voted) {
-                    let col = scratch.level_outputs[i][copy_idx];
-                    array.write_cell(row, col, voted.get(i))?;
-                    *corrections_written_back += 1;
-                }
-            }
-        }
-        scratch.level_outputs.clear();
-        Ok(())
-    }
-
-    fn run_trim(
-        &self,
-        netlist: &Netlist,
-        schedule: &RowSchedule,
-        array: &mut PimArray,
-        row: usize,
-        inputs: &[bool],
-        scratch: &mut ExecScratch,
-    ) -> Result<ProtectedRunReport, ProtectedExecError> {
-        let mut checker = TrimChecker::new(self.config.data_bits());
-        let mut metadata_gate_ops = 0u64;
-        let mut corrections_written_back = 0u64;
-        let mut errors_detected = 0u64;
-
-        scratch.level_outputs.clear();
-        let mut current_level = schedule.gates.first().map(|g| g.level).unwrap_or(0);
-
-        for sg in &schedule.gates {
-            let gate = &netlist.gates[sg.index];
-            if sg.level != current_level {
-                Self::trim_flush_level(
-                    array,
-                    row,
-                    &mut checker,
-                    scratch,
-                    &mut errors_detected,
-                    &mut corrections_written_back,
-                )?;
-                current_level = sg.level;
-            }
-            self.materialize_inputs(netlist, sg, array, row, inputs, scratch)?;
-
-            let is_constant = matches!(sg.op, LogicOp::Zero | LogicOp::One);
-            if is_constant || !scratch.used_nets[gate.output] {
-                self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols)?;
-                continue;
-            }
-
-            match self.config.gate_style {
-                GateStyle::MultiOutput => {
-                    // One 3-output gate produces the value and both copies.
-                    self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols)?;
-                    metadata_gate_ops += 2;
-                }
-                GateStyle::SingleOutput => {
-                    // Three independent single-output gates, each reading its
-                    // own copy of the operands (separate partitions).
-                    for copy in 0..3 {
-                        let inputs_for_copy =
-                            &sg.input_cols_per_copy[copy.min(sg.input_cols_per_copy.len() - 1)];
-                        let kind = match sg.op {
-                            LogicOp::Nor => GateKind::NOR2,
-                            LogicOp::Thr => GateKind::THR,
-                            LogicOp::Copy => GateKind::Copy,
-                            LogicOp::Zero | LogicOp::One => unreachable!("constants handled above"),
-                        };
-                        array.execute_gate_with(
-                            kind,
-                            row,
-                            inputs_for_copy,
-                            &[sg.output_cols[copy]],
-                        )?;
-                        if copy > 0 {
-                            metadata_gate_ops += 1;
-                        }
-                    }
-                }
-            }
-            scratch
-                .level_outputs
-                .push([sg.output_cols[0], sg.output_cols[1], sg.output_cols[2]]);
-        }
-        Self::trim_flush_level(
-            array,
-            row,
-            &mut checker,
-            scratch,
-            &mut errors_detected,
-            &mut corrections_written_back,
-        )?;
-
-        Ok(ProtectedRunReport {
-            outputs: self.read_outputs(netlist, schedule, array, row, inputs)?,
-            checks: checker.checks(),
-            errors_detected,
-            corrections_written_back,
-            uncorrectable: 0,
-            metadata_gate_ops,
-        })
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::GateStyle;
     use nvpim_compiler::builder::CircuitBuilder;
     use nvpim_compiler::schedule::map_netlist;
     use nvpim_sim::fault::{ErrorRates, FaultInjector};

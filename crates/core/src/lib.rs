@@ -58,6 +58,8 @@
 pub mod checker;
 pub mod config;
 pub mod executor;
+pub mod scheme;
+pub mod schemes;
 pub mod sep;
 pub mod sliced;
 pub mod system;
@@ -65,6 +67,7 @@ pub mod system;
 pub use checker::{CheckResult, CheckerCostModel, EcimChecker, TrimChecker};
 pub use config::{DesignConfig, GateStyle, ProtectionScheme, SimBackend};
 pub use executor::{ExecScratch, ProtectedExecError, ProtectedExecutor, ProtectedRunReport};
+pub use scheme::{registry as scheme_registry, CostEnv, SchemeCapabilities, SchemeRuntime};
 pub use sep::{figure6_cases, granularity_analysis};
 pub use sliced::{SlicedExecScratch, SlicedExecutor, SlicedRunReport};
 pub use system::{

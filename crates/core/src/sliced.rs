@@ -2,7 +2,11 @@
 //! [`ProtectedExecutor`](crate::executor::ProtectedExecutor) semantics on
 //! the transposed, bit-sliced array — 64 Monte Carlo trials per run.
 //!
-//! [`SlicedExecutor`] drives a compiled [`RowSchedule`] on a
+//! [`SlicedExecutor`] validates a compiled [`RowSchedule`] and dispatches
+//! to the scheme's
+//! [`SchemeRuntime::run_sliced`](crate::scheme::SchemeRuntime::run_sliced)
+//! (per-scheme paths live in [`crate::schemes`]; a scheme opts in by
+//! declaring the `sliceable` capability). The array is a
 //! [`SlicedPimArray`] whose cells each hold one `u64` of 64 independent
 //! trial lanes. The *operation sequence* of a protected run is a pure
 //! function of the schedule (gate order, parity folds, logic-level check
@@ -10,7 +14,8 @@
 //! program and each gate/fold/preset becomes a handful of word operations
 //! serving all 64 trials. Only the Checker's decode step diverges per lane
 //! — and its lane-parallel syndrome / majority-vote kernels
-//! ([`EcimChecker::decode_level_lanes`], [`TrimChecker::vote_level_lanes`])
+//! ([`EcimChecker::decode_level_lanes`](crate::checker::EcimChecker::decode_level_lanes),
+//! [`TrimChecker::vote_level_lanes`](crate::checker::TrimChecker::vote_level_lanes))
 //! fall back to scalar work only for the rare lanes that actually observed
 //! an error.
 //!
@@ -27,8 +32,7 @@ use nvpim_compiler::schedule::{RowSchedule, ScheduledGate};
 use nvpim_ecc::hamming::HammingCode;
 use nvpim_sim::sliced::{SlicedPimArray, LANES};
 
-use crate::checker::{EcimChecker, LevelDecode, TrimChecker};
-use crate::config::{DesignConfig, GateStyle, ProtectionScheme};
+use crate::config::DesignConfig;
 use crate::executor::ProtectedExecError;
 
 /// Per-lane counters of one sliced batch run. `checks` and
@@ -50,8 +54,17 @@ pub struct SlicedRunReport {
     pub uncorrectable: [u64; LANES],
 }
 
+impl Default for SlicedRunReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl SlicedRunReport {
-    fn new() -> Self {
+    /// A zeroed report (the starting point of every
+    /// [`SchemeRuntime::run_sliced`](crate::scheme::SchemeRuntime::run_sliced)
+    /// implementation).
+    pub fn new() -> Self {
         Self {
             checks: 0,
             metadata_gate_ops: 0,
@@ -66,37 +79,46 @@ impl SlicedRunReport {
 /// counterpart of [`crate::executor::ExecScratch`], with the Checker
 /// transfer buffers transposed into lane words. Cleared (never shrunk) per
 /// run — steady-state batches allocate nothing.
+/// The buffers are public so
+/// [`SchemeRuntime`](crate::scheme::SchemeRuntime) implementations —
+/// including out-of-tree ones — can reuse them instead of allocating their
+/// own per-batch state; the parity/copy buffers are general-purpose despite
+/// their historical per-scheme naming.
 #[derive(Debug, Default)]
 pub struct SlicedExecScratch {
     /// Net id → primary-input position (dense, `u32::MAX` = not an input).
-    input_positions: Vec<u32>,
+    pub input_positions: Vec<u32>,
     /// Primary inputs already written into the array this run (by net id).
-    materialized: Vec<bool>,
+    pub materialized: Vec<bool>,
     /// Nets consumed by at least one gate or marked as primary outputs.
-    used_nets: Vec<bool>,
+    pub used_nets: Vec<bool>,
     /// Output-column assembly buffer for one gate operation.
-    out_cols: Vec<usize>,
+    pub out_cols: Vec<usize>,
     /// Extra (metadata) output columns for one gate operation.
-    extra_cols: Vec<usize>,
-    /// ECiM: data column of each codeword position in the current chunk.
-    chunk_cols: Vec<usize>,
-    /// ECiM: which of ping/pong holds each running parity bit.
-    parity_in_pong: Vec<bool>,
-    /// ECiM flush: lane words of the chunk's data cells.
-    data_words: Vec<u64>,
-    /// ECiM flush: lane words of the running parity cells.
-    parity_words: Vec<u64>,
-    /// ECiM flush: lane-parallel syndrome accumulator (one word per parity
+    pub extra_cols: Vec<usize>,
+    /// Data column of each codeword position in the current check chunk
+    /// (parity-style schemes).
+    pub chunk_cols: Vec<usize>,
+    /// Which of ping/pong holds each running parity bit.
+    pub parity_in_pong: Vec<bool>,
+    /// Check flush: lane words of the chunk's data cells.
+    pub data_words: Vec<u64>,
+    /// Check flush: lane words of the running parity cells.
+    pub parity_words: Vec<u64>,
+    /// Check flush: lane-parallel syndrome accumulator (one word per parity
     /// bit).
-    syndrome_words: Vec<u64>,
-    /// TRiM: the three copy columns of every gate in the current level.
-    level_outputs: Vec<[usize; 3]>,
-    /// TRiM flush: lane words of the three copy planes.
-    copy_a: Vec<u64>,
-    copy_b: Vec<u64>,
-    copy_c: Vec<u64>,
-    /// TRiM flush: lane-parallel majority vote result.
-    voted: Vec<u64>,
+    pub syndrome_words: Vec<u64>,
+    /// The three copy columns of every gate in the current level
+    /// (redundancy-style schemes).
+    pub level_outputs: Vec<[usize; 3]>,
+    /// Vote flush: lane words of the first copy plane.
+    pub copy_a: Vec<u64>,
+    /// Vote flush: lane words of the second copy plane.
+    pub copy_b: Vec<u64>,
+    /// Vote flush: lane words of the third copy plane.
+    pub copy_c: Vec<u64>,
+    /// Vote flush: lane-parallel majority vote result.
+    pub voted: Vec<u64>,
     /// Primary outputs after the run, transposed: `output_words[i]` holds
     /// output bit `i` across all lanes.
     pub output_words: Vec<u64>,
@@ -151,6 +173,11 @@ impl SlicedExecutor {
         &self.config
     }
 
+    /// The Hamming code used for parity-style schemes.
+    pub fn code(&self) -> &HammingCode {
+        &self.code
+    }
+
     /// Runs `schedule` in row `row` for every lane of `array`'s current
     /// batch at once. `inputs` is transposed: `inputs[i]` holds primary
     /// input `i` across all lanes. Lanes beyond the batch's valid mask
@@ -187,18 +214,22 @@ impl SlicedExecutor {
             return Err(ProtectedExecError::ArrayTooSmall);
         }
         scratch.prepare(netlist);
-        match self.config.scheme {
-            ProtectionScheme::Unprotected => {
-                self.run_unprotected(netlist, schedule, array, row, inputs, scratch)
-            }
-            ProtectionScheme::Ecim => self.run_ecim(netlist, schedule, array, row, inputs, scratch),
-            ProtectionScheme::Trim => self.run_trim(netlist, schedule, array, row, inputs, scratch),
-        }
+        self.config
+            .scheme
+            .runtime()
+            .run_sliced(self, netlist, schedule, array, row, inputs, scratch)
     }
 
     // ------------------------------------------------------------------
+    // Scheme-runtime building blocks: the lane-parallel mirrors of the
+    // scalar executor's primitives, composed by
+    // `SchemeRuntime::run_sliced` implementations.
+    // ------------------------------------------------------------------
 
-    fn materialize_inputs(
+    /// Writes any not-yet-materialized primary inputs consumed by `sg` into
+    /// every copy this design keeps (the lane-parallel mirror of
+    /// [`ProtectedExecutor::materialize_inputs`](crate::executor::ProtectedExecutor::materialize_inputs)).
+    pub fn materialize_inputs(
         &self,
         netlist: &Netlist,
         sg: &ScheduledGate,
@@ -220,7 +251,10 @@ impl SlicedExecutor {
         }
     }
 
-    fn read_outputs(
+    /// Reads the schedule's primary outputs into
+    /// [`SlicedExecScratch::output_words`] (transposed, one word per output
+    /// bit).
+    pub fn read_outputs(
         &self,
         netlist: &Netlist,
         schedule: &RowSchedule,
@@ -250,7 +284,7 @@ impl SlicedExecutor {
     /// metadata columns — the lane-parallel mirror of the scalar
     /// `execute_plain_gate` (identical output order, hence identical
     /// per-output fault-decision order).
-    fn execute_plain_gate(
+    pub fn execute_plain_gate(
         &self,
         sg: &ScheduledGate,
         array: &mut SlicedPimArray,
@@ -285,368 +319,6 @@ impl SlicedExecutor {
                 }
             }
         }
-    }
-
-    fn run_unprotected(
-        &self,
-        netlist: &Netlist,
-        schedule: &RowSchedule,
-        array: &mut SlicedPimArray,
-        row: usize,
-        inputs: &[u64],
-        scratch: &mut SlicedExecScratch,
-    ) -> Result<SlicedRunReport, ProtectedExecError> {
-        for sg in &schedule.gates {
-            self.materialize_inputs(netlist, sg, array, row, inputs, scratch);
-            self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols);
-        }
-        self.read_outputs(netlist, schedule, array, row, inputs, scratch);
-        Ok(SlicedRunReport::new())
-    }
-
-    // ------------------------------------------------------------------
-    // ECiM
-    // ------------------------------------------------------------------
-
-    #[allow(clippy::too_many_arguments)]
-    fn ecim_flush_chunk(
-        array: &mut SlicedPimArray,
-        row: usize,
-        checker: &mut EcimChecker<'_>,
-        scratch: &mut SlicedExecScratch,
-        ping_base: usize,
-        pong_base: usize,
-        report: &mut SlicedRunReport,
-    ) {
-        if scratch.chunk_cols.is_empty() {
-            return;
-        }
-        let SlicedExecScratch {
-            chunk_cols,
-            parity_in_pong,
-            data_words,
-            parity_words,
-            syndrome_words,
-            ..
-        } = scratch;
-        data_words.clear();
-        data_words.extend(chunk_cols.iter().map(|&c| array.cell(row, c)));
-        parity_words.clear();
-        parity_words.extend(parity_in_pong.iter().enumerate().map(|(i, &in_pong)| {
-            let col = if in_pong {
-                pong_base + i
-            } else {
-                ping_base + i
-            };
-            array.cell(row, col)
-        }));
-        let valid = array.injector().valid_mask();
-        let SlicedRunReport {
-            errors_detected,
-            corrections_written_back,
-            uncorrectable,
-            ..
-        } = report;
-        checker.decode_level_lanes(
-            data_words,
-            parity_words,
-            valid,
-            syndrome_words,
-            |lane, outcome| match outcome {
-                LevelDecode::Clean => {}
-                LevelDecode::CorrectedData { position } => {
-                    errors_detected[lane] += 1;
-                    // A single-error code flips exactly one data bit: write
-                    // back the negation of what this lane's read returned.
-                    let col = chunk_cols[position];
-                    let word = array.cell(row, col) ^ (1u64 << lane);
-                    array.set_cell(row, col, word);
-                    corrections_written_back[lane] += 1;
-                }
-                LevelDecode::CorrectedMeta => {
-                    errors_detected[lane] += 1;
-                }
-                LevelDecode::Uncorrectable => {
-                    errors_detected[lane] += 1;
-                    uncorrectable[lane] += 1;
-                }
-            },
-        );
-        chunk_cols.clear();
-    }
-
-    fn ecim_reset_parity(
-        array: &mut SlicedPimArray,
-        row: usize,
-        scratch: &mut SlicedExecScratch,
-        ping_base: usize,
-        pong_base: usize,
-    ) {
-        let parity_bits = scratch.parity_in_pong.len();
-        debug_assert_eq!(pong_base, ping_base + parity_bits);
-        array.preset_range(row, ping_base..pong_base + parity_bits, false);
-        scratch.parity_in_pong.iter_mut().for_each(|p| *p = false);
-    }
-
-    fn run_ecim(
-        &self,
-        netlist: &Netlist,
-        schedule: &RowSchedule,
-        array: &mut SlicedPimArray,
-        row: usize,
-        inputs: &[u64],
-        scratch: &mut SlicedExecScratch,
-    ) -> Result<SlicedRunReport, ProtectedExecError> {
-        let parity_bits = self.code.parity_bits();
-        let k = self.code.k();
-        // Metadata region layout — identical to the scalar executor's.
-        let ping_base = 0usize;
-        let pong_base = parity_bits;
-        let work_s1 = 2 * parity_bits;
-        let work_s2 = 2 * parity_bits + 1;
-        let r_base = 2 * parity_bits + 2;
-        assert!(
-            self.config.metadata_columns() >= r_base + parity_bits,
-            "ECiM metadata region too small for the parity pipeline"
-        );
-        scratch.parity_in_pong.clear();
-        scratch.parity_in_pong.resize(parity_bits, false);
-        scratch.chunk_cols.clear();
-
-        let mut checker = EcimChecker::new(&self.code);
-        let mut report = SlicedRunReport::new();
-
-        Self::ecim_reset_parity(array, row, scratch, ping_base, pong_base);
-
-        let mut current_level = schedule.gates.first().map(|g| g.level).unwrap_or(0);
-
-        for sg in &schedule.gates {
-            let gate = &netlist.gates[sg.index];
-            if sg.level != current_level {
-                Self::ecim_flush_chunk(
-                    array,
-                    row,
-                    &mut checker,
-                    scratch,
-                    ping_base,
-                    pong_base,
-                    &mut report,
-                );
-                Self::ecim_reset_parity(array, row, scratch, ping_base, pong_base);
-                current_level = sg.level;
-            }
-            self.materialize_inputs(netlist, sg, array, row, inputs, scratch);
-
-            let is_constant = matches!(sg.op, LogicOp::Zero | LogicOp::One);
-            if is_constant || !scratch.used_nets[gate.output] {
-                self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols);
-                continue;
-            }
-
-            let position = scratch.chunk_cols.len();
-            let mask = self.code.parity_update_mask(position.min(k - 1));
-
-            match self.config.gate_style {
-                GateStyle::MultiOutput => {
-                    scratch.extra_cols.clear();
-                    scratch
-                        .extra_cols
-                        .extend(mask.iter_ones().map(|bit| r_base + bit));
-                    let touched = scratch.extra_cols.len() as u64;
-                    self.execute_plain_gate(
-                        sg,
-                        array,
-                        row,
-                        &scratch.extra_cols,
-                        &mut scratch.out_cols,
-                    );
-                    report.metadata_gate_ops += touched;
-                }
-                GateStyle::SingleOutput => {
-                    self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols);
-                    for bit in mask.iter_ones() {
-                        let dst = r_base + bit;
-                        match sg.op {
-                            LogicOp::Nor => array.gate_nor(row, &sg.input_cols, &[dst]),
-                            LogicOp::Thr => array.gate_thr(row, &sg.input_cols, dst),
-                            LogicOp::Copy => array.gate_copy(row, sg.input_cols[0], dst),
-                            LogicOp::Zero | LogicOp::One => unreachable!("constants handled above"),
-                        }
-                        report.metadata_gate_ops += 1;
-                    }
-                }
-            }
-
-            // Fold each r_i into its parity bit (two-step XOR, fault
-            // decisions in the scalar order s1, s2, dst).
-            for bit in mask.iter_ones() {
-                let r_cell = r_base + bit;
-                let src = if scratch.parity_in_pong[bit] {
-                    pong_base + bit
-                } else {
-                    ping_base + bit
-                };
-                let dst = if scratch.parity_in_pong[bit] {
-                    ping_base + bit
-                } else {
-                    pong_base + bit
-                };
-                array.gate_xor2(row, src, r_cell, work_s1, work_s2, dst);
-                scratch.parity_in_pong[bit] = !scratch.parity_in_pong[bit];
-                report.metadata_gate_ops += 2;
-            }
-
-            scratch.chunk_cols.push(sg.output_cols[0]);
-            if scratch.chunk_cols.len() == k {
-                Self::ecim_flush_chunk(
-                    array,
-                    row,
-                    &mut checker,
-                    scratch,
-                    ping_base,
-                    pong_base,
-                    &mut report,
-                );
-                Self::ecim_reset_parity(array, row, scratch, ping_base, pong_base);
-            }
-        }
-        Self::ecim_flush_chunk(
-            array,
-            row,
-            &mut checker,
-            scratch,
-            ping_base,
-            pong_base,
-            &mut report,
-        );
-
-        self.read_outputs(netlist, schedule, array, row, inputs, scratch);
-        report.checks = checker.checks();
-        Ok(report)
-    }
-
-    // ------------------------------------------------------------------
-    // TRiM
-    // ------------------------------------------------------------------
-
-    fn trim_flush_level(
-        array: &mut SlicedPimArray,
-        row: usize,
-        checker: &mut TrimChecker,
-        scratch: &mut SlicedExecScratch,
-        report: &mut SlicedRunReport,
-    ) {
-        if scratch.level_outputs.is_empty() {
-            return;
-        }
-        let SlicedExecScratch {
-            level_outputs,
-            copy_a,
-            copy_b,
-            copy_c,
-            voted,
-            ..
-        } = scratch;
-        copy_a.clear();
-        copy_b.clear();
-        copy_c.clear();
-        for cols in level_outputs.iter() {
-            copy_a.push(array.cell(row, cols[0]));
-            copy_b.push(array.cell(row, cols[1]));
-            copy_c.push(array.cell(row, cols[2]));
-        }
-        let valid = array.injector().valid_mask();
-        let dissent = checker.vote_level_lanes(copy_a, copy_b, copy_c, valid, voted);
-        if dissent != 0 {
-            let mut lanes = dissent;
-            while lanes != 0 {
-                let lane = lanes.trailing_zeros() as usize;
-                lanes &= lanes - 1;
-                report.errors_detected[lane] += 1;
-            }
-            // Write the voted value back into every copy that disagreed —
-            // per (gate, copy) plane, only the mismatching lanes flip.
-            for (g, cols) in level_outputs.iter().enumerate() {
-                let v = voted[g];
-                for (copy_idx, plane) in [&*copy_a, &*copy_b, &*copy_c].into_iter().enumerate() {
-                    let mut diff = (plane[g] ^ v) & valid;
-                    if diff == 0 {
-                        continue;
-                    }
-                    let col = cols[copy_idx];
-                    let word = array.cell(row, col) ^ diff;
-                    array.set_cell(row, col, word);
-                    while diff != 0 {
-                        let lane = diff.trailing_zeros() as usize;
-                        diff &= diff - 1;
-                        report.corrections_written_back[lane] += 1;
-                    }
-                }
-            }
-        }
-        level_outputs.clear();
-    }
-
-    fn run_trim(
-        &self,
-        netlist: &Netlist,
-        schedule: &RowSchedule,
-        array: &mut SlicedPimArray,
-        row: usize,
-        inputs: &[u64],
-        scratch: &mut SlicedExecScratch,
-    ) -> Result<SlicedRunReport, ProtectedExecError> {
-        let mut checker = TrimChecker::new(self.config.data_bits());
-        let mut report = SlicedRunReport::new();
-
-        scratch.level_outputs.clear();
-        let mut current_level = schedule.gates.first().map(|g| g.level).unwrap_or(0);
-
-        for sg in &schedule.gates {
-            let gate = &netlist.gates[sg.index];
-            if sg.level != current_level {
-                Self::trim_flush_level(array, row, &mut checker, scratch, &mut report);
-                current_level = sg.level;
-            }
-            self.materialize_inputs(netlist, sg, array, row, inputs, scratch);
-
-            let is_constant = matches!(sg.op, LogicOp::Zero | LogicOp::One);
-            if is_constant || !scratch.used_nets[gate.output] {
-                self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols);
-                continue;
-            }
-
-            match self.config.gate_style {
-                GateStyle::MultiOutput => {
-                    self.execute_plain_gate(sg, array, row, &[], &mut scratch.out_cols);
-                    report.metadata_gate_ops += 2;
-                }
-                GateStyle::SingleOutput => {
-                    for copy in 0..3 {
-                        let inputs_for_copy =
-                            &sg.input_cols_per_copy[copy.min(sg.input_cols_per_copy.len() - 1)];
-                        let dst = sg.output_cols[copy];
-                        match sg.op {
-                            LogicOp::Nor => array.gate_nor(row, inputs_for_copy, &[dst]),
-                            LogicOp::Thr => array.gate_thr(row, inputs_for_copy, dst),
-                            LogicOp::Copy => array.gate_copy(row, inputs_for_copy[0], dst),
-                            LogicOp::Zero | LogicOp::One => unreachable!("constants handled above"),
-                        }
-                        if copy > 0 {
-                            report.metadata_gate_ops += 1;
-                        }
-                    }
-                }
-            }
-            scratch
-                .level_outputs
-                .push([sg.output_cols[0], sg.output_cols[1], sg.output_cols[2]]);
-        }
-        Self::trim_flush_level(array, row, &mut checker, scratch, &mut report);
-
-        self.read_outputs(netlist, schedule, array, row, inputs, scratch);
-        report.checks = checker.checks();
-        Ok(report)
     }
 }
 

@@ -33,13 +33,12 @@
 
 use nvpim_compiler::netlist::Netlist;
 use nvpim_compiler::schedule::{map_netlist, MapError, RowSchedule};
-use nvpim_ecc::hamming::HammingCode;
 use nvpim_sim::periphery::PeripheryModel;
 use nvpim_sim::technology::TechnologyParams;
 use serde::{Deserialize, Serialize};
 
-use crate::checker::CheckerCostModel;
-use crate::config::{DesignConfig, GateStyle, ProtectionScheme};
+use crate::config::{DesignConfig, GateStyle};
+use crate::scheme::CostEnv;
 
 /// How a workload is spread over the PiM fleet (§V: all benchmarks map to at
 /// most sixteen 256×256 arrays; each active row runs the same per-row
@@ -216,28 +215,10 @@ pub fn evaluate_schedule(
     let thr_e = params.thr_energy_fj;
     let write_e = params.write_energy_fj;
 
-    let code = HammingCode::new_standard(config.hamming_r);
-    // Average number of parity bits each codeword data position participates
-    // in (the expected XOR-update count per gate output under ECiM).
-    let avg_w: f64 = (0..code.k())
-        .map(|j| code.parity_updates_for_bit(j) as f64)
-        .sum::<f64>()
-        / code.k() as f64;
-    let parity_parallelism = (2 * config.parity_blocks_per_side).max(1) as f64;
-
     let multi_output = config.gate_style == GateStyle::MultiOutput;
     let mut b = CostBreakdown::default();
-    let mut checker_traffic_bits = 0u64;
-    // Parity-pipeline demand accumulated across the whole schedule (the
-    // pipeline of Fig. 5 streams across level boundaries).
-    let mut ecim_meta_ops_total = 0.0f64;
 
-    let checker_cost = match config.scheme {
-        ProtectionScheme::Ecim => CheckerCostModel::for_hamming(&code),
-        ProtectionScheme::Trim => CheckerCostModel::for_majority(config.data_bits()),
-        ProtectionScheme::Unprotected => CheckerCostModel::for_majority(0),
-    };
-
+    // --- main computation (identical for every scheme) ---
     for level in &schedule.level_profile {
         let free_copies = if multi_output {
             level.fusable_copies
@@ -249,88 +230,26 @@ pub fn evaluate_schedule(
         if outputs == 0.0 {
             continue;
         }
-
-        // --- computation time ---
         b.compute_time_ns += compute_ops * t_gate;
-
-        // --- main computation energy (before scheme multipliers) ---
         let base_nor_energy = (level.nor_ops + level.copy_ops) as f64 * nor_e;
         let base_thr_energy = level.thr_ops as f64 * thr_e;
-
-        match config.scheme {
-            ProtectionScheme::Unprotected => {
-                b.compute_energy_fj += base_nor_energy + base_thr_energy;
-            }
-            ProtectionScheme::Ecim => {
-                // Redundant copy r per output, plus avg_w two-step XOR updates.
-                let (r_ops, xor_steps, r_energy_per_output) = if multi_output {
-                    // The extra output is produced by the same gate: no time,
-                    // one extra output's worth of energy.
-                    (0.0f64, 2.0f64, nor_e)
-                } else {
-                    // A separate copy operation, plus the XOR loses its fused
-                    // second output (3-step XOR).
-                    (1.0, 3.0, nor_e)
-                };
-                let meta_ops = outputs * (r_ops + avg_w * xor_steps);
-                ecim_meta_ops_total += meta_ops;
-
-                b.compute_energy_fj += base_nor_energy + base_thr_energy;
-                let xor_energy = if multi_output {
-                    2.0 * nor_e + thr_e
-                } else {
-                    // NOR + CP + THR, each a full single-output operation,
-                    // plus a destination preset write.
-                    3.0 * nor_e + thr_e + write_e
-                };
-                let r_gen_energy = if multi_output {
-                    r_energy_per_output
-                } else {
-                    // Separate copy gate plus destination preset.
-                    2.0 * nor_e + write_e
-                };
-                b.metadata_energy_fj += outputs * (r_gen_energy + avg_w * xor_energy);
-                // Running parity bits are reset at every level boundary.
-                b.write_energy_fj += config.parity_bits() as f64 * write_e;
-
-                // --- Checker communication: level outputs + parity bits ---
-                let bits = outputs as usize + config.parity_bits();
-                checker_traffic_bits += bits as u64;
-                b.checker_time_ns += CHECKER_EXPOSED_FRACTION * periphery.read_latency(bits);
-                b.checker_comm_energy_fj += periphery.read_energy(bits);
-                b.checker_logic_energy_fj += checker_cost.energy_per_check_fj;
-            }
-            ProtectionScheme::Trim => {
-                // Two redundant copies of every output.
-                if multi_output {
-                    // Same gate drives three outputs: 3x energy, no extra time.
-                    b.compute_energy_fj += base_nor_energy + base_thr_energy;
-                    b.metadata_energy_fj += 2.0 * (base_nor_energy + base_thr_energy);
-                } else {
-                    // Two additional single-output executions per gate in
-                    // other partitions (concurrent in time), each with its own
-                    // operand staging write.
-                    b.compute_energy_fj += base_nor_energy + base_thr_energy;
-                    b.metadata_energy_fj +=
-                        2.0 * (base_nor_energy + base_thr_energy + outputs * (nor_e + write_e));
-                }
-                // --- Checker communication: three copies of the outputs ---
-                let bits = 3 * outputs as usize;
-                checker_traffic_bits += bits as u64;
-                b.checker_time_ns += CHECKER_EXPOSED_FRACTION * periphery.read_latency(bits);
-                b.checker_comm_energy_fj += periphery.read_energy(bits);
-                b.checker_logic_energy_fj += checker_cost.energy_per_check_fj;
-            }
-        }
+        b.compute_energy_fj += base_nor_energy + base_thr_energy;
     }
 
-    // Parity updates overlap with computation in the left/right parity-block
-    // partitions (Fig. 5); only the excess of the pipeline's total demand
-    // over the computation time is exposed on the critical path.
-    if config.scheme == ProtectionScheme::Ecim {
-        b.metadata_time_ns +=
-            ((ecim_meta_ops_total / parity_parallelism) * t_gate - b.compute_time_ns).max(0.0);
-    }
+    // --- scheme metadata, Checker communication and pipeline stalls ---
+    // (dispatched through the scheme runtime; see `SchemeRuntime::metadata_costs`)
+    let env = CostEnv {
+        t_gate,
+        nor_e,
+        thr_e,
+        write_e,
+        multi_output,
+        periphery: periphery.clone(),
+    };
+    let checker_traffic_bits = config
+        .scheme
+        .runtime()
+        .metadata_costs(schedule, config, &env, &mut b);
 
     // --- area reclaims ---
     let reclaim_parallelism = config.reclaim_parallelism.max(1) as f64;

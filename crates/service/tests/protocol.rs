@@ -402,3 +402,56 @@ fn warm_resubmission_recompiles_nothing() {
 
     shutdown(&addr, daemon);
 }
+
+/// A scheme that landed through the registry's plugin path (ParityDetect)
+/// runs end-to-end through the daemon with zero service-side dispatch
+/// edits: the wire protocol parses it like any built-in, the campaign
+/// executes, and the served report is byte-identical to a direct
+/// `run_campaign` of the same plan.
+#[test]
+fn plugin_scheme_runs_through_the_daemon_byte_identically() {
+    let (addr, daemon) = spawn_daemon(ServiceConfig::default());
+    let mut plan = SweepPlan::quick();
+    plan.protections = vec![
+        nvpim_sweep::ProtectionConfig::PARITY_DETECT,
+        nvpim_sweep::ProtectionConfig::PARITY_DETECT_SINGLE_OUTPUT,
+    ];
+    plan.seeds_per_point = 3;
+    plan.campaign_seed = 0x9a41;
+    let plan_value: Value = serde_json::from_str(&plan.canonical_json()).expect("plan JSON parses");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let accepted = client
+        .request(&request("submit", vec![("plan".to_string(), plan_value)]))
+        .expect("submit");
+    assert_eq!(
+        accepted.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "ParityDetect submission must be accepted: {accepted:?}"
+    );
+    let job = accepted.get("job").and_then(Value::as_u64).expect("job id");
+    let result = client
+        .request(&request(
+            "result",
+            vec![
+                ("job".to_string(), Value::UInt(job)),
+                ("wait".to_string(), Value::Bool(true)),
+            ],
+        ))
+        .expect("result");
+    assert_eq!(result.get("ok").and_then(Value::as_bool), Some(true));
+    let served = result.get("report").expect("result carries a report");
+    let direct = nvpim_sweep::run_campaign(&plan).expect("direct run");
+    assert_eq!(
+        serde_json::to_string_pretty(served).expect("serialize"),
+        direct.to_json(),
+        "daemon-served ParityDetect report must match direct execution byte for byte"
+    );
+    let summary = direct
+        .points
+        .iter()
+        .find(|p| p.protection == "parity/m-o")
+        .expect("parity point present");
+    assert_eq!(summary.corrections_written_back, 0, "detection-only");
+    shutdown(&addr, daemon);
+}

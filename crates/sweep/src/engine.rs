@@ -144,25 +144,95 @@ impl ScheduleCache {
     }
 }
 
-/// One fully-resolved campaign point, ready to run trials.
+/// One fully-resolved campaign point, ready to run trials. Public so
+/// [`ExecutionBackend`] implementations can be written outside this
+/// module; construction stays inside the engine.
 #[derive(Debug, Clone)]
-pub(crate) struct PointContext {
-    pub workload: SweepWorkload,
-    pub protection: ProtectionConfig,
-    pub config: DesignConfig,
-    pub gate_error_rate: f64,
-    pub kernel: Arc<CompiledKernel>,
-    pub executor: Arc<ProtectedExecutor>,
+pub struct PointContext {
+    pub(crate) workload: SweepWorkload,
+    pub(crate) protection: ProtectionConfig,
+    pub(crate) config: DesignConfig,
+    pub(crate) gate_error_rate: f64,
+    pub(crate) kernel: Arc<CompiledKernel>,
+    pub(crate) executor: Arc<ProtectedExecutor>,
     /// Lane-batched executor for the same design point (the sliced
     /// backend); shares the point's compiled schedule.
-    pub sliced: Arc<SlicedExecutor>,
+    pub(crate) sliced: Arc<SlicedExecutor>,
     /// Analytic single-row time estimate (ns) from the system model.
-    pub est_time_ns: f64,
+    pub(crate) est_time_ns: f64,
     /// Analytic single-row energy estimate (fJ) from the system model.
-    pub est_energy_fj: f64,
+    pub(crate) est_energy_fj: f64,
+    /// Workload name, formatted once at preparation time so report
+    /// assembly never re-formats labels.
+    pub(crate) workload_name: String,
+    /// Technology display label, cached like [`Self::workload_name`].
+    pub(crate) technology_label: String,
+    /// Protection label (e.g. `"ECiM/m-o"`), cached like
+    /// [`Self::workload_name`] — built from the scheme runtime's
+    /// `&'static str` display name.
+    pub(crate) protection_label: String,
 }
 
 impl PointContext {
+    /// Assembles a point, formatting its report labels exactly once (the
+    /// scheme's `&'static str` display name plus the gate-style and
+    /// technology labels) so the per-point aggregation path allocates no
+    /// fresh formatting.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        workload: SweepWorkload,
+        protection: ProtectionConfig,
+        config: DesignConfig,
+        gate_error_rate: f64,
+        kernel: Arc<CompiledKernel>,
+        executor: Arc<ProtectedExecutor>,
+        sliced: Arc<SlicedExecutor>,
+        est_time_ns: f64,
+        est_energy_fj: f64,
+    ) -> Self {
+        let workload_name = workload.name();
+        let technology_label = config.technology.to_string();
+        let protection_label = protection.label();
+        Self {
+            workload,
+            protection,
+            config,
+            gate_error_rate,
+            kernel,
+            executor,
+            sliced,
+            est_time_ns,
+            est_energy_fj,
+            workload_name,
+            technology_label,
+            protection_label,
+        }
+    }
+
+    /// The design configuration of this point.
+    pub fn config(&self) -> &DesignConfig {
+        &self.config
+    }
+
+    /// The workload this point executes.
+    pub fn workload(&self) -> SweepWorkload {
+        self.workload
+    }
+
+    /// The protection design point (scheme + gate style).
+    pub fn protection(&self) -> ProtectionConfig {
+        self.protection
+    }
+
+    /// The cached point label triple `(workload, technology, protection)`.
+    pub fn labels(&self) -> (&str, &str, &str) {
+        (
+            &self.workload_name,
+            &self.technology_label,
+            &self.protection_label,
+        )
+    }
+
     /// The point's fault regime as [`ErrorRates`] (gate-output faults only,
     /// the sweep engine's error model).
     fn rates(&self) -> ErrorRates {
@@ -173,12 +243,14 @@ impl PointContext {
     }
 
     /// Whether this point's trials can run on the sliced backend with
-    /// bit-identical results: the fault regime must be gate-only (always
-    /// true for plan-derived points) at a rate the lane-masked injector
-    /// reproduces exactly. Points that fail this run on the scalar backend
-    /// even when `SimBackend::Sliced` is requested.
-    fn sliceable(&self) -> bool {
-        SlicedFaultInjector::supports(&self.rates())
+    /// bit-identical results: the **scheme** must declare the lane-batched
+    /// run path (a registry capability, not an engine special case) and
+    /// the fault regime must be gate-only (always true for plan-derived
+    /// points) at a rate the lane-masked injector reproduces exactly.
+    /// Points that fail either check run on the scalar path even when
+    /// [`SimBackend::Sliced`] is requested.
+    pub fn sliceable(&self) -> bool {
+        self.config.scheme.runtime().sliceable() && SlicedFaultInjector::supports(&self.rates())
     }
 }
 
@@ -259,8 +331,11 @@ pub(crate) struct TrialBatch {
     scratch: SlicedExecScratch,
 }
 
-/// Executes one Monte Carlo trial in `arena`.
-fn run_trial(ctx: &PointContext, base_seed: u64, arena: &mut TrialArena) -> TrialOutcome {
+/// Executes one Monte Carlo trial of `ctx` in `arena` on the scalar path.
+/// `base_seed` comes from [`derive_trial_seed`]. Public so out-of-crate
+/// [`ExecutionBackend`] implementations can compose the engine's exact
+/// per-trial semantics.
+pub fn run_trial(ctx: &PointContext, base_seed: u64, arena: &mut TrialArena) -> TrialOutcome {
     // Independent streams for input generation and fault injection.
     let (input_seed, fault_seed) = trial_stream_seeds(base_seed);
     let mut input_rng = ChaCha8Rng::seed_from_u64(input_seed);
@@ -318,8 +393,11 @@ fn run_trial(ctx: &PointContext, base_seed: u64, arena: &mut TrialArena) -> Tria
 /// Executes trials `first_trial .. first_trial + lanes` of one point as a
 /// single sliced batch (one trial per `u64` lane), appending one
 /// [`TrialOutcome`] per trial — in trial order, bit-identical to `lanes`
-/// scalar [`run_trial`] calls with the same coordinates.
-fn run_trial_batch(
+/// scalar [`run_trial`] calls with the same coordinates. Public for
+/// out-of-crate [`ExecutionBackend`] implementations; callers must only
+/// use it on points whose [`PointContext::sliceable`] returns `true` and
+/// with `1..=64` lanes.
+pub fn run_trial_batch(
     ctx: &PointContext,
     campaign_seed: u64,
     point_index: u64,
@@ -437,7 +515,7 @@ impl TrialHarness {
         let executor = Arc::new(ProtectedExecutor::new(config.clone()));
         let sliced = Arc::new(SlicedExecutor::new(config.clone()));
         Ok(Self {
-            ctx: PointContext {
+            ctx: PointContext::new(
                 workload,
                 protection,
                 config,
@@ -445,9 +523,9 @@ impl TrialHarness {
                 kernel,
                 executor,
                 sliced,
-                est_time_ns: estimate.time_ns,
-                est_energy_fj: estimate.energy_fj,
-            },
+                estimate.time_ns,
+                estimate.energy_fj,
+            ),
         })
     }
 
@@ -597,17 +675,17 @@ pub fn prepare_campaign(
                 let executor = Arc::new(ProtectedExecutor::new(config.clone()));
                 let sliced = Arc::new(SlicedExecutor::new(config.clone()));
                 for &gate_error_rate in &plan.gate_error_rates {
-                    points.push(PointContext {
+                    points.push(PointContext::new(
                         workload,
                         protection,
-                        config: config.clone(),
+                        config.clone(),
                         gate_error_rate,
-                        kernel: Arc::clone(&kernel),
-                        executor: Arc::clone(&executor),
-                        sliced: Arc::clone(&sliced),
-                        est_time_ns: estimate.time_ns,
-                        est_energy_fj: estimate.energy_fj,
-                    });
+                        Arc::clone(&kernel),
+                        Arc::clone(&executor),
+                        Arc::clone(&sliced),
+                        estimate.time_ns,
+                        estimate.energy_fj,
+                    ));
                 }
             }
         }
@@ -620,23 +698,150 @@ pub fn prepare_campaign(
     })
 }
 
-/// One parallel work item of a chunk: either a single scalar trial or a
-/// sliced batch of up to 64 consecutive trials of one point.
+/// One parallel work item of a chunk: `count` consecutive trials of one
+/// point, fused according to the backend's [`ExecutionBackend::task_width`].
 #[derive(Debug, Clone, Copy)]
-enum TrialTask {
-    /// `(point index, trial index)` on the scalar backend.
-    Single(usize, u64),
-    /// `(point index, first trial, lane count)` on the sliced backend.
-    Batch(usize, u64, u32),
+struct TrialTask {
+    /// Point index within the prepared campaign.
+    point: usize,
+    /// First trial index of the run.
+    first: u64,
+    /// Number of consecutive trials (1 for scalar tasks, up to 64 lanes
+    /// for sliced batches).
+    count: u32,
 }
 
-/// A task's result: scalar trials return their outcome by value (no
+/// A task's result: single trials return their outcome by value (no
 /// per-trial heap allocation in the hot parallel loop), batches return one
 /// vector per ≤ 64 trials.
 #[derive(Debug)]
-enum TaskOutcomes {
+pub enum TaskOutcomes {
+    /// One trial's outcome, by value.
     Single(TrialOutcome),
+    /// A fused batch's outcomes, in trial order.
     Batch(Vec<TrialOutcome>),
+}
+
+/// A Monte Carlo simulation backend: how one task of consecutive trials of
+/// a single point executes. The engine is backend-agnostic — task grouping,
+/// the parallel loop and aggregation all dispatch through this trait, so a
+/// backend never needs engine changes and per-point sliceability is a
+/// scheme-reported capability
+/// ([`SchemeRuntime::sliceable`](nvpim_core::scheme::SchemeRuntime::sliceable))
+/// rather than an engine special case.
+///
+/// **Contract:** outcomes are a pure function of `(point, campaign seed,
+/// trial index)` — never of task shape, arena history, thread or backend —
+/// so reports stay byte-identical across backends (the backend-equivalence
+/// suite asserts this).
+pub trait ExecutionBackend: std::fmt::Debug + Send + Sync {
+    /// Stable backend name (the CLI's `--backend` values).
+    fn name(&self) -> &'static str;
+
+    /// Maximum number of consecutive trials of `point` one task may fuse.
+    fn task_width(&self, point: &PointContext) -> usize;
+
+    /// Runs trials `first_trial .. first_trial + count` of `point` in
+    /// `arena`, returning their outcomes in trial order. `count` never
+    /// exceeds [`Self::task_width`] for this point.
+    #[allow(clippy::too_many_arguments)]
+    fn run_task(
+        &self,
+        point: &PointContext,
+        campaign_seed: u64,
+        point_index: u64,
+        first_trial: u64,
+        count: usize,
+        arena: &mut TrialArena,
+    ) -> TaskOutcomes;
+}
+
+/// The reference backend: one trial at a time on the scalar bit-packed
+/// array.
+#[derive(Debug)]
+pub struct ScalarBackend;
+
+impl ExecutionBackend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn task_width(&self, _point: &PointContext) -> usize {
+        1
+    }
+
+    fn run_task(
+        &self,
+        point: &PointContext,
+        campaign_seed: u64,
+        point_index: u64,
+        first_trial: u64,
+        count: usize,
+        arena: &mut TrialArena,
+    ) -> TaskOutcomes {
+        debug_assert_eq!(count, 1, "the scalar backend runs one trial per task");
+        let seed = derive_trial_seed(campaign_seed, point_index, first_trial);
+        TaskOutcomes::Single(run_trial(point, seed, arena))
+    }
+}
+
+/// The throughput backend: up to 64 trials at once, one per `u64` lane, on
+/// the transposed bit-sliced array — for points whose scheme declares the
+/// lane-batched run path; everything else transparently falls back to
+/// single scalar trials with identical bytes.
+#[derive(Debug)]
+pub struct SlicedBackend;
+
+impl ExecutionBackend for SlicedBackend {
+    fn name(&self) -> &'static str {
+        "sliced"
+    }
+
+    fn task_width(&self, point: &PointContext) -> usize {
+        if point.sliceable() {
+            LANES
+        } else {
+            1
+        }
+    }
+
+    fn run_task(
+        &self,
+        point: &PointContext,
+        campaign_seed: u64,
+        point_index: u64,
+        first_trial: u64,
+        count: usize,
+        arena: &mut TrialArena,
+    ) -> TaskOutcomes {
+        if point.sliceable() {
+            let mut out = Vec::with_capacity(count);
+            run_trial_batch(
+                point,
+                campaign_seed,
+                point_index,
+                first_trial,
+                count,
+                arena,
+                &mut out,
+            );
+            TaskOutcomes::Batch(out)
+        } else {
+            debug_assert_eq!(count, 1, "non-sliceable points run one trial per task");
+            let seed = derive_trial_seed(campaign_seed, point_index, first_trial);
+            TaskOutcomes::Single(run_trial(point, seed, arena))
+        }
+    }
+}
+
+/// Resolves the serializable backend selector to its implementation — the
+/// single place the `SimBackend` enum is interpreted (the backend analog of
+/// the scheme registry).
+pub fn execution_backend(backend: SimBackend) -> &'static dyn ExecutionBackend {
+    match backend {
+        SimBackend::Scalar => &ScalarBackend,
+        SimBackend::Sliced => &SlicedBackend,
+    }
 }
 
 impl PreparedCampaign {
@@ -692,6 +897,25 @@ impl PreparedCampaign {
     pub fn run_chunked(
         &self,
         chunk_trials: usize,
+        observer: impl FnMut(CampaignProgress) -> CampaignControl,
+    ) -> Result<SweepReport, SweepError> {
+        self.run_chunked_with(execution_backend(self.backend), chunk_trials, observer)
+    }
+
+    /// [`Self::run_chunked`] on an explicit [`ExecutionBackend`]
+    /// implementation — the open end of the backend seam: campaigns can
+    /// run on backends defined outside this crate (the built-in
+    /// [`SimBackend`] selector resolves through the same path). The
+    /// byte-identity guarantee holds for any backend honouring the
+    /// [`ExecutionBackend`] contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run_chunked`].
+    pub fn run_chunked_with(
+        &self,
+        backend: &dyn ExecutionBackend,
+        chunk_trials: usize,
         mut observer: impl FnMut(CampaignProgress) -> CampaignControl,
     ) -> Result<SweepReport, SweepError> {
         let chunk_trials = chunk_trials.max(1);
@@ -701,35 +925,35 @@ impl PreparedCampaign {
         let trials_total = trials.len() as u64;
         let campaign_seed = self.plan.campaign_seed;
         let points_ref = &self.points;
-        let use_sliced = self.backend == SimBackend::Sliced;
 
         let mut outcomes: Vec<TrialOutcome> = Vec::with_capacity(trials.len());
         for chunk in trials.chunks(chunk_trials) {
-            // Group runs of consecutive trials of one sliceable point into
-            // 64-lane batch tasks; everything else stays a scalar task.
-            // Grouping is pure scheduling: every trial's outcome remains a
-            // function of `(point, seed)` alone, so the flattened outcome
-            // list is identical for any batch shape, chunk size, thread
-            // count and backend.
+            // Group runs of consecutive trials of one point into tasks of
+            // the backend's width (1 for scalar, up to 64 lanes for sliced
+            // points whose scheme declares the capability). Grouping is
+            // pure scheduling: every trial's outcome remains a function of
+            // `(point, seed)` alone, so the flattened outcome list is
+            // identical for any task shape, chunk size, thread count and
+            // backend.
             let mut tasks: Vec<TrialTask> = Vec::new();
             let mut i = 0usize;
             while i < chunk.len() {
                 let (pi, ti) = chunk[i];
-                if use_sliced && points_ref[pi].sliceable() {
-                    let mut lanes = 1usize;
-                    while lanes < LANES && i + lanes < chunk.len() {
-                        let (pj, tj) = chunk[i + lanes];
-                        if pj != pi || tj != ti + lanes as u64 {
-                            break;
-                        }
-                        lanes += 1;
+                let width = backend.task_width(&points_ref[pi]);
+                let mut count = 1usize;
+                while count < width && i + count < chunk.len() {
+                    let (pj, tj) = chunk[i + count];
+                    if pj != pi || tj != ti + count as u64 {
+                        break;
                     }
-                    tasks.push(TrialTask::Batch(pi, ti, lanes as u32));
-                    i += lanes;
-                } else {
-                    tasks.push(TrialTask::Single(pi, ti));
-                    i += 1;
+                    count += 1;
                 }
+                tasks.push(TrialTask {
+                    point: pi,
+                    first: ti,
+                    count: count as u32,
+                });
+                i += count;
             }
             // `map_init` hands each worker thread a private `TrialArena`
             // (arrays + buffers reset in place per task), so steady-state
@@ -737,24 +961,15 @@ impl PreparedCampaign {
             // their per-64-trial outcome vector.
             let chunk_outcomes: Vec<TaskOutcomes> = tasks
                 .into_par_iter()
-                .map_init(TrialArena::new, move |arena, task| match task {
-                    TrialTask::Single(pi, ti) => {
-                        let seed = derive_trial_seed(campaign_seed, pi as u64, ti);
-                        TaskOutcomes::Single(run_trial(&points_ref[pi], seed, arena))
-                    }
-                    TrialTask::Batch(pi, first, lanes) => {
-                        let mut out = Vec::with_capacity(lanes as usize);
-                        run_trial_batch(
-                            &points_ref[pi],
-                            campaign_seed,
-                            pi as u64,
-                            first,
-                            lanes as usize,
-                            arena,
-                            &mut out,
-                        );
-                        TaskOutcomes::Batch(out)
-                    }
+                .map_init(TrialArena::new, move |arena, task| {
+                    backend.run_task(
+                        &points_ref[task.point],
+                        campaign_seed,
+                        task.point as u64,
+                        task.first,
+                        task.count as usize,
+                        arena,
+                    )
                 })
                 .collect();
             for task_outcomes in chunk_outcomes {
@@ -883,17 +1098,17 @@ mod tests {
         let config = protection.design_config(Technology::SttMram);
         let mut cache = ScheduleCache::new();
         let kernel = cache.get_or_compile(workload, &config).unwrap();
-        let ctx = PointContext {
+        let ctx = PointContext::new(
             workload,
             protection,
-            config: config.clone(),
-            gate_error_rate: 1e-3,
+            config.clone(),
+            1e-3,
             kernel,
-            executor: Arc::new(ProtectedExecutor::new(config.clone())),
-            sliced: Arc::new(SlicedExecutor::new(config)),
-            est_time_ns: 0.0,
-            est_energy_fj: 0.0,
-        };
+            Arc::new(ProtectedExecutor::new(config.clone())),
+            Arc::new(SlicedExecutor::new(config)),
+            0.0,
+            0.0,
+        );
         let broken = TrialOutcome {
             faults_injected: 0,
             checks: 0,

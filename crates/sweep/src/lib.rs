@@ -45,9 +45,10 @@ pub mod plan;
 pub mod report;
 
 pub use engine::{
-    derive_trial_seed, prepare_campaign, run_campaign, run_campaign_with_backend,
-    trial_stream_seeds, CampaignControl, CampaignProgress, CompiledKernel, PreparedCampaign,
-    ScheduleCache, TrialArena, TrialHarness,
+    derive_trial_seed, execution_backend, prepare_campaign, run_campaign,
+    run_campaign_with_backend, trial_stream_seeds, CampaignControl, CampaignProgress,
+    CompiledKernel, ExecutionBackend, PointContext, PreparedCampaign, ScalarBackend, ScheduleCache,
+    SlicedBackend, TrialArena, TrialHarness,
 };
 pub use nvpim_core::config::SimBackend;
 pub use plan::{ProtectionConfig, SweepPlan, SweepWorkload};

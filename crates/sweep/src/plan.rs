@@ -43,19 +43,40 @@ impl ProtectionConfig {
         scheme: ProtectionScheme::Trim,
         gate_style: GateStyle::SingleOutput,
     };
+    /// Detection-only even parity with multi-output gates (lands through
+    /// the scheme registry's plugin path — no engine dispatch knows it).
+    pub const PARITY_DETECT: ProtectionConfig = ProtectionConfig {
+        scheme: ProtectionScheme::ParityDetect,
+        gate_style: GateStyle::MultiOutput,
+    };
+    /// Detection-only even parity with single-output gates.
+    pub const PARITY_DETECT_SINGLE_OUTPUT: ProtectionConfig = ProtectionConfig {
+        scheme: ProtectionScheme::ParityDetect,
+        gate_style: GateStyle::SingleOutput,
+    };
 
     /// The three multi-output design points of the paper's evaluation.
     pub fn paper_trio() -> Vec<ProtectionConfig> {
         vec![Self::UNPROTECTED, Self::ECIM, Self::TRIM]
     }
 
-    /// The full design configuration for a technology.
+    /// One multi-output design point per registered scheme, in registry
+    /// order — automatically includes schemes added after this crate
+    /// shipped.
+    pub fn registry_sweep() -> Vec<ProtectionConfig> {
+        ProtectionScheme::all()
+            .map(|scheme| ProtectionConfig {
+                scheme,
+                gate_style: GateStyle::MultiOutput,
+            })
+            .collect()
+    }
+
+    /// The full design configuration for a technology — scheme-agnostic:
+    /// any registered scheme resolves through
+    /// [`DesignConfig::for_scheme`], never through a per-scheme match.
     pub fn design_config(&self, technology: Technology) -> DesignConfig {
-        let base = match self.scheme {
-            ProtectionScheme::Unprotected => DesignConfig::unprotected(technology),
-            ProtectionScheme::Ecim => DesignConfig::ecim(technology),
-            ProtectionScheme::Trim => DesignConfig::trim(technology),
-        };
+        let base = DesignConfig::for_scheme(self.scheme, technology);
         match self.gate_style {
             GateStyle::MultiOutput => base,
             GateStyle::SingleOutput => base.with_single_output_gates(),

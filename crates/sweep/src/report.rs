@@ -88,9 +88,12 @@ impl PointSummary {
     pub(crate) fn aggregate(ctx: &PointContext, outcomes: &[TrialOutcome]) -> Self {
         let trials = outcomes.len() as u64;
         let mut s = PointSummary {
-            workload: ctx.workload.name(),
-            technology: ctx.config.technology.to_string(),
-            protection: ctx.protection.label(),
+            // Labels were formatted exactly once at preparation time (from
+            // the scheme runtime's `&'static str` name); report assembly
+            // only clones the cached strings.
+            workload: ctx.workload_name.clone(),
+            technology: ctx.technology_label.clone(),
+            protection: ctx.protection_label.clone(),
             gate_error_rate: ctx.gate_error_rate,
             trials,
             faults_injected: 0,

@@ -1,24 +1,16 @@
-//! # nvpim
+//! # nvpim-repro
 //!
-//! Umbrella crate of the `nvpim` workspace — a from-scratch Rust
-//! reproduction of *"On Error Correction for Nonvolatile
-//! Processing-In-Memory"* (Cılasun et al., ISCA 2024).
+//! Workspace umbrella of the `nvpim` reproduction of *"On Error Correction
+//! for Nonvolatile Processing-In-Memory"* (Cılasun et al., ISCA 2024).
 //!
-//! The workspace implements the paper's two single-error-protection designs
-//! for processing-in-memory architectures that compute inside nonvolatile
-//! memory arrays, together with every substrate they need:
-//!
-//! | Layer | Crate | Re-export |
-//! |---|---|---|
-//! | ECC substrate (GF(2), Hamming, BCH, voting) | `nvpim-ecc` | [`ecc`] |
-//! | PiM array substrate (cells, gates, faults, electrical model) | `nvpim-sim` | [`sim`] |
-//! | Application mapping (NOR synthesis, scheduling, reclaims) | `nvpim-compiler` | [`compiler`] |
-//! | ECiM / TRiM, Checker, SEP analysis, system model | `nvpim-core` | [`core`] |
-//! | Benchmarks (mm, mnist, fft) | `nvpim-workloads` | [`workloads`] |
-//! | Monte Carlo fault-sweep campaigns | `nvpim-sweep` | [`sweep`] |
-//!
-//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the experiment index.
+//! The stable public surface lives in the [`nvpim`] **facade crate**
+//! (`crates/nvpim`): layer re-exports, the scheme registry and the
+//! builder-style campaign entry point
+//! (`Campaign::builder().technology(..).scheme(..).rate_grid(..).trials(..).build()?.run()`).
+//! This umbrella package exists to host the workspace-level integration
+//! tests and examples — all of which import `nvpim::…` and therefore
+//! exercise the facade exactly as an external consumer would. See
+//! `docs/api.md` for the API tour and the add-a-scheme walkthrough.
 //!
 //! # Examples
 //!
@@ -44,9 +36,4 @@
 
 #![warn(missing_docs)]
 
-pub use nvpim_compiler as compiler;
-pub use nvpim_core as core;
-pub use nvpim_ecc as ecc;
-pub use nvpim_sim as sim;
-pub use nvpim_sweep as sweep;
-pub use nvpim_workloads as workloads;
+pub use nvpim::*;
