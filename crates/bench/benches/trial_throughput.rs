@@ -13,17 +13,30 @@
 //!   per trial, per-operation Bernoulli fault draws, a fresh executor
 //!   scratch per run.
 //!
+//! A fourth series measures the rare-event stratified estimator at a gate
+//! rate of 1e-5 on the same point:
+//!
+//! * `estimator` — conditioned trials (every trial guaranteed ≥ 1 fault in
+//!   the decision window) whose *effective* throughput is the raw
+//!   conditioned rate divided by `P1 = P(≥1 fault)`, compared against
+//!   `exact_rare` — the historical full-simulation path (analytic
+//!   zero-fault fast path disabled) at the same rate.
+//!
 //! Besides the criterion-style console lines, the bench rewrites
 //! `BENCH_trials.json` at the repo root (override with `NVPIM_BENCH_OUT`)
-//! with absolute trials/sec for all three series, so the perf trajectory
+//! with absolute trials/sec for all series, so the perf trajectory
 //! is tracked *in-repo* — the committed file is the previous baseline and
 //! CI uploads the fresh one as an artifact. Set `NVPIM_BENCH_QUICK=1` to
 //! cut sample counts for smoke runs, and `NVPIM_BENCH_GUARD=1` to turn
 //! the run into a perf gate: the process exits non-zero when the sliced
 //! backend drops below `NVPIM_BENCH_MIN_RATIO`× the scalar backend
 //! (default 2.0 — conservative against CI noise; the measured ratio is
-//! far higher) or below the absolute `NVPIM_BENCH_FLOOR_TPS` floor
-//! (default 50000 trials/s).
+//! far higher), below the absolute `NVPIM_BENCH_FLOOR_TPS` floor
+//! (default 50000 trials/s), or when the estimator's effective gain over
+//! the full-simulation reference drops below
+//! `NVPIM_BENCH_MIN_ESTIMATOR_GAIN` (default 5.0). Guard mode also runs a
+//! statistical estimator-vs-exact cross-check: the reweighted conditioned
+//! failure rate must agree with a plain Monte Carlo estimate within 5σ.
 
 use std::time::Instant;
 
@@ -39,6 +52,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 const GATE_ERROR_RATE: f64 = 1e-4;
+/// The rare-event regime the stratified estimator is priced at.
+const RARE_GATE_ERROR_RATE: f64 = 1e-5;
 const CAMPAIGN_SEED: u64 = 0x7147_0000;
 const LANES: u64 = 64;
 
@@ -57,7 +72,11 @@ fn env_f64(name: &str, default: f64) -> f64 {
 
 /// The paper-regime point: ECiM/m-o on STT-MRAM with Hamming(71, 64).
 fn paper_regime_harness() -> TrialHarness {
-    let config = ProtectionConfig::ECIM
+    harness_at(ProtectionConfig::ECIM, GATE_ERROR_RATE)
+}
+
+fn harness_at(protection: ProtectionConfig, gate_error_rate: f64) -> TrialHarness {
+    let config = protection
         .design_config(Technology::SttMram)
         .with_hamming_data_bits(64);
     TrialHarness::new(
@@ -65,11 +84,11 @@ fn paper_regime_harness() -> TrialHarness {
             acc_bits: 8,
             mul_bits: 4,
         },
-        ProtectionConfig::ECIM,
+        protection,
         config,
-        GATE_ERROR_RATE,
+        gate_error_rate,
     )
-    .expect("paper-regime point compiles")
+    .expect("bench point compiles")
 }
 
 /// One trial the way the pre-optimization engine ran it: fresh array
@@ -185,6 +204,31 @@ fn emit_json_and_guard() {
         }),
     };
 
+    // Rare-event estimator series: at a gate rate of 1e-5, conditioned
+    // trials (each guaranteed ≥ 1 fault) each stand for 1/P1 plain trials;
+    // the fair baseline is the historical full-simulation path with the
+    // analytic zero-fault fast path disabled.
+    let exact_rare =
+        harness_at(ProtectionConfig::ECIM, RARE_GATE_ERROR_RATE).without_analytic_fast_path();
+    let conditioned =
+        harness_at(ProtectionConfig::ECIM, RARE_GATE_ERROR_RATE).with_stratified_estimator();
+    let p1 = conditioned.fault_probability();
+    let (exact_rare_trials, conditioned_trials) = if quick_mode() {
+        (400u64, 400u64)
+    } else {
+        (4_000u64, 4_000u64)
+    };
+    exact_rare.run_trial(CAMPAIGN_SEED, 0, &mut arena);
+    conditioned.run_trial(CAMPAIGN_SEED, 0, &mut arena);
+    let exact_rare_tps = measure(exact_rare_trials, 1, |t| {
+        black_box(exact_rare.run_trial(CAMPAIGN_SEED, t, &mut arena));
+    });
+    let conditioned_tps = measure(conditioned_trials, 1, |t| {
+        black_box(conditioned.run_trial(CAMPAIGN_SEED, t, &mut arena));
+    });
+    let effective_tps = conditioned_tps / p1;
+    let estimator_gain = effective_tps / exact_rare_tps;
+
     let out_path = std::env::var("NVPIM_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_trials.json", env!("CARGO_MANIFEST_DIR")));
     let json = format!(
@@ -202,17 +246,27 @@ fn emit_json_and_guard() {
             "  \"series\": {{\n",
             "    \"sliced\": {{ \"trials\": {st}, \"trials_per_sec\": {stps:.1} }},\n",
             "    \"scalar\": {{ \"trials\": {ct}, \"trials_per_sec\": {ctps:.1} }},\n",
-            "    \"legacy\": {{ \"trials\": {lt}, \"trials_per_sec\": {ltps:.1} }}\n",
+            "    \"legacy\": {{ \"trials\": {lt}, \"trials_per_sec\": {ltps:.1} }},\n",
+            "    \"exact_rare\": {{ \"gate_error_rate\": {rrate}, \"trials\": {ert}, ",
+            "\"trials_per_sec\": {ertps:.1} }},\n",
+            "    \"estimator\": {{ \"gate_error_rate\": {rrate}, \"trials\": {et}, ",
+            "\"trials_per_sec\": {etps:.1}, \"fault_probability\": {p1:.6e}, ",
+            "\"effective_trials_per_sec\": {efftps:.1} }}\n",
             "  }},\n",
             "  \"sliced_trials_per_sec\": {stps:.1},\n",
             "  \"scalar_trials_per_sec\": {ctps:.1},\n",
             "  \"speedup_sliced_vs_scalar\": {svc:.2},\n",
             "  \"speedup_scalar_vs_legacy\": {cvl:.2},\n",
+            "  \"estimator_effective_gain\": {egain:.2},\n",
             "  \"note\": \"sliced = 64-trials-per-u64-lane transposed backend (the engine ",
             "default); scalar = the per-trial packed-arena reference backend; legacy = ",
             "fresh array + per-op Bernoulli + fresh scratch, replaying the engine's exact ",
             "per-trial input/fault streams. All three produce identical per-trial ",
-            "outcomes; see docs/performance.md for the measured history\"\n",
+            "outcomes; see docs/performance.md for the measured history. ",
+            "estimator = stratified rare-event mode at gate rate 1e-5: conditioned ",
+            "trials reweighted by P1, effective rate = trials_per_sec / P1, measured ",
+            "against exact_rare, the full-simulation path at the same rate with the ",
+            "analytic zero-fault fast path disabled\"\n",
             "}}\n"
         ),
         tech = harness.config().technology,
@@ -227,6 +281,14 @@ fn emit_json_and_guard() {
         ltps = legacy.trials_per_sec,
         svc = sliced.trials_per_sec / scalar.trials_per_sec,
         cvl = scalar.trials_per_sec / legacy.trials_per_sec,
+        rrate = RARE_GATE_ERROR_RATE,
+        ert = exact_rare_trials,
+        ertps = exact_rare_tps,
+        et = conditioned_trials,
+        etps = conditioned_tps,
+        p1 = p1,
+        efftps = effective_tps,
+        egain = estimator_gain,
     );
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}\n{json}"),
@@ -258,14 +320,78 @@ fn emit_json_and_guard() {
             );
             failed = true;
         }
+        let min_gain = env_f64("NVPIM_BENCH_MIN_ESTIMATOR_GAIN", 5.0);
+        if estimator_gain < min_gain {
+            eprintln!(
+                "PERF GUARD FAILED: estimator effective gain {estimator_gain:.2} < required \
+                 {min_gain:.2} (conditioned {conditioned_tps:.0} trials/s / P1 {p1:.3e} vs \
+                 full-sim {exact_rare_tps:.0} trials/s)"
+            );
+            failed = true;
+        }
+        if let Err(msg) = estimator_cross_check() {
+            eprintln!("PERF GUARD FAILED: {msg}");
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
         println!(
-            "perf guard OK: sliced {:.0} trials/s = {ratio:.1}x scalar (floor {floor_tps:.0}, min ratio {min_ratio:.1})",
+            "perf guard OK: sliced {:.0} trials/s = {ratio:.1}x scalar (floor {floor_tps:.0}, \
+             min ratio {min_ratio:.1}); estimator effective gain {estimator_gain:.1}x \
+             (min {min_gain:.1}); estimator-vs-exact cross-check within 5 sigma",
             sliced.trials_per_sec
         );
     }
+}
+
+/// Statistical estimator-vs-exact cross-check (guard mode only): on the
+/// unprotected scheme at gate rate 1e-4 — where output failures are common
+/// enough for a plain Monte Carlo estimate to be meaningful — the
+/// reweighted conditioned failure rate must agree with the exact-mode
+/// failure rate within 5σ of the combined sampling noise.
+fn estimator_cross_check() -> Result<(), String> {
+    const CROSS_RATE: f64 = 1e-4;
+    let (exact_n, conditioned_n) = if quick_mode() {
+        (2_000u64, 500u64)
+    } else {
+        (8_000u64, 2_000u64)
+    };
+    let exact = harness_at(ProtectionConfig::UNPROTECTED, CROSS_RATE);
+    let conditioned =
+        harness_at(ProtectionConfig::UNPROTECTED, CROSS_RATE).with_stratified_estimator();
+    let p1 = conditioned.fault_probability();
+    let mut arena = TrialArena::new();
+    let mut exact_failures = 0u64;
+    for t in 0..exact_n {
+        if exact.run_trial(CAMPAIGN_SEED, t, &mut arena).failed() {
+            exact_failures += 1;
+        }
+    }
+    let mut conditioned_failures = 0u64;
+    for t in 0..conditioned_n {
+        // Independent seed stream from the exact side.
+        if conditioned
+            .run_trial(CAMPAIGN_SEED ^ 1, t, &mut arena)
+            .failed()
+        {
+            conditioned_failures += 1;
+        }
+    }
+    let exact_rate = exact_failures as f64 / exact_n as f64;
+    let q = conditioned_failures as f64 / conditioned_n as f64;
+    let stratified_rate = p1 * q;
+    let variance = exact_rate * (1.0 - exact_rate) / exact_n as f64
+        + p1 * p1 * q * (1.0 - q) / conditioned_n as f64;
+    let tolerance = 5.0 * variance.sqrt() + 1e-9;
+    let diff = (stratified_rate - exact_rate).abs();
+    if diff > tolerance {
+        return Err(format!(
+            "estimator cross-check: stratified rate {stratified_rate:.4e} (P1 {p1:.3e} x q \
+             {q:.4}) vs exact rate {exact_rate:.4e} differ by {diff:.3e} > 5 sigma {tolerance:.3e}"
+        ));
+    }
+    Ok(())
 }
 
 fn main() {

@@ -9,7 +9,8 @@
 //! nvpim-cli stats   [--addr A]
 //! nvpim-cli shutdown [--addr A]
 //! nvpim-cli run     (--plan plan.json | --quick | --paper-scale)
-//!                   [--backend scalar|sliced]                      # no daemon
+//!                   [--backend scalar|sliced]
+//!                   [--estimator exact|stratified]                 # no daemon
 //! nvpim-cli schemes [--json]        # the protection-scheme registry
 //! ```
 //!
@@ -24,7 +25,7 @@
 use nvpim::service::client::{request, Client};
 use nvpim::service::flags::{has_flag, value_of};
 use nvpim::sweep::run_campaign_with_backend;
-use nvpim::{SimBackend, SweepPlan};
+use nvpim::{EstimatorMode, SimBackend, SweepPlan};
 use serde::Value;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7171";
@@ -193,7 +194,15 @@ fn simple_command(args: &[String], cmd: &str, fields: Vec<(String, Value)>) {
 }
 
 fn cmd_run(args: &[String]) {
-    let plan = plan_local(args);
+    let mut plan = plan_local(args);
+    // `--estimator stratified` switches the campaign to the rare-event
+    // estimator (conditioned trials, reweighted rates, Wilson CIs, schema
+    // version 2); the default leaves the plan's own mode — Exact unless the
+    // plan file says otherwise — and its byte-stable report format.
+    if let Some(text) = value_of(args, "--estimator") {
+        let estimator: EstimatorMode = text.parse().unwrap_or_else(|e| die(e));
+        plan.estimator = estimator;
+    }
     plan.validate().unwrap_or_else(|e| die(e));
     // Reports are byte-identical across backends; `--backend scalar` is
     // the reference path for cross-checking the sliced default.
@@ -229,6 +238,7 @@ fn cmd_schemes(args: &[String]) {
                         "cells_per_value".into(),
                         Value::UInt(caps.cells_per_value as u64),
                     ),
+                    ("analytic_clean".into(), Value::Bool(caps.analytic_clean)),
                 ])
             })
             .collect();
@@ -236,25 +246,27 @@ fn cmd_schemes(args: &[String]) {
         return;
     }
     println!(
-        "{:<14} {:<12} {:>9} {:>11} {:>11} {:>16} {:>15}",
+        "{:<14} {:<12} {:>9} {:>11} {:>11} {:>16} {:>15} {:>14}",
         "scheme",
         "display",
         "sliceable",
         "detect-only",
         "parity bits",
         "metadata columns",
-        "cells per value"
+        "cells per value",
+        "analytic-clean"
     );
     for (scheme, caps) in rows {
         println!(
-            "{:<14} {:<12} {:>9} {:>11} {:>11} {:>16} {:>15}",
+            "{:<14} {:<12} {:>9} {:>11} {:>11} {:>16} {:>15} {:>14}",
             scheme.wire_name(),
             scheme.name(),
             caps.sliceable,
             caps.detect_only,
             caps.parity_bits,
             caps.metadata_columns,
-            caps.cells_per_value
+            caps.cells_per_value,
+            caps.analytic_clean
         );
     }
 }

@@ -47,6 +47,13 @@ pub struct SchemeCapabilities {
     pub metadata_columns: usize,
     /// Cells each computed value occupies (3 for triple-redundant TRiM).
     pub cells_per_value: usize,
+    /// Whether a zero-fault trial of the scheme is analytically settleable:
+    /// the clean-run operation sequence, check count and metadata traffic
+    /// are a pure function of the schedule (never of the inputs), so one
+    /// captured clean trial stands for every zero-fault trial of a point.
+    /// This legalizes the engine's analytic fast path and the stratified
+    /// estimator's zero-fault stratum.
+    pub analytic_clean: bool,
 }
 
 /// Per-technology cost parameters handed to
@@ -124,6 +131,21 @@ pub trait SchemeRuntime: std::fmt::Debug + Sync {
         false
     }
 
+    /// Whether a fault-free trial of this scheme is analytically
+    /// settleable: its clean-run operation sequence, check count and
+    /// metadata traffic must be a pure function of the schedule — never of
+    /// the trial's input data — so a single captured clean trial stands for
+    /// every zero-fault trial of the same design point. All registered
+    /// schemes satisfy this (their run paths are schedule-driven on GF(2));
+    /// a future scheme whose zero-fault op count branches on data must
+    /// override this to `false`, which routes its points through plain
+    /// exhaustive Monte Carlo. The engine additionally cross-checks the
+    /// claim at preparation time by capturing the clean profile twice with
+    /// different inputs.
+    fn analytic_clean(&self) -> bool {
+        true
+    }
+
     /// In-memory parity bits maintained per check group under `config`.
     fn parity_bits(&self, config: &DesignConfig) -> usize {
         let _ = config;
@@ -139,6 +161,7 @@ pub trait SchemeRuntime: std::fmt::Debug + Sync {
             parity_bits: self.parity_bits(config),
             metadata_columns: self.metadata_columns(config),
             cells_per_value: self.cells_per_value(),
+            analytic_clean: self.analytic_clean(),
         }
     }
 

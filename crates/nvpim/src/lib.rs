@@ -60,7 +60,8 @@ pub use nvpim_core::config::{DesignConfig, GateStyle, ProtectionScheme, SimBacke
 pub use nvpim_core::scheme::{SchemeCapabilities, SchemeRuntime};
 pub use nvpim_sim::technology::Technology;
 pub use nvpim_sweep::{
-    ExecutionBackend, ProtectionConfig, SweepError, SweepPlan, SweepReport, SweepWorkload,
+    EstimatorMode, ExecutionBackend, ProtectionConfig, SweepError, SweepPlan, SweepReport,
+    SweepWorkload,
 };
 pub use nvpim_workloads::Benchmark;
 
@@ -132,6 +133,7 @@ pub struct CampaignBuilder {
     trials: u64,
     seed: Option<u64>,
     backend: SimBackend,
+    estimator: EstimatorMode,
 }
 
 impl CampaignBuilder {
@@ -195,6 +197,17 @@ impl CampaignBuilder {
         self
     }
 
+    /// Selects the estimator mode (default: [`EstimatorMode::Exact`], the
+    /// byte-stable plain Monte Carlo path).
+    /// [`EstimatorMode::Stratified`] conditions trials on the rare
+    /// at-least-one-fault stratum and adds unbiased reweighted rates with
+    /// confidence intervals to every point — the mode for gate rates at or
+    /// below ~1e-5.
+    pub fn estimator(mut self, estimator: EstimatorMode) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
     /// Validates the assembled plan and returns the runnable [`Campaign`].
     ///
     /// # Errors
@@ -226,6 +239,7 @@ impl CampaignBuilder {
             },
             seeds_per_point: self.trials,
             campaign_seed: self.seed.unwrap_or(quick.campaign_seed),
+            estimator: self.estimator,
         };
         plan.validate()?;
         Ok(Campaign {

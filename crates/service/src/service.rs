@@ -11,7 +11,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use nvpim_sweep::{
-    prepare_campaign, CampaignControl, ScheduleCache, SimBackend, SweepError, SweepPlan,
+    prepare_campaign, CampaignControl, EstimatorMode, ScheduleCache, SimBackend, SweepError,
+    SweepPlan,
 };
 use serde::Serialize;
 
@@ -143,6 +144,10 @@ pub struct ServiceStats {
     pub schedule_cache_hits: u64,
     /// Schedule lookups that compiled.
     pub schedule_cache_compiles: u64,
+    /// Submissions whose plan requested the stratified rare-event
+    /// estimator (counted at acceptance, including cached and coalesced
+    /// submissions — the demand signal, not the work done).
+    pub estimator_jobs: u64,
 }
 
 struct WorkItem {
@@ -163,6 +168,8 @@ struct Counters {
     trials_executed: AtomicU64,
     /// Total campaign wall time across the worker pool, in nanoseconds.
     busy_nanos: AtomicU64,
+    /// Accepted submissions whose plan ran in stratified estimator mode.
+    estimator_jobs: AtomicU64,
 }
 
 struct Inner {
@@ -241,6 +248,12 @@ impl ServiceHandle {
             return Err(ServiceError::ShuttingDown);
         }
         plan.validate().map_err(ServiceError::InvalidPlan)?;
+        if plan.estimator != EstimatorMode::Exact {
+            inner
+                .counters
+                .estimator_jobs
+                .fetch_add(1, Ordering::Relaxed);
+        }
         let digest = plan.content_digest();
         let trials_total = plan.trial_count();
         let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
@@ -451,6 +464,7 @@ impl ServiceHandle {
             schedule_cache_entries: sched_entries,
             schedule_cache_hits: sched_hits,
             schedule_cache_compiles: sched_compiles,
+            estimator_jobs: inner.counters.estimator_jobs.load(Ordering::Relaxed),
         }
     }
 
@@ -590,6 +604,31 @@ mod tests {
         plan.seeds_per_point = 2;
         plan.campaign_seed = seed;
         plan
+    }
+
+    #[test]
+    fn estimator_submissions_are_counted_and_reported() {
+        let service = ServiceHandle::start(ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let exact = tiny_plan(7);
+        let first = service.submit(exact, 0).unwrap();
+        service.wait(first.job, None).unwrap();
+        assert_eq!(service.stats().estimator_jobs, 0);
+
+        let mut stratified = tiny_plan(7);
+        stratified.estimator = EstimatorMode::Stratified;
+        let second = service.submit(stratified, 0).unwrap();
+        assert!(
+            !second.cached,
+            "a stratified plan must not hit the exact plan's cached report"
+        );
+        let report = service.wait(second.job, None).unwrap();
+        assert!(report.contains("\"schema_version\": 2"));
+        assert!(report.contains("\"estimator\""));
+        assert_eq!(service.stats().estimator_jobs, 1);
+        service.shutdown();
     }
 
     #[test]

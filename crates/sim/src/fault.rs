@@ -144,6 +144,11 @@ pub struct FaultInjector {
     sampling: FaultSampling,
     /// Skip-ahead state per [`FaultSite`] (indexed by `site_index`).
     skips: [Option<PendingSkip>; 4],
+    /// Fault decisions made per [`FaultSite`] (indexed by `site_index`).
+    /// Counted in every sampling mode, at every rate — including zero — so
+    /// a fault-free probe run measures exactly how many decisions a real
+    /// trial at the same design point will face per site.
+    decisions: [u64; 4],
 }
 
 impl FaultInjector {
@@ -158,6 +163,7 @@ impl FaultInjector {
             log: Vec::new(),
             sampling: FaultSampling::default(),
             skips: [None; 4],
+            decisions: [0; 4],
         }
     }
 
@@ -194,6 +200,7 @@ impl FaultInjector {
         self.temporal_boost_remaining = 0;
         self.log.clear();
         self.skips = [None; 4];
+        self.decisions = [0; 4];
     }
 
     /// The configured error rates.
@@ -215,6 +222,7 @@ impl FaultInjector {
     /// Decides whether a bit produced at (`row`, `col`) by `site` is flipped,
     /// returning the possibly-corrupted value.
     pub fn apply(&mut self, site: FaultSite, row: usize, col: usize, value: bool) -> bool {
+        self.decisions[Self::site_index(site)] += 1;
         let mut p = self.rates.for_site(site);
         if self.temporal_boost_remaining > 0 {
             p = (p * self.correlation.temporal_factor).min(1.0);
@@ -253,10 +261,22 @@ impl FaultInjector {
     ///
     /// The pending counter for a site is valid only for the probability it
     /// was sampled under; when `p` changes (e.g. a temporal-correlation
-    /// boost window opens or closes) the counter is re-sampled. Operations
-    /// at `p == 0` pass through without consuming skip state — geometric
-    /// inter-arrival times are memoryless, so pausing and resuming a
-    /// counter preserves the Bernoulli(p) marginal exactly.
+    /// boost window opens or closes) the counter is *discarded* and a fresh
+    /// `Geometric(p)` skip is sampled. This is unbiased, not an
+    /// approximation: a pending skip sampled at the old rate says only that
+    /// no fault has fired yet, and the geometric distribution is memoryless
+    /// — conditioned on "no fault so far", the number of further clean
+    /// operations at the *new* per-op rate `p` is distributed exactly
+    /// `Geometric(p)`, which is precisely what the resample draws. So every
+    /// operation faults with exactly its own per-op probability, whatever
+    /// rate the operations around it ran at (the alternating-rate
+    /// statistical test below asserts this). Carrying the residual count
+    /// across the change would instead keep the *old* rate's tail for the
+    /// remainder of the skip — that is the biased option.
+    ///
+    /// Operations at `p == 0` pass through without consuming skip state —
+    /// by the same memorylessness, pausing and resuming a counter preserves
+    /// the Bernoulli(p) marginal exactly.
     #[inline]
     fn skip_decide(&mut self, site_idx: usize, p: f64) -> bool {
         if p <= 0.0 {
@@ -287,6 +307,12 @@ impl FaultInjector {
     /// `floor(ln(1 − u) / ln(1 − p))` with `u` uniform in `[0, 1)`, which
     /// makes each operation fault with exactly probability `p`.
     ///
+    /// Hardened against subnormal `p`: `ln_1p(-p)` can underflow to `-0.0`,
+    /// making the quotient `NaN` (when `u` draws 0) or `+∞`. A float → int
+    /// cast saturates `NaN` to **0**, which would turn a practically-zero
+    /// rate into a fault on *every* operation; both non-finite cases mean
+    /// "no fault in any reachable horizon" and map to `u64::MAX`.
+    ///
     /// `pub(crate)` so the lane-parallel injector
     /// ([`crate::sliced::SlicedFaultInjector`]) draws the *identical*
     /// skip distribution from each lane's RNG stream.
@@ -294,11 +320,117 @@ impl FaultInjector {
     pub(crate) fn sample_geometric(rng: &mut ChaCha8Rng, p: f64) -> u64 {
         let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         let skip = (1.0 - u).ln() / (-p).ln_1p();
-        if skip >= u64::MAX as f64 {
+        if skip.is_nan() || skip >= u64::MAX as f64 {
             u64::MAX
         } else {
             skip as u64
         }
+    }
+
+    /// A geometric sample conditioned on landing within the next `window`
+    /// decisions: the distribution of "clean operations before the next
+    /// fault" *given* that at least one fault occurs in `window` operations.
+    ///
+    /// Inversion sampling on the truncated CDF: with `P₁ = 1 − (1 − p)^w`
+    /// the sample is `floor(ln(1 − u·P₁) / ln(1 − p))`, so
+    /// `P(S = s) = (1 − p)^s · p / P₁` for `s ∈ [0, w)` — exactly the
+    /// unconditional geometric probability rescaled by `P₁`, which is what
+    /// makes the stratified estimator's reweighting unbiased. Consumes one
+    /// RNG draw, like [`Self::sample_geometric`]. The `min` clamp guards
+    /// the floating-point edge where the quotient rounds up to `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `p` is outside `(0, 1)` — callers gate on
+    /// a nondegenerate regime.
+    pub fn sample_truncated_geometric(rng: &mut ChaCha8Rng, p: f64, window: u64) -> u64 {
+        assert!(window > 0, "conditioning window must be nonempty");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "truncated-geometric sampling needs p in (0, 1), got {p}"
+        );
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let log_q = (-p).ln_1p();
+        let p1 = -f64::exp_m1(window as f64 * log_q);
+        let skip = f64::ln_1p(-u * p1) / log_q;
+        if skip.is_nan() {
+            return 0;
+        }
+        (skip as u64).min(window - 1)
+    }
+
+    /// Probability that at least one fault fires over `window` decisions at
+    /// per-op rate `p`: `1 − (1 − p)^window`, computed in log space so
+    /// paper-regime values (`window·p ≪ 1`) keep full precision.
+    pub fn fault_within_probability(p: f64, window: u64) -> f64 {
+        if window == 0 || p <= 0.0 {
+            return 0.0;
+        }
+        if p >= 1.0 {
+            return 1.0;
+        }
+        -f64::exp_m1(window as f64 * (-p).ln_1p())
+    }
+
+    /// Fault decisions made so far at `site` (in any sampling mode, at any
+    /// rate — zero-rate decisions count too). A fault-free probe trial thus
+    /// measures the decision window a real trial of the same design point
+    /// spans, which is what the analytic zero-fault fast path and the
+    /// stratified estimator condition on.
+    pub fn decision_count(&self, site: FaultSite) -> u64 {
+        self.decisions[Self::site_index(site)]
+    }
+
+    /// The number of clean upcoming decisions at `site` before the next
+    /// fault fires (`Some(0)` = the very next decision faults,
+    /// `Some(u64::MAX)` = never), or `None` when the question has no
+    /// precomputed answer (per-op sampling, or an open temporal-boost
+    /// window whose effective rate differs from the site's base rate).
+    ///
+    /// Priming is stream-preserving: if the site's first skip has not been
+    /// sampled yet, this consumes exactly the RNG draw the first
+    /// [`Self::apply`] at this site would have consumed, so peeking and
+    /// then executing yields the identical fault pattern as executing
+    /// blind. This is the scalar half of the analytic zero-fault fast path:
+    /// when the returned index is at or beyond the trial's whole decision
+    /// window, the trial is settled clean without simulating a gate.
+    pub fn next_fault_in(&mut self, site: FaultSite) -> Option<u64> {
+        if self.sampling != FaultSampling::SkipAhead || self.temporal_boost_remaining > 0 {
+            return None;
+        }
+        let p = self.rates.for_site(site);
+        if p <= 0.0 {
+            return Some(u64::MAX);
+        }
+        if p >= 1.0 {
+            return Some(0);
+        }
+        let idx = Self::site_index(site);
+        if !matches!(self.skips[idx], Some(s) if s.p == p) {
+            let remaining = Self::sample_geometric(&mut self.rng, p);
+            self.skips[idx] = Some(PendingSkip { p, remaining });
+        }
+        self.skips[idx].map(|s| s.remaining)
+    }
+
+    /// Replaces the site's pending skip with one conditioned on a fault
+    /// firing within the next `window` decisions (see
+    /// [`Self::sample_truncated_geometric`]). Decisions after that first
+    /// fault resample unconditionally, which together yields exactly the
+    /// law of a fault sequence conditioned on "≥ 1 fault in the window" —
+    /// the sampled stratum of the stratified estimator. No-op in regimes
+    /// where conditioning is meaningless (`p ≤ 0`, `p ≥ 1`, empty window,
+    /// per-op sampling).
+    pub fn condition_first_fault(&mut self, site: FaultSite, window: u64) {
+        if self.sampling != FaultSampling::SkipAhead {
+            return;
+        }
+        let p = self.rates.for_site(site);
+        if window == 0 || p <= 0.0 || p >= 1.0 {
+            return;
+        }
+        let remaining = Self::sample_truncated_geometric(&mut self.rng, p, window);
+        self.skips[Self::site_index(site)] = Some(PendingSkip { p, remaining });
     }
 
     /// Forces a fault at the given location (used by directed tests and the
@@ -487,6 +619,188 @@ mod tests {
                 "per-op rate {bernoulli_rate} vs p={p} (±{tolerance})"
             );
         }
+    }
+
+    #[test]
+    fn skip_sampling_stays_unbiased_across_an_alternating_rate_stream() {
+        // The discard-and-resample behavior on a rate change must leave
+        // every operation faulting at exactly its own rate. Drive the skip
+        // decider with blocks that alternate between two rates — each rate
+        // change lands mid-skip essentially always — and check each rate's
+        // empirical marginal against its own 4σ binomial interval, plus the
+        // pooled stream against the blended rate.
+        let (p_lo, p_hi) = (2e-3, 2e-2);
+        let block = 500usize;
+        let blocks = 4_000usize;
+        let mut inj = FaultInjector::new(
+            ErrorRates {
+                gate: p_lo,
+                ..ErrorRates::NONE
+            },
+            0x00A1_7E41,
+        );
+        let (mut n_lo, mut k_lo, mut n_hi, mut k_hi) = (0u64, 0u64, 0u64, 0u64);
+        for b in 0..blocks {
+            let hi = b % 2 == 1;
+            let p = if hi { p_hi } else { p_lo };
+            for _ in 0..block {
+                let faulted = inj.skip_decide(0, p);
+                if hi {
+                    n_hi += 1;
+                    k_hi += u64::from(faulted);
+                } else {
+                    n_lo += 1;
+                    k_lo += u64::from(faulted);
+                }
+            }
+        }
+        for (label, p, n, k) in [("lo", p_lo, n_lo, k_lo), ("hi", p_hi, n_hi, k_hi)] {
+            let rate = k as f64 / n as f64;
+            let tolerance = 4.0 * (p * (1.0 - p) / n as f64).sqrt();
+            assert!(
+                (rate - p).abs() < tolerance,
+                "{label}-rate marginal {rate} vs p={p} (±{tolerance})"
+            );
+        }
+        let blended = (p_lo + p_hi) / 2.0;
+        let pooled = (k_lo + k_hi) as f64 / (n_lo + n_hi) as f64;
+        let tol = 4.0 * (blended * (1.0 - blended) / (n_lo + n_hi) as f64).sqrt();
+        assert!(
+            (pooled - blended).abs() < tol,
+            "pooled marginal {pooled} vs blended {blended} (±{tol})"
+        );
+    }
+
+    #[test]
+    fn subnormal_rates_never_fault_instead_of_always_faulting() {
+        // ln_1p(-p) underflows toward -0.0 for subnormal p; the quotient in
+        // sample_geometric can then be NaN, and `NaN as u64` saturates to 0
+        // — i.e. a fault on every operation at a rate of ~5e-324. The NaN
+        // guard must map that regime to "no fault in any horizon".
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..64 {
+            let skip = FaultInjector::sample_geometric(&mut rng, f64::MIN_POSITIVE);
+            assert_eq!(skip, u64::MAX, "subnormal p must skip forever");
+        }
+        let rates = ErrorRates {
+            gate: f64::MIN_POSITIVE,
+            ..ErrorRates::NONE
+        };
+        let mut inj = FaultInjector::new(rates, 0x5AB);
+        for i in 0..10_000 {
+            inj.apply(FaultSite::GateOutput, 0, i % 251, false);
+        }
+        assert_eq!(inj.fault_count(), 0, "p = f64::MIN_POSITIVE is ~never");
+    }
+
+    #[test]
+    fn truncated_geometric_matches_the_conditioned_distribution() {
+        // Every sample must land in [0, window), and the empirical pmf must
+        // match (1-p)^s * p / P1 — the unconditional geometric rescaled by
+        // the fault-within-window probability.
+        let (p, window) = (0.05, 20u64);
+        let p1 = FaultInjector::fault_within_probability(p, window);
+        let n = 400_000usize;
+        let mut counts = vec![0u64; window as usize];
+        let mut rng = ChaCha8Rng::seed_from_u64(0x7121);
+        for _ in 0..n {
+            let s = FaultInjector::sample_truncated_geometric(&mut rng, p, window);
+            assert!(s < window, "sample {s} outside window {window}");
+            counts[s as usize] += 1;
+        }
+        for (s, &k) in counts.iter().enumerate() {
+            let expect = (1.0 - p).powi(s as i32) * p / p1;
+            let got = k as f64 / n as f64;
+            let tol = 5.0 * (expect * (1.0 - expect) / n as f64).sqrt();
+            assert!(
+                (got - expect).abs() < tol,
+                "pmf at s={s}: got {got}, want {expect} (±{tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_within_probability_handles_degenerate_regimes() {
+        assert_eq!(FaultInjector::fault_within_probability(0.0, 100), 0.0);
+        assert_eq!(FaultInjector::fault_within_probability(0.5, 0), 0.0);
+        assert_eq!(FaultInjector::fault_within_probability(1.0, 3), 1.0);
+        let p1 = FaultInjector::fault_within_probability(1e-4, 1000);
+        assert!((p1 - 0.09516).abs() < 1e-4, "got {p1}");
+        // Deep rare-event regime: log-space evaluation keeps precision.
+        let tiny = FaultInjector::fault_within_probability(1e-9, 10);
+        assert!((tiny - 1e-8).abs() < 1e-12, "got {tiny}");
+    }
+
+    #[test]
+    fn peeking_the_next_fault_preserves_the_decision_stream() {
+        // next_fault_in primes the lazy first skip with the exact RNG draw
+        // apply would have made, so peek-then-execute equals execute-blind.
+        let rates = ErrorRates {
+            gate: 0.01,
+            ..ErrorRates::NONE
+        };
+        let run = |peek: bool| {
+            let mut inj = FaultInjector::new(rates, 0xBEEF);
+            let next = if peek {
+                inj.next_fault_in(FaultSite::GateOutput)
+            } else {
+                None
+            };
+            let decisions: Vec<bool> = (0..2_000)
+                .map(|i| inj.apply(FaultSite::GateOutput, 0, i % 13, false))
+                .collect();
+            (next, decisions)
+        };
+        let (next, peeked) = run(true);
+        let (_, blind) = run(false);
+        assert_eq!(peeked, blind, "peeking must not perturb the stream");
+        let first_fault = peeked.iter().position(|&f| f);
+        assert_eq!(
+            first_fault.map(|i| i as u64),
+            next.filter(|&n| n < 2_000),
+            "the peeked index must be the first firing decision"
+        );
+        // Degenerate regimes answer without touching the RNG.
+        let mut zero = FaultInjector::new(ErrorRates::NONE, 1);
+        assert_eq!(zero.next_fault_in(FaultSite::GateOutput), Some(u64::MAX));
+        let mut certain = FaultInjector::new(ErrorRates::uniform(1.0), 1);
+        assert_eq!(certain.next_fault_in(FaultSite::GateOutput), Some(0));
+        let mut per_op = FaultInjector::new(rates, 1).with_per_op_sampling();
+        assert_eq!(per_op.next_fault_in(FaultSite::GateOutput), None);
+    }
+
+    #[test]
+    fn conditioning_guarantees_a_fault_inside_the_window() {
+        let rates = ErrorRates {
+            gate: 1e-4,
+            ..ErrorRates::NONE
+        };
+        let window = 500u64;
+        for seed in 0..200 {
+            let mut inj = FaultInjector::new(rates, seed);
+            inj.condition_first_fault(FaultSite::GateOutput, window);
+            let mut fired = false;
+            for i in 0..window {
+                if inj.apply(FaultSite::GateOutput, 0, i as usize % 251, false) {
+                    fired = true;
+                    break;
+                }
+            }
+            assert!(fired, "seed {seed}: conditioned trial must fault in-window");
+        }
+        assert_eq!(
+            FaultInjector::new(rates, 9).decision_count(FaultSite::GateOutput),
+            0
+        );
+        let mut counted = FaultInjector::new(ErrorRates::NONE, 9);
+        for i in 0..37 {
+            counted.apply(FaultSite::GateOutput, 0, i, false);
+        }
+        counted.apply(FaultSite::Write, 0, 0, false);
+        assert_eq!(counted.decision_count(FaultSite::GateOutput), 37);
+        assert_eq!(counted.decision_count(FaultSite::Write), 1);
+        counted.reset(ErrorRates::NONE, 9);
+        assert_eq!(counted.decision_count(FaultSite::GateOutput), 0);
     }
 
     #[test]

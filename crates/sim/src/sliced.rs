@@ -131,9 +131,57 @@ impl SlicedFaultInjector {
         self.min_next = min_next;
     }
 
+    /// Re-arms the injector like [`Self::reset`], but with every lane's
+    /// *first* skip drawn from the geometric distribution conditioned on a
+    /// fault landing within the next `window` gate decisions (see
+    /// [`FaultInjector::sample_truncated_geometric`]). Later skips resample
+    /// unconditionally, so each lane carries exactly the law of a trial
+    /// conditioned on "≥ 1 fault in the window" — the sampled stratum of
+    /// the stratified estimator. Falls back to [`Self::reset`] in regimes
+    /// where conditioning is meaningless (rate 0, rate ≥ 1, empty window).
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::reset`].
+    pub fn reset_conditioned(&mut self, rates: ErrorRates, seeds: &[u64], window: u64) {
+        self.reset(rates, seeds);
+        if window == 0 || self.always || self.gate_rate <= 0.0 {
+            return;
+        }
+        // Redraw each lane's eagerly-sampled first skip from the truncated
+        // distribution. The lane RNGs have already consumed their first
+        // draw in `reset`; conditioned streams are a different law than
+        // exact streams by design, so no replay equivalence is owed here.
+        let mut min_next = u64::MAX;
+        for (rng, next) in self.rngs.iter_mut().zip(&mut self.next_event) {
+            *next = FaultInjector::sample_truncated_geometric(rng, self.gate_rate, window);
+            min_next = min_next.min(*next);
+        }
+        self.min_next = min_next;
+    }
+
     /// Number of active lanes in the current batch.
     pub fn lane_count(&self) -> usize {
         self.lane_count
+    }
+
+    /// The earliest upcoming gate-decision index (counted from the current
+    /// decision) at which *any* lane faults — `u64::MAX` if no lane ever
+    /// will. Immediately after a reset this is the minimum first-fault
+    /// index over all lanes: if it is at or beyond the whole batch's
+    /// decision window, every lane runs clean and the batch can be settled
+    /// analytically without executing a single gate (the sliced half of
+    /// the zero-fault fast path).
+    pub fn next_fault_decision(&self) -> u64 {
+        if self.always {
+            // Certain-fault mode bypasses the per-lane counters: the very
+            // next decision faults in every lane.
+            0
+        } else if self.min_next == u64::MAX {
+            u64::MAX
+        } else {
+            self.min_next.saturating_sub(self.event_index)
+        }
     }
 
     /// Mask of the valid (active) lanes.
@@ -386,6 +434,19 @@ impl SlicedPimArray {
         self.cells.fill(0);
         self.injector.reset(rates, seeds);
     }
+
+    /// [`Self::reset_for_batch`] with every lane conditioned on injecting
+    /// at least one fault within the next `window` gate decisions (the
+    /// stratified estimator's sampled stratum; see
+    /// [`SlicedFaultInjector::reset_conditioned`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`SlicedFaultInjector::reset`].
+    pub fn reset_for_conditioned_batch(&mut self, rates: ErrorRates, seeds: &[u64], window: u64) {
+        self.cells.fill(0);
+        self.injector.reset_conditioned(rates, seeds, window);
+    }
 }
 
 #[cfg(test)]
@@ -578,6 +639,62 @@ mod tests {
             (0..lanes).any(|l| sliced.injector().lane_fault_count(l) > 0),
             "program must inject faults at p = {p}"
         );
+    }
+
+    #[test]
+    fn conditioned_reset_faults_every_lane_inside_the_window() {
+        let (p, window) = (1e-4, 800u64);
+        for batch_seed in 0..8u64 {
+            let seeds: Vec<u64> = (0..64).map(|l| lane_seed(batch_seed, l)).collect();
+            let mut inj = SlicedFaultInjector::new();
+            inj.reset_conditioned(gate_rates(p), &seeds, window);
+            assert!(
+                inj.next_fault_decision() < window,
+                "batch {batch_seed}: some lane must fault in-window"
+            );
+            let mut fired = 0u64;
+            for op in 0..window {
+                fired |= inj.gate_flip_mask(0, op as usize % 251);
+            }
+            assert_eq!(
+                fired,
+                inj.valid_mask(),
+                "batch {batch_seed}: every lane must fault within the window"
+            );
+        }
+    }
+
+    #[test]
+    fn next_fault_decision_tracks_the_min_over_lanes() {
+        let seeds: Vec<u64> = (0..64).map(|l| lane_seed(77, l)).collect();
+        let mut inj = SlicedFaultInjector::new();
+        inj.reset(gate_rates(0.0), &seeds);
+        assert_eq!(inj.next_fault_decision(), u64::MAX, "rate 0 never faults");
+        inj.reset(gate_rates(1.0), &seeds);
+        assert_eq!(
+            inj.next_fault_decision(),
+            0,
+            "certain faults fire immediately"
+        );
+        inj.reset(gate_rates(0.01), &seeds);
+        let first = inj.next_fault_decision();
+        assert!(first < u64::MAX);
+        // Mirror against 64 scalar injectors: the minimum primed first-fault
+        // index must agree.
+        let scalar_min = seeds
+            .iter()
+            .map(|&s| {
+                let mut scalar = FaultInjector::new(gate_rates(0.01), s);
+                scalar.next_fault_in(FaultSite::GateOutput).unwrap()
+            })
+            .min()
+            .unwrap();
+        assert_eq!(first, scalar_min);
+        // Decisions made so far shift the remaining distance down.
+        for op in 0..3usize {
+            inj.gate_flip_mask(0, op);
+        }
+        assert!(inj.next_fault_decision() <= first);
     }
 
     #[test]

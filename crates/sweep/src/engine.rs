@@ -23,14 +23,14 @@ use nvpim_core::executor::{ExecScratch, ProtectedExecutor};
 use nvpim_core::sliced::{SlicedExecScratch, SlicedExecutor};
 use nvpim_core::system::{evaluate_schedule, WorkloadShape};
 use nvpim_sim::array::PimArray;
-use nvpim_sim::fault::ErrorRates;
+use nvpim_sim::fault::{ErrorRates, FaultInjector, FaultSite};
 use nvpim_sim::sliced::{SlicedFaultInjector, SlicedPimArray, LANES};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
-use crate::plan::{ProtectionConfig, SweepPlan, SweepWorkload};
-use crate::report::{PointSummary, SweepReport, TrialOutcome};
+use crate::plan::{EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
+use crate::report::{EstimatorSummary, PointSummary, SweepReport, TrialOutcome};
 use crate::SweepError;
 
 /// A compiled `(netlist, schedule)` pair shared by all trials of the
@@ -144,6 +144,94 @@ impl ScheduleCache {
     }
 }
 
+/// One captured fault-free trial of a design point: what every zero-fault
+/// trial of that point deterministically reproduces.
+///
+/// Legality rests on the scheme's
+/// [`analytic_clean`](nvpim_core::scheme::SchemeRuntime::analytic_clean)
+/// capability — the clean-run operation sequence, check count and metadata
+/// traffic are a pure function of the schedule, never of the inputs. The
+/// engine does not take the declaration on faith:
+/// [`capture_clean_profile`] probes the point with two *different* input
+/// vectors and returns `None` (disabling the fast path and the estimator)
+/// on any disagreement, any injected fault, any wrong output bit or any
+/// execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CleanProfile {
+    /// Gate-output fault decisions one trial makes — the decision window
+    /// `D` over which "zero faults" is defined.
+    pub(crate) decisions: u64,
+    /// The outcome every zero-fault trial of the point reproduces.
+    pub(crate) outcome: TrialOutcome,
+}
+
+/// Probes one design point with two fault-free trials on different inputs
+/// and returns the shared clean profile, or `None` when the point cannot
+/// legally settle zero-fault trials analytically (scheme opt-out, probe
+/// disagreement, or a probe that faulted/failed/errored).
+pub(crate) fn capture_clean_profile(
+    config: &DesignConfig,
+    kernel: &CompiledKernel,
+    executor: &ProtectedExecutor,
+) -> Option<CleanProfile> {
+    if !config.scheme.runtime().analytic_clean() {
+        return None;
+    }
+    let netlist = &kernel.netlist;
+    let mut profile: Option<CleanProfile> = None;
+    let mut inputs = Vec::new();
+    let mut eval_values = Vec::new();
+    let mut expected = Vec::new();
+    let mut scratch = ExecScratch::default();
+    for probe_seed in [0xC1EA_0001u64, 0xC1EA_0002] {
+        let mut input_rng = ChaCha8Rng::seed_from_u64(probe_seed);
+        inputs.clear();
+        inputs.extend((0..netlist.inputs.len()).map(|_| input_rng.gen_bool(0.5)));
+        netlist.evaluate_into(&inputs, &mut eval_values, &mut expected);
+        let mut array = PimArray::standard(config.technology);
+        array.reset_for_trial(config.technology, ErrorRates::NONE, probe_seed);
+        let report = executor
+            .run_with_scratch(
+                netlist,
+                &kernel.schedule,
+                &mut array,
+                0,
+                &inputs,
+                &mut scratch,
+            )
+            .ok()?;
+        let wrong_bits = report
+            .outputs
+            .iter()
+            .zip(&expected)
+            .filter(|(got, want)| got != want)
+            .count();
+        if wrong_bits != 0 || array.fault_injector().fault_count() != 0 {
+            return None;
+        }
+        let candidate = CleanProfile {
+            decisions: array.fault_injector().decision_count(FaultSite::GateOutput),
+            outcome: TrialOutcome {
+                faults_injected: 0,
+                checks: report.checks,
+                errors_detected: report.errors_detected,
+                corrections_written_back: report.corrections_written_back,
+                uncorrectable: report.uncorrectable,
+                wrong_output_bits: 0,
+                exec_error: None,
+            },
+        };
+        match &profile {
+            None => profile = Some(candidate),
+            // The two probes used different inputs; any divergence falsifies
+            // the scheme's input-independence claim for this point.
+            Some(first) if *first != candidate => return None,
+            Some(_) => {}
+        }
+    }
+    profile
+}
+
 /// One fully-resolved campaign point, ready to run trials. Public so
 /// [`ExecutionBackend`] implementations can be written outside this
 /// module; construction stays inside the engine.
@@ -171,6 +259,17 @@ pub struct PointContext {
     /// [`Self::workload_name`] — built from the scheme runtime's
     /// `&'static str` display name.
     pub(crate) protection_label: String,
+    /// The point's verified clean profile: `Some` enables the analytic
+    /// zero-fault fast path (byte-identical — the skip-sampled injector
+    /// proves no fault lands in the decision window, so the trial returns
+    /// the captured outcome without executing a gate). `None` runs every
+    /// trial in full.
+    pub(crate) clean: Option<CleanProfile>,
+    /// Whether trials of this point are conditioned on the at-least-one-
+    /// fault stratum (stratified estimator mode with a verified clean
+    /// profile, a positive decision window and a rate in `(0, 1)`). Exact
+    /// mode never sets this.
+    pub(crate) conditioned: bool,
 }
 
 impl PointContext {
@@ -206,7 +305,21 @@ impl PointContext {
             workload_name,
             technology_label,
             protection_label,
+            clean: None,
+            conditioned: false,
         }
+    }
+
+    /// The analytic fault probability `P1` this point's estimator reweights
+    /// by: the chance at least one gate fault lands in the decision window
+    /// (1.0 for unconditioned points, where the estimate is the plain
+    /// Monte Carlo one).
+    pub fn fault_probability(&self) -> f64 {
+        if !self.conditioned {
+            return 1.0;
+        }
+        let decisions = self.clean.as_ref().map_or(0, |c| c.decisions);
+        FaultInjector::fault_within_probability(self.gate_error_rate, decisions)
     }
 
     /// The design configuration of this point.
@@ -320,6 +433,9 @@ pub(crate) struct TrialBatch {
     array: Option<SlicedPimArray>,
     /// Per-lane fault seeds of the current batch.
     fault_seeds: Vec<u64>,
+    /// Per-lane input seeds of the current batch (kept alongside the fault
+    /// seeds so the zero-fault fast path can decide before any input work).
+    input_seeds: Vec<u64>,
     /// Transposed primary inputs: word `i` holds input bit `i` across lanes.
     input_words: Vec<u64>,
     /// Lane-parallel netlist evaluation working array.
@@ -338,20 +454,48 @@ pub(crate) struct TrialBatch {
 pub fn run_trial(ctx: &PointContext, base_seed: u64, arena: &mut TrialArena) -> TrialOutcome {
     // Independent streams for input generation and fault injection.
     let (input_seed, fault_seed) = trial_stream_seeds(base_seed);
-    let mut input_rng = ChaCha8Rng::seed_from_u64(input_seed);
-
-    let netlist = &ctx.kernel.netlist;
-    arena.inputs.clear();
-    arena
-        .inputs
-        .extend((0..netlist.inputs.len()).map(|_| input_rng.gen_bool(0.5)));
-    netlist.evaluate_into(&arena.inputs, &mut arena.eval_values, &mut arena.expected);
 
     let rates = ctx.rates();
     let array = arena
         .array
         .get_or_insert_with(|| PimArray::standard(ctx.config.technology));
     array.reset_for_trial(ctx.config.technology, rates, fault_seed);
+
+    if let Some(clean) = &ctx.clean {
+        let window = clean.decisions;
+        if ctx.conditioned {
+            // Stratified mode: force the first gate fault inside the decision
+            // window (a truncated-geometric redraw); the trial then runs in
+            // full and its counters describe the at-least-one-fault stratum.
+            array
+                .fault_injector_mut()
+                .condition_first_fault(FaultSite::GateOutput, window);
+        } else if window > 0 {
+            // Analytic zero-fault fast path: the skip sampler already knows
+            // the index of the trial's first would-be gate fault. If it lies
+            // beyond the decision window, every one of the trial's fault
+            // decisions comes up clean and the outcome is — provably, via the
+            // captured profile — the clean outcome. Peeking consumes exactly
+            // the draw `apply` would have consumed lazily, so slow-path
+            // trials that fall through remain byte-identical.
+            if let Some(next) = array
+                .fault_injector_mut()
+                .next_fault_in(FaultSite::GateOutput)
+            {
+                if next >= window {
+                    return clean.outcome.clone();
+                }
+            }
+        }
+    }
+
+    let mut input_rng = ChaCha8Rng::seed_from_u64(input_seed);
+    let netlist = &ctx.kernel.netlist;
+    arena.inputs.clear();
+    arena
+        .inputs
+        .extend((0..netlist.inputs.len()).map(|_| input_rng.gen_bool(0.5)));
+    netlist.evaluate_into(&arena.inputs, &mut arena.eval_values, &mut arena.expected);
 
     match ctx.executor.run_with_scratch(
         netlist,
@@ -410,15 +554,46 @@ pub fn run_trial_batch(
     let netlist = &ctx.kernel.netlist;
     let batch = &mut arena.batch;
 
-    // Per-lane seeds and transposed inputs: lane k replays trial
-    // `first_trial + k`'s exact input and fault streams.
+    // Per-lane seeds: lane k replays trial `first_trial + k`'s exact input
+    // and fault streams. Fault seeds come first so the batch can settle
+    // analytically before any input work.
     batch.fault_seeds.clear();
-    batch.input_words.clear();
-    batch.input_words.resize(netlist.inputs.len(), 0);
+    batch.input_seeds.clear();
     for lane in 0..lanes {
         let base_seed = derive_trial_seed(campaign_seed, point_index, first_trial + lane as u64);
         let (input_seed, fault_seed) = trial_stream_seeds(base_seed);
         batch.fault_seeds.push(fault_seed);
+        batch.input_seeds.push(input_seed);
+    }
+
+    let array = batch.array.get_or_insert_with(SlicedPimArray::standard_row);
+    let window = ctx.clean.as_ref().map_or(0, |c| c.decisions);
+    if ctx.conditioned {
+        // Stratified mode: redraw every lane's first gate fault from the
+        // window-truncated geometric, so all 64 lanes land in the
+        // at-least-one-fault stratum.
+        array.reset_for_conditioned_batch(ctx.rates(), &batch.fault_seeds, window);
+    } else {
+        array.reset_for_batch(ctx.rates(), &batch.fault_seeds);
+        if let Some(clean) = &ctx.clean {
+            // Analytic zero-fault fast path, whole-batch edition: the lane
+            // injector draws every lane's first fault index eagerly at
+            // reset, so one compare settles all 64 lanes. If even one lane
+            // faults inside the window the batch runs in full (its injector
+            // state after reset is byte-identical to the no-fast-path
+            // reset, so outcomes are unchanged).
+            if window > 0 && array.injector().next_fault_decision() >= window {
+                for _ in 0..lanes {
+                    out.push(clean.outcome.clone());
+                }
+                return;
+            }
+        }
+    }
+
+    batch.input_words.clear();
+    batch.input_words.resize(netlist.inputs.len(), 0);
+    for (lane, &input_seed) in batch.input_seeds.iter().enumerate() {
         let mut input_rng = ChaCha8Rng::seed_from_u64(input_seed);
         for word in batch.input_words.iter_mut() {
             *word |= u64::from(input_rng.gen_bool(0.5)) << lane;
@@ -429,9 +604,6 @@ pub fn run_trial_batch(
         &mut batch.eval_words,
         &mut batch.expected_words,
     );
-
-    let array = batch.array.get_or_insert_with(SlicedPimArray::standard_row);
-    array.reset_for_batch(ctx.rates(), &batch.fault_seeds);
 
     match ctx.sliced.run_batch(
         netlist,
@@ -514,19 +686,59 @@ impl TrialHarness {
         let estimate = evaluate_schedule(&kernel.schedule, &shape, &config);
         let executor = Arc::new(ProtectedExecutor::new(config.clone()));
         let sliced = Arc::new(SlicedExecutor::new(config.clone()));
-        Ok(Self {
-            ctx: PointContext::new(
-                workload,
-                protection,
-                config,
-                gate_error_rate,
-                kernel,
-                executor,
-                sliced,
-                estimate.time_ns,
-                estimate.energy_fj,
-            ),
-        })
+        let clean = capture_clean_profile(&config, &kernel, &executor);
+        let mut ctx = PointContext::new(
+            workload,
+            protection,
+            config,
+            gate_error_rate,
+            kernel,
+            executor,
+            sliced,
+            estimate.time_ns,
+            estimate.energy_fj,
+        );
+        ctx.clean = clean;
+        Ok(Self { ctx })
+    }
+
+    /// Disables the analytic zero-fault fast path (and conditioning), so
+    /// every trial simulates in full — the pre-fast-path reference, used by
+    /// benches to measure the historical hot path.
+    pub fn without_analytic_fast_path(mut self) -> Self {
+        self.ctx.clean = None;
+        self.ctx.conditioned = false;
+        self
+    }
+
+    /// Switches the harness to the stratified rare-event estimator: every
+    /// trial is conditioned on at least one gate fault landing inside the
+    /// decision window, and estimates must be reweighted by
+    /// [`Self::fault_probability`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when conditioning is illegal for the point: no verified clean
+    /// profile, a zero decision window, or a rate outside `(0, 1)`.
+    pub fn with_stratified_estimator(mut self) -> Self {
+        let decisions = self.ctx.clean.as_ref().map_or(0, |c| c.decisions);
+        assert!(
+            decisions > 0 && self.ctx.gate_error_rate > 0.0 && self.ctx.gate_error_rate < 1.0,
+            "stratified estimation needs a verified clean profile and a rate in (0, 1)"
+        );
+        self.ctx.conditioned = true;
+        self
+    }
+
+    /// Gate-output fault decisions one trial of this point makes (the
+    /// decision window `D`), if a clean profile was verified.
+    pub fn clean_decisions(&self) -> Option<u64> {
+        self.ctx.clean.as_ref().map(|c| c.decisions)
+    }
+
+    /// The reweighting factor `P1` (see [`PointContext::fault_probability`]).
+    pub fn fault_probability(&self) -> f64 {
+        self.ctx.fault_probability()
     }
 
     /// The compiled `(netlist, schedule)` kernel.
@@ -674,8 +886,12 @@ pub fn prepare_campaign(
                 let estimate = evaluate_schedule(&kernel.schedule, &shape, &config);
                 let executor = Arc::new(ProtectedExecutor::new(config.clone()));
                 let sliced = Arc::new(SlicedExecutor::new(config.clone()));
+                // One clean-profile capture per (workload, technology,
+                // protection) — rates share it, since a fault-free trial is
+                // rate-independent by construction.
+                let clean = capture_clean_profile(&config, &kernel, &executor);
                 for &gate_error_rate in &plan.gate_error_rates {
-                    points.push(PointContext::new(
+                    let mut point = PointContext::new(
                         workload,
                         protection,
                         config.clone(),
@@ -685,7 +901,17 @@ pub fn prepare_campaign(
                         Arc::clone(&sliced),
                         estimate.time_ns,
                         estimate.energy_fj,
-                    ));
+                    );
+                    point.clean = clean.clone();
+                    // Conditioning requires a verified window and a rate
+                    // where "at least one fault" is neither impossible nor
+                    // certain; other points fall back to plain Monte Carlo
+                    // (their estimator summary says so).
+                    point.conditioned = plan.estimator == EstimatorMode::Stratified
+                        && point.clean.as_ref().is_some_and(|c| c.decisions > 0)
+                        && gate_error_rate > 0.0
+                        && gate_error_rate < 1.0;
+                    points.push(point);
                 }
             }
         }
@@ -995,7 +1221,24 @@ impl PreparedCampaign {
             .enumerate()
             .map(|(pi, ctx)| {
                 let chunk = &outcomes[pi * per_point..(pi + 1) * per_point];
-                PointSummary::aggregate(ctx, chunk)
+                let mut summary = PointSummary::aggregate(ctx, chunk);
+                if self.plan.estimator == EstimatorMode::Stratified {
+                    // In stratified mode the raw counters describe the
+                    // conditional stratum; the unbiased unconditional rates
+                    // (and their Wilson intervals) are computed here from
+                    // the analytic reweighting factor. Unconditioned points
+                    // carry the plain-MC estimate with `stratified: false`.
+                    let executed = summary.trials - summary.exec_errors;
+                    summary.estimator = Some(EstimatorSummary::from_counts(
+                        ctx.conditioned,
+                        ctx.clean.as_ref().map_or(0, |c| c.decisions),
+                        ctx.fault_probability(),
+                        executed,
+                        summary.failed_trials,
+                        summary.silent_failures,
+                    ));
+                }
+                summary
             })
             .collect();
 

@@ -14,7 +14,7 @@ use nvpim_sim::technology::Technology;
 use nvpim_workloads::Benchmark;
 use serde::Value;
 
-use crate::plan::{ProtectionConfig, SweepPlan, SweepWorkload};
+use crate::plan::{EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
 use crate::SweepError;
 
 fn parse_err(context: &str, detail: impl std::fmt::Display) -> SweepError {
@@ -167,6 +167,17 @@ impl SweepPlan {
                     .ok_or_else(|| parse_err(ctx, "`gate_error_rates` entries must be numbers"))
             })
             .collect::<Result<Vec<_>, _>>()?;
+        // Optional: pre-estimator plans (and every Exact-mode plan, which
+        // omits the key to keep content digests stable) default to Exact.
+        let estimator = match value.get("estimator") {
+            None => EstimatorMode::default(),
+            Some(v) => {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| parse_err(ctx, "`estimator` must be a string"))?;
+                EstimatorMode::from_str(name).map_err(|e| parse_err(ctx, e))?
+            }
+        };
         Ok(SweepPlan {
             workloads,
             technologies,
@@ -174,6 +185,7 @@ impl SweepPlan {
             gate_error_rates,
             seeds_per_point: u64_field(value, "seeds_per_point", ctx)?,
             campaign_seed: u64_field(value, "campaign_seed", ctx)?,
+            estimator,
         })
     }
 
@@ -211,6 +223,27 @@ mod tests {
         ];
         exotic.protections = vec![ProtectionConfig::TRIM_SINGLE_OUTPUT];
         roundtrip(&exotic);
+        let mut stratified = SweepPlan::quick();
+        stratified.estimator = EstimatorMode::Stratified;
+        roundtrip(&stratified);
+    }
+
+    #[test]
+    fn estimator_field_parses_and_defaults_to_exact() {
+        let base = SweepPlan::quick().canonical_json();
+        let plan = SweepPlan::from_json_str(&base).unwrap();
+        assert_eq!(plan.estimator, EstimatorMode::Exact);
+        let mut stratified = SweepPlan::quick();
+        stratified.estimator = EstimatorMode::Stratified;
+        let text = stratified.canonical_json();
+        assert!(text.contains("\"estimator\""));
+        let parsed = SweepPlan::from_json_str(&text).unwrap();
+        assert_eq!(parsed.estimator, EstimatorMode::Stratified);
+        let bad = text.replace("stratified", "importance");
+        assert!(SweepPlan::from_json_str(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown estimator mode"));
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub use engine::{
     SlicedBackend, TrialArena, TrialHarness,
 };
 pub use nvpim_core::config::SimBackend;
-pub use plan::{ProtectionConfig, SweepPlan, SweepWorkload};
-pub use report::{PointSummary, SweepReport, TrialOutcome};
+pub use plan::{EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
+pub use report::{EstimatorSummary, PointSummary, SweepReport, TrialOutcome};
 
 /// Errors raised while setting up a campaign.
 #[derive(Debug, Clone, PartialEq)]

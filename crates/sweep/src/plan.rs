@@ -6,7 +6,7 @@ use nvpim_compiler::netlist::Netlist;
 use nvpim_core::config::{DesignConfig, GateStyle, ProtectionScheme};
 use nvpim_sim::technology::Technology;
 use nvpim_workloads::Benchmark;
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 /// A protection design point: scheme plus gate style.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -164,6 +164,61 @@ impl SweepWorkload {
     }
 }
 
+/// How a campaign turns trial outcomes into point statistics.
+///
+/// [`Exact`](EstimatorMode::Exact) is the historical behaviour: every trial
+/// executes in full and the report is byte-identical to plans that predate
+/// this enum (the field is omitted from serialized plans when `Exact`, so
+/// plan content digests are unchanged too).
+///
+/// [`Stratified`](EstimatorMode::Stratified) conditions every trial on
+/// "at least one gate fault lands inside the trial's decision window" and
+/// reweights the measured failure rates by that window's analytic fault
+/// probability `P1` — an exactly unbiased rare-event estimator (see
+/// `docs/performance.md`). Reports gain per-point confidence intervals and
+/// bump `schema_version`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstimatorMode {
+    /// Plain Monte Carlo: run every trial in full (byte-identical to plans
+    /// that predate estimator modes).
+    #[default]
+    Exact,
+    /// Rare-event mode: condition trials on at-least-one-fault and reweight
+    /// by the analytic fault probability; reports carry Wilson confidence
+    /// intervals.
+    Stratified,
+}
+
+impl EstimatorMode {
+    /// Stable serialized name (`"exact"` / `"stratified"`).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            EstimatorMode::Exact => "exact",
+            EstimatorMode::Stratified => "stratified",
+        }
+    }
+}
+
+impl std::fmt::Display for EstimatorMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+impl std::str::FromStr for EstimatorMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "exact" => Ok(EstimatorMode::Exact),
+            "stratified" => Ok(EstimatorMode::Stratified),
+            other => Err(format!(
+                "unknown estimator mode `{other}` (expected `exact` or `stratified`)"
+            )),
+        }
+    }
+}
+
 /// A full Monte Carlo campaign description.
 ///
 /// The campaign expands into `workloads × technologies × protections ×
@@ -174,7 +229,7 @@ impl SweepWorkload {
 ///
 /// [`seeds_per_point`]: SweepPlan::seeds_per_point
 /// [`campaign_seed`]: SweepPlan::campaign_seed
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPlan {
     /// Workloads to execute.
     pub workloads: Vec<SweepWorkload>,
@@ -188,6 +243,38 @@ pub struct SweepPlan {
     pub seeds_per_point: u64,
     /// Root seed every per-trial seed derives from.
     pub campaign_seed: u64,
+    /// How trial outcomes become point statistics ([`EstimatorMode::Exact`]
+    /// by default, which reproduces historical report bytes).
+    pub estimator: EstimatorMode,
+}
+
+// Hand-rolled so the `estimator` key is *omitted* when `Exact`: serialized
+// plans (and therefore plan content digests and exact-mode report bytes)
+// stay byte-identical to versions that predate estimator modes.
+impl Serialize for SweepPlan {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("workloads".to_string(), self.workloads.to_json()),
+            ("technologies".to_string(), self.technologies.to_json()),
+            ("protections".to_string(), self.protections.to_json()),
+            (
+                "gate_error_rates".to_string(),
+                self.gate_error_rates.to_json(),
+            ),
+            (
+                "seeds_per_point".to_string(),
+                self.seeds_per_point.to_json(),
+            ),
+            ("campaign_seed".to_string(), self.campaign_seed.to_json()),
+        ];
+        if self.estimator != EstimatorMode::Exact {
+            fields.push((
+                "estimator".to_string(),
+                Value::Str(self.estimator.wire_name().to_string()),
+            ));
+        }
+        Value::Object(fields)
+    }
 }
 
 impl SweepPlan {
@@ -204,6 +291,7 @@ impl SweepPlan {
             gate_error_rates: vec![1e-4, 3e-4, 1e-3],
             seeds_per_point: 8,
             campaign_seed: 0x5eed_cafe,
+            estimator: EstimatorMode::Exact,
         }
     }
 
@@ -230,6 +318,7 @@ impl SweepPlan {
             gate_error_rates: vec![1e-5, 1e-4, 3e-4, 1e-3],
             seeds_per_point: 25,
             campaign_seed: 0x15ca_2024,
+            estimator: EstimatorMode::Exact,
         }
     }
 
@@ -268,7 +357,10 @@ impl SweepPlan {
             return Err(crate::SweepError::EmptyPlan("seeds_per_point"));
         }
         for &rate in &self.gate_error_rates {
-            if !(0.0..=1.0).contains(&rate) {
+            // The explicit finiteness test matters: `contains` happens to
+            // reject NaN today, but a non-finite rate must fail loudly as an
+            // invalid rate, not ride on a comparison side effect.
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
                 return Err(crate::SweepError::InvalidErrorRate(rate));
             }
         }
@@ -299,6 +391,46 @@ mod tests {
         let mut plan = SweepPlan::quick();
         plan.seeds_per_point = 0;
         assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn non_finite_rates_are_explicitly_invalid() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut plan = SweepPlan::quick();
+            plan.gate_error_rates = vec![bad];
+            match plan.validate() {
+                Err(crate::SweepError::InvalidErrorRate(r)) => {
+                    assert!(r.is_nan() == bad.is_nan() && (r.is_nan() || r == bad));
+                }
+                other => panic!("expected InvalidErrorRate for {bad}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_mode_parses_and_displays() {
+        use std::str::FromStr;
+        assert_eq!(
+            EstimatorMode::from_str("exact").unwrap(),
+            EstimatorMode::Exact
+        );
+        assert_eq!(
+            EstimatorMode::from_str("Stratified").unwrap(),
+            EstimatorMode::Stratified
+        );
+        assert!(EstimatorMode::from_str("importance").is_err());
+        assert_eq!(EstimatorMode::default(), EstimatorMode::Exact);
+        assert_eq!(EstimatorMode::Stratified.to_string(), "stratified");
+    }
+
+    #[test]
+    fn exact_plans_serialize_without_the_estimator_key() {
+        let exact = serde_json::to_string(&SweepPlan::quick()).unwrap();
+        assert!(!exact.contains("estimator"));
+        let mut plan = SweepPlan::quick();
+        plan.estimator = EstimatorMode::Stratified;
+        let stratified = serde_json::to_string(&plan).unwrap();
+        assert!(stratified.contains("\"estimator\":\"stratified\""));
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Campaign results: per-trial outcomes, per-point aggregates and the
 //! serializable [`SweepReport`].
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 use crate::engine::PointContext;
-use crate::plan::SweepPlan;
+use crate::plan::{EstimatorMode, SweepPlan};
 
 /// Raw counters from one Monte Carlo trial.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -39,8 +39,111 @@ impl TrialOutcome {
     }
 }
 
-/// Aggregated results of one campaign point.
+/// Rare-event statistics for one point, present only in
+/// [`EstimatorMode::Stratified`] campaigns (exact-mode report bytes are
+/// unchanged).
+///
+/// The stratified estimator splits each trial's probability space into two
+/// strata: *zero faults in the decision window* (settled analytically — the
+/// captured clean profile proves the output is correct) and *at least one
+/// fault* (probability [`fault_probability`], simulated conditionally). With
+/// `q̂` the conditional failure fraction over [`conditional_trials`], the
+/// unconditional rate is exactly `fault_probability · q̂` — unbiased because
+/// the zero-fault stratum contributes zero failures by construction.
+/// Confidence intervals are 95% Wilson score intervals on `q̂`, scaled by
+/// the same factor.
+///
+/// [`fault_probability`]: Self::fault_probability
+/// [`conditional_trials`]: Self::conditional_trials
 #[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EstimatorSummary {
+    /// Whether trials were actually conditioned on the fault stratum.
+    /// `false` means the point fell back to plain Monte Carlo (no clean
+    /// profile, zero decision window, or a degenerate rate) and the
+    /// intervals below describe the unconditioned estimate
+    /// (`fault_probability` is 1).
+    pub stratified: bool,
+    /// Gate-output fault decisions one trial makes (the decision window).
+    pub decisions_per_trial: u64,
+    /// Probability that at least one fault lands in the decision window
+    /// (`1 − (1−p)^decisions`); the reweighting factor `P1`.
+    pub fault_probability: f64,
+    /// Trials simulated in the at-least-one-fault stratum.
+    pub conditional_trials: u64,
+    /// Plain Monte Carlo trials that would match this estimate's variance
+    /// (`conditional_trials / fault_probability`).
+    pub effective_trials: f64,
+    /// Unbiased unconditional output-error-rate estimate.
+    pub output_error_rate: f64,
+    /// Lower 95% Wilson bound on the output error rate.
+    pub output_error_ci_low: f64,
+    /// Upper 95% Wilson bound on the output error rate.
+    pub output_error_ci_high: f64,
+    /// Unbiased unconditional silent-failure-rate estimate.
+    pub silent_failure_rate: f64,
+    /// Lower 95% Wilson bound on the silent failure rate.
+    pub silent_failure_ci_low: f64,
+    /// Upper 95% Wilson bound on the silent failure rate.
+    pub silent_failure_ci_high: f64,
+}
+
+/// 95% Wilson score interval for `successes / n`, clamped to `[0, 1]`.
+/// Returns `(0.0, 1.0)` when `n == 0` (no evidence, full uncertainty).
+fn wilson_interval(successes: u64, n: u64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    const Z: f64 = 1.96;
+    let n = n as f64;
+    let q = successes as f64 / n;
+    let z2 = Z * Z;
+    let denom = 1.0 + z2 / n;
+    let center = (q + z2 / (2.0 * n)) / denom;
+    let half = Z * (q * (1.0 - q) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+impl EstimatorSummary {
+    /// Builds the summary from the conditional stratum's counters.
+    /// `fault_probability` must be the analytic `P1` of the decision window
+    /// when `stratified`, and `1.0` for the plain-Monte-Carlo fallback.
+    pub(crate) fn from_counts(
+        stratified: bool,
+        decisions_per_trial: u64,
+        fault_probability: f64,
+        conditional_trials: u64,
+        failed: u64,
+        silent: u64,
+    ) -> Self {
+        let p1 = fault_probability;
+        let n = conditional_trials;
+        let (fail_lo, fail_hi) = wilson_interval(failed, n);
+        let (silent_lo, silent_hi) = wilson_interval(silent, n);
+        let rate = |k: u64| {
+            if n == 0 {
+                0.0
+            } else {
+                p1 * k as f64 / n as f64
+            }
+        };
+        EstimatorSummary {
+            stratified,
+            decisions_per_trial,
+            fault_probability: p1,
+            conditional_trials: n,
+            effective_trials: if p1 > 0.0 { n as f64 / p1 } else { n as f64 },
+            output_error_rate: rate(failed),
+            output_error_ci_low: p1 * fail_lo,
+            output_error_ci_high: p1 * fail_hi,
+            silent_failure_rate: rate(silent),
+            silent_failure_ci_low: p1 * silent_lo,
+            silent_failure_ci_high: p1 * silent_hi,
+        }
+    }
+}
+
+/// Aggregated results of one campaign point.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointSummary {
     /// Workload name.
     pub workload: String,
@@ -81,6 +184,68 @@ pub struct PointSummary {
     pub est_time_ns: f64,
     /// Analytic per-row energy estimate (fJ) from the system model.
     pub est_energy_fj: f64,
+    /// Rare-event estimator statistics — `Some` only in
+    /// [`EstimatorMode::Stratified`] campaigns. In stratified mode the raw
+    /// counters above describe the *conditional* stratum (every simulated
+    /// trial had ≥ 1 fault forced into its window); the unbiased
+    /// unconditional rates live here.
+    pub estimator: Option<EstimatorSummary>,
+}
+
+// Hand-rolled so the `estimator` key is *omitted* (not `null`) when absent:
+// exact-mode reports stay byte-identical to schema version 1. Field order
+// must mirror declaration order exactly (what `derive(Serialize)` emitted
+// before this field existed).
+impl Serialize for PointSummary {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("workload".to_string(), self.workload.to_json()),
+            ("technology".to_string(), self.technology.to_json()),
+            ("protection".to_string(), self.protection.to_json()),
+            (
+                "gate_error_rate".to_string(),
+                self.gate_error_rate.to_json(),
+            ),
+            ("trials".to_string(), self.trials.to_json()),
+            (
+                "faults_injected".to_string(),
+                self.faults_injected.to_json(),
+            ),
+            ("checks".to_string(), self.checks.to_json()),
+            (
+                "errors_detected".to_string(),
+                self.errors_detected.to_json(),
+            ),
+            (
+                "corrections_written_back".to_string(),
+                self.corrections_written_back.to_json(),
+            ),
+            (
+                "uncorrectable_checks".to_string(),
+                self.uncorrectable_checks.to_json(),
+            ),
+            ("failed_trials".to_string(), self.failed_trials.to_json()),
+            (
+                "silent_failures".to_string(),
+                self.silent_failures.to_json(),
+            ),
+            (
+                "wrong_output_bits".to_string(),
+                self.wrong_output_bits.to_json(),
+            ),
+            (
+                "output_error_rate".to_string(),
+                self.output_error_rate.to_json(),
+            ),
+            ("exec_errors".to_string(), self.exec_errors.to_json()),
+            ("est_time_ns".to_string(), self.est_time_ns.to_json()),
+            ("est_energy_fj".to_string(), self.est_energy_fj.to_json()),
+        ];
+        if let Some(est) = &self.estimator {
+            fields.push(("estimator".to_string(), est.to_json()));
+        }
+        Value::Object(fields)
+    }
 }
 
 impl PointSummary {
@@ -108,6 +273,7 @@ impl PointSummary {
             exec_errors: 0,
             est_time_ns: ctx.est_time_ns,
             est_energy_fj: ctx.est_energy_fj,
+            estimator: None,
         };
         for o in outcomes {
             s.faults_injected += o.faults_injected;
@@ -115,15 +281,20 @@ impl PointSummary {
             s.errors_detected += o.errors_detected;
             s.corrections_written_back += o.corrections_written_back;
             s.uncorrectable_checks += o.uncorrectable;
+            if o.exec_error.is_some() {
+                // An exec-errored trial is excluded from `output_error_rate`'s
+                // denominator, so its half-executed output must not feed the
+                // numerator's failure counters either — otherwise one broken
+                // trial inflates a rate whose denominator disowned it.
+                s.exec_errors += 1;
+                continue;
+            }
             s.wrong_output_bits += o.wrong_output_bits;
             if o.failed() {
                 s.failed_trials += 1;
             }
             if o.silent_failure() {
                 s.silent_failures += 1;
-            }
-            if o.exec_error.is_some() {
-                s.exec_errors += 1;
             }
         }
         let executed = trials - s.exec_errors;
@@ -140,6 +311,10 @@ impl PointSummary {
 /// plan and the trial outcomes (never from wall-clock time or thread
 /// scheduling), so `to_json()` is byte-identical across runs and across
 /// `RAYON_NUM_THREADS` settings.
+///
+/// `schema_version` is 1 for exact-mode campaigns (bytes unchanged since
+/// that schema shipped) and 2 for stratified-estimator campaigns, whose
+/// points carry an extra `estimator` object.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SweepReport {
     /// Report schema version.
@@ -172,7 +347,10 @@ impl SweepReport {
         let total_failed_trials = points.iter().map(|p| p.failed_trials).sum();
         let total_exec_errors = points.iter().map(|p| p.exec_errors).sum();
         SweepReport {
-            schema_version: 1,
+            schema_version: match plan.estimator {
+                EstimatorMode::Exact => 1,
+                EstimatorMode::Stratified => 2,
+            },
             campaign_seed: plan.campaign_seed,
             seeds_per_point: plan.seeds_per_point,
             total_trials,

@@ -8,8 +8,8 @@
 
 use nvpim_sim::technology::Technology;
 use nvpim_sweep::{
-    run_campaign_with_backend, ProtectionConfig, SimBackend, SweepPlan, SweepWorkload, TrialArena,
-    TrialHarness, TrialOutcome,
+    run_campaign_with_backend, EstimatorMode, ProtectionConfig, SimBackend, SweepPlan,
+    SweepWorkload, TrialArena, TrialHarness, TrialOutcome,
 };
 
 const SEED: u64 = 0x51_1CED;
@@ -49,6 +49,7 @@ fn reports_are_byte_identical_across_the_technology_scheme_rate_grid() {
         gate_error_rates: vec![3e-4, 2e-3],
         seeds_per_point: 20,
         campaign_seed: SEED,
+        estimator: EstimatorMode::Exact,
     };
     let (scalar, sliced) = both_backends(&plan);
     assert_eq!(scalar, sliced, "grid reports must be byte-identical");
@@ -70,6 +71,7 @@ fn ragged_trial_counts_are_byte_identical() {
             gate_error_rates: vec![1e-3],
             seeds_per_point,
             campaign_seed: SEED ^ seeds_per_point,
+            estimator: EstimatorMode::Exact,
         };
         let (scalar, sliced) = both_backends(&plan);
         assert_eq!(
@@ -172,6 +174,7 @@ fn extreme_error_rates_stay_equivalent() {
             gate_error_rates: vec![rate],
             seeds_per_point: 7,
             campaign_seed: SEED,
+            estimator: EstimatorMode::Exact,
         };
         let (scalar, sliced) = both_backends(&plan);
         assert_eq!(scalar, sliced, "rate {rate}");

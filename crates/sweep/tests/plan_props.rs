@@ -2,7 +2,7 @@
 //! is exactly the cartesian product, and `validate()` rejects every
 //! degenerate plan (an empty axis, zero seeds, an out-of-range rate).
 
-use nvpim_sweep::{ProtectionConfig, SweepPlan, SweepWorkload};
+use nvpim_sweep::{EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
 use proptest::prelude::*;
 
 /// Builds a plan whose four axes have the given lengths (drawn from fixed
@@ -54,6 +54,7 @@ fn plan_with(
         gate_error_rates: (0..n_rates).map(|i| rate / (i + 1) as f64).collect(),
         seeds_per_point: seeds,
         campaign_seed: 0xfeed,
+        estimator: EstimatorMode::Exact,
     }
 }
 

@@ -10,7 +10,7 @@
 //! Compare:  `RAYON_NUM_THREADS=1 cargo run --release --example fault_sweep`
 
 use nvpim::sim::technology::Technology;
-use nvpim::sweep::{run_campaign, ProtectionConfig, SweepPlan, SweepWorkload};
+use nvpim::sweep::{run_campaign, EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = SweepPlan {
@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         gate_error_rates: vec![1e-4, 3e-4, 1e-3],
         seeds_per_point: 56,
         campaign_seed: 0x0f1e_2d3c_4b5a_6978,
+        estimator: EstimatorMode::Exact,
     };
     eprintln!(
         "campaign: {} points x {} seeds = {} trials",
