@@ -45,8 +45,8 @@ use nvpim_sim::array::PimArray;
 use nvpim_sim::fault::{ErrorRates, FaultInjector};
 use nvpim_sim::technology::Technology;
 use nvpim_sweep::{
-    derive_trial_seed, trial_stream_seeds, ProtectionConfig, SweepWorkload, TrialArena,
-    TrialHarness,
+    derive_trial_seed, trial_stream_seeds, Phase, ProtectionConfig, SweepWorkload, Telemetry,
+    TrialArena, TrialHarness,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -168,6 +168,24 @@ struct Series {
     trials_per_sec: f64,
 }
 
+/// Renders the telemetry snapshot's per-phase breakdown as a JSON object
+/// (`{"<phase>": {"spans": N, "total_ns": N}, ...}`, all ten phases in
+/// taxonomy order).
+fn phases_json(snap: &nvpim_sweep::TelemetrySnapshot) -> String {
+    let mut out = String::from("{\n");
+    for (i, phase) in Phase::ALL.into_iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{ \"spans\": {}, \"total_ns\": {} }}{}\n",
+            phase.name(),
+            snap.phase_count(phase),
+            snap.phase_nanos(phase),
+            if i + 1 == Phase::ALL.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  }");
+    out
+}
+
 /// Measures the three series with enough trials for stable ratios, writes
 /// `BENCH_trials.json`, and (in guard mode) enforces the perf floor.
 fn emit_json_and_guard() {
@@ -178,8 +196,12 @@ fn emit_json_and_guard() {
         (600u64, 8_000u64, 800u64)
     };
 
-    // Warm-up: fill every arena allocation once.
-    let mut arena = TrialArena::new();
+    // The measured arena carries a telemetry sink, so the emitted JSON can
+    // break the run down by pipeline phase. Spans cost two monotonic clock
+    // reads against multi-microsecond trials; the guard thresholds below
+    // hold with instrumentation on, which is itself the overhead gate.
+    let telemetry = Telemetry::new();
+    let mut arena = TrialArena::with_telemetry(&telemetry);
     for t in 0..64 {
         harness.run_trial(CAMPAIGN_SEED, t, &mut arena);
     }
@@ -229,6 +251,9 @@ fn emit_json_and_guard() {
     let effective_tps = conditioned_tps / p1;
     let estimator_gain = effective_tps / exact_rare_tps;
 
+    arena.flush_telemetry();
+    let phase_breakdown = phases_json(&telemetry.snapshot());
+
     let out_path = std::env::var("NVPIM_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_trials.json", env!("CARGO_MANIFEST_DIR")));
     let json = format!(
@@ -258,6 +283,7 @@ fn emit_json_and_guard() {
             "  \"speedup_sliced_vs_scalar\": {svc:.2},\n",
             "  \"speedup_scalar_vs_legacy\": {cvl:.2},\n",
             "  \"estimator_effective_gain\": {egain:.2},\n",
+            "  \"phases\": {phases},\n",
             "  \"note\": \"sliced = 64-trials-per-u64-lane transposed backend (the engine ",
             "default); scalar = the per-trial packed-arena reference backend; legacy = ",
             "fresh array + per-op Bernoulli + fresh scratch, replaying the engine's exact ",
@@ -289,6 +315,7 @@ fn emit_json_and_guard() {
         p1 = p1,
         efftps = effective_tps,
         egain = estimator_gain,
+        phases = phase_breakdown,
     );
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}\n{json}"),

@@ -6,25 +6,32 @@
 //! nvpim-cli status  [--addr A] --job ID
 //! nvpim-cli result  [--addr A] --job ID [--wait]
 //! nvpim-cli cancel  [--addr A] --job ID
-//! nvpim-cli stats   [--addr A]
+//! nvpim-cli stats   [--addr A] [--watch] [--interval-ms N] [--count N]
+//! nvpim-cli metrics [--addr A]      # Prometheus-style text exposition
 //! nvpim-cli shutdown [--addr A]
 //! nvpim-cli run     (--plan plan.json | --quick | --paper-scale)
 //!                   [--backend scalar|sliced]
-//!                   [--estimator exact|stratified]                 # no daemon
+//!                   [--estimator exact|stratified]
+//!                   [--timings]                                    # no daemon
 //! nvpim-cli schemes [--json]        # the protection-scheme registry
 //! ```
 //!
 //! `submit --wait` streams progress to stderr and prints the final report
 //! JSON (pretty, byte-identical to a direct `run_campaign` of the same
 //! plan) on stdout. `run` executes the plan locally without a daemon —
-//! used by CI to diff daemon output against direct execution. `schemes`
+//! used by CI to diff daemon output against direct execution; `run
+//! --timings` additionally prints a per-phase timing/counter breakdown to
+//! stderr (the report on stdout stays byte-identical). `stats --watch`
+//! polls the daemon and prints counter deltas between refreshes;
+//! `metrics` dumps the daemon's Prometheus-style text exposition. `schemes`
 //! enumerates the compile-time scheme registry with per-scheme
 //! capabilities — any scheme listed there is accepted in plan JSON with
 //! zero CLI changes.
 
 use nvpim::service::client::{request, Client};
 use nvpim::service::flags::{has_flag, value_of};
-use nvpim::sweep::run_campaign_with_backend;
+use nvpim::sweep::{prepare_campaign_with_telemetry, run_campaign_with_backend, ScheduleCache};
+use nvpim::telemetry::{Counter, Phase, Telemetry};
 use nvpim::{EstimatorMode, SimBackend, SweepPlan};
 use serde::Value;
 
@@ -210,8 +217,150 @@ fn cmd_run(args: &[String]) {
         None => SimBackend::default(),
         Some(text) => text.parse().unwrap_or_else(|e| die(e)),
     };
-    let report = run_campaign_with_backend(&plan, backend).unwrap_or_else(|e| die(e));
-    println!("{}", report.to_json());
+    if !has_flag(args, "--timings") {
+        let report = run_campaign_with_backend(&plan, backend).unwrap_or_else(|e| die(e));
+        println!("{}", report.to_json());
+        return;
+    }
+    // `--timings`: run the same campaign with a telemetry sink attached and
+    // print the per-phase breakdown to stderr. The report on stdout stays
+    // byte-identical — telemetry only observes, it never touches the RNG
+    // stream or trial outcomes.
+    let telemetry = Telemetry::new();
+    let mut cache = ScheduleCache::new();
+    let report = prepare_campaign_with_telemetry(&plan, &mut cache, telemetry.clone())
+        .unwrap_or_else(|e| die(e))
+        .with_backend(backend)
+        .run()
+        .unwrap_or_else(|e| die(e));
+    let json = telemetry.time(Phase::ReportSerialization, || report.to_json());
+    println!("{json}");
+    print_timings(&telemetry.snapshot());
+}
+
+/// Prints the `run --timings` per-phase breakdown and counter table to
+/// stderr.
+fn print_timings(snap: &nvpim::TelemetrySnapshot) {
+    eprintln!();
+    eprintln!(
+        "{:<24} {:>10} {:>14} {:>12}",
+        "phase", "spans", "total ms", "mean \u{b5}s"
+    );
+    for phase in Phase::ALL {
+        let count = snap.phase_count(phase);
+        let nanos = snap.phase_nanos(phase);
+        let mean_us = if count == 0 {
+            0.0
+        } else {
+            nanos as f64 / count as f64 / 1_000.0
+        };
+        eprintln!(
+            "{:<24} {:>10} {:>14.3} {:>12.2}",
+            phase.name(),
+            count,
+            nanos as f64 / 1e6,
+            mean_us
+        );
+    }
+    eprintln!();
+    eprintln!("{:<24} {:>10}", "counter", "value");
+    for counter in Counter::ALL {
+        eprintln!("{:<24} {:>10}", counter.name(), snap.counter(counter));
+    }
+}
+
+/// `nvpim-cli metrics`: dumps the daemon's Prometheus-style text
+/// exposition (raw, not JSON-wrapped — ready for scraping or diffing).
+fn cmd_metrics(args: &[String]) {
+    let mut client = connect(args);
+    let response = client
+        .request(&request("metrics", vec![]))
+        .unwrap_or_else(|e| die(e));
+    check_ok(&response);
+    let text = response
+        .get("metrics")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| die("metrics response carries no text payload"));
+    print!("{text}");
+}
+
+/// One `stats --watch` refresh: prints the counters that moved since the
+/// previous snapshot as `name value (+delta)` lines.
+fn print_stats_delta(stats: &Value, previous: Option<&Value>) {
+    const WATCHED: &[&str] = &[
+        "jobs_submitted",
+        "jobs_completed",
+        "jobs_failed",
+        "jobs_cancelled",
+        "trials_executed",
+        "clean_settled_trials",
+        "estimator_redraws",
+        "report_cache_hits",
+        "queue_depth",
+    ];
+    let mut parts = Vec::new();
+    for key in WATCHED {
+        let now = stats.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let before = previous
+            .and_then(|p| p.get(key))
+            .and_then(Value::as_u64)
+            .unwrap_or(now);
+        if previous.is_none() || now != before {
+            let delta = now.wrapping_sub(before);
+            if previous.is_some() && delta > 0 {
+                parts.push(format!("{key}={now} (+{delta})"));
+            } else {
+                parts.push(format!("{key}={now}"));
+            }
+        }
+    }
+    let rate = stats
+        .get("trials_per_sec")
+        .and_then(Value::as_f64)
+        .map(|r| format!("rate={r:.0}/s"))
+        .unwrap_or_else(|| "rate=n/a".to_string());
+    if parts.is_empty() {
+        println!("(idle) {rate}");
+    } else {
+        println!("{} {rate}", parts.join(" "));
+    }
+}
+
+/// `nvpim-cli stats --watch`: polls the daemon every `--interval-ms`
+/// (default 1000) and prints counter deltas, for `--count` refreshes
+/// (default: until the connection drops).
+fn cmd_stats_watch(args: &[String]) {
+    let interval = value_of(args, "--interval-ms")
+        .map(|t| {
+            t.parse()
+                .unwrap_or_else(|_| die("--interval-ms expects a number"))
+        })
+        .unwrap_or(1000u64);
+    let count: u64 = value_of(args, "--count")
+        .map(|t| {
+            t.parse()
+                .unwrap_or_else(|_| die("--count expects a number"))
+        })
+        .unwrap_or(u64::MAX);
+    let mut client = connect(args);
+    let mut previous: Option<Value> = None;
+    let mut ticks = 0u64;
+    while ticks < count {
+        let response = client
+            .request(&request("stats", vec![]))
+            .unwrap_or_else(|e| die(e));
+        check_ok(&response);
+        let stats = response
+            .get("stats")
+            .cloned()
+            .unwrap_or_else(|| die("stats response carries no payload"));
+        print_stats_delta(&stats, previous.as_ref());
+        previous = Some(stats);
+        ticks += 1;
+        if ticks < count {
+            std::thread::sleep(std::time::Duration::from_millis(interval));
+        }
+    }
 }
 
 /// `nvpim-cli schemes`: enumerates the protection-scheme registry with
@@ -286,14 +435,21 @@ fn main() {
             "cancel",
             vec![("job".to_string(), Value::UInt(job_arg(&args)))],
         ),
-        Some("stats") => simple_command(&args, "stats", vec![]),
+        Some("stats") => {
+            if has_flag(&args, "--watch") {
+                cmd_stats_watch(&args)
+            } else {
+                simple_command(&args, "stats", vec![])
+            }
+        }
+        Some("metrics") => cmd_metrics(&args),
         Some("shutdown") => simple_command(&args, "shutdown", vec![]),
         Some("run") => cmd_run(&args),
         Some("schemes") => cmd_schemes(&args),
         _ => {
             eprintln!(
-                "usage: nvpim-cli <submit|status|result|cancel|stats|shutdown|run|schemes> [flags]\n\
-                 see `docs/protocol.md` for the full protocol"
+                "usage: nvpim-cli <submit|status|result|cancel|stats|metrics|shutdown|run|schemes> [flags]\n\
+                 see `docs/protocol.md` for the full protocol, `docs/observability.md` for metrics"
             );
             std::process::exit(2);
         }

@@ -15,6 +15,7 @@
 //! | Scheme registry, executors, Checker, SEP analysis, system model | `nvpim-core` | [`core`] |
 //! | Benchmarks (mm, mnist, fft) | `nvpim-workloads` | [`workloads`] |
 //! | Monte Carlo fault-sweep campaigns | `nvpim-sweep` | [`sweep`] |
+//! | Offline metrics core (spans, counters, histograms) | `nvpim-telemetry` | [`telemetry`] |
 //! | Campaign daemon, NDJSON protocol, client | `nvpim-service` | [`service`] |
 //!
 //! Protection schemes are **plugins**: every scheme is a
@@ -54,6 +55,7 @@ pub use nvpim_ecc as ecc;
 pub use nvpim_service as service;
 pub use nvpim_sim as sim;
 pub use nvpim_sweep as sweep;
+pub use nvpim_telemetry as telemetry;
 pub use nvpim_workloads as workloads;
 
 pub use nvpim_core::config::{DesignConfig, GateStyle, ProtectionScheme, SimBackend};
@@ -63,6 +65,7 @@ pub use nvpim_sweep::{
     EstimatorMode, ExecutionBackend, ProtectionConfig, SweepError, SweepPlan, SweepReport,
     SweepWorkload,
 };
+pub use nvpim_telemetry::{Telemetry, TelemetrySnapshot};
 pub use nvpim_workloads::Benchmark;
 
 /// The compile-time protection-scheme registry, in stable wire order —

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! nvpim-serviced [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--chunk-trials N]
-//!                [--backend scalar|sliced]
+//!                [--backend scalar|sliced] [--log-json PATH]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7171`; use port `0` for an
@@ -27,7 +27,8 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "nvpim-serviced [--addr HOST:PORT] [--workers N] [--queue-capacity N] \
-             [--chunk-trials N] [--backend scalar|sliced]"
+             [--chunk-trials N] [--backend scalar|sliced] [--log-json PATH]\n\n  \
+             --log-json PATH  append one NDJSON event per job transition/chunk to PATH"
         );
         return;
     }
@@ -40,11 +41,13 @@ fn main() {
             std::process::exit(2);
         }),
     };
+    let log_json = value_of(&args, "--log-json").map(std::path::PathBuf::from);
     let cfg = ServiceConfig {
         workers: numeric_arg(&args, "--workers", defaults.workers),
         queue_capacity: numeric_arg(&args, "--queue-capacity", defaults.queue_capacity),
         chunk_trials: numeric_arg(&args, "--chunk-trials", defaults.chunk_trials),
         backend,
+        log_json,
         ..defaults
     };
     let service = ServiceHandle::start(cfg);

@@ -88,6 +88,9 @@ pub struct JobCore {
     pub trials_total: u64,
     /// Whether the job completed at submit time from the report store.
     pub from_cache: bool,
+    /// When the submission was accepted — the anchor for queue-wait
+    /// latency accounting.
+    pub submitted_at: Instant,
     trials_done: AtomicU64,
     cancel: AtomicBool,
     slot: Mutex<Slot>,
@@ -112,6 +115,7 @@ impl JobCore {
             digest,
             trials_total,
             from_cache: false,
+            submitted_at: Instant::now(),
             trials_done: AtomicU64::new(0),
             cancel: AtomicBool::new(false),
             slot: Mutex::new(Slot {
@@ -137,6 +141,7 @@ impl JobCore {
             digest,
             trials_total,
             from_cache: true,
+            submitted_at: Instant::now(),
             trials_done: AtomicU64::new(trials_total),
             cancel: AtomicBool::new(false),
             slot: Mutex::new(Slot {
@@ -175,19 +180,21 @@ impl JobCore {
 
     /// The campaign's observed trial throughput: completed trials divided
     /// by running wall time so far (frozen at the value reached when the
-    /// job went terminal). `0.0` for jobs that never ran — still queued,
-    /// cancelled while queued, or served instantly from the report cache.
-    pub fn trials_per_sec(&self) -> f64 {
+    /// job went terminal, so a finished job's rate never decays). `None`
+    /// for jobs that never ran — still queued, cancelled while queued, or
+    /// served instantly from the report cache — distinguishing "no
+    /// throughput data" from a measured rate of zero.
+    pub fn trials_per_sec(&self) -> Option<f64> {
         let slot = self.slot.lock().expect("job lock");
         let secs = match (slot.run_elapsed, slot.run_started) {
             (Some(elapsed), _) => elapsed.as_secs_f64(),
             (None, Some(started)) => started.elapsed().as_secs_f64(),
-            (None, None) => return 0.0,
+            (None, None) => return None,
         };
         if secs <= 0.0 {
-            0.0
+            None
         } else {
-            self.trials_done() as f64 / secs
+            Some(self.trials_done() as f64 / secs)
         }
     }
 

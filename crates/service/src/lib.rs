@@ -13,8 +13,8 @@
 //!   returns byte-identical report JSON with zero recompute, and identical
 //!   *in-flight* plans coalesce onto one campaign.
 //! * [`protocol`] — the newline-delimited JSON wire protocol (`submit`,
-//!   `status`, `result`, `cancel`, `stats`, `shutdown`) with structured
-//!   errors and streamed per-chunk progress events.
+//!   `status`, `result`, `cancel`, `stats`, `metrics`, `shutdown`) with
+//!   structured errors and streamed per-chunk progress events.
 //! * [`server`] — the TCP front end behind the `nvpim-serviced` binary.
 //! * [`client`] — the blocking client used by `nvpim-cli` and the tests.
 //!
@@ -55,7 +55,9 @@ pub use client::Client;
 pub use job::{CancelOutcome, JobId, JobState};
 pub use protocol::MAX_LINE_BYTES;
 pub use server::{run_server, serve};
-pub use service::{JobStatus, ServiceConfig, ServiceHandle, ServiceStats, SubmitOutcome};
+pub use service::{
+    JobStatus, LatencySummary, ServiceConfig, ServiceHandle, ServiceStats, SubmitOutcome,
+};
 pub use store::ReportStore;
 
 /// Errors surfaced by the in-process service API (the wire protocol maps

@@ -1,7 +1,8 @@
 //! The newline-delimited JSON wire protocol.
 //!
 //! Every request is one JSON object per line carrying a `cmd` field
-//! (`submit`, `status`, `result`, `cancel`, `stats`, `shutdown`); every
+//! (`submit`, `status`, `result`, `cancel`, `stats`, `metrics`,
+//! `shutdown`); every
 //! response is one JSON object per line with an `ok` boolean. Failures are
 //! *structured*: `{"ok":false,"error":{"code":...,"message":...}}` — a bad
 //! request never tears down the worker pool, only (at worst) its own
@@ -237,6 +238,13 @@ pub fn dispatch(
             )]))?;
             Ok(Outcome::Continue)
         }
+        "metrics" => {
+            emit(&ok_response(vec![(
+                "metrics".into(),
+                Value::Str(service.metrics_text()),
+            )]))?;
+            Ok(Outcome::Continue)
+        }
         "shutdown" => {
             emit(&ok_response(vec![(
                 "shutting_down".into(),
@@ -303,7 +311,10 @@ fn stream_until_done(
                     ("trials_done".into(), Value::UInt(done)),
                     ("trials_total".into(), Value::UInt(core.trials_total)),
                     ("percent".into(), Value::Float(core.percent())),
-                    ("trials_per_sec".into(), Value::Float(core.trials_per_sec())),
+                    (
+                        "trials_per_sec".into(),
+                        core.trials_per_sec().map_or(Value::Null, Value::Float),
+                    ),
                 ]))?;
             }
         }

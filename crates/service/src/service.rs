@@ -11,10 +11,11 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use nvpim_sweep::{
-    prepare_campaign, CampaignControl, EstimatorMode, ScheduleCache, SimBackend, SweepError,
-    SweepPlan,
+    prepare_campaign_with_telemetry, CampaignControl, EstimatorMode, ScheduleCache, SimBackend,
+    SweepError, SweepPlan,
 };
-use serde::Serialize;
+use nvpim_telemetry::{Counter as TelemetryCounter, EventLog, Phase, Telemetry};
+use serde::{Serialize, Value};
 
 use crate::job::{JobCore, JobId, JobState};
 use crate::queue::BoundedPriorityQueue;
@@ -47,6 +48,11 @@ pub struct ServiceConfig {
     /// changes between restarts); `Sliced` is the 64-trials-per-word
     /// default.
     pub backend: SimBackend,
+    /// Opt-in structured NDJSON event log: when set, the service appends
+    /// one event per job transition (and per executed chunk) to this file,
+    /// each line carrying a `trace` id correlating a job's whole history.
+    /// `None` (the default) logs nothing.
+    pub log_json: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +64,7 @@ impl Default for ServiceConfig {
             max_tracked_jobs: 4096,
             max_cached_reports: crate::store::DEFAULT_REPORT_CAPACITY,
             backend: SimBackend::default(),
+            log_json: None,
         }
     }
 }
@@ -91,9 +98,11 @@ pub struct JobStatus {
     pub trials_done: u64,
     /// Total trials.
     pub trials_total: u64,
-    /// Observed trial throughput of this campaign (completed trials per
-    /// second of running wall time; `0.0` for jobs that never ran).
-    pub trials_per_sec: f64,
+    /// Observed trial throughput of this campaign: completed trials per
+    /// second of running wall time, frozen at the value reached when the
+    /// job went terminal. `None` (wire `null`) for jobs that never ran —
+    /// queued, cancelled while queued, or served from the report cache.
+    pub trials_per_sec: Option<f64>,
     /// Plan content digest.
     pub digest: String,
     /// Whether the job was served from the report cache at submit time.
@@ -113,9 +122,10 @@ pub struct ServiceStats {
     /// coalesced submissions recompute nothing and add nothing here).
     pub trials_executed: u64,
     /// Lifetime trial throughput: executed trials divided by total
-    /// campaign wall time across the worker pool (`0.0` before the first
-    /// campaign finishes).
-    pub trials_per_sec: f64,
+    /// campaign wall time across the worker pool. `None` (wire `null`)
+    /// until the first campaign accrues measurable wall time — a fresh
+    /// service has no data, which is different from a measured rate of 0.
+    pub trials_per_sec: Option<f64>,
     /// Queue capacity.
     pub queue_capacity: usize,
     /// Jobs currently queued.
@@ -148,6 +158,54 @@ pub struct ServiceStats {
     /// estimator (counted at acceptance, including cached and coalesced
     /// submissions — the demand signal, not the work done).
     pub estimator_jobs: u64,
+    /// Trials settled by the analytic zero-fault fast path without
+    /// executing a gate (first-class telemetry counter).
+    pub clean_settled_trials: u64,
+    /// Whole 64-lane batches settled by the analytic zero-fault fast path.
+    pub clean_settled_batches: u64,
+    /// Trials/lanes redrawn into the at-least-one-fault stratum by the
+    /// stratified estimator.
+    pub estimator_redraws: u64,
+    /// Queue-wait latency summary (submission → worker pickup), `None`
+    /// until the first job is picked up.
+    pub queue_wait: Option<LatencySummary>,
+    /// Job run-latency summary (worker pickup → terminal), `None` until
+    /// the first campaign finishes.
+    pub run_latency: Option<LatencySummary>,
+}
+
+/// Deterministic percentile summary of a service latency histogram
+/// (log2-bucketed: quantiles are bucket upper bounds, in microseconds).
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencySummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Median, microseconds (bucket upper bound).
+    pub p50_us: u64,
+    /// 95th percentile, microseconds (bucket upper bound).
+    pub p95_us: u64,
+    /// 99th percentile, microseconds (bucket upper bound).
+    pub p99_us: u64,
+    /// Mean, microseconds.
+    pub mean_us: f64,
+}
+
+impl LatencySummary {
+    /// Builds a summary from a nanosecond-valued histogram, or `None` when
+    /// it has no observations.
+    fn from_nanos_histogram(hist: &nvpim_telemetry::Histogram) -> Option<Self> {
+        if hist.count() == 0 {
+            return None;
+        }
+        let to_us = |q: f64| hist.quantile(q).unwrap_or(0) / 1_000;
+        Some(Self {
+            count: hist.count(),
+            p50_us: to_us(0.50),
+            p95_us: to_us(0.95),
+            p99_us: to_us(0.99),
+            mean_us: hist.mean().unwrap_or(0.0) / 1_000.0,
+        })
+    }
 }
 
 struct WorkItem {
@@ -185,6 +243,27 @@ struct Inner {
     counters: Counters,
     shutting_down: AtomicBool,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Always-enabled telemetry sink shared by every campaign this service
+    /// runs: pipeline phase timings, first-class counters, per-scheme /
+    /// per-backend trial counters and the queue-wait / run-latency
+    /// histograms all land here.
+    telemetry: Telemetry,
+    /// Opt-in NDJSON event log (see [`ServiceConfig::log_json`]).
+    event_log: Option<EventLog>,
+}
+
+/// The event-log trace id correlating every event of one job: the primary
+/// job id plus the leading 8 hex chars of the plan digest.
+fn trace_id(job: JobId, digest: &str) -> String {
+    format!("job-{job}-{}", &digest[..digest.len().min(8)])
+}
+
+impl Inner {
+    fn emit_event(&self, job: JobId, digest: &str, event: &str, fields: Vec<(String, Value)>) {
+        if let Some(log) = &self.event_log {
+            log.emit(event, &trace_id(job, digest), fields);
+        }
+    }
 }
 
 /// Cloneable handle to a running service (see module docs).
@@ -206,6 +285,11 @@ impl ServiceHandle {
     /// Starts a service: spawns the worker pool and returns the handle.
     pub fn start(cfg: ServiceConfig) -> Self {
         let workers = cfg.workers.max(1);
+        let event_log = cfg.log_json.as_deref().and_then(|path| {
+            EventLog::create(path)
+                .map_err(|e| eprintln!("nvpim-service: cannot open event log {path:?}: {e}"))
+                .ok()
+        });
         let inner = Arc::new(Inner {
             queue: BoundedPriorityQueue::new(cfg.queue_capacity),
             cfg: ServiceConfig { workers, ..cfg },
@@ -217,6 +301,8 @@ impl ServiceHandle {
             counters: Counters::default(),
             shutting_down: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
+            telemetry: Telemetry::new(),
+            event_log,
         });
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -266,6 +352,15 @@ impl ServiceHandle {
             evict_terminal_jobs(&mut jobs, inner.cfg.max_tracked_jobs, id);
             drop(jobs);
             inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            inner.emit_event(
+                id,
+                &digest,
+                "submitted",
+                vec![
+                    ("cached".to_string(), Value::Bool(true)),
+                    ("trials_total".to_string(), Value::UInt(trials_total)),
+                ],
+            );
             return Ok(SubmitOutcome {
                 job: id,
                 digest,
@@ -293,9 +388,16 @@ impl ServiceHandle {
                     if !existing.state().is_terminal() && !existing.cancel_requested() =>
                 {
                     let existing = Arc::clone(existing);
+                    let primary = existing.id;
                     inner.jobs.lock().expect("jobs lock").insert(id, existing);
                     inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
                     inner.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                    inner.emit_event(
+                        id,
+                        &digest,
+                        "coalesced",
+                        vec![("onto_job".to_string(), Value::UInt(primary))],
+                    );
                     return Ok(SubmitOutcome {
                         job: id,
                         digest,
@@ -334,6 +436,19 @@ impl ServiceHandle {
         evict_terminal_jobs(&mut jobs, inner.cfg.max_tracked_jobs, id);
         drop(jobs);
         inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        inner.emit_event(
+            id,
+            &digest,
+            "submitted",
+            vec![
+                ("cached".to_string(), Value::Bool(false)),
+                ("trials_total".to_string(), Value::UInt(trials_total)),
+                (
+                    "queue_depth".to_string(),
+                    Value::UInt(inner.queue.len() as u64),
+                ),
+            ],
+        );
         Ok(SubmitOutcome {
             job: id,
             digest,
@@ -441,14 +556,15 @@ impl ServiceHandle {
         };
         let trials_executed = inner.counters.trials_executed.load(Ordering::Relaxed);
         let busy_secs = inner.counters.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        let telemetry = inner.telemetry.snapshot();
         ServiceStats {
             workers: inner.cfg.workers,
             backend: inner.cfg.backend.to_string(),
             trials_executed,
             trials_per_sec: if busy_secs > 0.0 {
-                trials_executed as f64 / busy_secs
+                Some(trials_executed as f64 / busy_secs)
             } else {
-                0.0
+                None
             },
             queue_capacity: inner.queue.capacity(),
             queue_depth: inner.queue.len(),
@@ -465,7 +581,105 @@ impl ServiceHandle {
             schedule_cache_hits: sched_hits,
             schedule_cache_compiles: sched_compiles,
             estimator_jobs: inner.counters.estimator_jobs.load(Ordering::Relaxed),
+            clean_settled_trials: telemetry.counter(TelemetryCounter::CleanSettledTrials),
+            clean_settled_batches: telemetry.counter(TelemetryCounter::CleanSettledBatches),
+            estimator_redraws: telemetry.counter(TelemetryCounter::EstimatorRedraws),
+            queue_wait: telemetry
+                .histograms
+                .get("queue_wait_ns")
+                .and_then(LatencySummary::from_nanos_histogram),
+            run_latency: telemetry
+                .histograms
+                .get("run_latency_ns")
+                .and_then(LatencySummary::from_nanos_histogram),
         }
+    }
+
+    /// The service's always-on telemetry sink (phase timings, first-class
+    /// counters, per-scheme/per-backend trial counters, latency
+    /// histograms).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// Renders the full metrics payload as Prometheus-style text
+    /// exposition: service-level job/queue/cache series first, then every
+    /// telemetry series (phase timings, counters, latency summaries). The
+    /// `metrics` protocol command returns exactly this text.
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let stats = self.stats();
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP nvpim_{name} {help}");
+            let _ = writeln!(out, "# TYPE nvpim_{name} counter");
+            let _ = writeln!(out, "nvpim_{name} {value}");
+        };
+        counter(
+            "jobs_submitted_total",
+            "Submissions accepted (including cached and coalesced).",
+            stats.jobs_submitted,
+        );
+        counter(
+            "jobs_completed_total",
+            "Campaigns run to completion.",
+            stats.jobs_completed,
+        );
+        counter(
+            "jobs_failed_total",
+            "Campaigns that failed.",
+            stats.jobs_failed,
+        );
+        counter(
+            "jobs_cancelled_total",
+            "Jobs cancelled.",
+            stats.jobs_cancelled,
+        );
+        counter(
+            "jobs_coalesced_total",
+            "Submissions attached to an identical in-flight job.",
+            stats.jobs_coalesced,
+        );
+        counter(
+            "jobs_rejected_total",
+            "Submissions rejected by queue backpressure.",
+            stats.jobs_rejected,
+        );
+        counter(
+            "service_trials_executed_total",
+            "Monte Carlo trials executed across all campaigns.",
+            stats.trials_executed,
+        );
+        counter(
+            "report_cache_hits_total",
+            "Submissions served byte-identically from the report store.",
+            stats.report_cache_hits,
+        );
+        counter(
+            "report_cache_misses_total",
+            "Report store lookups that missed.",
+            stats.report_cache_misses,
+        );
+        counter(
+            "estimator_jobs_total",
+            "Submissions requesting the stratified estimator.",
+            stats.estimator_jobs,
+        );
+        let _ = writeln!(out, "# HELP nvpim_queue_depth Jobs currently queued.");
+        let _ = writeln!(out, "# TYPE nvpim_queue_depth gauge");
+        let _ = writeln!(out, "nvpim_queue_depth {}", stats.queue_depth);
+        let _ = writeln!(
+            out,
+            "# HELP nvpim_report_cache_entries Distinct reports in the content-addressed store."
+        );
+        let _ = writeln!(out, "# TYPE nvpim_report_cache_entries gauge");
+        let _ = writeln!(
+            out,
+            "nvpim_report_cache_entries {}",
+            stats.report_cache_entries
+        );
+        out.push_str(&self.inner.telemetry.render_prometheus());
+        out
     }
 
     /// Whether shutdown has begun.
@@ -526,6 +740,30 @@ fn remove_from_active(inner: &Inner, core: &Arc<JobCore>) {
     }
 }
 
+/// Credits one finished campaign's trials to the per-scheme and
+/// per-backend labeled telemetry series (visible in the `metrics`
+/// exposition as `nvpim_trials_by_scheme{scheme="..."}` /
+/// `nvpim_trials_by_backend{backend="..."}`).
+fn credit_labeled_trials(inner: &Inner, plan: &SweepPlan, trials: u64) {
+    // Every protection design point runs the same share of the cartesian
+    // product: workloads × technologies × rates × seeds.
+    let per_scheme = trials / plan.protections.len().max(1) as u64;
+    for prot in &plan.protections {
+        inner.telemetry.add_labeled(
+            "trials_by_scheme",
+            "scheme",
+            &prot.scheme.to_string(),
+            per_scheme,
+        );
+    }
+    inner.telemetry.add_labeled(
+        "trials_by_backend",
+        "backend",
+        &inner.cfg.backend.to_string(),
+        trials,
+    );
+}
+
 fn worker_loop(inner: &Inner) {
     while let Some(WorkItem { core, plan }) = inner.queue.pop() {
         if !core.set_running() {
@@ -533,12 +771,25 @@ fn worker_loop(inner: &Inner) {
             remove_from_active(inner, &core);
             continue;
         }
+        inner.telemetry.record_histogram(
+            "queue_wait_ns",
+            core.submitted_at.elapsed().as_nanos() as u64,
+        );
+        inner.emit_event(
+            core.id,
+            &core.digest,
+            "running",
+            vec![("trials_total".to_string(), Value::UInt(core.trials_total))],
+        );
 
         // Compile through the process-wide shared cache; the lock is held
-        // only for preparation, never while trials run.
+        // only for preparation, never while trials run. The campaign runs
+        // with the service-wide telemetry sink attached, so every phase
+        // span and counter from the sweep engine lands in this service's
+        // metrics.
         let prepared = {
             let mut cache = inner.schedule_cache.lock().expect("cache lock");
-            prepare_campaign(&plan, &mut cache)
+            prepare_campaign_with_telemetry(&plan, &mut cache, inner.telemetry.clone())
         };
 
         match prepared {
@@ -546,6 +797,12 @@ fn worker_loop(inner: &Inner) {
                 // Counters precede the (waiter-waking) state transition so
                 // a client that observed completion also observes them.
                 inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                inner.emit_event(
+                    core.id,
+                    &core.digest,
+                    "failed",
+                    vec![("error".to_string(), Value::Str(err.to_string()))],
+                );
                 core.fail(err.to_string());
             }
             Ok(prepared) => {
@@ -554,6 +811,15 @@ fn worker_loop(inner: &Inner) {
                     inner.cfg.chunk_trials,
                     |progress| {
                         core.note_progress(progress.trials_done);
+                        inner.emit_event(
+                            core.id,
+                            &core.digest,
+                            "chunk",
+                            vec![
+                                ("trials_done".to_string(), Value::UInt(progress.trials_done)),
+                                ("trials_total".to_string(), Value::UInt(core.trials_total)),
+                            ],
+                        );
                         if core.cancel_requested() {
                             CampaignControl::Cancel
                         } else {
@@ -561,31 +827,61 @@ fn worker_loop(inner: &Inner) {
                         }
                     },
                 );
+                let run_nanos = run_started.elapsed().as_nanos() as u64;
                 inner
                     .counters
                     .busy_nanos
-                    .fetch_add(run_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    .fetch_add(run_nanos, Ordering::Relaxed);
+                inner
+                    .telemetry
+                    .record_histogram("run_latency_ns", run_nanos);
                 inner
                     .counters
                     .trials_executed
                     .fetch_add(core.trials_done(), Ordering::Relaxed);
                 match outcome {
                     Ok(report) => {
-                        let json = Arc::new(report.to_json());
+                        let json = Arc::new(
+                            inner
+                                .telemetry
+                                .time(Phase::ReportSerialization, || report.to_json()),
+                        );
                         inner
                             .store
                             .lock()
                             .expect("store lock")
                             .insert(core.digest.clone(), Arc::clone(&json));
                         inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                        credit_labeled_trials(inner, &plan, core.trials_total);
+                        inner.emit_event(
+                            core.id,
+                            &core.digest,
+                            "done",
+                            vec![
+                                ("trials_total".to_string(), Value::UInt(core.trials_total)),
+                                ("run_nanos".to_string(), Value::UInt(run_nanos)),
+                            ],
+                        );
                         core.complete(json);
                     }
                     Err(SweepError::Cancelled) => {
                         inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        inner.emit_event(
+                            core.id,
+                            &core.digest,
+                            "cancelled",
+                            vec![("trials_done".to_string(), Value::UInt(core.trials_done()))],
+                        );
                         core.mark_cancelled();
                     }
                     Err(err) => {
                         inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        inner.emit_event(
+                            core.id,
+                            &core.digest,
+                            "failed",
+                            vec![("error".to_string(), Value::Str(err.to_string()))],
+                        );
                         core.fail(err.to_string());
                     }
                 }
@@ -660,18 +956,18 @@ mod tests {
         assert_eq!(stats.backend, "sliced");
         assert_eq!(stats.trials_executed, plan_trials);
         assert!(
-            stats.trials_per_sec > 0.0,
+            stats.trials_per_sec.unwrap_or(0.0) > 0.0,
             "a completed campaign must yield a positive trial rate"
         );
         let status = service.status(first.job).unwrap();
         assert!(
-            status.trials_per_sec > 0.0,
+            status.trials_per_sec.unwrap_or(0.0) > 0.0,
             "a completed job must report its trial rate"
         );
         assert_eq!(
             service.status(second.job).unwrap().trials_per_sec,
-            0.0,
-            "a cache-served job never ran"
+            None,
+            "a cache-served job never ran, so it has no rate"
         );
         service.shutdown();
     }

@@ -25,6 +25,7 @@ use nvpim_core::system::{evaluate_schedule, WorkloadShape};
 use nvpim_sim::array::PimArray;
 use nvpim_sim::fault::{ErrorRates, FaultInjector, FaultSite};
 use nvpim_sim::sliced::{SlicedFaultInjector, SlicedPimArray, LANES};
+use nvpim_telemetry::{Counter as TelemetryCounter, LocalTelemetry, Phase, Telemetry};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
@@ -415,12 +416,36 @@ pub struct TrialArena {
     eval_values: Vec<bool>,
     scratch: ExecScratch,
     batch: TrialBatch,
+    /// Per-thread telemetry accumulator: plain `u64` arrays the hot path
+    /// records into with no shared-atomic traffic. Folds into the shared
+    /// sink on drop — which the rayon `map_init` loop triggers at the end
+    /// of every parallel chunk. Disabled (all no-ops, zero clock reads) for
+    /// arenas built with [`TrialArena::new`].
+    telemetry: LocalTelemetry,
 }
 
 impl TrialArena {
-    /// Creates an empty arena (buffers grow on first use).
+    /// Creates an empty arena (buffers grow on first use) with telemetry
+    /// disabled.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty arena whose trials record phase timings and
+    /// counters into `sink` (folded at chunk boundaries, see
+    /// [`LocalTelemetry`]). A disabled sink behaves exactly like
+    /// [`TrialArena::new`].
+    pub fn with_telemetry(sink: &Telemetry) -> Self {
+        Self {
+            telemetry: LocalTelemetry::new(sink),
+            ..Self::default()
+        }
+    }
+
+    /// Folds any accumulated telemetry into the shared sink now (also
+    /// happens automatically on drop).
+    pub fn flush_telemetry(&mut self) {
+        self.telemetry.flush();
     }
 }
 
@@ -455,11 +480,23 @@ pub fn run_trial(ctx: &PointContext, base_seed: u64, arena: &mut TrialArena) -> 
     // Independent streams for input generation and fault injection.
     let (input_seed, fault_seed) = trial_stream_seeds(base_seed);
 
+    // Split the arena into disjoint field borrows so the telemetry
+    // accumulator can record while the array is live.
+    let TrialArena {
+        array: array_slot,
+        inputs,
+        expected,
+        eval_values,
+        scratch,
+        telemetry,
+        ..
+    } = arena;
+
     let rates = ctx.rates();
-    let array = arena
-        .array
-        .get_or_insert_with(|| PimArray::standard(ctx.config.technology));
+    let array = array_slot.get_or_insert_with(|| PimArray::standard(ctx.config.technology));
+    let span = telemetry.span_start();
     array.reset_for_trial(ctx.config.technology, rates, fault_seed);
+    telemetry.span_end(Phase::FaultInjection, span);
 
     if let Some(clean) = &ctx.clean {
         let window = clean.decisions;
@@ -467,9 +504,12 @@ pub fn run_trial(ctx: &PointContext, base_seed: u64, arena: &mut TrialArena) -> 
             // Stratified mode: force the first gate fault inside the decision
             // window (a truncated-geometric redraw); the trial then runs in
             // full and its counters describe the at-least-one-fault stratum.
+            let span = telemetry.span_start();
             array
                 .fault_injector_mut()
                 .condition_first_fault(FaultSite::GateOutput, window);
+            telemetry.span_end(Phase::EstimatorRedraw, span);
+            telemetry.add(TelemetryCounter::EstimatorRedraws, 1);
         } else if window > 0 {
             // Analytic zero-fault fast path: the skip sampler already knows
             // the index of the trial's first would-be gate fault. If it lies
@@ -478,38 +518,42 @@ pub fn run_trial(ctx: &PointContext, base_seed: u64, arena: &mut TrialArena) -> 
             // captured profile — the clean outcome. Peeking consumes exactly
             // the draw `apply` would have consumed lazily, so slow-path
             // trials that fall through remain byte-identical.
+            let span = telemetry.span_start();
             if let Some(next) = array
                 .fault_injector_mut()
                 .next_fault_in(FaultSite::GateOutput)
             {
                 if next >= window {
-                    return clean.outcome.clone();
+                    let outcome = clean.outcome.clone();
+                    telemetry.span_end(Phase::AnalyticCleanSettle, span);
+                    telemetry.add(TelemetryCounter::CleanSettledTrials, 1);
+                    telemetry.add(TelemetryCounter::TrialsExecuted, 1);
+                    return outcome;
                 }
             }
         }
     }
 
+    let span = telemetry.span_start();
     let mut input_rng = ChaCha8Rng::seed_from_u64(input_seed);
     let netlist = &ctx.kernel.netlist;
-    arena.inputs.clear();
-    arena
-        .inputs
-        .extend((0..netlist.inputs.len()).map(|_| input_rng.gen_bool(0.5)));
-    netlist.evaluate_into(&arena.inputs, &mut arena.eval_values, &mut arena.expected);
+    inputs.clear();
+    inputs.extend((0..netlist.inputs.len()).map(|_| input_rng.gen_bool(0.5)));
+    netlist.evaluate_into(inputs, eval_values, expected);
 
-    match ctx.executor.run_with_scratch(
+    let outcome = match ctx.executor.run_with_scratch(
         netlist,
         &ctx.kernel.schedule,
         array,
         0,
-        &arena.inputs,
-        &mut arena.scratch,
+        inputs,
+        scratch,
     ) {
         Ok(report) => {
             let wrong_bits = report
                 .outputs
                 .iter()
-                .zip(&arena.expected)
+                .zip(expected.iter())
                 .filter(|(got, want)| got != want)
                 .count() as u64;
             TrialOutcome {
@@ -531,7 +575,10 @@ pub fn run_trial(ctx: &PointContext, base_seed: u64, arena: &mut TrialArena) -> 
             wrong_output_bits: 0,
             exec_error: Some(err.to_string()),
         },
-    }
+    };
+    telemetry.span_end(Phase::GateExecution, span);
+    telemetry.add(TelemetryCounter::TrialsExecuted, 1);
+    outcome
 }
 
 /// Executes trials `first_trial .. first_trial + lanes` of one point as a
@@ -553,6 +600,7 @@ pub fn run_trial_batch(
     debug_assert!((1..=LANES).contains(&lanes));
     let netlist = &ctx.kernel.netlist;
     let batch = &mut arena.batch;
+    let telemetry = &mut arena.telemetry;
 
     // Per-lane seeds: lane k replays trial `first_trial + k`'s exact input
     // and fault streams. Fault seeds come first so the batch can settle
@@ -572,9 +620,14 @@ pub fn run_trial_batch(
         // Stratified mode: redraw every lane's first gate fault from the
         // window-truncated geometric, so all 64 lanes land in the
         // at-least-one-fault stratum.
+        let span = telemetry.span_start();
         array.reset_for_conditioned_batch(ctx.rates(), &batch.fault_seeds, window);
+        telemetry.span_end(Phase::EstimatorRedraw, span);
+        telemetry.add(TelemetryCounter::EstimatorRedraws, lanes as u64);
     } else {
+        let span = telemetry.span_start();
         array.reset_for_batch(ctx.rates(), &batch.fault_seeds);
+        telemetry.span_end(Phase::FaultInjection, span);
         if let Some(clean) = &ctx.clean {
             // Analytic zero-fault fast path, whole-batch edition: the lane
             // injector draws every lane's first fault index eagerly at
@@ -583,14 +636,20 @@ pub fn run_trial_batch(
             // state after reset is byte-identical to the no-fast-path
             // reset, so outcomes are unchanged).
             if window > 0 && array.injector().next_fault_decision() >= window {
+                let span = telemetry.span_start();
                 for _ in 0..lanes {
                     out.push(clean.outcome.clone());
                 }
+                telemetry.span_end(Phase::AnalyticCleanSettle, span);
+                telemetry.add(TelemetryCounter::CleanSettledBatches, 1);
+                telemetry.add(TelemetryCounter::CleanSettledTrials, lanes as u64);
+                telemetry.add(TelemetryCounter::TrialsExecuted, lanes as u64);
                 return;
             }
         }
     }
 
+    let span = telemetry.span_start();
     batch.input_words.clear();
     batch.input_words.resize(netlist.inputs.len(), 0);
     for (lane, &input_seed) in batch.input_seeds.iter().enumerate() {
@@ -657,6 +716,8 @@ pub fn run_trial_batch(
             }
         }
     }
+    telemetry.span_end(Phase::GateExecution, span);
+    telemetry.add(TelemetryCounter::TrialsExecuted, lanes as u64);
 }
 
 /// A standalone single-point trial runner: one workload compiled under one
@@ -859,6 +920,9 @@ pub struct PreparedCampaign {
     /// fall back to the scalar path. Reports are byte-identical either
     /// way — the backend is purely a throughput choice.
     backend: SimBackend,
+    /// Telemetry sink execution records into (disabled by default — see
+    /// [`PreparedCampaign::with_telemetry`]). Never affects report bytes.
+    telemetry: Telemetry,
 }
 
 /// Resolves a plan's points and compiles their schedules through `cache`.
@@ -870,14 +934,43 @@ pub fn prepare_campaign(
     plan: &SweepPlan,
     cache: &mut ScheduleCache,
 ) -> Result<PreparedCampaign, SweepError> {
-    plan.validate()?;
+    prepare_campaign_with_telemetry(plan, cache, Telemetry::disabled())
+}
+
+/// [`prepare_campaign`] with phase-timing instrumentation: plan validation,
+/// per-lookup schedule compile vs cache hit, and clean-profile probes are
+/// recorded as spans into `telemetry`, which the returned campaign keeps
+/// (and its `run*` methods record into). Telemetry never changes report
+/// bytes — the instrumented-run equivalence test asserts this.
+///
+/// # Errors
+///
+/// As [`prepare_campaign`].
+pub fn prepare_campaign_with_telemetry(
+    plan: &SweepPlan,
+    cache: &mut ScheduleCache,
+    telemetry: Telemetry,
+) -> Result<PreparedCampaign, SweepError> {
+    telemetry.time(Phase::PlanValidation, || plan.validate())?;
     let mut points: Vec<PointContext> = Vec::with_capacity(plan.point_count());
     let mut layouts_used: Vec<*const CompiledKernel> = Vec::new();
     for &workload in &plan.workloads {
         for &technology in &plan.technologies {
             for &protection in &plan.protections {
                 let config = protection.design_config(technology);
+                // Classify the lookup as a compile or a cache hit by the
+                // cache's own lifetime counters, so the span lands in the
+                // right phase even though the decision is the cache's.
+                let compiles_before = cache.compiles();
+                let span = telemetry.span_start();
                 let kernel = cache.get_or_compile(workload, &config)?;
+                if cache.compiles() > compiles_before {
+                    telemetry.span_end(Phase::ScheduleCompile, span);
+                    telemetry.add(TelemetryCounter::ScheduleCompiles, 1);
+                } else {
+                    telemetry.span_end(Phase::ScheduleCacheHit, span);
+                    telemetry.add(TelemetryCounter::ScheduleCacheHits, 1);
+                }
                 let ptr = Arc::as_ptr(&kernel);
                 if !layouts_used.contains(&ptr) {
                     layouts_used.push(ptr);
@@ -889,7 +982,9 @@ pub fn prepare_campaign(
                 // One clean-profile capture per (workload, technology,
                 // protection) — rates share it, since a fault-free trial is
                 // rate-independent by construction.
-                let clean = capture_clean_profile(&config, &kernel, &executor);
+                let clean = telemetry.time(Phase::CleanProbe, || {
+                    capture_clean_profile(&config, &kernel, &executor)
+                });
                 for &gate_error_rate in &plan.gate_error_rates {
                     let mut point = PointContext::new(
                         workload,
@@ -921,6 +1016,7 @@ pub fn prepare_campaign(
         points,
         schedules_used: layouts_used.len(),
         backend: SimBackend::default(),
+        telemetry,
     })
 }
 
@@ -1095,6 +1191,23 @@ impl PreparedCampaign {
         self.backend
     }
 
+    /// Attaches a telemetry sink: subsequent `run*` calls record per-phase
+    /// spans (fault injection, gate execution, analytic clean settle,
+    /// estimator redraw, aggregation) and first-class counters into it,
+    /// folded per worker thread at chunk boundaries. Telemetry never
+    /// changes report bytes.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry sink this campaign records into (disabled unless set
+    /// by [`prepare_campaign_with_telemetry`] or
+    /// [`Self::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Runs every trial in one shot (no progress events, not cancellable).
     ///
     /// # Errors
@@ -1185,18 +1298,22 @@ impl PreparedCampaign {
             // (arrays + buffers reset in place per task), so steady-state
             // scalar trials allocate nothing and batches allocate only
             // their per-64-trial outcome vector.
+            let telemetry = &self.telemetry;
             let chunk_outcomes: Vec<TaskOutcomes> = tasks
                 .into_par_iter()
-                .map_init(TrialArena::new, move |arena, task| {
-                    backend.run_task(
-                        &points_ref[task.point],
-                        campaign_seed,
-                        task.point as u64,
-                        task.first,
-                        task.count as usize,
-                        arena,
-                    )
-                })
+                .map_init(
+                    move || TrialArena::with_telemetry(telemetry),
+                    move |arena, task| {
+                        backend.run_task(
+                            &points_ref[task.point],
+                            campaign_seed,
+                            task.point as u64,
+                            task.first,
+                            task.count as usize,
+                            arena,
+                        )
+                    },
+                )
                 .collect();
             for task_outcomes in chunk_outcomes {
                 match task_outcomes {
@@ -1215,6 +1332,7 @@ impl PreparedCampaign {
 
         // Aggregate per point, in plan order.
         let per_point = self.plan.seeds_per_point as usize;
+        let agg_span = self.telemetry.span_start();
         let summaries: Vec<PointSummary> = self
             .points
             .iter()
@@ -1241,6 +1359,7 @@ impl PreparedCampaign {
                 summary
             })
             .collect();
+        self.telemetry.span_end(Phase::Aggregation, agg_span);
 
         Ok(SweepReport::new(&self.plan, summaries, self.schedules_used))
     }

@@ -45,12 +45,13 @@ pub mod plan;
 pub mod report;
 
 pub use engine::{
-    derive_trial_seed, execution_backend, prepare_campaign, run_campaign,
-    run_campaign_with_backend, trial_stream_seeds, CampaignControl, CampaignProgress,
+    derive_trial_seed, execution_backend, prepare_campaign, prepare_campaign_with_telemetry,
+    run_campaign, run_campaign_with_backend, trial_stream_seeds, CampaignControl, CampaignProgress,
     CompiledKernel, ExecutionBackend, PointContext, PreparedCampaign, ScalarBackend, ScheduleCache,
     SlicedBackend, TrialArena, TrialHarness,
 };
 pub use nvpim_core::config::SimBackend;
+pub use nvpim_telemetry::{Counter as TelemetryCounter, Phase, Telemetry, TelemetrySnapshot};
 pub use plan::{EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
 pub use report::{EstimatorSummary, PointSummary, SweepReport, TrialOutcome};
 

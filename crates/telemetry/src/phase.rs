@@ -1,0 +1,162 @@
+//! The fixed phase and counter taxonomy the pipeline is instrumented with.
+//!
+//! Phases and counters are closed enums rather than string names so the
+//! per-thread fold state is a pair of plain `u64` arrays (no hashing, no
+//! allocation on the hot path) and so the exposition output enumerates in a
+//! single stable order.
+
+/// A named pipeline phase whose wall-clock time is accumulated by span
+/// timers.
+///
+/// The taxonomy covers the full campaign pipeline, from plan intake to
+/// report emission. Per-trial phases (fault injection, gate execution,
+/// analytic clean settle, estimator redraw) are recorded through the
+/// per-thread [`LocalTelemetry`](crate::LocalTelemetry) fold so the sliced
+/// hot path never touches a shared atomic per trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Validating the campaign plan before any compilation.
+    PlanValidation,
+    /// Compiling a kernel schedule on a schedule-cache miss.
+    ScheduleCompile,
+    /// Serving a kernel schedule from the schedule cache.
+    ScheduleCacheHit,
+    /// Capturing (and double-probing) the analytic zero-fault clean profile.
+    CleanProbe,
+    /// Drawing fault positions / resetting injectors for a trial or batch.
+    FaultInjection,
+    /// Executing compiled gate schedules against the simulated array.
+    GateExecution,
+    /// Settling a trial or batch analytically via the zero-fault fast path.
+    AnalyticCleanSettle,
+    /// Redrawing a conditioned trial for the stratified estimator.
+    EstimatorRedraw,
+    /// Aggregating per-trial outcomes into per-point summaries.
+    Aggregation,
+    /// Serializing the final report to JSON.
+    ReportSerialization,
+}
+
+/// Number of phases in the taxonomy (array sizes derive from this).
+pub const PHASE_COUNT: usize = 10;
+
+impl Phase {
+    /// Every phase, in stable exposition order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::PlanValidation,
+        Phase::ScheduleCompile,
+        Phase::ScheduleCacheHit,
+        Phase::CleanProbe,
+        Phase::FaultInjection,
+        Phase::GateExecution,
+        Phase::AnalyticCleanSettle,
+        Phase::EstimatorRedraw,
+        Phase::Aggregation,
+        Phase::ReportSerialization,
+    ];
+
+    /// Stable snake_case name used in exposition output and timing tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::PlanValidation => "plan_validation",
+            Phase::ScheduleCompile => "schedule_compile",
+            Phase::ScheduleCacheHit => "schedule_cache_hit",
+            Phase::CleanProbe => "clean_probe",
+            Phase::FaultInjection => "fault_injection",
+            Phase::GateExecution => "gate_execution",
+            Phase::AnalyticCleanSettle => "analytic_clean_settle",
+            Phase::EstimatorRedraw => "estimator_redraw",
+            Phase::Aggregation => "aggregation",
+            Phase::ReportSerialization => "report_serialization",
+        }
+    }
+
+    /// Dense array index of this phase.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A first-class event counter maintained alongside the phase timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Trials settled by the analytic zero-fault fast path (PR 6) without
+    /// executing any gates.
+    CleanSettledTrials,
+    /// Whole 64-lane batches settled by the analytic zero-fault fast path.
+    CleanSettledBatches,
+    /// Trials (or lanes) whose fault draw was redrawn/conditioned by the
+    /// stratified estimator.
+    EstimatorRedraws,
+    /// Trials fully executed (including analytically settled ones).
+    TrialsExecuted,
+    /// Schedule-cache compilations (misses).
+    ScheduleCompiles,
+    /// Schedule-cache hits.
+    ScheduleCacheHits,
+}
+
+/// Number of counters in the taxonomy (array sizes derive from this).
+pub const COUNTER_COUNT: usize = 6;
+
+impl Counter {
+    /// Every counter, in stable exposition order.
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::CleanSettledTrials,
+        Counter::CleanSettledBatches,
+        Counter::EstimatorRedraws,
+        Counter::TrialsExecuted,
+        Counter::ScheduleCompiles,
+        Counter::ScheduleCacheHits,
+    ];
+
+    /// Stable snake_case name used in exposition output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::CleanSettledTrials => "clean_settled_trials",
+            Counter::CleanSettledBatches => "clean_settled_batches",
+            Counter::EstimatorRedraws => "estimator_redraws",
+            Counter::TrialsExecuted => "trials_executed",
+            Counter::ScheduleCompiles => "schedule_compiles",
+            Counter::ScheduleCacheHits => "schedule_cache_hits",
+        }
+    }
+
+    /// Dense array index of this counter.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_match_all_order() {
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            assert_eq!(phase.index(), i);
+        }
+        for (i, counter) in Counter::ALL.iter().enumerate() {
+            assert_eq!(counter.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.extend(Counter::ALL.iter().map(|c| c.name()));
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len());
+    }
+}
