@@ -16,6 +16,16 @@
 //! nvpim-cli schemes [--json]        # the protection-scheme registry
 //! ```
 //!
+//! Every daemon-facing subcommand also accepts the shared connection
+//! flags `--connect-timeout-ms N` (default 5000; 0 = no timeout),
+//! `--read-timeout-ms N` (default: none), `--retries N` (default 2) and
+//! `--retry-backoff-ms N` (default 200). `submit` and `result` survive a
+//! daemon restart mid-command: on a transport failure they reconnect with
+//! jittered exponential backoff and resubmit — safe because submission is
+//! idempotent, keyed by the plan's content digest, so the restarted daemon
+//! coalesces or serves the cached report instead of re-running the
+//! campaign twice.
+//!
 //! `submit --wait` streams progress to stderr and prints the final report
 //! JSON (pretty, byte-identical to a direct `run_campaign` of the same
 //! plan) on stdout. `run` executes the plan locally without a daemon —
@@ -69,9 +79,100 @@ fn plan_local(args: &[String]) -> SweepPlan {
     SweepPlan::from_json_value(&value).unwrap_or_else(|e| die(e))
 }
 
+/// The shared daemon-connection settings: address, timeouts and the
+/// bounded-retry policy, parsed once from the command line.
+struct Conn {
+    addr: String,
+    connect_timeout: Option<std::time::Duration>,
+    read_timeout: Option<std::time::Duration>,
+    retries: u32,
+    backoff_ms: u64,
+}
+
+impl Conn {
+    fn from_args(args: &[String]) -> Self {
+        let ms_flag = |flag: &str, default: Option<u64>| -> Option<u64> {
+            match value_of(args, flag) {
+                None => default,
+                Some(text) => {
+                    let ms: u64 = text
+                        .parse()
+                        .unwrap_or_else(|_| die(format!("{flag} expects milliseconds")));
+                    (ms > 0).then_some(ms)
+                }
+            }
+        };
+        Self {
+            addr: value_of(args, "--addr").unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+            connect_timeout: ms_flag("--connect-timeout-ms", Some(5000))
+                .map(std::time::Duration::from_millis),
+            read_timeout: ms_flag("--read-timeout-ms", None).map(std::time::Duration::from_millis),
+            retries: value_of(args, "--retries")
+                .map(|t| {
+                    t.parse()
+                        .unwrap_or_else(|_| die("--retries expects a number"))
+                })
+                .unwrap_or(2),
+            backoff_ms: value_of(args, "--retry-backoff-ms")
+                .map(|t| {
+                    t.parse()
+                        .unwrap_or_else(|_| die("--retry-backoff-ms expects milliseconds"))
+                })
+                .unwrap_or(200),
+        }
+    }
+
+    fn connect_once(&self) -> std::io::Result<Client> {
+        Client::connect_with_timeouts(&self.addr, self.connect_timeout, self.read_timeout)
+    }
+
+    /// Runs `attempt` with bounded retry: each transport failure reconnects
+    /// after a jittered exponential backoff, up to `--retries` extra tries.
+    /// Protocol-level errors (`"ok": false`) are not retried — `check_ok`
+    /// inside the attempt exits directly.
+    fn with_retry<T>(&self, what: &str, attempt: impl Fn(&Self) -> std::io::Result<T>) -> T {
+        let mut tries = 0u32;
+        loop {
+            match attempt(self) {
+                Ok(value) => return value,
+                Err(err) if tries < self.retries => {
+                    tries += 1;
+                    let delay = jittered_backoff(self.backoff_ms, tries);
+                    eprintln!(
+                        "nvpim-cli: {what} failed ({err}); retry {tries}/{} in {}ms",
+                        self.retries,
+                        delay.as_millis()
+                    );
+                    std::thread::sleep(delay);
+                }
+                Err(err) => die(format!("{what} (after {tries} retries): {err}")),
+            }
+        }
+    }
+}
+
+/// Exponential backoff with jitter: the delay for retry `attempt` is drawn
+/// uniformly from `[base·2^(attempt-1) / 2, base·2^(attempt-1)]` so
+/// colliding clients de-synchronize. Uses a SystemTime-seeded xorshift —
+/// no RNG dependency, and the CLI's determinism guarantees only cover
+/// report bytes, not retry timing.
+fn jittered_backoff(base_ms: u64, attempt: u32) -> std::time::Duration {
+    let ceiling = base_ms.saturating_mul(1u64 << attempt.saturating_sub(1).min(16));
+    let mut x = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()) | 1)
+        .unwrap_or(1);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let floor = ceiling / 2;
+    let span = ceiling - floor + 1;
+    std::time::Duration::from_millis((floor + x % span).max(1))
+}
+
 fn connect(args: &[String]) -> Client {
-    let addr = value_of(args, "--addr").unwrap_or_else(|| DEFAULT_ADDR.to_string());
-    Client::connect(&addr).unwrap_or_else(|e| die(format!("connecting to {addr}: {e}")))
+    let conn = Conn::from_args(args);
+    conn.with_retry("connecting", Conn::connect_once)
 }
 
 fn job_arg(args: &[String]) -> u64 {
@@ -114,81 +215,102 @@ fn print_report(response: &Value) {
     print_pretty(report);
 }
 
+/// `recv` result → frame, turning a clean server close into a retryable
+/// transport error (a restarting daemon drops connections; resubmission is
+/// idempotent, so the retry loop should pick it up).
+fn must_frame(frame: Option<Value>) -> std::io::Result<Value> {
+    frame.ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        )
+    })
+}
+
 fn cmd_submit(args: &[String]) {
-    let mut client = connect(args);
+    let conn = Conn::from_args(args);
     let wait = has_flag(args, "--wait");
-    let mut fields = vec![("plan".to_string(), plan_value(args))];
-    if let Some(p) = value_of(args, "--priority") {
-        let p: u64 = p
-            .parse()
-            .unwrap_or_else(|_| die("--priority expects a number"));
-        fields.push(("priority".to_string(), Value::UInt(p)));
-    }
-    if wait {
-        fields.push(("wait".to_string(), Value::Bool(true)));
-    }
-    client
-        .send(&request("submit", fields))
-        .unwrap_or_else(|e| die(e));
-    // First line: acceptance (or error).
-    let accepted = client
-        .recv()
-        .unwrap_or_else(|e| die(e))
-        .unwrap_or_else(|| die("server closed the connection"));
-    check_ok(&accepted);
-    if !wait {
-        print_pretty(&accepted);
-        return;
-    }
-    let job = accepted.get("job").and_then(Value::as_u64).unwrap_or(0);
-    eprintln!(
-        "job {job} accepted (digest {}, cached: {})",
-        accepted
-            .get("digest")
-            .and_then(Value::as_str)
-            .unwrap_or("?"),
-        accepted
-            .get("cached")
-            .and_then(Value::as_bool)
-            .unwrap_or(false),
-    );
-    // Then: progress events until the result line.
-    loop {
-        let line = client
-            .recv()
-            .unwrap_or_else(|e| die(e))
-            .unwrap_or_else(|| die("server closed the connection mid-job"));
-        check_ok(&line);
-        match line.get("event").and_then(Value::as_str) {
-            Some("progress") => {
-                let percent = line.get("percent").and_then(Value::as_f64).unwrap_or(0.0);
-                let done = line.get("trials_done").and_then(Value::as_u64).unwrap_or(0);
-                let total = line
-                    .get("trials_total")
-                    .and_then(Value::as_u64)
-                    .unwrap_or(0);
-                eprintln!("job {job}: {done}/{total} trials ({percent:.1}%)");
-            }
-            Some("result") => {
-                print_report(&line);
-                return;
-            }
-            other => die(format!("unexpected event {other:?}")),
+    let plan = plan_value(args);
+    let priority: Option<u64> = value_of(args, "--priority").map(|p| {
+        p.parse()
+            .unwrap_or_else(|_| die("--priority expects a number"))
+    });
+    // The whole exchange lives inside the retry loop: if the daemon
+    // restarts mid-stream, we reconnect and resubmit the same plan. The
+    // service keys submissions by the plan's content digest, so the
+    // resubmission coalesces onto the recovered job (or hits the report
+    // cache) instead of running the campaign twice.
+    conn.with_retry("submit", |conn| {
+        let mut client = conn.connect_once()?;
+        let mut fields = vec![("plan".to_string(), plan.clone())];
+        if let Some(p) = priority {
+            fields.push(("priority".to_string(), Value::UInt(p)));
         }
-    }
+        if wait {
+            fields.push(("wait".to_string(), Value::Bool(true)));
+        }
+        client.send(&request("submit", fields))?;
+        // First line: acceptance (or error).
+        let accepted = must_frame(client.recv()?)?;
+        check_ok(&accepted);
+        if !wait {
+            print_pretty(&accepted);
+            return Ok(());
+        }
+        let job = accepted.get("job").and_then(Value::as_u64).unwrap_or(0);
+        eprintln!(
+            "job {job} accepted (digest {}, cached: {})",
+            accepted
+                .get("digest")
+                .and_then(Value::as_str)
+                .unwrap_or("?"),
+            accepted
+                .get("cached")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+        );
+        // Then: progress events until the result line.
+        loop {
+            let line = must_frame(client.recv()?)?;
+            check_ok(&line);
+            match line.get("event").and_then(Value::as_str) {
+                Some("progress") => {
+                    let percent = line.get("percent").and_then(Value::as_f64).unwrap_or(0.0);
+                    let done = line.get("trials_done").and_then(Value::as_u64).unwrap_or(0);
+                    let total = line
+                        .get("trials_total")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0);
+                    eprintln!("job {job}: {done}/{total} trials ({percent:.1}%)");
+                }
+                Some("result") => {
+                    print_report(&line);
+                    return Ok(());
+                }
+                other => die(format!("unexpected event {other:?}")),
+            }
+        }
+    });
 }
 
 fn cmd_result(args: &[String]) {
-    let mut client = connect(args);
-    let mut fields = vec![("job".to_string(), Value::UInt(job_arg(args)))];
-    if has_flag(args, "--wait") {
-        fields.push(("wait".to_string(), Value::Bool(true)));
-    }
-    let response = client
-        .request(&request("result", fields))
-        .unwrap_or_else(|e| die(e));
-    check_ok(&response);
-    print_report(&response);
+    let conn = Conn::from_args(args);
+    let job = job_arg(args);
+    let wait = has_flag(args, "--wait");
+    // `result` is a pure read — retrying after a dropped connection is
+    // always safe, and a daemon restarted with `--state-dir` still knows
+    // the job (recovered from the journal).
+    conn.with_retry("result", |conn| {
+        let mut client = conn.connect_once()?;
+        let mut fields = vec![("job".to_string(), Value::UInt(job))];
+        if wait {
+            fields.push(("wait".to_string(), Value::Bool(true)));
+        }
+        let response = client.request(&request("result", fields))?;
+        check_ok(&response);
+        print_report(&response);
+        Ok(())
+    });
 }
 
 fn simple_command(args: &[String], cmd: &str, fields: Vec<(String, Value)>) {

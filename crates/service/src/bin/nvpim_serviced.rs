@@ -2,12 +2,18 @@
 //!
 //! ```text
 //! nvpim-serviced [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--chunk-trials N]
-//!                [--backend scalar|sliced] [--log-json PATH]
+//!                [--backend scalar|sliced] [--log-json PATH] [--state-dir DIR]
+//!                [--max-job-retries N] [--retry-backoff-ms N] [--journal-fsync-every N]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7171`; use port `0` for an
 //! OS-assigned port), prints `nvpim-serviced listening on <addr>`, and
 //! serves the NDJSON protocol until a client sends `{"cmd":"shutdown"}`.
+//!
+//! With `--state-dir`, the daemon keeps a durable job journal and a
+//! disk-backed report store under that directory and recovers jobs —
+//! including in-flight campaigns, resumed from their last checkpointed
+//! chunk — on restart. See `docs/robustness.md`.
 
 use nvpim_service::flags::value_of;
 use nvpim_service::service::{ServiceConfig, ServiceHandle};
@@ -27,8 +33,14 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "nvpim-serviced [--addr HOST:PORT] [--workers N] [--queue-capacity N] \
-             [--chunk-trials N] [--backend scalar|sliced] [--log-json PATH]\n\n  \
-             --log-json PATH  append one NDJSON event per job transition/chunk to PATH"
+             [--chunk-trials N] [--backend scalar|sliced] [--log-json PATH] \
+             [--state-dir DIR] [--max-job-retries N] [--retry-backoff-ms N] \
+             [--journal-fsync-every N]\n\n  \
+             --log-json PATH         append one NDJSON event per job transition/chunk to PATH\n  \
+             --state-dir DIR         durable journal + report store; recover jobs on restart\n  \
+             --max-job-retries N     re-run a panicking campaign up to N times (default 2)\n  \
+             --retry-backoff-ms N    base delay before a retry, doubled each attempt (default 50)\n  \
+             --journal-fsync-every N fsync the journal every N records; 0 = never (default 1)"
         );
         return;
     }
@@ -42,12 +54,29 @@ fn main() {
         }),
     };
     let log_json = value_of(&args, "--log-json").map(std::path::PathBuf::from);
+    let state_dir = value_of(&args, "--state-dir").map(std::path::PathBuf::from);
     let cfg = ServiceConfig {
         workers: numeric_arg(&args, "--workers", defaults.workers),
         queue_capacity: numeric_arg(&args, "--queue-capacity", defaults.queue_capacity),
         chunk_trials: numeric_arg(&args, "--chunk-trials", defaults.chunk_trials),
         backend,
         log_json,
+        state_dir,
+        max_job_retries: numeric_arg(
+            &args,
+            "--max-job-retries",
+            defaults.max_job_retries as usize,
+        ) as u32,
+        retry_backoff_ms: numeric_arg(
+            &args,
+            "--retry-backoff-ms",
+            defaults.retry_backoff_ms as usize,
+        ) as u64,
+        journal_fsync_records: numeric_arg(
+            &args,
+            "--journal-fsync-every",
+            defaults.journal_fsync_records as usize,
+        ) as u64,
         ..defaults
     };
     let service = ServiceHandle::start(cfg);

@@ -1,31 +1,88 @@
 //! A minimal blocking client for the NDJSON protocol, shared by
 //! `nvpim-cli`, the harness binaries' `--connect` mode and the protocol
 //! tests.
+//!
+//! The client assumes nothing about TCP framing: writes loop until the
+//! whole line is on the wire (a single `write` may be short), and reads
+//! accumulate bytes in an internal buffer until a `\n` arrives (one read
+//! may return a partial frame, or several frames at once). Connect and
+//! read timeouts are supported so a wedged daemon cannot hang a caller
+//! forever — a read timeout surfaces as `WouldBlock`/`TimedOut`, with any
+//! partial frame preserved for the next `recv` call.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use serde::Value;
 
 /// A connected protocol client.
 #[derive(Debug)]
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    stream: TcpStream,
+    /// Received bytes not yet consumed as a complete frame: short reads
+    /// and timeouts leave their partial data here instead of dropping it.
+    buf: Vec<u8>,
 }
 
 impl Client {
-    /// Connects to a running `nvpim-serviced`.
+    /// Connects to a running `nvpim-serviced` with no timeouts (blocks
+    /// until the OS gives up).
     ///
     /// # Errors
     ///
     /// Connection failures.
     pub fn connect(addr: &str) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        let writer = stream.try_clone()?;
         Ok(Self {
-            reader: BufReader::new(stream),
-            writer,
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Connects with an optional connect timeout and an optional read
+    /// timeout on subsequent `recv` calls (`None` = block indefinitely).
+    ///
+    /// # Errors
+    ///
+    /// Address resolution or connection failures (including
+    /// [`ErrorKind::TimedOut`] when the connect timeout elapses).
+    pub fn connect_with_timeouts(
+        addr: &str,
+        connect_timeout: Option<Duration>,
+        read_timeout: Option<Duration>,
+    ) -> std::io::Result<Self> {
+        let stream = match connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => {
+                let mut last_err = None;
+                let mut connected = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(err) => last_err = Some(err),
+                    }
+                }
+                match connected {
+                    Some(stream) => stream,
+                    None => {
+                        return Err(last_err.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                ErrorKind::InvalidInput,
+                                format!("address `{addr}` did not resolve"),
+                            )
+                        }))
+                    }
+                }
+            }
+        };
+        stream.set_read_timeout(read_timeout)?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
         })
     }
 
@@ -35,10 +92,10 @@ impl Client {
     ///
     /// Socket write failures.
     pub fn send(&mut self, request: &Value) -> std::io::Result<()> {
-        let mut text = serde_json::to_string(request).expect("requests serialize");
+        let mut text = serde_json::to_string(request)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
         text.push('\n');
-        self.writer.write_all(text.as_bytes())?;
-        self.writer.flush()
+        self.write_fully(text.as_bytes())
     }
 
     /// Sends a raw, possibly malformed line (testing hook).
@@ -47,29 +104,74 @@ impl Client {
     ///
     /// Socket write failures.
     pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()
+        let mut framed = Vec::with_capacity(line.len() + 1);
+        framed.extend_from_slice(line.as_bytes());
+        framed.push(b'\n');
+        self.write_fully(&framed)
+    }
+
+    /// Writes every byte of `data`, looping over short writes (one TCP
+    /// `write` is not guaranteed to take a whole NDJSON frame).
+    fn write_fully(&mut self, data: &[u8]) -> std::io::Result<()> {
+        let mut written = 0;
+        while written < data.len() {
+            match self.stream.write(&data[written..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "connection closed mid-frame",
+                    ))
+                }
+                Ok(n) => written += n,
+                Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                Err(err) => return Err(err),
+            }
+        }
+        self.stream.flush()
     }
 
     /// Receives one response line; `None` on clean EOF.
     ///
+    /// Bytes are accumulated across reads until a full `\n`-terminated
+    /// frame arrives; a read timeout (`WouldBlock`/`TimedOut`) keeps any
+    /// partial frame buffered so a later `recv` can finish it.
+    ///
     /// # Errors
     ///
-    /// Socket read failures, or a response that is not valid JSON.
+    /// Socket read failures, EOF mid-frame, or a response that is not
+    /// valid JSON.
     pub fn recv(&mut self) -> std::io::Result<Option<Value>> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Ok(None);
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let frame: Vec<u8> = self.buf.drain(..=pos).collect();
+                let text = String::from_utf8(frame).map_err(|e| {
+                    std::io::Error::new(ErrorKind::InvalidData, format!("non-UTF-8 response: {e}"))
+                })?;
+                return serde_json::from_str(text.trim_end())
+                    .map(Some)
+                    .map_err(|e| {
+                        std::io::Error::new(
+                            ErrorKind::InvalidData,
+                            format!("invalid response JSON: {e}"),
+                        )
+                    });
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buf.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ));
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                Err(err) => return Err(err),
+            }
         }
-        serde_json::from_str(line.trim_end())
-            .map(Some)
-            .map_err(|e| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("invalid response JSON: {e}"),
-                )
-            })
     }
 
     /// Sends a request and returns the first response line.
@@ -81,7 +183,7 @@ impl Client {
         self.send(request)?;
         self.recv()?.ok_or_else(|| {
             std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
+                ErrorKind::UnexpectedEof,
                 "server closed the connection before responding",
             )
         })

@@ -108,6 +108,17 @@ impl std::fmt::Debug for JobCore {
 }
 
 impl JobCore {
+    /// Locks the slot, recovering from poison: a panicking worker (now
+    /// contained by `catch_unwind`) may have poisoned the mutex, but the
+    /// slot's invariants hold at every unlock point, and a poisoned job
+    /// must stay observable — and failable — rather than wedging every
+    /// status query behind a propagated panic.
+    fn lock_slot(&self) -> std::sync::MutexGuard<'_, Slot> {
+        self.slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// A freshly queued job.
     pub fn new(id: JobId, digest: String, trials_total: u64) -> Arc<Self> {
         Arc::new(Self {
@@ -121,6 +132,36 @@ impl JobCore {
             slot: Mutex::new(Slot {
                 state: JobState::Queued,
                 report: None,
+                run_started: None,
+                run_elapsed: None,
+            }),
+            terminal: Condvar::new(),
+        })
+    }
+
+    /// A job reconstructed from the durable journal at daemon startup.
+    /// `state` is the recovered terminal state (with, for `Done`, the
+    /// report restored from the durable store); `trials_done` reflects the
+    /// journal's last accepted checkpoint.
+    pub fn restored(
+        id: JobId,
+        digest: String,
+        trials_total: u64,
+        state: JobState,
+        report: Option<Arc<String>>,
+        trials_done: u64,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            id,
+            digest,
+            trials_total,
+            from_cache: false,
+            submitted_at: Instant::now(),
+            trials_done: AtomicU64::new(trials_done),
+            cancel: AtomicBool::new(false),
+            slot: Mutex::new(Slot {
+                state,
+                report,
                 run_started: None,
                 run_elapsed: None,
             }),
@@ -156,12 +197,12 @@ impl JobCore {
 
     /// Current state snapshot.
     pub fn state(&self) -> JobState {
-        self.slot.lock().expect("job lock").state.clone()
+        self.lock_slot().state.clone()
     }
 
     /// The finished report, when state is `Done`.
     pub fn report(&self) -> Option<Arc<String>> {
-        self.slot.lock().expect("job lock").report.clone()
+        self.lock_slot().report.clone()
     }
 
     /// Trials completed so far.
@@ -185,7 +226,7 @@ impl JobCore {
     /// served instantly from the report cache — distinguishing "no
     /// throughput data" from a measured rate of zero.
     pub fn trials_per_sec(&self) -> Option<f64> {
-        let slot = self.slot.lock().expect("job lock");
+        let slot = self.lock_slot();
         let secs = match (slot.run_elapsed, slot.run_started) {
             (Some(elapsed), _) => elapsed.as_secs_f64(),
             (None, Some(started)) => started.elapsed().as_secs_f64(),
@@ -210,7 +251,7 @@ impl JobCore {
     /// Note: a `JobCore` may serve several coalesced job ids — cancelling
     /// any one of them cancels the shared campaign for all of them.
     pub fn request_cancel(&self) -> CancelOutcome {
-        let mut slot = self.slot.lock().expect("job lock");
+        let mut slot = self.lock_slot();
         if slot.state.is_terminal() {
             return CancelOutcome::AlreadyTerminal;
         }
@@ -233,7 +274,7 @@ impl JobCore {
     /// Transitions `Queued → Running`; returns `false` when the job was
     /// cancelled while queued (the worker must skip it).
     pub(crate) fn set_running(&self) -> bool {
-        let mut slot = self.slot.lock().expect("job lock");
+        let mut slot = self.lock_slot();
         if slot.state != JobState::Queued {
             return false;
         }
@@ -243,7 +284,7 @@ impl JobCore {
     }
 
     fn finish(&self, state: JobState, report: Option<Arc<String>>) {
-        let mut slot = self.slot.lock().expect("job lock");
+        let mut slot = self.lock_slot();
         if slot.state.is_terminal() {
             return;
         }
@@ -277,10 +318,15 @@ impl JobCore {
         // (u64::MAX ms would overflow `Instant` addition and panic); an
         // unrepresentable deadline simply waits without one.
         let deadline = timeout.and_then(|t| Instant::now().checked_add(t));
-        let mut slot = self.slot.lock().expect("job lock");
+        let mut slot = self.lock_slot();
         while !slot.state.is_terminal() {
             match deadline {
-                None => slot = self.terminal.wait(slot).expect("job lock"),
+                None => {
+                    slot = self
+                        .terminal
+                        .wait(slot)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                }
                 Some(deadline) => {
                     let now = Instant::now();
                     if now >= deadline {
@@ -289,7 +335,7 @@ impl JobCore {
                     let (next, timed_out) = self
                         .terminal
                         .wait_timeout(slot, deadline - now)
-                        .expect("job lock");
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     slot = next;
                     if timed_out.timed_out() && !slot.state.is_terminal() {
                         break;

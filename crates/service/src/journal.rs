@@ -1,0 +1,612 @@
+//! Write-ahead job journal: the durable half of the crash-safe daemon.
+//!
+//! Every job-state transition the daemon performs is first appended to an
+//! NDJSON journal file (`jobs.journal` under `--state-dir`) — one JSON
+//! object per line, fsync'd every `fsync_every` records. On startup the
+//! daemon [replays](replay) the journal to reconstruct its job table:
+//! terminal jobs are restored as queryable records, and in-flight jobs are
+//! re-queued with the trial outcomes from their checkpointed chunks
+//! spliced back in, so only the un-checkpointed suffix is recomputed.
+//! Chunk-boundary invariance (report bytes do not depend on chunk size or
+//! boundaries) makes the resumed report byte-identical to an
+//! uninterrupted run.
+//!
+//! ## Record format
+//!
+//! | `rec`       | extra fields                                          |
+//! |-------------|-------------------------------------------------------|
+//! | `submit`    | `job`, `digest`, `priority`, `trials_total`, `plan_json` |
+//! | `start`     | `job`                                                 |
+//! | `chunk`     | `job`, `trials_done` (cumulative), `outcomes` (array) |
+//! | `done`      | `job`                                                 |
+//! | `failed`    | `job`, `error`                                        |
+//! | `cancelled` | `job`                                                 |
+//!
+//! A `chunk` record is accepted during replay only when its cumulative
+//! `trials_done` equals the outcomes already accumulated plus the record's
+//! own outcome count — anything else (a duplicated or reordered chunk)
+//! is discarded and those trials recompute, which determinism makes
+//! harmless. Replay stops at the first unparseable line: an append-only
+//! journal can only be torn at its tail, so everything before the tear is
+//! trusted and the torn tail is dropped.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use nvpim_sweep::TrialOutcome;
+use serde::{Serialize, Value};
+
+/// File name of the job journal under the daemon's state directory.
+pub const JOURNAL_FILE: &str = "jobs.journal";
+
+/// One durable job-state transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A job was accepted into the queue.
+    Submit {
+        /// Job id assigned by the daemon.
+        job: u64,
+        /// Content digest of the submitted plan.
+        digest: String,
+        /// Scheduling priority.
+        priority: u64,
+        /// Total trials the plan expands to.
+        trials_total: u64,
+        /// The plan's canonical JSON (replayed to re-prepare the campaign).
+        plan_json: String,
+    },
+    /// A worker picked the job up.
+    Start {
+        /// Job id.
+        job: u64,
+    },
+    /// A chunk of trials completed; `outcomes` are the chunk's results and
+    /// `trials_done` is the cumulative count including this chunk.
+    Chunk {
+        /// Job id.
+        job: u64,
+        /// Cumulative trials completed after this chunk.
+        trials_done: u64,
+        /// The chunk's newly computed outcomes, in trial order.
+        outcomes: Vec<TrialOutcome>,
+    },
+    /// The job finished successfully (its report is in the store).
+    Done {
+        /// Job id.
+        job: u64,
+    },
+    /// The job failed terminally.
+    Failed {
+        /// Job id.
+        job: u64,
+        /// Failure description (e.g. captured panic payload).
+        error: String,
+    },
+    /// The job was cancelled.
+    Cancelled {
+        /// Job id.
+        job: u64,
+    },
+}
+
+impl JournalRecord {
+    /// Encodes the record as one compact JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let value = match self {
+            JournalRecord::Submit {
+                job,
+                digest,
+                priority,
+                trials_total,
+                plan_json,
+            } => Value::Object(vec![
+                ("rec".into(), Value::Str("submit".into())),
+                ("job".into(), Value::UInt(*job)),
+                ("digest".into(), Value::Str(digest.clone())),
+                ("priority".into(), Value::UInt(*priority)),
+                ("trials_total".into(), Value::UInt(*trials_total)),
+                ("plan_json".into(), Value::Str(plan_json.clone())),
+            ]),
+            JournalRecord::Start { job } => Value::Object(vec![
+                ("rec".into(), Value::Str("start".into())),
+                ("job".into(), Value::UInt(*job)),
+            ]),
+            JournalRecord::Chunk {
+                job,
+                trials_done,
+                outcomes,
+            } => Value::Object(vec![
+                ("rec".into(), Value::Str("chunk".into())),
+                ("job".into(), Value::UInt(*job)),
+                ("trials_done".into(), Value::UInt(*trials_done)),
+                (
+                    "outcomes".into(),
+                    Value::Array(outcomes.iter().map(|o| o.to_json()).collect()),
+                ),
+            ]),
+            JournalRecord::Done { job } => Value::Object(vec![
+                ("rec".into(), Value::Str("done".into())),
+                ("job".into(), Value::UInt(*job)),
+            ]),
+            JournalRecord::Failed { job, error } => Value::Object(vec![
+                ("rec".into(), Value::Str("failed".into())),
+                ("job".into(), Value::UInt(*job)),
+                ("error".into(), Value::Str(error.clone())),
+            ]),
+            JournalRecord::Cancelled { job } => Value::Object(vec![
+                ("rec".into(), Value::Str("cancelled".into())),
+                ("job".into(), Value::UInt(*job)),
+            ]),
+        };
+        serde_json::to_string(&value).expect("journal records serialize")
+    }
+
+    /// Decodes one journal line. `Err` carries a description of why the
+    /// line is unusable (torn tail, unknown record type, missing field).
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let value = serde_json::from_str(line).map_err(|e| format!("unparseable JSON: {e}"))?;
+        let str_field = |key: &str| -> Result<String, String> {
+            value
+                .get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("journal record missing string field `{key}`"))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("journal record missing integer field `{key}`"))
+        };
+        let rec = str_field("rec")?;
+        match rec.as_str() {
+            "submit" => Ok(JournalRecord::Submit {
+                job: u64_field("job")?,
+                digest: str_field("digest")?,
+                priority: u64_field("priority")?,
+                trials_total: u64_field("trials_total")?,
+                plan_json: str_field("plan_json")?,
+            }),
+            "start" => Ok(JournalRecord::Start {
+                job: u64_field("job")?,
+            }),
+            "chunk" => {
+                let outcomes_value = value
+                    .get("outcomes")
+                    .and_then(Value::as_array)
+                    .ok_or("journal chunk record missing `outcomes` array")?;
+                let mut outcomes = Vec::with_capacity(outcomes_value.len());
+                for entry in outcomes_value {
+                    outcomes.push(TrialOutcome::from_json_value(entry)?);
+                }
+                Ok(JournalRecord::Chunk {
+                    job: u64_field("job")?,
+                    trials_done: u64_field("trials_done")?,
+                    outcomes,
+                })
+            }
+            "done" => Ok(JournalRecord::Done {
+                job: u64_field("job")?,
+            }),
+            "failed" => Ok(JournalRecord::Failed {
+                job: u64_field("job")?,
+                error: str_field("error")?,
+            }),
+            "cancelled" => Ok(JournalRecord::Cancelled {
+                job: u64_field("job")?,
+            }),
+            other => Err(format!("unknown journal record type `{other}`")),
+        }
+    }
+}
+
+/// Append-only writer for the job journal.
+///
+/// `fsync_every = n` syncs the file to disk after every `n`-th appended
+/// record (`1` = sync every record, the durable default; `0` = never sync
+/// explicitly, leaving flush timing to the OS).
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    fsync_every: u64,
+    appended_since_sync: u64,
+    records_appended: u64,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` for appending.
+    ///
+    /// A torn final line — a crash mid-append — is truncated away first.
+    /// Appending after a partial line would fuse the next record onto it,
+    /// and [`replay`] (which stops at the first unparseable line, the
+    /// torn-tail assumption) would then discard every record from the tear
+    /// onward on the *next* restart.
+    pub fn open(path: impl Into<PathBuf>, fsync_every: u64) -> io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        if let Ok(bytes) = std::fs::read(&path) {
+            if !bytes.is_empty() && bytes.last() != Some(&b'\n') {
+                let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+                let trunc = OpenOptions::new().write(true).open(&path)?;
+                trunc.set_len(keep as u64)?;
+                trunc.sync_all()?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self {
+            file,
+            path,
+            fsync_every,
+            appended_since_sync: 0,
+            records_appended: 0,
+        })
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record (as one NDJSON line), honoring the fsync policy.
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        let mut line = record.to_line();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.records_appended += 1;
+        self.appended_since_sync += 1;
+        if self.fsync_every > 0 && self.appended_since_sync >= self.fsync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces buffered records to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()?;
+        self.appended_since_sync = 0;
+        Ok(())
+    }
+
+    /// Lifetime records appended through this handle.
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended
+    }
+}
+
+/// Terminal state of a replayed job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayedTerminal {
+    /// Completed; its report should be in the durable store.
+    Done,
+    /// Failed with the recorded error.
+    Failed(String),
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+/// One job reconstructed from the journal.
+#[derive(Debug, Clone)]
+pub struct ReplayedJob {
+    /// Job id from the submit record.
+    pub id: u64,
+    /// Plan content digest.
+    pub digest: String,
+    /// Scheduling priority.
+    pub priority: u64,
+    /// Total trials the plan expands to.
+    pub trials_total: u64,
+    /// The plan's canonical JSON.
+    pub plan_json: String,
+    /// Whether a `start` record was seen.
+    pub started: bool,
+    /// Outcomes accumulated from accepted `chunk` records, in trial order.
+    pub outcomes: Vec<TrialOutcome>,
+    /// Terminal state, if any terminal record was seen (first one wins).
+    pub terminal: Option<ReplayedTerminal>,
+    /// Number of `chunk` records whose outcomes were accepted.
+    pub chunks_accepted: u64,
+}
+
+/// Result of replaying a journal file.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// Reconstructed jobs in submit order.
+    pub jobs: Vec<ReplayedJob>,
+    /// The next job id the daemon should hand out (max replayed id + 1).
+    pub next_id: u64,
+    /// Records successfully applied.
+    pub records_replayed: u64,
+    /// Records dropped (torn tail, unknown type, inconsistent chunk,
+    /// reference to an unknown job, or duplicate terminal).
+    pub records_discarded: u64,
+}
+
+/// Replays the journal at `path`, tolerating a torn tail.
+///
+/// A missing file replays to an empty state. Replay stops at the first
+/// line that fails to parse (only the tail of an append-only file can be
+/// torn); structurally valid records that are semantically inconsistent
+/// (chunk count mismatch, unknown job id, duplicate terminal) are
+/// discarded individually and replay continues.
+pub fn replay(path: &Path) -> io::Result<Replay> {
+    let mut out = Replay {
+        jobs: Vec::new(),
+        next_id: 1,
+        records_replayed: 0,
+        records_discarded: 0,
+    };
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    let reader = BufReader::new(file);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = match JournalRecord::from_line(&line) {
+            Ok(r) => r,
+            Err(_) => {
+                // Torn tail: everything after the first bad line is
+                // untrustworthy in an append-only file.
+                out.records_discarded += 1;
+                break;
+            }
+        };
+        let applied = apply(&mut out.jobs, record);
+        if applied {
+            out.records_replayed += 1;
+        } else {
+            out.records_discarded += 1;
+        }
+    }
+    out.next_id = out.jobs.iter().map(|j| j.id + 1).max().unwrap_or(1);
+    Ok(out)
+}
+
+/// Applies one record to the reconstructed job list. Returns whether the
+/// record was accepted.
+fn apply(jobs: &mut Vec<ReplayedJob>, record: JournalRecord) -> bool {
+    match record {
+        JournalRecord::Submit {
+            job,
+            digest,
+            priority,
+            trials_total,
+            plan_json,
+        } => {
+            if jobs.iter().any(|j| j.id == job) {
+                return false; // duplicate submit: first wins
+            }
+            jobs.push(ReplayedJob {
+                id: job,
+                digest,
+                priority,
+                trials_total,
+                plan_json,
+                started: false,
+                outcomes: Vec::new(),
+                terminal: None,
+                chunks_accepted: 0,
+            });
+            true
+        }
+        JournalRecord::Start { job } => match jobs.iter_mut().find(|j| j.id == job) {
+            Some(j) => {
+                j.started = true;
+                true
+            }
+            None => false,
+        },
+        JournalRecord::Chunk {
+            job,
+            trials_done,
+            outcomes,
+        } => {
+            let Some(j) = jobs.iter_mut().find(|j| j.id == job) else {
+                return false;
+            };
+            let expected = j.outcomes.len() as u64 + outcomes.len() as u64;
+            if j.terminal.is_some() || trials_done != expected || expected > j.trials_total {
+                return false; // duplicated/reordered chunk — recompute instead
+            }
+            j.outcomes.extend(outcomes);
+            j.chunks_accepted += 1;
+            true
+        }
+        JournalRecord::Done { job } => set_terminal(jobs, job, ReplayedTerminal::Done),
+        JournalRecord::Failed { job, error } => {
+            set_terminal(jobs, job, ReplayedTerminal::Failed(error))
+        }
+        JournalRecord::Cancelled { job } => set_terminal(jobs, job, ReplayedTerminal::Cancelled),
+    }
+}
+
+fn set_terminal(jobs: &mut [ReplayedJob], job: u64, terminal: ReplayedTerminal) -> bool {
+    match jobs.iter_mut().find(|j| j.id == job) {
+        Some(j) if j.terminal.is_none() => {
+            j.terminal = Some(terminal);
+            true
+        }
+        _ => false, // unknown job or duplicate terminal: first wins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(faults: u64) -> TrialOutcome {
+        TrialOutcome {
+            faults_injected: faults,
+            checks: 2,
+            errors_detected: 1,
+            corrections_written_back: 1,
+            uncorrectable: 0,
+            wrong_output_bits: 0,
+            exec_error: None,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_lines() {
+        let records = vec![
+            JournalRecord::Submit {
+                job: 3,
+                digest: "d".repeat(64),
+                priority: 7,
+                trials_total: 12,
+                plan_json: "{\"workloads\":[\"full_adder_1b\"]}".into(),
+            },
+            JournalRecord::Start { job: 3 },
+            JournalRecord::Chunk {
+                job: 3,
+                trials_done: 2,
+                outcomes: vec![outcome(0), outcome(3)],
+            },
+            JournalRecord::Done { job: 3 },
+            JournalRecord::Failed {
+                job: 4,
+                error: "panicked: boom".into(),
+            },
+            JournalRecord::Cancelled { job: 5 },
+        ];
+        for record in records {
+            let line = record.to_line();
+            assert!(!line.contains('\n'), "one record = one line");
+            assert_eq!(JournalRecord::from_line(&line).unwrap(), record);
+        }
+    }
+
+    #[test]
+    fn replay_reconstructs_in_flight_and_terminal_jobs() {
+        let dir = std::env::temp_dir().join(format!("nvpim-journal-test-{}", std::process::id()));
+        let path = dir.join(JOURNAL_FILE);
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut journal = Journal::open(&path, 1).unwrap();
+            for record in [
+                JournalRecord::Submit {
+                    job: 1,
+                    digest: "a".repeat(64),
+                    priority: 0,
+                    trials_total: 4,
+                    plan_json: "{}".into(),
+                },
+                JournalRecord::Start { job: 1 },
+                JournalRecord::Chunk {
+                    job: 1,
+                    trials_done: 2,
+                    outcomes: vec![outcome(0), outcome(1)],
+                },
+                JournalRecord::Submit {
+                    job: 2,
+                    digest: "b".repeat(64),
+                    priority: 0,
+                    trials_total: 2,
+                    plan_json: "{}".into(),
+                },
+                JournalRecord::Done { job: 2 },
+            ] {
+                journal.append(&record).unwrap();
+            }
+        }
+        let replay = replay(&path).unwrap();
+        assert_eq!(replay.records_replayed, 5);
+        assert_eq!(replay.records_discarded, 0);
+        assert_eq!(replay.next_id, 3);
+        assert_eq!(replay.jobs.len(), 2);
+        let j1 = &replay.jobs[0];
+        assert!(j1.started && j1.terminal.is_none());
+        assert_eq!(j1.outcomes.len(), 2);
+        assert_eq!(replay.jobs[1].terminal, Some(ReplayedTerminal::Done));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn inconsistent_chunks_and_duplicate_terminals_are_discarded() {
+        let mut jobs = Vec::new();
+        assert!(apply(
+            &mut jobs,
+            JournalRecord::Submit {
+                job: 1,
+                digest: "a".repeat(64),
+                priority: 0,
+                trials_total: 4,
+                plan_json: "{}".into(),
+            },
+        ));
+        // Cumulative count skips ahead: rejected.
+        assert!(!apply(
+            &mut jobs,
+            JournalRecord::Chunk {
+                job: 1,
+                trials_done: 3,
+                outcomes: vec![outcome(0)],
+            },
+        ));
+        assert!(jobs[0].outcomes.is_empty());
+        // Chunk for an unknown job: rejected.
+        assert!(!apply(
+            &mut jobs,
+            JournalRecord::Chunk {
+                job: 9,
+                trials_done: 1,
+                outcomes: vec![outcome(0)],
+            },
+        ));
+        // First terminal wins; the conflicting duplicate is dropped.
+        assert!(apply(
+            &mut jobs,
+            JournalRecord::Failed {
+                job: 1,
+                error: "boom".into(),
+            },
+        ));
+        assert!(!apply(&mut jobs, JournalRecord::Done { job: 1 }));
+        assert_eq!(
+            jobs[0].terminal,
+            Some(ReplayedTerminal::Failed("boom".into()))
+        );
+    }
+
+    #[test]
+    fn reopening_truncates_a_torn_tail_so_later_appends_stay_replayable() {
+        let dir = std::env::temp_dir().join(format!("nvpim-journal-torn-{}", std::process::id()));
+        let path = dir.join(JOURNAL_FILE);
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut journal = Journal::open(&path, 1).unwrap();
+            journal
+                .append(&JournalRecord::Submit {
+                    job: 1,
+                    digest: "a".repeat(64),
+                    priority: 0,
+                    trials_total: 2,
+                    plan_json: "{}".into(),
+                })
+                .unwrap();
+        }
+        // Simulate a crash mid-append: a partial record with no newline.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(br#"{"type":"chunk","job":1,"tri"#);
+        std::fs::write(&path, &bytes).unwrap();
+        // Reopening must drop the torn tail; the next record then lands on
+        // its own line instead of fusing with the partial one.
+        {
+            let mut journal = Journal::open(&path, 1).unwrap();
+            journal.append(&JournalRecord::Done { job: 1 }).unwrap();
+        }
+        let replay = replay(&path).unwrap();
+        assert_eq!(replay.records_discarded, 0, "tear was truncated, not kept");
+        assert_eq!(replay.records_replayed, 2);
+        assert_eq!(replay.jobs[0].terminal, Some(ReplayedTerminal::Done));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -45,6 +45,7 @@
 pub mod client;
 pub mod flags;
 pub mod job;
+pub mod journal;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -53,6 +54,7 @@ pub mod store;
 
 pub use client::Client;
 pub use job::{CancelOutcome, JobId, JobState};
+pub use journal::{Journal, JournalRecord, Replay, ReplayedJob, ReplayedTerminal};
 pub use protocol::MAX_LINE_BYTES;
 pub use server::{run_server, serve};
 pub use service::{

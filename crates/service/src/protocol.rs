@@ -271,7 +271,19 @@ fn result_payload(
 ) -> Value {
     match result {
         Ok(report_json) => {
-            let report = serde_json::from_str(&report_json).expect("stored reports are valid JSON");
+            // Stored reports are serialized by the engine and should always
+            // parse; a corrupt document (bit rot the store's integrity check
+            // could not catch, say) becomes a structured error for this one
+            // request rather than a panic in the connection thread.
+            let report = match serde_json::from_str(&report_json) {
+                Ok(report) => report,
+                Err(err) => {
+                    return error_response(
+                        "internal_error",
+                        format!("stored report for job {job} is not valid JSON: {err}"),
+                    );
+                }
+            };
             let cached = service
                 .job(job)
                 .map(|core| core.from_cache)

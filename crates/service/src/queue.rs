@@ -67,6 +67,16 @@ impl<T> std::fmt::Debug for BoundedPriorityQueue<T> {
 }
 
 impl<T> BoundedPriorityQueue<T> {
+    /// Locks the queue state, recovering from poison. The queue's
+    /// invariants hold whenever the lock is released, and a panic in one
+    /// worker (contained by `catch_unwind`) must not wedge submissions or
+    /// the rest of the pool behind a poisoned mutex.
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// An empty queue holding at most `capacity` items.
     pub fn new(capacity: usize) -> Self {
         Self {
@@ -87,7 +97,7 @@ impl<T> BoundedPriorityQueue<T> {
 
     /// Current number of queued items.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").heap.len()
+        self.lock_inner().heap.len()
     }
 
     /// Whether the queue is currently empty.
@@ -102,7 +112,7 @@ impl<T> BoundedPriorityQueue<T> {
     /// Returns the item back when the queue is full (backpressure) or
     /// closed, without blocking.
     pub fn try_push(&self, item: T, priority: u8) -> Result<(), T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.lock_inner();
         if inner.closed || inner.heap.len() >= self.capacity {
             return Err(item);
         }
@@ -121,7 +131,7 @@ impl<T> BoundedPriorityQueue<T> {
     /// Blocks until an item is available (returning the highest-priority
     /// one) or the queue is closed and drained (returning `None`).
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.lock_inner();
         loop {
             if let Some(entry) = inner.heap.pop() {
                 return Some(entry.item);
@@ -129,14 +139,17 @@ impl<T> BoundedPriorityQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue lock");
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: further pushes fail, and blocked/future `pop`s
     /// return `None` once the heap drains.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        self.lock_inner().closed = true;
         self.not_empty.notify_all();
     }
 }

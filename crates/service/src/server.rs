@@ -47,7 +47,11 @@ fn read_bounded_line<R: Read>(reader: &mut BufReader<R>, max: usize) -> std::io:
 }
 
 fn write_line(stream: &mut TcpStream, value: &serde::Value) -> std::io::Result<()> {
-    let mut text = serde_json::to_string(value).expect("responses serialize");
+    // `Value` serialization is infallible in practice; if it ever fails,
+    // surface an I/O error on this connection instead of panicking the
+    // connection thread.
+    let mut text = serde_json::to_string(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     text.push('\n');
     stream.write_all(text.as_bytes())?;
     stream.flush()

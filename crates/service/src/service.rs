@@ -6,21 +6,30 @@
 //! clients.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use nvpim_sweep::{
-    prepare_campaign_with_telemetry, CampaignControl, EstimatorMode, ScheduleCache, SimBackend,
-    SweepError, SweepPlan,
+    execution_backend, prepare_campaign_with_telemetry, CampaignControl, EstimatorMode,
+    ExecutionBackend, ScheduleCache, SimBackend, SweepError, SweepPlan, TrialOutcome,
 };
 use nvpim_telemetry::{Counter as TelemetryCounter, EventLog, Phase, Telemetry};
 use serde::{Serialize, Value};
 
 use crate::job::{JobCore, JobId, JobState};
+use crate::journal::{self, Journal, JournalRecord, ReplayedTerminal};
 use crate::queue::BoundedPriorityQueue;
 use crate::store::ReportStore;
 use crate::ServiceError;
+
+/// Locks a mutex, recovering from poison: every unlock point in this
+/// module leaves the protected state consistent, and a contained worker
+/// panic must not wedge the rest of the service behind a poisoned lock.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tunables for a service instance.
 #[derive(Debug, Clone)]
@@ -53,6 +62,30 @@ pub struct ServiceConfig {
     /// each line carrying a `trace` id correlating a job's whole history.
     /// `None` (the default) logs nothing.
     pub log_json: Option<std::path::PathBuf>,
+    /// Durable-state directory. When set, the service keeps a write-ahead
+    /// job journal (`jobs.journal`) and a disk-backed report store
+    /// (`reports/`) under it: on startup the journal is replayed,
+    /// completed reports are restored, and in-flight campaigns resume
+    /// from their last checkpointed chunk — byte-identically, thanks to
+    /// chunk invariance. `None` (the default) keeps all state in memory.
+    pub state_dir: Option<std::path::PathBuf>,
+    /// Retry budget per job for *panicking* attempts: a chunk that panics
+    /// (a buggy scheme plugin, say) is contained by `catch_unwind` and the
+    /// job retried from its last checkpoint up to this many times before
+    /// failing terminally. Deterministic `SweepError`s never retry.
+    pub max_job_retries: u32,
+    /// Base delay between retry attempts; attempt `n` waits
+    /// `retry_backoff_ms << (n - 1)` (exponential backoff).
+    pub retry_backoff_ms: u64,
+    /// Journal fsync cadence: sync to stable storage after every N
+    /// appended records (`1` = every record, the durable default; `0` =
+    /// leave flush timing to the OS).
+    pub journal_fsync_records: u64,
+    /// Execution-backend override for every campaign this service runs,
+    /// taking precedence over [`backend`](Self::backend) when set. The
+    /// seam the chaos suite injects its panicking backend through; `None`
+    /// (the default) resolves [`backend`](Self::backend) normally.
+    pub execution_backend: Option<&'static dyn ExecutionBackend>,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +98,11 @@ impl Default for ServiceConfig {
             max_cached_reports: crate::store::DEFAULT_REPORT_CAPACITY,
             backend: SimBackend::default(),
             log_json: None,
+            state_dir: None,
+            max_job_retries: 2,
+            retry_backoff_ms: 50,
+            journal_fsync_records: 1,
+            execution_backend: None,
         }
     }
 }
@@ -142,6 +180,16 @@ pub struct ServiceStats {
     pub jobs_coalesced: u64,
     /// Submissions rejected by queue backpressure.
     pub jobs_rejected: u64,
+    /// Job attempts retried after a contained panic.
+    pub jobs_retried: u64,
+    /// Jobs restored from the durable journal at startup (terminal and
+    /// resumed in-flight jobs alike).
+    pub recovered_jobs: u64,
+    /// Checkpointed chunks whose outcomes were resumed — not recomputed —
+    /// when in-flight campaigns were restarted from the journal.
+    pub resumed_chunks: u64,
+    /// Journal records successfully replayed at startup.
+    pub journal_records_replayed: u64,
     /// Distinct reports in the content-addressed store.
     pub report_cache_entries: usize,
     /// Submissions served byte-identically from the store.
@@ -211,6 +259,9 @@ impl LatencySummary {
 struct WorkItem {
     core: Arc<JobCore>,
     plan: SweepPlan,
+    /// Outcomes restored from journal checkpoints: the campaign resumes
+    /// after this prefix instead of recomputing it. Empty for fresh jobs.
+    resume: Vec<TrialOutcome>,
 }
 
 #[derive(Default)]
@@ -228,6 +279,14 @@ struct Counters {
     busy_nanos: AtomicU64,
     /// Accepted submissions whose plan ran in stratified estimator mode.
     estimator_jobs: AtomicU64,
+    /// Job attempts retried after a contained panic.
+    retried: AtomicU64,
+    /// Jobs restored from the journal at startup.
+    recovered: AtomicU64,
+    /// Checkpointed chunks resumed instead of recomputed.
+    resumed_chunks: AtomicU64,
+    /// Journal records replayed at startup.
+    journal_replayed: AtomicU64,
 }
 
 struct Inner {
@@ -250,6 +309,8 @@ struct Inner {
     telemetry: Telemetry,
     /// Opt-in NDJSON event log (see [`ServiceConfig::log_json`]).
     event_log: Option<EventLog>,
+    /// Write-ahead job journal (see [`ServiceConfig::state_dir`]).
+    journal: Option<Mutex<Journal>>,
 }
 
 /// The event-log trace id correlating every event of one job: the primary
@@ -263,6 +324,25 @@ impl Inner {
         if let Some(log) = &self.event_log {
             log.emit(event, &trace_id(job, digest), fields);
         }
+    }
+
+    /// Appends one record to the write-ahead journal (a no-op without a
+    /// state dir). A failed append degrades durability, never service:
+    /// the error is reported and the in-memory state machine proceeds.
+    fn journal_append(&self, record: &JournalRecord) {
+        if let Some(journal) = &self.journal {
+            if let Err(err) = lock_unpoisoned(journal).append(record) {
+                eprintln!("nvpim-serviced: journal append failed: {err}");
+            }
+        }
+    }
+
+    /// The execution backend campaigns run on: the configured override,
+    /// or the standard resolution of the `SimBackend` selector.
+    fn backend(&self) -> &'static dyn ExecutionBackend {
+        self.cfg
+            .execution_backend
+            .unwrap_or_else(|| execution_backend(self.cfg.backend))
     }
 }
 
@@ -283,6 +363,12 @@ impl std::fmt::Debug for ServiceHandle {
 
 impl ServiceHandle {
     /// Starts a service: spawns the worker pool and returns the handle.
+    ///
+    /// With [`ServiceConfig::state_dir`] set, startup first replays the
+    /// write-ahead journal: terminal jobs are restored as queryable
+    /// records (completed reports re-verified out of the durable store),
+    /// and in-flight jobs are re-queued with their checkpointed outcome
+    /// prefixes so only un-checkpointed trials recompute.
     pub fn start(cfg: ServiceConfig) -> Self {
         let workers = cfg.workers.max(1);
         let event_log = cfg.log_json.as_deref().and_then(|path| {
@@ -290,20 +376,58 @@ impl ServiceHandle {
                 .map_err(|e| eprintln!("nvpim-service: cannot open event log {path:?}: {e}"))
                 .ok()
         });
+        let (store, journal, replay) = match cfg.state_dir.as_deref() {
+            None => (
+                ReportStore::with_capacity(cfg.max_cached_reports),
+                None,
+                None,
+            ),
+            Some(dir) => {
+                let store = ReportStore::persistent(cfg.max_cached_reports, dir.join("reports"))
+                    .unwrap_or_else(|err| {
+                        eprintln!(
+                            "nvpim-serviced: cannot open report store under {dir:?} \
+                             ({err}); continuing without persistence"
+                        );
+                        ReportStore::with_capacity(cfg.max_cached_reports)
+                    });
+                let journal_path = dir.join(journal::JOURNAL_FILE);
+                let replay = journal::replay(&journal_path)
+                    .map_err(|err| {
+                        eprintln!("nvpim-serviced: journal replay failed: {err}");
+                    })
+                    .ok();
+                let journal = Journal::open(&journal_path, cfg.journal_fsync_records)
+                    .map_err(|err| {
+                        eprintln!(
+                            "nvpim-serviced: cannot open journal {journal_path:?} \
+                             ({err}); continuing without durability"
+                        );
+                    })
+                    .ok()
+                    .map(Mutex::new);
+                (store, journal, replay)
+            }
+        };
+        let next_id = replay.as_ref().map_or(1, |r| r.next_id);
         let inner = Arc::new(Inner {
             queue: BoundedPriorityQueue::new(cfg.queue_capacity),
             cfg: ServiceConfig { workers, ..cfg },
             jobs: Mutex::new(HashMap::new()),
             active: Mutex::new(HashMap::new()),
             schedule_cache: Mutex::new(ScheduleCache::new()),
-            store: Mutex::new(ReportStore::with_capacity(cfg.max_cached_reports)),
-            next_id: AtomicU64::new(1),
+            store: Mutex::new(store),
+            next_id: AtomicU64::new(next_id),
             counters: Counters::default(),
             shutting_down: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
             telemetry: Telemetry::new(),
             event_log,
+            journal,
         });
+        if let Some(replay) = replay {
+            restore_replayed_jobs(&inner, replay);
+        }
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let inner2 = Arc::clone(&inner);
@@ -314,7 +438,7 @@ impl ServiceHandle {
                     .expect("spawn worker thread"),
             );
         }
-        *inner.workers.lock().expect("workers lock") = handles;
+        *lock_unpoisoned(&inner.workers) = handles;
         Self { inner }
     }
 
@@ -345,9 +469,9 @@ impl ServiceHandle {
         let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
 
         // 1. Content-addressed report cache.
-        if let Some(report) = inner.store.lock().expect("store lock").get(&digest) {
+        if let Some(report) = lock_unpoisoned(&inner.store).get(&digest) {
             let core = JobCore::done_from_cache(id, digest.clone(), trials_total, report);
-            let mut jobs = inner.jobs.lock().expect("jobs lock");
+            let mut jobs = lock_unpoisoned(&inner.jobs);
             jobs.insert(id, core);
             evict_terminal_jobs(&mut jobs, inner.cfg.max_tracked_jobs, id);
             drop(jobs);
@@ -377,7 +501,7 @@ impl ServiceHandle {
         // would observe either no entry, or an entry that is durably
         // queued), and two racing submitters cannot both queue one digest.
         let core = {
-            let mut active = inner.active.lock().expect("active lock");
+            let mut active = lock_unpoisoned(&inner.active);
             // A terminal core can linger here (cancelled-while-queued jobs
             // stay registered until a worker pops their stale queue item);
             // coalescing onto it — or onto a running job whose cancellation
@@ -389,7 +513,7 @@ impl ServiceHandle {
                 {
                     let existing = Arc::clone(existing);
                     let primary = existing.id;
-                    inner.jobs.lock().expect("jobs lock").insert(id, existing);
+                    lock_unpoisoned(&inner.jobs).insert(id, existing);
                     inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
                     inner.counters.coalesced.fetch_add(1, Ordering::Relaxed);
                     inner.emit_event(
@@ -409,14 +533,29 @@ impl ServiceHandle {
                 _ => {}
             }
             let core = JobCore::new(id, digest.clone(), trials_total);
+            // Write-ahead: the submit record lands in the journal before
+            // the item becomes poppable, so a worker's `start`/`chunk`
+            // records can never precede it. Appending under the `active`
+            // lock also serializes journal order across racing submitters.
+            inner.journal_append(&JournalRecord::Submit {
+                job: id,
+                digest: digest.clone(),
+                priority: u64::from(priority.min(9)),
+                trials_total,
+                plan_json: plan.canonical_json(),
+            });
             let item = WorkItem {
                 core: Arc::clone(&core),
                 plan,
+                resume: Vec::new(),
             };
             // Backpressure on overflow. (Lock order is `active` → queue
             // mutex; workers only take `active` after `pop` has released
             // the queue mutex, so this cannot deadlock.)
             if inner.queue.try_push(item, priority.min(9)).is_err() {
+                // Void the write-ahead record: without this, a replay
+                // would resurrect a job the client was told to retry.
+                inner.journal_append(&JournalRecord::Cancelled { job: id });
                 drop(active);
                 if inner.shutting_down.load(Ordering::SeqCst) {
                     return Err(ServiceError::ShuttingDown);
@@ -431,7 +570,7 @@ impl ServiceHandle {
             core
         };
 
-        let mut jobs = inner.jobs.lock().expect("jobs lock");
+        let mut jobs = lock_unpoisoned(&inner.jobs);
         jobs.insert(id, core);
         evict_terminal_jobs(&mut jobs, inner.cfg.max_tracked_jobs, id);
         drop(jobs);
@@ -460,12 +599,7 @@ impl ServiceHandle {
 
     /// The shared core behind a job id.
     pub fn job(&self, job: JobId) -> Option<Arc<JobCore>> {
-        self.inner
-            .jobs
-            .lock()
-            .expect("jobs lock")
-            .get(&job)
-            .cloned()
+        lock_unpoisoned(&self.inner.jobs).get(&job).cloned()
     }
 
     /// A status snapshot for a job.
@@ -538,6 +672,8 @@ impl ServiceHandle {
                     .counters
                     .cancelled
                     .fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .journal_append(&JournalRecord::Cancelled { job: core.id });
                 Ok(true)
             }
         }
@@ -547,11 +683,11 @@ impl ServiceHandle {
     pub fn stats(&self) -> ServiceStats {
         let inner = &self.inner;
         let (sched_entries, sched_hits, sched_compiles) = {
-            let cache = inner.schedule_cache.lock().expect("cache lock");
+            let cache = lock_unpoisoned(&inner.schedule_cache);
             (cache.len(), cache.hits(), cache.compiles())
         };
         let (store_entries, store_hits, store_misses) = {
-            let store = inner.store.lock().expect("store lock");
+            let store = lock_unpoisoned(&inner.store);
             (store.len(), store.hits(), store.misses())
         };
         let trials_executed = inner.counters.trials_executed.load(Ordering::Relaxed);
@@ -574,6 +710,10 @@ impl ServiceHandle {
             jobs_cancelled: inner.counters.cancelled.load(Ordering::Relaxed),
             jobs_coalesced: inner.counters.coalesced.load(Ordering::Relaxed),
             jobs_rejected: inner.counters.rejected.load(Ordering::Relaxed),
+            jobs_retried: inner.counters.retried.load(Ordering::Relaxed),
+            recovered_jobs: inner.counters.recovered.load(Ordering::Relaxed),
+            resumed_chunks: inner.counters.resumed_chunks.load(Ordering::Relaxed),
+            journal_records_replayed: inner.counters.journal_replayed.load(Ordering::Relaxed),
             report_cache_entries: store_entries,
             report_cache_hits: store_hits,
             report_cache_misses: store_misses,
@@ -645,6 +785,10 @@ impl ServiceHandle {
             "Submissions rejected by queue backpressure.",
             stats.jobs_rejected,
         );
+        // Retry/recovery/journal-replay counters are first-class telemetry
+        // counters (`nvpim_job_retries_total`, `nvpim_recovered_jobs_total`,
+        // `nvpim_resumed_chunks_total`, `nvpim_journal_records_replayed_total`)
+        // and render with the telemetry block appended below.
         counter(
             "service_trials_executed_total",
             "Monte Carlo trials executed across all campaigns.",
@@ -697,7 +841,7 @@ impl ServiceHandle {
     /// Shuts down and joins the worker pool. Queued jobs drain first.
     pub fn shutdown(&self) {
         self.begin_shutdown();
-        let handles = std::mem::take(&mut *self.inner.workers.lock().expect("workers lock"));
+        let handles = std::mem::take(&mut *lock_unpoisoned(&self.inner.workers));
         for handle in handles {
             let _ = handle.join();
         }
@@ -732,7 +876,7 @@ fn evict_terminal_jobs(jobs: &mut HashMap<JobId, Arc<JobCore>>, max: usize, keep
 /// entry may have been replaced by a newer resubmission of the same plan;
 /// blindly removing by digest would orphan that newer job's registration.
 fn remove_from_active(inner: &Inner, core: &Arc<JobCore>) {
-    let mut active = inner.active.lock().expect("active lock");
+    let mut active = lock_unpoisoned(&inner.active);
     if let Some(current) = active.get(&core.digest) {
         if Arc::ptr_eq(current, core) {
             active.remove(&core.digest);
@@ -764,8 +908,139 @@ fn credit_labeled_trials(inner: &Inner, plan: &SweepPlan, trials: u64) {
     );
 }
 
+/// Applies a journal replay to a freshly constructed (not yet serving)
+/// service: terminal jobs become queryable records, in-flight jobs
+/// re-queue with their checkpointed outcome prefixes.
+fn restore_replayed_jobs(inner: &Arc<Inner>, replay: journal::Replay) {
+    let records = replay.records_replayed;
+    inner
+        .counters
+        .journal_replayed
+        .store(records, Ordering::Relaxed);
+    inner
+        .telemetry
+        .add(TelemetryCounter::JournalRecordsReplayed, records);
+    for job in replay.jobs {
+        let id = job.id;
+        let digest = job.digest.clone();
+        let trials_done = job.outcomes.len() as u64;
+        // A `done` record is only journaled after its report reached the
+        // durable store, so a verified store hit restores the report; a
+        // missing or corrupt store file demotes the job to an in-flight
+        // resume (the recomputed report is byte-identical).
+        let core = match &job.terminal {
+            Some(ReplayedTerminal::Done) => match lock_unpoisoned(&inner.store).get(&digest) {
+                Some(report) => JobCore::restored(
+                    id,
+                    digest.clone(),
+                    job.trials_total,
+                    JobState::Done,
+                    Some(report),
+                    job.trials_total,
+                ),
+                None => restore_in_flight(inner, &job),
+            },
+            Some(ReplayedTerminal::Failed(error)) => JobCore::restored(
+                id,
+                digest.clone(),
+                job.trials_total,
+                JobState::Failed(error.clone()),
+                None,
+                trials_done,
+            ),
+            Some(ReplayedTerminal::Cancelled) => JobCore::restored(
+                id,
+                digest.clone(),
+                job.trials_total,
+                JobState::Cancelled,
+                None,
+                trials_done,
+            ),
+            None => restore_in_flight(inner, &job),
+        };
+        let state = core.state().label().to_string();
+        lock_unpoisoned(&inner.jobs).insert(id, core);
+        inner.counters.recovered.fetch_add(1, Ordering::Relaxed);
+        inner.telemetry.add(TelemetryCounter::RecoveredJobs, 1);
+        inner.emit_event(
+            id,
+            &digest,
+            "recovered",
+            vec![
+                ("state".to_string(), Value::Str(state)),
+                ("trials_done".to_string(), Value::UInt(trials_done)),
+            ],
+        );
+    }
+}
+
+/// Re-queues one replayed in-flight job, splicing its checkpointed
+/// outcomes back in so only the un-checkpointed suffix recomputes.
+fn restore_in_flight(inner: &Arc<Inner>, job: &journal::ReplayedJob) -> Arc<JobCore> {
+    let plan = match SweepPlan::from_json_str(&job.plan_json) {
+        Ok(plan) => plan,
+        Err(err) => {
+            let error = format!("recovered job's journaled plan failed to decode: {err}");
+            inner.journal_append(&JournalRecord::Failed {
+                job: job.id,
+                error: error.clone(),
+            });
+            return JobCore::restored(
+                job.id,
+                job.digest.clone(),
+                job.trials_total,
+                JobState::Failed(error),
+                None,
+                0,
+            );
+        }
+    };
+    let core = JobCore::new(job.id, job.digest.clone(), job.trials_total);
+    core.note_progress(job.outcomes.len() as u64);
+    let item = WorkItem {
+        core: Arc::clone(&core),
+        plan,
+        resume: job.outcomes.clone(),
+    };
+    if inner
+        .queue
+        .try_push(item, job.priority.min(9) as u8)
+        .is_err()
+    {
+        let error = "recovered job could not re-queue (queue full at startup)".to_string();
+        inner.journal_append(&JournalRecord::Failed {
+            job: job.id,
+            error: error.clone(),
+        });
+        core.fail(error);
+        return core;
+    }
+    inner
+        .counters
+        .resumed_chunks
+        .fetch_add(job.chunks_accepted, Ordering::Relaxed);
+    inner
+        .telemetry
+        .add(TelemetryCounter::ResumedChunks, job.chunks_accepted);
+    lock_unpoisoned(&inner.active).insert(job.digest.clone(), Arc::clone(&core));
+    core
+}
+
+/// Best-effort text of a caught panic payload (`&str` and `String`
+/// payloads cover `panic!` and `expect`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 fn worker_loop(inner: &Inner) {
-    while let Some(WorkItem { core, plan }) = inner.queue.pop() {
+    while let Some(item) = inner.queue.pop() {
+        let core = Arc::clone(&item.core);
         if !core.set_running() {
             // Cancelled while queued (already counted by `cancel`).
             remove_from_active(inner, &core);
@@ -781,113 +1056,203 @@ fn worker_loop(inner: &Inner) {
             "running",
             vec![("trials_total".to_string(), Value::UInt(core.trials_total))],
         );
+        inner.journal_append(&JournalRecord::Start { job: core.id });
+        run_job(inner, item);
+        remove_from_active(inner, &core);
+    }
+}
 
-        // Compile through the process-wide shared cache; the lock is held
-        // only for preparation, never while trials run. The campaign runs
-        // with the service-wide telemetry sink attached, so every phase
-        // span and counter from the sweep engine lands in this service's
-        // metrics.
-        let prepared = {
-            let mut cache = inner.schedule_cache.lock().expect("cache lock");
-            prepare_campaign_with_telemetry(&plan, &mut cache, inner.telemetry.clone())
+/// Runs one job to a terminal state, containing panics: each attempt runs
+/// under `catch_unwind`, so a panicking trial (a buggy scheme plugin, say)
+/// poisons only this job — the worker survives and either retries the job
+/// from its last checkpoint (up to `max_job_retries`, with exponential
+/// backoff) or fails it terminally with the panic payload captured.
+fn run_job(inner: &Inner, item: WorkItem) {
+    let WorkItem { core, plan, resume } = item;
+    // The checkpoint outlives attempts: outcomes accumulated (and
+    // journaled) by a panicking attempt are not recomputed by its retry.
+    let checkpoint: Mutex<Vec<TrialOutcome>> = Mutex::new(resume);
+    let mut attempt: u32 = 0;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_attempt(inner, &core, &plan, &checkpoint)
+        }));
+        let payload = match outcome {
+            Ok(()) => return,
+            Err(payload) => payload,
         };
-
-        match prepared {
-            Err(err) => {
-                // Counters precede the (waiter-waking) state transition so
-                // a client that observed completion also observes them.
-                inner.counters.failed.fetch_add(1, Ordering::Relaxed);
-                inner.emit_event(
-                    core.id,
-                    &core.digest,
-                    "failed",
-                    vec![("error".to_string(), Value::Str(err.to_string()))],
-                );
-                core.fail(err.to_string());
+        let message = panic_message(payload.as_ref());
+        if attempt < inner.cfg.max_job_retries && !core.cancel_requested() {
+            attempt += 1;
+            inner.counters.retried.fetch_add(1, Ordering::Relaxed);
+            inner.telemetry.add(TelemetryCounter::JobRetries, 1);
+            inner.emit_event(
+                core.id,
+                &core.digest,
+                "retry",
+                vec![
+                    ("attempt".to_string(), Value::UInt(u64::from(attempt))),
+                    ("error".to_string(), Value::Str(message)),
+                ],
+            );
+            let backoff = inner
+                .cfg
+                .retry_backoff_ms
+                .saturating_mul(1u64 << (attempt - 1).min(16));
+            if backoff > 0 {
+                std::thread::sleep(Duration::from_millis(backoff));
             }
-            Ok(prepared) => {
-                let run_started = std::time::Instant::now();
-                let outcome = prepared.with_backend(inner.cfg.backend).run_chunked(
-                    inner.cfg.chunk_trials,
-                    |progress| {
-                        core.note_progress(progress.trials_done);
-                        inner.emit_event(
-                            core.id,
-                            &core.digest,
-                            "chunk",
-                            vec![
-                                ("trials_done".to_string(), Value::UInt(progress.trials_done)),
-                                ("trials_total".to_string(), Value::UInt(core.trials_total)),
-                            ],
-                        );
-                        if core.cancel_requested() {
-                            CampaignControl::Cancel
-                        } else {
-                            CampaignControl::Continue
-                        }
-                    },
-                );
-                let run_nanos = run_started.elapsed().as_nanos() as u64;
-                inner
-                    .counters
-                    .busy_nanos
-                    .fetch_add(run_nanos, Ordering::Relaxed);
+            continue;
+        }
+        let error = format!("campaign panicked: {message}");
+        inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+        inner.journal_append(&JournalRecord::Failed {
+            job: core.id,
+            error: error.clone(),
+        });
+        inner.emit_event(
+            core.id,
+            &core.digest,
+            "failed",
+            vec![("error".to_string(), Value::Str(error.clone()))],
+        );
+        core.fail(error);
+        return;
+    }
+}
+
+/// One execution attempt: prepare through the shared schedule cache, run
+/// resumably from the shared checkpoint (journaling every chunk), and
+/// drive the job to its terminal state. Panics propagate to [`run_job`].
+fn run_attempt(
+    inner: &Inner,
+    core: &Arc<JobCore>,
+    plan: &SweepPlan,
+    checkpoint: &Mutex<Vec<TrialOutcome>>,
+) {
+    // Compile through the process-wide shared cache; the lock is held
+    // only for preparation, never while trials run. The campaign runs
+    // with the service-wide telemetry sink attached, so every phase
+    // span and counter from the sweep engine lands in this service's
+    // metrics.
+    let prepared = {
+        let mut cache = lock_unpoisoned(&inner.schedule_cache);
+        prepare_campaign_with_telemetry(plan, &mut cache, inner.telemetry.clone())
+    };
+    let prepared = match prepared {
+        Ok(prepared) => prepared,
+        Err(err) => {
+            // Counters precede the (waiter-waking) state transition so
+            // a client that observed completion also observes them.
+            inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+            inner.journal_append(&JournalRecord::Failed {
+                job: core.id,
+                error: err.to_string(),
+            });
+            inner.emit_event(
+                core.id,
+                &core.digest,
+                "failed",
+                vec![("error".to_string(), Value::Str(err.to_string()))],
+            );
+            core.fail(err.to_string());
+            return;
+        }
+    };
+    let resume = lock_unpoisoned(checkpoint).clone();
+    let resumed_trials = resume.len() as u64;
+    let run_started = std::time::Instant::now();
+    let outcome =
+        prepared.run_chunked_resumable(inner.backend(), inner.cfg.chunk_trials, resume, |chunk| {
+            let trials_done = chunk.progress.trials_done;
+            if !chunk.new_outcomes.is_empty() {
+                // Journal before extending the in-memory checkpoint: a
+                // crash between the two merely recomputes one chunk.
+                inner.journal_append(&JournalRecord::Chunk {
+                    job: core.id,
+                    trials_done,
+                    outcomes: chunk.new_outcomes.to_vec(),
+                });
+                lock_unpoisoned(checkpoint).extend_from_slice(chunk.new_outcomes);
+            }
+            core.note_progress(trials_done);
+            inner.emit_event(
+                core.id,
+                &core.digest,
+                "chunk",
+                vec![
+                    ("trials_done".to_string(), Value::UInt(trials_done)),
+                    ("trials_total".to_string(), Value::UInt(core.trials_total)),
+                ],
+            );
+            if core.cancel_requested() {
+                CampaignControl::Cancel
+            } else {
+                CampaignControl::Continue
+            }
+        });
+    let run_nanos = run_started.elapsed().as_nanos() as u64;
+    inner
+        .counters
+        .busy_nanos
+        .fetch_add(run_nanos, Ordering::Relaxed);
+    inner
+        .telemetry
+        .record_histogram("run_latency_ns", run_nanos);
+    inner.counters.trials_executed.fetch_add(
+        core.trials_done().saturating_sub(resumed_trials),
+        Ordering::Relaxed,
+    );
+    match outcome {
+        Ok(report) => {
+            let json = Arc::new(
                 inner
                     .telemetry
-                    .record_histogram("run_latency_ns", run_nanos);
-                inner
-                    .counters
-                    .trials_executed
-                    .fetch_add(core.trials_done(), Ordering::Relaxed);
-                match outcome {
-                    Ok(report) => {
-                        let json = Arc::new(
-                            inner
-                                .telemetry
-                                .time(Phase::ReportSerialization, || report.to_json()),
-                        );
-                        inner
-                            .store
-                            .lock()
-                            .expect("store lock")
-                            .insert(core.digest.clone(), Arc::clone(&json));
-                        inner.counters.completed.fetch_add(1, Ordering::Relaxed);
-                        credit_labeled_trials(inner, &plan, core.trials_total);
-                        inner.emit_event(
-                            core.id,
-                            &core.digest,
-                            "done",
-                            vec![
-                                ("trials_total".to_string(), Value::UInt(core.trials_total)),
-                                ("run_nanos".to_string(), Value::UInt(run_nanos)),
-                            ],
-                        );
-                        core.complete(json);
-                    }
-                    Err(SweepError::Cancelled) => {
-                        inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-                        inner.emit_event(
-                            core.id,
-                            &core.digest,
-                            "cancelled",
-                            vec![("trials_done".to_string(), Value::UInt(core.trials_done()))],
-                        );
-                        core.mark_cancelled();
-                    }
-                    Err(err) => {
-                        inner.counters.failed.fetch_add(1, Ordering::Relaxed);
-                        inner.emit_event(
-                            core.id,
-                            &core.digest,
-                            "failed",
-                            vec![("error".to_string(), Value::Str(err.to_string()))],
-                        );
-                        core.fail(err.to_string());
-                    }
-                }
-            }
+                    .time(Phase::ReportSerialization, || report.to_json()),
+            );
+            // The store write (durable tier included) precedes the `done`
+            // journal record, so replay can trust a `done` record to have
+            // its report on disk.
+            lock_unpoisoned(&inner.store).insert(core.digest.clone(), Arc::clone(&json));
+            inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+            credit_labeled_trials(inner, plan, core.trials_total);
+            inner.journal_append(&JournalRecord::Done { job: core.id });
+            inner.emit_event(
+                core.id,
+                &core.digest,
+                "done",
+                vec![
+                    ("trials_total".to_string(), Value::UInt(core.trials_total)),
+                    ("run_nanos".to_string(), Value::UInt(run_nanos)),
+                ],
+            );
+            core.complete(json);
         }
-        remove_from_active(inner, &core);
+        Err(SweepError::Cancelled) => {
+            inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            inner.journal_append(&JournalRecord::Cancelled { job: core.id });
+            inner.emit_event(
+                core.id,
+                &core.digest,
+                "cancelled",
+                vec![("trials_done".to_string(), Value::UInt(core.trials_done()))],
+            );
+            core.mark_cancelled();
+        }
+        Err(err) => {
+            inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+            inner.journal_append(&JournalRecord::Failed {
+                job: core.id,
+                error: err.to_string(),
+            });
+            inner.emit_event(
+                core.id,
+                &core.digest,
+                "failed",
+                vec![("error".to_string(), Value::Str(err.to_string()))],
+            );
+            core.fail(err.to_string());
+        }
     }
 }
 

@@ -1,0 +1,601 @@
+//! Chaos suite: crash/recovery drills for the durable campaign service.
+//!
+//! Four failure families, per the robustness tentpole:
+//!
+//! 1. **Checkpoint/resume byte-identity** — a crafted journal (exactly what
+//!    a daemon killed at a chunk boundary leaves behind) is replayed for
+//!    every backend × estimator combination; the resumed report must be
+//!    byte-identical to an uninterrupted run.
+//! 2. **Panic isolation** — a test-only panicking [`ExecutionBackend`]
+//!    injected through the `ServiceConfig::execution_backend` seam poisons
+//!    only its own job; retries resume from the last checkpoint and the
+//!    worker pool keeps serving healthy jobs.
+//! 3. **Journal/store corruption** — empty journals, torn tails, duplicate
+//!    terminal transitions and store files whose contents no longer match
+//!    their digest all degrade to recomputation, never to wrong bytes.
+//! 4. **SIGKILL + restart** — the real `nvpim-serviced` binary is killed
+//!    mid-campaign and restarted over the same `--state-dir`; the recovered
+//!    report must match a clean baseline and no job may be orphaned.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use nvpim_service::client::{request, Client};
+use nvpim_service::journal::JOURNAL_FILE;
+use nvpim_service::service::{ServiceConfig, ServiceHandle};
+use nvpim_service::{Journal, JournalRecord, ServiceError};
+use nvpim_sweep::{
+    execution_backend, prepare_campaign, run_campaign_with_backend, CampaignControl, EstimatorMode,
+    ExecutionBackend, PointContext, ScheduleCache, SimBackend, SweepPlan, TaskOutcomes, TrialArena,
+    TrialOutcome,
+};
+use serde::Value;
+
+/// Fresh scratch state directory for one test.
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nvpim-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create state dir");
+    dir
+}
+
+/// Report bytes stored on disk for `digest` (the body after the integrity
+/// header line) — the ground truth the byte-identity assertions compare.
+fn store_body(dir: &Path, digest: &str) -> String {
+    let path = dir.join("reports").join(format!("{digest}.json"));
+    let raw = std::fs::read_to_string(&path).expect("stored report exists");
+    let (_header, body) = raw.split_once('\n').expect("store file has a header");
+    body.to_string()
+}
+
+/// A small multi-chunk plan: 9 points × 2 seeds = 18 trials.
+fn tiny_plan(seed: u64) -> SweepPlan {
+    let mut plan = SweepPlan::quick();
+    plan.seeds_per_point = 2;
+    plan.campaign_seed = seed;
+    plan
+}
+
+fn submit_record(plan: &SweepPlan, job: u64) -> JournalRecord {
+    JournalRecord::Submit {
+        job,
+        digest: plan.content_digest(),
+        priority: 0,
+        trials_total: 18,
+        plan_json: plan.canonical_json(),
+    }
+}
+
+/// Tentpole assertion 1: for both backends and both estimator modes, a
+/// campaign resumed from a crafted mid-flight journal produces report bytes
+/// identical to an uninterrupted run, recomputing only the unfinished
+/// trials.
+#[test]
+fn resume_from_checkpoint_is_byte_identical_across_backends_and_estimators() {
+    for (i, backend) in [SimBackend::Scalar, SimBackend::Sliced]
+        .into_iter()
+        .enumerate()
+    {
+        for (j, estimator) in [EstimatorMode::Exact, EstimatorMode::Stratified]
+            .into_iter()
+            .enumerate()
+        {
+            let mut plan = tiny_plan(0xc4a0_5000 + (i * 2 + j) as u64);
+            plan.estimator = estimator;
+            let clean = run_campaign_with_backend(&plan, backend)
+                .expect("clean run")
+                .to_json();
+
+            // Capture the first two chunks (4 trials each) the way a real
+            // worker would have journaled them before dying.
+            let mut cache = ScheduleCache::new();
+            let prepared = prepare_campaign(&plan, &mut cache).expect("prepare");
+            let mut captured: Vec<TrialOutcome> = Vec::new();
+            let mut chunks = 0usize;
+            let _ = prepared.run_chunked_resumable(
+                execution_backend(backend),
+                4,
+                Vec::new(),
+                |checkpoint| {
+                    if chunks < 2 {
+                        captured.extend_from_slice(checkpoint.new_outcomes);
+                        chunks += 1;
+                        CampaignControl::Continue
+                    } else {
+                        CampaignControl::Cancel
+                    }
+                },
+            );
+            assert_eq!(captured.len(), 8, "two four-trial chunks captured");
+
+            let dir = state_dir(&format!("resume-{i}-{j}"));
+            {
+                let mut journal =
+                    Journal::open(dir.join(JOURNAL_FILE), 1).expect("open crafted journal");
+                journal.append(&submit_record(&plan, 1)).expect("submit");
+                journal
+                    .append(&JournalRecord::Start { job: 1 })
+                    .expect("start");
+                journal
+                    .append(&JournalRecord::Chunk {
+                        job: 1,
+                        trials_done: 4,
+                        outcomes: captured[..4].to_vec(),
+                    })
+                    .expect("chunk 1");
+                journal
+                    .append(&JournalRecord::Chunk {
+                        job: 1,
+                        trials_done: 8,
+                        outcomes: captured[4..].to_vec(),
+                    })
+                    .expect("chunk 2");
+            }
+
+            let service = ServiceHandle::start(ServiceConfig {
+                workers: 1,
+                chunk_trials: 4,
+                backend,
+                state_dir: Some(dir.clone()),
+                ..ServiceConfig::default()
+            });
+            let report = service
+                .wait(1, Some(Duration::from_secs(120)))
+                .expect("recovered job runs to completion");
+            assert_eq!(
+                report.as_str(),
+                clean,
+                "resumed report must be byte-identical ({backend:?}, {estimator:?})"
+            );
+
+            let stats = service.stats();
+            assert_eq!(stats.recovered_jobs, 1);
+            assert_eq!(stats.resumed_chunks, 2);
+            assert_eq!(stats.journal_records_replayed, 4);
+            assert_eq!(
+                stats.trials_executed, 10,
+                "only the 10 unfinished trials recompute; 8 resume from the journal"
+            );
+            assert_eq!(store_body(&dir, &plan.content_digest()), clean);
+            service.shutdown();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// A chaos-only backend: behaves exactly like the sliced backend, except
+/// that campaigns whose seed matches `poison_seed` panic on the
+/// `panics_after`-th (and, if `once` is false, every later) task.
+#[derive(Debug)]
+struct PanicAfterN {
+    poison_seed: u64,
+    panics_after: usize,
+    once: bool,
+    calls: AtomicUsize,
+}
+
+impl PanicAfterN {
+    fn leaked(poison_seed: u64, panics_after: usize, once: bool) -> &'static Self {
+        Box::leak(Box::new(Self {
+            poison_seed,
+            panics_after,
+            once,
+            calls: AtomicUsize::new(0),
+        }))
+    }
+}
+
+impl ExecutionBackend for PanicAfterN {
+    fn name(&self) -> &'static str {
+        "chaos-panic"
+    }
+
+    fn task_width(&self, point: &PointContext) -> usize {
+        execution_backend(SimBackend::Sliced).task_width(point)
+    }
+
+    fn run_task(
+        &self,
+        point: &PointContext,
+        campaign_seed: u64,
+        point_index: u64,
+        first_trial: u64,
+        count: usize,
+        arena: &mut TrialArena,
+    ) -> TaskOutcomes {
+        if campaign_seed == self.poison_seed {
+            let call = self.calls.fetch_add(1, Ordering::Relaxed);
+            let hit = if self.once {
+                call == self.panics_after
+            } else {
+                call >= self.panics_after
+            };
+            if hit {
+                panic!("injected chaos panic (task call {call})");
+            }
+        }
+        execution_backend(SimBackend::Sliced).run_task(
+            point,
+            campaign_seed,
+            point_index,
+            first_trial,
+            count,
+            arena,
+        )
+    }
+}
+
+/// Tentpole assertion 2a: a single injected panic is contained, the job is
+/// retried from its last checkpoint, and the final report is byte-identical
+/// to a clean run — the panic costs one retry, not correctness.
+#[test]
+fn injected_panic_retries_from_checkpoint_and_stays_byte_identical() {
+    const POISON: u64 = 0xdead_0001;
+    let plan = tiny_plan(POISON);
+    let clean = run_campaign_with_backend(&plan, SimBackend::Sliced)
+        .expect("clean run")
+        .to_json();
+    let service = ServiceHandle::start(ServiceConfig {
+        workers: 1,
+        chunk_trials: 4,
+        max_job_retries: 2,
+        retry_backoff_ms: 1,
+        execution_backend: Some(PanicAfterN::leaked(POISON, 5, true)),
+        ..ServiceConfig::default()
+    });
+    let outcome = service.submit(plan, 0).expect("submit");
+    let report = service
+        .wait(outcome.job, Some(Duration::from_secs(120)))
+        .expect("job survives one injected panic via retry");
+    assert_eq!(report.as_str(), clean);
+    let stats = service.stats();
+    assert_eq!(stats.jobs_retried, 1);
+    assert_eq!(stats.jobs_completed, 1);
+    assert_eq!(stats.jobs_failed, 0);
+    service.shutdown();
+}
+
+/// Tentpole assertion 2b: a persistently panicking campaign exhausts its
+/// retry budget and fails *terminally and alone* — concurrent healthy jobs
+/// complete with correct bytes, and the pool keeps serving afterwards.
+#[test]
+fn persistent_panic_fails_only_its_own_job_and_pool_survives() {
+    const POISON: u64 = 0xdead_0002;
+    let healthy_a = tiny_plan(0x600d_0001);
+    let healthy_b = tiny_plan(0x600d_0002);
+    let clean_a = run_campaign_with_backend(&healthy_a, SimBackend::Sliced)
+        .expect("clean run")
+        .to_json();
+    let service = ServiceHandle::start(ServiceConfig {
+        workers: 2,
+        chunk_trials: 4,
+        max_job_retries: 1,
+        retry_backoff_ms: 1,
+        execution_backend: Some(PanicAfterN::leaked(POISON, 0, false)),
+        ..ServiceConfig::default()
+    });
+    let poison = service.submit(tiny_plan(POISON), 0).expect("submit poison");
+    let job_a = service.submit(healthy_a, 0).expect("submit healthy A");
+    let job_b = service.submit(healthy_b, 0).expect("submit healthy B");
+
+    let err = service
+        .wait(poison.job, Some(Duration::from_secs(120)))
+        .expect_err("poison job must fail terminally");
+    match err {
+        ServiceError::JobFailed(msg) => {
+            assert!(
+                msg.contains("campaign panicked"),
+                "failure carries the panic payload, got: {msg}"
+            );
+        }
+        other => panic!("expected JobFailed, got {other:?}"),
+    }
+    let report_a = service
+        .wait(job_a.job, Some(Duration::from_secs(120)))
+        .expect("healthy job A completes");
+    assert_eq!(report_a.as_str(), clean_a);
+    service
+        .wait(job_b.job, Some(Duration::from_secs(120)))
+        .expect("healthy job B completes");
+
+    // The pool still serves new work after containing the panics.
+    let after = service
+        .submit(tiny_plan(0x600d_0003), 0)
+        .expect("submit after panic");
+    service
+        .wait(after.job, Some(Duration::from_secs(120)))
+        .expect("post-panic submission completes");
+
+    let stats = service.stats();
+    assert_eq!(stats.jobs_failed, 1);
+    assert_eq!(stats.jobs_completed, 3);
+    assert_eq!(stats.jobs_retried, 1, "one retry, then the budget is spent");
+    service.shutdown();
+}
+
+/// Satellite (c): an empty journal file is a valid empty state.
+#[test]
+fn empty_journal_recovers_to_empty_state() {
+    let dir = state_dir("empty-journal");
+    std::fs::write(dir.join(JOURNAL_FILE), b"").expect("write empty journal");
+    let service = ServiceHandle::start(ServiceConfig {
+        workers: 1,
+        state_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let stats = service.stats();
+    assert_eq!(stats.journal_records_replayed, 0);
+    assert_eq!(stats.recovered_jobs, 0);
+    // Fresh ids start at 1.
+    let outcome = service.submit(tiny_plan(0xe321), 0).expect("submit");
+    assert_eq!(outcome.job, 1);
+    service
+        .wait(1, Some(Duration::from_secs(120)))
+        .expect("job completes");
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite (c): a torn final record (crash mid-append) is discarded; the
+/// intact prefix still recovers, the job recomputes byte-identically, and —
+/// because reopening truncates the tear — a *second* restart still replays
+/// everything, including records appended after the tear.
+#[test]
+fn torn_journal_tail_recovers_and_survives_a_second_restart() {
+    let plan = tiny_plan(0x7042);
+    let clean = run_campaign_with_backend(&plan, SimBackend::Sliced)
+        .expect("clean run")
+        .to_json();
+    let dir = state_dir("torn-tail");
+    {
+        let mut journal = Journal::open(dir.join(JOURNAL_FILE), 1).expect("open journal");
+        journal.append(&submit_record(&plan, 1)).expect("submit");
+    }
+    // Crash mid-append: a partial chunk record with no trailing newline.
+    let mut bytes = std::fs::read(dir.join(JOURNAL_FILE)).expect("read journal");
+    bytes.extend_from_slice(br#"{"type":"chunk","job":1,"trials_done":4,"outc"#);
+    std::fs::write(dir.join(JOURNAL_FILE), &bytes).expect("tear journal");
+
+    let service = ServiceHandle::start(ServiceConfig {
+        workers: 1,
+        chunk_trials: 4,
+        state_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let report = service
+        .wait(1, Some(Duration::from_secs(120)))
+        .expect("job recovered from the intact prefix");
+    assert_eq!(report.as_str(), clean);
+    let stats = service.stats();
+    assert_eq!(stats.recovered_jobs, 1);
+    assert_eq!(stats.resumed_chunks, 0, "the torn chunk never counts");
+    service.shutdown();
+
+    // Second restart: the tear was truncated at first reopen, so the
+    // records appended after it (chunks + done) replay cleanly and the
+    // finished job is restored straight from the store.
+    let service = ServiceHandle::start(ServiceConfig {
+        workers: 1,
+        state_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let report = service
+        .wait(1, Some(Duration::from_secs(120)))
+        .expect("done job restored on second restart");
+    assert_eq!(report.as_str(), clean);
+    let status = service.status(1).expect("status");
+    assert_eq!(status.state, "done");
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite (c): duplicate terminal transitions — the first one wins, the
+/// conflicting later record is discarded.
+#[test]
+fn duplicate_terminal_transitions_keep_the_first() {
+    let plan = tiny_plan(0xd0d0);
+    let dir = state_dir("dup-terminal");
+    {
+        let mut journal = Journal::open(dir.join(JOURNAL_FILE), 1).expect("open journal");
+        journal.append(&submit_record(&plan, 1)).expect("submit");
+        journal
+            .append(&JournalRecord::Start { job: 1 })
+            .expect("start");
+        journal
+            .append(&JournalRecord::Failed {
+                job: 1,
+                error: "first terminal wins".into(),
+            })
+            .expect("failed");
+        journal
+            .append(&JournalRecord::Done { job: 1 })
+            .expect("done");
+    }
+    let service = ServiceHandle::start(ServiceConfig {
+        workers: 1,
+        state_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let status = service.status(1).expect("status");
+    assert_eq!(status.state, "failed");
+    assert_eq!(status.error.as_deref(), Some("first terminal wins"));
+    match service.result(1) {
+        Err(ServiceError::JobFailed(msg)) => assert!(msg.contains("first terminal wins")),
+        other => panic!("expected JobFailed, got {other:?}"),
+    }
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite (c): a store file whose contents no longer match its digest
+/// filename is rejected on read; the `done` job demotes to in-flight and
+/// recomputes byte-identical bytes, healing the store.
+#[test]
+fn corrupt_store_entry_recomputes_byte_identical_report() {
+    let plan = tiny_plan(0xbadc);
+    let clean = run_campaign_with_backend(&plan, SimBackend::Sliced)
+        .expect("clean run")
+        .to_json();
+    let digest = plan.content_digest();
+    let dir = state_dir("corrupt-store");
+    {
+        let mut journal = Journal::open(dir.join(JOURNAL_FILE), 1).expect("open journal");
+        journal.append(&submit_record(&plan, 1)).expect("submit");
+        journal
+            .append(&JournalRecord::Start { job: 1 })
+            .expect("start");
+        journal
+            .append(&JournalRecord::Done { job: 1 })
+            .expect("done");
+    }
+    // The journal says done, but the stored report was flipped: the header
+    // hash no longer matches the body.
+    let reports = dir.join("reports");
+    std::fs::create_dir_all(&reports).expect("create reports dir");
+    std::fs::write(
+        reports.join(format!("{digest}.json")),
+        format!("{}\n{{\"tampered\":true}}", "0".repeat(64)),
+    )
+    .expect("plant corrupt store file");
+
+    let service = ServiceHandle::start(ServiceConfig {
+        workers: 1,
+        chunk_trials: 4,
+        state_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let report = service
+        .wait(1, Some(Duration::from_secs(120)))
+        .expect("job recomputes after store corruption");
+    assert_eq!(
+        report.as_str(),
+        clean,
+        "recomputation matches the clean run"
+    );
+    assert_eq!(store_body(&dir, &digest), clean, "the store is healed");
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Spawns the real daemon binary over `dir`, scraping the OS-assigned port
+/// from its announcement line.
+fn spawn_daemon_process(dir: &Path) -> (std::process::Child, String) {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_nvpim-serviced"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--chunk-trials",
+            "4",
+            "--state-dir",
+        ])
+        .arg(dir)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn nvpim-serviced");
+    let stdout = child.stdout.take().expect("daemon stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("read announcement");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("announcement carries the address")
+        .to_string();
+    (child, addr)
+}
+
+/// Tentpole assertion 4: SIGKILL the real daemon mid-campaign, restart it
+/// over the same state directory, and the recovered report bytes equal a
+/// clean in-process baseline; the job reaches `done` and nothing is
+/// orphaned in the queue. (The kill races the campaign by design — both
+/// outcomes, killed-in-flight and killed-after-done, must recover.)
+#[test]
+fn sigkill_and_restart_recovers_byte_identical_report() {
+    let plan = SweepPlan::quick(); // 72 trials, 18 chunks of 4
+    let clean = run_campaign_with_backend(&plan, SimBackend::Sliced)
+        .expect("clean run")
+        .to_json();
+    let digest = plan.content_digest();
+    let plan_value: Value = serde_json::from_str(&plan.canonical_json()).expect("plan JSON parses");
+    let dir = state_dir("sigkill");
+
+    let (mut child, addr) = spawn_daemon_process(&dir);
+    let mut client = Client::connect(&addr).expect("connect to first daemon");
+    let accepted = client
+        .request(&request(
+            "submit",
+            vec![("plan".to_string(), plan_value.clone())],
+        ))
+        .expect("submit");
+    assert_eq!(accepted.get("ok").and_then(Value::as_bool), Some(true));
+    let job = accepted.get("job").and_then(Value::as_u64).expect("job id");
+    // The acceptance response means the submit record is journaled and
+    // fsync'd (fsync_every defaults to 1) — SIGKILL now, wherever the
+    // campaign happens to be.
+    child.kill().expect("SIGKILL the daemon");
+    let _ = child.wait();
+
+    let (mut child2, addr2) = spawn_daemon_process(&dir);
+    let mut client2 = Client::connect(&addr2).expect("connect to restarted daemon");
+    let result = client2
+        .request(&request(
+            "result",
+            vec![
+                ("job".to_string(), Value::UInt(job)),
+                ("wait".to_string(), Value::Bool(true)),
+                ("timeout_ms".to_string(), Value::UInt(120_000)),
+            ],
+        ))
+        .expect("result after recovery");
+    assert_eq!(
+        result.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "recovered job must complete: {result:?}"
+    );
+    assert_eq!(
+        store_body(&dir, &digest),
+        clean,
+        "recovered bytes match the clean baseline"
+    );
+
+    // No orphans: the job is terminal and the queue is drained.
+    let stats = client2.request(&request("stats", vec![])).expect("stats");
+    let stats = stats.get("stats").expect("stats payload");
+    assert_eq!(stats.get("queue_depth").and_then(Value::as_u64), Some(0));
+    assert_eq!(
+        stats.get("recovered_jobs").and_then(Value::as_u64),
+        Some(1),
+        "the killed daemon's job was recovered from the journal"
+    );
+    let status = client2
+        .request(&request(
+            "status",
+            vec![("job".to_string(), Value::UInt(job))],
+        ))
+        .expect("status");
+    assert_eq!(
+        status
+            .get("status")
+            .and_then(|s| s.get("state"))
+            .and_then(Value::as_str),
+        Some("done")
+    );
+
+    // A resubmission of the same plan now hits the durable report store.
+    let resubmit = client2
+        .request(&request("submit", vec![("plan".to_string(), plan_value)]))
+        .expect("resubmit");
+    assert_eq!(resubmit.get("cached").and_then(Value::as_bool), Some(true));
+
+    let shutdown = client2
+        .request(&request("shutdown", vec![]))
+        .expect("shutdown");
+    assert_eq!(shutdown.get("ok").and_then(Value::as_bool), Some(true));
+    let _ = child2.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

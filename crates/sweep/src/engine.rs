@@ -900,6 +900,20 @@ impl CampaignProgress {
     }
 }
 
+/// What [`PreparedCampaign::run_chunked_resumable`]'s observer sees after
+/// each chunk: cumulative progress plus the chunk's newly computed
+/// outcomes, in trial order. Persisting every `new_outcomes` slice (in
+/// order) yields a checkpoint from which a restarted campaign resumes
+/// without recomputing — the spliced outcome list aggregates into
+/// byte-identical report JSON.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkCheckpoint<'a> {
+    /// Cumulative progress, including any resumed prefix.
+    pub progress: CampaignProgress,
+    /// The outcomes this chunk just computed (empty for none).
+    pub new_outcomes: &'a [TrialOutcome],
+}
+
 /// A validated plan with every point resolved and every schedule compiled,
 /// ready to run trials — possibly in observable, cancellable chunks.
 ///
@@ -1257,16 +1271,56 @@ impl PreparedCampaign {
         chunk_trials: usize,
         mut observer: impl FnMut(CampaignProgress) -> CampaignControl,
     ) -> Result<SweepReport, SweepError> {
+        self.run_chunked_resumable(backend, chunk_trials, Vec::new(), |checkpoint| {
+            observer(checkpoint.progress)
+        })
+    }
+
+    /// [`Self::run_chunked_with`] with a **chunk checkpoint surface**: the
+    /// observer additionally receives the outcomes newly completed in each
+    /// chunk, and a previously checkpointed outcome prefix can be injected
+    /// via `resume` so a restarted campaign re-executes only the trials
+    /// after its last checkpoint.
+    ///
+    /// Resume is legal because every trial outcome is a pure function of
+    /// `(point, campaign seed, trial index)` and the outcome list is cut
+    /// from one plan-ordered trial list: a run resumed from any prefix of
+    /// that list aggregates into a report **byte-identical** to an
+    /// uninterrupted run (the chunk-invariance guarantee, asserted by the
+    /// service's chaos suite).
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::BadCheckpoint`] when `resume` holds more outcomes than
+    /// the campaign has trials; otherwise as [`Self::run_chunked`].
+    pub fn run_chunked_resumable(
+        &self,
+        backend: &dyn ExecutionBackend,
+        chunk_trials: usize,
+        resume: Vec<TrialOutcome>,
+        mut observer: impl FnMut(ChunkCheckpoint<'_>) -> CampaignControl,
+    ) -> Result<SweepReport, SweepError> {
         let chunk_trials = chunk_trials.max(1);
         let trials: Vec<(usize, u64)> = (0..self.points.len())
             .flat_map(|pi| (0..self.plan.seeds_per_point).map(move |ti| (pi, ti)))
             .collect();
         let trials_total = trials.len() as u64;
+        if resume.len() > trials.len() {
+            return Err(SweepError::BadCheckpoint(format!(
+                "checkpoint carries {} outcomes but the campaign has only {} trials",
+                resume.len(),
+                trials.len()
+            )));
+        }
         let campaign_seed = self.plan.campaign_seed;
         let points_ref = &self.points;
 
-        let mut outcomes: Vec<TrialOutcome> = Vec::with_capacity(trials.len());
-        for chunk in trials.chunks(chunk_trials) {
+        // Skip the checkpointed prefix: those trials' outcomes are already
+        // known, and determinism makes the spliced list indistinguishable
+        // from one computed in a single run.
+        let mut outcomes: Vec<TrialOutcome> = resume;
+        outcomes.reserve(trials.len() - outcomes.len());
+        for chunk in trials[outcomes.len()..].chunks(chunk_trials) {
             // Group runs of consecutive trials of one point into tasks of
             // the backend's width (1 for scalar, up to 64 lanes for sliced
             // points whose scheme declares the capability). Grouping is
@@ -1315,17 +1369,21 @@ impl PreparedCampaign {
                     },
                 )
                 .collect();
+            let chunk_start = outcomes.len();
             for task_outcomes in chunk_outcomes {
                 match task_outcomes {
                     TaskOutcomes::Single(outcome) => outcomes.push(outcome),
                     TaskOutcomes::Batch(batch) => outcomes.extend(batch),
                 }
             }
-            let progress = CampaignProgress {
-                trials_done: outcomes.len() as u64,
-                trials_total,
+            let checkpoint = ChunkCheckpoint {
+                progress: CampaignProgress {
+                    trials_done: outcomes.len() as u64,
+                    trials_total,
+                },
+                new_outcomes: &outcomes[chunk_start..],
             };
-            if observer(progress) == CampaignControl::Cancel {
+            if observer(checkpoint) == CampaignControl::Cancel {
                 return Err(SweepError::Cancelled);
             }
         }

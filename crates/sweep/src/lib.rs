@@ -47,8 +47,8 @@ pub mod report;
 pub use engine::{
     derive_trial_seed, execution_backend, prepare_campaign, prepare_campaign_with_telemetry,
     run_campaign, run_campaign_with_backend, trial_stream_seeds, CampaignControl, CampaignProgress,
-    CompiledKernel, ExecutionBackend, PointContext, PreparedCampaign, ScalarBackend, ScheduleCache,
-    SlicedBackend, TrialArena, TrialHarness,
+    ChunkCheckpoint, CompiledKernel, ExecutionBackend, PointContext, PreparedCampaign,
+    ScalarBackend, ScheduleCache, SlicedBackend, TaskOutcomes, TrialArena, TrialHarness,
 };
 pub use nvpim_core::config::SimBackend;
 pub use nvpim_telemetry::{Counter as TelemetryCounter, Phase, Telemetry, TelemetrySnapshot};
@@ -80,6 +80,9 @@ pub enum SweepError {
     Parse(String),
     /// A chunked campaign was cancelled by its progress observer.
     Cancelled,
+    /// A resume checkpoint is inconsistent with the campaign it claims to
+    /// checkpoint (e.g. it carries more outcomes than the plan has trials).
+    BadCheckpoint(String),
 }
 
 impl std::fmt::Display for SweepError {
@@ -102,6 +105,9 @@ impl std::fmt::Display for SweepError {
             ),
             SweepError::Parse(detail) => write!(f, "invalid sweep plan encoding — {detail}"),
             SweepError::Cancelled => write!(f, "campaign cancelled by its observer"),
+            SweepError::BadCheckpoint(detail) => {
+                write!(f, "invalid resume checkpoint — {detail}")
+            }
         }
     }
 }

@@ -26,6 +26,38 @@ pub struct TrialOutcome {
 }
 
 impl TrialOutcome {
+    /// Decodes one outcome from its serialized JSON shape (the inverse of
+    /// the derived `Serialize`). Used by the service's write-ahead journal
+    /// to restore chunk checkpoints across daemon restarts.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description naming the missing or mistyped field.
+    pub fn from_json_value(value: &Value) -> Result<Self, String> {
+        let num = |key: &str| {
+            value.get(key).and_then(Value::as_u64).ok_or_else(|| {
+                format!("trial outcome field `{key}` must be a non-negative integer")
+            })
+        };
+        let exec_error = match value.get("exec_error") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or("trial outcome field `exec_error` must be a string or null")?
+                    .to_string(),
+            ),
+        };
+        Ok(TrialOutcome {
+            faults_injected: num("faults_injected")?,
+            checks: num("checks")?,
+            errors_detected: num("errors_detected")?,
+            corrections_written_back: num("corrections_written_back")?,
+            uncorrectable: num("uncorrectable")?,
+            wrong_output_bits: num("wrong_output_bits")?,
+            exec_error,
+        })
+    }
+
     /// Whether the final output was wrong (a failed trial).
     pub fn failed(&self) -> bool {
         self.wrong_output_bits > 0

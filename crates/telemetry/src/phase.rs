@@ -99,10 +99,19 @@ pub enum Counter {
     ScheduleCompiles,
     /// Schedule-cache hits.
     ScheduleCacheHits,
+    /// Job attempts retried after a contained panic (service layer).
+    JobRetries,
+    /// Terminal jobs restored from the durable journal on daemon startup.
+    RecoveredJobs,
+    /// Checkpointed chunks whose outcomes were resumed (not recomputed)
+    /// when an in-flight campaign was restarted from the journal.
+    ResumedChunks,
+    /// Journal records successfully replayed on daemon startup.
+    JournalRecordsReplayed,
 }
 
 /// Number of counters in the taxonomy (array sizes derive from this).
-pub const COUNTER_COUNT: usize = 6;
+pub const COUNTER_COUNT: usize = 10;
 
 impl Counter {
     /// Every counter, in stable exposition order.
@@ -113,6 +122,10 @@ impl Counter {
         Counter::TrialsExecuted,
         Counter::ScheduleCompiles,
         Counter::ScheduleCacheHits,
+        Counter::JobRetries,
+        Counter::RecoveredJobs,
+        Counter::ResumedChunks,
+        Counter::JournalRecordsReplayed,
     ];
 
     /// Stable snake_case name used in exposition output.
@@ -125,6 +138,10 @@ impl Counter {
             Counter::TrialsExecuted => "trials_executed",
             Counter::ScheduleCompiles => "schedule_compiles",
             Counter::ScheduleCacheHits => "schedule_cache_hits",
+            Counter::JobRetries => "job_retries",
+            Counter::RecoveredJobs => "recovered_jobs",
+            Counter::ResumedChunks => "resumed_chunks",
+            Counter::JournalRecordsReplayed => "journal_records_replayed",
         }
     }
 
