@@ -13,6 +13,9 @@
 //!                   [--backend scalar|sliced]
 //!                   [--estimator exact|stratified]
 //!                   [--timings]                                    # no daemon
+//! nvpim-cli run     --fleet HOST:PORT[,HOST:PORT...]               # sharded
+//!                   [--shards N] [--chunk-trials N] [--heartbeat-ms N]
+//!                   [--max-reassignments N] (--plan ... | --quick | --paper-scale)
 //! nvpim-cli schemes [--json]        # the protection-scheme registry
 //! ```
 //!
@@ -24,7 +27,16 @@
 //! jittered exponential backoff and resubmit — safe because submission is
 //! idempotent, keyed by the plan's content digest, so the restarted daemon
 //! coalesces or serves the cached report instead of re-running the
-//! campaign twice.
+//! campaign twice. A daemon answering `overloaded` (bounded queue full)
+//! also lands in the retry loop: the structured error carries a
+//! `retry_after_ms` hint derived from observed run latency and queue
+//! depth, and the client backs off for at least that long before
+//! resubmitting.
+//!
+//! `run --fleet` shards the campaign across several daemons through the
+//! fleet coordinator (see `docs/robustness.md`); the merged report on
+//! stdout is byte-identical to a local `run` of the same plan even when
+//! workers die, stall, or drain mid-campaign.
 //!
 //! `submit --wait` streams progress to stderr and prints the final report
 //! JSON (pretty, byte-identical to a direct `run_campaign` of the same
@@ -39,6 +51,7 @@
 //! zero CLI changes.
 
 use nvpim::service::client::{request, Client};
+use nvpim::service::coordinator::{run_fleet, FleetConfig};
 use nvpim::service::flags::{has_flag, value_of};
 use nvpim::sweep::{prepare_campaign_with_telemetry, run_campaign_with_backend, ScheduleCache};
 use nvpim::telemetry::{Counter, Phase, Telemetry};
@@ -129,26 +142,65 @@ impl Conn {
     /// Runs `attempt` with bounded retry: each transport failure reconnects
     /// after a jittered exponential backoff, up to `--retries` extra tries.
     /// Protocol-level errors (`"ok": false`) are not retried — `check_ok`
-    /// inside the attempt exits directly.
-    fn with_retry<T>(&self, what: &str, attempt: impl Fn(&Self) -> std::io::Result<T>) -> T {
+    /// inside the attempt exits directly — with one exception: an attempt
+    /// can return a retryable [`AttemptError`] carrying the server's
+    /// `retry_after_ms` hint (the `overloaded` backpressure reply), which
+    /// becomes the floor for that retry's delay.
+    fn with_retry<T>(&self, what: &str, attempt: impl Fn(&Self) -> Result<T, AttemptError>) -> T {
         let mut tries = 0u32;
         loop {
             match attempt(self) {
                 Ok(value) => return value,
-                Err(err) if tries < self.retries => {
+                Err(failure) if tries < self.retries => {
                     tries += 1;
-                    let delay = jittered_backoff(self.backoff_ms, tries);
+                    let delay = jittered_backoff(self.backoff_ms, tries)
+                        .max(failure.min_delay.unwrap_or_default());
                     eprintln!(
-                        "nvpim-cli: {what} failed ({err}); retry {tries}/{} in {}ms",
+                        "nvpim-cli: {what} failed ({}); retry {tries}/{} in {}ms",
+                        failure.err,
                         self.retries,
                         delay.as_millis()
                     );
                     std::thread::sleep(delay);
                 }
-                Err(err) => die(format!("{what} (after {tries} retries): {err}")),
+                Err(failure) => die(format!("{what} (after {tries} retries): {}", failure.err)),
             }
         }
     }
+}
+
+/// A failed attempt inside [`Conn::with_retry`]: the error plus an
+/// optional server-provided minimum back-off (from `retry_after_ms`).
+struct AttemptError {
+    err: std::io::Error,
+    min_delay: Option<std::time::Duration>,
+}
+
+impl From<std::io::Error> for AttemptError {
+    fn from(err: std::io::Error) -> Self {
+        Self {
+            err,
+            min_delay: None,
+        }
+    }
+}
+
+/// Classifies an `overloaded` backpressure reply: returns the retry as an
+/// [`AttemptError`] honoring the server's `retry_after_ms` hint, `None`
+/// for every other response (success or a fatal protocol error).
+fn overloaded_retry(response: &Value) -> Option<AttemptError> {
+    if response.get("ok").and_then(Value::as_bool) == Some(true) {
+        return None;
+    }
+    let error = response.get("error")?;
+    if error.get("code").and_then(Value::as_str) != Some("overloaded") {
+        return None;
+    }
+    let hint_ms = error.get("retry_after_ms").and_then(Value::as_u64)?;
+    Some(AttemptError {
+        err: std::io::Error::other(format!("server overloaded; retry in ~{hint_ms}ms")),
+        min_delay: Some(std::time::Duration::from_millis(hint_ms)),
+    })
 }
 
 /// Exponential backoff with jitter: the delay for retry `attempt` is drawn
@@ -172,7 +224,7 @@ fn jittered_backoff(base_ms: u64, attempt: u32) -> std::time::Duration {
 
 fn connect(args: &[String]) -> Client {
     let conn = Conn::from_args(args);
-    conn.with_retry("connecting", Conn::connect_once)
+    conn.with_retry("connecting", |conn| Ok(conn.connect_once()?))
 }
 
 fn job_arg(args: &[String]) -> u64 {
@@ -250,8 +302,13 @@ fn cmd_submit(args: &[String]) {
             fields.push(("wait".to_string(), Value::Bool(true)));
         }
         client.send(&request("submit", fields))?;
-        // First line: acceptance (or error).
+        // First line: acceptance (or error). Backpressure (`overloaded`)
+        // re-enters the retry loop honoring the server's hint; any other
+        // protocol error is fatal.
         let accepted = must_frame(client.recv()?)?;
+        if let Some(retry) = overloaded_retry(&accepted) {
+            return Err(retry);
+        }
         check_ok(&accepted);
         if !wait {
             print_pretty(&accepted);
@@ -333,6 +390,53 @@ fn cmd_run(args: &[String]) {
         plan.estimator = estimator;
     }
     plan.validate().unwrap_or_else(|e| die(e));
+    // `--fleet A,B,...` shards the campaign across several daemons via
+    // the coordinator. The merged report is byte-identical to the local
+    // path below — sharding and worker failure never change report
+    // bytes — so the same stdout contract holds. Workers use their own
+    // configured backend (also byte-identical); `--backend` and
+    // `--timings` are local-run flags.
+    if let Some(fleet) = value_of(args, "--fleet") {
+        let numeric = |flag: &str, default: u64| -> u64 {
+            value_of(args, flag)
+                .map(|t| {
+                    t.parse()
+                        .unwrap_or_else(|_| die(format!("{flag} expects a number")))
+                })
+                .unwrap_or(default)
+        };
+        let defaults = FleetConfig::default();
+        let cfg = FleetConfig {
+            workers: fleet
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect(),
+            shards: numeric("--shards", defaults.shards as u64) as usize,
+            chunk_trials: numeric("--chunk-trials", defaults.chunk_trials as u64) as usize,
+            heartbeat_timeout_ms: numeric("--heartbeat-ms", defaults.heartbeat_timeout_ms),
+            connect_timeout_ms: numeric("--connect-timeout-ms", defaults.connect_timeout_ms),
+            max_shard_reassignments: numeric(
+                "--max-reassignments",
+                u64::from(defaults.max_shard_reassignments),
+            ) as u32,
+            retry_backoff_ms: numeric("--retry-backoff-ms", defaults.retry_backoff_ms),
+        };
+        let telemetry = Telemetry::new();
+        let outcome = run_fleet(&plan, &cfg, &telemetry).unwrap_or_else(|e| die(e));
+        println!("{}", outcome.report.to_json());
+        eprintln!(
+            "fleet: {} shard(s) across {} worker(s); {} reassigned, {} eviction(s), \
+             {} heartbeat miss(es)",
+            outcome.stats.shards_total,
+            outcome.stats.workers.len(),
+            outcome.stats.shards_reassigned,
+            outcome.stats.worker_evictions,
+            outcome.stats.heartbeat_misses,
+        );
+        return;
+    }
     // Reports are byte-identical across backends; `--backend scalar` is
     // the reference path for cross-checking the sliced default.
     let backend: SimBackend = match value_of(args, "--backend") {

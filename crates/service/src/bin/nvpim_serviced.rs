@@ -4,6 +4,7 @@
 //! nvpim-serviced [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--chunk-trials N]
 //!                [--backend scalar|sliced] [--log-json PATH] [--state-dir DIR]
 //!                [--max-job-retries N] [--retry-backoff-ms N] [--journal-fsync-every N]
+//!                [--shutdown-grace-ms N]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7171`; use port `0` for an
@@ -35,12 +36,16 @@ fn main() {
             "nvpim-serviced [--addr HOST:PORT] [--workers N] [--queue-capacity N] \
              [--chunk-trials N] [--backend scalar|sliced] [--log-json PATH] \
              [--state-dir DIR] [--max-job-retries N] [--retry-backoff-ms N] \
-             [--journal-fsync-every N]\n\n  \
+             [--journal-fsync-every N] [--shutdown-grace-ms N]\n\n  \
              --log-json PATH         append one NDJSON event per job transition/chunk to PATH\n  \
              --state-dir DIR         durable journal + report store; recover jobs on restart\n  \
              --max-job-retries N     re-run a panicking campaign up to N times (default 2)\n  \
              --retry-backoff-ms N    base delay before a retry, doubled each attempt (default 50)\n  \
-             --journal-fsync-every N fsync the journal every N records; 0 = never (default 1)"
+             --journal-fsync-every N fsync the journal every N records; 0 = never (default 1)\n  \
+             --shutdown-grace-ms N   graceful drain: shutdown checkpoints in-flight jobs at a\n                          \
+             chunk boundary and exits within ~N ms, leaving queued and\n                          \
+             in-flight jobs in the journal for restart resume (default:\n                          \
+             run every queued job to completion before exiting)"
         );
         return;
     }
@@ -77,6 +82,12 @@ fn main() {
             "--journal-fsync-every",
             defaults.journal_fsync_records as usize,
         ) as u64,
+        shutdown_grace_ms: value_of(&args, "--shutdown-grace-ms").map(|text| {
+            text.parse().unwrap_or_else(|_| {
+                eprintln!("nvpim-serviced: --shutdown-grace-ms expects a number, got `{text}`");
+                std::process::exit(2);
+            })
+        }),
         ..defaults
     };
     let service = ServiceHandle::start(cfg);

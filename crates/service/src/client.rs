@@ -23,6 +23,12 @@ pub struct Client {
     /// Received bytes not yet consumed as a complete frame: short reads
     /// and timeouts leave their partial data here instead of dropping it.
     buf: Vec<u8>,
+    /// Lifetime bytes written to the socket (per-worker transfer
+    /// accounting for fleet coordinators, in the style of per-party
+    /// channel statistics).
+    bytes_sent: u64,
+    /// Lifetime bytes read off the socket.
+    bytes_received: u64,
 }
 
 impl Client {
@@ -37,6 +43,8 @@ impl Client {
         Ok(Self {
             stream,
             buf: Vec::new(),
+            bytes_sent: 0,
+            bytes_received: 0,
         })
     }
 
@@ -83,7 +91,19 @@ impl Client {
         Ok(Self {
             stream,
             buf: Vec::new(),
+            bytes_sent: 0,
+            bytes_received: 0,
         })
+    }
+
+    /// Lifetime bytes this client has written to the socket.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Lifetime bytes this client has read off the socket.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
     }
 
     /// Sends one request line.
@@ -122,7 +142,10 @@ impl Client {
                         "connection closed mid-frame",
                     ))
                 }
-                Ok(n) => written += n,
+                Ok(n) => {
+                    written += n;
+                    self.bytes_sent += n as u64;
+                }
                 Err(err) if err.kind() == ErrorKind::Interrupted => continue,
                 Err(err) => return Err(err),
             }
@@ -167,7 +190,10 @@ impl Client {
                         "connection closed mid-frame",
                     ));
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    self.bytes_received += n as u64;
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
                 Err(err) if err.kind() == ErrorKind::Interrupted => continue,
                 Err(err) => return Err(err),
             }

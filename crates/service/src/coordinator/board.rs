@@ -1,0 +1,410 @@
+//! The shard board: the coordinator's single source of truth for which
+//! trial ranges are pending, running, finished, or abandoned.
+//!
+//! Worker agents *claim* pending shards, *complete* them with their full
+//! outcome list, or *requeue* them (carrying the outcome prefix already
+//! streamed, so the next owner resumes instead of recomputing). The board
+//! is a plain `Mutex` + `Condvar` pair: claims block until a shard is
+//! schedulable, a backoff deadline passes, or the fleet aborts.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use nvpim_sweep::TrialOutcome;
+
+/// One contiguous shard of the flat plan-ordered trial list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Shard index (its position in [`nvpim_sweep::shard_ranges`] order —
+    /// also the splice position at merge time).
+    pub index: usize,
+    /// First trial (inclusive) in the flat trial list.
+    pub start: u64,
+    /// One past the last trial of the shard.
+    pub end: u64,
+}
+
+impl ShardSpec {
+    /// Number of trials in the shard (`shard_ranges` never produces an
+    /// empty one).
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// A claimed shard: the range plus the outcome prefix earlier attempts
+/// already computed (possibly empty) and how many times the shard has
+/// been re-assigned so far.
+#[derive(Debug)]
+pub(crate) struct Claim {
+    pub spec: ShardSpec,
+    pub resume: Vec<TrialOutcome>,
+    pub attempts: u32,
+}
+
+/// Scheduling state of one shard.
+enum Slot {
+    /// Waiting for a worker. Carries the durable outcome prefix so a
+    /// re-assignment never recomputes checkpointed chunks, and a
+    /// `not_before` deadline implementing jittered re-try backoff.
+    Pending {
+        resume: Vec<TrialOutcome>,
+        attempts: u32,
+        not_before: Instant,
+    },
+    /// Claimed by a live worker agent.
+    Running,
+    /// All `end - start` outcomes collected.
+    Done(Vec<TrialOutcome>),
+}
+
+/// Why the fleet gave up before every shard completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Abort {
+    /// One shard exceeded its re-assignment budget.
+    ShardExhausted {
+        shard: usize,
+        attempts: u32,
+        last_error: String,
+    },
+    /// Every worker died or drained while shards were still unfinished.
+    WorkersExhausted { unfinished: usize },
+}
+
+struct State {
+    slots: Vec<Slot>,
+    /// Worker agents still scheduling; when this reaches zero with
+    /// unfinished shards the fleet aborts rather than hanging.
+    live_workers: usize,
+    /// Lifetime count of shard re-assignments (requeues).
+    reassigned: u64,
+    abort: Option<Abort>,
+}
+
+pub(crate) struct Board {
+    specs: Vec<ShardSpec>,
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+impl Board {
+    pub fn new(specs: Vec<ShardSpec>, workers: usize) -> Self {
+        let now = Instant::now();
+        let slots = specs
+            .iter()
+            .map(|_| Slot::Pending {
+                resume: Vec::new(),
+                attempts: 0,
+                not_before: now,
+            })
+            .collect();
+        Self {
+            specs,
+            state: Mutex::new(State {
+                slots,
+                live_workers: workers,
+                reassigned: 0,
+                abort: None,
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a shard is claimable and claims it, or returns `None`
+    /// when no work will ever be claimable again (all shards done, or the
+    /// fleet aborted). Shards whose backoff deadline is in the future are
+    /// waited out, not skipped forever.
+    pub fn claim(&self) -> Option<Claim> {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if state.abort.is_some() {
+                return None;
+            }
+            if state.slots.iter().all(|slot| matches!(slot, Slot::Done(_))) {
+                return None;
+            }
+            let now = Instant::now();
+            let mut soonest: Option<Instant> = None;
+            let mut claimable = None;
+            for (index, slot) in state.slots.iter().enumerate() {
+                if let Slot::Pending { not_before, .. } = slot {
+                    if *not_before <= now {
+                        claimable = Some(index);
+                        break;
+                    }
+                    soonest = Some(match soonest {
+                        None => *not_before,
+                        Some(t) => t.min(*not_before),
+                    });
+                }
+            }
+            if let Some(index) = claimable {
+                let slot = std::mem::replace(&mut state.slots[index], Slot::Running);
+                let Slot::Pending {
+                    resume, attempts, ..
+                } = slot
+                else {
+                    unreachable!("claimable slot is pending by construction");
+                };
+                return Some(Claim {
+                    spec: self.specs[index],
+                    resume,
+                    attempts,
+                });
+            }
+            // Nothing claimable right now: either every unfinished shard
+            // is running elsewhere (it may come back if its worker dies)
+            // or the soonest backoff deadline is in the future.
+            state = match soonest {
+                Some(deadline) => {
+                    let timeout = deadline
+                        .saturating_duration_since(now)
+                        .max(Duration::from_millis(1));
+                    self.wake
+                        .wait_timeout(state, timeout)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .0
+                }
+                None => self
+                    .wake
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            };
+        }
+    }
+
+    /// Records a finished shard.
+    pub fn complete(&self, index: usize, outcomes: Vec<TrialOutcome>) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.slots[index] = Slot::Done(outcomes);
+        drop(state);
+        self.wake.notify_all();
+    }
+
+    /// Returns a claimed shard to the pending pool so another worker can
+    /// pick it up, keeping the durable outcome prefix. `attempts` is the
+    /// shard's new attempt count; exceeding `max_attempts` aborts the
+    /// whole fleet (the shard is failing everywhere). Every successful
+    /// requeue counts as one re-assignment; returns whether the shard was
+    /// requeued (`false` = budget exhausted, fleet aborting).
+    pub fn requeue(
+        &self,
+        index: usize,
+        resume: Vec<TrialOutcome>,
+        attempts: u32,
+        max_attempts: u32,
+        backoff: Duration,
+        last_error: &str,
+    ) -> bool {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let requeued = if attempts > max_attempts {
+            if state.abort.is_none() {
+                state.abort = Some(Abort::ShardExhausted {
+                    shard: index,
+                    attempts,
+                    last_error: last_error.to_string(),
+                });
+            }
+            false
+        } else {
+            state.slots[index] = Slot::Pending {
+                resume,
+                attempts,
+                not_before: Instant::now() + backoff,
+            };
+            state.reassigned += 1;
+            true
+        };
+        drop(state);
+        self.wake.notify_all();
+        requeued
+    }
+
+    /// A worker agent is leaving the pool (dead, drained, or simply out
+    /// of work). If it was the last one and shards are still unfinished,
+    /// the fleet aborts instead of waiting forever.
+    pub fn worker_gone(&self) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.live_workers = state.live_workers.saturating_sub(1);
+        if state.live_workers == 0 && state.abort.is_none() {
+            let unfinished = state
+                .slots
+                .iter()
+                .filter(|slot| !matches!(slot, Slot::Done(_)))
+                .count();
+            if unfinished > 0 {
+                state.abort = Some(Abort::WorkersExhausted { unfinished });
+            }
+        }
+        drop(state);
+        self.wake.notify_all();
+    }
+
+    /// Lifetime re-assignment count.
+    pub fn reassigned(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .reassigned
+    }
+
+    /// Consumes the board: every shard's outcomes in shard order, or the
+    /// abort reason.
+    pub fn finish(self) -> Result<Vec<Vec<TrialOutcome>>, Abort> {
+        let state = self
+            .state
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(abort) = state.abort {
+            return Err(abort);
+        }
+        let mut shards = Vec::with_capacity(state.slots.len());
+        for (index, slot) in state.slots.into_iter().enumerate() {
+            match slot {
+                Slot::Done(outcomes) => shards.push(outcomes),
+                _ => {
+                    // Workers only exit after `claim` returns `None`,
+                    // which requires all-done or an abort.
+                    return Err(Abort::WorkersExhausted {
+                        unfinished: index + 1,
+                    });
+                }
+            }
+        }
+        Ok(shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(ranges: &[(u64, u64)]) -> Vec<ShardSpec> {
+        ranges
+            .iter()
+            .enumerate()
+            .map(|(index, &(start, end))| ShardSpec { index, start, end })
+            .collect()
+    }
+
+    fn outcome() -> TrialOutcome {
+        TrialOutcome {
+            faults_injected: 1,
+            checks: 2,
+            errors_detected: 0,
+            corrections_written_back: 0,
+            uncorrectable: 0,
+            wrong_output_bits: 0,
+            exec_error: None,
+        }
+    }
+
+    #[test]
+    fn claims_serve_shards_once_and_finish_in_order() {
+        let board = Board::new(specs(&[(0, 3), (3, 5)]), 1);
+        let first = board.claim().expect("first shard claimable");
+        assert_eq!(first.spec.start, 0);
+        assert_eq!(first.attempts, 0);
+        let second = board.claim().expect("second shard claimable");
+        assert_eq!(second.spec.start, 3);
+        board.complete(second.spec.index, vec![outcome(), outcome()]);
+        board.complete(first.spec.index, vec![outcome(); 3]);
+        assert!(board.claim().is_none(), "no third shard");
+        let shards = board.finish().expect("no abort");
+        assert_eq!(shards[0].len(), 3);
+        assert_eq!(shards[1].len(), 2);
+    }
+
+    #[test]
+    fn requeue_preserves_the_resume_prefix_and_counts_reassignments() {
+        let board = Board::new(specs(&[(0, 4)]), 2);
+        let claim = board.claim().expect("claimable");
+        board.requeue(
+            claim.spec.index,
+            vec![outcome(), outcome()],
+            claim.attempts + 1,
+            8,
+            Duration::ZERO,
+            "worker died",
+        );
+        assert_eq!(board.reassigned(), 1);
+        let again = board.claim().expect("requeued shard claimable");
+        assert_eq!(again.resume.len(), 2, "durable prefix survives hand-off");
+        assert_eq!(again.attempts, 1);
+        board.complete(0, vec![outcome(); 4]);
+        assert!(board.finish().is_ok());
+    }
+
+    #[test]
+    fn exceeding_the_reassignment_budget_aborts_the_fleet() {
+        let board = Board::new(specs(&[(0, 2)]), 1);
+        let claim = board.claim().expect("claimable");
+        board.requeue(
+            claim.spec.index,
+            Vec::new(),
+            3,
+            2,
+            Duration::ZERO,
+            "persistent failure",
+        );
+        assert!(board.claim().is_none(), "abort stops scheduling");
+        match board.finish() {
+            Err(Abort::ShardExhausted {
+                shard,
+                attempts,
+                last_error,
+            }) => {
+                assert_eq!(shard, 0);
+                assert_eq!(attempts, 3);
+                assert_eq!(last_error, "persistent failure");
+            }
+            other => panic!("expected shard exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn last_worker_leaving_with_unfinished_shards_aborts() {
+        let board = Board::new(specs(&[(0, 2), (2, 4)]), 2);
+        board.complete(0, vec![outcome(); 2]);
+        board.worker_gone();
+        board.worker_gone();
+        assert!(board.claim().is_none());
+        match board.finish() {
+            Err(Abort::WorkersExhausted { unfinished }) => assert_eq!(unfinished, 1),
+            other => panic!("expected worker exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_deadline_delays_but_does_not_drop_a_shard() {
+        let board = Board::new(specs(&[(0, 1)]), 1);
+        let claim = board.claim().expect("claimable");
+        board.requeue(
+            claim.spec.index,
+            Vec::new(),
+            1,
+            8,
+            Duration::from_millis(30),
+            "transient",
+        );
+        let started = Instant::now();
+        let again = board.claim().expect("shard comes back after backoff");
+        assert!(
+            started.elapsed() >= Duration::from_millis(25),
+            "claim honored the backoff deadline"
+        );
+        assert_eq!(again.attempts, 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! One worker link: drives `ping` and `run_shard` against a single
+//! `nvpim-serviced` daemon and classifies every way the worker can stop
+//! cooperating.
+//!
+//! The link keeps one TCP connection with the read timeout set to the
+//! fleet's heartbeat deadline, so the streamed `shard_chunk` lines double
+//! as the worker's heartbeat: a daemon that is SIGSTOPped, wedged, or
+//! partitioned keeps the socket open but goes silent, and the next `recv`
+//! times out instead of blocking forever.
+
+use std::io::ErrorKind;
+use std::time::Duration;
+
+use serde::{Serialize, Value};
+
+use super::board::ShardSpec;
+use crate::client::{request, Client};
+
+use nvpim_sweep::TrialOutcome;
+
+/// Result of a health-check ping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Ping {
+    /// Alive and accepting work.
+    Healthy,
+    /// Alive but draining (or shutting down): unschedulable, not dead.
+    Draining,
+    /// No response within the heartbeat deadline: stalled.
+    Stalled,
+    /// Connection refused, reset, or closed: dead or partitioned.
+    Unreachable,
+}
+
+/// How one shard attempt ended. Every variant carries the outcomes
+/// accumulated so far (the resume prefix plus every streamed chunk), so a
+/// failed attempt hands its durable progress to the next owner.
+#[derive(Debug)]
+pub(crate) enum AttemptEnd {
+    /// `shard_done` observed with a complete outcome list.
+    Completed(Vec<TrialOutcome>),
+    /// The daemon began draining mid-shard: it checkpointed and bowed out.
+    Draining(Vec<TrialOutcome>),
+    /// No chunk arrived within the heartbeat deadline.
+    HeartbeatMiss(Vec<TrialOutcome>),
+    /// The connection died mid-stream (or could not be established).
+    Disconnect(Vec<TrialOutcome>),
+    /// The daemon answered with a structured error or a malformed stream.
+    Rejected(Vec<TrialOutcome>, String),
+}
+
+/// A lazily connected client for one worker address, with lifetime byte
+/// accounting that survives reconnects.
+pub(crate) struct WorkerLink {
+    addr: String,
+    connect_timeout: Duration,
+    heartbeat_timeout: Duration,
+    client: Option<Client>,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+impl WorkerLink {
+    pub fn new(addr: &str, connect_timeout: Duration, heartbeat_timeout: Duration) -> Self {
+        Self {
+            addr: addr.to_string(),
+            connect_timeout,
+            heartbeat_timeout,
+            client: None,
+            bytes_sent: 0,
+            bytes_received: 0,
+        }
+    }
+
+    fn client(&mut self) -> std::io::Result<&mut Client> {
+        if self.client.is_none() {
+            self.client = Some(Client::connect_with_timeouts(
+                &self.addr,
+                Some(self.connect_timeout),
+                Some(self.heartbeat_timeout),
+            )?);
+        }
+        Ok(self.client.as_mut().expect("client just connected"))
+    }
+
+    /// Folds the live connection's byte counters into the lifetime totals
+    /// and drops it (the next call reconnects).
+    fn drop_client(&mut self) {
+        if let Some(client) = self.client.take() {
+            self.bytes_sent += client.bytes_sent();
+            self.bytes_received += client.bytes_received();
+        }
+    }
+
+    /// Lifetime `(sent, received)` bytes across every connection.
+    pub fn bytes(&self) -> (u64, u64) {
+        let (live_sent, live_received) = self
+            .client
+            .as_ref()
+            .map_or((0, 0), |c| (c.bytes_sent(), c.bytes_received()));
+        (
+            self.bytes_sent + live_sent,
+            self.bytes_received + live_received,
+        )
+    }
+
+    /// Health-checks the worker over the protocol's `ping` command.
+    pub fn ping(&mut self) -> Ping {
+        let client = match self.client() {
+            Ok(client) => client,
+            Err(_) => {
+                self.drop_client();
+                return Ping::Unreachable;
+            }
+        };
+        match client.request(&request("ping", Vec::new())) {
+            Ok(resp) => {
+                let draining = resp.get("draining").and_then(Value::as_bool) == Some(true);
+                let stopping = resp.get("shutting_down").and_then(Value::as_bool) == Some(true);
+                if draining || stopping {
+                    Ping::Draining
+                } else {
+                    Ping::Healthy
+                }
+            }
+            Err(err) if is_timeout(&err) => {
+                self.drop_client();
+                Ping::Stalled
+            }
+            Err(_) => {
+                self.drop_client();
+                Ping::Unreachable
+            }
+        }
+    }
+
+    /// Runs one shard attempt, streaming chunk checkpoints into the
+    /// returned outcome list. `resume` is the durable prefix from earlier
+    /// attempts; the daemon computes only the remainder.
+    pub fn run_shard(
+        &mut self,
+        plan_json: &Value,
+        spec: ShardSpec,
+        chunk_trials: usize,
+        resume: Vec<TrialOutcome>,
+    ) -> AttemptEnd {
+        let resume_json: Vec<Value> = resume.iter().map(|o| o.to_json()).collect();
+        let req = request(
+            "run_shard",
+            vec![
+                ("plan".into(), plan_json.clone()),
+                ("start".into(), Value::UInt(spec.start)),
+                ("end".into(), Value::UInt(spec.end)),
+                ("chunk_trials".into(), Value::UInt(chunk_trials as u64)),
+                ("resume".into(), Value::Array(resume_json)),
+            ],
+        );
+        let mut collected = resume;
+        let client = match self.client() {
+            Ok(client) => client,
+            Err(_) => {
+                self.drop_client();
+                return AttemptEnd::Disconnect(collected);
+            }
+        };
+        if client.send(&req).is_err() {
+            self.drop_client();
+            return AttemptEnd::Disconnect(collected);
+        }
+        loop {
+            let line = match client.recv() {
+                Ok(Some(line)) => line,
+                Ok(None) => {
+                    self.drop_client();
+                    return AttemptEnd::Disconnect(collected);
+                }
+                Err(err) if is_timeout(&err) => {
+                    self.drop_client();
+                    return AttemptEnd::HeartbeatMiss(collected);
+                }
+                Err(_) => {
+                    self.drop_client();
+                    return AttemptEnd::Disconnect(collected);
+                }
+            };
+            if line.get("ok").and_then(Value::as_bool) == Some(false) {
+                let code = error_code(&line);
+                // A drained worker checkpoints the shard and reports
+                // `shutting_down`; everything else is a rejection.
+                if code == "shutting_down" {
+                    return AttemptEnd::Draining(collected);
+                }
+                return AttemptEnd::Rejected(collected, code.to_string());
+            }
+            match line.get("event").and_then(Value::as_str) {
+                Some("shard_accepted") => {}
+                Some("shard_chunk") => {
+                    let Some(items) = line.get("outcomes").and_then(Value::as_array) else {
+                        return AttemptEnd::Rejected(
+                            collected,
+                            "shard_chunk without outcomes".to_string(),
+                        );
+                    };
+                    for item in items {
+                        match TrialOutcome::from_json_value(item) {
+                            Ok(outcome) => collected.push(outcome),
+                            Err(err) => {
+                                return AttemptEnd::Rejected(
+                                    collected,
+                                    format!("undecodable chunk outcome: {err}"),
+                                )
+                            }
+                        }
+                    }
+                }
+                Some("shard_done") => {
+                    if collected.len() as u64 == spec.len() {
+                        return AttemptEnd::Completed(collected);
+                    }
+                    return AttemptEnd::Rejected(
+                        collected,
+                        "shard_done before all outcomes streamed".to_string(),
+                    );
+                }
+                _ => {
+                    return AttemptEnd::Rejected(
+                        collected,
+                        "unexpected response event mid-shard".to_string(),
+                    )
+                }
+            }
+        }
+    }
+}
+
+fn is_timeout(err: &std::io::Error) -> bool {
+    matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+fn error_code(line: &Value) -> &str {
+    line.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Value::as_str)
+        .unwrap_or("unknown_error")
+}

@@ -13,10 +13,16 @@
 //!   returns byte-identical report JSON with zero recompute, and identical
 //!   *in-flight* plans coalesce onto one campaign.
 //! * [`protocol`] — the newline-delimited JSON wire protocol (`submit`,
-//!   `status`, `result`, `cancel`, `stats`, `metrics`, `shutdown`) with
-//!   structured errors and streamed per-chunk progress events.
+//!   `status`, `result`, `cancel`, `stats`, `metrics`, `ping`,
+//!   `run_shard`, `shutdown`) with structured errors and streamed
+//!   per-chunk progress events.
 //! * [`server`] — the TCP front end behind the `nvpim-serviced` binary.
 //! * [`client`] — the blocking client used by `nvpim-cli` and the tests.
+//! * [`coordinator`] — the fleet layer behind the `nvpim-coordinator`
+//!   binary: shards one campaign's trial grid across several daemons,
+//!   health-checks them over the protocol, and re-assigns shards away
+//!   from dead, stalled, or draining workers without recomputing their
+//!   checkpointed chunks. See `docs/robustness.md`.
 //!
 //! The implementation is std-only (threads + channels/condvars, no async
 //! runtime): the build environment is offline and the workspace's external
@@ -43,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod coordinator;
 pub mod flags;
 pub mod job;
 pub mod journal;
@@ -53,6 +60,7 @@ pub mod service;
 pub mod store;
 
 pub use client::Client;
+pub use coordinator::{FleetConfig, FleetError, FleetOutcome, FleetStats, WorkerStats};
 pub use job::{CancelOutcome, JobId, JobState};
 pub use journal::{Journal, JournalRecord, Replay, ReplayedJob, ReplayedTerminal};
 pub use protocol::MAX_LINE_BYTES;
@@ -66,14 +74,22 @@ pub use store::ReportStore;
 /// each to a structured `{"code", "message"}` error object).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
-    /// The bounded job queue is full — backpressure; retry later.
-    QueueFull,
-    /// The service is shutting down and accepts no new work.
+    /// The bounded job queue is full — backpressure. Carries a hint for
+    /// when a slot is likely to free up (derived from observed run
+    /// latency and queue depth); the wire error is `overloaded` with a
+    /// `retry_after_ms` field clients feed into their backoff loop.
+    Overloaded {
+        /// Suggested client back-off before resubmitting, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The service is shutting down (or draining) and accepts no new work.
     ShuttingDown,
     /// No job with this id.
     UnknownJob(u64),
     /// The submitted plan failed validation or decoding.
     InvalidPlan(nvpim_sweep::SweepError),
+    /// A `run_shard` request carried an invalid range or resume prefix.
+    BadShard(String),
     /// The job's campaign failed to run (carries the description).
     JobFailed(String),
     /// The job was cancelled.
@@ -85,10 +101,13 @@ pub enum ServiceError {
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServiceError::QueueFull => write!(f, "job queue is full — retry later"),
+            ServiceError::Overloaded { retry_after_ms } => {
+                write!(f, "job queue is full — retry in ~{retry_after_ms} ms")
+            }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::UnknownJob(id) => write!(f, "no job with id {id}"),
             ServiceError::InvalidPlan(e) => write!(f, "invalid plan: {e}"),
+            ServiceError::BadShard(detail) => write!(f, "invalid shard request: {detail}"),
             ServiceError::JobFailed(e) => write!(f, "job failed: {e}"),
             ServiceError::JobCancelled => write!(f, "job was cancelled"),
             ServiceError::NotDone => write!(f, "job has not finished yet"),

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use nvpim_sweep::SweepPlan;
+use nvpim_sweep::{CampaignControl, SweepPlan, TrialOutcome};
 use serde::{Serialize, Value};
 
 use crate::service::ServiceHandle;
@@ -61,10 +61,11 @@ pub fn error_response(code: &str, message: impl Into<String>) -> Value {
 /// The wire code for a [`ServiceError`].
 fn error_code(err: &ServiceError) -> &'static str {
     match err {
-        ServiceError::QueueFull => "queue_full",
+        ServiceError::Overloaded { .. } => "overloaded",
         ServiceError::ShuttingDown => "shutting_down",
         ServiceError::UnknownJob(_) => "unknown_job",
         ServiceError::InvalidPlan(_) => "invalid_plan",
+        ServiceError::BadShard(_) => "bad_shard",
         ServiceError::JobFailed(_) => "job_failed",
         ServiceError::JobCancelled => "job_cancelled",
         ServiceError::NotDone => "not_done",
@@ -72,6 +73,21 @@ fn error_code(err: &ServiceError) -> &'static str {
 }
 
 fn service_error(err: &ServiceError) -> Value {
+    // An overload rejection carries its machine-readable backoff hint
+    // inside the error object, next to `code`/`message`.
+    if let ServiceError::Overloaded { retry_after_ms } = err {
+        return Value::Object(vec![
+            ("ok".to_string(), Value::Bool(false)),
+            (
+                "error".to_string(),
+                Value::Object(vec![
+                    ("code".to_string(), Value::Str(error_code(err).to_string())),
+                    ("message".to_string(), Value::Str(err.to_string())),
+                    ("retry_after_ms".to_string(), Value::UInt(*retry_after_ms)),
+                ]),
+            ),
+        ]);
+    }
     error_response(error_code(err), err.to_string())
 }
 
@@ -243,6 +259,126 @@ pub fn dispatch(
                 "metrics".into(),
                 Value::Str(service.metrics_text()),
             )]))?;
+            Ok(Outcome::Continue)
+        }
+        "ping" => {
+            // The fleet heartbeat: cheap, never queued, and it carries the
+            // drain flag so a coordinator can tell "unschedulable but
+            // alive" from "dead".
+            emit(&ok_response(vec![
+                ("event".into(), Value::Str("pong".into())),
+                ("draining".into(), Value::Bool(service.is_draining())),
+                (
+                    "shutting_down".into(),
+                    Value::Bool(service.is_shutting_down()),
+                ),
+            ]))?;
+            Ok(Outcome::Continue)
+        }
+        "run_shard" => {
+            let plan_field = match request.get("plan") {
+                Some(p) => p,
+                None => {
+                    emit(&error_response("bad_request", "missing `plan` field"))?;
+                    return Ok(Outcome::Continue);
+                }
+            };
+            let plan = match decode_plan(plan_field) {
+                Ok(p) => p,
+                Err(msg) => {
+                    emit(&error_response("invalid_plan", msg))?;
+                    return Ok(Outcome::Continue);
+                }
+            };
+            let (start, end) = match (u64_arg(&request, "start"), u64_arg(&request, "end")) {
+                (Ok(s), Ok(e)) => (s, e),
+                (Err(resp), _) | (_, Err(resp)) => {
+                    emit(&resp)?;
+                    return Ok(Outcome::Continue);
+                }
+            };
+            let chunk_trials = request
+                .get("chunk_trials")
+                .and_then(Value::as_u64)
+                .unwrap_or(64) as usize;
+            // The shard's previously checkpointed outcome prefix, encoded
+            // exactly like journal chunk records.
+            let resume: Vec<TrialOutcome> = match request.get("resume") {
+                None => Vec::new(),
+                Some(Value::Array(items)) => {
+                    match items.iter().map(TrialOutcome::from_json_value).collect() {
+                        Ok(outcomes) => outcomes,
+                        Err(msg) => {
+                            emit(&error_response(
+                                "bad_request",
+                                format!("invalid `resume` outcome: {msg}"),
+                            ))?;
+                            return Ok(Outcome::Continue);
+                        }
+                    }
+                }
+                Some(_) => {
+                    emit(&error_response(
+                        "bad_request",
+                        "`resume` must be an array of trial outcomes",
+                    ))?;
+                    return Ok(Outcome::Continue);
+                }
+            };
+            let resumed = resume.len() as u64;
+            // Structural range checks happen before acceptance; bounds
+            // against the plan's trial count surface from the service as
+            // a later `bad_shard` line.
+            if start > end || resumed > end - start {
+                emit(&service_error(&ServiceError::BadShard(format!(
+                    "range {start}..{end} with {resumed} resumed outcome(s) is malformed"
+                ))))?;
+                return Ok(Outcome::Continue);
+            }
+            emit(&ok_response(vec![
+                ("event".into(), Value::Str("shard_accepted".into())),
+                ("start".into(), Value::UInt(start)),
+                ("end".into(), Value::UInt(end)),
+                ("resumed".into(), Value::UInt(resumed)),
+            ]))?;
+            // Stream every chunk's newly computed outcomes: the
+            // coordinator's checkpoint. If the coordinator goes away the
+            // failed emit cancels the shard; if this daemon starts
+            // draining, the shard stops at the next chunk boundary and
+            // the coordinator re-assigns the remainder elsewhere.
+            let mut io_err: Option<std::io::Error> = None;
+            let result = service.run_shard(&plan, start, end, chunk_trials, resume, |cp| {
+                let outcomes: Vec<Value> = cp.new_outcomes.iter().map(|o| o.to_json()).collect();
+                let line = ok_response(vec![
+                    ("event".into(), Value::Str("shard_chunk".into())),
+                    ("trials_done".into(), Value::UInt(cp.progress.trials_done)),
+                    ("trials_total".into(), Value::UInt(cp.progress.trials_total)),
+                    ("outcomes".into(), Value::Array(outcomes)),
+                ]);
+                if let Err(err) = emit(&line) {
+                    io_err = Some(err);
+                    return CampaignControl::Cancel;
+                }
+                if service.is_draining() {
+                    return CampaignControl::Cancel;
+                }
+                CampaignControl::Continue
+            });
+            if let Some(err) = io_err {
+                return Err(err);
+            }
+            match result {
+                Ok(outcomes) => emit(&ok_response(vec![
+                    ("event".into(), Value::Str("shard_done".into())),
+                    ("start".into(), Value::UInt(start)),
+                    ("end".into(), Value::UInt(end)),
+                    ("trials".into(), Value::UInt(outcomes.len() as u64)),
+                ]))?,
+                Err(ServiceError::JobCancelled) if service.is_draining() => {
+                    emit(&service_error(&ServiceError::ShuttingDown))?;
+                }
+                Err(e) => emit(&service_error(&e))?,
+            }
             Ok(Outcome::Continue)
         }
         "shutdown" => {

@@ -48,6 +48,11 @@ struct Inner<T> {
     heap: BinaryHeap<Entry<T>>,
     next_seq: u64,
     closed: bool,
+    /// Abandoned queues refuse pushes *and* hand out nothing: `pop`
+    /// returns `None` immediately even with items still queued. The
+    /// graceful-drain mode — queued jobs stay journaled for replay
+    /// instead of running to completion before exit.
+    abandoned: bool,
 }
 
 /// A bounded blocking priority queue (see module docs).
@@ -84,6 +89,7 @@ impl<T> BoundedPriorityQueue<T> {
                 heap: BinaryHeap::new(),
                 next_seq: 0,
                 closed: false,
+                abandoned: false,
             }),
             not_empty: Condvar::new(),
             capacity: capacity.max(1),
@@ -133,6 +139,9 @@ impl<T> BoundedPriorityQueue<T> {
     pub fn pop(&self) -> Option<T> {
         let mut inner = self.lock_inner();
         loop {
+            if inner.abandoned {
+                return None;
+            }
             if let Some(entry) = inner.heap.pop() {
                 return Some(entry.item);
             }
@@ -150,6 +159,19 @@ impl<T> BoundedPriorityQueue<T> {
     /// return `None` once the heap drains.
     pub fn close(&self) {
         self.lock_inner().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Closes *and abandons* the queue: further pushes fail and every
+    /// `pop` — blocked or future — returns `None` immediately, leaving
+    /// queued items unserved. Drain mode: abandoned items are already in
+    /// the write-ahead journal, so a restart replays them instead of this
+    /// process running them to completion.
+    pub fn abandon(&self) {
+        let mut inner = self.lock_inner();
+        inner.closed = true;
+        inner.abandoned = true;
+        drop(inner);
         self.not_empty.notify_all();
     }
 }
@@ -182,6 +204,26 @@ mod tests {
         q.try_push(3, 0).unwrap();
         q.close();
         assert_eq!(q.try_push(4, 0), Err(4));
+    }
+
+    #[test]
+    fn abandon_unblocks_pops_without_serving_queued_items() {
+        let q = BoundedPriorityQueue::new(4);
+        q.try_push(1, 0).unwrap();
+        q.try_push(2, 5).unwrap();
+        q.abandon();
+        // Items remain queued (journaled elsewhere) but are never served.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.try_push(3, 0), Err(3));
+
+        // A blocked pop wakes up with None too.
+        let q = Arc::new(BoundedPriorityQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.abandon();
+        assert_eq!(handle.join().unwrap(), None);
     }
 
     #[test]

@@ -85,7 +85,16 @@ fn handle_connection(service: ServiceHandle, stream: TcpStream, self_addr: std::
                 match outcome {
                     Ok(Outcome::Continue) => {}
                     Ok(Outcome::Shutdown) => {
-                        service.begin_shutdown();
+                        // Graceful drain when a grace budget is configured,
+                        // legacy run-everything shutdown otherwise. In drain
+                        // mode the daemon keeps serving other connections
+                        // (ping answers `draining: true`) while workers
+                        // checkpoint; `finish_stop` blocks this connection
+                        // thread until the stop completes and flips
+                        // `shutting_down`, after which the accept loop can
+                        // observe it and exit.
+                        service.begin_stop();
+                        service.finish_stop();
                         // Wake the accept loop so it can observe the flag.
                         // A wildcard bind address (0.0.0.0 / ::) is not
                         // connectable everywhere — dial loopback instead.
@@ -131,7 +140,7 @@ pub fn serve(service: &ServiceHandle, listener: TcpListener) -> std::io::Result<
             Err(_) => continue,
         }
     }
-    service.shutdown();
+    service.finish_stop();
     Ok(())
 }
 

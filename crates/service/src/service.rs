@@ -12,8 +12,9 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use nvpim_sweep::{
-    execution_backend, prepare_campaign_with_telemetry, CampaignControl, EstimatorMode,
-    ExecutionBackend, ScheduleCache, SimBackend, SweepError, SweepPlan, TrialOutcome,
+    execution_backend, prepare_campaign_with_telemetry, CampaignControl, ChunkCheckpoint,
+    EstimatorMode, ExecutionBackend, ScheduleCache, SimBackend, SweepError, SweepPlan,
+    TrialOutcome,
 };
 use nvpim_telemetry::{Counter as TelemetryCounter, EventLog, Phase, Telemetry};
 use serde::{Serialize, Value};
@@ -86,6 +87,16 @@ pub struct ServiceConfig {
     /// seam the chaos suite injects its panicking backend through; `None`
     /// (the default) resolves [`backend`](Self::backend) normally.
     pub execution_backend: Option<&'static dyn ExecutionBackend>,
+    /// Graceful-drain budget for shutdown. `None` (the default) keeps the
+    /// legacy behaviour: shutdown runs every queued job to completion
+    /// before exiting. `Some(ms)` switches shutdown to a *drain*: new
+    /// work is rejected, running jobs stop at their next chunk boundary
+    /// (their checkpoints already journaled), queued jobs are abandoned
+    /// to journal replay, and the daemon exits within roughly this budget
+    /// even if a job is wedged. Health probes (`ping`) report
+    /// `draining: true` throughout so fleet coordinators treat the node
+    /// as unschedulable rather than dead.
+    pub shutdown_grace_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -103,6 +114,7 @@ impl Default for ServiceConfig {
             retry_backoff_ms: 50,
             journal_fsync_records: 1,
             execution_backend: None,
+            shutdown_grace_ms: None,
         }
     }
 }
@@ -190,6 +202,9 @@ pub struct ServiceStats {
     pub resumed_chunks: u64,
     /// Journal records successfully replayed at startup.
     pub journal_records_replayed: u64,
+    /// Shard ranges executed to completion for a fleet coordinator (the
+    /// `run_shard` protocol command).
+    pub shards_executed: u64,
     /// Distinct reports in the content-addressed store.
     pub report_cache_entries: usize,
     /// Submissions served byte-identically from the store.
@@ -287,6 +302,8 @@ struct Counters {
     resumed_chunks: AtomicU64,
     /// Journal records replayed at startup.
     journal_replayed: AtomicU64,
+    /// Shard ranges executed to completion (`run_shard`).
+    shards_executed: AtomicU64,
 }
 
 struct Inner {
@@ -301,6 +318,10 @@ struct Inner {
     next_id: AtomicU64,
     counters: Counters,
     shutting_down: AtomicBool,
+    /// Set by [`ServiceHandle::begin_drain`]: the daemon is still serving
+    /// reads (`status`/`result`/`stats`/`ping`) but accepts no new work
+    /// and is checkpointing in-flight jobs for a bounded exit.
+    draining: AtomicBool,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Always-enabled telemetry sink shared by every campaign this service
     /// runs: pipeline phase timings, first-class counters, per-scheme /
@@ -311,6 +332,27 @@ struct Inner {
     event_log: Option<EventLog>,
     /// Write-ahead job journal (see [`ServiceConfig::state_dir`]).
     journal: Option<Mutex<Journal>>,
+}
+
+/// The `retry_after_ms` hint attached to an overload rejection: the
+/// median observed campaign run latency times the queue depth, divided
+/// across the worker pool — a rough estimate of when a queue slot frees
+/// up — clamped to a sane band. With no latency data yet (a cold daemon
+/// slammed at startup), a fixed 100 ms placeholder applies.
+fn overload_retry_hint_ms(inner: &Inner) -> u64 {
+    let snapshot = inner.telemetry.snapshot();
+    let p50_ms = snapshot
+        .histograms
+        .get("run_latency_ns")
+        .and_then(|hist| hist.quantile(0.50))
+        .map_or(100, |ns| ns / 1_000_000);
+    let depth = inner.queue.len().max(1) as u64;
+    let workers = inner.cfg.workers.max(1) as u64;
+    p50_ms
+        .max(1)
+        .saturating_mul(depth)
+        .div_ceil(workers)
+        .clamp(10, 10_000)
 }
 
 /// The event-log trace id correlating every event of one job: the primary
@@ -420,6 +462,7 @@ impl ServiceHandle {
             next_id: AtomicU64::new(next_id),
             counters: Counters::default(),
             shutting_down: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
             telemetry: Telemetry::new(),
             event_log,
@@ -451,10 +494,10 @@ impl ServiceHandle {
     /// # Errors
     ///
     /// [`ServiceError::ShuttingDown`], [`ServiceError::InvalidPlan`] and —
-    /// the backpressure signal — [`ServiceError::QueueFull`].
+    /// the backpressure signal — [`ServiceError::Overloaded`].
     pub fn submit(&self, plan: SweepPlan, priority: u8) -> Result<SubmitOutcome, ServiceError> {
         let inner = &self.inner;
-        if inner.shutting_down.load(Ordering::SeqCst) {
+        if inner.shutting_down.load(Ordering::SeqCst) || inner.draining.load(Ordering::SeqCst) {
             return Err(ServiceError::ShuttingDown);
         }
         plan.validate().map_err(ServiceError::InvalidPlan)?;
@@ -557,13 +600,17 @@ impl ServiceHandle {
                 // would resurrect a job the client was told to retry.
                 inner.journal_append(&JournalRecord::Cancelled { job: id });
                 drop(active);
-                if inner.shutting_down.load(Ordering::SeqCst) {
+                if inner.shutting_down.load(Ordering::SeqCst)
+                    || inner.draining.load(Ordering::SeqCst)
+                {
                     return Err(ServiceError::ShuttingDown);
                 }
                 // Only genuine backpressure counts as a rejection; a push
                 // refused by a closing queue is a shutdown, not load-shed.
                 inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(ServiceError::QueueFull);
+                return Err(ServiceError::Overloaded {
+                    retry_after_ms: overload_retry_hint_ms(inner),
+                });
             }
             // May replace a stale terminal entry (see above).
             active.insert(digest.clone(), Arc::clone(&core));
@@ -714,6 +761,7 @@ impl ServiceHandle {
             recovered_jobs: inner.counters.recovered.load(Ordering::Relaxed),
             resumed_chunks: inner.counters.resumed_chunks.load(Ordering::Relaxed),
             journal_records_replayed: inner.counters.journal_replayed.load(Ordering::Relaxed),
+            shards_executed: inner.counters.shards_executed.load(Ordering::Relaxed),
             report_cache_entries: store_entries,
             report_cache_hits: store_hits,
             report_cache_misses: store_misses,
@@ -826,9 +874,88 @@ impl ServiceHandle {
         out
     }
 
+    /// Runs one shard of a campaign synchronously on the calling thread:
+    /// trials `start .. end` of the plan's flat trial list, resumed past
+    /// the `resume` outcome prefix, invoking `observer` after every chunk
+    /// (the streaming seam `run_shard` connections checkpoint through).
+    ///
+    /// Shards bypass the job queue — they are driven by a fleet
+    /// coordinator that owns scheduling — but share the process-wide
+    /// schedule cache, telemetry sink, backend override and trial
+    /// accounting with queued jobs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShuttingDown`] while draining or shutting down,
+    /// [`ServiceError::InvalidPlan`], [`ServiceError::BadShard`] for bad
+    /// ranges/prefixes, and [`ServiceError::JobCancelled`] when the
+    /// observer cancels.
+    pub fn run_shard(
+        &self,
+        plan: &SweepPlan,
+        start: u64,
+        end: u64,
+        chunk_trials: usize,
+        resume: Vec<TrialOutcome>,
+        observer: impl FnMut(ChunkCheckpoint<'_>) -> CampaignControl,
+    ) -> Result<Vec<TrialOutcome>, ServiceError> {
+        let inner = &self.inner;
+        if inner.shutting_down.load(Ordering::SeqCst) || inner.draining.load(Ordering::SeqCst) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        plan.validate().map_err(ServiceError::InvalidPlan)?;
+        let prepared = {
+            let mut cache = lock_unpoisoned(&inner.schedule_cache);
+            prepare_campaign_with_telemetry(plan, &mut cache, inner.telemetry.clone())
+                .map_err(ServiceError::InvalidPlan)?
+        };
+        let resumed = resume.len() as u64;
+        let run_started = std::time::Instant::now();
+        let result = prepared.run_shard_resumable(
+            inner.backend(),
+            start,
+            end,
+            chunk_trials.max(1),
+            resume,
+            observer,
+        );
+        let run_nanos = run_started.elapsed().as_nanos() as u64;
+        inner
+            .counters
+            .busy_nanos
+            .fetch_add(run_nanos, Ordering::Relaxed);
+        match result {
+            Ok(outcomes) => {
+                inner.counters.trials_executed.fetch_add(
+                    (outcomes.len() as u64).saturating_sub(resumed),
+                    Ordering::Relaxed,
+                );
+                inner
+                    .counters
+                    .shards_executed
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(outcomes)
+            }
+            Err(SweepError::Cancelled) => Err(ServiceError::JobCancelled),
+            Err(SweepError::BadCheckpoint(detail)) => Err(ServiceError::BadShard(detail)),
+            Err(err) => Err(ServiceError::JobFailed(err.to_string())),
+        }
+    }
+
     /// Whether shutdown has begun.
     pub fn is_shutting_down(&self) -> bool {
         self.inner.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Whether the service is draining (bounded graceful exit in
+    /// progress): still answering reads, accepting no new work.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// The configured graceful-drain budget, if any.
+    pub fn shutdown_grace(&self) -> Option<Duration> {
+        self.inner.cfg.shutdown_grace_ms.map(Duration::from_millis)
     }
 
     /// Begins shutdown: rejects new submissions and closes the queue so
@@ -836,6 +963,73 @@ impl ServiceHandle {
     pub fn begin_shutdown(&self) {
         self.inner.shutting_down.store(true, Ordering::SeqCst);
         self.inner.queue.close();
+    }
+
+    /// Begins a graceful drain: new submissions are rejected, queued jobs
+    /// are abandoned to journal replay, and running jobs stop at their
+    /// next chunk boundary *without* being journaled as cancelled — they
+    /// stay in-flight in the journal, so a restart resumes them from
+    /// their last checkpoint. Non-blocking; `ping` reports
+    /// `draining: true` from here on, and the daemon keeps answering
+    /// reads (status/result/ping) until the drain completes — a draining
+    /// worker is unschedulable, not dead. `shutting_down` flips only when
+    /// [`Self::drain_with_grace`] finishes.
+    pub fn begin_drain(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.queue.abandon();
+    }
+
+    /// Drains with a bounded budget: [`Self::begin_drain`], then waits up
+    /// to `grace` for workers to checkpoint and exit. Returns `true` when
+    /// every worker exited within the budget; `false` means at least one
+    /// worker is wedged mid-chunk and is left detached (its last
+    /// journaled checkpoint still makes restart-resume exact).
+    pub fn drain_with_grace(&self, grace: Duration) -> bool {
+        self.begin_drain();
+        let deadline = std::time::Instant::now() + grace;
+        let handles = std::mem::take(&mut *lock_unpoisoned(&self.inner.workers));
+        let mut clean = true;
+        for handle in handles {
+            while !handle.is_finished() && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                clean = false;
+            }
+        }
+        // Drain complete (or budget spent): now the daemon stops serving.
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        clean
+    }
+
+    /// Begins the configured stop mode: a graceful drain when
+    /// [`ServiceConfig::shutdown_grace_ms`] is set, the legacy
+    /// run-everything shutdown otherwise. Non-blocking.
+    pub fn begin_stop(&self) {
+        if self.inner.cfg.shutdown_grace_ms.is_some() {
+            self.begin_drain();
+        } else {
+            self.begin_shutdown();
+        }
+    }
+
+    /// Completes the configured stop mode (blocking): drains within the
+    /// grace budget when one is configured, otherwise runs every queued
+    /// job to completion and joins the pool.
+    pub fn finish_stop(&self) {
+        match self.shutdown_grace() {
+            Some(grace) => {
+                if !self.drain_with_grace(grace) {
+                    eprintln!(
+                        "nvpim-serviced: drain grace elapsed with a worker still mid-chunk; \
+                         exiting on the last journaled checkpoint"
+                    );
+                }
+            }
+            None => self.shutdown(),
+        }
     }
 
     /// Shuts down and joins the worker pool. Queued jobs drain first.
@@ -1185,7 +1379,7 @@ fn run_attempt(
                     ("trials_total".to_string(), Value::UInt(core.trials_total)),
                 ],
             );
-            if core.cancel_requested() {
+            if core.cancel_requested() || inner.draining.load(Ordering::SeqCst) {
                 CampaignControl::Cancel
             } else {
                 CampaignControl::Continue
@@ -1229,6 +1423,19 @@ fn run_attempt(
             core.complete(json);
         }
         Err(SweepError::Cancelled) => {
+            if inner.draining.load(Ordering::SeqCst) && !core.cancel_requested() {
+                // Stopped by a graceful drain, not a client: the job stays
+                // *in-flight* in the journal (no terminal record), so a
+                // restart over the same state dir resumes it from the
+                // chunk checkpoint this attempt just journaled.
+                inner.emit_event(
+                    core.id,
+                    &core.digest,
+                    "drained",
+                    vec![("trials_done".to_string(), Value::UInt(core.trials_done()))],
+                );
+                return;
+            }
             inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
             inner.journal_append(&JournalRecord::Cancelled { job: core.id });
             inner.emit_event(
@@ -1379,13 +1586,114 @@ mod tests {
         for seed in 0..16u64 {
             match service.submit(tiny_plan(1000 + seed), 0) {
                 Ok(_) => {}
-                Err(ServiceError::QueueFull) => errors += 1,
+                Err(ServiceError::Overloaded { retry_after_ms }) => {
+                    errors += 1;
+                    assert!(
+                        (10..=10_000).contains(&retry_after_ms),
+                        "retry hint {retry_after_ms} ms outside the clamp band"
+                    );
+                }
                 Err(other) => panic!("unexpected error {other}"),
             }
         }
         assert!(errors > 0, "a 1-deep queue must shed load");
         assert_eq!(service.stats().jobs_rejected, errors);
         service.shutdown();
+    }
+
+    #[test]
+    fn run_shard_slices_match_a_full_campaign() {
+        let service = ServiceHandle::start(ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let plan = tiny_plan(60);
+        let total = plan.trial_count();
+        // Whole-campaign shard through the service == direct engine run.
+        let mut streamed = 0u64;
+        let outcomes = service
+            .run_shard(&plan, 0, total, 4, Vec::new(), |cp| {
+                streamed += cp.new_outcomes.len() as u64;
+                CampaignControl::Continue
+            })
+            .unwrap();
+        assert_eq!(outcomes.len() as u64, total);
+        assert_eq!(streamed, total);
+        let stats = service.stats();
+        assert_eq!(stats.shards_executed, 1);
+        assert_eq!(stats.trials_executed, total);
+        // Bad ranges are structured errors, not panics.
+        assert!(matches!(
+            service.run_shard(&plan, 3, 2, 4, Vec::new(), |_| CampaignControl::Continue),
+            Err(ServiceError::BadShard(_))
+        ));
+        service.shutdown();
+        assert!(matches!(
+            service.run_shard(&plan, 0, total, 4, Vec::new(), |_| {
+                CampaignControl::Continue
+            }),
+            Err(ServiceError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn drain_abandons_queued_jobs_and_checkpoints_running_ones() {
+        let dir = std::env::temp_dir().join(format!("nvpim-drain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServiceConfig {
+            workers: 1,
+            chunk_trials: 1, // fine-grained drain points
+            state_dir: Some(dir.clone()),
+            shutdown_grace_ms: Some(5_000),
+            ..Default::default()
+        };
+        let service = ServiceHandle::start(cfg.clone());
+        let mut running = tiny_plan(70);
+        running.seeds_per_point = 64; // long enough to drain mid-run
+        let active = service.submit(running.clone(), 9).unwrap();
+        let queued_plan = tiny_plan(71);
+        let queued = service.submit(queued_plan.clone(), 0).unwrap();
+        while service.status(active.job).unwrap().state == "queued" {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(service.drain_with_grace(Duration::from_secs(5)));
+        assert!(service.is_draining());
+        // Neither job was journaled terminal: both are still in flight.
+        assert_eq!(service.status(queued.job).unwrap().state, "queued");
+        assert!(matches!(
+            service.submit(tiny_plan(72), 0),
+            Err(ServiceError::ShuttingDown)
+        ));
+
+        // A restart over the same state dir resumes both jobs — the
+        // running one past its checkpointed chunks — and their reports
+        // match clean runs byte-for-byte.
+        let service2 = ServiceHandle::start(ServiceConfig {
+            shutdown_grace_ms: None,
+            ..cfg
+        });
+        let recovered_running = service2
+            .wait(active.job, Some(Duration::from_secs(60)))
+            .unwrap();
+        let recovered_queued = service2
+            .wait(queued.job, Some(Duration::from_secs(60)))
+            .unwrap();
+        assert_eq!(
+            *recovered_running,
+            nvpim_sweep::run_campaign(&running).unwrap().to_json()
+        );
+        assert_eq!(
+            *recovered_queued,
+            nvpim_sweep::run_campaign(&queued_plan).unwrap().to_json()
+        );
+        let stats = service2.stats();
+        assert_eq!(stats.recovered_jobs, 2);
+        assert!(
+            stats.resumed_chunks > 0,
+            "the drained running job must resume from its checkpoint: {stats:?}"
+        );
+        service2.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

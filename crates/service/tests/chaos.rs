@@ -1,6 +1,6 @@
 //! Chaos suite: crash/recovery drills for the durable campaign service.
 //!
-//! Four failure families, per the robustness tentpole:
+//! Six failure families, per the robustness tentpole:
 //!
 //! 1. **Checkpoint/resume byte-identity** — a crafted journal (exactly what
 //!    a daemon killed at a chunk boundary leaves behind) is replayed for
@@ -16,20 +16,30 @@
 //! 4. **SIGKILL + restart** — the real `nvpim-serviced` binary is killed
 //!    mid-campaign and restarted over the same `--state-dir`; the recovered
 //!    report must match a clean baseline and no job may be orphaned.
+//! 5. **Fleet chaos** — three real daemons serve one sharded campaign
+//!    through the coordinator while one is SIGKILLed and another SIGSTOPped
+//!    mid-run; losing workers must shrink throughput, never correctness:
+//!    the merged report stays byte-identical to a single-node run for every
+//!    backend × estimator combination, with the re-assignments recorded.
+//! 6. **Restart coalescing** — clients racing duplicate submissions against
+//!    a daemon restart coalesce onto the one recovered campaign instead of
+//!    forking duplicate executions.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use nvpim_service::client::{request, Client};
+use nvpim_service::coordinator::{run_fleet, FleetConfig};
 use nvpim_service::journal::JOURNAL_FILE;
 use nvpim_service::service::{ServiceConfig, ServiceHandle};
 use nvpim_service::{Journal, JournalRecord, ServiceError};
 use nvpim_sweep::{
     execution_backend, prepare_campaign, run_campaign_with_backend, CampaignControl, EstimatorMode,
-    ExecutionBackend, PointContext, ScheduleCache, SimBackend, SweepPlan, TaskOutcomes, TrialArena,
-    TrialOutcome,
+    ExecutionBackend, PointContext, ScheduleCache, SimBackend, SweepPlan, SweepWorkload,
+    TaskOutcomes, TrialArena, TrialOutcome,
 };
+use nvpim_telemetry::{Counter, Telemetry};
 use serde::Value;
 
 /// Fresh scratch state directory for one test.
@@ -478,6 +488,20 @@ fn corrupt_store_entry_recomputes_byte_identical_report() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Reads the `nvpim-serviced listening on <addr>` announcement from a
+/// freshly spawned daemon's stdout.
+fn scrape_announced_addr(child: &mut std::process::Child) -> String {
+    let stdout = child.stdout.take().expect("daemon stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("read announcement");
+    line.trim()
+        .rsplit(' ')
+        .next()
+        .expect("announcement carries the address")
+        .to_string()
+}
+
 /// Spawns the real daemon binary over `dir`, scraping the OS-assigned port
 /// from its announcement line.
 fn spawn_daemon_process(dir: &Path) -> (std::process::Child, String) {
@@ -496,16 +520,7 @@ fn spawn_daemon_process(dir: &Path) -> (std::process::Child, String) {
         .stderr(std::process::Stdio::null())
         .spawn()
         .expect("spawn nvpim-serviced");
-    let stdout = child.stdout.take().expect("daemon stdout");
-    let mut reader = std::io::BufReader::new(stdout);
-    let mut line = String::new();
-    std::io::BufRead::read_line(&mut reader, &mut line).expect("read announcement");
-    let addr = line
-        .trim()
-        .rsplit(' ')
-        .next()
-        .expect("announcement carries the address")
-        .to_string();
+    let addr = scrape_announced_addr(&mut child);
     (child, addr)
 }
 
@@ -591,6 +606,281 @@ fn sigkill_and_restart_recovers_byte_identical_report() {
         .request(&request("submit", vec![("plan".to_string(), plan_value)]))
         .expect("resubmit");
     assert_eq!(resubmit.get("cached").and_then(Value::as_bool), Some(true));
+
+    let shutdown = client2
+        .request(&request("shutdown", vec![]))
+        .expect("shutdown");
+    assert_eq!(shutdown.get("ok").and_then(Value::as_bool), Some(true));
+    let _ = child2.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Spawns a stateless fleet worker daemon on an OS-assigned port.
+fn spawn_fleet_worker(backend: SimBackend) -> (std::process::Child, String) {
+    let backend = match backend {
+        SimBackend::Scalar => "scalar",
+        SimBackend::Sliced => "sliced",
+    };
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_nvpim-serviced"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--backend",
+            backend,
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn fleet worker");
+    let addr = scrape_announced_addr(&mut child);
+    (child, addr)
+}
+
+/// Sends `sig` (e.g. `-STOP`, `-CONT`) to process `pid` via `kill(1)`.
+fn signal(pid: u32, sig: &str) {
+    let status = std::process::Command::new("kill")
+        .args([sig, &pid.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(status.success(), "kill {sig} {pid} failed");
+}
+
+/// A heavyweight-per-trial fleet plan: one 16-bit multiplier workload
+/// across the paper's protection trio and a dense error-rate grid — 9
+/// points, `seeds_per_point` seeds each. The dense rates keep the
+/// stratified estimator's conditioned trials as expensive as exact ones,
+/// so both modes give chaos a wide mid-campaign window.
+fn fleet_chaos_plan(seed: u64, estimator: EstimatorMode, seeds_per_point: u64) -> SweepPlan {
+    let mut plan = SweepPlan::quick();
+    plan.workloads = vec![SweepWorkload::Multiplier { bits: 16 }];
+    plan.gate_error_rates = vec![3e-3, 1e-2, 3e-2];
+    plan.seeds_per_point = seeds_per_point;
+    plan.campaign_seed = seed;
+    plan.estimator = estimator;
+    plan
+}
+
+/// Tentpole assertion 5: three real daemons serve one sharded campaign;
+/// one is SIGKILLed (disconnect) and another SIGSTOPped (stall past the
+/// heartbeat deadline) mid-run. For both backends and both estimator
+/// modes the merged report must be byte-identical to a single-node run,
+/// both chaos victims must be evicted, and the shard hand-offs must be
+/// recorded in the fleet stats and the telemetry registry.
+///
+/// Chaos timing is self-calibrating: the signals land at fractions of the
+/// *measured* single-node duration. Three workers need at least ~1/3 of
+/// that wall clock (more after each loss), so at 15% and 30% both victims
+/// are still mid-shard — per-shard compute is ~1/9 of the single-node run
+/// while the scheduling gaps between shards are sub-millisecond.
+#[test]
+fn fleet_survives_sigkill_and_sigstop_with_byte_identical_reports() {
+    for (i, backend) in [SimBackend::Scalar, SimBackend::Sliced]
+        .into_iter()
+        .enumerate()
+    {
+        for (j, estimator) in [EstimatorMode::Exact, EstimatorMode::Stratified]
+            .into_iter()
+            .enumerate()
+        {
+            // Scalar trials run an order of magnitude slower than sliced
+            // ones, and trial cost varies severalfold across the protection
+            // schemes inside one plan — size the grid and the chunk so each
+            // combination keeps a multi-second chaos window while even the
+            // slowest single chunk stays far below the heartbeat deadline.
+            let (seeds_per_point, chunk_trials) = match backend {
+                SimBackend::Scalar => (60, 5),
+                SimBackend::Sliced => (360, 45),
+            };
+            let plan =
+                fleet_chaos_plan(0xf1ee_7000 + (i * 2 + j) as u64, estimator, seeds_per_point);
+            let started = Instant::now();
+            let clean = run_campaign_with_backend(&plan, backend)
+                .expect("clean run")
+                .to_json();
+            let single = started.elapsed();
+
+            let mut daemons: Vec<(std::process::Child, String)> =
+                (0..3).map(|_| spawn_fleet_worker(backend)).collect();
+            let cfg = FleetConfig {
+                workers: daemons.iter().map(|(_, addr)| addr.clone()).collect(),
+                shards: 9,
+                chunk_trials,
+                heartbeat_timeout_ms: 2_000,
+                retry_backoff_ms: 10,
+                ..FleetConfig::default()
+            };
+            let telemetry = Telemetry::new();
+            let fleet_result = std::thread::scope(|scope| {
+                let fleet = scope.spawn(|| run_fleet(&plan, &cfg, &telemetry));
+                std::thread::sleep(single.mul_f64(0.15));
+                daemons[0].0.kill().expect("SIGKILL worker 0");
+                std::thread::sleep(single.mul_f64(0.15));
+                signal(daemons[1].0.id(), "-STOP");
+                fleet.join().expect("fleet thread")
+            });
+
+            // Clean up the processes before asserting so a failed assertion
+            // never leaves a SIGSTOPped daemon behind.
+            signal(daemons[1].0.id(), "-CONT");
+            for (child, _) in &mut daemons {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+
+            let outcome = fleet_result.expect("fleet survives the chaos");
+            assert_eq!(
+                outcome.report.to_json(),
+                clean,
+                "merged fleet report must be byte-identical to a single-node \
+                 run ({backend:?}, {estimator:?})"
+            );
+            assert!(
+                outcome.stats.shards_reassigned > 0,
+                "killing and stalling workers mid-shard must hand shards off \
+                 ({backend:?}, {estimator:?}): {:?}",
+                outcome.stats
+            );
+            assert_eq!(
+                outcome.stats.worker_evictions, 2,
+                "both chaos victims are evicted ({backend:?}, {estimator:?})"
+            );
+            assert!(
+                outcome.stats.heartbeat_misses > 0,
+                "the SIGSTOPped worker misses its heartbeat deadline"
+            );
+            let survivor = outcome
+                .stats
+                .workers
+                .iter()
+                .find(|w| !w.evicted)
+                .expect("one worker survives");
+            assert!(survivor.shards_completed > 0);
+
+            let snapshot = telemetry.snapshot();
+            assert_eq!(
+                snapshot.counter(Counter::ShardsReassigned),
+                outcome.stats.shards_reassigned,
+                "telemetry mirrors the fleet's re-assignment count"
+            );
+            let rendered = snapshot.render_prometheus();
+            assert!(rendered.contains("nvpim_shards_reassigned_total"));
+            assert!(rendered.contains("nvpim_worker_evictions_total"));
+            assert!(rendered.contains("nvpim_heartbeat_misses_total"));
+        }
+    }
+}
+
+/// Tentpole assertion 6: two clients submitting the same plan digest while
+/// the daemon restarts coalesce onto the one recovered campaign — a single
+/// execution, byte-identical report bytes for everyone.
+#[test]
+fn concurrent_resubmission_during_restart_coalesces_to_one_campaign() {
+    // Heavyweight trials so the first daemon is killed mid-campaign and the
+    // restarted daemon's recovery run is still in flight when the two
+    // resubmitters race it.
+    let plan = fleet_chaos_plan(0xc0a1_e5ce, EstimatorMode::Exact, 100);
+    let clean = run_campaign_with_backend(&plan, SimBackend::Sliced)
+        .expect("clean run")
+        .to_json();
+    let digest = plan.content_digest();
+    let plan_value: Value = serde_json::from_str(&plan.canonical_json()).expect("plan JSON parses");
+    let dir = state_dir("coalesce-restart");
+
+    let (mut child, addr) = spawn_daemon_process(&dir);
+    let mut client = Client::connect(&addr).expect("connect to first daemon");
+    let accepted = client
+        .request(&request(
+            "submit",
+            vec![("plan".to_string(), plan_value.clone())],
+        ))
+        .expect("submit");
+    assert_eq!(accepted.get("ok").and_then(Value::as_bool), Some(true));
+    child.kill().expect("SIGKILL the daemon");
+    let _ = child.wait();
+
+    // Restart over the same state dir; the journaled job recovers and two
+    // clients race duplicate submissions against that recovery.
+    let (mut child2, addr2) = spawn_daemon_process(&dir);
+    let responses: Vec<(bool, bool, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let addr2 = &addr2;
+                let plan_value = plan_value.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr2).expect("connect resubmitter");
+                    let resubmit = client
+                        .request(&request("submit", vec![("plan".to_string(), plan_value)]))
+                        .expect("resubmit");
+                    assert_eq!(
+                        resubmit.get("ok").and_then(Value::as_bool),
+                        Some(true),
+                        "resubmission accepted: {resubmit:?}"
+                    );
+                    let job = resubmit.get("job").and_then(Value::as_u64).expect("job id");
+                    let coalesced = resubmit
+                        .get("coalesced")
+                        .and_then(Value::as_bool)
+                        .unwrap_or(false);
+                    let cached = resubmit
+                        .get("cached")
+                        .and_then(Value::as_bool)
+                        .unwrap_or(false);
+                    let result = client
+                        .request(&request(
+                            "result",
+                            vec![
+                                ("job".to_string(), Value::UInt(job)),
+                                ("wait".to_string(), Value::Bool(true)),
+                                ("timeout_ms".to_string(), Value::UInt(120_000)),
+                            ],
+                        ))
+                        .expect("result");
+                    assert_eq!(
+                        result.get("ok").and_then(Value::as_bool),
+                        Some(true),
+                        "result delivered: {result:?}"
+                    );
+                    let report = serde_json::to_string(result.get("report").expect("report"))
+                        .expect("serialize report");
+                    (coalesced, cached, report)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("resubmitter thread"))
+            .collect()
+    });
+
+    for (coalesced, cached, _) in &responses {
+        assert!(
+            *coalesced || *cached,
+            "a duplicate digest must coalesce onto the recovered job (or hit \
+             the store if recovery already finished), never fork a new run"
+        );
+    }
+    assert_eq!(
+        responses[0].2, responses[1].2,
+        "both clients read identical report bytes"
+    );
+    assert_eq!(
+        store_body(&dir, &digest),
+        clean,
+        "the one recovered campaign produced the clean baseline bytes"
+    );
+
+    let mut client2 = Client::connect(&addr2).expect("connect for stats");
+    let stats = client2.request(&request("stats", vec![])).expect("stats");
+    let stats = stats.get("stats").expect("stats payload");
+    assert_eq!(
+        stats.get("jobs_completed").and_then(Value::as_u64),
+        Some(1),
+        "exactly one campaign executed: {stats:?}"
+    );
+    assert_eq!(stats.get("recovered_jobs").and_then(Value::as_u64), Some(1));
+    assert_eq!(stats.get("queue_depth").and_then(Value::as_u64), Some(0));
 
     let shutdown = client2
         .request(&request("shutdown", vec![]))

@@ -455,3 +455,151 @@ fn plugin_scheme_runs_through_the_daemon_byte_identically() {
     assert_eq!(summary.corrections_written_back, 0, "detection-only");
     shutdown(&addr, daemon);
 }
+
+/// `ping` is the fleet heartbeat: cheap, never queued, and it reports the
+/// drain/shutdown flags so a coordinator can tell "unschedulable but
+/// alive" from "dead".
+#[test]
+fn ping_reports_liveness_over_the_wire() {
+    let (addr, daemon) = spawn_daemon(ServiceConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let resp = client.request(&request("ping", vec![])).expect("ping");
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(resp.get("event").and_then(Value::as_str), Some("pong"));
+    assert_eq!(resp.get("draining").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        resp.get("shutting_down").and_then(Value::as_bool),
+        Some(false)
+    );
+    shutdown(&addr, daemon);
+}
+
+/// `run_shard` streams `shard_accepted`, per-chunk outcome checkpoints,
+/// and `shard_done`; the streamed outcomes re-aggregate to the exact
+/// byte-identical report of a whole-campaign run. Bad ranges get the
+/// structured `bad_shard` error, not a teardown.
+#[test]
+fn run_shard_streams_resumable_chunk_checkpoints() {
+    let (addr, daemon) = spawn_daemon(ServiceConfig::default());
+    let mut plan = SweepPlan::quick();
+    plan.seeds_per_point = 2;
+    plan.campaign_seed = 0x5a4d;
+    let total = plan.trial_count();
+    let plan_value: Value = serde_json::from_str(&plan.canonical_json()).expect("plan JSON parses");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client
+        .send(&request(
+            "run_shard",
+            vec![
+                ("plan".to_string(), plan_value.clone()),
+                ("start".to_string(), Value::UInt(0)),
+                ("end".to_string(), Value::UInt(total)),
+                ("chunk_trials".to_string(), Value::UInt(4)),
+            ],
+        ))
+        .expect("send run_shard");
+    let accepted = client.recv().expect("recv").expect("shard_accepted");
+    assert_eq!(
+        accepted.get("event").and_then(Value::as_str),
+        Some("shard_accepted")
+    );
+    assert_eq!(accepted.get("resumed").and_then(Value::as_u64), Some(0));
+    let mut outcomes = Vec::new();
+    loop {
+        let line = client.recv().expect("recv").expect("stream line");
+        assert_eq!(line.get("ok").and_then(Value::as_bool), Some(true));
+        match line.get("event").and_then(Value::as_str) {
+            Some("shard_chunk") => {
+                for item in line
+                    .get("outcomes")
+                    .and_then(Value::as_array)
+                    .expect("chunk outcomes")
+                {
+                    outcomes.push(
+                        nvpim_sweep::TrialOutcome::from_json_value(item).expect("outcome decodes"),
+                    );
+                }
+            }
+            Some("shard_done") => {
+                assert_eq!(line.get("trials").and_then(Value::as_u64), Some(total));
+                break;
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    assert_eq!(outcomes.len() as u64, total);
+
+    // The streamed outcomes aggregate to the exact single-run report.
+    let mut cache = nvpim_sweep::ScheduleCache::new();
+    let prepared = nvpim_sweep::prepare_campaign(&plan, &mut cache).expect("prepare");
+    let report = prepared
+        .report_from_outcomes(&outcomes)
+        .expect("complete outcome list merges");
+    let direct = nvpim_sweep::run_campaign(&plan).expect("direct run");
+    assert_eq!(report.to_json(), direct.to_json());
+
+    // Inverted range: structured error, connection stays usable.
+    let resp = client
+        .request(&request(
+            "run_shard",
+            vec![
+                ("plan".to_string(), plan_value),
+                ("start".to_string(), Value::UInt(5)),
+                ("end".to_string(), Value::UInt(1)),
+            ],
+        ))
+        .expect("request");
+    assert_eq!(error_code(&resp), "bad_shard");
+    let pong = client.request(&request("ping", vec![])).expect("ping");
+    assert_eq!(pong.get("event").and_then(Value::as_str), Some("pong"));
+    shutdown(&addr, daemon);
+}
+
+/// Backpressure over the wire: a full bounded queue answers `overloaded`
+/// with a `retry_after_ms` hint inside the structured error — the value
+/// clients feed into their backoff loop.
+#[test]
+fn overloaded_reply_carries_a_retry_hint() {
+    let (addr, daemon) = spawn_daemon(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..Default::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    // A slow job to occupy the single worker...
+    let mut slow = SweepPlan::quick();
+    slow.seeds_per_point = 64;
+    slow.campaign_seed = 0xb10c;
+    let slow_value: Value = serde_json::from_str(&slow.canonical_json()).expect("plan JSON");
+    let accepted = client
+        .request(&request("submit", vec![("plan".to_string(), slow_value)]))
+        .expect("submit slow");
+    assert_eq!(accepted.get("ok").and_then(Value::as_bool), Some(true));
+    // ...then fill the queue and overflow it with distinct digests.
+    let mut saw_overloaded = false;
+    for seed in 0..8u64 {
+        let resp = client
+            .request(&request(
+                "submit",
+                vec![("plan".to_string(), tiny_plan_value(0x0f00 + seed))],
+            ))
+            .expect("submit");
+        if resp.get("ok").and_then(Value::as_bool) == Some(false) {
+            assert_eq!(error_code(&resp), "overloaded");
+            let hint = resp
+                .get("error")
+                .and_then(|e| e.get("retry_after_ms"))
+                .and_then(Value::as_u64)
+                .expect("overloaded error carries retry_after_ms");
+            assert!(
+                (10..=10_000).contains(&hint),
+                "hint {hint} outside the clamp band"
+            );
+            saw_overloaded = true;
+            break;
+        }
+    }
+    assert!(saw_overloaded, "the bounded queue never reported overload");
+    shutdown(&addr, daemon);
+}

@@ -1300,10 +1300,7 @@ impl PreparedCampaign {
         resume: Vec<TrialOutcome>,
         mut observer: impl FnMut(ChunkCheckpoint<'_>) -> CampaignControl,
     ) -> Result<SweepReport, SweepError> {
-        let chunk_trials = chunk_trials.max(1);
-        let trials: Vec<(usize, u64)> = (0..self.points.len())
-            .flat_map(|pi| (0..self.plan.seeds_per_point).map(move |ti| (pi, ti)))
-            .collect();
+        let trials = self.flat_trials();
         let trials_total = trials.len() as u64;
         if resume.len() > trials.len() {
             return Err(SweepError::BadCheckpoint(format!(
@@ -1312,15 +1309,136 @@ impl PreparedCampaign {
                 trials.len()
             )));
         }
-        let campaign_seed = self.plan.campaign_seed;
-        let points_ref = &self.points;
 
         // Skip the checkpointed prefix: those trials' outcomes are already
         // known, and determinism makes the spliced list indistinguishable
         // from one computed in a single run.
         let mut outcomes: Vec<TrialOutcome> = resume;
         outcomes.reserve(trials.len() - outcomes.len());
-        for chunk in trials[outcomes.len()..].chunks(chunk_trials) {
+        let pending = &trials[outcomes.len()..];
+        self.execute_pending(
+            backend,
+            chunk_trials,
+            pending,
+            &mut outcomes,
+            trials_total,
+            &mut observer,
+        )?;
+        Ok(self.aggregate_report(&outcomes))
+    }
+
+    /// Runs **one shard** of the campaign: trials `start .. end` of the
+    /// same flat plan-ordered trial list [`Self::run_chunked_resumable`]
+    /// cuts chunks from, returning the shard's outcomes in trial order
+    /// (`end - start` of them) rather than a report.
+    ///
+    /// This is the scatter half of distributed campaigns: a coordinator
+    /// splits `[0, trial_count)` into contiguous ranges (see
+    /// [`shard_ranges`]), runs each on any worker, splices the returned
+    /// slices back in shard order, and aggregates them via
+    /// [`Self::report_from_outcomes`] into a report **byte-identical** to a
+    /// single-node run — legal because every outcome is a pure function of
+    /// `(point, campaign seed, trial index)`.
+    ///
+    /// `resume` injects the shard's previously checkpointed outcome prefix
+    /// (as streamed through the observer's [`ChunkCheckpoint`]s), so a
+    /// shard re-assigned after a worker death re-executes only the trials
+    /// after the last checkpoint. Checkpoint progress is shard-local:
+    /// `trials_done` counts shard outcomes (resumed prefix included) out of
+    /// `trials_total == end - start`.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::BadCheckpoint`] when the range is inverted, exceeds
+    /// the campaign's trial count, or `resume` holds more outcomes than the
+    /// shard has trials; [`SweepError::Cancelled`] when the observer says
+    /// so.
+    pub fn run_shard_resumable(
+        &self,
+        backend: &dyn ExecutionBackend,
+        start: u64,
+        end: u64,
+        chunk_trials: usize,
+        resume: Vec<TrialOutcome>,
+        mut observer: impl FnMut(ChunkCheckpoint<'_>) -> CampaignControl,
+    ) -> Result<Vec<TrialOutcome>, SweepError> {
+        let total = self.trial_count();
+        if start > end || end > total {
+            return Err(SweepError::BadCheckpoint(format!(
+                "shard range {start}..{end} is invalid for a campaign of {total} trials"
+            )));
+        }
+        let shard_len = (end - start) as usize;
+        if resume.len() > shard_len {
+            return Err(SweepError::BadCheckpoint(format!(
+                "shard checkpoint carries {} outcomes but the shard has only {} trials",
+                resume.len(),
+                shard_len
+            )));
+        }
+        let trials = self.flat_trials();
+        let mut outcomes: Vec<TrialOutcome> = resume;
+        outcomes.reserve(shard_len - outcomes.len());
+        let pending = &trials[start as usize + outcomes.len()..end as usize];
+        self.execute_pending(
+            backend,
+            chunk_trials,
+            pending,
+            &mut outcomes,
+            shard_len as u64,
+            &mut observer,
+        )?;
+        Ok(outcomes)
+    }
+
+    /// Aggregates a complete outcome list — e.g. shard slices spliced back
+    /// in shard order by a fleet coordinator — into the campaign's report,
+    /// executing nothing. Byte-identical to the report an uninterrupted
+    /// single-node run would have produced from the same plan.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::BadCheckpoint`] unless `outcomes` holds exactly
+    /// [`Self::trial_count`] outcomes.
+    pub fn report_from_outcomes(
+        &self,
+        outcomes: &[TrialOutcome],
+    ) -> Result<SweepReport, SweepError> {
+        let total = self.trial_count();
+        if outcomes.len() as u64 != total {
+            return Err(SweepError::BadCheckpoint(format!(
+                "merge holds {} outcomes but the campaign has {} trials",
+                outcomes.len(),
+                total
+            )));
+        }
+        Ok(self.aggregate_report(outcomes))
+    }
+
+    /// The flat plan-ordered trial list every chunked/sharded run cuts
+    /// from: all of point 0's trials, then point 1's, and so on.
+    fn flat_trials(&self) -> Vec<(usize, u64)> {
+        (0..self.points.len())
+            .flat_map(|pi| (0..self.plan.seeds_per_point).map(move |ti| (pi, ti)))
+            .collect()
+    }
+
+    /// Executes `pending` trials in chunks of at most `chunk_trials`,
+    /// appending to `outcomes` and invoking `observer` after each chunk
+    /// with cumulative progress against `trials_total`.
+    fn execute_pending(
+        &self,
+        backend: &dyn ExecutionBackend,
+        chunk_trials: usize,
+        pending: &[(usize, u64)],
+        outcomes: &mut Vec<TrialOutcome>,
+        trials_total: u64,
+        observer: &mut dyn FnMut(ChunkCheckpoint<'_>) -> CampaignControl,
+    ) -> Result<(), SweepError> {
+        let chunk_trials = chunk_trials.max(1);
+        let campaign_seed = self.plan.campaign_seed;
+        let points_ref = &self.points;
+        for chunk in pending.chunks(chunk_trials) {
             // Group runs of consecutive trials of one point into tasks of
             // the backend's width (1 for scalar, up to 64 lanes for sliced
             // points whose scheme declares the capability). Grouping is
@@ -1387,8 +1505,12 @@ impl PreparedCampaign {
                 return Err(SweepError::Cancelled);
             }
         }
+        Ok(())
+    }
 
-        // Aggregate per point, in plan order.
+    /// Aggregates a complete plan-ordered outcome list per point, in plan
+    /// order, into the final report.
+    fn aggregate_report(&self, outcomes: &[TrialOutcome]) -> SweepReport {
         let per_point = self.plan.seeds_per_point as usize;
         let agg_span = self.telemetry.span_start();
         let summaries: Vec<PointSummary> = self
@@ -1419,8 +1541,36 @@ impl PreparedCampaign {
             .collect();
         self.telemetry.span_end(Phase::Aggregation, agg_span);
 
-        Ok(SweepReport::new(&self.plan, summaries, self.schedules_used))
+        SweepReport::new(&self.plan, summaries, self.schedules_used)
     }
+}
+
+/// Splits `[0, trials_total)` into at most `shards` contiguous, non-empty
+/// ranges as evenly as possible (earlier ranges get the remainder). The
+/// coordinator's scatter geometry: concatenating the ranges in order
+/// reconstructs the full plan-ordered trial list, so shard outcomes spliced
+/// in shard order aggregate byte-identically to a single-node run.
+///
+/// Returns fewer than `shards` ranges when the campaign has fewer trials
+/// than shards, and no ranges for an empty campaign. `shards == 0` is
+/// treated as 1.
+#[must_use]
+pub fn shard_ranges(trials_total: u64, shards: usize) -> Vec<(u64, u64)> {
+    let shards = (shards.max(1) as u64).min(trials_total);
+    let mut ranges = Vec::with_capacity(shards as usize);
+    if shards == 0 {
+        return ranges;
+    }
+    let base = trials_total / shards;
+    let rem = trials_total % shards;
+    let mut start = 0u64;
+    for i in 0..shards {
+        let len = base + u64::from(i < rem);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    debug_assert_eq!(start, trials_total);
+    ranges
 }
 
 /// Runs a full campaign: compiles each point's schedule once (shared via
@@ -1463,6 +1613,7 @@ pub fn run_campaign_with_backend(
 mod tests {
     use super::*;
     use nvpim_sim::technology::Technology;
+    use serde::Serialize;
 
     #[test]
     fn trial_seeds_are_stable_and_coordinate_sensitive() {
@@ -1578,6 +1729,116 @@ mod tests {
             let expected_chunks = plan.trial_count().div_ceil(chunk as u64);
             assert_eq!(events, expected_chunks);
         }
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_trial_list() {
+        assert_eq!(shard_ranges(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(shard_ranges(2, 5), vec![(0, 1), (1, 2)]);
+        assert_eq!(shard_ranges(0, 3), Vec::<(u64, u64)>::new());
+        assert_eq!(shard_ranges(7, 0), vec![(0, 7)]);
+        for (total, shards) in [(1u64, 1usize), (64, 3), (1000, 16), (5, 5)] {
+            let ranges = shard_ranges(total, shards);
+            assert!(ranges.len() <= shards.max(1));
+            let mut next = 0u64;
+            for &(s, e) in &ranges {
+                assert_eq!(s, next);
+                assert!(e > s, "ranges are non-empty");
+                next = e;
+            }
+            assert_eq!(next, total);
+        }
+    }
+
+    #[test]
+    fn sharded_outcomes_merge_byte_identically() {
+        // Scatter/gather over any shard geometry must aggregate into the
+        // same bytes as a one-shot run — including shards resumed from a
+        // checkpointed prefix mid-range.
+        let mut plan = SweepPlan::quick();
+        plan.seeds_per_point = 5;
+        let baseline = run_campaign(&plan).unwrap().to_json();
+        let mut cache = ScheduleCache::new();
+        let prepared = prepare_campaign(&plan, &mut cache).unwrap();
+        let backend = execution_backend(SimBackend::default());
+        for shards in [1usize, 2, 3, 7] {
+            let mut merged: Vec<TrialOutcome> = Vec::new();
+            for (start, end) in shard_ranges(prepared.trial_count(), shards) {
+                let slice = prepared
+                    .run_shard_resumable(backend, start, end, 4, Vec::new(), |_| {
+                        CampaignControl::Continue
+                    })
+                    .unwrap();
+                assert_eq!(slice.len() as u64, end - start);
+                merged.extend(slice);
+            }
+            let report = prepared.report_from_outcomes(&merged).unwrap();
+            assert_eq!(report.to_json(), baseline, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn shard_resume_skips_checkpointed_prefix() {
+        let plan = SweepPlan::quick();
+        let mut cache = ScheduleCache::new();
+        let prepared = prepare_campaign(&plan, &mut cache).unwrap();
+        let backend = execution_backend(SimBackend::default());
+        let total = prepared.trial_count();
+        let (start, end) = (total / 4, 3 * total / 4);
+
+        // First pass: capture the first two chunks' outcomes, then die.
+        let mut checkpointed: Vec<TrialOutcome> = Vec::new();
+        let mut chunks = 0;
+        let err = prepared
+            .run_shard_resumable(backend, start, end, 3, Vec::new(), |cp| {
+                checkpointed.extend_from_slice(cp.new_outcomes);
+                chunks += 1;
+                if chunks == 2 {
+                    CampaignControl::Cancel
+                } else {
+                    CampaignControl::Continue
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, SweepError::Cancelled);
+        assert_eq!(checkpointed.len(), 6);
+
+        // Second pass resumes from the checkpoint: progress starts past the
+        // prefix and the spliced shard matches a clean one-pass shard.
+        let resumed = prepared
+            .run_shard_resumable(backend, start, end, 3, checkpointed.clone(), |cp| {
+                assert!(cp.progress.trials_done > 6);
+                assert_eq!(cp.progress.trials_total, end - start);
+                CampaignControl::Continue
+            })
+            .unwrap();
+        let clean = prepared
+            .run_shard_resumable(backend, start, end, 1000, Vec::new(), |_| {
+                CampaignControl::Continue
+            })
+            .unwrap();
+        assert_eq!(
+            resumed.iter().map(|o| o.to_json()).collect::<Vec<_>>(),
+            clean.iter().map(|o| o.to_json()).collect::<Vec<_>>()
+        );
+
+        // Range and prefix validation.
+        assert!(matches!(
+            prepared.run_shard_resumable(backend, 5, 4, 1, Vec::new(), |_| {
+                CampaignControl::Continue
+            }),
+            Err(SweepError::BadCheckpoint(_))
+        ));
+        assert!(matches!(
+            prepared.run_shard_resumable(backend, 0, total + 1, 1, Vec::new(), |_| {
+                CampaignControl::Continue
+            }),
+            Err(SweepError::BadCheckpoint(_))
+        ));
+        assert!(matches!(
+            prepared.report_from_outcomes(&clean),
+            Err(SweepError::BadCheckpoint(_))
+        ));
     }
 
     #[test]

@@ -46,9 +46,10 @@ pub mod report;
 
 pub use engine::{
     derive_trial_seed, execution_backend, prepare_campaign, prepare_campaign_with_telemetry,
-    run_campaign, run_campaign_with_backend, trial_stream_seeds, CampaignControl, CampaignProgress,
-    ChunkCheckpoint, CompiledKernel, ExecutionBackend, PointContext, PreparedCampaign,
-    ScalarBackend, ScheduleCache, SlicedBackend, TaskOutcomes, TrialArena, TrialHarness,
+    run_campaign, run_campaign_with_backend, shard_ranges, trial_stream_seeds, CampaignControl,
+    CampaignProgress, ChunkCheckpoint, CompiledKernel, ExecutionBackend, PointContext,
+    PreparedCampaign, ScalarBackend, ScheduleCache, SlicedBackend, TaskOutcomes, TrialArena,
+    TrialHarness,
 };
 pub use nvpim_core::config::SimBackend;
 pub use nvpim_telemetry::{Counter as TelemetryCounter, Phase, Telemetry, TelemetrySnapshot};

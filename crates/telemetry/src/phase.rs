@@ -108,10 +108,19 @@ pub enum Counter {
     ResumedChunks,
     /// Journal records successfully replayed on daemon startup.
     JournalRecordsReplayed,
+    /// Shards handed to a replacement worker after their original worker
+    /// died, stalled past its heartbeat deadline, or disconnected.
+    ShardsReassigned,
+    /// Workers evicted from a coordinator fleet after a missed heartbeat
+    /// deadline or transport failure.
+    WorkerEvictions,
+    /// Heartbeat deadlines missed by fleet workers (a worker may miss
+    /// several before the campaign ends).
+    HeartbeatMisses,
 }
 
 /// Number of counters in the taxonomy (array sizes derive from this).
-pub const COUNTER_COUNT: usize = 10;
+pub const COUNTER_COUNT: usize = 13;
 
 impl Counter {
     /// Every counter, in stable exposition order.
@@ -126,6 +135,9 @@ impl Counter {
         Counter::RecoveredJobs,
         Counter::ResumedChunks,
         Counter::JournalRecordsReplayed,
+        Counter::ShardsReassigned,
+        Counter::WorkerEvictions,
+        Counter::HeartbeatMisses,
     ];
 
     /// Stable snake_case name used in exposition output.
@@ -142,6 +154,9 @@ impl Counter {
             Counter::RecoveredJobs => "recovered_jobs",
             Counter::ResumedChunks => "resumed_chunks",
             Counter::JournalRecordsReplayed => "journal_records_replayed",
+            Counter::ShardsReassigned => "shards_reassigned",
+            Counter::WorkerEvictions => "worker_evictions",
+            Counter::HeartbeatMisses => "heartbeat_misses",
         }
     }
 
