@@ -22,6 +22,11 @@
 //!   `exact_rare` — the historical full-simulation path (analytic
 //!   zero-fault fast path disabled) at the same rate.
 //!
+//! A fifth series, `accuracy`, prices the inference-accuracy campaign
+//! kind end to end (prepare + trials): DetectRecompute on the ReRAM
+//! crossbar with stuck-at defects, where each trial is a full reduced-MLP
+//! inference (eight neuron rows) instead of one kernel run.
+//!
 //! Besides the criterion-style console lines, the bench rewrites
 //! `BENCH_trials.json` at the repo root (override with `NVPIM_BENCH_OUT`)
 //! with absolute trials/sec for all series, so the perf trajectory
@@ -45,9 +50,10 @@ use nvpim_sim::array::PimArray;
 use nvpim_sim::fault::{ErrorRates, FaultInjector};
 use nvpim_sim::technology::Technology;
 use nvpim_sweep::{
-    derive_trial_seed, trial_stream_seeds, Phase, ProtectionConfig, SweepWorkload, Telemetry,
-    TrialArena, TrialHarness,
+    derive_trial_seed, run_campaign, trial_stream_seeds, CampaignKind, EstimatorMode, Phase,
+    ProtectionConfig, SweepPlan, SweepWorkload, Telemetry, TrialArena, TrialHarness,
 };
+use nvpim_workloads::Benchmark;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -251,6 +257,34 @@ fn emit_json_and_guard() {
     let effective_tps = conditioned_tps / p1;
     let estimator_gain = effective_tps / exact_rare_tps;
 
+    // Accuracy-campaign series: the inference-accuracy kind on the ReRAM
+    // crossbar with stuck-at defects, priced as a whole campaign (model
+    // generation, netlist compilation, baseline capture, trials) since
+    // that is the unit users run. Each trial is a full reduced-MLP
+    // inference: eight neuron-row kernel runs plus periphery classify.
+    let accuracy_seeds: u64 = if quick_mode() { 64 } else { 256 };
+    let accuracy_plan = SweepPlan {
+        workloads: vec![SweepWorkload::Benchmark(Benchmark::Mnist {
+            weight_bits: 1,
+        })],
+        technologies: vec![Technology::ReramCrossbar],
+        protections: vec![ProtectionConfig::DETECT_RECOMPUTE],
+        gate_error_rates: vec![1e-3],
+        seeds_per_point: accuracy_seeds,
+        campaign_seed: CAMPAIGN_SEED,
+        estimator: EstimatorMode::Exact,
+        kind: CampaignKind::Accuracy,
+        stuck_at_rate: 1e-4,
+    };
+    let accuracy_start = Instant::now();
+    let accuracy_report = run_campaign(&accuracy_plan).expect("accuracy campaign runs");
+    let accuracy_tps = accuracy_seeds as f64 / accuracy_start.elapsed().as_secs_f64();
+    let measured_accuracy = accuracy_report.points[0]
+        .accuracy
+        .as_ref()
+        .expect("accuracy summary present")
+        .accuracy;
+
     arena.flush_telemetry();
     let phase_breakdown = phases_json(&telemetry.snapshot());
 
@@ -276,13 +310,18 @@ fn emit_json_and_guard() {
             "\"trials_per_sec\": {ertps:.1} }},\n",
             "    \"estimator\": {{ \"gate_error_rate\": {rrate}, \"trials\": {et}, ",
             "\"trials_per_sec\": {etps:.1}, \"fault_probability\": {p1:.6e}, ",
-            "\"effective_trials_per_sec\": {efftps:.1} }}\n",
+            "\"effective_trials_per_sec\": {efftps:.1} }},\n",
+            "    \"accuracy\": {{ \"workload\": \"mnist/wb1\", \"protection\": ",
+            "\"detect-recompute/m-o\", \"technology\": \"ReRAM-crossbar\", ",
+            "\"gate_error_rate\": 1e-3, \"stuck_at_rate\": 1e-4, \"trials\": {at}, ",
+            "\"trials_per_sec\": {atps:.1}, \"top1_accuracy\": {aacc:.4} }}\n",
             "  }},\n",
             "  \"sliced_trials_per_sec\": {stps:.1},\n",
             "  \"scalar_trials_per_sec\": {ctps:.1},\n",
             "  \"speedup_sliced_vs_scalar\": {svc:.2},\n",
             "  \"speedup_scalar_vs_legacy\": {cvl:.2},\n",
             "  \"estimator_effective_gain\": {egain:.2},\n",
+            "  \"accuracy_trials_per_sec\": {atps:.1},\n",
             "  \"phases\": {phases},\n",
             "  \"note\": \"sliced = 64-trials-per-u64-lane transposed backend (the engine ",
             "default); scalar = the per-trial packed-arena reference backend; legacy = ",
@@ -292,7 +331,9 @@ fn emit_json_and_guard() {
             "estimator = stratified rare-event mode at gate rate 1e-5: conditioned ",
             "trials reweighted by P1, effective rate = trials_per_sec / P1, measured ",
             "against exact_rare, the full-simulation path at the same rate with the ",
-            "analytic zero-fault fast path disabled\"\n",
+            "analytic zero-fault fast path disabled. accuracy = the inference-accuracy ",
+            "campaign kind, whole-campaign rate (each trial is one reduced-MLP ",
+            "inference on the defect-bearing ReRAM crossbar)\"\n",
             "}}\n"
         ),
         tech = harness.config().technology,
@@ -315,6 +356,9 @@ fn emit_json_and_guard() {
         p1 = p1,
         efftps = effective_tps,
         egain = estimator_gain,
+        at = accuracy_seeds,
+        atps = accuracy_tps,
+        aacc = measured_accuracy,
         phases = phase_breakdown,
     );
     match std::fs::write(&out_path, &json) {
@@ -356,6 +400,22 @@ fn emit_json_and_guard() {
             );
             failed = true;
         }
+        // The accuracy campaign runs whole inferences per trial, so its
+        // floor is orders of magnitude below the kernel-trial floors —
+        // but an accidental per-trial recompile or precompute loss would
+        // still crater it well past this gate.
+        let accuracy_floor = env_f64("NVPIM_BENCH_MIN_ACCURACY_TPS", 20.0);
+        if accuracy_tps < accuracy_floor {
+            eprintln!(
+                "PERF GUARD FAILED: accuracy-campaign throughput {accuracy_tps:.1} trials/s \
+                 < floor {accuracy_floor:.1}"
+            );
+            failed = true;
+        }
+        if !(0.0..=1.0).contains(&measured_accuracy) {
+            eprintln!("PERF GUARD FAILED: measured accuracy {measured_accuracy} outside [0, 1]");
+            failed = true;
+        }
         if let Err(msg) = estimator_cross_check() {
             eprintln!("PERF GUARD FAILED: {msg}");
             failed = true;
@@ -366,7 +426,8 @@ fn emit_json_and_guard() {
         println!(
             "perf guard OK: sliced {:.0} trials/s = {ratio:.1}x scalar (floor {floor_tps:.0}, \
              min ratio {min_ratio:.1}); estimator effective gain {estimator_gain:.1}x \
-             (min {min_gain:.1}); estimator-vs-exact cross-check within 5 sigma",
+             (min {min_gain:.1}); accuracy campaign {accuracy_tps:.0} trials/s \
+             (floor {accuracy_floor:.0}); estimator-vs-exact cross-check within 5 sigma",
             sliced.trials_per_sec
         );
     }

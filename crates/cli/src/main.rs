@@ -1,21 +1,23 @@
 //! `nvpim-cli` — client for the `nvpim-serviced` campaign daemon.
 //!
 //! ```text
-//! nvpim-cli submit  [--addr A] (--plan plan.json | --quick | --paper-scale)
-//!                   [--priority N] [--wait]
+//! nvpim-cli submit  [--addr A] (--plan plan.json | --quick | --paper-scale
+//!                   | --accuracy-quick) [--priority N] [--wait]
 //! nvpim-cli status  [--addr A] --job ID
 //! nvpim-cli result  [--addr A] --job ID [--wait]
 //! nvpim-cli cancel  [--addr A] --job ID
 //! nvpim-cli stats   [--addr A] [--watch] [--interval-ms N] [--count N]
 //! nvpim-cli metrics [--addr A]      # Prometheus-style text exposition
 //! nvpim-cli shutdown [--addr A]
-//! nvpim-cli run     (--plan plan.json | --quick | --paper-scale)
+//! nvpim-cli run     (--plan plan.json | --quick | --paper-scale
+//!                   | --accuracy-quick)
 //!                   [--backend scalar|sliced]
 //!                   [--estimator exact|stratified]
+//!                   [--kind error|accuracy] [--stuck-at DENSITY]
 //!                   [--timings]                                    # no daemon
 //! nvpim-cli run     --fleet HOST:PORT[,HOST:PORT...]               # sharded
 //!                   [--shards N] [--chunk-trials N] [--heartbeat-ms N]
-//!                   [--max-reassignments N] (--plan ... | --quick | --paper-scale)
+//!                   [--max-reassignments N] (--plan ... | --quick | ...)
 //! nvpim-cli schemes [--json]        # the protection-scheme registry
 //! ```
 //!
@@ -55,7 +57,7 @@ use nvpim::service::coordinator::{run_fleet, FleetConfig};
 use nvpim::service::flags::{has_flag, value_of};
 use nvpim::sweep::{prepare_campaign_with_telemetry, run_campaign_with_backend, ScheduleCache};
 use nvpim::telemetry::{Counter, Phase, Telemetry};
-use nvpim::{EstimatorMode, SimBackend, SweepPlan};
+use nvpim::{CampaignKind, EstimatorMode, SimBackend, SweepPlan};
 use serde::Value;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7171";
@@ -73,8 +75,11 @@ fn plan_value(args: &[String]) -> Value {
     if has_flag(args, "--paper-scale") {
         return Value::Str("paper_scale".into());
     }
+    if has_flag(args, "--accuracy-quick") {
+        return Value::Str("accuracy_quick".into());
+    }
     let path = value_of(args, "--plan")
-        .unwrap_or_else(|| die("expected --plan FILE, --quick or --paper-scale"));
+        .unwrap_or_else(|| die("expected --plan FILE, --quick, --paper-scale or --accuracy-quick"));
     let text =
         std::fs::read_to_string(&path).unwrap_or_else(|e| die(format!("reading {path}: {e}")));
     serde_json::from_str(&text).unwrap_or_else(|e| die(format!("parsing {path}: {e}")))
@@ -87,6 +92,9 @@ fn plan_local(args: &[String]) -> SweepPlan {
     }
     if has_flag(args, "--paper-scale") {
         return SweepPlan::paper_scale();
+    }
+    if has_flag(args, "--accuracy-quick") {
+        return SweepPlan::accuracy_quick();
     }
     let value = plan_value(args);
     SweepPlan::from_json_value(&value).unwrap_or_else(|e| die(e))
@@ -338,7 +346,14 @@ fn cmd_submit(args: &[String]) {
                         .get("trials_total")
                         .and_then(Value::as_u64)
                         .unwrap_or(0);
-                    eprintln!("job {job}: {done}/{total} trials ({percent:.1}%)");
+                    // Accuracy campaigns stream their running tally too.
+                    match line.get("accuracy").and_then(Value::as_f64) {
+                        Some(accuracy) => eprintln!(
+                            "job {job}: {done}/{total} trials ({percent:.1}%), \
+                             accuracy {accuracy:.3}"
+                        ),
+                        None => eprintln!("job {job}: {done}/{total} trials ({percent:.1}%)"),
+                    }
                 }
                 Some("result") => {
                     print_report(&line);
@@ -388,6 +403,19 @@ fn cmd_run(args: &[String]) {
     if let Some(text) = value_of(args, "--estimator") {
         let estimator: EstimatorMode = text.parse().unwrap_or_else(|e| die(e));
         plan.estimator = estimator;
+    }
+    // `--kind accuracy` promotes the campaign to inference-accuracy
+    // evaluation (labelled workloads only, schema version 3); `--stuck-at
+    // DENSITY` seeds permanent SA0/SA1 defects at that per-cell density,
+    // derived deterministically from the campaign seed.
+    if let Some(text) = value_of(args, "--kind") {
+        let kind: CampaignKind = text.parse().unwrap_or_else(|e| die(e));
+        plan.kind = kind;
+    }
+    if let Some(text) = value_of(args, "--stuck-at") {
+        plan.stuck_at_rate = text
+            .parse()
+            .unwrap_or_else(|_| die("--stuck-at expects a defect density in [0, 1]"));
     }
     plan.validate().unwrap_or_else(|e| die(e));
     // `--fleet A,B,...` shards the campaign across several daemons via
@@ -614,6 +642,8 @@ fn cmd_schemes(args: &[String]) {
                         Value::UInt(caps.cells_per_value as u64),
                     ),
                     ("analytic_clean".into(), Value::Bool(caps.analytic_clean)),
+                    ("recompute".into(), Value::Bool(caps.recompute)),
+                    ("stuck_at_aware".into(), Value::Bool(caps.stuck_at_aware)),
                 ])
             })
             .collect();
@@ -621,7 +651,7 @@ fn cmd_schemes(args: &[String]) {
         return;
     }
     println!(
-        "{:<14} {:<12} {:>9} {:>11} {:>11} {:>16} {:>15} {:>14}",
+        "{:<16} {:<16} {:>9} {:>11} {:>11} {:>16} {:>15} {:>14} {:>9} {:>13}",
         "scheme",
         "display",
         "sliceable",
@@ -629,11 +659,13 @@ fn cmd_schemes(args: &[String]) {
         "parity bits",
         "metadata columns",
         "cells per value",
-        "analytic-clean"
+        "analytic-clean",
+        "recompute",
+        "stuck-at-aware"
     );
     for (scheme, caps) in rows {
         println!(
-            "{:<14} {:<12} {:>9} {:>11} {:>11} {:>16} {:>15} {:>14}",
+            "{:<16} {:<16} {:>9} {:>11} {:>11} {:>16} {:>15} {:>14} {:>9} {:>13}",
             scheme.wire_name(),
             scheme.name(),
             caps.sliceable,
@@ -641,7 +673,9 @@ fn cmd_schemes(args: &[String]) {
             caps.parity_bits,
             caps.metadata_columns,
             caps.cells_per_value,
-            caps.analytic_clean
+            caps.analytic_clean,
+            caps.recompute,
+            caps.stuck_at_aware
         );
     }
 }

@@ -45,6 +45,12 @@ impl ProtectionScheme {
     pub const ParityDetect: ProtectionScheme = ProtectionScheme {
         runtime: &crate::schemes::parity_detect::ParityDetectScheme,
     };
+    /// Parity detection with bounded software recompute of the affected
+    /// logic level and verified write-back (see
+    /// [`crate::schemes::detect_recompute`]).
+    pub const DetectRecompute: ProtectionScheme = ProtectionScheme {
+        runtime: &crate::schemes::detect_recompute::DetectRecomputeScheme,
+    };
 
     /// The scheme's runtime — the single dispatch point for everything that
     /// was once a `match scheme` arm.

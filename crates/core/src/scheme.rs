@@ -54,6 +54,16 @@ pub struct SchemeCapabilities {
     /// This legalizes the engine's analytic fast path and the stratified
     /// estimator's zero-fault stratum.
     pub analytic_clean: bool,
+    /// Whether the scheme recovers from detections by re-evaluating the
+    /// affected logic level in periphery logic and writing the results back
+    /// (detect-and-recompute), rather than only counting retries or
+    /// decoding a code.
+    pub recompute: bool,
+    /// Whether the scheme's write-back path accounts for permanent
+    /// stuck-at defects: verified writes that a broken cell pins to the
+    /// wrong value are surfaced as uncorrectable instead of silently
+    /// trusted.
+    pub stuck_at_aware: bool,
 }
 
 /// Per-technology cost parameters handed to
@@ -146,6 +156,18 @@ pub trait SchemeRuntime: std::fmt::Debug + Sync {
         true
     }
 
+    /// Whether the scheme recovers from detections by bounded software
+    /// recompute of the affected level with verified write-back.
+    fn recompute(&self) -> bool {
+        false
+    }
+
+    /// Whether the scheme's write-back path detects stuck-at-pinned
+    /// residual errors (see [`SchemeCapabilities::stuck_at_aware`]).
+    fn stuck_at_aware(&self) -> bool {
+        false
+    }
+
     /// In-memory parity bits maintained per check group under `config`.
     fn parity_bits(&self, config: &DesignConfig) -> usize {
         let _ = config;
@@ -162,6 +184,8 @@ pub trait SchemeRuntime: std::fmt::Debug + Sync {
             metadata_columns: self.metadata_columns(config),
             cells_per_value: self.cells_per_value(),
             analytic_clean: self.analytic_clean(),
+            recompute: self.recompute(),
+            stuck_at_aware: self.stuck_at_aware(),
         }
     }
 
@@ -236,11 +260,12 @@ pub trait SchemeRuntime: std::fmt::Debug + Sync {
 /// this slice — registering a scheme here is the *only* step besides the
 /// `impl SchemeRuntime` itself.
 pub fn registry() -> &'static [&'static dyn SchemeRuntime] {
-    static REGISTRY: [&'static dyn SchemeRuntime; 4] = [
+    static REGISTRY: [&'static dyn SchemeRuntime; 5] = [
         &crate::schemes::unprotected::UnprotectedScheme,
         &crate::schemes::ecim::EcimScheme,
         &crate::schemes::trim::TrimScheme,
         &crate::schemes::parity_detect::ParityDetectScheme,
+        &crate::schemes::detect_recompute::DetectRecomputeScheme,
     ];
     &REGISTRY
 }

@@ -9,6 +9,7 @@
 //! changes. [`parity_detect`] was added exactly that way and is the
 //! template to copy.
 
+pub mod detect_recompute;
 pub mod ecim;
 pub mod parity_detect;
 pub mod trim;

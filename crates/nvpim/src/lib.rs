@@ -62,8 +62,8 @@ pub use nvpim_core::config::{DesignConfig, GateStyle, ProtectionScheme, SimBacke
 pub use nvpim_core::scheme::{SchemeCapabilities, SchemeRuntime};
 pub use nvpim_sim::technology::Technology;
 pub use nvpim_sweep::{
-    EstimatorMode, ExecutionBackend, ProtectionConfig, SweepError, SweepPlan, SweepReport,
-    SweepWorkload,
+    AccuracySummary, CampaignKind, EstimatorMode, ExecutionBackend, ProtectionConfig, SweepError,
+    SweepPlan, SweepReport, SweepWorkload,
 };
 pub use nvpim_telemetry::{Telemetry, TelemetrySnapshot};
 pub use nvpim_workloads::Benchmark;
@@ -137,6 +137,8 @@ pub struct CampaignBuilder {
     seed: Option<u64>,
     backend: SimBackend,
     estimator: EstimatorMode,
+    kind: CampaignKind,
+    stuck_at_rate: f64,
 }
 
 impl CampaignBuilder {
@@ -211,6 +213,24 @@ impl CampaignBuilder {
         self
     }
 
+    /// Selects the campaign kind (default: [`CampaignKind::Error`], the
+    /// historical error-counting campaign). [`CampaignKind::Accuracy`]
+    /// promotes each trial into an inference-accuracy evaluation — labelled
+    /// workloads only — whose per-point report carries top-1 fidelity to the
+    /// clean model next to the error counters.
+    pub fn kind(mut self, kind: CampaignKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the permanent stuck-at cell-defect density (default 0.0).
+    /// Per-trial defect maps derive from the same deterministic seed
+    /// discipline as transient faults, so reports stay byte-reproducible.
+    pub fn stuck_at_rate(mut self, density: f64) -> Self {
+        self.stuck_at_rate = density;
+        self
+    }
+
     /// Validates the assembled plan and returns the runnable [`Campaign`].
     ///
     /// # Errors
@@ -243,6 +263,8 @@ impl CampaignBuilder {
             seeds_per_point: self.trials,
             campaign_seed: self.seed.unwrap_or(quick.campaign_seed),
             estimator: self.estimator,
+            kind: self.kind,
+            stuck_at_rate: self.stuck_at_rate,
         };
         plan.validate()?;
         Ok(Campaign {

@@ -308,6 +308,7 @@ mod tests {
             uncorrectable: 0,
             wrong_output_bits: 0,
             exec_error: None,
+            correct: None,
         }
     }
 

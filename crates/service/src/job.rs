@@ -92,6 +92,12 @@ pub struct JobCore {
     /// latency accounting.
     pub submitted_at: Instant,
     trials_done: AtomicU64,
+    /// Accuracy-campaign progress: trials whose inference matched the
+    /// clean model so far (zero for error campaigns).
+    correct_trials: AtomicU64,
+    /// Accuracy-campaign progress: trials that produced a prediction so
+    /// far (zero for error campaigns, which carry no accuracy data).
+    evaluated_trials: AtomicU64,
     cancel: AtomicBool,
     slot: Mutex<Slot>,
     terminal: Condvar,
@@ -128,6 +134,8 @@ impl JobCore {
             from_cache: false,
             submitted_at: Instant::now(),
             trials_done: AtomicU64::new(0),
+            correct_trials: AtomicU64::new(0),
+            evaluated_trials: AtomicU64::new(0),
             cancel: AtomicBool::new(false),
             slot: Mutex::new(Slot {
                 state: JobState::Queued,
@@ -158,6 +166,8 @@ impl JobCore {
             from_cache: false,
             submitted_at: Instant::now(),
             trials_done: AtomicU64::new(trials_done),
+            correct_trials: AtomicU64::new(0),
+            evaluated_trials: AtomicU64::new(0),
             cancel: AtomicBool::new(false),
             slot: Mutex::new(Slot {
                 state,
@@ -184,6 +194,8 @@ impl JobCore {
             from_cache: true,
             submitted_at: Instant::now(),
             trials_done: AtomicU64::new(trials_total),
+            correct_trials: AtomicU64::new(0),
+            evaluated_trials: AtomicU64::new(0),
             cancel: AtomicBool::new(false),
             slot: Mutex::new(Slot {
                 state: JobState::Done,
@@ -243,6 +255,22 @@ impl JobCore {
     /// chunks).
     pub(crate) fn note_progress(&self, trials_done: u64) {
         self.trials_done.store(trials_done, Ordering::Relaxed);
+    }
+
+    /// Accumulates accuracy-campaign progress (called by the running
+    /// worker between chunks with that chunk's newly evaluated trials, and
+    /// at recovery with the checkpointed prefix).
+    pub(crate) fn note_accuracy(&self, correct: u64, evaluated: u64) {
+        self.correct_trials.fetch_add(correct, Ordering::Relaxed);
+        self.evaluated_trials
+            .fetch_add(evaluated, Ordering::Relaxed);
+    }
+
+    /// Accuracy progress so far as `(correct, evaluated)`, or `None` when
+    /// no trial has produced a prediction (error campaigns never do).
+    pub fn accuracy_progress(&self) -> Option<(u64, u64)> {
+        let evaluated = self.evaluated_trials.load(Ordering::Relaxed);
+        (evaluated > 0).then(|| (self.correct_trials.load(Ordering::Relaxed), evaluated))
     }
 
     /// Requests cancellation. A queued job transitions to `Cancelled`

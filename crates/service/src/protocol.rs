@@ -96,14 +96,15 @@ fn to_value<T: Serialize>(v: &T) -> Value {
 }
 
 /// Decodes the `plan` field: an inline plan object, or the named shorthands
-/// `"quick"` / `"paper_scale"`.
+/// `"quick"` / `"paper_scale"` / `"accuracy_quick"`.
 fn decode_plan(value: &Value) -> Result<SweepPlan, String> {
     if let Some(name) = value.as_str() {
         return match name {
             "quick" => Ok(SweepPlan::quick()),
             "paper_scale" => Ok(SweepPlan::paper_scale()),
+            "accuracy_quick" => Ok(SweepPlan::accuracy_quick()),
             other => Err(format!(
-                "unknown named plan `{other}` (expected quick or paper_scale)"
+                "unknown named plan `{other}` (expected quick, paper_scale or accuracy_quick)"
             )),
         };
     }
@@ -452,7 +453,7 @@ fn stream_until_done(
             }
             if done != last_done {
                 last_done = done;
-                emit(&ok_response(vec![
+                let mut fields = vec![
                     ("event".into(), Value::Str("progress".into())),
                     ("job".into(), Value::UInt(job)),
                     ("state".into(), Value::Str(state.label().into())),
@@ -463,7 +464,19 @@ fn stream_until_done(
                         "trials_per_sec".into(),
                         core.trials_per_sec().map_or(Value::Null, Value::Float),
                     ),
-                ]))?;
+                ];
+                // Accuracy campaigns additionally stream their running
+                // task-accuracy tally; error campaigns omit the keys
+                // entirely, keeping their progress lines byte-stable.
+                if let Some((correct, evaluated)) = core.accuracy_progress() {
+                    fields.push(("correct_trials".into(), Value::UInt(correct)));
+                    fields.push(("evaluated_trials".into(), Value::UInt(evaluated)));
+                    fields.push((
+                        "accuracy".into(),
+                        Value::Float(correct as f64 / evaluated as f64),
+                    ));
+                }
+                emit(&ok_response(fields))?;
             }
         }
     }

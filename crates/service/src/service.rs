@@ -12,9 +12,9 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use nvpim_sweep::{
-    execution_backend, prepare_campaign_with_telemetry, CampaignControl, ChunkCheckpoint,
-    EstimatorMode, ExecutionBackend, ScheduleCache, SimBackend, SweepError, SweepPlan,
-    TrialOutcome,
+    execution_backend, prepare_campaign_with_telemetry, CampaignControl, CampaignKind,
+    ChunkCheckpoint, EstimatorMode, ExecutionBackend, ScheduleCache, SimBackend, SweepError,
+    SweepPlan, TrialOutcome,
 };
 use nvpim_telemetry::{Counter as TelemetryCounter, EventLog, Phase, Telemetry};
 use serde::{Serialize, Value};
@@ -221,6 +221,14 @@ pub struct ServiceStats {
     /// estimator (counted at acceptance, including cached and coalesced
     /// submissions — the demand signal, not the work done).
     pub estimator_jobs: u64,
+    /// Submissions whose plan ran the inference-accuracy campaign kind
+    /// (counted at acceptance, like [`estimator_jobs`](Self::estimator_jobs)).
+    pub accuracy_jobs: u64,
+    /// Accuracy-campaign trials that produced a prediction, across all
+    /// campaigns (resumed checkpoints are not re-counted).
+    pub accuracy_trials_evaluated: u64,
+    /// Of those, trials whose prediction matched the clean model's.
+    pub accuracy_trials_correct: u64,
     /// Trials settled by the analytic zero-fault fast path without
     /// executing a gate (first-class telemetry counter).
     pub clean_settled_trials: u64,
@@ -294,6 +302,12 @@ struct Counters {
     busy_nanos: AtomicU64,
     /// Accepted submissions whose plan ran in stratified estimator mode.
     estimator_jobs: AtomicU64,
+    /// Accepted submissions whose plan ran the accuracy campaign kind.
+    accuracy_jobs: AtomicU64,
+    /// Accuracy trials that produced a prediction (newly executed only).
+    accuracy_evaluated: AtomicU64,
+    /// Of those, predictions matching the clean model's.
+    accuracy_correct: AtomicU64,
     /// Job attempts retried after a contained panic.
     retried: AtomicU64,
     /// Jobs restored from the journal at startup.
@@ -506,6 +520,9 @@ impl ServiceHandle {
                 .counters
                 .estimator_jobs
                 .fetch_add(1, Ordering::Relaxed);
+        }
+        if plan.kind == CampaignKind::Accuracy {
+            inner.counters.accuracy_jobs.fetch_add(1, Ordering::Relaxed);
         }
         let digest = plan.content_digest();
         let trials_total = plan.trial_count();
@@ -769,6 +786,9 @@ impl ServiceHandle {
             schedule_cache_hits: sched_hits,
             schedule_cache_compiles: sched_compiles,
             estimator_jobs: inner.counters.estimator_jobs.load(Ordering::Relaxed),
+            accuracy_jobs: inner.counters.accuracy_jobs.load(Ordering::Relaxed),
+            accuracy_trials_evaluated: inner.counters.accuracy_evaluated.load(Ordering::Relaxed),
+            accuracy_trials_correct: inner.counters.accuracy_correct.load(Ordering::Relaxed),
             clean_settled_trials: telemetry.counter(TelemetryCounter::CleanSettledTrials),
             clean_settled_batches: telemetry.counter(TelemetryCounter::CleanSettledBatches),
             estimator_redraws: telemetry.counter(TelemetryCounter::EstimatorRedraws),
@@ -856,6 +876,21 @@ impl ServiceHandle {
             "estimator_jobs_total",
             "Submissions requesting the stratified estimator.",
             stats.estimator_jobs,
+        );
+        counter(
+            "accuracy_jobs_total",
+            "Submissions running the inference-accuracy campaign kind.",
+            stats.accuracy_jobs,
+        );
+        counter(
+            "accuracy_trials_evaluated_total",
+            "Accuracy-campaign trials that produced a prediction.",
+            stats.accuracy_trials_evaluated,
+        );
+        counter(
+            "accuracy_trials_correct_total",
+            "Accuracy-campaign predictions matching the clean model.",
+            stats.accuracy_trials_correct,
         );
         let _ = writeln!(out, "# HELP nvpim_queue_depth Jobs currently queued.");
         let _ = writeln!(out, "# TYPE nvpim_queue_depth gauge");
@@ -1191,6 +1226,13 @@ fn restore_in_flight(inner: &Arc<Inner>, job: &journal::ReplayedJob) -> Arc<JobC
     };
     let core = JobCore::new(job.id, job.digest.clone(), job.trials_total);
     core.note_progress(job.outcomes.len() as u64);
+    // Re-seed the job's accuracy progress from the checkpointed prefix so
+    // streamed progress stays cumulative across the restart (the service's
+    // executed-work counters deliberately skip resumed outcomes).
+    let (correct, evaluated) = count_accuracy(&job.outcomes);
+    if evaluated > 0 {
+        core.note_accuracy(correct, evaluated);
+    }
     let item = WorkItem {
         core: Arc::clone(&core),
         plan,
@@ -1218,6 +1260,15 @@ fn restore_in_flight(inner: &Arc<Inner>, job: &journal::ReplayedJob) -> Arc<JobC
         .add(TelemetryCounter::ResumedChunks, job.chunks_accepted);
     lock_unpoisoned(&inner.active).insert(job.digest.clone(), Arc::clone(&core));
     core
+}
+
+/// `(correct, evaluated)` over the outcomes that produced a prediction
+/// (accuracy-campaign trials; error-campaign outcomes carry none).
+fn count_accuracy(outcomes: &[TrialOutcome]) -> (u64, u64) {
+    outcomes
+        .iter()
+        .filter_map(|o| o.correct)
+        .fold((0, 0), |(c, n), correct| (c + u64::from(correct), n + 1))
 }
 
 /// Best-effort text of a caught panic payload (`&str` and `String`
@@ -1370,6 +1421,18 @@ fn run_attempt(
                 lock_unpoisoned(checkpoint).extend_from_slice(chunk.new_outcomes);
             }
             core.note_progress(trials_done);
+            let (correct, evaluated) = count_accuracy(chunk.new_outcomes);
+            if evaluated > 0 {
+                core.note_accuracy(correct, evaluated);
+                inner
+                    .counters
+                    .accuracy_correct
+                    .fetch_add(correct, Ordering::Relaxed);
+                inner
+                    .counters
+                    .accuracy_evaluated
+                    .fetch_add(evaluated, Ordering::Relaxed);
+            }
             inner.emit_event(
                 core.id,
                 &core.digest,

@@ -174,6 +174,123 @@ fn resume_from_checkpoint_is_byte_identical_across_backends_and_estimators() {
     }
 }
 
+/// Accuracy campaigns are as crash-safe as error campaigns: a job resumed
+/// from a mid-flight journal reproduces the uninterrupted report byte for
+/// byte (stuck-at defect maps and inference predictions included), its
+/// cumulative accuracy tally is re-seeded from the checkpointed prefix,
+/// and the service's accuracy counters track only newly executed trials.
+#[test]
+fn accuracy_job_resumes_from_checkpoint_byte_identically() {
+    let mut plan = SweepPlan::accuracy_quick();
+    plan.seeds_per_point = 4;
+    plan.campaign_seed = 0xACC_0C4A;
+    let clean = run_campaign_with_backend(&plan, SimBackend::Sliced)
+        .expect("clean run")
+        .to_json();
+    assert!(clean.contains("\"schema_version\": 3"));
+
+    // Capture the first two chunks the way a worker killed at the third
+    // chunk boundary would have journaled them.
+    let mut cache = ScheduleCache::new();
+    let prepared = prepare_campaign(&plan, &mut cache).expect("prepare");
+    let mut captured: Vec<TrialOutcome> = Vec::new();
+    let mut chunks = 0usize;
+    let _ = prepared.run_chunked_resumable(
+        execution_backend(SimBackend::Sliced),
+        4,
+        Vec::new(),
+        |checkpoint| {
+            if chunks < 2 {
+                captured.extend_from_slice(checkpoint.new_outcomes);
+                chunks += 1;
+                CampaignControl::Continue
+            } else {
+                CampaignControl::Cancel
+            }
+        },
+    );
+    assert_eq!(captured.len(), 8, "two four-trial chunks captured");
+    assert!(
+        captured.iter().all(|o| o.correct.is_some()),
+        "accuracy outcomes carry predictions"
+    );
+
+    let dir = state_dir("accuracy-resume");
+    {
+        let mut journal = Journal::open(dir.join(JOURNAL_FILE), 1).expect("open crafted journal");
+        journal
+            .append(&JournalRecord::Submit {
+                job: 1,
+                digest: plan.content_digest(),
+                priority: 0,
+                trials_total: plan.trial_count(),
+                plan_json: plan.canonical_json(),
+            })
+            .expect("submit");
+        journal
+            .append(&JournalRecord::Start { job: 1 })
+            .expect("start");
+        journal
+            .append(&JournalRecord::Chunk {
+                job: 1,
+                trials_done: 4,
+                outcomes: captured[..4].to_vec(),
+            })
+            .expect("chunk 1");
+        journal
+            .append(&JournalRecord::Chunk {
+                job: 1,
+                trials_done: 8,
+                outcomes: captured[4..].to_vec(),
+            })
+            .expect("chunk 2");
+    }
+
+    let service = ServiceHandle::start(ServiceConfig {
+        workers: 1,
+        chunk_trials: 4,
+        backend: SimBackend::Sliced,
+        state_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let report = service
+        .wait(1, Some(Duration::from_secs(300)))
+        .expect("recovered accuracy job runs to completion");
+    assert_eq!(
+        report.as_str(),
+        clean,
+        "resumed accuracy report must be byte-identical"
+    );
+
+    let total = plan.trial_count();
+    let stats = service.stats();
+    assert_eq!(stats.recovered_jobs, 1);
+    assert_eq!(stats.resumed_chunks, 2);
+    assert_eq!(stats.trials_executed, total - 8);
+    assert_eq!(
+        stats.accuracy_trials_evaluated,
+        total - 8,
+        "resumed outcomes must not be re-counted as executed work"
+    );
+    assert!(stats.accuracy_trials_correct <= stats.accuracy_trials_evaluated);
+    // The job's own streamed tally is cumulative across the restart:
+    // checkpointed prefix plus newly executed trials.
+    let core = service.job(1).expect("job tracked");
+    let (correct, evaluated) = core.accuracy_progress().expect("accuracy progress present");
+    assert_eq!(evaluated, total);
+    let resumed_correct = captured.iter().filter(|o| o.correct == Some(true)).count() as u64;
+    assert_eq!(correct, stats.accuracy_trials_correct + resumed_correct);
+    // Accuracy demand is counted at acceptance, so journal recovery (which
+    // bypasses submit) contributes nothing — but a resubmission of the same
+    // plan, served byte-identically from the store, does.
+    assert_eq!(stats.accuracy_jobs, 0);
+    let resubmit = service.submit(plan.clone(), 0).expect("resubmit");
+    assert!(resubmit.cached, "report store serves the recovered bytes");
+    assert_eq!(service.stats().accuracy_jobs, 1);
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A chaos-only backend: behaves exactly like the sliced backend, except
 /// that campaigns whose seed matches `poison_seed` panic on the
 /// `panics_after`-th (and, if `once` is false, every later) task.

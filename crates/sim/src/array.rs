@@ -346,7 +346,11 @@ impl PimArray {
         let (first_word, _) = self.locate(row, cols.start)?;
         let (last_word, _) = self.locate(row, cols.end - 1)?;
         let count = cols.len();
-        if self.injector.rates().for_site(FaultSite::Write) > 0.0 {
+        // Permanent defects force the per-cell path too: a stuck cell must
+        // keep its pinned value through a preset (per-cell applies at a
+        // zero write rate consume no RNG, so transient-only trials keep the
+        // word-mask fast path and its byte-identical stream).
+        if self.injector.rates().for_site(FaultSite::Write) > 0.0 || self.injector.has_defects() {
             for col in cols {
                 let (word, mask) = self.locate(row, col)?;
                 let stored = self.injector.apply(FaultSite::Write, row, col, value);
@@ -371,6 +375,26 @@ impl PimArray {
             self.params.write_energy(count),
             self.params.gate_delay_ns(),
         );
+        Ok(())
+    }
+
+    /// Writes a cell through the *verified periphery* write path: the
+    /// Checker's write-and-read-back loop guarantees the intended value
+    /// lands, so no transient write fault applies and no RNG state is
+    /// consumed — but a permanent stuck-at defect still pins the cell (no
+    /// amount of rewriting fixes broken hardware). Costs one ordinary
+    /// write. This is the write-back primitive of recompute-style schemes.
+    pub fn write_verified(
+        &mut self,
+        row: usize,
+        col: usize,
+        value: bool,
+    ) -> Result<(), ArrayError> {
+        let (word, mask) = self.locate(row, col)?;
+        let stored = self.injector.stuck_value(row, col).unwrap_or(value);
+        self.store(word, mask, stored);
+        self.stats
+            .record_write(1, self.params.write_energy(1), self.params.gate_delay_ns());
         Ok(())
     }
 
@@ -867,6 +891,50 @@ mod tests {
                 "seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn stuck_cells_pin_every_store_path_but_not_pokes() {
+        let rates = ErrorRates::NONE.with_stuck_at(0.15);
+        let mut a = PimArray::new(Technology::ReramCrossbar, 2, 128)
+            .with_fault_injector(FaultInjector::new(rates, 0xABCD));
+        let mut checked_defect = false;
+        for col in 0..128 {
+            let stuck = a.fault_injector().stuck_value(0, col);
+            a.write_cell(0, col, true).unwrap();
+            assert_eq!(a.peek(0, col).unwrap(), stuck.unwrap_or(true), "col {col}");
+            // The verified periphery path also cannot repair broken cells.
+            a.write_verified(0, col, false).unwrap();
+            assert_eq!(a.peek(0, col).unwrap(), stuck.unwrap_or(false), "col {col}");
+            checked_defect |= stuck.is_some();
+        }
+        assert!(
+            checked_defect,
+            "density 0.15 over 128 cells must hit defects"
+        );
+        // Presets take the per-cell path and respect the defect map.
+        a.preset_cells(0, 0..128, true).unwrap();
+        for col in 0..128 {
+            let stuck = a.fault_injector().stuck_value(0, col);
+            assert_eq!(a.peek(0, col).unwrap(), stuck.unwrap_or(true));
+        }
+        // Raw pokes bypass the defect model (test-fixture loads).
+        let defect_col = (0..128)
+            .find(|&c| a.fault_injector().stuck_value(0, c) == Some(false))
+            .expect("an SA0 cell exists at this density");
+        a.poke(0, defect_col, true).unwrap();
+        assert!(a.peek(0, defect_col).unwrap());
+    }
+
+    #[test]
+    fn gate_outputs_land_on_stuck_cells_pinned() {
+        let rates = ErrorRates::NONE.with_stuck_at(1.0);
+        let mut a = PimArray::new(Technology::ReramCrossbar, 1, 8)
+            .with_fault_injector(FaultInjector::new(rates, 7));
+        let stuck = a.fault_injector().stuck_value(0, 2).unwrap();
+        a.execute_gate_with(GateKind::NOR2, 0, &[0, 1], &[2])
+            .unwrap();
+        assert_eq!(a.peek(0, 2).unwrap(), stuck);
     }
 
     #[test]

@@ -111,7 +111,7 @@ impl ElectricalModel {
                 self.params.critical_current_ua.unwrap_or(50.0) * 1e-3,
                 self.params.r_low_kohm,
             ),
-            Technology::ReRam => (
+            Technology::ReRam | Technology::ReramCrossbar => (
                 self.params.v_off.unwrap_or(0.3).abs() / self.params.r_low_kohm,
                 self.params.r_low_kohm,
             ),
@@ -341,6 +341,22 @@ mod tests {
                 "{tech}: 3-output NOR infeasible"
             );
         }
+    }
+
+    #[test]
+    fn crossbar_gates_are_electrically_feasible() {
+        // `Technology::ALL` iterations above deliberately exclude the
+        // crossbar (plan-byte compatibility); give it the same coverage.
+        let m = ElectricalModel::new(Technology::ReramCrossbar);
+        let w = m.nor_bias_window(2, 1, OutputPlacement::Parallel, 0);
+        assert!(w.is_feasible());
+        assert!(w.noise_margin() > MIN_NOISE_MARGIN);
+        assert!(m.thr_bias_window().is_feasible());
+        assert!(m.multi_output_feasible(2, OutputPlacement::Parallel));
+        assert!(m.multi_output_feasible(3, OutputPlacement::Parallel));
+        assert!(m
+            .min_dummy_inputs(2, OutputPlacement::Parallel, 8)
+            .is_some());
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub enum FaultSite {
     Retention,
 }
 
-/// Per-operation bit-flip probabilities.
+/// Per-operation bit-flip probabilities, plus the permanent-defect density.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ErrorRates {
     /// Probability that a gate operation produces a flipped output bit.
@@ -39,6 +39,13 @@ pub struct ErrorRates {
     pub read: f64,
     /// Probability (per cell, per check interval) of a retention flip.
     pub retention: f64,
+    /// Probability that any given cell is a permanent stuck-at defect
+    /// (SA0 or SA1 with equal probability). Unlike the transient rates
+    /// above this is a per-*cell* density, not a per-operation one: the
+    /// defect map is fixed for the whole trial and derived by hashing
+    /// `(row, col)` against the trial's defect seed, so it consumes no
+    /// RNG stream state (see [`stuck_at_state`]).
+    pub stuck_at: f64,
 }
 
 impl ErrorRates {
@@ -48,16 +55,26 @@ impl ErrorRates {
         write: 0.0,
         read: 0.0,
         retention: 0.0,
+        stuck_at: 0.0,
     };
 
-    /// A uniform single-error regime: the same probability everywhere.
+    /// A uniform single-error regime: the same probability on every
+    /// *transient* site (permanent stuck-at defects stay disabled — they
+    /// are a device property, not an operation error).
     pub fn uniform(p: f64) -> Self {
         Self {
             gate: p,
             write: p,
             read: p,
             retention: p,
+            stuck_at: 0.0,
         }
+    }
+
+    /// Returns a copy with the given permanent stuck-at cell density.
+    pub fn with_stuck_at(mut self, density: f64) -> Self {
+        self.stuck_at = density;
+        self
     }
 
     /// Rate for a given fault site.
@@ -74,6 +91,64 @@ impl ErrorRates {
 impl Default for ErrorRates {
     fn default() -> Self {
         ErrorRates::NONE
+    }
+}
+
+/// SplitMix64 finalizer — the stateless mixing function behind the
+/// per-trial stuck-at defect maps. Kept in the sim crate (rather than
+/// reusing the sweep engine's seed mixer) so the scalar and lane-parallel
+/// injectors are equivalent by construction: both call this exact function.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Domain-separation salt between a trial's transient fault seed and its
+/// permanent-defect map seed.
+const STUCK_SALT: u64 = 0x5AD0_DEFE_C7A6_3A1B;
+
+/// Derives the defect-map seed for a trial from its fault-stream seed.
+/// Pure function — the ChaCha8 transient stream is untouched, so enabling
+/// stuck-at defects never perturbs the transient fault sequence.
+#[inline]
+pub fn stuck_defect_seed(trial_fault_seed: u64) -> u64 {
+    splitmix64(trial_fault_seed ^ STUCK_SALT)
+}
+
+/// Maps a stuck-at cell density to the 64-bit hash threshold under which a
+/// cell's hash marks it defective.
+#[inline]
+pub fn stuck_threshold(density: f64) -> u64 {
+    if density <= 0.0 {
+        0
+    } else if density >= 1.0 {
+        u64::MAX
+    } else {
+        (density * u64::MAX as f64) as u64
+    }
+}
+
+/// The permanent-defect status of cell (`row`, `col`) under a trial's
+/// defect map: `Some(v)` means the cell is stuck at logic value `v`
+/// (SA0/SA1), `None` means the cell is healthy.
+///
+/// O(1) and stateless: defective iff `h(seed, row, col) < threshold`, and
+/// the stuck polarity comes from a *second* hash of `h` (so polarity is
+/// independent of the magnitude comparison that selected the cell —
+/// deriving it from `h`'s low bit would bias defective cells toward SA0).
+#[inline]
+pub fn stuck_at_state(defect_seed: u64, threshold: u64, row: usize, col: usize) -> Option<bool> {
+    if threshold == 0 {
+        return None;
+    }
+    let h = splitmix64(defect_seed ^ (((row as u64) << 32) | (col as u64 & 0xFFFF_FFFF)));
+    if h < threshold {
+        Some(splitmix64(h) & 1 == 1)
+    } else {
+        None
     }
 }
 
@@ -149,6 +224,10 @@ pub struct FaultInjector {
     /// a fault-free probe run measures exactly how many decisions a real
     /// trial at the same design point will face per site.
     decisions: [u64; 4],
+    /// Hash threshold of the permanent stuck-at defect map (0 = no defects).
+    stuck_threshold: u64,
+    /// Seed of the trial's defect map (see [`stuck_defect_seed`]).
+    defect_seed: u64,
 }
 
 impl FaultInjector {
@@ -164,6 +243,8 @@ impl FaultInjector {
             sampling: FaultSampling::default(),
             skips: [None; 4],
             decisions: [0; 4],
+            stuck_threshold: stuck_threshold(rates.stuck_at),
+            defect_seed: stuck_defect_seed(seed),
         }
     }
 
@@ -201,6 +282,23 @@ impl FaultInjector {
         self.log.clear();
         self.skips = [None; 4];
         self.decisions = [0; 4];
+        self.stuck_threshold = stuck_threshold(rates.stuck_at);
+        self.defect_seed = stuck_defect_seed(seed);
+    }
+
+    /// Whether this trial's defect map contains any stuck-at cells in
+    /// principle (`rates.stuck_at > 0`). Array fast paths that bypass
+    /// per-cell injector consultation at zero transient rates must take
+    /// the per-cell path when this holds.
+    pub fn has_defects(&self) -> bool {
+        self.stuck_threshold != 0
+    }
+
+    /// The permanent-defect status of (`row`, `col`) under this trial's
+    /// defect map — `Some(v)` when the cell is stuck at `v`. Stateless:
+    /// consumes no RNG and may be queried at any time.
+    pub fn stuck_value(&self, row: usize, col: usize) -> Option<bool> {
+        stuck_at_state(self.defect_seed, self.stuck_threshold, row, col)
     }
 
     /// The configured error rates.
@@ -241,10 +339,20 @@ impl FaultInjector {
             if self.correlation.temporal_window > 0 {
                 self.temporal_boost_remaining = self.correlation.temporal_window;
             }
-            !value
-        } else {
-            value
         }
+        let produced = if faulted { !value } else { value };
+        // Permanent defects override whatever a *storing* operation tried
+        // to leave in the cell — the transient decision above still runs
+        // first (and consumes exactly its usual RNG state), so enabling
+        // stuck-at never perturbs the transient fault stream. Reads report
+        // the stored value faithfully (the stuck value was pinned when the
+        // cell was last written), so sensing sites are not overridden.
+        if self.stuck_threshold != 0 && matches!(site, FaultSite::GateOutput | FaultSite::Write) {
+            if let Some(stuck) = self.stuck_value(row, col) {
+                return stuck;
+            }
+        }
+        produced
     }
 
     #[inline]
@@ -489,9 +597,7 @@ mod tests {
         let mut inj = FaultInjector::new(
             ErrorRates {
                 gate: 0.1,
-                write: 0.0,
-                read: 0.0,
-                retention: 0.0,
+                ..ErrorRates::NONE
             },
             42,
         );
@@ -822,6 +928,94 @@ mod tests {
         // A once-used injector reset to a different seed diverges.
         fresh.reset(rates, 78);
         assert_ne!(run(&mut fresh), baseline);
+    }
+
+    #[test]
+    fn stuck_at_maps_are_reproducible_and_respect_the_density() {
+        let rates = ErrorRates::NONE.with_stuck_at(0.05);
+        let a = FaultInjector::new(rates, 0xD00D);
+        let b = FaultInjector::new(rates, 0xD00D);
+        let c = FaultInjector::new(rates, 0xD00E);
+        let mut defects = 0usize;
+        let mut sa1 = 0usize;
+        let mut differs_from_other_seed = false;
+        for row in 0..64 {
+            for col in 0..256 {
+                let s = a.stuck_value(row, col);
+                assert_eq!(s, b.stuck_value(row, col), "same seed => same map");
+                if s != c.stuck_value(row, col) {
+                    differs_from_other_seed = true;
+                }
+                if let Some(v) = s {
+                    defects += 1;
+                    sa1 += usize::from(v);
+                }
+            }
+        }
+        assert!(differs_from_other_seed, "different seed => different map");
+        let density = defects as f64 / (64.0 * 256.0);
+        assert!(
+            (density - 0.05).abs() < 0.01,
+            "defect density {density} should approximate 0.05"
+        );
+        // Both polarities occur in roughly equal shares.
+        let sa1_frac = sa1 as f64 / defects as f64;
+        assert!(
+            (sa1_frac - 0.5).abs() < 0.15,
+            "SA1 fraction {sa1_frac} should be near 0.5"
+        );
+    }
+
+    #[test]
+    fn stuck_cells_pin_stores_without_perturbing_the_transient_stream() {
+        let transient = ErrorRates {
+            gate: 0.01,
+            ..ErrorRates::NONE
+        };
+        let run = |rates: ErrorRates| {
+            let mut inj = FaultInjector::new(rates, 0x57CC);
+            (0..3_000)
+                .map(|i| inj.apply(FaultSite::GateOutput, i % 5, i % 191, false))
+                .collect::<Vec<_>>()
+        };
+        let plain = run(transient);
+        let with_defects = run(transient.with_stuck_at(0.02));
+        // The streams differ only at defective cells, where the stored bit
+        // is pinned to the stuck value regardless of the transient outcome.
+        let inj = FaultInjector::new(transient.with_stuck_at(0.02), 0x57CC);
+        assert!(inj.has_defects());
+        let mut overridden = 0usize;
+        for (i, (&p, &d)) in plain.iter().zip(&with_defects).enumerate() {
+            match inj.stuck_value(i % 5, i % 191) {
+                Some(stuck) => {
+                    assert_eq!(d, stuck, "op {i}: defective cell must read stuck value");
+                    overridden += usize::from(p != d);
+                }
+                None => assert_eq!(p, d, "op {i}: healthy cells must be unaffected"),
+            }
+        }
+        assert!(overridden > 0, "some stores must actually be overridden");
+        // Reads are never overridden: the stored value already reflects the
+        // defect, so a healthy transient read stream passes through.
+        let mut reader = FaultInjector::new(ErrorRates::NONE.with_stuck_at(1.0), 3);
+        assert!(reader.apply(FaultSite::Read, 0, 0, true));
+        assert!(!reader.apply(FaultSite::Read, 0, 0, false));
+        // But every store lands on a defect at density 1.0.
+        let pinned = reader.apply(FaultSite::Write, 0, 0, true);
+        assert_eq!(reader.apply(FaultSite::Write, 0, 0, !pinned), pinned);
+    }
+
+    #[test]
+    fn defect_seed_derivation_is_salted_off_the_fault_stream() {
+        // The defect map comes from a SplitMix hash of the trial seed, not
+        // from the ChaCha stream — two injectors with the same seed but
+        // different stuck densities produce identical transient decisions.
+        assert_ne!(stuck_defect_seed(1), stuck_defect_seed(2));
+        assert_ne!(stuck_defect_seed(7), splitmix64(7));
+        assert_eq!(stuck_threshold(0.0), 0);
+        assert_eq!(stuck_threshold(1.5), u64::MAX);
+        assert!(stuck_threshold(0.5) > u64::MAX / 3);
+        assert_eq!(stuck_at_state(9, 0, 3, 4), None);
     }
 
     #[test]

@@ -43,6 +43,9 @@ impl PeripheryModel {
             Technology::SttMram => (1.2, 2.0, 2.0),
             Technology::SotSheMram => (1.0, 2.0, 1.5),
             Technology::ReRam => (0.8, 2.5, 3.0),
+            // The 1S1R crossbar senses through its selector, adding a small
+            // series drop over the 1T1R ReRAM periphery.
+            Technology::ReramCrossbar => (0.9, 2.7, 3.2),
         };
         Self {
             sense_energy_per_bit_fj: sense,

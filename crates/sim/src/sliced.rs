@@ -29,7 +29,10 @@ use rand_chacha::ChaCha8Rng;
 
 use nvpim_ecc::gf2::lanes::{self, at_least_three_zeros};
 
-use crate::fault::{ErrorRates, FaultInjector, FaultSite, InjectedFault};
+use crate::fault::{
+    stuck_at_state, stuck_defect_seed, stuck_threshold, ErrorRates, FaultInjector, FaultSite,
+    InjectedFault,
+};
 
 /// Number of Monte Carlo trials a sliced batch advances per word operation.
 pub const LANES: usize = lanes::LANES;
@@ -62,6 +65,11 @@ pub struct SlicedFaultInjector {
     min_next: u64,
     /// Per-lane fault logs (allocation reused across resets).
     logs: Vec<Vec<InjectedFault>>,
+    /// Hash threshold of the permanent stuck-at defect maps (0 = none).
+    stuck_thresh: u64,
+    /// Per-lane defect-map seeds, derived from each lane's fault seed by
+    /// the same [`stuck_defect_seed`] hash the scalar injector uses.
+    defect_seeds: Vec<u64>,
 }
 
 impl SlicedFaultInjector {
@@ -76,12 +84,15 @@ impl SlicedFaultInjector {
 
     /// Whether `rates` fall in the regime the sliced backend reproduces
     /// exactly: gate-output faults only (any rate in `[0, 1]`), everything
-    /// else zero.
+    /// else zero. Permanent stuck-at defects are supported at any density —
+    /// the per-lane defect maps are stateless hashes, so the lane streams
+    /// stay bit-identical to their scalar counterparts.
     pub fn supports(rates: &ErrorRates) -> bool {
         rates.write == 0.0
             && rates.read == 0.0
             && rates.retention == 0.0
             && (0.0..=1.0).contains(&rates.gate)
+            && (0.0..=1.0).contains(&rates.stuck_at)
     }
 
     /// Re-arms the injector for a fresh batch: one lane per seed, each
@@ -113,6 +124,12 @@ impl SlicedFaultInjector {
         }
         self.rngs.clear();
         self.next_event.clear();
+        self.stuck_thresh = stuck_threshold(rates.stuck_at);
+        self.defect_seeds.clear();
+        if self.stuck_thresh != 0 {
+            self.defect_seeds
+                .extend(seeds.iter().map(|&s| stuck_defect_seed(s)));
+        }
         let mut min_next = u64::MAX;
         for &seed in seeds {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -219,6 +236,36 @@ impl SlicedFaultInjector {
     /// arena-purity tests: capacity must survive [`Self::reset`]).
     pub fn lane_log_capacity(&self, lane: usize) -> usize {
         self.logs[lane].capacity()
+    }
+
+    /// Whether any permanent stuck-at density is in force. When false,
+    /// every store path below is the plain pre-defect word operation.
+    #[inline]
+    pub fn has_defects(&self) -> bool {
+        self.stuck_thresh != 0
+    }
+
+    /// Per-lane stuck-at masks for cell (`row`, `col`): `(sa0, sa1)` where
+    /// bit *k* of `sa0` means trial *k*'s cell is stuck-at-0 and bit *k* of
+    /// `sa1` stuck-at-1. A stored word `v` lands as `(v & !sa0) | sa1` —
+    /// the lane-parallel form of the scalar injector's post-decision
+    /// override. Pure hash lookups: no RNG state is consumed, so transient
+    /// lane streams are untouched.
+    #[inline]
+    pub fn stuck_masks(&self, row: usize, col: usize) -> (u64, u64) {
+        if self.stuck_thresh == 0 {
+            return (0, 0);
+        }
+        let mut sa0 = 0u64;
+        let mut sa1 = 0u64;
+        for lane in 0..self.lane_count {
+            match stuck_at_state(self.defect_seeds[lane], self.stuck_thresh, row, col) {
+                Some(true) => sa1 |= 1u64 << lane,
+                Some(false) => sa0 |= 1u64 << lane,
+                None => {}
+            }
+        }
+        (sa0, sa1)
     }
 
     /// One gate-output fault decision for all lanes at cell (`row`, `col`):
@@ -341,26 +388,53 @@ impl SlicedPimArray {
         self.cells[i] = word;
     }
 
+    /// Applies the cell's per-lane stuck-at masks to a word about to be
+    /// stored — the lane-parallel twin of the scalar injector's
+    /// post-decision override at storing sites.
+    #[inline]
+    fn pin_defects(&self, row: usize, col: usize, word: u64) -> u64 {
+        let (sa0, sa1) = self.injector.stuck_masks(row, col);
+        (word & !sa0) | sa1
+    }
+
     /// Writes per-lane values through the write path. With the supported
     /// gate-only fault regime the write path is fault-free, so this is a
     /// plain store — exactly what the scalar write path reduces to at a
-    /// zero write-fault rate.
+    /// zero write-fault rate — pinned by any stuck-at defects.
     #[inline]
     pub fn write_lanes(&mut self, row: usize, col: usize, values: u64) {
-        self.set_cell(row, col, values);
+        let stored = self.pin_defects(row, col, values);
+        self.set_cell(row, col, stored);
     }
 
     /// Writes the same constant into every lane of a cell (the `Preset`
-    /// data write of constant gates).
+    /// data write of constant gates), pinned by any stuck-at defects.
     #[inline]
     pub fn write_const(&mut self, row: usize, col: usize, value: bool) {
-        self.set_cell(row, col, if value { u64::MAX } else { 0 });
+        self.write_lanes(row, col, if value { u64::MAX } else { 0 });
+    }
+
+    /// The verified periphery write the recompute schemes use: a reliable
+    /// store with no transient fault decision (consumes no RNG), but stuck
+    /// cells still pin their lanes — rewriting cannot repair broken
+    /// hardware. Mirrors the scalar array's `write_verified`.
+    #[inline]
+    pub fn write_verified_lanes(&mut self, row: usize, col: usize, values: u64) {
+        let stored = self.pin_defects(row, col, values);
+        self.set_cell(row, col, stored);
     }
 
     /// Presets a contiguous column range of `row` to `value` in all lanes
-    /// (the row-parallel metadata preset).
+    /// (the row-parallel metadata preset). A pure range fill without
+    /// defects; per-cell pinned stores when a defect map is in force.
     pub fn preset_range(&mut self, row: usize, cols: std::ops::Range<usize>, value: bool) {
         if cols.is_empty() {
+            return;
+        }
+        if self.injector.has_defects() {
+            for col in cols {
+                self.write_const(row, col, value);
+            }
             return;
         }
         let start = self.idx(row, cols.start);
@@ -379,7 +453,8 @@ impl SlicedPimArray {
         let ideal = !any;
         for &col in outputs {
             let flips = self.injector.gate_flip_mask(row, col);
-            self.set_cell(row, col, ideal ^ flips);
+            let stored = self.pin_defects(row, col, ideal ^ flips);
+            self.set_cell(row, col, stored);
         }
     }
 
@@ -387,7 +462,8 @@ impl SlicedPimArray {
     pub fn gate_copy(&mut self, row: usize, input: usize, output: usize) {
         let ideal = self.cell(row, input);
         let flips = self.injector.gate_flip_mask(row, output);
-        self.set_cell(row, output, ideal ^ flips);
+        let stored = self.pin_defects(row, output, ideal ^ flips);
+        self.set_cell(row, output, stored);
     }
 
     /// The 4-input thresholding gate (output switches when ≥ 3 inputs are
@@ -395,7 +471,8 @@ impl SlicedPimArray {
     pub fn gate_thr(&mut self, row: usize, inputs: &[usize], output: usize) {
         let ideal = at_least_three_zeros(inputs.iter().map(|&col| self.cell(row, col)));
         let flips = self.injector.gate_flip_mask(row, output);
-        self.set_cell(row, output, ideal ^ flips);
+        let stored = self.pin_defects(row, output, ideal ^ flips);
+        self.set_cell(row, output, stored);
     }
 
     /// The fused two-step in-array XOR (`s1 = s2 = NOR(a, b)` then
@@ -413,12 +490,17 @@ impl SlicedPimArray {
         let a = self.cell(row, a_col);
         let b = self.cell(row, b_col);
         let nor = !(a | b);
-        let s1 = nor ^ self.injector.gate_flip_mask(row, s1_col);
+        // Stuck pins apply before the THR step reads the working cells back,
+        // matching the scalar order (decision, override, then step 2).
+        let s1_flips = self.injector.gate_flip_mask(row, s1_col);
+        let s1 = self.pin_defects(row, s1_col, nor ^ s1_flips);
         self.set_cell(row, s1_col, s1);
-        let s2 = nor ^ self.injector.gate_flip_mask(row, s2_col);
+        let s2_flips = self.injector.gate_flip_mask(row, s2_col);
+        let s2 = self.pin_defects(row, s2_col, nor ^ s2_flips);
         self.set_cell(row, s2_col, s2);
         let thr = at_least_three_zeros([a, b, s1, s2]);
-        let out = thr ^ self.injector.gate_flip_mask(row, dst_col);
+        let dst_flips = self.injector.gate_flip_mask(row, dst_col);
+        let out = self.pin_defects(row, dst_col, thr ^ dst_flips);
         self.set_cell(row, dst_col, out);
     }
 
@@ -638,6 +720,93 @@ mod tests {
         assert!(
             (0..lanes).any(|l| sliced.injector().lane_fault_count(l) > 0),
             "program must inject faults at p = {p}"
+        );
+    }
+
+    /// The same program as above, but with a permanent stuck-at defect map
+    /// layered on top of the transient faults: every store path must pin
+    /// defective lanes exactly like the scalar injector's override, and the
+    /// transient lane streams must stay bit-identical (defect lookups are
+    /// stateless hashes that consume no RNG).
+    #[test]
+    fn stuck_at_defect_maps_match_per_lane_scalar_arrays() {
+        let rates = ErrorRates {
+            gate: 0.05,
+            ..ErrorRates::NONE
+        }
+        .with_stuck_at(0.08);
+        assert!(SlicedFaultInjector::supports(&rates));
+        let lanes = 64usize;
+        let seeds: Vec<u64> = (0..lanes).map(|l| lane_seed(33, l)).collect();
+        let mut sliced = SlicedPimArray::new(1, 32);
+        sliced.reset_for_batch(rates, &seeds);
+        assert!(sliced.injector().has_defects());
+        let mut scalars: Vec<PimArray> = seeds
+            .iter()
+            .map(|&s| {
+                PimArray::new(Technology::ReramCrossbar, 1, 32)
+                    .with_fault_injector(FaultInjector::new(rates, s))
+            })
+            .collect();
+
+        for col in 0..4 {
+            let mut word = 0u64;
+            for (lane, _) in seeds.iter().enumerate() {
+                let bit = (lane + col) % 3 == 0;
+                word |= u64::from(bit) << lane;
+                scalars[lane].write_cell(0, col, bit).unwrap();
+            }
+            sliced.write_lanes(0, col, word);
+        }
+
+        for round in 0..40usize {
+            sliced.gate_nor(0, &[0, 1], &[4, 5]);
+            sliced.gate_copy(0, 4, 6);
+            sliced.gate_thr(0, &[0, 1, 4, 5], 7);
+            sliced.gate_xor2(0, 2, 3, 8, 9, 10);
+            sliced.preset_range(0, 12..20, round % 2 == 0);
+            sliced.write_verified_lanes(0, 11, if round % 2 == 0 { u64::MAX } else { 0 });
+            sliced.gate_nor(0, &[10, 6], &[2]);
+            for scalar in &mut scalars {
+                scalar
+                    .execute_gate_with(GateKind::NOR22, 0, &[0, 1], &[4, 5])
+                    .unwrap();
+                scalar
+                    .execute_gate_with(GateKind::Copy, 0, &[4], &[6])
+                    .unwrap();
+                scalar
+                    .execute_gate_with(GateKind::THR, 0, &[0, 1, 4, 5], &[7])
+                    .unwrap();
+                scalar.execute_xor2_step(0, 2, 3, 8, 9, 10).unwrap();
+                scalar.preset_cells(0, 12..20, round % 2 == 0).unwrap();
+                scalar.write_verified(0, 11, round % 2 == 0).unwrap();
+                scalar
+                    .execute_gate_with(GateKind::NOR2, 0, &[10, 6], &[2])
+                    .unwrap();
+            }
+        }
+
+        let mut defective_lanes = 0usize;
+        for (lane, scalar) in scalars.iter().enumerate() {
+            for col in 0..32 {
+                assert_eq!(
+                    (sliced.cell(0, col) >> lane) & 1 == 1,
+                    scalar.peek(0, col).unwrap(),
+                    "lane {lane} col {col}"
+                );
+                if scalar.fault_injector().stuck_value(0, col).is_some() {
+                    defective_lanes += 1;
+                }
+            }
+            assert_eq!(
+                sliced.injector().lane_log(lane),
+                scalar.fault_injector().log(),
+                "lane {lane} fault log must be untouched by the defect map"
+            );
+        }
+        assert!(
+            defective_lanes > 0,
+            "density 0.08 over 64 lanes x 32 cells must place defects"
         );
     }
 

@@ -38,14 +38,35 @@ pub enum Technology {
     SttMram,
     /// Spin-orbit-torque / spin-Hall-effect MRAM computational RAM.
     SotSheMram,
+    /// Selector-per-cell (1S1R) ReRAM crossbar — the dense array
+    /// organization of the neuromorphic inference literature. Same
+    /// resistance-to-logic convention as MAGIC-style ReRAM, but the series
+    /// selector raises absolute resistances, slows switching and makes the
+    /// technology the canonical host for permanent stuck-at (SA0/SA1)
+    /// defects in accuracy-under-fault campaigns.
+    ReramCrossbar,
 }
 
 impl Technology {
-    /// All three technologies, in the paper's Table III / Table V order.
+    /// The paper's three technologies, in Table III / Table V order.
+    ///
+    /// Deliberately excludes [`Technology::ReramCrossbar`]: the stock
+    /// `paper_scale` campaign plan iterates this array, and its serialized
+    /// bytes (and therefore report digests) must not change when new
+    /// technologies land. Use [`Technology::ALL_EXTENDED`] to iterate every
+    /// modeled technology.
     pub const ALL: [Technology; 3] = [
         Technology::ReRam,
         Technology::SttMram,
         Technology::SotSheMram,
+    ];
+
+    /// Every modeled technology, including post-paper additions.
+    pub const ALL_EXTENDED: [Technology; 4] = [
+        Technology::ReRam,
+        Technology::SttMram,
+        Technology::SotSheMram,
+        Technology::ReramCrossbar,
     ];
 
     /// Maps a resistance state to a logic value for this technology.
@@ -55,7 +76,7 @@ impl Technology {
     /// opposite convention (§II-A).
     pub fn logic_value(self, state: ResistanceState) -> bool {
         match self {
-            Technology::ReRam => state == ResistanceState::Low,
+            Technology::ReRam | Technology::ReramCrossbar => state == ResistanceState::Low,
             Technology::SttMram | Technology::SotSheMram => state == ResistanceState::High,
         }
     }
@@ -74,7 +95,7 @@ impl Technology {
     /// 2 for ReRAM.
     pub fn dummy_inputs(self) -> usize {
         match self {
-            Technology::ReRam => 2,
+            Technology::ReRam | Technology::ReramCrossbar => 2,
             Technology::SttMram => 4,
             Technology::SotSheMram => 5,
         }
@@ -92,6 +113,7 @@ impl fmt::Display for Technology {
             Technology::ReRam => write!(f, "ReRAM"),
             Technology::SttMram => write!(f, "STT-MRAM"),
             Technology::SotSheMram => write!(f, "SOT-MRAM"),
+            Technology::ReramCrossbar => write!(f, "ReRAM-Xbar"),
         }
     }
 }
@@ -107,8 +129,9 @@ impl std::str::FromStr for Technology {
             "ReRam" | "ReRAM" => Ok(Technology::ReRam),
             "SttMram" | "STT-MRAM" => Ok(Technology::SttMram),
             "SotSheMram" | "SOT-MRAM" => Ok(Technology::SotSheMram),
+            "ReramCrossbar" | "ReRAM-Xbar" | "reram-crossbar" => Ok(Technology::ReramCrossbar),
             other => Err(format!(
-                "unknown technology `{other}` (expected ReRam, SttMram or SotSheMram)"
+                "unknown technology `{other}` (expected ReRam, SttMram, SotSheMram or ReramCrossbar)"
             )),
         }
     }
@@ -186,6 +209,22 @@ impl TechnologyParams {
                 nor_energy_fj: 19.68,
                 thr_energy_fj: 20.99,
                 write_energy_fj: 23.8,
+            },
+            // 1S1R crossbar ReRAM: the series selector adds resistance in
+            // both states (the HRS/LRS ratio is preserved), slows switching
+            // and raises per-op energies relative to MAGIC-style ReRAM.
+            Technology::ReramCrossbar => Self {
+                technology,
+                r_low_kohm: 25.0,
+                r_high_kohm: 2500.0,
+                r_she_kohm: None,
+                critical_current_ua: None,
+                v_off: Some(0.35),
+                v_on: Some(-1.7),
+                t_switch_ns: 2.1,
+                nor_energy_fj: 26.4,
+                thr_energy_fj: 28.3,
+                write_energy_fj: 31.5,
             },
         }
     }
@@ -291,6 +330,26 @@ mod tests {
         assert_eq!(Technology::SttMram.dummy_inputs(), 4);
         assert_eq!(Technology::SotSheMram.dummy_inputs(), 5);
         assert_eq!(Technology::ReRam.dummy_inputs(), 2);
+    }
+
+    #[test]
+    fn crossbar_matches_reram_logic_convention_but_not_its_devices() {
+        let xbar = Technology::ReramCrossbar;
+        assert!(xbar.logic_value(ResistanceState::Low));
+        assert_eq!(xbar.dummy_inputs(), Technology::ReRam.dummy_inputs());
+        let p = xbar.parameters();
+        let reram = Technology::ReRam.parameters();
+        assert!(p.r_low_kohm > reram.r_low_kohm);
+        assert!(p.t_switch_ns > reram.t_switch_ns);
+        // HRS/LRS ratio preserved by the series selector.
+        assert_eq!(p.r_high_kohm / p.r_low_kohm, 100.0);
+        assert_eq!("ReRAM-Xbar".parse::<Technology>().unwrap(), xbar);
+        assert_eq!("ReramCrossbar".parse::<Technology>().unwrap(), xbar);
+        // The paper-scale axis is frozen; the extended list appends.
+        assert_eq!(Technology::ALL.len(), 3);
+        assert_eq!(Technology::ALL_EXTENDED.len(), 4);
+        assert_eq!(Technology::ALL_EXTENDED[3], xbar);
+        assert!(!Technology::ALL.contains(&xbar));
     }
 
     #[test]

@@ -26,11 +26,13 @@ use nvpim_sim::array::PimArray;
 use nvpim_sim::fault::{ErrorRates, FaultInjector, FaultSite};
 use nvpim_sim::sliced::{SlicedFaultInjector, SlicedPimArray, LANES};
 use nvpim_telemetry::{Counter as TelemetryCounter, LocalTelemetry, Phase, Telemetry};
+use nvpim_workloads::mnist::{self, MnistAccuracyBaseline, MnistAccuracyModel, SyntheticMnist};
+use nvpim_workloads::Benchmark;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
-use crate::plan::{EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
+use crate::plan::{CampaignKind, EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
 use crate::report::{EstimatorSummary, PointSummary, SweepReport, TrialOutcome};
 use crate::SweepError;
 
@@ -220,6 +222,7 @@ pub(crate) fn capture_clean_profile(
                 uncorrectable: report.uncorrectable,
                 wrong_output_bits: 0,
                 exec_error: None,
+                correct: None,
             },
         };
         match &profile {
@@ -231,6 +234,96 @@ pub(crate) fn capture_clean_profile(
         }
     }
     profile
+}
+
+/// Evaluation images of an accuracy campaign. Trials cycle through them by
+/// their input stream, so every image is exercised across a point's seeds.
+pub(crate) const ACCURACY_IMAGES: usize = 64;
+
+/// Seed-stream tweak of the accuracy model's weights (mixed with the
+/// campaign seed, distinct from every trial stream).
+const ACCURACY_MODEL_STREAM: u64 = 0xACC0_4D0D_E11A_57A1;
+/// Seed-stream tweak of the accuracy campaign's evaluation images.
+const ACCURACY_IMAGE_STREAM: u64 = 0xACC0_1A6E_0DA7_A5E7;
+
+/// Everything an accuracy campaign shares across one workload's points: the
+/// reduced inference model, the pooled evaluation set, the once-per-campaign
+/// clean baseline, and the precomputed per-`(image, neuron)` row inputs and
+/// fault-free accumulator reference bits (so the trial hot path packs and
+/// evaluates nothing).
+#[derive(Debug)]
+pub(crate) struct AccuracyContext {
+    pub(crate) model: MnistAccuracyModel,
+    pub(crate) baseline: MnistAccuracyBaseline,
+    /// The shared 49-term MAC netlist every hidden neuron executes.
+    pub(crate) netlist: Netlist,
+    /// Row input bits, indexed `[image][neuron]`.
+    inputs: Vec<Vec<Vec<bool>>>,
+    /// Fault-free accumulator output bits, indexed `[image][neuron]`.
+    expected: Vec<Vec<Vec<bool>>>,
+}
+
+impl AccuracyContext {
+    /// Builds one workload's shared accuracy state. Model weights and
+    /// evaluation images derive from the campaign seed through distinct mix
+    /// streams, so the whole campaign — clean baseline included — is a pure
+    /// function of the plan.
+    pub(crate) fn prepare(weight_bits: usize, campaign_seed: u64) -> Self {
+        let model =
+            MnistAccuracyModel::generate(weight_bits, mix(campaign_seed ^ ACCURACY_MODEL_STREAM));
+        let dataset =
+            SyntheticMnist::generate(ACCURACY_IMAGES, mix(campaign_seed ^ ACCURACY_IMAGE_STREAM));
+        let pooled: Vec<Vec<u8>> = dataset
+            .images
+            .iter()
+            .map(|img| mnist::downsample(img))
+            .collect();
+        let baseline = MnistAccuracyBaseline::capture(&model, &pooled, &dataset.labels);
+        let netlist = model.netlist();
+        let mut eval_values = Vec::new();
+        let mut inputs = Vec::with_capacity(pooled.len());
+        let mut expected = Vec::with_capacity(pooled.len());
+        for image in &pooled {
+            let mut image_inputs = Vec::with_capacity(mnist::EVAL_HIDDEN);
+            let mut image_expected = Vec::with_capacity(mnist::EVAL_HIDDEN);
+            for neuron in 0..mnist::EVAL_HIDDEN {
+                let row_inputs = model.neuron_inputs(image, neuron);
+                let mut outputs = Vec::new();
+                netlist.evaluate_into(&row_inputs, &mut eval_values, &mut outputs);
+                image_inputs.push(row_inputs);
+                image_expected.push(outputs);
+            }
+            inputs.push(image_inputs);
+            expected.push(image_expected);
+        }
+        Self {
+            model,
+            baseline,
+            netlist,
+            inputs,
+            expected,
+        }
+    }
+
+    /// Number of evaluation images.
+    pub(crate) fn image_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The cached once-per-campaign clean-run baseline accuracy (the clean
+    /// model's agreement with the synthetic labels).
+    pub(crate) fn clean_label_accuracy(&self) -> f64 {
+        self.baseline.label_accuracy
+    }
+}
+
+/// The weight precision of an accuracy workload. Plan validation guarantees
+/// accuracy campaigns run only on labelled (MNIST) workloads.
+fn accuracy_weight_bits(workload: SweepWorkload) -> usize {
+    match workload {
+        SweepWorkload::Benchmark(Benchmark::Mnist { weight_bits }) => weight_bits,
+        other => unreachable!("accuracy campaign on unlabelled workload {}", other.name()),
+    }
 }
 
 /// One fully-resolved campaign point, ready to run trials. Public so
@@ -271,6 +364,12 @@ pub struct PointContext {
     /// profile, a positive decision window and a rate in `(0, 1)`). Exact
     /// mode never sets this.
     pub(crate) conditioned: bool,
+    /// Permanent stuck-at cell density of this point's fault regime
+    /// (plan-level, 0.0 for defect-free campaigns).
+    pub(crate) stuck_at_rate: f64,
+    /// Accuracy-campaign state shared by every point of the workload
+    /// (`None` for error campaigns — the historical trial path).
+    pub(crate) accuracy: Option<Arc<AccuracyContext>>,
 }
 
 impl PointContext {
@@ -308,6 +407,8 @@ impl PointContext {
             protection_label,
             clean: None,
             conditioned: false,
+            stuck_at_rate: 0.0,
+            accuracy: None,
         }
     }
 
@@ -347,13 +448,20 @@ impl PointContext {
         )
     }
 
-    /// The point's fault regime as [`ErrorRates`] (gate-output faults only,
-    /// the sweep engine's error model).
+    /// The shared accuracy-campaign context, when this point belongs to an
+    /// accuracy campaign.
+    pub(crate) fn accuracy_context(&self) -> Option<&AccuracyContext> {
+        self.accuracy.as_deref()
+    }
+
+    /// The point's fault regime as [`ErrorRates`]: transient gate-output
+    /// faults plus the plan's permanent stuck-at defect density.
     fn rates(&self) -> ErrorRates {
         ErrorRates {
             gate: self.gate_error_rate,
             ..ErrorRates::NONE
         }
+        .with_stuck_at(self.stuck_at_rate)
     }
 
     /// Whether this point's trials can run on the sliced backend with
@@ -362,9 +470,13 @@ impl PointContext {
     /// the fault regime must be gate-only (always true for plan-derived
     /// points) at a rate the lane-masked injector reproduces exactly.
     /// Points that fail either check run on the scalar path even when
-    /// [`SimBackend::Sliced`] is requested.
+    /// [`SimBackend::Sliced`] is requested. Accuracy points always run
+    /// scalar: their trials interleave `EVAL_HIDDEN` row programs with
+    /// periphery classification, which the lane-batched path does not model.
     pub fn sliceable(&self) -> bool {
-        self.config.scheme.runtime().sliceable() && SlicedFaultInjector::supports(&self.rates())
+        self.config.scheme.runtime().sliceable()
+            && SlicedFaultInjector::supports(&self.rates())
+            && self.accuracy.is_none()
     }
 }
 
@@ -477,6 +589,9 @@ pub(crate) struct TrialBatch {
 /// [`ExecutionBackend`] implementations can compose the engine's exact
 /// per-trial semantics.
 pub fn run_trial(ctx: &PointContext, base_seed: u64, arena: &mut TrialArena) -> TrialOutcome {
+    if let Some(accuracy) = &ctx.accuracy {
+        return run_accuracy_trial(ctx, accuracy, base_seed, arena);
+    }
     // Independent streams for input generation and fault injection.
     let (input_seed, fault_seed) = trial_stream_seeds(base_seed);
 
@@ -564,6 +679,7 @@ pub fn run_trial(ctx: &PointContext, base_seed: u64, arena: &mut TrialArena) -> 
                 uncorrectable: report.uncorrectable,
                 wrong_output_bits: wrong_bits,
                 exec_error: None,
+                correct: None,
             }
         }
         Err(err) => TrialOutcome {
@@ -574,8 +690,106 @@ pub fn run_trial(ctx: &PointContext, base_seed: u64, arena: &mut TrialArena) -> 
             uncorrectable: 0,
             wrong_output_bits: 0,
             exec_error: Some(err.to_string()),
+            correct: None,
         },
     };
+    telemetry.span_end(Phase::GateExecution, span);
+    telemetry.add(TelemetryCounter::TrialsExecuted, 1);
+    outcome
+}
+
+/// Executes one accuracy-campaign trial: the trial's evaluation image is
+/// picked by its input stream, each hidden neuron's row program runs on its
+/// own array row under one shared fault/defect draw, and the periphery
+/// classifies the (possibly corrupted) accumulator sums. `correct` records
+/// whether that prediction matches the clean baseline's for the same image —
+/// top-1 fidelity, so a fault-free trial is always correct and accuracy
+/// degradation is attributable to the injected faults alone.
+fn run_accuracy_trial(
+    ctx: &PointContext,
+    accuracy: &AccuracyContext,
+    base_seed: u64,
+    arena: &mut TrialArena,
+) -> TrialOutcome {
+    let (input_seed, fault_seed) = trial_stream_seeds(base_seed);
+    let TrialArena {
+        array: array_slot,
+        scratch,
+        telemetry,
+        ..
+    } = arena;
+
+    let rates = ctx.rates();
+    let array = array_slot.get_or_insert_with(|| PimArray::standard(ctx.config.technology));
+    let span = telemetry.span_start();
+    array.reset_for_trial(ctx.config.technology, rates, fault_seed);
+    telemetry.span_end(Phase::FaultInjection, span);
+
+    let image = (input_seed % accuracy.image_count() as u64) as usize;
+    let netlist = &ctx.kernel.netlist;
+
+    let span = telemetry.span_start();
+    let mut outcome = TrialOutcome {
+        faults_injected: 0,
+        checks: 0,
+        errors_detected: 0,
+        corrections_written_back: 0,
+        uncorrectable: 0,
+        wrong_output_bits: 0,
+        exec_error: None,
+        correct: None,
+    };
+    let mut hidden_sums = [0u64; mnist::EVAL_HIDDEN];
+    for (neuron, sum_slot) in hidden_sums.iter_mut().enumerate() {
+        let inputs = &accuracy.inputs[image][neuron];
+        let expected = &accuracy.expected[image][neuron];
+        match ctx.executor.run_with_scratch(
+            netlist,
+            &ctx.kernel.schedule,
+            array,
+            neuron,
+            inputs,
+            scratch,
+        ) {
+            Ok(report) => {
+                outcome.checks += report.checks;
+                outcome.errors_detected += report.errors_detected;
+                outcome.corrections_written_back += report.corrections_written_back;
+                outcome.uncorrectable += report.uncorrectable;
+                outcome.wrong_output_bits += report
+                    .outputs
+                    .iter()
+                    .zip(expected)
+                    .filter(|(got, want)| got != want)
+                    .count() as u64;
+                *sum_slot = report
+                    .outputs
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i));
+            }
+            Err(err) => {
+                // Mirror the scalar error path: zeroed counters, the fault
+                // count so far, no prediction.
+                let failed = TrialOutcome {
+                    faults_injected: array.fault_injector().fault_count() as u64,
+                    checks: 0,
+                    errors_detected: 0,
+                    corrections_written_back: 0,
+                    uncorrectable: 0,
+                    wrong_output_bits: 0,
+                    exec_error: Some(err.to_string()),
+                    correct: None,
+                };
+                telemetry.span_end(Phase::GateExecution, span);
+                telemetry.add(TelemetryCounter::TrialsExecuted, 1);
+                return failed;
+            }
+        }
+    }
+    outcome.faults_injected = array.fault_injector().fault_count() as u64;
+    let prediction = accuracy.model.classify_from_sums(&hidden_sums);
+    outcome.correct = Some(prediction == accuracy.baseline.clean_predictions[image]);
     telemetry.span_end(Phase::GateExecution, span);
     telemetry.add(TelemetryCounter::TrialsExecuted, 1);
     outcome
@@ -695,6 +909,7 @@ pub fn run_trial_batch(
                     uncorrectable: report.uncorrectable[lane],
                     wrong_output_bits: batch.wrong_bits[lane],
                     exec_error: None,
+                    correct: None,
                 });
             }
         }
@@ -712,6 +927,7 @@ pub fn run_trial_batch(
                     uncorrectable: 0,
                     wrong_output_bits: 0,
                     exec_error: Some(message.clone()),
+                    correct: None,
                 });
             }
         }
@@ -968,23 +1184,91 @@ pub fn prepare_campaign_with_telemetry(
     telemetry.time(Phase::PlanValidation, || plan.validate())?;
     let mut points: Vec<PointContext> = Vec::with_capacity(plan.point_count());
     let mut layouts_used: Vec<*const CompiledKernel> = Vec::new();
+    // Accuracy campaigns compile their kernels outside the shared
+    // `ScheduleCache`: its keys are `(workload, layout)` and the accuracy
+    // netlist differs from the workload's error-campaign netlist, so sharing
+    // the cache would collide. The campaign-local maps below give accuracy
+    // points the same compile-once behaviour.
+    let mut accuracy_contexts: HashMap<SweepWorkload, Arc<AccuracyContext>> = HashMap::new();
+    let mut accuracy_kernels: HashMap<LayoutKey, Arc<CompiledKernel>> = HashMap::new();
     for &workload in &plan.workloads {
         for &technology in &plan.technologies {
             for &protection in &plan.protections {
                 let config = protection.design_config(technology);
+                let accuracy = if plan.kind == CampaignKind::Accuracy {
+                    Some(Arc::clone(
+                        accuracy_contexts.entry(workload).or_insert_with(|| {
+                            Arc::new(AccuracyContext::prepare(
+                                accuracy_weight_bits(workload),
+                                plan.campaign_seed,
+                            ))
+                        }),
+                    ))
+                } else {
+                    None
+                };
                 // Classify the lookup as a compile or a cache hit by the
                 // cache's own lifetime counters, so the span lands in the
                 // right phase even though the decision is the cache's.
-                let compiles_before = cache.compiles();
                 let span = telemetry.span_start();
-                let kernel = cache.get_or_compile(workload, &config)?;
-                if cache.compiles() > compiles_before {
-                    telemetry.span_end(Phase::ScheduleCompile, span);
-                    telemetry.add(TelemetryCounter::ScheduleCompiles, 1);
+                let kernel = if let Some(accuracy) = &accuracy {
+                    let layout = config.row_layout();
+                    let key = (
+                        workload,
+                        (
+                            layout.total_columns,
+                            layout.metadata_columns,
+                            layout.cells_per_value,
+                        ),
+                    );
+                    match accuracy_kernels.get(&key) {
+                        Some(kernel) => {
+                            let kernel = Arc::clone(kernel);
+                            telemetry.span_end(Phase::ScheduleCacheHit, span);
+                            telemetry.add(TelemetryCounter::ScheduleCacheHits, 1);
+                            kernel
+                        }
+                        None => {
+                            let schedule =
+                                map_netlist(&accuracy.netlist, layout).map_err(|err| {
+                                    SweepError::Map {
+                                        workload: workload.name(),
+                                        detail: err.to_string(),
+                                    }
+                                })?;
+                            if !schedule.is_directly_executable() {
+                                return Err(SweepError::NotDirectlyExecutable {
+                                    workload: workload.name(),
+                                    layout_label: format!(
+                                        "{} cols, {} metadata, {} cells/value",
+                                        layout.total_columns,
+                                        layout.metadata_columns,
+                                        layout.cells_per_value
+                                    ),
+                                });
+                            }
+                            let kernel = Arc::new(CompiledKernel {
+                                netlist: accuracy.netlist.clone(),
+                                schedule,
+                            });
+                            accuracy_kernels.insert(key, Arc::clone(&kernel));
+                            telemetry.span_end(Phase::ScheduleCompile, span);
+                            telemetry.add(TelemetryCounter::ScheduleCompiles, 1);
+                            kernel
+                        }
+                    }
                 } else {
-                    telemetry.span_end(Phase::ScheduleCacheHit, span);
-                    telemetry.add(TelemetryCounter::ScheduleCacheHits, 1);
-                }
+                    let compiles_before = cache.compiles();
+                    let kernel = cache.get_or_compile(workload, &config)?;
+                    if cache.compiles() > compiles_before {
+                        telemetry.span_end(Phase::ScheduleCompile, span);
+                        telemetry.add(TelemetryCounter::ScheduleCompiles, 1);
+                    } else {
+                        telemetry.span_end(Phase::ScheduleCacheHit, span);
+                        telemetry.add(TelemetryCounter::ScheduleCacheHits, 1);
+                    }
+                    kernel
+                };
                 let ptr = Arc::as_ptr(&kernel);
                 if !layouts_used.contains(&ptr) {
                     layouts_used.push(ptr);
@@ -995,10 +1279,17 @@ pub fn prepare_campaign_with_telemetry(
                 let sliced = Arc::new(SlicedExecutor::new(config.clone()));
                 // One clean-profile capture per (workload, technology,
                 // protection) — rates share it, since a fault-free trial is
-                // rate-independent by construction.
-                let clean = telemetry.time(Phase::CleanProbe, || {
-                    capture_clean_profile(&config, &kernel, &executor)
-                });
+                // rate-independent by construction. Accuracy campaigns and
+                // defect-bearing plans run without the analytic fast path:
+                // with stuck-at defects a zero-transient-fault trial is not
+                // clean, and accuracy trials never settle analytically.
+                let clean = if accuracy.is_some() || plan.stuck_at_rate != 0.0 {
+                    None
+                } else {
+                    telemetry.time(Phase::CleanProbe, || {
+                        capture_clean_profile(&config, &kernel, &executor)
+                    })
+                };
                 for &gate_error_rate in &plan.gate_error_rates {
                     let mut point = PointContext::new(
                         workload,
@@ -1012,6 +1303,8 @@ pub fn prepare_campaign_with_telemetry(
                         estimate.energy_fj,
                     );
                     point.clean = clean.clone();
+                    point.stuck_at_rate = plan.stuck_at_rate;
+                    point.accuracy = accuracy.clone();
                     // Conditioning requires a verified window and a rate
                     // where "at least one fault" is neither impossible nor
                     // certain; other points fall back to plain Monte Carlo
@@ -1688,6 +1981,7 @@ mod tests {
             uncorrectable: 0,
             wrong_output_bits: 0,
             exec_error: Some("array too small".into()),
+            correct: None,
         };
         let failed = TrialOutcome {
             wrong_output_bits: 2,

@@ -14,7 +14,7 @@ use nvpim_sim::technology::Technology;
 use nvpim_workloads::Benchmark;
 use serde::Value;
 
-use crate::plan::{EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
+use crate::plan::{CampaignKind, EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
 use crate::SweepError;
 
 fn parse_err(context: &str, detail: impl std::fmt::Display) -> SweepError {
@@ -178,6 +178,25 @@ impl SweepPlan {
                 EstimatorMode::from_str(name).map_err(|e| parse_err(ctx, e))?
             }
         };
+        // Optional: pre-accuracy plans (and every error-kind plan, which
+        // omits the key) default to the error campaign type.
+        let kind = match value.get("kind") {
+            None => CampaignKind::default(),
+            Some(v) => {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| parse_err(ctx, "`kind` must be a string"))?;
+                CampaignKind::from_str(name).map_err(|e| parse_err(ctx, e))?
+            }
+        };
+        // Optional: omitted (the canonical encoding of 0.0) means no
+        // permanent defects.
+        let stuck_at_rate = match value.get("stuck_at_rate") {
+            None => 0.0,
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| parse_err(ctx, "`stuck_at_rate` must be a number"))?,
+        };
         Ok(SweepPlan {
             workloads,
             technologies,
@@ -186,6 +205,8 @@ impl SweepPlan {
             seeds_per_point: u64_field(value, "seeds_per_point", ctx)?,
             campaign_seed: u64_field(value, "campaign_seed", ctx)?,
             estimator,
+            kind,
+            stuck_at_rate,
         })
     }
 
@@ -226,6 +247,25 @@ mod tests {
         let mut stratified = SweepPlan::quick();
         stratified.estimator = EstimatorMode::Stratified;
         roundtrip(&stratified);
+        roundtrip(&SweepPlan::accuracy_quick());
+    }
+
+    #[test]
+    fn kind_and_stuck_at_fields_parse_and_default() {
+        let plan = SweepPlan::from_json_str(&SweepPlan::quick().canonical_json()).unwrap();
+        assert_eq!(plan.kind, CampaignKind::Error);
+        assert_eq!(plan.stuck_at_rate, 0.0);
+
+        let accuracy = SweepPlan::accuracy_quick();
+        let parsed = SweepPlan::from_json_str(&accuracy.canonical_json()).unwrap();
+        assert_eq!(parsed.kind, CampaignKind::Accuracy);
+        assert_eq!(parsed.stuck_at_rate, accuracy.stuck_at_rate);
+
+        let bad = accuracy.canonical_json().replace("accuracy", "fidelity");
+        assert!(SweepPlan::from_json_str(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown campaign kind"));
     }
 
     #[test]

@@ -53,8 +53,8 @@ pub use engine::{
 };
 pub use nvpim_core::config::SimBackend;
 pub use nvpim_telemetry::{Counter as TelemetryCounter, Phase, Telemetry, TelemetrySnapshot};
-pub use plan::{EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
-pub use report::{EstimatorSummary, PointSummary, SweepReport, TrialOutcome};
+pub use plan::{CampaignKind, EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
+pub use report::{AccuracySummary, EstimatorSummary, PointSummary, SweepReport, TrialOutcome};
 
 /// Errors raised while setting up a campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +79,9 @@ pub enum SweepError {
     },
     /// A plan's JSON encoding could not be decoded.
     Parse(String),
+    /// The plan combines campaign features that cannot run together (e.g.
+    /// an accuracy campaign on an unlabelled workload).
+    UnsupportedCampaign(String),
     /// A chunked campaign was cancelled by its progress observer.
     Cancelled,
     /// A resume checkpoint is inconsistent with the campaign it claims to
@@ -105,6 +108,9 @@ impl std::fmt::Display for SweepError {
                  functional fault-injection trials"
             ),
             SweepError::Parse(detail) => write!(f, "invalid sweep plan encoding — {detail}"),
+            SweepError::UnsupportedCampaign(detail) => {
+                write!(f, "unsupported campaign combination — {detail}")
+            }
             SweepError::Cancelled => write!(f, "campaign cancelled by its observer"),
             SweepError::BadCheckpoint(detail) => {
                 write!(f, "invalid resume checkpoint — {detail}")

@@ -54,6 +54,18 @@ impl ProtectionConfig {
         scheme: ProtectionScheme::ParityDetect,
         gate_style: GateStyle::SingleOutput,
     };
+    /// Detect-and-recompute with multi-output gates: parity detection plus
+    /// bounded periphery recompute of the affected level (registry plugin,
+    /// like [`Self::PARITY_DETECT`]).
+    pub const DETECT_RECOMPUTE: ProtectionConfig = ProtectionConfig {
+        scheme: ProtectionScheme::DetectRecompute,
+        gate_style: GateStyle::MultiOutput,
+    };
+    /// Detect-and-recompute with single-output gates.
+    pub const DETECT_RECOMPUTE_SINGLE_OUTPUT: ProtectionConfig = ProtectionConfig {
+        scheme: ProtectionScheme::DetectRecompute,
+        gate_style: GateStyle::SingleOutput,
+    };
 
     /// The three multi-output design points of the paper's evaluation.
     pub fn paper_trio() -> Vec<ProtectionConfig> {
@@ -128,6 +140,14 @@ impl SweepWorkload {
             SweepWorkload::Multiplier { bits } => format!("mul{bits}"),
             SweepWorkload::Benchmark(b) => b.name(),
         }
+    }
+
+    /// Whether the workload carries a labelled task an accuracy campaign
+    /// can evaluate (a dataset with per-sample references, not just random
+    /// operand vectors). Only the MNIST benchmark qualifies today; plan
+    /// validation rejects [`CampaignKind::Accuracy`] on anything else.
+    pub fn supports_labels(&self) -> bool {
+        matches!(self, SweepWorkload::Benchmark(Benchmark::Mnist { .. }))
     }
 
     /// Synthesizes the workload's row netlist.
@@ -219,6 +239,61 @@ impl std::str::FromStr for EstimatorMode {
     }
 }
 
+/// What a campaign's trials measure.
+///
+/// [`Error`](CampaignKind::Error) is the historical campaign type: trials
+/// execute random operand vectors and the report carries error counters and
+/// output-error rates. The `kind` key is omitted from serialized plans when
+/// `Error`, so pre-existing plan digests and exact-mode report bytes are
+/// unchanged.
+///
+/// [`Accuracy`](CampaignKind::Accuracy) promotes a labelled workload (the
+/// MNIST benchmark) into an inference-accuracy evaluation: each trial runs
+/// one image through the reduced PiM MLP under fault injection and records
+/// whether the faulty top-1 prediction still matches the clean model's
+/// prediction. Per-point reports gain an `accuracy` block (task accuracy,
+/// top-1 delta vs the clean baseline, Wilson interval) next to the error
+/// counters, and `schema_version` bumps to 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CampaignKind {
+    /// Fault/error-counter campaign over random operand vectors (the
+    /// historical behaviour; serialized plans omit the key).
+    #[default]
+    Error,
+    /// Inference-accuracy-under-fault campaign over a labelled workload.
+    Accuracy,
+}
+
+impl CampaignKind {
+    /// Stable serialized name (`"error"` / `"accuracy"`).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            CampaignKind::Error => "error",
+            CampaignKind::Accuracy => "accuracy",
+        }
+    }
+}
+
+impl std::fmt::Display for CampaignKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+impl std::str::FromStr for CampaignKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(CampaignKind::Error),
+            "accuracy" => Ok(CampaignKind::Accuracy),
+            other => Err(format!(
+                "unknown campaign kind `{other}` (expected `error` or `accuracy`)"
+            )),
+        }
+    }
+}
+
 /// A full Monte Carlo campaign description.
 ///
 /// The campaign expands into `workloads × technologies × protections ×
@@ -246,6 +321,15 @@ pub struct SweepPlan {
     /// How trial outcomes become point statistics ([`EstimatorMode::Exact`]
     /// by default, which reproduces historical report bytes).
     pub estimator: EstimatorMode,
+    /// What trials measure ([`CampaignKind::Error`] by default, which
+    /// reproduces historical report bytes).
+    pub kind: CampaignKind,
+    /// Permanent stuck-at defect density in `[0, 1]`: the probability each
+    /// array cell is fabricated stuck (at 0 or 1, equiprobable). Per-trial
+    /// defect maps derive from the same deterministic seed discipline as
+    /// transient faults, so reports stay byte-reproducible. `0.0` (the
+    /// default, omitted from serialized plans) means no permanent defects.
+    pub stuck_at_rate: f64,
 }
 
 // Hand-rolled so the `estimator` key is *omitted* when `Exact`: serialized
@@ -273,6 +357,15 @@ impl Serialize for SweepPlan {
                 Value::Str(self.estimator.wire_name().to_string()),
             ));
         }
+        if self.kind != CampaignKind::Error {
+            fields.push((
+                "kind".to_string(),
+                Value::Str(self.kind.wire_name().to_string()),
+            ));
+        }
+        if self.stuck_at_rate != 0.0 {
+            fields.push(("stuck_at_rate".to_string(), self.stuck_at_rate.to_json()));
+        }
         Value::Object(fields)
     }
 }
@@ -292,6 +385,31 @@ impl SweepPlan {
             seeds_per_point: 8,
             campaign_seed: 0x5eed_cafe,
             estimator: EstimatorMode::Exact,
+            kind: CampaignKind::Error,
+            stuck_at_rate: 0.0,
+        }
+    }
+
+    /// A small inference-accuracy smoke campaign: the 1-bit MNIST benchmark
+    /// on the ReRAM crossbar, the unprotected baseline against
+    /// detect-and-recompute, a fault-rate ramp including the clean point,
+    /// and a light permanent-defect density.
+    pub fn accuracy_quick() -> Self {
+        Self {
+            workloads: vec![SweepWorkload::Benchmark(Benchmark::Mnist {
+                weight_bits: 1,
+            })],
+            technologies: vec![Technology::ReramCrossbar],
+            protections: vec![
+                ProtectionConfig::UNPROTECTED,
+                ProtectionConfig::DETECT_RECOMPUTE,
+            ],
+            gate_error_rates: vec![0.0, 1e-3, 3e-3],
+            seeds_per_point: 8,
+            campaign_seed: 0xacc0_cafe,
+            estimator: EstimatorMode::Exact,
+            kind: CampaignKind::Accuracy,
+            stuck_at_rate: 1e-4,
         }
     }
 
@@ -319,6 +437,8 @@ impl SweepPlan {
             seeds_per_point: 25,
             campaign_seed: 0x15ca_2024,
             estimator: EstimatorMode::Exact,
+            kind: CampaignKind::Error,
+            stuck_at_rate: 0.0,
         }
     }
 
@@ -362,6 +482,28 @@ impl SweepPlan {
             // invalid rate, not ride on a comparison side effect.
             if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
                 return Err(crate::SweepError::InvalidErrorRate(rate));
+            }
+        }
+        if !self.stuck_at_rate.is_finite() || !(0.0..=1.0).contains(&self.stuck_at_rate) {
+            return Err(crate::SweepError::InvalidErrorRate(self.stuck_at_rate));
+        }
+        if self.kind == CampaignKind::Accuracy {
+            // Accuracy fidelity is a per-trial Bernoulli against the clean
+            // prediction; the stratified estimator's zero-fault stratum is
+            // defined over error counters, not task metrics.
+            if self.estimator == EstimatorMode::Stratified {
+                return Err(crate::SweepError::UnsupportedCampaign(
+                    "accuracy campaigns run the exact estimator only".to_string(),
+                ));
+            }
+            for workload in &self.workloads {
+                if !workload.supports_labels() {
+                    return Err(crate::SweepError::UnsupportedCampaign(format!(
+                        "workload `{}` carries no labels; accuracy campaigns \
+                         need a labelled workload (the MNIST benchmark)",
+                        workload.name()
+                    )));
+                }
             }
         }
         Ok(())
@@ -431,6 +573,72 @@ mod tests {
         plan.estimator = EstimatorMode::Stratified;
         let stratified = serde_json::to_string(&plan).unwrap();
         assert!(stratified.contains("\"estimator\":\"stratified\""));
+    }
+
+    #[test]
+    fn error_plans_serialize_without_the_kind_or_stuck_at_keys() {
+        // Historical plan bytes (and therefore content digests) must be
+        // unchanged by the accuracy-campaign fields.
+        let error = serde_json::to_string(&SweepPlan::quick()).unwrap();
+        assert!(!error.contains("\"kind\""));
+        assert!(!error.contains("stuck_at_rate"));
+        let accuracy = serde_json::to_string(&SweepPlan::accuracy_quick()).unwrap();
+        assert!(accuracy.contains("\"kind\":\"accuracy\""));
+        assert!(accuracy.contains("\"stuck_at_rate\":"));
+    }
+
+    #[test]
+    fn campaign_kind_parses_and_displays() {
+        use std::str::FromStr;
+        assert_eq!(
+            CampaignKind::from_str("error").unwrap(),
+            CampaignKind::Error
+        );
+        assert_eq!(
+            CampaignKind::from_str("Accuracy").unwrap(),
+            CampaignKind::Accuracy
+        );
+        assert!(CampaignKind::from_str("fidelity").is_err());
+        assert_eq!(CampaignKind::default(), CampaignKind::Error);
+        assert_eq!(CampaignKind::Accuracy.to_string(), "accuracy");
+    }
+
+    #[test]
+    fn accuracy_plans_require_labelled_workloads() {
+        let plan = SweepPlan::accuracy_quick();
+        plan.validate().unwrap();
+        assert!(plan.workloads.iter().all(SweepWorkload::supports_labels));
+
+        // Accuracy on an unlabelled workload is rejected by name.
+        let mut unlabelled = SweepPlan::accuracy_quick();
+        unlabelled.workloads = vec![SweepWorkload::Mac {
+            acc_bits: 8,
+            mul_bits: 4,
+        }];
+        match unlabelled.validate() {
+            Err(crate::SweepError::UnsupportedCampaign(msg)) => {
+                assert!(msg.contains("mac8x4"), "{msg}")
+            }
+            other => panic!("expected UnsupportedCampaign, got {other:?}"),
+        }
+
+        // The stratified estimator cannot drive an accuracy campaign.
+        let mut stratified = SweepPlan::accuracy_quick();
+        stratified.estimator = EstimatorMode::Stratified;
+        assert!(matches!(
+            stratified.validate(),
+            Err(crate::SweepError::UnsupportedCampaign(_))
+        ));
+
+        // Stuck-at densities outside [0, 1] are invalid rates.
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let mut plan = SweepPlan::quick();
+            plan.stuck_at_rate = bad;
+            assert!(matches!(
+                plan.validate(),
+                Err(crate::SweepError::InvalidErrorRate(_))
+            ));
+        }
     }
 
     #[test]

@@ -4,10 +4,10 @@
 use serde::{Serialize, Value};
 
 use crate::engine::PointContext;
-use crate::plan::{EstimatorMode, SweepPlan};
+use crate::plan::{CampaignKind, EstimatorMode, SweepPlan};
 
 /// Raw counters from one Monte Carlo trial.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrialOutcome {
     /// Faults the injector actually fired during the trial.
     pub faults_injected: u64,
@@ -23,6 +23,46 @@ pub struct TrialOutcome {
     pub wrong_output_bits: u64,
     /// Execution error, if the trial failed to run at all.
     pub exec_error: Option<String>,
+    /// Accuracy-campaign verdict: whether the trial's faulty top-1
+    /// prediction matched the clean model's prediction for the same image.
+    /// `None` for error-campaign trials (and omitted from their serialized
+    /// form, so error-campaign journal and shard-wire bytes are unchanged).
+    pub correct: Option<bool>,
+}
+
+// Hand-rolled so the `correct` key is *omitted* when `None`: error-campaign
+// trial bytes (journal checkpoints, shard wire format) stay byte-identical
+// to versions that predate accuracy campaigns. Field order must mirror
+// declaration order exactly (what `derive(Serialize)` emitted before this
+// field existed).
+impl Serialize for TrialOutcome {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            (
+                "faults_injected".to_string(),
+                self.faults_injected.to_json(),
+            ),
+            ("checks".to_string(), self.checks.to_json()),
+            (
+                "errors_detected".to_string(),
+                self.errors_detected.to_json(),
+            ),
+            (
+                "corrections_written_back".to_string(),
+                self.corrections_written_back.to_json(),
+            ),
+            ("uncorrectable".to_string(), self.uncorrectable.to_json()),
+            (
+                "wrong_output_bits".to_string(),
+                self.wrong_output_bits.to_json(),
+            ),
+            ("exec_error".to_string(), self.exec_error.to_json()),
+        ];
+        if let Some(correct) = self.correct {
+            fields.push(("correct".to_string(), correct.to_json()));
+        }
+        Value::Object(fields)
+    }
 }
 
 impl TrialOutcome {
@@ -47,6 +87,15 @@ impl TrialOutcome {
                     .to_string(),
             ),
         };
+        // Absent in every error-campaign outcome (and in checkpoints written
+        // before accuracy campaigns existed) — both decode to `None`.
+        let correct = match value.get("correct") {
+            None | Some(Value::Null) => None,
+            Some(Value::Bool(b)) => Some(*b),
+            Some(_) => {
+                return Err("trial outcome field `correct` must be a boolean or null".to_string())
+            }
+        };
         Ok(TrialOutcome {
             faults_injected: num("faults_injected")?,
             checks: num("checks")?,
@@ -55,6 +104,7 @@ impl TrialOutcome {
             uncorrectable: num("uncorrectable")?,
             wrong_output_bits: num("wrong_output_bits")?,
             exec_error,
+            correct,
         })
     }
 
@@ -121,7 +171,9 @@ pub struct EstimatorSummary {
 
 /// 95% Wilson score interval for `successes / n`, clamped to `[0, 1]`.
 /// Returns `(0.0, 1.0)` when `n == 0` (no evidence, full uncertainty).
-fn wilson_interval(successes: u64, n: u64) -> (f64, f64) {
+/// Shared by the stratified estimator's rate intervals and the accuracy
+/// campaign's fidelity interval.
+pub(crate) fn wilson_interval(successes: u64, n: u64) -> (f64, f64) {
     if n == 0 {
         return (0.0, 1.0);
     }
@@ -174,6 +226,64 @@ impl EstimatorSummary {
     }
 }
 
+/// Task-accuracy statistics for one point, present only in
+/// [`CampaignKind::Accuracy`](crate::plan::CampaignKind::Accuracy)
+/// campaigns (error-campaign report bytes are unchanged).
+///
+/// Accuracy is measured as *top-1 fidelity*: the fraction of evaluated
+/// trials whose faulty prediction matched the clean model's prediction for
+/// the same image. The clean model scores 1.0 by construction, so
+/// [`top1_delta`](Self::top1_delta) is the accuracy lost to faults. The
+/// synthetic dataset's labels are random, so the model's agreement with
+/// them ([`clean_label_accuracy`](Self::clean_label_accuracy), the cached
+/// once-per-campaign clean-run baseline) contextualizes the task rather
+/// than measuring learning.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AccuracySummary {
+    /// Trials whose faulty prediction matched the clean prediction.
+    pub correct_trials: u64,
+    /// Trials that executed and produced a prediction (exec-errored trials
+    /// are excluded, mirroring `output_error_rate`'s denominator).
+    pub evaluated_trials: u64,
+    /// Top-1 fidelity `correct_trials / evaluated_trials` (0.0 when nothing
+    /// executed — check `exec_errors`).
+    pub accuracy: f64,
+    /// Lower 95% Wilson bound on the fidelity.
+    pub accuracy_ci_low: f64,
+    /// Upper 95% Wilson bound on the fidelity.
+    pub accuracy_ci_high: f64,
+    /// Accuracy delta against the clean baseline (fidelity − 1.0, ≤ 0).
+    pub top1_delta: f64,
+    /// The clean model's agreement with the synthetic labels — the
+    /// once-per-campaign cached clean-run baseline constant.
+    pub clean_label_accuracy: f64,
+}
+
+impl AccuracySummary {
+    /// Builds the summary from the point's correct/evaluated counts.
+    pub(crate) fn from_counts(
+        correct_trials: u64,
+        evaluated_trials: u64,
+        clean_label_accuracy: f64,
+    ) -> Self {
+        let accuracy = if evaluated_trials == 0 {
+            0.0
+        } else {
+            correct_trials as f64 / evaluated_trials as f64
+        };
+        let (ci_low, ci_high) = wilson_interval(correct_trials, evaluated_trials);
+        AccuracySummary {
+            correct_trials,
+            evaluated_trials,
+            accuracy,
+            accuracy_ci_low: ci_low,
+            accuracy_ci_high: ci_high,
+            top1_delta: accuracy - 1.0,
+            clean_label_accuracy,
+        }
+    }
+}
+
 /// Aggregated results of one campaign point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointSummary {
@@ -222,6 +332,10 @@ pub struct PointSummary {
     /// trial had ≥ 1 fault forced into its window); the unbiased
     /// unconditional rates live here.
     pub estimator: Option<EstimatorSummary>,
+    /// Task-accuracy statistics — `Some` only in accuracy campaigns, where
+    /// every trial classifies one image and the counters above additionally
+    /// describe the per-neuron row programs.
+    pub accuracy: Option<AccuracySummary>,
 }
 
 // Hand-rolled so the `estimator` key is *omitted* (not `null`) when absent:
@@ -276,6 +390,9 @@ impl Serialize for PointSummary {
         if let Some(est) = &self.estimator {
             fields.push(("estimator".to_string(), est.to_json()));
         }
+        if let Some(acc) = &self.accuracy {
+            fields.push(("accuracy".to_string(), acc.to_json()));
+        }
         Value::Object(fields)
     }
 }
@@ -306,7 +423,10 @@ impl PointSummary {
             est_time_ns: ctx.est_time_ns,
             est_energy_fj: ctx.est_energy_fj,
             estimator: None,
+            accuracy: None,
         };
+        let mut correct_trials = 0u64;
+        let mut evaluated_trials = 0u64;
         for o in outcomes {
             s.faults_injected += o.faults_injected;
             s.checks += o.checks;
@@ -328,10 +448,23 @@ impl PointSummary {
             if o.silent_failure() {
                 s.silent_failures += 1;
             }
+            if let Some(correct) = o.correct {
+                evaluated_trials += 1;
+                if correct {
+                    correct_trials += 1;
+                }
+            }
         }
         let executed = trials - s.exec_errors;
         if executed > 0 {
             s.output_error_rate = s.failed_trials as f64 / executed as f64;
+        }
+        if let Some(accuracy) = ctx.accuracy_context() {
+            s.accuracy = Some(AccuracySummary::from_counts(
+                correct_trials,
+                evaluated_trials,
+                accuracy.clean_label_accuracy(),
+            ));
         }
         s
     }
@@ -344,9 +477,10 @@ impl PointSummary {
 /// scheduling), so `to_json()` is byte-identical across runs and across
 /// `RAYON_NUM_THREADS` settings.
 ///
-/// `schema_version` is 1 for exact-mode campaigns (bytes unchanged since
-/// that schema shipped) and 2 for stratified-estimator campaigns, whose
-/// points carry an extra `estimator` object.
+/// `schema_version` is 1 for exact-mode error campaigns (bytes unchanged
+/// since that schema shipped), 2 for stratified-estimator campaigns (points
+/// carry an extra `estimator` object), and 3 for accuracy campaigns (points
+/// carry an extra `accuracy` object and trials a `correct` verdict).
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SweepReport {
     /// Report schema version.
@@ -379,9 +513,12 @@ impl SweepReport {
         let total_failed_trials = points.iter().map(|p| p.failed_trials).sum();
         let total_exec_errors = points.iter().map(|p| p.exec_errors).sum();
         SweepReport {
-            schema_version: match plan.estimator {
-                EstimatorMode::Exact => 1,
-                EstimatorMode::Stratified => 2,
+            // Accuracy campaigns reject the stratified estimator at plan
+            // validation, so the versions never contend.
+            schema_version: match (plan.kind, plan.estimator) {
+                (CampaignKind::Accuracy, _) => 3,
+                (_, EstimatorMode::Exact) => 1,
+                (_, EstimatorMode::Stratified) => 2,
             },
             campaign_seed: plan.campaign_seed,
             seeds_per_point: plan.seeds_per_point,
@@ -413,6 +550,7 @@ mod tests {
             uncorrectable: 0,
             wrong_output_bits: 0,
             exec_error: None,
+            correct: None,
         };
         assert!(!base.failed());
         let silent = TrialOutcome {
@@ -426,5 +564,53 @@ mod tests {
             ..base
         };
         assert!(loud.failed() && !loud.silent_failure());
+    }
+
+    #[test]
+    fn error_trial_bytes_omit_the_correct_key_and_roundtrip() {
+        let error_trial = TrialOutcome {
+            faults_injected: 1,
+            checks: 4,
+            errors_detected: 1,
+            corrections_written_back: 1,
+            uncorrectable: 0,
+            wrong_output_bits: 0,
+            exec_error: None,
+            correct: None,
+        };
+        let encoded = serde_json::to_string(&error_trial).unwrap();
+        // Journal/shard wire bytes of error campaigns are unchanged by the
+        // accuracy field.
+        assert!(!encoded.contains("\"correct\""));
+        let value = serde_json::from_str(&encoded).unwrap();
+        assert_eq!(TrialOutcome::from_json_value(&value).unwrap(), error_trial);
+
+        let accuracy_trial = TrialOutcome {
+            correct: Some(true),
+            ..error_trial.clone()
+        };
+        let encoded = serde_json::to_string(&accuracy_trial).unwrap();
+        assert!(encoded.contains("\"correct\":true"));
+        let value = serde_json::from_str(&encoded).unwrap();
+        assert_eq!(
+            TrialOutcome::from_json_value(&value).unwrap(),
+            accuracy_trial
+        );
+    }
+
+    #[test]
+    fn accuracy_summary_statistics_are_consistent() {
+        let s = AccuracySummary::from_counts(6, 8, 0.125);
+        assert_eq!(s.correct_trials, 6);
+        assert_eq!(s.evaluated_trials, 8);
+        assert!((s.accuracy - 0.75).abs() < 1e-12);
+        assert!((s.top1_delta - -0.25).abs() < 1e-12);
+        assert!(s.accuracy_ci_low < s.accuracy && s.accuracy < s.accuracy_ci_high);
+        assert!((0.0..=1.0).contains(&s.accuracy_ci_low));
+        assert!((0.0..=1.0).contains(&s.accuracy_ci_high));
+        // No evidence: zero accuracy, full-width interval.
+        let empty = AccuracySummary::from_counts(0, 0, 0.5);
+        assert_eq!(empty.accuracy, 0.0);
+        assert_eq!((empty.accuracy_ci_low, empty.accuracy_ci_high), (0.0, 1.0));
     }
 }

@@ -8,8 +8,8 @@
 
 use nvpim_sim::technology::Technology;
 use nvpim_sweep::{
-    run_campaign_with_backend, EstimatorMode, ProtectionConfig, SimBackend, SweepPlan,
-    SweepWorkload, TrialArena, TrialHarness, TrialOutcome,
+    run_campaign_with_backend, CampaignKind, EstimatorMode, ProtectionConfig, SimBackend,
+    SweepPlan, SweepWorkload, TrialArena, TrialHarness, TrialOutcome,
 };
 
 const SEED: u64 = 0x51_1CED;
@@ -50,6 +50,8 @@ fn reports_are_byte_identical_across_the_technology_scheme_rate_grid() {
         seeds_per_point: 20,
         campaign_seed: SEED,
         estimator: EstimatorMode::Exact,
+        kind: CampaignKind::Error,
+        stuck_at_rate: 0.0,
     };
     let (scalar, sliced) = both_backends(&plan);
     assert_eq!(scalar, sliced, "grid reports must be byte-identical");
@@ -72,6 +74,8 @@ fn ragged_trial_counts_are_byte_identical() {
             seeds_per_point,
             campaign_seed: SEED ^ seeds_per_point,
             estimator: EstimatorMode::Exact,
+            kind: CampaignKind::Error,
+            stuck_at_rate: 0.0,
         };
         let (scalar, sliced) = both_backends(&plan);
         assert_eq!(
@@ -175,6 +179,8 @@ fn extreme_error_rates_stay_equivalent() {
             seeds_per_point: 7,
             campaign_seed: SEED,
             estimator: EstimatorMode::Exact,
+            kind: CampaignKind::Error,
+            stuck_at_rate: 0.0,
         };
         let (scalar, sliced) = both_backends(&plan);
         assert_eq!(scalar, sliced, "rate {rate}");

@@ -41,6 +41,8 @@ fn grid_plan(estimator: EstimatorMode, seeds_per_point: u64) -> SweepPlan {
         seeds_per_point,
         campaign_seed: 0xE571_3A7E,
         estimator,
+        kind: nvpim_sweep::CampaignKind::Error,
+        stuck_at_rate: 0.0,
     }
 }
 

@@ -2,7 +2,7 @@
 //! is exactly the cartesian product, and `validate()` rejects every
 //! degenerate plan (an empty axis, zero seeds, an out-of-range rate).
 
-use nvpim_sweep::{EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
+use nvpim_sweep::{CampaignKind, EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
 use proptest::prelude::*;
 
 /// Builds a plan whose four axes have the given lengths (drawn from fixed
@@ -55,6 +55,8 @@ fn plan_with(
         seeds_per_point: seeds,
         campaign_seed: 0xfeed,
         estimator: EstimatorMode::Exact,
+        kind: CampaignKind::Error,
+        stuck_at_rate: 0.0,
     }
 }
 

@@ -68,11 +68,72 @@ fn every_registered_scheme_declares_consistent_capabilities() {
         let layout = config.row_layout();
         assert_eq!(layout.metadata_columns, caps.metadata_columns, "{wire}");
         assert_eq!(layout.cells_per_value, caps.cells_per_value, "{wire}");
+        // A scheme claiming online recompute writes corrections back, so it
+        // cannot also claim to be detection-only.
+        if caps.recompute {
+            assert!(!caps.detect_only, "{wire}: recompute schemes correct");
+        }
     }
     assert!(
         wire_names.contains("ParityDetect"),
         "the plugin-path proof scheme must stay registered"
     );
+    assert!(
+        wire_names.contains("DetectRecompute"),
+        "the recompute scheme must stay registered"
+    );
+    let recompute = ProtectionScheme::from_str("DetectRecompute")
+        .unwrap()
+        .runtime();
+    let caps = recompute.capabilities(&DesignConfig::for_scheme(
+        ProtectionScheme::from_str("DetectRecompute").unwrap(),
+        Technology::SttMram,
+    ));
+    assert!(caps.recompute && caps.stuck_at_aware && caps.sliceable);
+}
+
+/// DetectRecompute's lane-batched path is bit-identical to its scalar path
+/// even with permanent stuck-at defects in the fault regime — the sliced
+/// injector's per-lane defect maps replay the scalar hash exactly, and the
+/// recompute write-backs land on the same cells.
+#[test]
+fn detect_recompute_runs_lane_for_lane_with_stuck_at_defects() {
+    let mut plan = SweepPlan::quick();
+    let recompute = ProtectionScheme::from_str("DetectRecompute").unwrap();
+    plan.protections = vec![
+        ProtectionConfig {
+            scheme: recompute,
+            gate_style: GateStyle::MultiOutput,
+        },
+        ProtectionConfig {
+            scheme: recompute,
+            gate_style: GateStyle::SingleOutput,
+        },
+    ];
+    plan.gate_error_rates = vec![0.0, 1e-3];
+    plan.stuck_at_rate = 1e-3;
+    plan.seeds_per_point = 70; // crosses a 64-lane batch boundary
+    let sliced = run_campaign_with_backend(&plan, SimBackend::Sliced).unwrap();
+    let scalar = run_campaign_with_backend(&plan, SimBackend::Scalar).unwrap();
+    assert_eq!(
+        sliced.to_json(),
+        scalar.to_json(),
+        "sliced and scalar DetectRecompute must agree with defects present"
+    );
+    let faulty: Vec<_> = sliced
+        .points
+        .iter()
+        .filter(|p| p.gate_error_rate > 0.0)
+        .collect();
+    assert!(!faulty.is_empty());
+    for point in faulty {
+        assert!(point.errors_detected > 0, "{}", point.protection);
+        assert!(
+            point.corrections_written_back > 0,
+            "{}: recompute must write corrections back",
+            point.protection
+        );
+    }
 }
 
 /// A scheme that *declares* the sliced capability must *implement* it:

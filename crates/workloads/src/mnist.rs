@@ -187,6 +187,176 @@ pub fn pack_row_inputs(pixels: &[u8], weights: &[u8], weight_bits: usize) -> Vec
     bits
 }
 
+// ---------------------------------------------------------------------------
+// Accuracy-evaluation model
+// ---------------------------------------------------------------------------
+
+/// Average-pooling factor of the accuracy-evaluation model: 28×28 images are
+/// pooled 4×4 so one hidden neuron's dot product fits a single row program.
+pub const EVAL_POOL: usize = 4;
+/// Pooled image side length (7).
+pub const EVAL_SIDE: usize = IMAGE_SIDE / EVAL_POOL;
+/// Pixels of a pooled image (49) — the MAC terms of one evaluation row.
+pub const EVAL_PIXELS: usize = EVAL_SIDE * EVAL_SIDE;
+/// Hidden-layer width of the accuracy-evaluation model. Each hidden neuron
+/// runs on its own array row, so a trial exercises `EVAL_HIDDEN` distinct
+/// rows (and therefore distinct stuck-at defect maps).
+pub const EVAL_HIDDEN: usize = 8;
+
+/// 4×4 average-pools a 28×28 image down to the 7×7 evaluation resolution.
+pub fn downsample(image: &[u8]) -> Vec<u8> {
+    assert_eq!(image.len(), IMAGE_PIXELS);
+    let mut pooled = Vec::with_capacity(EVAL_PIXELS);
+    for py in 0..EVAL_SIDE {
+        for px in 0..EVAL_SIDE {
+            let mut sum = 0u32;
+            for dy in 0..EVAL_POOL {
+                for dx in 0..EVAL_POOL {
+                    sum += image[(py * EVAL_POOL + dy) * IMAGE_SIDE + (px * EVAL_POOL + dx)] as u32;
+                }
+            }
+            pooled.push((sum / (EVAL_POOL * EVAL_POOL) as u32) as u8);
+        }
+    }
+    pooled
+}
+
+/// The reduced two-layer MLP of inference-accuracy campaigns:
+/// `EVAL_PIXELS → EVAL_HIDDEN → CLASSES` with `weight_bits`-bit unsigned
+/// weights. Each hidden neuron's 49-term dot product is one row program
+/// ([`row_netlist_with_terms`]); the activation, output layer and argmax run
+/// in periphery software, exactly mirrored by [`Self::infer`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MnistAccuracyModel {
+    /// Weight precision in bits (1–4 in the paper).
+    pub weight_bits: usize,
+    /// Hidden-layer weights, `EVAL_HIDDEN × EVAL_PIXELS`.
+    pub hidden_weights: Vec<Vec<u8>>,
+    /// Output-layer weights, `CLASSES × EVAL_HIDDEN`.
+    pub output_weights: Vec<Vec<u8>>,
+}
+
+impl MnistAccuracyModel {
+    /// Generates deterministic weights for the given precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_bits` is not in `1..=8`.
+    pub fn generate(weight_bits: usize, seed: u64) -> Self {
+        assert!((1..=8).contains(&weight_bits), "weight bits must be 1..=8");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max = (1u32 << weight_bits) as u8;
+        let hidden_weights = (0..EVAL_HIDDEN)
+            .map(|_| (0..EVAL_PIXELS).map(|_| rng.gen_range(0..max)).collect())
+            .collect();
+        let output_weights = (0..CLASSES)
+            .map(|_| (0..EVAL_HIDDEN).map(|_| rng.gen_range(0..max)).collect())
+            .collect();
+        Self {
+            weight_bits,
+            hidden_weights,
+            output_weights,
+        }
+    }
+
+    /// The single row netlist every hidden neuron of the model executes: a
+    /// 49-term MAC chain. One compiled schedule serves all `EVAL_HIDDEN`
+    /// neuron runs of every trial.
+    pub fn netlist(&self) -> Netlist {
+        row_netlist_with_terms(self.weight_bits, EVAL_PIXELS)
+    }
+
+    /// Bit-level row inputs of hidden neuron `neuron` for a pooled image.
+    pub fn neuron_inputs(&self, pooled: &[u8], neuron: usize) -> Vec<bool> {
+        assert_eq!(pooled.len(), EVAL_PIXELS);
+        pack_row_inputs(pooled, &self.hidden_weights[neuron], self.weight_bits)
+    }
+
+    /// The software dot product of hidden neuron `neuron` (the fault-free
+    /// reference for one row program's accumulator output).
+    pub fn neuron_sum(&self, pooled: &[u8], neuron: usize) -> u64 {
+        self.hidden_weights[neuron]
+            .iter()
+            .zip(pooled)
+            .map(|(&wi, &xi)| wi as u64 * xi as u64)
+            .sum()
+    }
+
+    /// The periphery half of inference: mean-threshold activation over the
+    /// hidden sums, output layer, argmax. Shared verbatim by the software
+    /// reference ([`Self::infer`]) and the PiM path (which feeds the array's
+    /// accumulator outputs in), so clean PiM inference agrees with the
+    /// reference bit for bit.
+    pub fn classify_from_sums(&self, hidden_sums: &[u64]) -> u8 {
+        assert_eq!(hidden_sums.len(), EVAL_HIDDEN);
+        let mean: u64 = hidden_sums.iter().sum::<u64>() / hidden_sums.len() as u64;
+        let activated: Vec<u64> = hidden_sums.iter().map(|&h| u64::from(h > mean)).collect();
+        let scores: Vec<u64> = self
+            .output_weights
+            .iter()
+            .map(|w| {
+                w.iter()
+                    .zip(&activated)
+                    .map(|(&wi, &ai)| wi as u64 * ai)
+                    .sum()
+            })
+            .collect();
+        scores
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .map(|(i, _)| i as u8)
+            .unwrap_or(0)
+    }
+
+    /// Reference (software) inference on a pooled image.
+    pub fn infer(&self, pooled: &[u8]) -> u8 {
+        let sums: Vec<u64> = (0..EVAL_HIDDEN)
+            .map(|n| self.neuron_sum(pooled, n))
+            .collect();
+        self.classify_from_sums(&sums)
+    }
+}
+
+/// The clean-run baseline of an accuracy campaign, captured **once per
+/// campaign** (never per trial): the fault-free model's prediction for every
+/// evaluation image, plus its aggregate agreement with the synthetic labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MnistAccuracyBaseline {
+    /// The clean model's top-1 prediction per pooled image — what each
+    /// faulty trial's prediction is compared against.
+    pub clean_predictions: Vec<u8>,
+    /// Fraction of images whose clean prediction matches the synthetic
+    /// label (the cached clean-run baseline accuracy constant).
+    pub label_accuracy: f64,
+}
+
+impl MnistAccuracyBaseline {
+    /// Runs the clean model over every pooled image.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pooled_images` and `labels` disagree in length or are
+    /// empty.
+    pub fn capture(model: &MnistAccuracyModel, pooled_images: &[Vec<u8>], labels: &[u8]) -> Self {
+        assert_eq!(pooled_images.len(), labels.len());
+        assert!(
+            !pooled_images.is_empty(),
+            "baseline needs at least one image"
+        );
+        let clean_predictions: Vec<u8> = pooled_images.iter().map(|img| model.infer(img)).collect();
+        let matches = clean_predictions
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        Self {
+            label_accuracy: matches as f64 / labels.len() as f64,
+            clean_predictions,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +430,54 @@ mod tests {
         let g1 = row_netlist_with_terms(1, 8).gate_count();
         let g4 = row_netlist_with_terms(4, 8).gate_count();
         assert!(g4 > g1, "{g4} should exceed {g1}");
+    }
+
+    #[test]
+    fn downsample_pools_and_preserves_range() {
+        let data = SyntheticMnist::generate(2, 9);
+        for img in &data.images {
+            let pooled = downsample(img);
+            assert_eq!(pooled.len(), EVAL_PIXELS);
+            // Pooling averages, so the pooled peak cannot exceed the source
+            // peak, and a nonzero image stays nonzero after pooling.
+            let src_max = *img.iter().max().unwrap();
+            let pooled_max = *pooled.iter().max().unwrap();
+            assert!(pooled_max <= src_max);
+            assert!(pooled.iter().any(|&p| p > 0));
+        }
+    }
+
+    #[test]
+    fn accuracy_model_pim_row_agrees_with_software_neuron_sums() {
+        let model = MnistAccuracyModel::generate(2, 21);
+        let data = SyntheticMnist::generate(3, 4);
+        let netlist = model.netlist();
+        for img in &data.images {
+            let pooled = downsample(img);
+            for neuron in 0..EVAL_HIDDEN {
+                let inputs = model.neuron_inputs(&pooled, neuron);
+                let out = netlist.evaluate(&inputs);
+                assert_eq!(from_bits(&out), model.neuron_sum(&pooled, neuron));
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_baseline_is_a_once_per_campaign_constant() {
+        let model = MnistAccuracyModel::generate(1, 77);
+        let data = SyntheticMnist::generate(16, 5);
+        let pooled: Vec<Vec<u8>> = data.images.iter().map(|i| downsample(i)).collect();
+        let a = MnistAccuracyBaseline::capture(&model, &pooled, &data.labels);
+        let b = MnistAccuracyBaseline::capture(&model, &pooled, &data.labels);
+        assert_eq!(a.clean_predictions, b.clean_predictions);
+        assert_eq!(a.label_accuracy, b.label_accuracy);
+        assert_eq!(a.clean_predictions.len(), 16);
+        assert!((0.0..=1.0).contains(&a.label_accuracy));
+        // Classifying from the software sums reproduces the baseline, so a
+        // clean PiM trial is correct by construction.
+        for (img, &pred) in pooled.iter().zip(&a.clean_predictions) {
+            assert_eq!(model.infer(img), pred);
+        }
     }
 
     #[test]

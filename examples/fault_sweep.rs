@@ -10,7 +10,9 @@
 //! Compare:  `RAYON_NUM_THREADS=1 cargo run --release --example fault_sweep`
 
 use nvpim::sim::technology::Technology;
-use nvpim::sweep::{run_campaign, EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload};
+use nvpim::sweep::{
+    run_campaign, CampaignKind, EstimatorMode, ProtectionConfig, SweepPlan, SweepWorkload,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = SweepPlan {
@@ -24,6 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seeds_per_point: 56,
         campaign_seed: 0x0f1e_2d3c_4b5a_6978,
         estimator: EstimatorMode::Exact,
+        kind: CampaignKind::Error,
+        stuck_at_rate: 0.0,
     };
     eprintln!(
         "campaign: {} points x {} seeds = {} trials",
